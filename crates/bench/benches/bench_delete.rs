@@ -1,0 +1,47 @@
+//! Criterion counterpart of Figures 13/14: latency under deletes
+//! (count and range length).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::harness::Harness;
+use m4::{M4Lsm, M4Udf};
+use workload::Dataset;
+
+fn bench_vary_deletes(c: &mut Criterion) {
+    let h = Harness::new(0.005, 1);
+    let mut group = c.benchmark_group("fig13/KOB");
+    group.sample_size(10);
+    for n_deletes in [0usize, 20, 50] {
+        let fx = h.build_store(&format!("bd-{n_deletes}"), Dataset::Kob, 0.0, n_deletes, 60_000);
+        let snap = fx.kv.snapshot("s").expect("snapshot");
+        let q = fx.full_query(1000);
+        group.bench_with_input(BenchmarkId::new("M4-UDF", n_deletes), &q, |b, q| {
+            b.iter(|| M4Udf::new().execute(&snap, q).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("M4-LSM", n_deletes), &q, |b, q| {
+            b.iter(|| M4Lsm::new().execute(&snap, q).unwrap())
+        });
+        std::fs::remove_dir_all(&fx.dir).ok();
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig14/KOB");
+    group.sample_size(10);
+    for range_ms in [10_000i64, 600_000, 6_000_000] {
+        let fx = h.build_store(&format!("bdr-{range_ms}"), Dataset::Kob, 0.0, 20, range_ms);
+        let snap = fx.kv.snapshot("s").expect("snapshot");
+        let q = fx.full_query(1000);
+        group.bench_with_input(BenchmarkId::new("M4-UDF", range_ms), &q, |b, q| {
+            b.iter(|| M4Udf::new().execute(&snap, q).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("M4-LSM", range_ms), &q, |b, q| {
+            b.iter(|| M4Lsm::new().execute(&snap, q).unwrap())
+        });
+        std::fs::remove_dir_all(&fx.dir).ok();
+    }
+    group.finish();
+    h.cleanup();
+}
+
+criterion_group!(benches, bench_vary_deletes);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Substrate micro-benchmark: encode/decode throughput of the chunk
+//! codecs — the CPU share of the "costly chunk loading" the paper's
+//! merge-free design avoids.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tsfile::encoding::{gorilla, plain, ts2diff};
+use workload::signal::Signal;
+use workload::timestamps;
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let n = 100_000usize;
+    let ts = timestamps::regular_with_jitter(1_600_000_000_000, 10, n, 2, &mut rng);
+    let mut sig = Signal::new(210.0, 240.0, 0.4);
+    let vs: Vec<f64> = (0..n).map(|_| sig.next_value(&mut rng)).collect();
+
+    let mut ts_buf = Vec::new();
+    ts2diff::encode(&ts, &mut ts_buf);
+    let mut vs_buf = Vec::new();
+    gorilla::encode(&vs, &mut vs_buf);
+    let mut plain_ts = Vec::new();
+    plain::encode_i64(&ts, &mut plain_ts);
+
+    let mut group = c.benchmark_group("encoding");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_with_input(BenchmarkId::new("ts2diff/decode", n), &ts_buf, |b, buf| {
+        b.iter(|| ts2diff::decode(buf, n).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("ts2diff/decode_until_1pct", n), &ts_buf, |b, buf| {
+        let limit = ts[n / 100];
+        b.iter(|| ts2diff::decode_until(buf, n, limit).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("gorilla/decode", n), &vs_buf, |b, buf| {
+        b.iter(|| gorilla::decode(buf, n).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("plain/decode_i64", n), &plain_ts, |b, buf| {
+        b.iter(|| plain::decode_i64(buf, n).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("ts2diff/encode", n), &ts, |b, ts| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            ts2diff::encode(ts, &mut out);
+            out
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("gorilla/encode", n), &vs, |b, vs| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            gorilla::encode(vs, &mut out);
+            out
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

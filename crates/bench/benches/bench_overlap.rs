@@ -1,0 +1,31 @@
+//! Criterion counterpart of Figure 12: latency vs chunk overlap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::harness::Harness;
+use m4::{M4Lsm, M4Udf};
+use workload::Dataset;
+
+fn bench_vary_overlap(c: &mut Criterion) {
+    let h = Harness::new(0.005, 1);
+    let mut group = c.benchmark_group("fig12/MF03");
+    group.sample_size(10);
+    for overlap in [0.0f64, 0.25, 0.5] {
+        let fx = h.build_store(&format!("bo-{overlap}"), Dataset::Mf03, overlap, 0, 0);
+        let snap = fx.kv.snapshot("s").expect("snapshot");
+        let q = fx.full_query(1000);
+        let label = format!("{:.0}%", overlap * 100.0);
+        group.bench_with_input(BenchmarkId::new("M4-UDF", &label), &q, |b, q| {
+            b.iter(|| M4Udf::new().execute(&snap, q).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("M4-LSM", &label), &q, |b, q| {
+            b.iter(|| M4Lsm::new().execute(&snap, q).unwrap())
+        });
+        std::fs::remove_dir_all(&fx.dir).ok();
+    }
+    group.finish();
+    h.cleanup();
+}
+
+criterion_group!(benches, bench_vary_overlap);
+criterion_main!(benches);

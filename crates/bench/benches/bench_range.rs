@@ -1,0 +1,31 @@
+//! Criterion counterpart of Figure 11: latency vs query range length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::harness::Harness;
+use m4::{M4Lsm, M4Query, M4Udf};
+use workload::Dataset;
+
+fn bench_vary_range(c: &mut Criterion) {
+    let h = Harness::new(0.005, 1);
+    let fx = h.build_store("br", Dataset::Mf03, 0.0, 0, 0);
+    let snap = fx.kv.snapshot("s").expect("snapshot");
+    let full = fx.t_max - fx.t_min + 1;
+    let mut group = c.benchmark_group("fig11/MF03");
+    group.sample_size(10);
+    for denom in [8i64, 2, 1] {
+        let len = (full / denom).max(1000);
+        let q = M4Query::new(fx.t_min, fx.t_min + len, 1000).unwrap();
+        group.bench_with_input(BenchmarkId::new("M4-UDF", format!("1/{denom}")), &q, |b, q| {
+            b.iter(|| M4Udf::new().execute(&snap, q).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("M4-LSM", format!("1/{denom}")), &q, |b, q| {
+            b.iter(|| M4Lsm::new().execute(&snap, q).unwrap())
+        });
+    }
+    group.finish();
+    h.cleanup();
+}
+
+criterion_group!(benches, bench_vary_range);
+criterion_main!(benches);

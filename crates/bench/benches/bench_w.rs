@@ -1,0 +1,33 @@
+//! Criterion counterpart of Figure 10: latency vs span count `w`,
+//! M4-UDF vs M4-LSM, on a small-scale MF03 and KOB store.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::harness::Harness;
+use m4::{M4Lsm, M4Udf};
+use workload::Dataset;
+
+fn bench_vary_w(c: &mut Criterion) {
+    let h = Harness::new(0.005, 1);
+    for dataset in [Dataset::Mf03, Dataset::Kob] {
+        let fx = h.build_store("bw", dataset, 0.0, 0, 0);
+        let snap = fx.kv.snapshot("s").expect("snapshot");
+        let mut group = c.benchmark_group(format!("fig10/{}", dataset.name()));
+        group.sample_size(10);
+        for w in [10usize, 100, 1000] {
+            let q = fx.full_query(w);
+            group.bench_with_input(BenchmarkId::new("M4-UDF", w), &q, |b, q| {
+                b.iter(|| M4Udf::new().execute(&snap, q).unwrap())
+            });
+            group.bench_with_input(BenchmarkId::new("M4-LSM", w), &q, |b, q| {
+                b.iter(|| M4Lsm::new().execute(&snap, q).unwrap())
+            });
+        }
+        group.finish();
+        std::fs::remove_dir_all(&fx.dir).ok();
+    }
+    h.cleanup();
+}
+
+criterion_group!(benches, bench_vary_w);
+criterion_main!(benches);

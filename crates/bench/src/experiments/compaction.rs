@@ -1,0 +1,59 @@
+//! A3 — compaction experiment (beyond the paper): the paper disables
+//! compaction (Table 4) and shows M4-LSM coping with the resulting
+//! overlap and tombstones. Here we measure the same overlap-heavy,
+//! delete-heavy store *before and after* full compaction:
+//!
+//! * M4-UDF should improve sharply after compaction (nothing left to
+//!   heap-merge or filter).
+//! * M4-LSM should improve only mildly — merge-freedom already priced
+//!   the mess in — and the two should converge.
+
+use crate::harness::{ExpRow, Harness};
+
+pub const W: usize = 1000;
+
+pub fn run(h: &Harness) -> Vec<ExpRow> {
+    let mut rows = Vec::new();
+    for dataset in h.datasets.iter().copied() {
+        let fx = h.build_store("compaction", dataset, 0.5, 20, 60_000);
+        let snap = fx.kv.snapshot("s").expect("snapshot");
+        let q = fx.full_query(W);
+        h.compare_row("compact-pre", dataset, &snap, &q, "w", W as f64, &mut rows);
+
+        let report = fx.kv.compact("s").expect("compaction");
+        assert!(report.chunks_merged > 0);
+        let snap = fx.kv.snapshot("s").expect("snapshot after compaction");
+        h.compare_row("compact-post", dataset, &snap, &q, "w", W as f64, &mut rows);
+        std::fs::remove_dir_all(&fx.dir).ok();
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::Dataset;
+
+    #[test]
+    fn compaction_reduces_baseline_points_decoded_under_overlap() {
+        let h = Harness::new(0.005, 1).with_datasets(vec![Dataset::Mf03]);
+        let rows = run(&h);
+        h.cleanup();
+        let pre_udf = rows
+            .iter()
+            .find(|r| r.experiment == "compact-pre" && r.operator == "M4-UDF")
+            .unwrap();
+        let post_udf = rows
+            .iter()
+            .find(|r| r.experiment == "compact-post" && r.operator == "M4-UDF")
+            .unwrap();
+        // With 50% overlap the pre-compaction store holds duplicate
+        // coverage; compaction collapses it.
+        assert!(
+            post_udf.points_decoded <= pre_udf.points_decoded,
+            "pre {} vs post {}",
+            pre_udf.points_decoded,
+            post_udf.points_decoded
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 11: query latency vs query time range length.
+//!
+//! Paper shapes: M4-UDF grows steeply with range (more chunks loaded
+//! and merged); M4-LSM grows much more slowly (the proportion of
+//! span-boundary-split chunks falls as the range grows, and whole
+//! chunks are answered from metadata).
+
+
+use crate::harness::{ExpRow, Harness};
+
+/// Fractions of the full series range to query (w fixed at 1000, as in
+/// the paper's "typical" setting).
+pub const RANGE_FRACTIONS: [f64; 5] = [1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0, 1.0];
+pub const W: usize = 1000;
+
+pub fn run(h: &Harness) -> Vec<ExpRow> {
+    let mut rows = Vec::new();
+    for dataset in h.datasets.iter().copied() {
+        let fx = h.build_store("fig11", dataset, 0.0, 0, 0);
+        let snap = fx.kv.snapshot("s").expect("snapshot");
+        let full = (fx.t_max - fx.t_min + 1) as f64;
+        for &frac in &RANGE_FRACTIONS {
+            let len = (full * frac).max(W as f64) as i64;
+            let q = m4::M4Query::new(fx.t_min, fx.t_min + len, W).expect("valid query");
+            h.compare_row("fig11", dataset, &snap, &q, "range_frac", frac, &mut rows);
+        }
+        std::fs::remove_dir_all(&fx.dir).ok();
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udf_work_grows_with_range() {
+        let h = Harness::new(0.002, 1);
+        let rows = run(&h);
+        h.cleanup();
+        for &dataset in h.datasets.iter() {
+            let udf: Vec<_> = rows
+                .iter()
+                .filter(|r| r.dataset == dataset.name() && r.operator == "M4-UDF")
+                .collect();
+            // Points decoded by the baseline must be non-decreasing in
+            // the queried fraction.
+            assert!(
+                udf.windows(2).all(|w| w[0].points_decoded <= w[1].points_decoded),
+                "{}: {udf:?}",
+                dataset.name()
+            );
+            let lsm: Vec<_> = rows
+                .iter()
+                .filter(|r| r.dataset == dataset.name() && r.operator == "M4-LSM")
+                .collect();
+            // The merge-free operator always decodes no more than the baseline.
+            for (u, l) in udf.iter().zip(&lsm) {
+                assert!(l.points_decoded <= u.points_decoded);
+            }
+        }
+    }
+}

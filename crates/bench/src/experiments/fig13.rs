@@ -1,0 +1,55 @@
+//! Figure 13: query latency vs delete percentage.
+//!
+//! Paper shapes: M4-UDF ~constant (the merge applies deletes in the
+//! same single pass either way); M4-LSM has a mild increasing trend
+//! (more candidates are refuted by deletes and force recalculation),
+//! but the absolute cost stays small because delete ranges are short
+//! relative to chunk intervals.
+
+
+use crate::harness::{ExpRow, Harness};
+
+/// Delete count as a percentage of the chunk count.
+pub const DELETE_PCTS: [f64; 6] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+pub const W: usize = 1000;
+
+pub fn run(h: &Harness) -> Vec<ExpRow> {
+    let mut rows = Vec::new();
+    for dataset in h.datasets.iter().copied() {
+        // Derive delete geometry from the dataset spec instead of a
+        // probe store (chunks hold exactly `points_per_chunk` points).
+        let spec = dataset.spec();
+        let n_points = spec.scaled_points(h.scale);
+        let n_chunks = n_points.div_ceil(1000).max(1);
+        for &pct in &DELETE_PCTS {
+            let n_deletes = ((n_chunks as f64) * pct) as usize;
+            // Delete range: a tenth of a chunk's typical time span.
+            let chunk_span = (spec.delta_ms * 1000 / 10).max(1);
+            let fx = h.build_store(&format!("fig13-{pct}"), dataset, 0.0, n_deletes, chunk_span);
+            let snap = fx.kv.snapshot("s").expect("snapshot");
+            let q = fx.full_query(W);
+            h.compare_row("fig13", dataset, &snap, &q, "del_pct", pct, &mut rows);
+            std::fs::remove_dir_all(&fx.dir).ok();
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::Dataset;
+
+    #[test]
+    fn operators_agree_under_heavy_deletes() {
+        let h = Harness::new(0.002, 1);
+        let fx = h.build_store("t13", Dataset::Kob, 0.0, 40, 60_000);
+        let snap = fx.kv.snapshot("s").expect("snapshot");
+        let q = fx.full_query(200);
+        let mut rows = Vec::new();
+        // compare_row asserts result equivalence internally.
+        h.compare_row("fig13", Dataset::Kob, &snap, &q, "del_pct", 0.4, &mut rows);
+        assert_eq!(rows.len(), 2);
+        h.cleanup();
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 14: query latency vs delete time range length.
+//!
+//! Paper shapes: M4-UDF *decreases* with longer delete ranges (whole
+//! chunks fall away, especially on the skewed KOB/RcvTime datasets);
+//! M4-LSM stays small throughout — longer deletes refute more
+//! candidates but also erase whole chunks from consideration.
+
+
+use crate::harness::{ExpRow, Harness};
+
+/// Delete range length as a fraction of a chunk's typical time span.
+pub const RANGE_FRACTIONS: [f64; 5] = [0.1, 0.5, 1.0, 2.0, 5.0];
+/// Fixed number of deletes (fraction of chunk count).
+pub const DELETE_FRACTION: f64 = 0.2;
+pub const W: usize = 1000;
+
+pub fn run(h: &Harness) -> Vec<ExpRow> {
+    let mut rows = Vec::new();
+    for dataset in h.datasets.iter().copied() {
+        let spec = dataset.spec();
+        let n_points = spec.scaled_points(h.scale);
+        let n_chunks = n_points.div_ceil(1000).max(1);
+        let n_deletes = ((n_chunks as f64) * DELETE_FRACTION).max(1.0) as usize;
+        // Typical chunk time span from the spec cadence (gaps make the
+        // real average longer on KOB/RcvTime; the sweep covers that).
+        let chunk_span = (spec.delta_ms * 1000) as f64;
+        for &frac in &RANGE_FRACTIONS {
+            let range_ms = (chunk_span * frac).max(1.0) as i64;
+            let fx = h.build_store(&format!("fig14-{frac}"), dataset, 0.0, n_deletes, range_ms);
+            let snap = fx.kv.snapshot("s").expect("snapshot");
+            let q = fx.full_query(W);
+            h.compare_row("fig14", dataset, &snap, &q, "del_range_x", frac, &mut rows);
+            std::fs::remove_dir_all(&fx.dir).ok();
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::Dataset;
+
+    #[test]
+    fn agree_with_chunk_sized_deletes() {
+        let h = Harness::new(0.002, 1);
+        // Deletes longer than a chunk: whole chunks vanish.
+        let fx = h.build_store("t14", Dataset::RcvTime, 0.0, 5, 10_000_000);
+        let snap = fx.kv.snapshot("s").expect("snapshot");
+        let q = fx.full_query(100);
+        let mut rows = Vec::new();
+        h.compare_row("fig14", Dataset::RcvTime, &snap, &q, "del_range_x", 5.0, &mut rows);
+        assert_eq!(rows.len(), 2);
+        h.cleanup();
+    }
+}

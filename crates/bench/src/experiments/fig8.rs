@@ -1,0 +1,113 @@
+//! Figures 8 & 9: timestamp-position steps and the delta distribution,
+//! plus the step-regression fit learned from each dataset's first
+//! chunk-sized slice — the qualitative basis of §3.5.
+
+use tsfile::StepIndex;
+use workload::Dataset;
+
+use crate::harness::Harness;
+
+/// Print, per dataset: the learned slope (median Δt), segment count,
+/// verified model error ε, and an ASCII sketch of the
+/// timestamp-position curve of the first 1000 points.
+pub fn run(h: &Harness) {
+    println!("Figure 8/9: timestamp-position structure per dataset (first 1000 points)");
+    for d in Dataset::ALL {
+        let pts = d.generate(h.scale.max(0.001));
+        let n = pts.len().min(1000);
+        let ts: Vec<i64> = pts[..n].iter().map(|p| p.t).collect();
+        let deltas: Vec<i64> = ts.windows(2).map(|w| w[1] - w[0]).collect();
+        let mut sorted = deltas.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let max = *sorted.last().unwrap();
+        match StepIndex::learn(&ts) {
+            Some(idx) => println!(
+                "{:<10} median Δt = {:>8} ms, max Δt = {:>10} ms, segments = {:>3}, ε = {}",
+                d.name(),
+                median,
+                max,
+                idx.segment_count(),
+                idx.epsilon()
+            ),
+            None => println!("{:<10} no step model (degenerate)", d.name()),
+        }
+        println!("{}", ascii_curve(&ts, 60, 10));
+        println!("{}", delta_histogram(&deltas, 10));
+    }
+}
+
+/// Figure 9(b): log-bucketed histogram of timestamp deltas.
+fn delta_histogram(deltas: &[i64], max_rows: usize) -> String {
+    use std::collections::BTreeMap;
+    let mut buckets: BTreeMap<u32, usize> = BTreeMap::new();
+    for &d in deltas {
+        let bucket = 64 - (d.max(1) as u64).leading_zeros(); // log2 bucket
+        *buckets.entry(bucket).or_default() += 1;
+    }
+    let total = deltas.len().max(1);
+    let mut s = String::from("  Δt distribution (log2 buckets):\n");
+    for (&bucket, &count) in buckets.iter().take(max_rows) {
+        let lo = 1i64 << bucket.saturating_sub(1).min(62);
+        let hi = (1i64 << bucket.min(62)) - 1;
+        let bar_len = (count * 40 / total).max(usize::from(count > 0));
+        s.push_str(&format!(
+            "  [{:>10}, {:>10}] {:>7}  {}\n",
+            lo,
+            hi,
+            count,
+            "#".repeat(bar_len)
+        ));
+    }
+    s
+}
+
+/// Sketch the timestamp→position curve in `width`×`height` characters.
+fn ascii_curve(ts: &[i64], width: usize, height: usize) -> String {
+    let n = ts.len();
+    if n < 2 {
+        return String::new();
+    }
+    let (t0, t1) = (ts[0], ts[n - 1]);
+    let mut grid = vec![vec![' '; width]; height];
+    for (i, &t) in ts.iter().enumerate() {
+        let x = ((t - t0) as f64 / (t1 - t0).max(1) as f64 * (width - 1) as f64) as usize;
+        let y = (i as f64 / (n - 1) as f64 * (height - 1) as f64) as usize;
+        grid[height - 1 - y][x.min(width - 1)] = '*';
+    }
+    grid.into_iter().map(|row| row.into_iter().collect::<String>() + "\n").collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_has_requested_shape() {
+        let ts: Vec<i64> = (0..100).map(|i| i * 10).collect();
+        let art = ascii_curve(&ts, 30, 5);
+        assert_eq!(art.lines().count(), 5);
+        assert!(art.lines().all(|l| l.chars().count() == 30));
+        // A straight line touches both corners.
+        assert_eq!(art.lines().last().unwrap().chars().next(), Some('*'));
+    }
+
+    #[test]
+    fn runs_at_tiny_scale() {
+        run(&Harness::new(0.001, 1));
+    }
+}
+
+#[cfg(test)]
+mod histogram_tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_cover_all_deltas() {
+        let deltas = vec![1i64, 2, 3, 9000, 9000, 9000, 3_855_000];
+        let h = delta_histogram(&deltas, 20);
+        assert!(h.contains('#'));
+        // Three distinct log2 buckets minimum: ~1-3, ~9000, ~3.8M.
+        assert!(h.lines().count() >= 4, "{h}");
+    }
+}

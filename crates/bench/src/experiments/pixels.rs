@@ -1,0 +1,92 @@
+//! Figure 1 / "error-free" verification: render the M4-LSM result and
+//! the fully merged series into the same binary canvas and count
+//! differing pixels. The paper's core visual claim is zero; the MinMax
+//! contrast column shows a reduction that is *not* error-free.
+
+use m4::render::{minmax_points, render_m4, render_series, value_range, PixelMap};
+use m4::{M4Lsm, M4Udf};
+use tskv::readers::MergeReader;
+
+use crate::harness::Harness;
+
+/// Chart geometry used by the paper's Figure 1.
+pub const WIDTH: usize = 1000;
+pub const HEIGHT: usize = 500;
+
+/// Pixel-difference summary for one dataset.
+#[derive(Debug)]
+pub struct PixelRow {
+    pub dataset: &'static str,
+    pub m4_diff: usize,
+    pub minmax_diff: usize,
+    pub total_pixels: usize,
+}
+
+pub fn run(h: &Harness) -> Vec<PixelRow> {
+    let mut out = Vec::new();
+    for dataset in h.datasets.iter().copied() {
+        // Delete ranges scale with the dataset's span so small-scale
+        // runs don't erase the whole series.
+        let probe = h.build_store("pixels-probe", dataset, 0.0, 0, 0);
+        let del_range = ((probe.t_max - probe.t_min) / 500).max(1);
+        std::fs::remove_dir_all(&probe.dir).ok();
+        drop(probe);
+        let fx = h.build_store("pixels", dataset, 0.3, 5, del_range);
+        let snap = fx.kv.snapshot("s").expect("snapshot");
+        let q = fx.full_query(WIDTH);
+
+        let merged = MergeReader::with_range(&snap, q.full_range())
+            .collect_merged()
+            .expect("merge");
+        let (vmin, vmax) = value_range(&merged).expect("non-empty");
+        let map = PixelMap::new(&q, vmin, vmax, WIDTH, HEIGHT);
+
+        let full = render_series(&merged, &map).expect("render full");
+        let lsm = M4Lsm::new().execute(&snap, &q).expect("lsm");
+        let udf = M4Udf::new().execute(&snap, &q).expect("udf");
+        assert!(lsm.equivalent(&udf), "operators disagree on {}", dataset.name());
+
+        let m4_canvas = render_m4(&lsm, &map).expect("render m4");
+        let mm_canvas = render_series(&minmax_points(&lsm), &map).expect("render minmax");
+
+        out.push(PixelRow {
+            dataset: dataset.name(),
+            m4_diff: full.diff_pixels(&m4_canvas),
+            minmax_diff: full.diff_pixels(&mm_canvas),
+            total_pixels: WIDTH * HEIGHT,
+        });
+        std::fs::remove_dir_all(&fx.dir).ok();
+    }
+    out
+}
+
+/// Print the pixel table.
+pub fn print(rows: &[PixelRow]) {
+    println!("Pixel errors vs full-data rendering ({WIDTH}x{HEIGHT} binary canvas)");
+    println!("{:<10} {:>12} {:>14} {:>14}", "dataset", "M4 diff px", "MinMax diff px", "canvas px");
+    for r in rows {
+        println!(
+            "{:<10} {:>12} {:>14} {:>14}",
+            r.dataset, r.m4_diff, r.minmax_diff, r.total_pixels
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m4_is_error_free_minmax_is_not_everywhere() {
+        let h = Harness::new(0.002, 1);
+        let rows = run(&h);
+        h.cleanup();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert_eq!(r.m4_diff, 0, "{}: M4 must be pixel-exact", r.dataset);
+        }
+        // MinMax should err on at least one dataset (it can be lucky on
+        // others; the claim is only that it is not error-free in general).
+        assert!(rows.iter().any(|r| r.minmax_diff > 0), "{rows:?}");
+    }
+}

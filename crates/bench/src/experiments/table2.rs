@@ -1,0 +1,72 @@
+//! Table 2: dataset summary — entire time range and point count for
+//! each generated dataset at the harness scale, next to the paper's
+//! full-size figures.
+
+use workload::Dataset;
+
+use crate::harness::Harness;
+
+/// Human-readable duration from milliseconds.
+fn human_duration(ms: i64) -> String {
+    let secs = ms / 1000;
+    let mins = secs / 60;
+    let hours = mins / 60;
+    let days = hours / 24;
+    if days >= 60 {
+        format!("{:.1} months", days as f64 / 30.44)
+    } else if days >= 3 {
+        format!("{days} days")
+    } else if hours >= 3 {
+        format!("{hours} hours")
+    } else if mins >= 3 {
+        format!("{mins} minutes")
+    } else {
+        format!("{secs} seconds")
+    }
+}
+
+/// Print the Table 2 analogue for the harness's scale.
+pub fn run(h: &Harness) {
+    println!("Table 2: dataset summary (scale = {})", h.scale);
+    println!(
+        "{:<10} {:>18} {:>12} | {:>18} {:>12}",
+        "Dataset", "generated range", "# points", "paper range", "paper points"
+    );
+    let paper = [
+        ("71 minutes", 7_193_200u64),
+        ("28 hours", 10_000_000),
+        ("4 months", 1_943_180),
+        ("1 year", 1_330_764),
+    ];
+    for (d, (paper_range, paper_points)) in Dataset::ALL.into_iter().zip(paper) {
+        let pts = d.generate(h.scale);
+        let range = pts.last().unwrap().t - pts.first().unwrap().t;
+        println!(
+            "{:<10} {:>18} {:>12} | {:>18} {:>12}",
+            d.name(),
+            human_duration(range),
+            pts.len(),
+            paper_range,
+            paper_points
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(human_duration(90_000), "90 seconds");
+        assert_eq!(human_duration(30 * 60_000), "30 minutes");
+        assert_eq!(human_duration(28 * 3_600_000), "28 hours");
+        assert_eq!(human_duration(10 * 86_400_000), "10 days");
+        assert!(human_duration(120 * 86_400_000).contains("months"));
+    }
+
+    #[test]
+    fn runs_at_tiny_scale() {
+        run(&Harness::new(0.0002, 1));
+    }
+}

@@ -1,0 +1,18 @@
+//! # bench — experiment harness for the paper's evaluation
+//!
+//! One module per table/figure of the paper's §4 (see DESIGN.md §4 for
+//! the experiment index). The `repro` binary drives them:
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- --exp all --scale 0.05
+//! ```
+//!
+//! Latencies are medians over repeated query executions against a real
+//! on-disk store built by the `workload` crate; alongside wall-clock
+//! time each row reports *chunks loaded* and *points decoded* — the
+//! work-avoided metrics the paper's argument rests on.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{ExpRow, Harness};

@@ -1,0 +1,168 @@
+//! Metadata-backed scalar aggregates over a time range.
+//!
+//! The M4-LSM machinery — candidate generation from chunk statistics,
+//! verification against later versions and deletes, lazy loading — is
+//! not specific to visualization: `FIRST_VALUE`, `LAST_VALUE`,
+//! `MIN_VALUE` and `MAX_VALUE` over a range are exactly the four
+//! representation functions applied to a single span (`w = 1`). This
+//! module exposes them as a direct aggregate API, the same way IoTDB's
+//! aggregation engine reuses chunk statistics.
+//!
+//! ```
+//! # use tskv::{TsKv, config::EngineConfig};
+//! # use tsfile::types::Point;
+//! use m4::agg::{aggregate, Aggregate};
+//! # let dir = std::env::temp_dir().join(format!("m4-agg-doc-{}", std::process::id()));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # let kv = TsKv::open(&dir, EngineConfig::default()).unwrap();
+//! # for t in 0..100i64 { kv.insert("s", Point::new(t, t as f64)).unwrap(); }
+//! # kv.flush_all().unwrap();
+//! let snap = kv.snapshot("s").unwrap();
+//! let max = aggregate(&snap, 0, 100, Aggregate::MaxValue).unwrap();
+//! assert_eq!(max, Some(99.0));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+use tskv::SeriesSnapshot;
+
+use crate::lsm::M4Lsm;
+use crate::query::M4Query;
+use crate::Result;
+
+/// Supported range aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Value of the earliest live point in the range.
+    FirstValue,
+    /// Timestamp of the earliest live point in the range.
+    FirstTime,
+    /// Value of the latest live point in the range.
+    LastValue,
+    /// Timestamp of the latest live point in the range.
+    LastTime,
+    /// Minimum value in the range.
+    MinValue,
+    /// Maximum value in the range.
+    MaxValue,
+}
+
+/// Compute one aggregate over `[t_start, t_end)` using the merge-free
+/// operator. Returns `None` when the range holds no live points.
+pub fn aggregate(
+    snapshot: &SeriesSnapshot,
+    t_start: i64,
+    t_end: i64,
+    what: Aggregate,
+) -> Result<Option<f64>> {
+    let query = M4Query::new(t_start, t_end, 1)?;
+    let result = M4Lsm::new().execute(snapshot, &query)?;
+    Ok(result.spans[0].map(|s| match what {
+        Aggregate::FirstValue => s.first.v,
+        Aggregate::FirstTime => s.first.t as f64,
+        Aggregate::LastValue => s.last.v,
+        Aggregate::LastTime => s.last.t as f64,
+        Aggregate::MinValue => s.bottom.v,
+        Aggregate::MaxValue => s.top.v,
+    }))
+}
+
+/// All six aggregates in one pass (one shared query execution).
+pub fn aggregate_all(
+    snapshot: &SeriesSnapshot,
+    t_start: i64,
+    t_end: i64,
+) -> Result<Option<[f64; 6]>> {
+    let query = M4Query::new(t_start, t_end, 1)?;
+    let result = M4Lsm::new().execute(snapshot, &query)?;
+    Ok(result.spans[0].map(|s| {
+        [s.first.v, s.first.t as f64, s.last.v, s.last.t as f64, s.bottom.v, s.top.v]
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsfile::types::Point;
+    use tskv::config::EngineConfig;
+    use tskv::TsKv;
+
+    fn store(name: &str) -> (std::path::PathBuf, TsKv) {
+        let dir = std::env::temp_dir().join(format!("m4-agg-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let kv = TsKv::open(
+            &dir,
+            EngineConfig { points_per_chunk: 50, memtable_threshold: 200, ..Default::default() },
+        )
+        .unwrap();
+        (dir, kv)
+    }
+
+    #[test]
+    fn aggregates_respect_overwrites_and_deletes() {
+        let (dir, kv) = store("full");
+        for t in 0..1_000i64 {
+            kv.insert("s", Point::new(t, (t % 100) as f64)).unwrap();
+        }
+        kv.flush_all().unwrap();
+        kv.delete("s", 0, 9).unwrap(); // first 10 points gone
+        kv.insert("s", Point::new(500, -7.0)).unwrap(); // overwrite with new min
+        kv.flush_all().unwrap();
+
+        let snap = kv.snapshot("s").unwrap();
+        assert_eq!(aggregate(&snap, 0, 1_000, Aggregate::FirstTime).unwrap(), Some(10.0));
+        assert_eq!(aggregate(&snap, 0, 1_000, Aggregate::FirstValue).unwrap(), Some(10.0));
+        assert_eq!(aggregate(&snap, 0, 1_000, Aggregate::LastTime).unwrap(), Some(999.0));
+        assert_eq!(aggregate(&snap, 0, 1_000, Aggregate::MinValue).unwrap(), Some(-7.0));
+        assert_eq!(aggregate(&snap, 0, 1_000, Aggregate::MaxValue).unwrap(), Some(99.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_range_is_none() {
+        let (dir, kv) = store("empty");
+        kv.insert("s", Point::new(5, 1.0)).unwrap();
+        kv.flush_all().unwrap();
+        let snap = kv.snapshot("s").unwrap();
+        assert_eq!(aggregate(&snap, 100, 200, Aggregate::MaxValue).unwrap(), None);
+        assert_eq!(aggregate_all(&snap, 100, 200).unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn aggregate_all_matches_individual() {
+        let (dir, kv) = store("all");
+        for t in 0..300i64 {
+            kv.insert("s", Point::new(t * 2, ((t * 13) % 51) as f64)).unwrap();
+        }
+        kv.flush_all().unwrap();
+        let snap = kv.snapshot("s").unwrap();
+        let all = aggregate_all(&snap, 0, 600).unwrap().unwrap();
+        let singles = [
+            Aggregate::FirstValue,
+            Aggregate::FirstTime,
+            Aggregate::LastValue,
+            Aggregate::LastTime,
+            Aggregate::MinValue,
+            Aggregate::MaxValue,
+        ]
+        .map(|a| aggregate(&snap, 0, 600, a).unwrap().unwrap());
+        assert_eq!(all.to_vec(), singles.to_vec());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn aggregates_without_loading_when_possible() {
+        let (dir, kv) = store("io");
+        for t in 0..1_000i64 {
+            kv.insert("s", Point::new(t, 1.0)).unwrap();
+        }
+        kv.flush_all().unwrap();
+        let snap = kv.snapshot("s").unwrap();
+        let before = snap.io().snapshot();
+        // Full-range aggregate on clean storage: answered from metadata.
+        aggregate_all(&snap, 0, 1_000).unwrap();
+        let delta = snap.io().snapshot() - before;
+        assert_eq!(delta.chunks_loaded, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

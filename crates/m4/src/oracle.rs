@@ -1,0 +1,87 @@
+//! Naive in-memory M4 reference: a single scan over an already merged,
+//! time-sorted series. This is both the correctness oracle for the
+//! operators and the computation the M4-UDF baseline performs after its
+//! merge.
+
+use tsfile::types::Point;
+
+use crate::query::M4Query;
+use crate::repr::{M4Result, SpanRepr};
+
+/// Compute the M4 representation of a merged, time-sorted series in
+/// one pass. Points outside `[t_qs, t_qe)` are ignored.
+pub fn m4_scan(points: &[Point], query: &M4Query) -> M4Result {
+    let mut spans: Vec<Option<SpanRepr>> = vec![None; query.w];
+    for p in points {
+        let Some(i) = query.span_of(p.t) else { continue };
+        match &mut spans[i] {
+            None => {
+                spans[i] = Some(SpanRepr { first: *p, last: *p, bottom: *p, top: *p });
+            }
+            Some(r) => {
+                // Points arrive in time order: later point becomes LP.
+                r.last = *p;
+                if p.v.total_cmp(&r.bottom.v).is_lt() {
+                    r.bottom = *p;
+                }
+                if p.v.total_cmp(&r.top.v).is_gt() {
+                    r.top = *p;
+                }
+            }
+        }
+    }
+    M4Result { spans }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(raw: &[(i64, f64)]) -> Vec<Point> {
+        raw.iter().map(|&(t, v)| Point::new(t, v)).collect()
+    }
+
+    #[test]
+    fn groups_into_spans() {
+        let points = pts(&[(0, 1.0), (10, 5.0), (24, -2.0), (25, 0.0), (99, 7.0)]);
+        let q = M4Query::new(0, 100, 4).unwrap();
+        let r = m4_scan(&points, &q);
+        assert_eq!(r.width(), 4);
+        let s0 = r.spans[0].unwrap();
+        assert_eq!(s0.first, Point::new(0, 1.0));
+        assert_eq!(s0.last, Point::new(24, -2.0));
+        assert_eq!(s0.bottom, Point::new(24, -2.0));
+        assert_eq!(s0.top, Point::new(10, 5.0));
+        let s1 = r.spans[1].unwrap();
+        assert_eq!(s1.first, s1.last);
+        assert!(r.spans[2].is_none());
+        let s3 = r.spans[3].unwrap();
+        assert_eq!(s3.first, Point::new(99, 7.0));
+    }
+
+    #[test]
+    fn ignores_out_of_range_points() {
+        let points = pts(&[(-5, 1.0), (100, 2.0), (50, 3.0)]);
+        let q = M4Query::new(0, 100, 2).unwrap();
+        let r = m4_scan(&points, &q);
+        assert!(r.spans[0].is_none());
+        assert_eq!(r.spans[1].unwrap().first, Point::new(50, 3.0));
+    }
+
+    #[test]
+    fn empty_input_all_none() {
+        let q = M4Query::new(0, 10, 3).unwrap();
+        let r = m4_scan(&[], &q);
+        assert_eq!(r.non_empty(), 0);
+    }
+
+    #[test]
+    fn value_ties_resolve_to_earliest() {
+        let points = pts(&[(1, 2.0), (2, 2.0), (3, 2.0)]);
+        let q = M4Query::new(0, 10, 1).unwrap();
+        let s = m4_scan(&points, &q).spans[0].unwrap();
+        assert_eq!(s.bottom.t, 1);
+        assert_eq!(s.top.t, 1);
+        assert_eq!(s.last.t, 3);
+    }
+}

@@ -1,0 +1,147 @@
+//! Tokenizer for the Appendix A.1 query dialect.
+
+use std::fmt;
+
+/// A lexical token. Identifiers keep their original spelling; keyword
+/// recognition happens case-insensitively in the parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Ident(String),
+    /// `@name` execution-time parameter.
+    Param(String),
+    Int(i64),
+    LParen,
+    RParen,
+    Comma,
+    Star,
+    Minus,
+    Slash,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Param(s) => write!(f, "@{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Star => write!(f, "*"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+        }
+    }
+}
+
+/// Tokenize the input; `Err` carries the offending character position.
+pub fn lex(input: &str) -> Result<Vec<Token>, (usize, char)> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '@' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err((i, c));
+                }
+                out.push(Token::Param(chars[start..j].iter().collect()));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let s: String = chars[i..j].iter().collect();
+                let v: i64 = s.parse().map_err(|_| (i, c))?;
+                out.push(Token::Int(v));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < chars.len()
+                    && (chars[j].is_ascii_alphanumeric() || matches!(chars[j], '_' | '.'))
+                {
+                    j += 1;
+                }
+                out.push(Token::Ident(chars[i..j].iter().collect()));
+                i = j;
+            }
+            other => return Err((i, other)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_paper_query() {
+        let toks = lex("SELECT FirstTime(T) FROM T GROUPBY floor(@w*(t-@tqs)/(@tqe-@tqs))")
+            .expect("lexes");
+        assert!(toks.contains(&Token::Ident("SELECT".into())));
+        assert!(toks.contains(&Token::Param("tqe".into())));
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::Slash));
+    }
+
+    #[test]
+    fn numbers_and_dotted_series() {
+        let toks = lex("FROM root.sg1.d1 42").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("FROM".into()),
+                Token::Ident("root.sg1.d1".into()),
+                Token::Int(42),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(lex("SELECT ;"), Err((7, ';')));
+        assert_eq!(lex("@ x"), Err((0, '@')));
+    }
+
+    #[test]
+    fn display_roundtrip_tokens() {
+        for t in lex("a(b),1-@p/*").unwrap() {
+            assert!(!t.to_string().is_empty());
+        }
+    }
+}

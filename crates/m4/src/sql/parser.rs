@@ -1,0 +1,379 @@
+//! Recursive-descent parser for the Appendix A.1 dialect.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! statement := SELECT proj ("," proj)*
+//!              FROM ident
+//!              (GROUPBY | GROUP BY)
+//!              FLOOR "(" value "*" "(" T_IDENT "-" value ")"
+//!                        "/" "(" value "-" value ")" ")"
+//! proj      := FUNC "(" ident ")"
+//! FUNC      := FirstTime | FirstValue | LastTime | LastValue
+//!            | BottomTime | BottomValue | TopTime | TopValue
+//! value     := INT | "@" ident
+//! ```
+//!
+//! The two `value`s in the divisor must syntactically match the end and
+//! start bounds; the binder checks `tqe > tqs` numerically.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::query::M4Query;
+use crate::sql::lexer::{lex, Token};
+
+/// One of the eight projection columns of the M4 query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Column {
+    FirstTime,
+    FirstValue,
+    LastTime,
+    LastValue,
+    BottomTime,
+    BottomValue,
+    TopTime,
+    TopValue,
+}
+
+impl Column {
+    pub const ALL: [Column; 8] = [
+        Column::FirstTime,
+        Column::FirstValue,
+        Column::LastTime,
+        Column::LastValue,
+        Column::BottomTime,
+        Column::BottomValue,
+        Column::TopTime,
+        Column::TopValue,
+    ];
+
+    /// SQL spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Column::FirstTime => "FirstTime",
+            Column::FirstValue => "FirstValue",
+            Column::LastTime => "LastTime",
+            Column::LastValue => "LastValue",
+            Column::BottomTime => "BottomTime",
+            Column::BottomValue => "BottomValue",
+            Column::TopTime => "TopTime",
+            Column::TopValue => "TopValue",
+        }
+    }
+
+    fn from_ident(s: &str) -> Option<Column> {
+        Column::ALL.into_iter().find(|c| c.name().eq_ignore_ascii_case(s))
+    }
+}
+
+/// A literal or `@param` value in the GROUP BY expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Literal(i64),
+    Param(String),
+}
+
+/// Parse/bind errors.
+#[derive(Debug, PartialEq)]
+pub enum SqlError {
+    /// Tokenizer failure at byte/char position.
+    Lex { pos: usize, ch: char },
+    /// Parser failure with a human-readable expectation.
+    Parse { expected: &'static str, found: String },
+    /// Unknown projection function.
+    UnknownFunction(String),
+    /// `@param` without a bound value.
+    UnboundParam(String),
+    /// Numeric constraint violated at bind time.
+    Invalid(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { pos, ch } => write!(f, "unexpected character {ch:?} at {pos}"),
+            SqlError::Parse { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            SqlError::UnknownFunction(s) => write!(f, "unknown function {s:?}"),
+            SqlError::UnboundParam(p) => write!(f, "parameter @{p} is not bound"),
+            SqlError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Execution-time parameter bindings for `@name` placeholders.
+#[derive(Debug, Default, Clone)]
+pub struct Params {
+    values: HashMap<String, i64>,
+}
+
+impl Params {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind `@name` to a value; chains.
+    pub fn set(&mut self, name: &str, value: i64) -> &mut Self {
+        self.values.insert(name.to_string(), value);
+        self
+    }
+
+    fn get(&self, name: &str) -> Option<i64> {
+        self.values.get(name).copied()
+    }
+}
+
+/// A parsed (but not yet bound) M4 representation statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct M4Statement {
+    /// Projection columns in SELECT order.
+    pub columns: Vec<Column>,
+    /// Series name in the FROM clause.
+    pub series: String,
+    /// `@w` / literal number of time spans.
+    pub w: Value,
+    /// Query range start (`@tqs` or literal).
+    pub t_qs: Value,
+    /// Query range end (`@tqe` or literal).
+    pub t_qe: Value,
+}
+
+impl M4Statement {
+    /// Parse a statement.
+    pub fn parse(input: &str) -> Result<Self, SqlError> {
+        let tokens = lex(input).map_err(|(pos, ch)| SqlError::Lex { pos, ch })?;
+        Parser { tokens, pos: 0 }.statement()
+    }
+
+    /// Resolve parameters into a validated [`M4Query`].
+    pub fn bind(&self, params: &Params) -> Result<M4Query, SqlError> {
+        let resolve = |v: &Value| -> Result<i64, SqlError> {
+            match v {
+                Value::Literal(x) => Ok(*x),
+                Value::Param(name) => {
+                    params.get(name).ok_or_else(|| SqlError::UnboundParam(name.clone()))
+                }
+            }
+        };
+        let w = resolve(&self.w)?;
+        let t_qs = resolve(&self.t_qs)?;
+        let t_qe = resolve(&self.t_qe)?;
+        if w <= 0 {
+            return Err(SqlError::Invalid(format!("w must be positive, got {w}")));
+        }
+        M4Query::new(t_qs, t_qe, w as usize)
+            .map_err(|e| SqlError::Invalid(e.to_string()))
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn found(&self) -> String {
+        match self.peek() {
+            Some(t) => format!("{t}"),
+            None => "end of input".to_string(),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &'static str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            Some(t) => Err(SqlError::Parse { expected: kw, found: t.to_string() }),
+            None => Err(SqlError::Parse { expected: kw, found: "end of input".into() }),
+        }
+    }
+
+    fn expect_token(&mut self, want: Token, expected: &'static str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            Some(t) => Err(SqlError::Parse { expected, found: t.to_string() }),
+            None => Err(SqlError::Parse { expected, found: "end of input".into() }),
+        }
+    }
+
+    fn ident(&mut self, expected: &'static str) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(t) => Err(SqlError::Parse { expected, found: t.to_string() }),
+            None => Err(SqlError::Parse { expected, found: "end of input".into() }),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, SqlError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Value::Literal(v)),
+            Some(Token::Param(p)) => Ok(Value::Param(p)),
+            Some(t) => Err(SqlError::Parse { expected: "number or @param", found: t.to_string() }),
+            None => {
+                Err(SqlError::Parse { expected: "number or @param", found: "end of input".into() })
+            }
+        }
+    }
+
+    fn statement(&mut self) -> Result<M4Statement, SqlError> {
+        self.expect_keyword("SELECT")?;
+        let mut columns = Vec::new();
+        loop {
+            let func = self.ident("projection function")?;
+            let column =
+                Column::from_ident(&func).ok_or(SqlError::UnknownFunction(func))?;
+            columns.push(column);
+            self.expect_token(Token::LParen, "(")?;
+            self.ident("series alias")?;
+            self.expect_token(Token::RParen, ")")?;
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.next();
+                }
+                _ => break,
+            }
+        }
+        self.expect_keyword("FROM")?;
+        let series = self.ident("series name")?;
+
+        // GROUPBY or GROUP BY
+        let kw = self.ident("GROUPBY")?;
+        if kw.eq_ignore_ascii_case("GROUP") {
+            self.expect_keyword("BY")?;
+        } else if !kw.eq_ignore_ascii_case("GROUPBY") {
+            return Err(SqlError::Parse { expected: "GROUPBY", found: kw });
+        }
+
+        self.expect_keyword("FLOOR")?;
+        self.expect_token(Token::LParen, "(")?;
+        let w = self.value()?;
+        self.expect_token(Token::Star, "*")?;
+        self.expect_token(Token::LParen, "(")?;
+        self.ident("time column")?; // `t`
+        self.expect_token(Token::Minus, "-")?;
+        let t_qs = self.value()?;
+        self.expect_token(Token::RParen, ")")?;
+        self.expect_token(Token::Slash, "/")?;
+        self.expect_token(Token::LParen, "(")?;
+        let t_qe = self.value()?;
+        self.expect_token(Token::Minus, "-")?;
+        let t_qs2 = self.value()?;
+        self.expect_token(Token::RParen, ")")?;
+        self.expect_token(Token::RParen, ")")?;
+        if self.peek().is_some() {
+            return Err(SqlError::Parse { expected: "end of statement", found: self.found() });
+        }
+        if t_qs2 != t_qs {
+            return Err(SqlError::Invalid(
+                "the GROUP BY divisor must be (t_qe - t_qs) with the same t_qs as the numerator"
+                    .into(),
+            ));
+        }
+        Ok(M4Statement { columns, series, w, t_qs, t_qe })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_SQL: &str = "SELECT FirstTime(T), FirstValue(T), LastTime(T), LastValue(T), \
+         BottomTime(T), BottomValue(T), TopTime(T), TopValue(T) \
+         FROM T GROUPBY floor(@w*(t-@tqs)/(@tqe-@tqs))";
+
+    #[test]
+    fn parses_the_paper_statement() {
+        let stmt = M4Statement::parse(PAPER_SQL).unwrap();
+        assert_eq!(stmt.columns, Column::ALL.to_vec());
+        assert_eq!(stmt.series, "T");
+        assert_eq!(stmt.w, Value::Param("w".into()));
+        assert_eq!(stmt.t_qs, Value::Param("tqs".into()));
+        assert_eq!(stmt.t_qe, Value::Param("tqe".into()));
+    }
+
+    #[test]
+    fn parses_literals_and_group_by_two_words() {
+        let stmt = M4Statement::parse(
+            "select toptime(v), bottomvalue(v) from root.sg.d1 \
+             group by FLOOR(1000 * (t - 0) / (86400000 - 0))",
+        )
+        .unwrap();
+        assert_eq!(stmt.columns, vec![Column::TopTime, Column::BottomValue]);
+        assert_eq!(stmt.series, "root.sg.d1");
+        let q = stmt.bind(&Params::new()).unwrap();
+        assert_eq!((q.t_qs, q.t_qe, q.w), (0, 86_400_000, 1000));
+    }
+
+    #[test]
+    fn bind_resolves_params() {
+        let stmt = M4Statement::parse(PAPER_SQL).unwrap();
+        let mut p = Params::new();
+        p.set("w", 100).set("tqs", 10).set("tqe", 20_010);
+        let q = stmt.bind(&p).unwrap();
+        assert_eq!((q.t_qs, q.t_qe, q.w), (10, 20_010, 100));
+    }
+
+    #[test]
+    fn bind_errors() {
+        let stmt = M4Statement::parse(PAPER_SQL).unwrap();
+        assert_eq!(stmt.bind(&Params::new()), Err(SqlError::UnboundParam("w".into())));
+        let mut p = Params::new();
+        p.set("w", 0).set("tqs", 0).set("tqe", 10);
+        assert!(matches!(stmt.bind(&p), Err(SqlError::Invalid(_))));
+        let mut p = Params::new();
+        p.set("w", 5).set("tqs", 10).set("tqe", 10);
+        assert!(matches!(stmt.bind(&p), Err(SqlError::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_mismatched_divisor() {
+        let err = M4Statement::parse(
+            "SELECT FirstTime(T) FROM T GROUPBY floor(@w*(t-@tqs)/(@tqe-@other))",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SqlError::Invalid(_)));
+    }
+
+    #[test]
+    fn rejects_unknown_function_and_syntax_errors() {
+        assert!(matches!(
+            M4Statement::parse("SELECT Median(T) FROM T GROUPBY floor(1*(t-0)/(9-0))"),
+            Err(SqlError::UnknownFunction(_))
+        ));
+        assert!(matches!(
+            M4Statement::parse("SELECT FirstTime(T) FROM"),
+            Err(SqlError::Parse { .. })
+        ));
+        assert!(matches!(
+            M4Statement::parse("FirstTime(T) FROM T"),
+            Err(SqlError::Parse { .. })
+        ));
+        assert!(matches!(
+            M4Statement::parse(
+                "SELECT FirstTime(T) FROM T GROUPBY floor(1*(t-0)/(9-0)) trailing"
+            ),
+            Err(SqlError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SqlError::UnboundParam("w".into()).to_string().contains("@w"));
+        assert!(SqlError::Lex { pos: 3, ch: ';' }.to_string().contains(';'));
+    }
+}

@@ -1,0 +1,66 @@
+//! Property test for the error-free rendering claim: for arbitrary
+//! series and chart geometries (chart width == number of spans), the
+//! M4-reduced line chart is pixel-identical to the full-data chart.
+
+use proptest::prelude::*;
+use tsfile::types::Point;
+
+use m4::oracle::m4_scan;
+use m4::render::{render_m4, render_series, value_range, PixelMap};
+use m4::M4Query;
+
+fn arbitrary_series() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((1i64..100, -1000i32..1000), 1..500).prop_map(|raw| {
+        let mut t = 0i64;
+        raw.into_iter()
+            .map(|(dt, v)| {
+                t += dt;
+                Point::new(t, f64::from(v) / 8.0)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn m4_rendering_is_pixel_exact(
+        points in arbitrary_series(),
+        w in 1usize..120,
+        height in 1usize..80,
+    ) {
+        let t0 = points[0].t;
+        let t1 = points[points.len() - 1].t + 1;
+        let query = M4Query::new(t0, t1, w).unwrap();
+        let m4 = m4_scan(&points, &query);
+        let (vmin, vmax) = value_range(&points).unwrap();
+        let map = PixelMap::new(&query, vmin, vmax, w, height);
+        let full = render_series(&points, &map).unwrap();
+        let reduced = render_m4(&m4, &map).unwrap();
+        prop_assert_eq!(
+            full.diff_pixels(&reduced), 0,
+            "M4 must be pixel-error-free (w={}, h={}, n={})", w, height, points.len()
+        );
+    }
+
+    /// The representation points are always a subset of the series and
+    /// there are at most 4 per span.
+    #[test]
+    fn representation_points_are_bounded_subset(
+        points in arbitrary_series(),
+        w in 1usize..60,
+    ) {
+        let t0 = points[0].t;
+        let t1 = points[points.len() - 1].t + 1;
+        let query = M4Query::new(t0, t1, w).unwrap();
+        let m4 = m4_scan(&points, &query);
+        let flat = m4.points();
+        prop_assert!(flat.len() <= 4 * w);
+        for p in &flat {
+            prop_assert!(points.contains(p), "{:?} not in input", p);
+        }
+        // Flat points are sorted by time within spans and across spans.
+        prop_assert!(flat.windows(2).all(|pair| pair[0].t <= pair[1].t));
+    }
+}

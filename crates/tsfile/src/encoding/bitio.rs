@@ -1,0 +1,141 @@
+//! Bit-level reader/writer used by the Gorilla value codec.
+
+use crate::error::TsFileError;
+use crate::Result;
+
+/// Append-only bit writer backed by a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Number of valid bits in the last byte (0 means last byte is full
+    /// or buffer is empty).
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write a single bit (LSB of `bit`).
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.bit_pos == 0 {
+            self.buf.push(0);
+        }
+        if bit {
+            let last = self.buf.last_mut().expect("buffer non-empty after push");
+            *last |= 1 << (7 - self.bit_pos);
+        }
+        self.bit_pos = (self.bit_pos + 1) % 8;
+    }
+
+    /// Write the low `nbits` bits of `value`, most significant first.
+    pub fn write_bits(&mut self, value: u64, nbits: u8) {
+        debug_assert!(nbits <= 64);
+        for i in (0..nbits).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Finish writing, returning the underlying bytes (zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+}
+
+/// Sequential bit reader over a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize, // absolute bit position
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Read a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool> {
+        let byte = self
+            .buf
+            .get(self.pos / 8)
+            .ok_or(TsFileError::UnexpectedEof { what: "bitstream" })?;
+        let bit = (byte >> (7 - (self.pos % 8) as u8)) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Read `nbits` bits, most significant first.
+    pub fn read_bits(&mut self, nbits: u8) -> Result<u64> {
+        debug_assert!(nbits <= 64);
+        let mut v = 0u64;
+        for _ in 0..nbits {
+            v = (v << 1) | u64::from(self.read_bit()?);
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multi_bit_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0, 1);
+        w.write_bits(0x1234_5678_9ABC_DEF0, 61);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+        assert_eq!(r.read_bits(61).unwrap(), 0x1234_5678_9ABC_DEF0 & ((1 << 61) - 1));
+    }
+
+    #[test]
+    fn read_past_end_errors() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        // Padding makes one byte available; reading 9 bits must fail.
+        assert!(r.read_bits(9).is_err());
+    }
+
+    #[test]
+    fn empty_writer_is_empty() {
+        let w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+}

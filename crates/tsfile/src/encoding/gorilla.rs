@@ -1,0 +1,174 @@
+//! Gorilla XOR float compression (Pelkonen et al., VLDB 2015), the codec
+//! IoTDB uses for DOUBLE columns.
+//!
+//! Each value is XORed with its predecessor. A zero XOR writes a single
+//! `0` bit. Otherwise a `1` control bit is followed by either
+//! `0` (meaningful bits fit inside the previous leading/trailing-zero
+//! window; write only the inner block) or `1` (write 5 bits of leading
+//! zero count, 6 bits of block length, then the block).
+
+use super::bitio::{BitReader, BitWriter};
+use crate::error::TsFileError;
+use crate::Result;
+
+/// Encode a float column.
+pub fn encode(values: &[f64], out: &mut Vec<u8>) {
+    if values.is_empty() {
+        return;
+    }
+    let mut w = BitWriter::new();
+    let mut prev = values[0].to_bits();
+    w.write_bits(prev, 64);
+    let mut prev_leading: u32 = u32::MAX; // "no previous window"
+    let mut prev_trailing: u32 = 0;
+    for &v in &values[1..] {
+        let bits = v.to_bits();
+        let xor = bits ^ prev;
+        prev = bits;
+        if xor == 0 {
+            w.write_bit(false);
+            continue;
+        }
+        w.write_bit(true);
+        let leading = xor.leading_zeros().min(31);
+        let trailing = xor.trailing_zeros();
+        if prev_leading != u32::MAX && leading >= prev_leading && trailing >= prev_trailing {
+            // Reuse previous window.
+            w.write_bit(false);
+            let sig = 64 - prev_leading - prev_trailing;
+            w.write_bits(xor >> prev_trailing, sig as u8);
+        } else {
+            w.write_bit(true);
+            let sig = 64 - leading - trailing; // ≥ 1 since xor != 0
+            w.write_bits(u64::from(leading), 5);
+            // sig ∈ [1, 64]; store sig-1 in 6 bits.
+            w.write_bits(u64::from(sig - 1), 6);
+            w.write_bits(xor >> trailing, sig as u8);
+            prev_leading = leading;
+            prev_trailing = trailing;
+        }
+    }
+    out.extend_from_slice(&w.into_bytes());
+}
+
+/// Decode `n` floats produced by [`encode`].
+pub fn decode(buf: &[u8], n: usize) -> Result<Vec<f64>> {
+    let mut out = Vec::with_capacity(n);
+    if n == 0 {
+        return Ok(out);
+    }
+    let mut r = BitReader::new(buf);
+    let mut prev = r.read_bits(64)?;
+    out.push(f64::from_bits(prev));
+    let mut leading: u32 = 0;
+    let mut trailing: u32 = 0;
+    let mut have_window = false;
+    for _ in 1..n {
+        if !r.read_bit()? {
+            out.push(f64::from_bits(prev));
+            continue;
+        }
+        let new_window = r.read_bit()?;
+        if new_window {
+            leading = r.read_bits(5)? as u32;
+            let sig = r.read_bits(6)? as u32 + 1;
+            if leading + sig > 64 {
+                return Err(TsFileError::Corrupt(format!(
+                    "gorilla window out of range: leading={leading} sig={sig}"
+                )));
+            }
+            trailing = 64 - leading - sig;
+            have_window = true;
+        } else if !have_window {
+            return Err(TsFileError::Corrupt(
+                "gorilla stream reuses a window before defining one".into(),
+            ));
+        }
+        let sig = 64 - leading - trailing;
+        let block = r.read_bits(sig as u8)?;
+        let xor = block << trailing;
+        prev ^= xor;
+        out.push(f64::from_bits(prev));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(vs: &[f64]) {
+        let mut buf = Vec::new();
+        encode(vs, &mut buf);
+        let back = decode(&buf, vs.len()).unwrap();
+        assert_eq!(back.len(), vs.len());
+        for (a, b) in vs.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bitwise mismatch {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        roundtrip(&[]);
+        roundtrip(&[3.25]);
+        roundtrip(&[f64::NAN]);
+    }
+
+    #[test]
+    fn constant_series_is_tiny() {
+        let vs = vec![21.5f64; 4096];
+        let mut buf = Vec::new();
+        encode(&vs, &mut buf);
+        // 64 bits head + 1 bit per repeat → ~520 bytes.
+        assert!(buf.len() < 600, "got {} bytes", buf.len());
+        roundtrip(&vs);
+    }
+
+    #[test]
+    fn slowly_varying_sensor_series() {
+        let vs: Vec<f64> = (0..5000).map(|i| 20.0 + (i as f64 * 0.01).sin()).collect();
+        roundtrip(&vs);
+    }
+
+    #[test]
+    fn adversarial_bit_patterns() {
+        let vs = vec![
+            0.0,
+            -0.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::MIN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::from_bits(0x0000_0000_0000_0001),
+            f64::from_bits(0xFFFF_FFFF_FFFF_FFFF),
+            1.0,
+        ];
+        roundtrip(&vs);
+    }
+
+    #[test]
+    fn alternating_extremes() {
+        let vs: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { f64::MAX } else { f64::MIN_POSITIVE })
+            .collect();
+        roundtrip(&vs);
+    }
+
+    #[test]
+    fn leading_zeros_capped_at_31() {
+        // xor with > 31 leading zeros exercises the `.min(31)` cap path.
+        let a = 1.0f64;
+        let b = f64::from_bits(a.to_bits() ^ 1); // 63 leading zeros in xor
+        roundtrip(&[a, b, a, b]);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let vs: Vec<f64> = (0..100).map(|i| i as f64 * 1.7).collect();
+        let mut buf = Vec::new();
+        encode(&vs, &mut buf);
+        buf.truncate(4);
+        assert!(decode(&buf, vs.len()).is_err());
+    }
+}

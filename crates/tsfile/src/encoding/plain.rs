@@ -1,0 +1,94 @@
+//! Plain (raw little-endian) encoding. Baseline codec: no compression,
+//! trivial CPU cost. Useful for ablating "how much of chunk-load cost is
+//! decode CPU vs. I/O".
+
+use crate::error::TsFileError;
+use crate::Result;
+
+/// Encode `i64` values as raw little-endian bytes.
+pub fn encode_i64(values: &[i64], out: &mut Vec<u8>) {
+    out.reserve(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Decode `n` raw little-endian `i64` values.
+pub fn decode_i64(buf: &[u8], n: usize) -> Result<Vec<i64>> {
+    if buf.len() < n * 8 {
+        return Err(TsFileError::UnexpectedEof { what: "plain i64 column" });
+    }
+    Ok(buf[..n * 8]
+        .chunks_exact(8)
+        .map(|c| i64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+        .collect())
+}
+
+/// Encode `f64` values as raw little-endian bytes.
+pub fn encode_f64(values: &[f64], out: &mut Vec<u8>) {
+    out.reserve(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Decode `n` raw little-endian `f64` values.
+pub fn decode_f64(buf: &[u8], n: usize) -> Result<Vec<f64>> {
+    if buf.len() < n * 8 {
+        return Err(TsFileError::UnexpectedEof { what: "plain f64 column" });
+    }
+    Ok(buf[..n * 8]
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i64_roundtrip() {
+        let vals = vec![i64::MIN, -1, 0, 1, i64::MAX, 42];
+        let mut buf = Vec::new();
+        encode_i64(&vals, &mut buf);
+        assert_eq!(buf.len(), vals.len() * 8);
+        assert_eq!(decode_i64(&buf, vals.len()).unwrap(), vals);
+    }
+
+    #[test]
+    fn f64_roundtrip_with_specials() {
+        let vals = vec![0.0, -0.0, 1.5, f64::MAX, f64::MIN_POSITIVE, f64::INFINITY];
+        let mut buf = Vec::new();
+        encode_f64(&vals, &mut buf);
+        let back = decode_f64(&buf, vals.len()).unwrap();
+        for (a, b) in vals.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn nan_preserved_bitwise() {
+        let vals = vec![f64::NAN];
+        let mut buf = Vec::new();
+        encode_f64(&vals, &mut buf);
+        let back = decode_f64(&buf, 1).unwrap();
+        assert!(back[0].is_nan());
+    }
+
+    #[test]
+    fn truncated_errors() {
+        let mut buf = Vec::new();
+        encode_i64(&[1, 2, 3], &mut buf);
+        assert!(decode_i64(&buf[..buf.len() - 1], 3).is_err());
+        assert!(decode_f64(&buf, 4).is_err());
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let mut buf = Vec::new();
+        encode_i64(&[], &mut buf);
+        assert!(buf.is_empty());
+        assert!(decode_i64(&buf, 0).unwrap().is_empty());
+    }
+}

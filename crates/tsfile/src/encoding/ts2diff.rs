@@ -1,0 +1,171 @@
+//! TS_2DIFF: delta-of-delta encoding for timestamp columns.
+//!
+//! IoTDB's default timestamp encoding. Sensor timestamps are mostly
+//! regular (the paper's §3.5 step observation), so second-order deltas
+//! are near zero and zigzag-varint encode to one byte each.
+//!
+//! Layout: `varint(first)` `varint_i(first_delta)` then for each
+//! remaining point `varint_i(delta_of_delta)`.
+
+use crate::varint;
+use crate::Result;
+
+/// Encode a (not necessarily regular) increasing timestamp column.
+/// Works for any i64 sequence; compression is best when deltas repeat.
+pub fn encode(ts: &[i64], out: &mut Vec<u8>) {
+    if ts.is_empty() {
+        return;
+    }
+    varint::write_i64(out, ts[0]);
+    if ts.len() == 1 {
+        return;
+    }
+    let first_delta = ts[1].wrapping_sub(ts[0]);
+    varint::write_i64(out, first_delta);
+    let mut prev_delta = first_delta;
+    for w in ts[1..].windows(2) {
+        let delta = w[1].wrapping_sub(w[0]);
+        varint::write_i64(out, delta.wrapping_sub(prev_delta));
+        prev_delta = delta;
+    }
+}
+
+/// Decode `n` timestamps produced by [`encode`].
+pub fn decode(buf: &[u8], n: usize) -> Result<Vec<i64>> {
+    let mut out = Vec::with_capacity(n);
+    if n == 0 {
+        return Ok(out);
+    }
+    let mut pos = 0usize;
+    let first = varint::read_i64(buf, &mut pos)?;
+    out.push(first);
+    if n == 1 {
+        return Ok(out);
+    }
+    let mut delta = varint::read_i64(buf, &mut pos)?;
+    let mut cur = first.wrapping_add(delta);
+    out.push(cur);
+    for _ in 2..n {
+        let dod = varint::read_i64(buf, &mut pos)?;
+        delta = delta.wrapping_add(dod);
+        cur = cur.wrapping_add(delta);
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+/// Decode at most `n` timestamps, stopping early once a decoded value
+/// exceeds `limit` (that value is still included so callers can see the
+/// crossing point). This is the storage-level "partial scan": the
+/// paper's Figure 7(b) notes there is no need to scan times greater
+/// than the probe timestamp.
+pub fn decode_until(buf: &[u8], n: usize, limit: i64) -> Result<Vec<i64>> {
+    let mut out = Vec::new();
+    if n == 0 {
+        return Ok(out);
+    }
+    let mut pos = 0usize;
+    let first = varint::read_i64(buf, &mut pos)?;
+    out.push(first);
+    if n == 1 || first > limit {
+        return Ok(out);
+    }
+    let mut delta = varint::read_i64(buf, &mut pos)?;
+    let mut cur = first.wrapping_add(delta);
+    out.push(cur);
+    if cur > limit {
+        return Ok(out);
+    }
+    for _ in 2..n {
+        let dod = varint::read_i64(buf, &mut pos)?;
+        delta = delta.wrapping_add(dod);
+        cur = cur.wrapping_add(delta);
+        out.push(cur);
+        if cur > limit {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ts: &[i64]) {
+        let mut buf = Vec::new();
+        encode(ts, &mut buf);
+        assert_eq!(decode(&buf, ts.len()).unwrap(), ts);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        roundtrip(&[]);
+        roundtrip(&[42]);
+        roundtrip(&[i64::MIN]);
+    }
+
+    #[test]
+    fn regular_interval_compresses_hard() {
+        let ts: Vec<i64> = (0..10_000).map(|i| 1_639_966_606_000 + i * 9000).collect();
+        let mut buf = Vec::new();
+        encode(&ts, &mut buf);
+        // All deltas-of-deltas are zero → ~1 byte per point after the head.
+        assert!(buf.len() < ts.len() + 32, "got {} bytes", buf.len());
+        assert_eq!(decode(&buf, ts.len()).unwrap(), ts);
+    }
+
+    #[test]
+    fn irregular_still_exact() {
+        let ts = vec![0, 5, 5, 7, 100, 101, 1_000_000, 1_000_001];
+        roundtrip(&ts);
+    }
+
+    #[test]
+    fn decreasing_and_negative_timestamps() {
+        // The codec itself does not require monotonicity.
+        roundtrip(&[100, 50, -50, -51, 0]);
+    }
+
+    #[test]
+    fn extreme_values() {
+        roundtrip(&[i64::MIN, i64::MAX, 0, i64::MAX, i64::MIN]);
+    }
+
+    #[test]
+    fn decode_until_stops_early() {
+        let ts: Vec<i64> = (0..1000).map(|i| i * 10).collect();
+        let mut buf = Vec::new();
+        encode(&ts, &mut buf);
+        let partial = decode_until(&buf, ts.len(), 505).unwrap();
+        // Includes the first crossing value (510), nothing after.
+        assert_eq!(*partial.last().unwrap(), 510);
+        assert_eq!(partial.len(), 52);
+        assert_eq!(&partial[..51], &ts[..51]);
+    }
+
+    #[test]
+    fn decode_until_past_end_returns_all() {
+        let ts: Vec<i64> = (0..100).map(|i| i * 3).collect();
+        let mut buf = Vec::new();
+        encode(&ts, &mut buf);
+        assert_eq!(decode_until(&buf, ts.len(), i64::MAX).unwrap(), ts);
+    }
+
+    #[test]
+    fn decode_until_before_start_returns_one() {
+        let ts: Vec<i64> = (10..50).collect();
+        let mut buf = Vec::new();
+        encode(&ts, &mut buf);
+        assert_eq!(decode_until(&buf, ts.len(), 0).unwrap(), vec![10]);
+    }
+
+    #[test]
+    fn truncated_buffer_errors() {
+        let ts: Vec<i64> = (0..100).map(|i| i * 7).collect();
+        let mut buf = Vec::new();
+        encode(&ts, &mut buf);
+        buf.truncate(buf.len() / 2);
+        assert!(decode(&buf, ts.len()).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! Byte-level layout of a TsFile and its in-memory metadata structures.
+//!
+//! ```text
+//! ┌────────────────────────────────────────────────────────────┐
+//! │ magic "TSF1\0\0" (6 bytes)                                 │
+//! ├────────────────────────────────────────────────────────────┤
+//! │ chunk 0 body                                               │
+//! │   u8  timestamp encoding tag                               │
+//! │   u8  value encoding tag                                   │
+//! │   varint n (point count)                                   │
+//! │   varint len(ts_bytes)   ts_bytes                          │
+//! │   varint len(val_bytes)  val_bytes                         │
+//! │   u32  crc32 of everything above (LE)                      │
+//! ├────────────────────────────────────────────────────────────┤
+//! │ chunk 1 body …                                             │
+//! ├────────────────────────────────────────────────────────────┤
+//! │ footer                                                     │
+//! │   varint #chunks                                           │
+//! │   per chunk: varint offset, varint byte_len,               │
+//! │              varint version, statistics                    │
+//! │   u32 crc32 of footer body (LE)                            │
+//! │   u64 footer body length (LE)                              │
+//! │   magic "TSF1\0\0"                                         │
+//! └────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The trailing length + magic let a reader locate the footer without a
+//! separate index file; the leading magic rejects non-TsFiles early.
+//! This mirrors IoTDB's TsFile (data then metadata index then tail
+//! magic) at the granularity the paper's operators need.
+
+use crate::index::StepIndex;
+use crate::statistics::ChunkStatistics;
+use crate::types::{TimeRange, Version};
+use crate::varint;
+use crate::{Result, TsFileError};
+
+/// File magic, also used as the tail sentinel.
+pub const MAGIC: &[u8; 6] = b"TSF1\0\0";
+
+/// Metadata describing one chunk inside a TsFile: where it lives, its
+/// version `κ`, and its precomputed statistics. This is the unit
+/// M4-LSM's `MetadataReader` returns without touching chunk bodies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkMeta {
+    /// Byte offset of the chunk body from file start.
+    pub offset: u64,
+    /// Length of the chunk body in bytes (including its CRC).
+    pub byte_len: u64,
+    /// Global version number κ of the chunk.
+    pub version: Version,
+    /// Precomputed FP/LP/BP/TP/count.
+    pub stats: ChunkStatistics,
+    /// Step-regression chunk index learned at flush time (paper §3.5),
+    /// when enabled and the chunk admitted a model.
+    pub index: Option<StepIndex>,
+}
+
+impl ChunkMeta {
+    /// The chunk's time interval `[FP(C).t, LP(C).t]`.
+    #[inline]
+    pub fn time_range(&self) -> TimeRange {
+        self.stats.time_range()
+    }
+
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        varint::write_u64(out, self.offset);
+        varint::write_u64(out, self.byte_len);
+        varint::write_u64(out, self.version.0);
+        self.stats.encode(out);
+        match &self.index {
+            None => out.push(0),
+            Some(idx) => {
+                out.push(1);
+                idx.encode(out);
+            }
+        }
+    }
+
+    pub(crate) fn decode(buf: &[u8], pos: &mut usize) -> Result<Self> {
+        let offset = varint::read_u64(buf, pos)?;
+        let byte_len = varint::read_u64(buf, pos)?;
+        let version = Version(varint::read_u64(buf, pos)?);
+        let stats = ChunkStatistics::decode(buf, pos)?;
+        let index = match buf.get(*pos) {
+            Some(0) => {
+                *pos += 1;
+                None
+            }
+            Some(1) => {
+                *pos += 1;
+                Some(StepIndex::decode(buf, pos)?)
+            }
+            Some(other) => {
+                return Err(TsFileError::Corrupt(format!(
+                    "bad step-index flag {other}"
+                )))
+            }
+            None => return Err(TsFileError::UnexpectedEof { what: "step-index flag" }),
+        };
+        Ok(ChunkMeta { offset, byte_len, version, stats, index })
+    }
+}
+
+/// The decoded footer of a TsFile: the chunk metadata index.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FileFooter {
+    pub chunks: Vec<ChunkMeta>,
+}
+
+impl FileFooter {
+    /// Serialize the footer body (without CRC/length/magic trailer).
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.chunks.len() * 64);
+        varint::write_u64(&mut out, self.chunks.len() as u64);
+        for c in &self.chunks {
+            c.encode(&mut out);
+        }
+        out
+    }
+
+    /// Parse a footer body previously produced by [`Self::encode_body`].
+    pub fn decode_body(buf: &[u8]) -> Result<Self> {
+        let mut pos = 0usize;
+        let n = varint::read_u64(buf, &mut pos)?;
+        if n > (buf.len() as u64) {
+            // Each chunk meta takes well over 1 byte; a count larger than
+            // the body length is certainly corrupt.
+            return Err(TsFileError::Corrupt(format!("footer claims {n} chunks")));
+        }
+        let mut chunks = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            chunks.push(ChunkMeta::decode(buf, &mut pos)?);
+        }
+        if pos != buf.len() {
+            return Err(TsFileError::Corrupt(format!(
+                "footer has {} trailing bytes",
+                buf.len() - pos
+            )));
+        }
+        Ok(FileFooter { chunks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Point;
+
+    fn meta(version: u64, t0: i64, t1: i64) -> ChunkMeta {
+        let pts = vec![Point::new(t0, 1.0), Point::new(t1, 2.0)];
+        ChunkMeta {
+            offset: 6,
+            byte_len: 100,
+            version: Version(version),
+            stats: ChunkStatistics::from_points(&pts).unwrap(),
+            index: StepIndex::learn(&[t0, t1]),
+        }
+    }
+
+    #[test]
+    fn chunk_meta_roundtrip() {
+        let m = meta(3, 0, 999);
+        let mut buf = Vec::new();
+        m.encode(&mut buf);
+        let mut pos = 0;
+        assert_eq!(ChunkMeta::decode(&buf, &mut pos).unwrap(), m);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn footer_roundtrip() {
+        let f = FileFooter { chunks: vec![meta(1, 0, 10), meta(2, 5, 20), meta(3, 100, 110)] };
+        let body = f.encode_body();
+        assert_eq!(FileFooter::decode_body(&body).unwrap(), f);
+    }
+
+    #[test]
+    fn empty_footer_roundtrip() {
+        let f = FileFooter::default();
+        assert_eq!(FileFooter::decode_body(&f.encode_body()).unwrap(), f);
+    }
+
+    #[test]
+    fn footer_rejects_trailing_garbage() {
+        let f = FileFooter { chunks: vec![meta(1, 0, 10)] };
+        let mut body = f.encode_body();
+        body.push(0xAB);
+        assert!(FileFooter::decode_body(&body).is_err());
+    }
+
+    #[test]
+    fn footer_rejects_absurd_count() {
+        let mut body = Vec::new();
+        varint::write_u64(&mut body, u64::MAX);
+        assert!(FileFooter::decode_body(&body).is_err());
+    }
+}

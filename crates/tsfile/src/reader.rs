@@ -1,0 +1,366 @@
+//! TsFile reader: footer parsing (metadata-only) and chunk body reads.
+//!
+//! The split between [`TsFileReader::chunk_metas`] (cheap, in-memory
+//! after open) and [`TsFileReader::read_chunk`] (real file I/O + decode)
+//! is the substrate for the paper's `MetadataReader` / `DataReader`
+//! distinction — M4-LSM wins precisely when it can answer from the
+//! former without touching the latter.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::checksum::crc32;
+use crate::encoding::{self, EncodingKind};
+use crate::format::{ChunkMeta, FileFooter, MAGIC};
+use crate::types::Point;
+use crate::{Result, TsFileError};
+
+/// Read-side handle to one TsFile. Thread-safe: the underlying file is
+/// behind a mutex, and chunk reads are positioned reads.
+#[derive(Debug)]
+pub struct TsFileReader {
+    path: PathBuf,
+    file: Mutex<File>,
+    footer: FileFooter,
+    /// Total chunk bodies read through this handle (observability for
+    /// the benchmark harness: "how many chunks did this query load?").
+    chunks_read: AtomicU64,
+    bytes_read: AtomicU64,
+}
+
+impl TsFileReader {
+    /// Open a TsFile and parse its footer. Verifies head magic, tail
+    /// magic and the footer CRC.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::open(&path)?;
+
+        let mut head = [0u8; 6];
+        file.read_exact(&mut head)?;
+        if &head != MAGIC {
+            return Err(TsFileError::BadMagic { found: head });
+        }
+
+        let file_len = file.metadata()?.len();
+        let trailer_len = (4 + 8 + MAGIC.len()) as u64; // crc + len + magic
+        if file_len < MAGIC.len() as u64 + trailer_len {
+            return Err(TsFileError::Corrupt("file too short for trailer".into()));
+        }
+        file.seek(SeekFrom::End(-(trailer_len as i64)))?;
+        let mut trailer = vec![0u8; trailer_len as usize];
+        file.read_exact(&mut trailer)?;
+        let tail_magic = &trailer[trailer_len as usize - MAGIC.len()..];
+        if tail_magic != MAGIC {
+            let mut found = [0u8; 6];
+            found.copy_from_slice(tail_magic);
+            return Err(TsFileError::BadMagic { found });
+        }
+        let expected_crc = u32::from_le_bytes(trailer[0..4].try_into().expect("4 bytes"));
+        let body_len = u64::from_le_bytes(trailer[4..12].try_into().expect("8 bytes"));
+        let footer_start = file_len
+            .checked_sub(trailer_len + body_len)
+            .ok_or_else(|| TsFileError::Corrupt("footer length exceeds file".into()))?;
+        if footer_start < MAGIC.len() as u64 {
+            return Err(TsFileError::Corrupt("footer overlaps head magic".into()));
+        }
+        file.seek(SeekFrom::Start(footer_start))?;
+        let mut body = vec![0u8; body_len as usize];
+        file.read_exact(&mut body)?;
+        let actual_crc = crc32(&body);
+        if actual_crc != expected_crc {
+            return Err(TsFileError::ChecksumMismatch {
+                expected: expected_crc,
+                actual: actual_crc,
+                what: "footer",
+            });
+        }
+        let footer = FileFooter::decode_body(&body)?;
+        Ok(TsFileReader {
+            path,
+            file: Mutex::new(file),
+            footer,
+            chunks_read: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+        })
+    }
+
+    /// All chunk metadata in file order (ascending offset). No I/O.
+    pub fn chunk_metas(&self) -> &[ChunkMeta] {
+        &self.footer.chunks
+    }
+
+    /// Path this reader was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Read and decode one chunk body. Verifies the body CRC.
+    pub fn read_chunk(&self, meta: &ChunkMeta) -> Result<Vec<Point>> {
+        let mut body = vec![0u8; meta.byte_len as usize];
+        {
+            let mut file = self.file.lock().expect("tsfile reader mutex poisoned");
+            file.seek(SeekFrom::Start(meta.offset))?;
+            file.read_exact(&mut body)?;
+        }
+        self.chunks_read.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(meta.byte_len, Ordering::Relaxed);
+        decode_chunk_body(&body, meta)
+    }
+
+    /// Read a chunk body but decode only its timestamp column, stopping
+    /// early once a timestamp exceeds `until` (when given). The body
+    /// I/O is unavoidable (a chunk is the I/O unit), but the value
+    /// column is never decoded and the timestamp decode terminates at
+    /// the probe boundary — the paper's partial scan (Figure 7(b)).
+    pub fn read_chunk_timestamps(
+        &self,
+        meta: &ChunkMeta,
+        until: Option<i64>,
+    ) -> Result<Vec<i64>> {
+        let mut body = vec![0u8; meta.byte_len as usize];
+        {
+            let mut file = self.file.lock().expect("tsfile reader mutex poisoned");
+            file.seek(SeekFrom::Start(meta.offset))?;
+            file.read_exact(&mut body)?;
+        }
+        self.chunks_read.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(meta.byte_len, Ordering::Relaxed);
+        decode_chunk_timestamps(&body, meta, until)
+    }
+
+    /// Number of chunk bodies read through this handle so far.
+    pub fn chunks_read(&self) -> u64 {
+        self.chunks_read.load(Ordering::Relaxed)
+    }
+
+    /// Number of chunk-body bytes read through this handle so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+}
+
+/// Decode a chunk body (as laid out by the writer) into points.
+pub fn decode_chunk_body(body: &[u8], meta: &ChunkMeta) -> Result<Vec<Point>> {
+    if body.len() < 4 {
+        return Err(TsFileError::UnexpectedEof { what: "chunk body" });
+    }
+    let (payload, crc_bytes) = body.split_at(body.len() - 4);
+    let expected_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    let actual_crc = crc32(payload);
+    if actual_crc != expected_crc {
+        return Err(TsFileError::ChecksumMismatch {
+            expected: expected_crc,
+            actual: actual_crc,
+            what: "chunk body",
+        });
+    }
+    let mut pos = 0usize;
+    let ts_kind = EncodingKind::from_u8(
+        *payload.get(pos).ok_or(TsFileError::UnexpectedEof { what: "chunk header" })?,
+    )?;
+    pos += 1;
+    let val_kind = EncodingKind::from_u8(
+        *payload.get(pos).ok_or(TsFileError::UnexpectedEof { what: "chunk header" })?,
+    )?;
+    pos += 1;
+    let n = crate::varint::read_u64(payload, &mut pos)? as usize;
+    if n as u64 != meta.stats.count {
+        return Err(TsFileError::Corrupt(format!(
+            "chunk body holds {n} points but metadata says {}",
+            meta.stats.count
+        )));
+    }
+    let ts_len = crate::varint::read_u64(payload, &mut pos)? as usize;
+    let ts_end = pos
+        .checked_add(ts_len)
+        .filter(|&e| e <= payload.len())
+        .ok_or(TsFileError::UnexpectedEof { what: "timestamp column" })?;
+    let ts = encoding::decode_timestamps(ts_kind, &payload[pos..ts_end], n)?;
+    pos = ts_end;
+    let val_len = crate::varint::read_u64(payload, &mut pos)? as usize;
+    let val_end = pos
+        .checked_add(val_len)
+        .filter(|&e| e <= payload.len())
+        .ok_or(TsFileError::UnexpectedEof { what: "value column" })?;
+    let vs = encoding::decode_values(val_kind, &payload[pos..val_end], n)?;
+    Ok(ts.into_iter().zip(vs).map(|(t, v)| Point::new(t, v)).collect())
+}
+
+/// Decode only the timestamp column of a chunk body, optionally
+/// stopping once past `until`. Verifies the body CRC first.
+pub fn decode_chunk_timestamps(
+    body: &[u8],
+    meta: &ChunkMeta,
+    until: Option<i64>,
+) -> Result<Vec<i64>> {
+    if body.len() < 4 {
+        return Err(TsFileError::UnexpectedEof { what: "chunk body" });
+    }
+    let (payload, crc_bytes) = body.split_at(body.len() - 4);
+    let expected_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    let actual_crc = crc32(payload);
+    if actual_crc != expected_crc {
+        return Err(TsFileError::ChecksumMismatch {
+            expected: expected_crc,
+            actual: actual_crc,
+            what: "chunk body",
+        });
+    }
+    let mut pos = 0usize;
+    let ts_kind = EncodingKind::from_u8(
+        *payload.get(pos).ok_or(TsFileError::UnexpectedEof { what: "chunk header" })?,
+    )?;
+    pos += 2; // skip value encoding tag too
+    let n = crate::varint::read_u64(payload, &mut pos)? as usize;
+    if n as u64 != meta.stats.count {
+        return Err(TsFileError::Corrupt(format!(
+            "chunk body holds {n} points but metadata says {}",
+            meta.stats.count
+        )));
+    }
+    let ts_len = crate::varint::read_u64(payload, &mut pos)? as usize;
+    let ts_end = pos
+        .checked_add(ts_len)
+        .filter(|&e| e <= payload.len())
+        .ok_or(TsFileError::UnexpectedEof { what: "timestamp column" })?;
+    let col = &payload[pos..ts_end];
+    match (ts_kind, until) {
+        (EncodingKind::Plain, _) => {
+            // Plain is random-access; an early stop saves little.
+            encoding::plain::decode_i64(col, n)
+        }
+        (_, Some(limit)) => encoding::ts2diff::decode_until(col, n, limit),
+        (_, None) => encoding::ts2diff::decode(col, n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TsFileWriter;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("tsfile-reader-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn series(n: i64, step: i64) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i * step, (i as f64 * 0.1).sin() * 50.0)).collect()
+    }
+
+    #[test]
+    fn write_read_roundtrip_multi_chunk() {
+        let p = tmp("roundtrip.tsfile");
+        let mut w = TsFileWriter::create(&p).unwrap();
+        let c1 = series(1000, 9000);
+        let c2: Vec<Point> = (0..500).map(|i| Point::new(i * 7 + 3, i as f64)).collect();
+        w.write_chunk(&c1, 1).unwrap();
+        w.write_chunk(&c2, 2).unwrap();
+        w.finish().unwrap();
+
+        let r = TsFileReader::open(&p).unwrap();
+        assert_eq!(r.chunk_metas().len(), 2);
+        assert_eq!(r.read_chunk(&r.chunk_metas()[0]).unwrap(), c1);
+        assert_eq!(r.read_chunk(&r.chunk_metas()[1]).unwrap(), c2);
+        assert_eq!(r.chunks_read(), 2);
+        assert!(r.bytes_read() > 0);
+    }
+
+    #[test]
+    fn metadata_matches_points() {
+        let p = tmp("meta.tsfile");
+        let mut w = TsFileWriter::create(&p).unwrap();
+        let pts = vec![Point::new(10, 5.0), Point::new(20, -2.0), Point::new(30, 8.0)];
+        w.write_chunk(&pts, 7).unwrap();
+        w.finish().unwrap();
+        let r = TsFileReader::open(&p).unwrap();
+        let m = &r.chunk_metas()[0];
+        assert_eq!(m.version.0, 7);
+        assert_eq!(m.stats.first, pts[0]);
+        assert_eq!(m.stats.last, pts[2]);
+        assert_eq!(m.stats.bottom, pts[1]);
+        assert_eq!(m.stats.top, pts[2]);
+        assert_eq!(m.stats.count, 3);
+    }
+
+    #[test]
+    fn timestamps_only_partial_decode() {
+        let p = tmp("partial.tsfile");
+        let mut w = TsFileWriter::create(&p).unwrap();
+        let pts = series(1000, 9000);
+        w.write_chunk(&pts, 1).unwrap();
+        w.finish().unwrap();
+        let r = TsFileReader::open(&p).unwrap();
+        let meta = &r.chunk_metas()[0];
+        let all = r.read_chunk_timestamps(meta, None).unwrap();
+        assert_eq!(all.len(), 1000);
+        assert!(all.iter().zip(&pts).all(|(t, p)| *t == p.t));
+        let some = r.read_chunk_timestamps(meta, Some(45_000)).unwrap();
+        assert!(some.len() < 20, "early stop expected, got {}", some.len());
+        assert!(*some.last().unwrap() > 45_000 || some.len() == 1000);
+    }
+
+    #[test]
+    fn rejects_non_tsfile() {
+        let p = tmp("garbage.bin");
+        std::fs::write(&p, b"this is definitely not a tsfile at all").unwrap();
+        assert!(matches!(TsFileReader::open(&p), Err(TsFileError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let p = tmp("trunc.tsfile");
+        let mut w = TsFileWriter::create(&p).unwrap();
+        w.write_chunk(&series(100, 10), 1).unwrap();
+        w.finish().unwrap();
+        let data = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &data[..data.len() - 3]).unwrap();
+        assert!(TsFileReader::open(&p).is_err());
+    }
+
+    #[test]
+    fn detects_chunk_body_corruption() {
+        let p = tmp("flip.tsfile");
+        let mut w = TsFileWriter::create(&p).unwrap();
+        let meta = w.write_chunk(&series(200, 10), 1).unwrap();
+        w.finish().unwrap();
+        let mut data = std::fs::read(&p).unwrap();
+        // Flip one bit in the middle of the chunk body.
+        let idx = (meta.offset + meta.byte_len / 2) as usize;
+        data[idx] ^= 0x01;
+        std::fs::write(&p, &data).unwrap();
+        let r = TsFileReader::open(&p).unwrap();
+        assert!(matches!(
+            r.read_chunk(&r.chunk_metas()[0]),
+            Err(TsFileError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_footer_corruption() {
+        let p = tmp("footerflip.tsfile");
+        let mut w = TsFileWriter::create(&p).unwrap();
+        w.write_chunk(&series(50, 10), 1).unwrap();
+        w.finish().unwrap();
+        let mut data = std::fs::read(&p).unwrap();
+        let n = data.len();
+        // Footer body sits just before the 18-byte trailer; flip a bit in it.
+        data[n - 20] ^= 0x80;
+        std::fs::write(&p, &data).unwrap();
+        assert!(TsFileReader::open(&p).is_err());
+    }
+
+    #[test]
+    fn empty_file_with_footer_only() {
+        let p = tmp("nochunks.tsfile");
+        let mut w = TsFileWriter::create(&p).unwrap();
+        w.finish().unwrap();
+        let r = TsFileReader::open(&p).unwrap();
+        assert!(r.chunk_metas().is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! LEB128 varint and zigzag encoding helpers.
+//!
+//! Used by the chunk format for lengths and by the TS_2DIFF timestamp
+//! encoding for signed deltas. Kept dependency-free.
+
+use crate::error::TsFileError;
+use crate::Result;
+
+/// Zigzag-encode a signed 64-bit integer so small magnitudes (of either
+/// sign) become small unsigned values.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append an unsigned LEB128 varint to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a zigzag-varint signed integer to `out`.
+#[inline]
+pub fn write_i64(out: &mut Vec<u8>, v: i64) {
+    write_u64(out, zigzag(v));
+}
+
+/// Read an unsigned LEB128 varint from `buf` starting at `*pos`,
+/// advancing `*pos` past it.
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or(TsFileError::UnexpectedEof { what: "varint" })?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(TsFileError::Corrupt("varint longer than 10 bytes".into()));
+        }
+        result |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+    }
+}
+
+/// Read a zigzag-varint signed integer.
+#[inline]
+pub fn read_i64(buf: &[u8], pos: &mut usize) -> Result<i64> {
+    Ok(unzigzag(read_u64(buf, pos)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_roundtrip_extremes() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 1 << 40, -(1 << 40)] {
+            assert_eq!(unzigzag(zigzag(v)), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn zigzag_small_values_stay_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn signed_varint_roundtrip() {
+        let values = [0i64, -1, 1, i64::MIN, i64::MAX, -123456789];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_i64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert!(read_u64(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // 11 continuation bytes is malformed.
+        let buf = vec![0x80u8; 11];
+        let mut pos = 0;
+        assert!(read_u64(&buf, &mut pos).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Sequential TsFile writer: append encoded chunks, then a footer.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use crate::checksum::crc32;
+use crate::encoding::{self, EncodingKind};
+use crate::index::StepIndex;
+use crate::format::{ChunkMeta, FileFooter, MAGIC};
+use crate::statistics::ChunkStatistics;
+use crate::types::{Point, Version};
+use crate::varint;
+use crate::{Result, TsFileError};
+
+/// Writes one TsFile: magic, chunk bodies, footer. Chunks are encoded
+/// with configurable codecs (defaults: TS_2DIFF timestamps + Gorilla
+/// values, IoTDB's defaults for DOUBLE series).
+#[derive(Debug)]
+pub struct TsFileWriter {
+    out: BufWriter<File>,
+    pos: u64,
+    footer: FileFooter,
+    ts_encoding: EncodingKind,
+    val_encoding: EncodingKind,
+    build_index: bool,
+    finished: bool,
+}
+
+impl TsFileWriter {
+    /// Create a new TsFile at `path` (truncating any existing file) with
+    /// default encodings.
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<Self> {
+        Self::create_with_encodings(path, EncodingKind::Ts2Diff, EncodingKind::Gorilla)
+    }
+
+    /// Create a new TsFile with explicit column encodings.
+    pub fn create_with_encodings<P: AsRef<Path>>(
+        path: P,
+        ts_encoding: EncodingKind,
+        val_encoding: EncodingKind,
+    ) -> Result<Self> {
+        let file = File::create(path)?;
+        let mut out = BufWriter::new(file);
+        out.write_all(MAGIC)?;
+        Ok(TsFileWriter {
+            out,
+            pos: MAGIC.len() as u64,
+            footer: FileFooter::default(),
+            ts_encoding,
+            val_encoding,
+            build_index: true,
+            finished: false,
+        })
+    }
+
+    /// Enable or disable learning a step-regression index per chunk
+    /// (paper §3.5). On by default; disabling is the index ablation.
+    pub fn set_build_index(&mut self, enabled: bool) {
+        self.build_index = enabled;
+    }
+
+    /// Encode and append one chunk of time-sorted points with version
+    /// `κ = version`. Returns the metadata recorded in the footer.
+    ///
+    /// Errors if `points` is empty or not strictly increasing in time
+    /// (a chunk is a sorted run of distinct timestamps by construction).
+    pub fn write_chunk(&mut self, points: &[Point], version: u64) -> Result<ChunkMeta> {
+        if self.finished {
+            return Err(TsFileError::WriterFinished);
+        }
+        if points.is_empty() {
+            return Err(TsFileError::EmptyChunk);
+        }
+        for w in points.windows(2) {
+            if w[1].t <= w[0].t {
+                return Err(TsFileError::UnsortedPoints { prev: w[0].t, next: w[1].t });
+            }
+        }
+        let stats = ChunkStatistics::from_points(points)?;
+
+        // Columnar split + encode.
+        let ts: Vec<i64> = points.iter().map(|p| p.t).collect();
+        let vs: Vec<f64> = points.iter().map(|p| p.v).collect();
+        let mut ts_bytes = Vec::new();
+        encoding::encode_timestamps(self.ts_encoding, &ts, &mut ts_bytes);
+        let mut val_bytes = Vec::new();
+        encoding::encode_values(self.val_encoding, &vs, &mut val_bytes);
+
+        let mut body = Vec::with_capacity(ts_bytes.len() + val_bytes.len() + 24);
+        body.push(self.ts_encoding as u8);
+        body.push(self.val_encoding as u8);
+        varint::write_u64(&mut body, points.len() as u64);
+        varint::write_u64(&mut body, ts_bytes.len() as u64);
+        body.extend_from_slice(&ts_bytes);
+        varint::write_u64(&mut body, val_bytes.len() as u64);
+        body.extend_from_slice(&val_bytes);
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+
+        let index = if self.build_index { StepIndex::learn(&ts) } else { None };
+        let meta = ChunkMeta {
+            offset: self.pos,
+            byte_len: body.len() as u64,
+            version: Version(version),
+            stats,
+            index,
+        };
+        self.out.write_all(&body)?;
+        self.pos += body.len() as u64;
+        self.footer.chunks.push(meta.clone());
+        Ok(meta)
+    }
+
+    /// Number of chunks written so far.
+    pub fn chunk_count(&self) -> usize {
+        self.footer.chunks.len()
+    }
+
+    /// Write the footer and flush. The writer cannot be used afterwards.
+    pub fn finish(&mut self) -> Result<()> {
+        if self.finished {
+            return Err(TsFileError::WriterFinished);
+        }
+        let body = self.footer.encode_body();
+        let crc = crc32(&body);
+        self.out.write_all(&body)?;
+        self.out.write_all(&crc.to_le_bytes())?;
+        self.out.write_all(&(body.len() as u64).to_le_bytes())?;
+        self.out.write_all(MAGIC)?;
+        self.out.flush()?;
+        self.out.get_ref().sync_all()?;
+        self.finished = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("tsfile-writer-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn pts(range: std::ops::Range<i64>) -> Vec<Point> {
+        range.map(|i| Point::new(i * 10, i as f64)).collect()
+    }
+
+    #[test]
+    fn empty_chunk_rejected() {
+        let p = tmp("empty.tsfile");
+        let mut w = TsFileWriter::create(&p).unwrap();
+        assert!(matches!(w.write_chunk(&[], 1), Err(TsFileError::EmptyChunk)));
+    }
+
+    #[test]
+    fn unsorted_chunk_rejected() {
+        let p = tmp("unsorted.tsfile");
+        let mut w = TsFileWriter::create(&p).unwrap();
+        let points = vec![Point::new(5, 0.0), Point::new(5, 1.0)];
+        assert!(matches!(
+            w.write_chunk(&points, 1),
+            Err(TsFileError::UnsortedPoints { .. })
+        ));
+    }
+
+    #[test]
+    fn double_finish_rejected() {
+        let p = tmp("double-finish.tsfile");
+        let mut w = TsFileWriter::create(&p).unwrap();
+        w.write_chunk(&pts(0..5), 1).unwrap();
+        w.finish().unwrap();
+        assert!(matches!(w.finish(), Err(TsFileError::WriterFinished)));
+        assert!(matches!(w.write_chunk(&pts(5..9), 2), Err(TsFileError::WriterFinished)));
+    }
+
+    #[test]
+    fn chunk_count_tracks_writes() {
+        let p = tmp("count.tsfile");
+        let mut w = TsFileWriter::create(&p).unwrap();
+        assert_eq!(w.chunk_count(), 0);
+        w.write_chunk(&pts(0..5), 1).unwrap();
+        w.write_chunk(&pts(10..15), 2).unwrap();
+        assert_eq!(w.chunk_count(), 2);
+    }
+
+    #[test]
+    fn meta_offsets_are_monotonic() {
+        let p = tmp("offsets.tsfile");
+        let mut w = TsFileWriter::create(&p).unwrap();
+        let m1 = w.write_chunk(&pts(0..100), 1).unwrap();
+        let m2 = w.write_chunk(&pts(100..200), 2).unwrap();
+        assert_eq!(m1.offset, MAGIC.len() as u64);
+        assert_eq!(m2.offset, m1.offset + m1.byte_len);
+        w.finish().unwrap();
+    }
+}

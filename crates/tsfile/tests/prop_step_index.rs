@@ -1,0 +1,138 @@
+//! Property tests for the step-regression chunk index: on ANY strictly
+//! increasing timestamp column the three Table 1 operations must agree
+//! exactly with binary search, and the learned model must respect its
+//! own verified error bound.
+
+use proptest::prelude::*;
+use tsfile::index::{binary_search_ops, StepIndex};
+
+/// Strategy: build a strictly increasing timestamp vector from segments
+/// of regular cadence with occasional gaps and jitter — the realistic
+/// shapes — plus completely arbitrary deltas as a worst case.
+fn gappy_timestamps() -> impl Strategy<Value = Vec<i64>> {
+    (
+        1_000_000_000i64..2_000_000_000_000,
+        1i64..10_000,
+        prop::collection::vec((1usize..200, 0i64..1_000_000, 0i64..20), 1..8),
+    )
+        .prop_map(|(start, delta, segments)| {
+            let mut ts = Vec::new();
+            let mut t = start;
+            for (run, gap, jitter_mod) in segments {
+                for _ in 0..run {
+                    ts.push(t);
+                    let jitter = if jitter_mod > 0 { t % jitter_mod } else { 0 };
+                    t += delta + jitter;
+                }
+                t += gap;
+            }
+            ts
+        })
+}
+
+fn arbitrary_increasing() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(1i64..1_000_000, 2..300).prop_map(|deltas| {
+        let mut t = 0i64;
+        deltas
+            .into_iter()
+            .map(|d| {
+                t += d;
+                t
+            })
+            .collect()
+    })
+}
+
+fn check_ops(ts: &[i64], idx: &StepIndex, probes: impl Iterator<Item = i64>) -> Result<(), TestCaseError> {
+    for t in probes {
+        prop_assert_eq!(
+            idx.exists_at(ts, t),
+            binary_search_ops::exists_at(ts, t),
+            "exists_at({})", t
+        );
+        prop_assert_eq!(
+            idx.first_after(ts, t),
+            binary_search_ops::first_after(ts, t),
+            "first_after({})", t
+        );
+        prop_assert_eq!(
+            idx.last_before(ts, t),
+            binary_search_ops::last_before(ts, t),
+            "last_before({})", t
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ops_match_binary_search_on_gappy(ts in gappy_timestamps()) {
+        let Some(idx) = StepIndex::learn(&ts) else { return Ok(()) };
+        let probes = ts
+            .iter()
+            .copied()
+            .step_by(7)
+            .chain(ts.iter().step_by(11).map(|t| t + 1))
+            .chain(ts.iter().step_by(13).map(|t| t - 1))
+            .chain([ts[0] - 10_000, ts[ts.len() - 1] + 10_000]);
+        check_ops(&ts, &idx, probes)?;
+    }
+
+    #[test]
+    fn ops_match_binary_search_on_arbitrary(ts in arbitrary_increasing()) {
+        let Some(idx) = StepIndex::learn(&ts) else { return Ok(()) };
+        let probes = ts
+            .iter()
+            .copied()
+            .chain(ts.iter().map(|t| t + 1))
+            .chain([0, ts[ts.len() - 1] + 1]);
+        check_ops(&ts, &idx, probes)?;
+    }
+
+    #[test]
+    fn meta_only_probe_is_sound(ts in gappy_timestamps()) {
+        let Some(idx) = StepIndex::learn(&ts) else { return Ok(()) };
+        let probes = ts
+            .iter()
+            .flat_map(|&t| [t - 1, t, t + 1, t + 3])
+            .chain([ts[0] - 5, *ts.last().unwrap() + 5]);
+        for t in probes {
+            if let Some(answer) = idx.exists_at_meta(t) {
+                prop_assert_eq!(
+                    answer,
+                    binary_search_ops::exists_at(&ts, t),
+                    "meta probe wrong at {}", t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_bound_holds(ts in gappy_timestamps()) {
+        let Some(idx) = StepIndex::learn(&ts) else { return Ok(()) };
+        for (i, &t) in ts.iter().enumerate() {
+            let err = (idx.predict(t) - (i + 1) as f64).abs();
+            prop_assert!(
+                err <= idx.epsilon() as f64 + 1e-9,
+                "position {} err {} > ε {}", i, err, idx.epsilon()
+            );
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip(ts in gappy_timestamps()) {
+        let Some(idx) = StepIndex::learn(&ts) else { return Ok(()) };
+        let mut buf = Vec::new();
+        idx.encode(&mut buf);
+        let mut pos = 0;
+        let back = StepIndex::decode(&buf, &mut pos).unwrap();
+        prop_assert_eq!(&back, &idx);
+        prop_assert_eq!(pos, buf.len());
+        // The decoded index predicts identically.
+        for &t in ts.iter().step_by(17) {
+            prop_assert_eq!(back.predict(t), idx.predict(t));
+        }
+    }
+}

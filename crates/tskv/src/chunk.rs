@@ -1,0 +1,100 @@
+//! Query-time chunk handles.
+//!
+//! A [`ChunkHandle`] is the unit the readers and the M4 operators work
+//! with: the chunk's version, statistics and (optional) step index —
+//! everything knowable without I/O — plus enough location information
+//! to load the body on demand.
+
+use std::sync::Arc;
+
+use tsfile::format::ChunkMeta;
+use tsfile::statistics::ChunkStatistics;
+use tsfile::types::{Point, TimeRange, Version};
+use tsfile::StepIndex;
+
+/// Where a chunk's data lives.
+#[derive(Debug, Clone)]
+pub enum ChunkData {
+    /// A sealed chunk inside a TsFile; `file_idx` indexes the
+    /// snapshot's file list.
+    File { file_idx: usize, meta: ChunkMeta },
+    /// The memtable, exposed as an ephemeral in-memory chunk so reads
+    /// observe unflushed points. Its version is greater than any sealed
+    /// chunk or delete in the snapshot (memtable points are always
+    /// latest: in-memory updates overwrite in place and deletes are
+    /// applied to the memtable eagerly).
+    Mem { points: Arc<Vec<Point>> },
+}
+
+/// One chunk visible to a query.
+#[derive(Debug, Clone)]
+pub struct ChunkHandle {
+    /// The chunk's version `κ`.
+    pub version: Version,
+    /// FP/LP/BP/TP/count — the paper's chunk metadata.
+    pub stats: ChunkStatistics,
+    /// Step-regression index, if learned at flush time.
+    pub index: Option<StepIndex>,
+    /// Data location.
+    pub data: ChunkData,
+}
+
+impl ChunkHandle {
+    /// Build a handle for a sealed chunk.
+    pub fn from_file(file_idx: usize, meta: ChunkMeta) -> Self {
+        ChunkHandle {
+            version: meta.version,
+            stats: meta.stats,
+            index: meta.index.clone(),
+            data: ChunkData::File { file_idx, meta },
+        }
+    }
+
+    /// Build a handle for the memtable's contents (must be non-empty
+    /// and time-sorted). `version` must exceed every sealed version.
+    pub fn from_mem(points: Arc<Vec<Point>>, version: Version) -> Self {
+        let stats = ChunkStatistics::from_points(&points)
+            .expect("memtable chunk handle requires non-empty points");
+        ChunkHandle { version, stats, index: None, data: ChunkData::Mem { points } }
+    }
+
+    /// The chunk's (unclipped) time interval `[FP(C).t, LP(C).t]`.
+    #[inline]
+    pub fn time_range(&self) -> TimeRange {
+        self.stats.time_range()
+    }
+
+    /// Number of points in the chunk.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.stats.count
+    }
+
+    /// Whether the chunk body lives in memory (no I/O to read).
+    pub fn is_mem(&self) -> bool {
+        matches!(self.data, ChunkData::Mem { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_handle_stats() {
+        let pts = Arc::new(vec![Point::new(1, 5.0), Point::new(2, -1.0), Point::new(3, 2.0)]);
+        let h = ChunkHandle::from_mem(pts, Version(9));
+        assert_eq!(h.version, Version(9));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.time_range(), TimeRange::new(1, 3));
+        assert_eq!(h.stats.bottom, Point::new(2, -1.0));
+        assert!(h.is_mem());
+        assert!(h.index.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn mem_handle_rejects_empty() {
+        let _ = ChunkHandle::from_mem(Arc::new(Vec::new()), Version(1));
+    }
+}

@@ -1,0 +1,173 @@
+//! Full compaction: rewrite a series' sealed files into one
+//! non-overlapping, tombstone-free file.
+//!
+//! The paper measures with compaction *disabled* (Table 4:
+//! `NO_COMPACTION`) because overlapping chunks and pending deletes are
+//! exactly the hard cases M4-LSM handles; a production store still
+//! needs compaction to bound read amplification. This module provides
+//! the classic full-merge strategy:
+//!
+//! 1. Merge every sealed chunk through the same latest-wins semantics
+//!    readers use (`M(ℂ, 𝔻)` of Definition 2.7), applying all deletes.
+//! 2. Write the merged series as a fresh TsFile whose chunks get new
+//!    (higher) version numbers.
+//! 3. Atomically swap the file set; old files are unlinked (snapshots
+//!    holding their open readers keep working — POSIX semantics).
+//!
+//! After compaction the store holds only latest points: chunk overlap
+//! is zero and no delete entries remain, which is the "easy mode" the
+//! `repro --exp compaction` experiment contrasts with the paper's
+//! setup.
+
+/// Outcome of one compaction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Old sealed files unlinked (the input generation).
+    pub files_removed: usize,
+    /// Chunks read during the merge.
+    pub chunks_merged: usize,
+    /// Live points written to the new file (0 ⇒ everything was deleted
+    /// and no output file exists).
+    pub points_written: usize,
+    /// Delete entries applied and dropped.
+    pub deletes_applied: usize,
+}
+
+impl CompactionReport {
+    pub(crate) fn empty() -> Self {
+        CompactionReport { files_removed: 0, chunks_merged: 0, points_written: 0, deletes_applied: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::readers::MergeReader;
+    use crate::TsKv;
+    use tsfile::types::Point;
+
+    fn fresh(name: &str) -> (std::path::PathBuf, TsKv) {
+        let dir = std::env::temp_dir().join(format!("tskv-compact-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let kv = TsKv::open(
+            &dir,
+            EngineConfig { points_per_chunk: 50, memtable_threshold: 200, ..Default::default() },
+        )
+        .unwrap();
+        (dir, kv)
+    }
+
+    #[test]
+    fn compaction_preserves_merged_series() {
+        let (dir, kv) = fresh("preserve");
+        for t in 0..1_000i64 {
+            kv.insert("s", Point::new(t, 1.0)).unwrap();
+        }
+        kv.flush_all().unwrap();
+        for t in 300..700i64 {
+            kv.insert("s", Point::new(t, 2.0)).unwrap(); // overwrites
+        }
+        kv.flush_all().unwrap();
+        kv.delete("s", 100, 149).unwrap();
+        kv.delete("s", 650, 800).unwrap();
+
+        let before = MergeReader::new(&kv.snapshot("s").unwrap()).collect_merged().unwrap();
+        let report = kv.compact("s").unwrap();
+        let snap = kv.snapshot("s").unwrap();
+        let after = MergeReader::new(&snap).collect_merged().unwrap();
+
+        assert_eq!(before, after, "compaction must not change the logical series");
+        assert!(report.files_removed >= 2);
+        assert_eq!(report.points_written, before.len());
+        assert_eq!(report.deletes_applied, 2);
+        assert!(snap.deletes().is_empty(), "tombstones are gone");
+        // No chunk may overlap another.
+        let chunks = snap.chunks();
+        for (i, a) in chunks.iter().enumerate() {
+            for b in chunks.iter().skip(i + 1) {
+                assert!(!a.time_range().overlaps(&b.time_range()));
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_keeps_memtable_untouched() {
+        let (dir, kv) = fresh("memtable");
+        for t in 0..400i64 {
+            kv.insert("s", Point::new(t, 1.0)).unwrap();
+        }
+        kv.flush_all().unwrap();
+        // Buffered-only points.
+        for t in 400..450i64 {
+            kv.insert("s", Point::new(t, 5.0)).unwrap();
+        }
+        kv.compact("s").unwrap();
+        assert_eq!(kv.unflushed_points("s").unwrap(), 50);
+        let merged = MergeReader::new(&kv.snapshot("s").unwrap()).collect_merged().unwrap();
+        assert_eq!(merged.len(), 450);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compacting_fully_deleted_series_removes_files() {
+        let (dir, kv) = fresh("wipe");
+        for t in 0..300i64 {
+            kv.insert("s", Point::new(t, 1.0)).unwrap();
+        }
+        kv.flush_all().unwrap();
+        kv.delete("s", -10, 10_000).unwrap();
+        let report = kv.compact("s").unwrap();
+        assert_eq!(report.points_written, 0);
+        let snap = kv.snapshot("s").unwrap();
+        assert!(snap.chunks().is_empty());
+        assert!(MergeReader::new(&snap).collect_merged().unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compacting_empty_series_is_noop() {
+        let (dir, kv) = fresh("noop");
+        kv.create_series("s").unwrap();
+        let report = kv.compact("s").unwrap();
+        assert_eq!(report, CompactionReport::empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn old_snapshot_survives_compaction() {
+        let (dir, kv) = fresh("snapshot");
+        for t in 0..500i64 {
+            kv.insert("s", Point::new(t, 3.0)).unwrap();
+        }
+        kv.flush_all().unwrap();
+        let old_snap = kv.snapshot("s").unwrap();
+        kv.delete("s", 0, 100).unwrap();
+        kv.compact("s").unwrap();
+        // The pre-compaction snapshot still reads its (unlinked) files.
+        let merged = MergeReader::new(&old_snap).collect_merged().unwrap();
+        assert_eq!(merged.len(), 500);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_after_compaction() {
+        let (dir, kv) = fresh("recover");
+        for t in 0..600i64 {
+            kv.insert("s", Point::new(t, 1.0)).unwrap();
+        }
+        kv.flush_all().unwrap();
+        kv.delete("s", 0, 99).unwrap();
+        kv.compact("s").unwrap();
+        drop(kv);
+        let kv = TsKv::open(
+            &dir,
+            EngineConfig { points_per_chunk: 50, memtable_threshold: 200, ..Default::default() },
+        )
+        .unwrap();
+        let merged = MergeReader::new(&kv.snapshot("s").unwrap()).collect_merged().unwrap();
+        assert_eq!(merged.len(), 500);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,85 @@
+//! Engine configuration, mirroring the IoTDB parameters the paper pins
+//! in Table 4 of its experimental setup.
+
+use tsfile::encoding::EncodingKind;
+
+/// Tunables of the storage engine.
+///
+/// Correspondence with the paper's Table 4:
+///
+/// | paper (IoTDB)                        | here                    |
+/// |--------------------------------------|-------------------------|
+/// | `avg_series_point_number_threshold`  | [`points_per_chunk`]    |
+/// | `unseq/seq_tsfile_size` (1 GiB)      | [`memtable_threshold`] (points per flush → file size) |
+/// | `page_size_in_byte` (1 GiB → 1 page) | chunks are single-page  |
+/// | `compaction_strategy = NO_COMPACTION`| no compaction exists    |
+///
+/// [`points_per_chunk`]: EngineConfig::points_per_chunk
+/// [`memtable_threshold`]: EngineConfig::memtable_threshold
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Maximum points per chunk; a flush splits the memtable into runs
+    /// of at most this many points (paper value: 1000).
+    pub points_per_chunk: usize,
+    /// Memtable point count that triggers an automatic flush. Each
+    /// flush seals exactly one TsFile.
+    pub memtable_threshold: usize,
+    /// Timestamp column encoding for flushed chunks.
+    pub ts_encoding: EncodingKind,
+    /// Value column encoding for flushed chunks.
+    pub val_encoding: EncodingKind,
+    /// Whether to learn and persist a step-regression chunk index at
+    /// flush time (§3.5 of the paper). Disabling it is the A1 ablation.
+    pub build_step_index: bool,
+    /// Write-ahead logging for unflushed (memtable) data. On by
+    /// default; benchmarks reproducing the paper's flushed-only setup
+    /// may disable it to keep the write path identical to IoTDB's
+    /// measured configuration.
+    pub enable_wal: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            points_per_chunk: 1000,
+            memtable_threshold: 100_000,
+            ts_encoding: EncodingKind::Ts2Diff,
+            val_encoding: EncodingKind::Gorilla,
+            build_step_index: true,
+            enable_wal: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Validate and clamp nonsensical settings (zero sizes become 1).
+    pub fn normalized(mut self) -> Self {
+        if self.points_per_chunk == 0 {
+            self.points_per_chunk = 1;
+        }
+        if self.memtable_threshold == 0 {
+            self.memtable_threshold = 1;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_chunk_size() {
+        let c = EngineConfig::default();
+        assert_eq!(c.points_per_chunk, 1000);
+        assert!(c.build_step_index);
+    }
+
+    #[test]
+    fn normalized_clamps_zeros() {
+        let c = EngineConfig { points_per_chunk: 0, memtable_threshold: 0, ..Default::default() }
+            .normalized();
+        assert_eq!(c.points_per_chunk, 1);
+        assert_eq!(c.memtable_threshold, 1);
+    }
+}

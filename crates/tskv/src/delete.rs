@@ -1,0 +1,190 @@
+//! Delete semantics helpers.
+//!
+//! A delete `D^κ` (re-exported from [`tsfile::ModEntry`]) erases every
+//! point whose chunk has a *smaller* version than the delete
+//! (Definition 2.7). These helpers centralize that rule so the merge
+//! reader and the M4-LSM verifier cannot drift apart.
+
+use tsfile::types::{TimeRange, Timestamp, Version};
+use tsfile::ModEntry;
+
+/// Whether a point at `t` written with `chunk_version` is erased by any
+/// delete in `deletes`.
+#[inline]
+pub fn is_deleted(t: Timestamp, chunk_version: Version, deletes: &[ModEntry]) -> bool {
+    deletes.iter().any(|d| d.applies_to(chunk_version) && d.covers(t))
+}
+
+/// Clip a chunk's effective time interval by the deletes that apply to
+/// it: the paper's §3.3 lazy metadata update, which shrinks
+/// `[FP(C).t, LP(C).t]` past delete ranges that cover either end,
+/// without loading the chunk.
+///
+/// Returns `None` when the interval is entirely consumed. The result
+/// may be non-tight (a delete strictly inside the interval does not
+/// shrink it) — exactly the approximation the paper accepts.
+pub fn clip_interval(
+    mut range: TimeRange,
+    chunk_version: Version,
+    deletes: &[ModEntry],
+) -> Option<TimeRange> {
+    // Iterate until a fixed point: clipping one end may expose another
+    // delete covering the new end.
+    loop {
+        let mut changed = false;
+        for d in deletes {
+            if !d.applies_to(chunk_version) {
+                continue;
+            }
+            if range.is_empty() {
+                return None;
+            }
+            if d.range.start <= range.start && range.start <= d.range.end {
+                range.start = d.range.end.saturating_add(1);
+                changed = true;
+            }
+            if d.range.start <= range.end && range.end <= d.range.end {
+                range.end = d.range.start.saturating_sub(1);
+                changed = true;
+            }
+        }
+        if range.is_empty() {
+            return None;
+        }
+        if !changed {
+            return Some(range);
+        }
+    }
+}
+
+/// Streaming delete filter for time-ascending point sequences.
+///
+/// The paper notes IoTDB's "CPU-efficient delete sort operation" keeps
+/// the baseline's cost flat as deletes grow (§4.4). This is that
+/// operation: deletes are sorted by range start once, and a two-pointer
+/// sweep maintains the set of ranges covering the current timestamp, so
+/// each `is_deleted` probe costs O(|active|) instead of O(|deletes|).
+///
+/// Probes must be issued with non-decreasing timestamps.
+#[derive(Debug)]
+pub struct DeleteSweep<'a> {
+    /// All deletes, sorted by range start.
+    sorted: Vec<&'a ModEntry>,
+    /// Next delete to activate.
+    next: usize,
+    /// Deletes whose range might still cover current/future probes.
+    active: Vec<&'a ModEntry>,
+}
+
+impl<'a> DeleteSweep<'a> {
+    /// Build a sweep over a delete set (any order; empty ranges are
+    /// dropped).
+    pub fn new(deletes: &'a [ModEntry]) -> Self {
+        let mut sorted: Vec<&'a ModEntry> =
+            deletes.iter().filter(|d| !d.range.is_empty()).collect();
+        sorted.sort_by_key(|d| d.range.start);
+        DeleteSweep { sorted, next: 0, active: Vec::new() }
+    }
+
+    /// Whether a point at `t` written at `chunk_version` is erased.
+    /// `t` must be ≥ every previously probed timestamp.
+    pub fn is_deleted(&mut self, t: Timestamp, chunk_version: Version) -> bool {
+        while self.next < self.sorted.len() && self.sorted[self.next].range.start <= t {
+            self.active.push(self.sorted[self.next]);
+            self.next += 1;
+        }
+        self.active.retain(|d| d.range.end >= t);
+        self.active.iter().any(|d| d.applies_to(chunk_version) && d.covers(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(version: u64, start: i64, end: i64) -> ModEntry {
+        ModEntry::new(Version(version), start, end)
+    }
+
+    #[test]
+    fn is_deleted_respects_versions() {
+        let deletes = vec![d(5, 10, 20)];
+        assert!(is_deleted(15, Version(4), &deletes));
+        assert!(!is_deleted(15, Version(5), &deletes)); // same version: not applied
+        assert!(!is_deleted(15, Version(6), &deletes)); // later chunk
+        assert!(!is_deleted(25, Version(4), &deletes)); // outside range
+    }
+
+    #[test]
+    fn clip_left_edge() {
+        let r = clip_interval(TimeRange::new(0, 100), Version(1), &[d(2, -10, 30)]);
+        assert_eq!(r, Some(TimeRange::new(31, 100)));
+    }
+
+    #[test]
+    fn clip_right_edge() {
+        let r = clip_interval(TimeRange::new(0, 100), Version(1), &[d(2, 80, 200)]);
+        assert_eq!(r, Some(TimeRange::new(0, 79)));
+    }
+
+    #[test]
+    fn clip_interior_is_nontight_noop() {
+        let r = clip_interval(TimeRange::new(0, 100), Version(1), &[d(2, 40, 60)]);
+        assert_eq!(r, Some(TimeRange::new(0, 100)));
+    }
+
+    #[test]
+    fn clip_total_consumption() {
+        let r = clip_interval(TimeRange::new(10, 20), Version(1), &[d(2, 0, 100)]);
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn clip_cascading_deletes() {
+        // First delete clips the start to 21; second covers 21..=40.
+        let deletes = vec![d(2, 0, 20), d(3, 21, 40)];
+        let r = clip_interval(TimeRange::new(5, 100), Version(1), &deletes);
+        assert_eq!(r, Some(TimeRange::new(41, 100)));
+    }
+
+    #[test]
+    fn clip_ignores_older_deletes() {
+        let r = clip_interval(TimeRange::new(0, 100), Version(5), &[d(3, 0, 50)]);
+        assert_eq!(r, Some(TimeRange::new(0, 100)));
+    }
+
+    #[test]
+    fn sweep_matches_naive_on_ascending_probes() {
+        let deletes = vec![d(2, 0, 20), d(5, 10, 40), d(3, 100, 100), d(9, 15, 18)];
+        // One sweep per version (probes must ascend within a sweep).
+        for v in [1u64, 2, 4, 6, 10] {
+            let mut sweep = DeleteSweep::new(&deletes);
+            for t in -5..=120 {
+                assert_eq!(
+                    sweep.is_deleted(t, Version(v)),
+                    is_deleted(t, Version(v), &deletes),
+                    "t={t} v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_empty_deletes() {
+        let mut sweep = DeleteSweep::new(&[]);
+        assert!(!sweep.is_deleted(5, Version(1)));
+    }
+
+    #[test]
+    fn sweep_drops_empty_ranges() {
+        let deletes = vec![ModEntry::new(Version(2), 10, 5)]; // empty
+        let mut sweep = DeleteSweep::new(&deletes);
+        assert!(!sweep.is_deleted(7, Version(1)));
+    }
+
+    #[test]
+    fn clip_both_edges_meet() {
+        let deletes = vec![d(2, 0, 49), d(3, 50, 100)];
+        assert_eq!(clip_interval(TimeRange::new(10, 90), Version(1), &deletes), None);
+    }
+}

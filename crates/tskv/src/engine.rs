@@ -1,0 +1,713 @@
+//! The storage engine: series management, write path, flush, delete,
+//! snapshot, and recovery from disk.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use tsfile::types::{Point, TimeRange, Timestamp, Version};
+use tsfile::{ModEntry, ModsFile, TsFileReader, TsFileWriter};
+
+use crate::chunk::ChunkHandle;
+use crate::compaction::CompactionReport;
+use crate::config::EngineConfig;
+use crate::readers::MergeReader;
+use crate::memtable::MemTable;
+use crate::snapshot::SeriesSnapshot;
+use crate::stats::IoStats;
+use crate::version::VersionAllocator;
+use crate::wal::{Wal, WalRecord};
+use crate::{Result, TsKvError};
+
+/// One sealed TsFile plus its delete log.
+#[derive(Debug)]
+struct TsFileResource {
+    reader: Arc<TsFileReader>,
+    mods: ModsFile,
+}
+
+impl TsFileResource {
+    /// Time interval spanned by the file's chunks, if any.
+    fn time_range(&self) -> Option<TimeRange> {
+        let metas = self.reader.chunk_metas();
+        let start = metas.iter().map(|m| m.stats.first.t).min()?;
+        let end = metas.iter().map(|m| m.stats.last.t).max()?;
+        Some(TimeRange::new(start, end))
+    }
+}
+
+/// Per-series state: the memtable, its WAL, and the sealed files.
+#[derive(Debug)]
+struct SeriesStore {
+    dir: PathBuf,
+    memtable: MemTable,
+    wal: Option<Wal>,
+    files: Vec<TsFileResource>,
+    next_file_id: u64,
+}
+
+impl SeriesStore {
+    fn wal_path(dir: &Path) -> PathBuf {
+        dir.join("series.wal")
+    }
+}
+
+/// The LSM time series store.
+///
+/// See the crate docs for the data model. All methods are `&self`;
+/// internal state is behind a [`parking_lot::RwLock`].
+#[derive(Debug)]
+pub struct TsKv {
+    dir: PathBuf,
+    config: EngineConfig,
+    alloc: VersionAllocator,
+    series: RwLock<HashMap<String, SeriesStore>>,
+    io: Arc<IoStats>,
+}
+
+fn validate_series_name(name: &str) -> Result<()> {
+    let ok = !name.is_empty()
+        && name.len() <= 200
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+    if ok {
+        Ok(())
+    } else {
+        Err(TsKvError::InvalidSeriesName(name.to_string()))
+    }
+}
+
+impl TsKv {
+    /// Open (or create) a store rooted at `dir`, recovering any series
+    /// directories found there: sealed TsFiles, their delete logs, and
+    /// — when WAL is enabled — the unflushed memtable contents replayed
+    /// from each series' write-ahead log.
+    pub fn open<P: AsRef<Path>>(dir: P, config: EngineConfig) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let config = config.normalized();
+        let alloc = VersionAllocator::default();
+        let mut series = HashMap::new();
+
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if validate_series_name(&name).is_err() {
+                continue; // foreign directory; ignore
+            }
+            let sdir = entry.path();
+            let mut files: Vec<(u64, TsFileResource)> = Vec::new();
+            for f in std::fs::read_dir(&sdir)? {
+                let f = f?;
+                let path = f.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("tsfile") {
+                    continue;
+                }
+                let id: u64 = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0);
+                let reader = Arc::new(TsFileReader::open(&path)?);
+                let mods = ModsFile::open(path.with_extension("mods"))?;
+                for m in reader.chunk_metas() {
+                    alloc.observe(m.version);
+                }
+                for e in mods.entries() {
+                    alloc.observe(e.version);
+                }
+                files.push((id, TsFileResource { reader, mods }));
+            }
+            files.sort_by_key(|(id, _)| *id);
+            let next_file_id = files.last().map(|(id, _)| id + 1).unwrap_or(0);
+            let files = files.into_iter().map(|(_, r)| r).collect();
+            // Replay the WAL (if any) into a fresh memtable, restoring
+            // unflushed state in operation order.
+            let mut memtable = MemTable::new();
+            let wal_path = SeriesStore::wal_path(&sdir);
+            for record in Wal::replay(&wal_path)? {
+                match record {
+                    WalRecord::Insert(points) => {
+                        for p in points {
+                            memtable.insert(p);
+                        }
+                    }
+                    WalRecord::Delete(range) => {
+                        memtable.delete_range(range);
+                    }
+                }
+            }
+            let wal = if config.enable_wal { Some(Wal::open(&wal_path)?) } else { None };
+            series.insert(
+                name,
+                SeriesStore { dir: sdir, memtable, wal, files, next_file_id },
+            );
+        }
+
+        Ok(TsKv { dir, config, alloc, series: RwLock::new(series), io: Arc::new(IoStats::default()) })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Root directory of the store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Names of all known series (sorted).
+    pub fn series_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.series.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Create an empty series (inserting auto-creates too).
+    pub fn create_series(&self, name: &str) -> Result<()> {
+        validate_series_name(name)?;
+        let mut map = self.series.write();
+        if !map.contains_key(name) {
+            let sdir = self.dir.join(name);
+            std::fs::create_dir_all(&sdir)?;
+            let wal = if self.config.enable_wal {
+                Some(Wal::open(SeriesStore::wal_path(&sdir))?)
+            } else {
+                None
+            };
+            map.insert(
+                name.to_string(),
+                SeriesStore {
+                    dir: sdir,
+                    memtable: MemTable::new(),
+                    wal,
+                    files: Vec::new(),
+                    next_file_id: 0,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Insert one point; may trigger an automatic flush when the
+    /// memtable reaches the configured threshold.
+    pub fn insert(&self, name: &str, p: Point) -> Result<()> {
+        self.insert_batch(name, std::slice::from_ref(&p))
+    }
+
+    /// Insert a batch of points (any time order; duplicates overwrite).
+    pub fn insert_batch(&self, name: &str, points: &[Point]) -> Result<()> {
+        if points.is_empty() {
+            return Ok(());
+        }
+        self.create_series(name)?;
+        let mut map = self.series.write();
+        let store = map.get_mut(name).expect("created above");
+        // Log and apply in sub-batches that never straddle a flush: a
+        // flush truncates the WAL, so records must cover exactly the
+        // points still buffered at that moment.
+        let mut rest = points;
+        while !rest.is_empty() {
+            let room = self.config.memtable_threshold.saturating_sub(store.memtable.len()).max(1);
+            let (head, tail) = rest.split_at(room.min(rest.len()));
+            rest = tail;
+            if let Some(wal) = &mut store.wal {
+                wal.append_inserts(head)?;
+            }
+            for p in head {
+                store.memtable.insert(*p);
+            }
+            if store.memtable.len() >= self.config.memtable_threshold {
+                Self::flush_store(&self.config, &self.alloc, store)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush one series' memtable to a new sealed TsFile.
+    pub fn flush(&self, name: &str) -> Result<()> {
+        let mut map = self.series.write();
+        let store = map.get_mut(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+        Self::flush_store(&self.config, &self.alloc, store)
+    }
+
+    /// Flush every series.
+    pub fn flush_all(&self) -> Result<()> {
+        let mut map = self.series.write();
+        for store in map.values_mut() {
+            Self::flush_store(&self.config, &self.alloc, store)?;
+        }
+        Ok(())
+    }
+
+    fn flush_store(
+        config: &EngineConfig,
+        alloc: &VersionAllocator,
+        store: &mut SeriesStore,
+    ) -> Result<()> {
+        if store.memtable.is_empty() {
+            return Ok(());
+        }
+        let points = store.memtable.drain_sorted();
+        let path = store.dir.join(format!("{:08}.tsfile", store.next_file_id));
+        store.next_file_id += 1;
+        let mut w =
+            TsFileWriter::create_with_encodings(&path, config.ts_encoding, config.val_encoding)?;
+        w.set_build_index(config.build_step_index);
+        for chunk in points.chunks(config.points_per_chunk) {
+            let version = alloc.next();
+            w.write_chunk(chunk, version.0)?;
+        }
+        w.finish()?;
+        let reader = Arc::new(TsFileReader::open(&path)?);
+        let mods = ModsFile::open(path.with_extension("mods"))?;
+        store.files.push(TsFileResource { reader, mods });
+        // The flushed points are durable in the sealed file; the WAL
+        // records covering them can go.
+        if let Some(wal) = &mut store.wal {
+            wal.reset()?;
+        }
+        Ok(())
+    }
+
+    /// Delete all points of `name` in `[start, end]` (inclusive), as an
+    /// append-only versioned tombstone. Memtable points are removed
+    /// eagerly; sealed chunks are filtered at read time.
+    pub fn delete(&self, name: &str, start: Timestamp, end: Timestamp) -> Result<()> {
+        if start > end {
+            return Err(TsKvError::InvalidDeleteRange { start, end });
+        }
+        let mut map = self.series.write();
+        let store = map.get_mut(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+        let version = self.alloc.next();
+        let range = TimeRange::new(start, end);
+        if let Some(wal) = &mut store.wal {
+            wal.append_delete(range)?;
+            wal.sync()?;
+        }
+        store.memtable.delete_range(range);
+        let entry = ModEntry::new(version, start, end);
+        for res in &mut store.files {
+            let overlaps = res.time_range().map(|r| r.overlaps(&range)).unwrap_or(false);
+            if overlaps {
+                res.mods.append(entry)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Capture a point-in-time read view of one series: all sealed
+    /// chunks, the memtable image (as a high-version in-memory chunk),
+    /// and all deletes, each sorted by version.
+    pub fn snapshot(&self, name: &str) -> Result<SeriesSnapshot> {
+        let map = self.series.read();
+        let store = map.get(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+
+        let mut files = Vec::with_capacity(store.files.len());
+        let mut chunks = Vec::new();
+        let mut deletes: Vec<ModEntry> = Vec::new();
+        for res in &store.files {
+            let file_idx = files.len();
+            for meta in res.reader.chunk_metas() {
+                chunks.push(ChunkHandle::from_file(file_idx, meta.clone()));
+            }
+            for e in res.mods.entries() {
+                // One delete op lands in several files' mods; versions
+                // are globally unique, so dedup by version.
+                if !deletes.iter().any(|d| d.version == e.version) {
+                    deletes.push(*e);
+                }
+            }
+            files.push(Arc::clone(&res.reader));
+        }
+        if !store.memtable.is_empty() {
+            let points = Arc::new(store.memtable.to_points());
+            let version = Version(self.alloc.current().0 + 1);
+            chunks.push(ChunkHandle::from_mem(points, version));
+        }
+        chunks.sort_by_key(|c| c.version);
+        deletes.sort_by_key(|d| d.version);
+        Ok(SeriesSnapshot::new(files, chunks, deletes, Arc::clone(&self.io)))
+    }
+
+    /// Fully compact one series: merge every sealed file (applying
+    /// deletes and overwrites), write the result as a single fresh
+    /// TsFile, and unlink the old files and their mods logs. The
+    /// memtable and WAL are untouched. See [`crate::compaction`].
+    pub fn compact(&self, name: &str) -> Result<CompactionReport> {
+        let mut map = self.series.write();
+        let store = map.get_mut(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+        if store.files.is_empty() {
+            return Ok(CompactionReport::empty());
+        }
+
+        // Sealed-only snapshot (no memtable chunk): the merge input.
+        let mut files = Vec::with_capacity(store.files.len());
+        let mut chunks = Vec::new();
+        let mut deletes: Vec<ModEntry> = Vec::new();
+        for res in &store.files {
+            let file_idx = files.len();
+            for meta in res.reader.chunk_metas() {
+                chunks.push(ChunkHandle::from_file(file_idx, meta.clone()));
+            }
+            for e in res.mods.entries() {
+                if !deletes.iter().any(|d| d.version == e.version) {
+                    deletes.push(*e);
+                }
+            }
+            files.push(Arc::clone(&res.reader));
+        }
+        let chunks_merged = chunks.len();
+        let deletes_applied = deletes.len();
+        let snapshot = SeriesSnapshot::new(files, chunks, deletes, Arc::clone(&self.io));
+        let merged = MergeReader::new(&snapshot).collect_merged()?;
+
+        let report = CompactionReport {
+            files_removed: store.files.len(),
+            chunks_merged,
+            points_written: merged.len(),
+            deletes_applied,
+        };
+
+        // Write the replacement file first; only then unlink the old
+        // generation (crash between the two leaves a recoverable mix:
+        // the new file holds only latest points, so re-reading both
+        // generations still merges to the same series).
+        let mut new_files = Vec::new();
+        if !merged.is_empty() {
+            let path = store.dir.join(format!("{:08}.tsfile", store.next_file_id));
+            store.next_file_id += 1;
+            let mut w = TsFileWriter::create_with_encodings(
+                &path,
+                self.config.ts_encoding,
+                self.config.val_encoding,
+            )?;
+            w.set_build_index(self.config.build_step_index);
+            for chunk in merged.chunks(self.config.points_per_chunk) {
+                let version = self.alloc.next();
+                w.write_chunk(chunk, version.0)?;
+            }
+            w.finish()?;
+            let reader = Arc::new(TsFileReader::open(&path)?);
+            let mods = ModsFile::open(path.with_extension("mods"))?;
+            new_files.push(TsFileResource { reader, mods });
+        }
+        let old = std::mem::replace(&mut store.files, new_files);
+        for res in old {
+            let path = res.reader.path().to_path_buf();
+            std::fs::remove_file(&path).ok();
+            std::fs::remove_file(path.with_extension("mods")).ok();
+        }
+        Ok(report)
+    }
+
+    /// Engine-wide I/O counters (shared by all snapshots).
+    pub fn io(&self) -> &Arc<IoStats> {
+        &self.io
+    }
+
+    /// Total points currently buffered in memtables (not yet flushed).
+    pub fn unflushed_points(&self, name: &str) -> Result<usize> {
+        let map = self.series.read();
+        let store = map.get(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+        Ok(store.memtable.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::readers::MergeReader;
+
+    fn fresh(name: &str) -> (PathBuf, TsKv) {
+        let dir = std::env::temp_dir().join(format!("tskv-engine-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let kv = TsKv::open(
+            &dir,
+            EngineConfig { points_per_chunk: 100, memtable_threshold: 250, ..Default::default() },
+        )
+        .unwrap();
+        (dir, kv)
+    }
+
+    #[test]
+    fn auto_flush_on_threshold() {
+        let (dir, kv) = fresh("autoflush");
+        for t in 0..600i64 {
+            kv.insert("s", Point::new(t, 0.0)).unwrap();
+        }
+        // Two auto-flushes (at 250 and 500); 100 points remain buffered.
+        assert_eq!(kv.unflushed_points("s").unwrap(), 100);
+        let snap = kv.snapshot("s").unwrap();
+        // 250/100 → 3 chunks per flush (100+100+50), ×2 files, + mem chunk.
+        assert_eq!(snap.chunks().len(), 7);
+        assert_eq!(snap.raw_point_count(), 600);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chunk_versions_strictly_increase() {
+        let (dir, kv) = fresh("versions");
+        for t in 0..500i64 {
+            kv.insert("s", Point::new(t, 0.0)).unwrap();
+        }
+        kv.flush_all().unwrap();
+        let snap = kv.snapshot("s").unwrap();
+        let versions: Vec<u64> = snap.chunks().iter().map(|c| c.version.0).collect();
+        assert!(versions.windows(2).all(|w| w[0] < w[1]), "{versions:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delete_validates_range() {
+        let (dir, kv) = fresh("badrange");
+        kv.create_series("s").unwrap();
+        assert!(matches!(
+            kv.delete("s", 10, 5),
+            Err(TsKvError::InvalidDeleteRange { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_series_errors() {
+        let (dir, kv) = fresh("unknown");
+        assert!(matches!(kv.snapshot("nope"), Err(TsKvError::SeriesNotFound(_))));
+        assert!(matches!(kv.delete("nope", 0, 1), Err(TsKvError::SeriesNotFound(_))));
+        assert!(matches!(kv.flush("nope"), Err(TsKvError::SeriesNotFound(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn invalid_series_name_rejected() {
+        let (dir, kv) = fresh("badname");
+        assert!(kv.create_series("../evil").is_err());
+        assert!(kv.create_series("").is_err());
+        assert!(kv.create_series("a/b").is_err());
+        assert!(kv.create_series("room1.sensor_2-x").is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_reloads_files_and_mods() {
+        let dir = std::env::temp_dir().join(format!("tskv-recover-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config =
+            EngineConfig { points_per_chunk: 50, memtable_threshold: 100, ..Default::default() };
+        {
+            let kv = TsKv::open(&dir, config.clone()).unwrap();
+            for t in 0..300i64 {
+                kv.insert("s", Point::new(t, t as f64)).unwrap();
+            }
+            kv.flush_all().unwrap();
+            kv.delete("s", 100, 150).unwrap();
+        }
+        // Reopen: sealed data + deletes must be back; versions must
+        // continue past the recovered maximum.
+        let kv = TsKv::open(&dir, config).unwrap();
+        assert_eq!(kv.series_names(), vec!["s".to_string()]);
+        let snap = kv.snapshot("s").unwrap();
+        assert_eq!(snap.raw_point_count(), 300);
+        assert_eq!(snap.deletes().len(), 1);
+        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        assert_eq!(merged.len(), 300 - 51);
+
+        // New writes get versions above everything recovered.
+        let max_recovered =
+            snap.chunks().iter().map(|c| c.version.0).chain(snap.deletes().iter().map(|d| d.version.0)).max().unwrap();
+        kv.insert("s", Point::new(1000, 1.0)).unwrap();
+        kv.flush_all().unwrap();
+        let snap2 = kv.snapshot("s").unwrap();
+        let new_max = snap2.chunks().iter().map(|c| c.version.0).max().unwrap();
+        assert!(new_max > max_recovered);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn out_of_order_batches_create_overlapping_chunks() {
+        let (dir, kv) = fresh("overlap");
+        let batch1: Vec<Point> = (0..200).map(|t| Point::new(t, 1.0)).collect();
+        kv.insert_batch("s", &batch1).unwrap();
+        kv.flush_all().unwrap();
+        let batch2: Vec<Point> = (100..300).map(|t| Point::new(t, 2.0)).collect();
+        kv.insert_batch("s", &batch2).unwrap();
+        kv.flush_all().unwrap();
+        let snap = kv.snapshot("s").unwrap();
+        let overlapping = snap.chunks_overlapping(TimeRange::new(100, 199));
+        assert!(overlapping.len() >= 2, "expected overlap, got {}", overlapping.len());
+        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        assert_eq!(merged.len(), 300);
+        assert!(merged.iter().filter(|p| (100..200).contains(&p.t)).all(|p| p.v == 2.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delete_future_range_affects_nothing() {
+        let (dir, kv) = fresh("futuredel");
+        for t in 0..100i64 {
+            kv.insert("s", Point::new(t, 1.0)).unwrap();
+        }
+        kv.flush_all().unwrap();
+        kv.delete("s", 10_000, 20_000).unwrap();
+        // Points written after the delete, inside its range: unaffected.
+        for t in 10_000..10_010i64 {
+            kv.insert("s", Point::new(t, 2.0)).unwrap();
+        }
+        kv.flush_all().unwrap();
+        let snap = kv.snapshot("s").unwrap();
+        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        assert_eq!(merged.len(), 110);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_recovers_unflushed_data() {
+        let dir = std::env::temp_dir().join(format!("tskv-walrec-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config =
+            EngineConfig { points_per_chunk: 50, memtable_threshold: 1_000, ..Default::default() };
+        {
+            let kv = TsKv::open(&dir, config.clone()).unwrap();
+            for t in 0..300i64 {
+                kv.insert("s", Point::new(t, t as f64)).unwrap();
+            }
+            // Delete part of the buffered range, then add more — all
+            // without ever flushing.
+            kv.delete("s", 100, 199).unwrap();
+            for t in 300..400i64 {
+                kv.insert("s", Point::new(t, 7.0)).unwrap();
+            }
+            // Simulated crash: drop without flushing.
+        }
+        let kv = TsKv::open(&dir, config).unwrap();
+        assert_eq!(kv.unflushed_points("s").unwrap(), 300);
+        let snap = kv.snapshot("s").unwrap();
+        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        assert_eq!(merged.len(), 300);
+        assert!(merged.iter().all(|p| !(100..=199).contains(&p.t)));
+        assert!(merged.iter().filter(|p| p.t >= 300).all(|p| p.v == 7.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_truncated_by_flush() {
+        let dir = std::env::temp_dir().join(format!("tskv-waltrunc-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config =
+            EngineConfig { points_per_chunk: 50, memtable_threshold: 100, ..Default::default() };
+        {
+            let kv = TsKv::open(&dir, config.clone()).unwrap();
+            // 250 points: two auto-flushes, 50 left in WAL + memtable.
+            for t in 0..250i64 {
+                kv.insert("s", Point::new(t, 1.0)).unwrap();
+            }
+        }
+        let kv = TsKv::open(&dir, config).unwrap();
+        assert_eq!(kv.unflushed_points("s").unwrap(), 50);
+        let snap = kv.snapshot("s").unwrap();
+        assert_eq!(snap.raw_point_count(), 250);
+        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        assert_eq!(merged.len(), 250);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_disabled_drops_unflushed() {
+        let dir = std::env::temp_dir().join(format!("tskv-nowal-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = EngineConfig { enable_wal: false, ..Default::default() };
+        {
+            let kv = TsKv::open(&dir, config.clone()).unwrap();
+            kv.insert("s", Point::new(1, 1.0)).unwrap();
+        }
+        let kv = TsKv::open(&dir, config).unwrap();
+        assert_eq!(kv.unflushed_points("s").unwrap(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delete_on_empty_series_is_recorded_but_harmless() {
+        let (dir, kv) = fresh("empty-del");
+        kv.create_series("s").unwrap();
+        kv.delete("s", 0, 100).unwrap();
+        let snap = kv.snapshot("s").unwrap();
+        // No files → nothing to attach the tombstone to; the op is a
+        // no-op beyond consuming a version.
+        assert!(snap.deletes().is_empty());
+        kv.insert("s", Point::new(50, 1.0)).unwrap();
+        kv.flush_all().unwrap();
+        let merged =
+            MergeReader::new(&kv.snapshot("s").unwrap()).collect_merged().unwrap();
+        assert_eq!(merged.len(), 1, "later write must not be hit by the earlier delete");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repeated_identical_deletes_are_idempotent() {
+        let (dir, kv) = fresh("dup-del");
+        for t in 0..100i64 {
+            kv.insert("s", Point::new(t, 1.0)).unwrap();
+        }
+        kv.flush_all().unwrap();
+        kv.delete("s", 10, 20).unwrap();
+        kv.delete("s", 10, 20).unwrap();
+        kv.delete("s", 10, 20).unwrap();
+        let snap = kv.snapshot("s").unwrap();
+        assert_eq!(snap.deletes().len(), 3); // three ops, distinct versions
+        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        assert_eq!(merged.len(), 89);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn single_point_series_lifecycle() {
+        let (dir, kv) = fresh("single");
+        kv.insert("s", Point::new(i64::MAX - 1, f64::MAX)).unwrap();
+        kv.flush_all().unwrap();
+        let snap = kv.snapshot("s").unwrap();
+        assert_eq!(snap.raw_point_count(), 1);
+        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        assert_eq!(merged, vec![Point::new(i64::MAX - 1, f64::MAX)]);
+        kv.delete("s", i64::MAX - 1, i64::MAX).unwrap();
+        let merged =
+            MergeReader::new(&kv.snapshot("s").unwrap()).collect_merged().unwrap();
+        assert!(merged.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn negative_timestamps_supported() {
+        let (dir, kv) = fresh("negative");
+        for t in -500..-400i64 {
+            kv.insert("s", Point::new(t, t as f64)).unwrap();
+        }
+        kv.flush_all().unwrap();
+        kv.delete("s", -480, -460).unwrap();
+        let snap = kv.snapshot("s").unwrap();
+        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        assert_eq!(merged.len(), 100 - 21);
+        assert_eq!(merged[0].t, -500);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multiple_series_are_independent() {
+        let (dir, kv) = fresh("multi");
+        kv.insert("a", Point::new(1, 1.0)).unwrap();
+        kv.insert("b", Point::new(2, 2.0)).unwrap();
+        kv.flush_all().unwrap();
+        kv.delete("a", 0, 10).unwrap();
+        let a = MergeReader::new(&kv.snapshot("a").unwrap()).collect_merged().unwrap();
+        let b = MergeReader::new(&kv.snapshot("b").unwrap()).collect_merged().unwrap();
+        assert!(a.is_empty());
+        assert_eq!(b, vec![Point::new(2, 2.0)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

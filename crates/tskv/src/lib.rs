@@ -1,0 +1,73 @@
+//! # tskv — an LSM-based time series storage engine
+//!
+//! The storage substrate assumed by the M4-LSM paper ("Time Series
+//! Representation for Visualization in Apache IoTDB", SIGMOD 2024),
+//! modeled on Apache IoTDB's write path at the granularity the paper's
+//! operators interact with:
+//!
+//! * **Write path**: inserts land in a per-series in-memory
+//!   [`memtable::MemTable`]; when it reaches the configured point
+//!   threshold it is flushed — sorted, split into chunks of
+//!   `points_per_chunk` points (IoTDB's
+//!   `avg_series_point_number_threshold`, 1000 in the paper's Table 4),
+//!   and written as one sealed TsFile. Every chunk gets a fresh global
+//!   [`tsfile::Version`] `κ`.
+//! * **Deletes** (`D^κ`) are append-only range tombstones written to the
+//!   per-file mods log with their own version; they are never eagerly
+//!   applied to sealed files (compaction is off, as in the paper's
+//!   experimental setup).
+//! * **Read path**: [`readers::MetadataReader`] serves chunk metadata
+//!   (statistics + version) without touching chunk bodies;
+//!   [`readers::DataReader`] loads and decodes chunk bodies (with
+//!   partial, early-terminating timestamp decode for the paper's
+//!   "partial scan"); [`readers::MergeReader`] assembles the merged,
+//!   latest-points-only series `M(ℂ, 𝔻)` of Definition 2.7 — this is
+//!   what the M4-UDF baseline consumes and what M4-LSM avoids.
+//!
+//! Out-of-order arrivals produce time-overlapping chunks whenever write
+//! batches straddle flushes, which is exactly the overlap structure the
+//! paper's §4.3 experiment varies. There is no seq/unseq file split and
+//! no compaction: the paper disables compaction (Table 4:
+//! `compaction_strategy = NO_COMPACTION`), so the on-disk state is the
+//! raw append history — the hardest case for a merge-based reader and
+//! the case M4-LSM is designed for.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tskv::{TsKv, config::EngineConfig};
+//! use tsfile::types::Point;
+//!
+//! let dir = std::env::temp_dir().join(format!("tskv-doc-{}", std::process::id()));
+//! let kv = TsKv::open(&dir, EngineConfig::default()).unwrap();
+//! for i in 0..5000i64 {
+//!     kv.insert("sensor.speed", Point::new(i * 1000, i as f64)).unwrap();
+//! }
+//! kv.delete("sensor.speed", 1_000_000, 2_000_000).unwrap();
+//! let snap = kv.snapshot("sensor.speed").unwrap();
+//! let merged = tskv::readers::MergeReader::new(&snap).collect_merged().unwrap();
+//! assert!(merged.iter().all(|p| p.t < 1_000_000 || p.t > 2_000_000));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod chunk;
+pub mod compaction;
+pub mod config;
+pub mod delete;
+pub mod engine;
+pub mod error;
+pub mod memtable;
+pub mod readers;
+pub mod snapshot;
+pub mod stats;
+pub mod version;
+pub mod wal;
+
+pub use chunk::ChunkHandle;
+pub use engine::TsKv;
+pub use error::TsKvError;
+pub use snapshot::SeriesSnapshot;
+pub use stats::IoStats;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TsKvError>;

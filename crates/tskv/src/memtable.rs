@@ -1,0 +1,120 @@
+//! The in-memory write buffer of one series.
+//!
+//! A `BTreeMap<Timestamp, Value>` keeps points sorted and deduplicated:
+//! re-inserting a timestamp overwrites in place (an in-memory update
+//! needs no version bookkeeping — only flushed, immutable chunks do).
+//! Deletes covering buffered points remove them immediately, so the
+//! memtable always holds only latest points.
+
+use std::collections::BTreeMap;
+
+use tsfile::types::{Point, TimeRange, Timestamp, Value};
+
+/// Sorted in-memory buffer of one series' unflushed points.
+#[derive(Debug, Default)]
+pub struct MemTable {
+    data: BTreeMap<Timestamp, Value>,
+}
+
+impl MemTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or overwrite a point. Returns `true` if the timestamp was
+    /// new, `false` if it overwrote a buffered point.
+    pub fn insert(&mut self, p: Point) -> bool {
+        self.data.insert(p.t, p.v).is_none()
+    }
+
+    /// Remove all buffered points covered by `range`; returns how many
+    /// were removed.
+    pub fn delete_range(&mut self, range: TimeRange) -> usize {
+        if range.is_empty() {
+            return 0;
+        }
+        let doomed: Vec<Timestamp> =
+            self.data.range(range.start..=range.end).map(|(&t, _)| t).collect();
+        for t in &doomed {
+            self.data.remove(t);
+        }
+        doomed.len()
+    }
+
+    /// Number of buffered points.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Time range spanned by buffered points, if any.
+    pub fn time_range(&self) -> Option<TimeRange> {
+        let first = self.data.keys().next()?;
+        let last = self.data.keys().next_back()?;
+        Some(TimeRange::new(*first, *last))
+    }
+
+    /// Copy the buffered points in time order without draining.
+    pub fn to_points(&self) -> Vec<Point> {
+        self.data.iter().map(|(&t, &v)| Point::new(t, v)).collect()
+    }
+
+    /// Drain all buffered points in time order (the flush path).
+    pub fn drain_sorted(&mut self) -> Vec<Point> {
+        let data = std::mem::take(&mut self.data);
+        data.into_iter().map(|(t, v)| Point::new(t, v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_keeps_sorted_and_dedups() {
+        let mut m = MemTable::new();
+        assert!(m.insert(Point::new(30, 3.0)));
+        assert!(m.insert(Point::new(10, 1.0)));
+        assert!(m.insert(Point::new(20, 2.0)));
+        assert!(!m.insert(Point::new(20, 9.0))); // overwrite
+        assert_eq!(m.len(), 3);
+        let pts = m.to_points();
+        assert_eq!(pts, vec![Point::new(10, 1.0), Point::new(20, 9.0), Point::new(30, 3.0)]);
+    }
+
+    #[test]
+    fn delete_range_inclusive() {
+        let mut m = MemTable::new();
+        for t in [10, 20, 30, 40] {
+            m.insert(Point::new(t, t as f64));
+        }
+        assert_eq!(m.delete_range(TimeRange::new(20, 30)), 2);
+        assert_eq!(m.to_points(), vec![Point::new(10, 10.0), Point::new(40, 40.0)]);
+        assert_eq!(m.delete_range(TimeRange::new(100, 200)), 0);
+        assert_eq!(m.delete_range(TimeRange::new(30, 20)), 0); // empty range
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut m = MemTable::new();
+        m.insert(Point::new(5, 1.0));
+        m.insert(Point::new(1, 2.0));
+        let pts = m.drain_sorted();
+        assert_eq!(pts, vec![Point::new(1, 2.0), Point::new(5, 1.0)]);
+        assert!(m.is_empty());
+        assert!(m.time_range().is_none());
+    }
+
+    #[test]
+    fn time_range_tracks_extremes() {
+        let mut m = MemTable::new();
+        assert!(m.time_range().is_none());
+        m.insert(Point::new(50, 0.0));
+        m.insert(Point::new(-10, 0.0));
+        assert_eq!(m.time_range(), Some(TimeRange::new(-10, 50)));
+    }
+}

@@ -1,0 +1,247 @@
+//! MergeReader: the merge function `M(ℂ, 𝔻)` of Definition 2.7.
+//!
+//! Loads every chunk overlapping the requested range, k-way merges the
+//! sorted runs by time, resolves same-timestamp collisions by highest
+//! version (later writes overwrite earlier ones), and drops points
+//! covered by a later-versioned delete. This is the full-cost path the
+//! M4-UDF baseline sits on: all overlapping chunks are read, decoded
+//! and heap-merged whether or not their points end up in the output.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+
+use tsfile::types::{Point, TimeRange, Timestamp, Version};
+
+use crate::delete::DeleteSweep;
+use crate::snapshot::SeriesSnapshot;
+use crate::Result;
+
+/// K-way merging reader over a snapshot.
+#[derive(Debug)]
+pub struct MergeReader<'a> {
+    snapshot: &'a SeriesSnapshot,
+    range: TimeRange,
+}
+
+/// Heap entry: min-heap by time, tie-broken by *descending* version so
+/// the latest write at a timestamp surfaces first.
+struct HeapEntry {
+    t: Timestamp,
+    version: Version,
+    run: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.version == other.version
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // BinaryHeap is a max-heap; invert time, keep version ascending
+        // so the max-heap pops (smallest t, largest version) first.
+        other.t.cmp(&self.t).then(self.version.cmp(&other.version))
+    }
+}
+
+impl<'a> MergeReader<'a> {
+    /// Merge the whole series.
+    pub fn new(snapshot: &'a SeriesSnapshot) -> Self {
+        MergeReader { snapshot, range: TimeRange::new(Timestamp::MIN, Timestamp::MAX) }
+    }
+
+    /// Merge only points within `range` (inclusive). Chunks that do not
+    /// overlap the range are skipped entirely (their metadata suffices
+    /// to prune them — even the baseline gets this basic pruning, as
+    /// IoTDB's SeriesReader does).
+    pub fn with_range(snapshot: &'a SeriesSnapshot, range: TimeRange) -> Self {
+        MergeReader { snapshot, range }
+    }
+
+    /// Materialize the merged, latest-points-only series in time order.
+    pub fn collect_merged(&self) -> Result<Vec<Point>> {
+        // Load all overlapping chunks (the baseline's full cost).
+        let chunks = self.snapshot.chunks_overlapping(self.range);
+        let mut runs: Vec<(Version, Vec<Point>)> = Vec::with_capacity(chunks.len());
+        for c in &chunks {
+            let pts = self.snapshot.read_points(c)?;
+            runs.push((c.version, pts));
+        }
+        let mut deletes = DeleteSweep::new(self.snapshot.deletes());
+
+        let mut cursors = vec![0usize; runs.len()];
+        let mut heap = BinaryHeap::with_capacity(runs.len());
+        for (i, (version, pts)) in runs.iter().enumerate() {
+            if let Some(p) = pts.first() {
+                heap.push(HeapEntry { t: p.t, version: *version, run: i });
+            }
+        }
+
+        let mut out = Vec::new();
+        let mut last_t: Option<Timestamp> = None;
+        while let Some(entry) = heap.pop() {
+            let (version, pts) = &runs[entry.run];
+            let p = pts[cursors[entry.run]];
+            cursors[entry.run] += 1;
+            if cursors[entry.run] < pts.len() {
+                heap.push(HeapEntry {
+                    t: pts[cursors[entry.run]].t,
+                    version: *version,
+                    run: entry.run,
+                });
+            }
+            // Same timestamp as an already-emitted (higher-version)
+            // point: this one was overwritten.
+            if last_t == Some(p.t) {
+                continue;
+            }
+            if !self.range.contains(p.t) {
+                continue;
+            }
+            if deletes.is_deleted(p.t, *version) {
+                // A deleted point still consumes the timestamp slot:
+                // an older-version point at the same timestamp must not
+                // resurface (the delete covers it too, since it has an
+                // even smaller version).
+                last_t = Some(p.t);
+                continue;
+            }
+            last_t = Some(p.t);
+            out.push(p);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::engine::TsKv;
+
+    fn fresh(name: &str) -> (std::path::PathBuf, TsKv) {
+        let dir = std::env::temp_dir().join(format!("tskv-merge-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let kv = TsKv::open(
+            &dir,
+            EngineConfig { points_per_chunk: 100, memtable_threshold: 100, ..Default::default() },
+        )
+        .unwrap();
+        (dir, kv)
+    }
+
+    #[test]
+    fn merges_overlapping_chunks_latest_wins() {
+        let (dir, kv) = fresh("overwrite");
+        // Batch 1: t in 0..100, v = 1.
+        for t in 0..100i64 {
+            kv.insert("s", Point::new(t, 1.0)).unwrap();
+        }
+        kv.flush_all().unwrap();
+        // Batch 2 overwrites t in 50..100 with v = 2 (overlapping chunk).
+        for t in 50..100i64 {
+            kv.insert("s", Point::new(t, 2.0)).unwrap();
+        }
+        kv.flush_all().unwrap();
+
+        let snap = kv.snapshot("s").unwrap();
+        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        assert_eq!(merged.len(), 100);
+        assert!(merged.iter().take(50).all(|p| p.v == 1.0));
+        assert!(merged.iter().skip(50).all(|p| p.v == 2.0));
+        assert!(merged.windows(2).all(|w| w[0].t < w[1].t));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deletes_apply_only_to_older_versions() {
+        let (dir, kv) = fresh("deletes");
+        for t in 0..100i64 {
+            kv.insert("s", Point::new(t, 1.0)).unwrap();
+        }
+        kv.flush_all().unwrap();
+        kv.delete("s", 20, 40).unwrap();
+        // Re-insert part of the deleted range afterwards (newer version).
+        for t in 30..=35i64 {
+            kv.insert("s", Point::new(t, 9.0)).unwrap();
+        }
+        kv.flush_all().unwrap();
+
+        let snap = kv.snapshot("s").unwrap();
+        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        // 0..20 (20) + 41..100 (59) + re-inserted 30..=35 (6)
+        assert_eq!(merged.len(), 85);
+        assert!(merged.iter().all(|p| !(20..=40).contains(&p.t) || p.v == 9.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn range_filter_prunes_chunks() {
+        let (dir, kv) = fresh("range");
+        for t in 0..1000i64 {
+            kv.insert("s", Point::new(t, t as f64)).unwrap();
+        }
+        kv.flush_all().unwrap();
+        let snap = kv.snapshot("s").unwrap();
+        let before = snap.io().snapshot();
+        let merged =
+            MergeReader::with_range(&snap, TimeRange::new(250, 349)).collect_merged().unwrap();
+        assert_eq!(merged.len(), 100);
+        assert_eq!(merged[0].t, 250);
+        let delta = snap.io().snapshot() - before;
+        // Only 2 of the 10 chunks overlap [250, 349].
+        assert_eq!(delta.chunks_loaded, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_snapshot_merges_empty() {
+        let (dir, kv) = fresh("empty");
+        kv.create_series("s").unwrap();
+        let snap = kv.snapshot("s").unwrap();
+        assert!(MergeReader::new(&snap).collect_merged().unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memtable_points_visible_and_latest() {
+        let (dir, kv) = fresh("memtable");
+        for t in 0..50i64 {
+            kv.insert("s", Point::new(t, 1.0)).unwrap();
+        }
+        kv.flush_all().unwrap();
+        // Unflushed overwrites + fresh points.
+        for t in 40..60i64 {
+            kv.insert("s", Point::new(t, 7.0)).unwrap();
+        }
+        let snap = kv.snapshot("s").unwrap();
+        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        assert_eq!(merged.len(), 60);
+        assert!(merged.iter().filter(|p| p.t >= 40).all(|p| p.v == 7.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delete_does_not_resurrect_older_point() {
+        let (dir, kv) = fresh("resurrect");
+        // v1 chunk: point at t=10 value 1.
+        kv.insert("s", Point::new(10, 1.0)).unwrap();
+        kv.flush_all().unwrap();
+        // v2 chunk: overwrite t=10 with value 2.
+        kv.insert("s", Point::new(10, 2.0)).unwrap();
+        kv.flush_all().unwrap();
+        // v3 delete covering t=10: erases BOTH versions; the old value
+        // must not resurface.
+        kv.delete("s", 10, 10).unwrap();
+        let snap = kv.snapshot("s").unwrap();
+        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        assert!(merged.is_empty(), "got {merged:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,200 @@
+//! Point-in-time read view of one series.
+//!
+//! A [`SeriesSnapshot`] captures the set of chunks ℂ (sealed + the
+//! memtable image) and the set of deletes 𝔻 at snapshot time, plus the
+//! file handles needed to load chunk bodies. It is the input both the
+//! M4-UDF baseline (via `MergeReader`) and the M4-LSM operator consume;
+//! all chunk-body reads go through it so the [`crate::IoStats`]
+//! counters see every load.
+
+use std::sync::Arc;
+
+use tsfile::types::{Point, TimeRange, Timestamp};
+use tsfile::{ModEntry, TsFileReader};
+
+use crate::chunk::{ChunkData, ChunkHandle};
+use crate::stats::IoStats;
+use crate::Result;
+
+/// Immutable read view of one series.
+#[derive(Debug)]
+pub struct SeriesSnapshot {
+    files: Vec<Arc<TsFileReader>>,
+    chunks: Vec<ChunkHandle>,
+    deletes: Vec<ModEntry>,
+    io: Arc<IoStats>,
+}
+
+impl SeriesSnapshot {
+    /// Assemble a snapshot. `chunks` must reference `files` by index;
+    /// `deletes` must be deduplicated by version.
+    pub(crate) fn new(
+        files: Vec<Arc<TsFileReader>>,
+        chunks: Vec<ChunkHandle>,
+        deletes: Vec<ModEntry>,
+        io: Arc<IoStats>,
+    ) -> Self {
+        SeriesSnapshot { files, chunks, deletes, io }
+    }
+
+    /// All chunks visible to this snapshot, in version order.
+    pub fn chunks(&self) -> &[ChunkHandle] {
+        &self.chunks
+    }
+
+    /// All deletes visible to this snapshot, in version order.
+    pub fn deletes(&self) -> &[ModEntry] {
+        &self.deletes
+    }
+
+    /// Shared I/O counters for this snapshot.
+    pub fn io(&self) -> &Arc<IoStats> {
+        &self.io
+    }
+
+    /// Chunks whose time interval overlaps `range`.
+    pub fn chunks_overlapping(&self, range: TimeRange) -> Vec<&ChunkHandle> {
+        self.chunks.iter().filter(|c| c.time_range().overlaps(&range)).collect()
+    }
+
+    /// Total points across all chunks (before merge/deletes).
+    pub fn raw_point_count(&self) -> u64 {
+        self.chunks.iter().map(|c| c.count()).sum()
+    }
+
+    /// Load a chunk's full points (timestamp + value), in time order.
+    pub fn read_points(&self, chunk: &ChunkHandle) -> Result<Vec<Point>> {
+        match &chunk.data {
+            ChunkData::Mem { points } => {
+                self.io.record_mem_read(points.len() as u64);
+                Ok(points.as_ref().clone())
+            }
+            ChunkData::File { file_idx, meta } => {
+                let pts = self.files[*file_idx].read_chunk(meta)?;
+                self.io.record_chunk_load(meta.byte_len, pts.len() as u64);
+                Ok(pts)
+            }
+        }
+    }
+
+    /// Load only a chunk's timestamp column, optionally stopping early
+    /// once past `until` (the paper's partial scan).
+    pub fn read_timestamps(
+        &self,
+        chunk: &ChunkHandle,
+        until: Option<Timestamp>,
+    ) -> Result<Vec<Timestamp>> {
+        match &chunk.data {
+            ChunkData::Mem { points } => {
+                let ts: Vec<Timestamp> = match until {
+                    Some(limit) => {
+                        let mut out = Vec::new();
+                        for p in points.iter() {
+                            out.push(p.t);
+                            if p.t > limit {
+                                break;
+                            }
+                        }
+                        out
+                    }
+                    None => points.iter().map(|p| p.t).collect(),
+                };
+                self.io.record_mem_read(ts.len() as u64);
+                Ok(ts)
+            }
+            ChunkData::File { file_idx, meta } => {
+                let ts = self.files[*file_idx].read_chunk_timestamps(meta, until)?;
+                self.io.record_timestamp_load(meta.byte_len, ts.len() as u64);
+                Ok(ts)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::EngineConfig;
+    use crate::engine::TsKv;
+    use tsfile::types::{Point, TimeRange};
+
+    fn fresh(name: &str) -> (std::path::PathBuf, TsKv) {
+        let dir = std::env::temp_dir().join(format!("tskv-snap-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let kv = TsKv::open(
+            &dir,
+            EngineConfig { points_per_chunk: 100, memtable_threshold: 400, ..Default::default() },
+        )
+        .unwrap();
+        (dir, kv)
+    }
+
+    #[test]
+    fn mem_chunk_included_and_versioned_last() {
+        let (dir, kv) = fresh("mem");
+        for t in 0..400i64 {
+            kv.insert("s", Point::new(t, 1.0)).unwrap();
+        }
+        kv.flush_all().unwrap();
+        for t in 400..450i64 {
+            kv.insert("s", Point::new(t, 2.0)).unwrap();
+        }
+        let snap = kv.snapshot("s").unwrap();
+        let chunks = snap.chunks();
+        assert_eq!(chunks.len(), 5); // 4 sealed + 1 mem
+        let mem = chunks.last().unwrap();
+        assert!(mem.is_mem());
+        assert!(chunks[..4].iter().all(|c| c.version < mem.version));
+        assert_eq!(mem.count(), 50);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_timestamps_until_on_mem_chunk_stops_early() {
+        let (dir, kv) = fresh("mem-until");
+        for t in 0..50i64 {
+            kv.insert("s", Point::new(t * 10, 0.0)).unwrap();
+        }
+        let snap = kv.snapshot("s").unwrap();
+        let mem = snap.chunks().last().unwrap();
+        assert!(mem.is_mem());
+        let ts = snap.read_timestamps(mem, Some(105)).unwrap();
+        assert_eq!(*ts.last().unwrap(), 110); // first value past the limit
+        assert_eq!(ts.len(), 12);
+        let all = snap.read_timestamps(mem, None).unwrap();
+        assert_eq!(all.len(), 50);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chunks_overlapping_respects_boundaries() {
+        let (dir, kv) = fresh("overlap");
+        for t in 0..400i64 {
+            kv.insert("s", Point::new(t, 0.0)).unwrap();
+        }
+        kv.flush_all().unwrap();
+        let snap = kv.snapshot("s").unwrap();
+        // Chunks: [0,99] [100,199] [200,299] [300,399].
+        assert_eq!(snap.chunks_overlapping(TimeRange::new(99, 100)).len(), 2);
+        assert_eq!(snap.chunks_overlapping(TimeRange::new(150, 160)).len(), 1);
+        assert_eq!(snap.chunks_overlapping(TimeRange::new(-50, -1)).len(), 0);
+        assert_eq!(snap.chunks_overlapping(TimeRange::new(0, 399)).len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn raw_point_count_sums_all_chunks() {
+        let (dir, kv) = fresh("count");
+        for t in 0..250i64 {
+            kv.insert("s", Point::new(t, 0.0)).unwrap();
+        }
+        // Overwrite 50 points → extra chunk with 50 points after flush.
+        kv.flush_all().unwrap();
+        for t in 0..50i64 {
+            kv.insert("s", Point::new(t, 9.0)).unwrap();
+        }
+        kv.flush_all().unwrap();
+        let snap = kv.snapshot("s").unwrap();
+        assert_eq!(snap.raw_point_count(), 300); // raw, not deduplicated
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

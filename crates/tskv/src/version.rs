@@ -1,0 +1,106 @@
+//! Global version number allocation.
+//!
+//! The paper's `κ` (Definition 2.4/2.5) is "a global incremental number
+//! assigned to each chunk or delete to distinguish the append order of
+//! updates and deletes". Chunks and deletes draw from the same counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tsfile::types::Version;
+
+/// Thread-safe monotone allocator for version numbers.
+#[derive(Debug)]
+pub struct VersionAllocator {
+    next: AtomicU64,
+}
+
+impl VersionAllocator {
+    /// Start allocating from `first` (use 1 for a fresh store; recovery
+    /// passes max-seen + 1).
+    pub fn new(first: u64) -> Self {
+        VersionAllocator { next: AtomicU64::new(first.max(1)) }
+    }
+
+    /// Allocate the next version.
+    pub fn next(&self) -> Version {
+        Version(self.next.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// The highest version allocated so far (0 if none).
+    pub fn current(&self) -> Version {
+        Version(self.next.load(Ordering::SeqCst).saturating_sub(1))
+    }
+
+    /// Ensure future allocations are strictly greater than `seen`
+    /// (recovery: raise past versions found on disk).
+    pub fn observe(&self, seen: Version) {
+        let mut cur = self.next.load(Ordering::SeqCst);
+        while cur <= seen.0 {
+            match self.next.compare_exchange(
+                cur,
+                seen.0 + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+impl Default for VersionAllocator {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_incrementally() {
+        let a = VersionAllocator::default();
+        assert_eq!(a.current(), Version(0));
+        assert_eq!(a.next(), Version(1));
+        assert_eq!(a.next(), Version(2));
+        assert_eq!(a.current(), Version(2));
+    }
+
+    #[test]
+    fn observe_raises_floor() {
+        let a = VersionAllocator::default();
+        a.observe(Version(41));
+        assert_eq!(a.next(), Version(42));
+        // Observing an already-passed version is a no-op.
+        a.observe(Version(10));
+        assert_eq!(a.next(), Version(43));
+    }
+
+    #[test]
+    fn zero_start_clamped_to_one() {
+        let a = VersionAllocator::new(0);
+        assert_eq!(a.next(), Version(1));
+    }
+
+    #[test]
+    fn concurrent_allocation_is_unique() {
+        use std::collections::HashSet;
+        use std::sync::Arc;
+        let a = Arc::new(VersionAllocator::default());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || (0..1000).map(|_| a.next().0).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut seen = HashSet::new();
+        for h in handles {
+            for v in h.join().unwrap() {
+                assert!(seen.insert(v), "duplicate version {v}");
+            }
+        }
+        assert_eq!(seen.len(), 8000);
+    }
+}

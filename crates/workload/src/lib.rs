@@ -1,0 +1,27 @@
+//! # workload — evaluation datasets and storage scenarios
+//!
+//! Synthetic stand-ins for the four real-world datasets of the paper's
+//! evaluation (Table 2), plus the storage-state builders its
+//! experiments vary (chunk overlap percentage, delete percentage,
+//! delete time range).
+//!
+//! The paper's datasets are proprietary or external downloads
+//! (BallSpeed from a Fraunhofer soccer-monitoring release, MF03 from
+//! the DEBS 2012 grand challenge, KOB/RcvTime from IoTDB customers).
+//! The M4 operators are sensitive only to *structural* properties —
+//! point counts, collection cadence, timestamp regularity and gaps
+//! (Figure 8), time skew — not to the sensor values themselves, so the
+//! generators in [`datasets`] reproduce those structures with seeded
+//! RNG and a random-walk signal. See DESIGN.md §1 for the substitution
+//! argument.
+//!
+//! All generation is deterministic given the seed, so benchmark runs
+//! are reproducible.
+
+pub mod datasets;
+pub mod scenario;
+pub mod signal;
+pub mod timestamps;
+
+pub use datasets::{Dataset, DatasetSpec};
+pub use scenario::{apply_random_deletes, load_sequential, load_with_overlap, overlap_fraction};

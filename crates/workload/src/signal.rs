@@ -1,0 +1,92 @@
+//! Value-signal generators.
+//!
+//! Sensor values only need plausible shape (the operators never branch
+//! on them beyond min/max comparisons): a bounded random walk with an
+//! optional periodic component covers all four dataset analogues.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A bounded random-walk signal with an optional sinusoidal carrier.
+#[derive(Debug, Clone)]
+pub struct Signal {
+    /// Current walk level.
+    level: f64,
+    /// Per-step maximum walk increment.
+    step: f64,
+    /// Reflective bounds of the walk.
+    min: f64,
+    max: f64,
+    /// Amplitude of the sinusoidal component (0 disables it).
+    amplitude: f64,
+    /// Period of the sinusoid, in samples.
+    period: f64,
+    n: u64,
+}
+
+impl Signal {
+    /// A generic sensor-like signal in `[min, max]`.
+    pub fn new(min: f64, max: f64, step: f64) -> Self {
+        Signal { level: (min + max) / 2.0, step, min, max, amplitude: 0.0, period: 1.0, n: 0 }
+    }
+
+    /// Add a sinusoidal carrier (daily/periodic pattern).
+    pub fn with_carrier(mut self, amplitude: f64, period_samples: f64) -> Self {
+        self.amplitude = amplitude;
+        self.period = period_samples.max(1.0);
+        self
+    }
+
+    /// Next sample.
+    pub fn next_value(&mut self, rng: &mut StdRng) -> f64 {
+        let delta = rng.gen_range(-self.step..=self.step);
+        self.level = (self.level + delta).clamp(self.min, self.max);
+        let carrier = if self.amplitude > 0.0 {
+            self.amplitude * (self.n as f64 / self.period * std::f64::consts::TAU).sin()
+        } else {
+            0.0
+        };
+        self.n += 1;
+        self.level + carrier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn walk_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = Signal::new(-5.0, 5.0, 1.0);
+        for _ in 0..10_000 {
+            let v = s.next_value(&mut rng);
+            assert!((-5.0..=5.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let gen = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = Signal::new(0.0, 100.0, 2.0).with_carrier(10.0, 50.0);
+            (0..100).map(|_| s.next_value(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(gen(42), gen(42));
+        assert_ne!(gen(42), gen(43));
+    }
+
+    #[test]
+    fn carrier_changes_signal() {
+        let mut rng1 = StdRng::seed_from_u64(1);
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let mut plain = Signal::new(0.0, 10.0, 0.1);
+        let mut carried = Signal::new(0.0, 10.0, 0.1).with_carrier(50.0, 10.0);
+        let a: Vec<f64> = (0..20).map(|_| plain.next_value(&mut rng1)).collect();
+        let b: Vec<f64> = (0..20).map(|_| carried.next_value(&mut rng2)).collect();
+        assert_ne!(a, b);
+        // Carrier can exceed the walk bounds by design.
+        assert!(b.iter().any(|v| *v > 10.0 || *v < 0.0));
+    }
+}

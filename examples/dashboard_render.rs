@@ -1,0 +1,76 @@
+//! Terminal dashboard: renders one of the paper's datasets as a binary
+//! line chart three ways — all points, M4 representation, MinMax
+//! representation — and counts pixel errors (the paper's Figure 1 /
+//! error-free claim, §5.1 contrast with MinMax).
+//!
+//! ```text
+//! cargo run --release --example dashboard_render [kob|mf03|ballspeed|rcvtime]
+//! ```
+
+use m4lsm::m4::render::{minmax_points, render_m4, render_series, value_range, PixelMap};
+use m4lsm::m4::{M4Lsm, M4Query};
+use m4lsm::tskv::config::EngineConfig;
+use m4lsm::tskv::readers::MergeReader;
+use m4lsm::tskv::TsKv;
+use m4lsm::workload::{load_sequential, Dataset};
+
+const WIDTH: usize = 110;
+const HEIGHT: usize = 28;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "kob".to_string());
+    let dataset = Dataset::ALL
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(&which))
+        .unwrap_or(Dataset::Kob);
+
+    let dir = std::env::temp_dir().join(format!("m4lsm-dash-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let kv = TsKv::open(&dir, EngineConfig::default())?;
+
+    // 1% of the dataset keeps the example fast while retaining the
+    // timestamp structure (gaps / skew).
+    let points = dataset.generate(0.01);
+    println!("{}: {} points generated", dataset.name(), points.len());
+    load_sequential(&kv, "s", &points)?;
+
+    let snap = kv.snapshot("s")?;
+    let t0 = points.first().unwrap().t;
+    let t1 = points.last().unwrap().t + 1;
+    let query = M4Query::new(t0, t1, WIDTH)?;
+
+    let m4_result = M4Lsm::new().execute(&snap, &query)?;
+    let merged = MergeReader::with_range(&snap, query.full_range()).collect_merged()?;
+    let (vmin, vmax) = value_range(&merged).expect("non-empty");
+    let map = PixelMap::new(&query, vmin, vmax, WIDTH, HEIGHT);
+
+    let full = render_series(&merged, &map)?;
+    let m4_canvas = render_m4(&m4_result, &map)?;
+    let mm_canvas = render_series(&minmax_points(&m4_result), &map)?;
+
+    println!("\n== full data ({} points) ==", merged.len());
+    print!("{}", full.to_ascii());
+    println!(
+        "== M4 representation ({} points, diff {} px) ==",
+        m4_result.points().len(),
+        full.diff_pixels(&m4_canvas)
+    );
+    print!("{}", m4_canvas.to_ascii());
+    println!(
+        "== MinMax representation ({} points, diff {} px) ==",
+        minmax_points(&m4_result).len(),
+        full.diff_pixels(&mm_canvas)
+    );
+    print!("{}", mm_canvas.to_ascii());
+
+    println!(
+        "\nM4 pixel error: {}   MinMax pixel error: {}   (canvas {}x{})",
+        full.diff_pixels(&m4_canvas),
+        full.diff_pixels(&mm_canvas),
+        WIDTH,
+        HEIGHT
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

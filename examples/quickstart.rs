@@ -1,0 +1,86 @@
+//! Quickstart: write a series into the LSM store, run an M4 query with
+//! the merge-free operator, and draw the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use m4lsm::m4::render::{render_m4, value_range, PixelMap};
+use m4lsm::m4::{M4Lsm, M4Query, M4Udf};
+use m4lsm::tsfile::types::Point;
+use m4lsm::tskv::config::EngineConfig;
+use m4lsm::tskv::readers::MergeReader;
+use m4lsm::tskv::TsKv;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("m4lsm-quickstart-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // 1. Open a store. Chunks hold 1000 points, as in the paper.
+    let kv = TsKv::open(&dir, EngineConfig::default())?;
+
+    // 2. Ingest five days of per-second sensor readings (432 000
+    //    points → 432 chunks), a noisy sine so the chart has shape.
+    let t0 = 1_700_000_000_000i64; // epoch ms
+    let n = 5 * 86_400i64;
+    for i in 0..n {
+        let v = (i as f64 / 7200.0).sin() * 40.0 + ((i * 37) % 11) as f64;
+        kv.insert("plant.turbine.rpm", Point::new(t0 + i * 1000, v))?;
+    }
+    kv.flush_all()?;
+
+    // 3. A correction arrives late: re-ingest ten minutes of data
+    //    (overwrites, creating a time-overlapping chunk) and purge a
+    //    faulty half hour (a versioned range delete).
+    for i in 40_000..40_600i64 {
+        kv.insert("plant.turbine.rpm", Point::new(t0 + i * 1000, 55.0))?;
+    }
+    kv.flush_all()?;
+    kv.delete("plant.turbine.rpm", t0 + 60_000_000, t0 + 61_800_000)?;
+
+    // 4. Visualize the whole range in 120 pixel columns with M4-LSM.
+    let snap = kv.snapshot("plant.turbine.rpm")?;
+    let query = M4Query::new(t0, t0 + n * 1000, 120)?;
+
+    let before = snap.io().snapshot();
+    let result = M4Lsm::new().execute(&snap, &query)?;
+    let io = snap.io().snapshot() - before;
+
+    println!("M4-LSM: {} of {} spans non-empty", result.non_empty(), result.width());
+    println!(
+        "        loaded {} of {} chunks, decoded {} of {} points",
+        io.chunks_loaded,
+        snap.chunks().len(),
+        io.points_decoded,
+        snap.raw_point_count()
+    );
+
+    // 5. Same query through the merge-everything baseline — identical
+    //    representation, far more work.
+    let before = snap.io().snapshot();
+    let udf = M4Udf::new().execute(&snap, &query)?;
+    let io_udf = snap.io().snapshot() - before;
+    assert!(result.equivalent(&udf));
+    println!(
+        "M4-UDF: identical result, but loaded {} chunks / decoded {} points",
+        io_udf.chunks_loaded, io_udf.points_decoded
+    );
+
+    // 6. Draw it. The M4 rendering is pixel-identical to rendering all
+    //    86 400 points.
+    let merged = MergeReader::with_range(&snap, query.full_range()).collect_merged()?;
+    let (vmin, vmax) = value_range(&merged).expect("non-empty series");
+    let map = PixelMap::new(&query, vmin, vmax, 120, 24);
+    let canvas = render_m4(&result, &map)?;
+    let full = m4lsm::m4::render::render_series(&merged, &map)?;
+    println!("\n{}", canvas.to_ascii());
+    println!(
+        "pixel difference vs full-data rendering: {} (canvas {}x{})",
+        full.diff_pixels(&canvas),
+        canvas.width(),
+        canvas.height()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

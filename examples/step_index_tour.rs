@@ -1,0 +1,72 @@
+//! A tour of the step-regression chunk index (paper §3.5): learn a
+//! model from gappy sensor timestamps, inspect its segments, and race
+//! it against binary search on the three Table 1 operations.
+//!
+//! ```text
+//! cargo run --release --example step_index_tour
+//! ```
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use m4lsm::tsfile::index::{binary_search_ops, StepIndex};
+use m4lsm::workload::timestamps;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(35);
+
+    // A KOB-like chunk: 9 s cadence interrupted by transmission gaps
+    // (the paper's Example 3.8 shape).
+    let ts = timestamps::regular_with_gaps(1_639_966_606_000, 9_000, 100_000, 5_000, 3_855_000, &mut rng);
+
+    let t = Instant::now();
+    let idx = StepIndex::learn(&ts).expect("step model fits");
+    println!("learned in {:?}:", t.elapsed());
+    println!("  slope K        = 1/{} (median Δt ms)", idx.median_delta());
+    println!("  segments       = {} (tilt/level alternating)", idx.segment_count());
+    println!("  verified ε     = {} positions", idx.epsilon());
+    let splits = idx.split_timestamps();
+    println!("  split timestamps 𝕊 = {:?} …", &splits[..splits.len().min(6)]);
+
+    // Proposition 3.7: f(first) = 1, f(last) = n.
+    println!("  f(first) = {}, f(last) = {}", idx.predict(ts[0]), idx.predict(*ts.last().unwrap()));
+
+    // Probe workload: half hits, half misses around real timestamps.
+    let probes: Vec<i64> = (0..200_000)
+        .map(|_| {
+            let base = ts[rng.gen_range(0..ts.len())];
+            if rng.gen_bool(0.5) {
+                base
+            } else {
+                base + rng.gen_range(1..9_000)
+            }
+        })
+        .collect();
+
+    // Correctness: both engines agree on every probe and operation.
+    for &t in probes.iter().take(10_000) {
+        assert_eq!(idx.exists_at(&ts, t), binary_search_ops::exists_at(&ts, t));
+        assert_eq!(idx.first_after(&ts, t), binary_search_ops::first_after(&ts, t));
+        assert_eq!(idx.last_before(&ts, t), binary_search_ops::last_before(&ts, t));
+    }
+    println!("\ncorrectness: 10k probes × 3 ops agree with binary search");
+
+    // Throughput comparison.
+    let run = |name: &str, f: &dyn Fn(i64) -> bool| {
+        let start = Instant::now();
+        let mut hits = 0usize;
+        for &t in &probes {
+            hits += usize::from(f(t));
+        }
+        let el = start.elapsed();
+        println!(
+            "{name:<28} {:>8.1} ns/probe   ({hits} hits)",
+            el.as_nanos() as f64 / probes.len() as f64
+        );
+    };
+    println!("\nexists_at over {} probes on a {}-point chunk:", probes.len(), ts.len());
+    run("step-regression index", &|t| idx.exists_at(&ts, t));
+    run("binary search", &|t| binary_search_ops::exists_at(&ts, t));
+}

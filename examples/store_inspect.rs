@@ -1,0 +1,105 @@
+//! Store inspector: a debugging tool that dumps the physical layout of
+//! a tskv store — files, chunks, versions, statistics, step-index
+//! models and pending deletes — using only the public tsfile API.
+//!
+//! ```text
+//! cargo run --release --example store_inspect [store_dir]
+//! ```
+//!
+//! Without an argument it builds a small demo store first.
+
+use m4lsm::tsfile::{ModsFile, TsFileReader};
+use m4lsm::tskv::config::EngineConfig;
+use m4lsm::tskv::TsKv;
+
+fn build_demo(dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
+    use m4lsm::tsfile::types::Point;
+    let kv = TsKv::open(
+        dir,
+        EngineConfig { points_per_chunk: 100, memtable_threshold: 300, ..Default::default() },
+    )?;
+    for t in 0..900i64 {
+        kv.insert("demo.a", Point::new(t * 1000, (t % 7) as f64))?;
+    }
+    // Out-of-order rewrite + delete to make the dump interesting.
+    for t in 200..400i64 {
+        kv.insert("demo.a", Point::new(t * 1000, 99.0))?;
+    }
+    kv.flush_all()?;
+    kv.delete("demo.a", 500_000, 600_000)?;
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (dir, is_demo) = match std::env::args().nth(1) {
+        Some(d) => (std::path::PathBuf::from(d), false),
+        None => {
+            let d = std::env::temp_dir().join(format!("m4lsm-inspect-{}", std::process::id()));
+            std::fs::remove_dir_all(&d).ok();
+            build_demo(&d)?;
+            (d, true)
+        }
+    };
+
+    println!("store: {}", dir.display());
+    let mut series_dirs: Vec<_> = std::fs::read_dir(&dir)?
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_type().map(|t| t.is_dir()).unwrap_or(false))
+        .map(|e| e.path())
+        .collect();
+    series_dirs.sort();
+
+    for sdir in series_dirs {
+        println!("\nseries {}", sdir.file_name().unwrap().to_string_lossy());
+        let mut files: Vec<_> = std::fs::read_dir(&sdir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("tsfile"))
+            .collect();
+        files.sort();
+        for path in files {
+            let reader = TsFileReader::open(&path)?;
+            let size = std::fs::metadata(&path)?.len();
+            println!("  {} ({} bytes, {} chunks)", path.file_name().unwrap().to_string_lossy(), size, reader.chunk_metas().len());
+            for meta in reader.chunk_metas() {
+                let s = &meta.stats;
+                print!(
+                    "    chunk {} @{:>8}+{:<6} n={:<5} t=[{} … {}] v=[{} … {}]",
+                    meta.version,
+                    meta.offset,
+                    meta.byte_len,
+                    s.count,
+                    s.first.t,
+                    s.last.t,
+                    s.bottom.v,
+                    s.top.v
+                );
+                match &meta.index {
+                    Some(idx) => println!(
+                        "  step-index: Δt={} segs={} ε={}",
+                        idx.median_delta(),
+                        idx.segment_count(),
+                        idx.epsilon()
+                    ),
+                    None => println!("  step-index: none"),
+                }
+            }
+            let mods_path = path.with_extension("mods");
+            if mods_path.exists() {
+                let mods = ModsFile::open(&mods_path)?;
+                for e in mods.entries() {
+                    println!("    delete {} range {}", e.version, e.range);
+                }
+            }
+        }
+        let wal = sdir.join("series.wal");
+        if wal.exists() {
+            println!("  series.wal ({} bytes)", std::fs::metadata(&wal)?.len());
+        }
+    }
+
+    if is_demo {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    Ok(())
+}

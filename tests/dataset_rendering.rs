@@ -1,0 +1,62 @@
+//! Figure 16 analogue: every generated dataset renders as a sane line
+//! chart — non-trivial pixel coverage, exact M4 equivalence — and the
+//! four datasets look different from one another (the skew/gap
+//! structure survives into the visualization).
+
+use m4lsm::m4::oracle::m4_scan;
+use m4lsm::m4::render::{render_m4, render_series, value_range, PixelMap};
+use m4lsm::m4::M4Query;
+use m4lsm::workload::Dataset;
+
+#[test]
+fn all_datasets_render_distinctly() {
+    let mut canvases = Vec::new();
+    for d in Dataset::ALL {
+        let pts = d.generate(0.005);
+        let (t0, t1) = (pts.first().unwrap().t, pts.last().unwrap().t + 1);
+        let q = M4Query::new(t0, t1, 120).unwrap();
+        let m4 = m4_scan(&pts, &q);
+        let (vmin, vmax) = value_range(&pts).unwrap();
+        let map = PixelMap::new(&q, vmin, vmax, 120, 40);
+        let full = render_series(&pts, &map).unwrap();
+        let reduced = render_m4(&m4, &map).unwrap();
+        assert_eq!(full.diff_pixels(&reduced), 0, "{}", d.name());
+        // A real chart: covers a meaningful share of columns but is not
+        // a solid block.
+        let set = full.set_pixels();
+        assert!(set > 120, "{}: only {set} pixels set", d.name());
+        assert!(set < 120 * 40 * 9 / 10, "{}: chart is a solid block", d.name());
+        canvases.push((d.name(), full));
+    }
+    // Pairwise distinct charts (different timestamp/value structures).
+    for i in 0..canvases.len() {
+        for j in (i + 1)..canvases.len() {
+            let diff = canvases[i].1.diff_pixels(&canvases[j].1);
+            assert!(
+                diff > 50,
+                "{} and {} render nearly identically ({diff} px apart)",
+                canvases[i].0,
+                canvases[j].0
+            );
+        }
+    }
+}
+
+#[test]
+fn skewed_datasets_show_idle_gaps_as_flat_stretches() {
+    // RcvTime's idle periods produce long horizontal connector lines:
+    // entire pixel columns whose only set pixels sit on one row.
+    let pts = Dataset::RcvTime.generate(0.01);
+    let (t0, t1) = (pts.first().unwrap().t, pts.last().unwrap().t + 1);
+    let q = M4Query::new(t0, t1, 200).unwrap();
+    let (vmin, vmax) = value_range(&pts).unwrap();
+    let map = PixelMap::new(&q, vmin, vmax, 200, 60);
+    let full = render_series(&pts, &map).unwrap();
+    let single_row_columns = (0..full.width())
+        .filter(|&x| (0..full.height()).filter(|&y| full.get(x, y)).count() == 1)
+        .count();
+    assert!(
+        single_row_columns > 10,
+        "expected idle stretches, got {single_row_columns} single-row columns"
+    );
+}

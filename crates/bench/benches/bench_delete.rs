@@ -1,6 +1,9 @@
 //! Criterion counterpart of Figures 13/14: latency under deletes
 //! (count and range length).
 
+// Bench setup aborts loudly on failure; see crates/bench/src/lib.rs.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bench::harness::Harness;

@@ -2,6 +2,9 @@
 //! codecs — the CPU share of the "costly chunk loading" the paper's
 //! merge-free design avoids.
 
+// Bench setup aborts loudly on failure; see crates/bench/src/lib.rs.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

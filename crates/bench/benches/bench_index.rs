@@ -1,6 +1,9 @@
 //! Ablation A1 micro-benchmark: step-regression index lookups vs plain
 //! binary search (Table 1 operations on a loaded timestamp column).
 
+// Bench setup aborts loudly on failure; see crates/bench/src/lib.rs.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -1,5 +1,8 @@
 //! Criterion counterpart of Figure 11: latency vs query range length.
 
+// Bench setup aborts loudly on failure; see crates/bench/src/lib.rs.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bench::harness::Harness;

@@ -1,6 +1,9 @@
 //! Criterion counterpart of Figure 10: latency vs span count `w`,
 //! M4-UDF vs M4-LSM, on a small-scale MF03 and KOB store.
 
+// Bench setup aborts loudly on failure; see crates/bench/src/lib.rs.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bench::harness::Harness;

@@ -12,6 +12,13 @@
 //! time each row reports *chunks loaded* and *points decoded* — the
 //! work-avoided metrics the paper's argument rests on.
 
+// The harness is operator-driven tooling, not server code: a failed
+// store build or experiment setup should abort the run loudly. The
+// workspace-wide panic-freedom deny-set (see root Cargo.toml) targets
+// the library crates; here panic-on-failure is the contract.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod harness;
 

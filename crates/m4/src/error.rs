@@ -15,6 +15,11 @@ pub enum M4Error {
     ZeroSpans,
     /// A render canvas dimension was zero.
     EmptyCanvas,
+    /// An internal invariant of the M4-LSM algorithm was violated.
+    /// Reaching this is a bug in the operator, not bad input; it is a
+    /// typed error (rather than a panic) so a query can never take the
+    /// server down.
+    Internal(&'static str),
 }
 
 impl fmt::Display for M4Error {
@@ -26,6 +31,7 @@ impl fmt::Display for M4Error {
             }
             M4Error::ZeroSpans => write!(f, "query must have w >= 1 time spans"),
             M4Error::EmptyCanvas => write!(f, "render canvas must be non-empty"),
+            M4Error::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }
@@ -47,6 +53,9 @@ impl From<TsKvError> for M4Error {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert by panicking; the workspace deny-set targets library code.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
     use super::*;
 
     #[test]
@@ -55,5 +64,6 @@ mod tests {
         assert!(M4Error::EmptyQueryRange { t_qs: 5, t_qe: 5 }.to_string().contains('5'));
         let e: M4Error = TsKvError::SeriesNotFound("x".into()).into();
         assert!(std::error::Error::source(&e).is_some());
+        assert!(M4Error::Internal("oops").to_string().contains("oops"));
     }
 }

@@ -29,6 +29,8 @@
 //! full-data rendering. [`sql`] parses and executes the Appendix A.1
 //! SQL form of the query.
 
+#![forbid(unsafe_code)]
+
 pub mod agg;
 pub mod error;
 pub mod lsm;

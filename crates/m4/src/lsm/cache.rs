@@ -39,8 +39,10 @@ impl<'a> ChunkCache<'a> {
 
     /// Full load of chunk `idx` (raw points, unfiltered), cached.
     pub fn points(&self, idx: usize, chunk: &ChunkHandle) -> Result<Arc<Vec<Point>>> {
-        if let Some(p) = self.points.borrow().get(&idx) {
-            return Ok(Arc::clone(p));
+        // Copy the hit out so no cache borrow is held across the read.
+        let cached = self.points.borrow().get(&idx).map(Arc::clone);
+        if let Some(p) = cached {
+            return Ok(p);
         }
         let pts = Arc::new(self.snapshot.read_points(chunk)?);
         self.points.borrow_mut().insert(idx, Arc::clone(&pts));
@@ -71,21 +73,31 @@ impl<'a> ChunkCache<'a> {
                 return Ok(answer);
             }
         }
-        if let Some(pts) = self.points.borrow().get(&idx) {
-            return Ok(search_points(pts, chunk, t, use_step_index));
+        let loaded = self.points.borrow().get(&idx).map(Arc::clone);
+        if let Some(pts) = loaded {
+            return Ok(search_points(&pts, chunk, t, use_step_index));
         }
-        let mut ts_map = self.ts.borrow_mut();
-        let needs_fetch = match ts_map.get(&idx) {
-            Some(prefix) => !prefix.complete && prefix.ts.last().is_some_and(|&last| last < t),
-            None => true,
+        // Answer from the cached prefix if it provably covers `t`; the
+        // borrow must end before any fetch below.
+        let cached_hit = {
+            let ts_map = self.ts.borrow();
+            match ts_map.get(&idx) {
+                Some(prefix)
+                    if prefix.complete || prefix.ts.last().is_some_and(|&last| last >= t) =>
+                {
+                    Some(search_ts(&prefix.ts, chunk, t, use_step_index))
+                }
+                _ => None,
+            }
         };
-        if needs_fetch {
-            let ts = self.snapshot.read_timestamps(chunk, Some(t))?;
-            let complete = ts.len() as u64 == chunk.count();
-            ts_map.insert(idx, TsPrefix { ts, complete });
+        if let Some(answer) = cached_hit {
+            return Ok(answer);
         }
-        let prefix = ts_map.get(&idx).expect("inserted above");
-        Ok(search_ts(&prefix.ts, chunk, t, use_step_index))
+        let ts = self.snapshot.read_timestamps(chunk, Some(t))?;
+        let complete = ts.len() as u64 == chunk.count();
+        let answer = search_ts(&ts, chunk, t, use_step_index);
+        self.ts.borrow_mut().insert(idx, TsPrefix { ts, complete });
+        Ok(answer)
     }
 }
 
@@ -106,6 +118,9 @@ fn search_points(pts: &[Point], chunk: &ChunkHandle, t: Timestamp, use_step_inde
 
 #[cfg(test)]
 mod tests {
+    // Tests assert by panicking; the workspace deny-set targets library code.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
     use super::*;
     use tsfile::types::Point;
     use tskv::config::EngineConfig;

@@ -38,7 +38,7 @@ use tskv::ChunkHandle;
 use crate::lsm::cache::ChunkCache;
 use crate::lsm::M4LsmConfig;
 use crate::repr::SpanRepr;
-use crate::Result;
+use crate::{M4Error, Result};
 
 /// One chunk as seen by one span.
 #[derive(Debug, Clone)]
@@ -139,9 +139,13 @@ impl<'a, 'b> SpanExecutor<'a, 'b> {
         let Some(first) = self.solve_edge(true)? else {
             return Ok(None);
         };
-        let last = self.solve_edge(false)?.expect("span non-empty: FP exists");
-        let bottom = self.solve_extreme(false)?.expect("span non-empty: FP exists");
-        let top = self.solve_extreme(true)?.expect("span non-empty: FP exists");
+        // FP exists, so the span holds live points and the other three
+        // solvers must find one too.
+        let (Some(last), Some(bottom), Some(top)) =
+            (self.solve_edge(false)?, self.solve_extreme(false)?, self.solve_extreme(true)?)
+        else {
+            return Err(M4Error::Internal("span with an FP yielded no LP/BP/TP"));
+        };
         Ok(Some(SpanRepr { first, last, bottom, top }))
     }
 
@@ -218,7 +222,9 @@ impl<'a, 'b> SpanExecutor<'a, 'b> {
                 continue;
             }
 
-            let EdgeState::Exact(p) = states[pos] else { unreachable!() };
+            let EdgeState::Exact(p) = states[pos] else {
+                return Err(M4Error::Internal("selected edge candidate is neither bound nor exact"));
+            };
             if self.cache.is_loaded(sc.idx) || self.live.borrow().contains_key(&sc.idx) {
                 // Live sets are delete-filtered already; Proposition 3.1
                 // rules out overwrites for the extreme-time candidate.
@@ -378,7 +384,9 @@ impl<'a, 'b> SpanExecutor<'a, 'b> {
                     };
                 }
                 ExtremeState::Loaded => { /* exclusion recorded above */ }
-                ExtremeState::Dirty(_) => unreachable!("dirty chunks yield no candidates"),
+                ExtremeState::Dirty(_) => {
+                    return Err(M4Error::Internal("dirty chunk produced a candidate"));
+                }
             }
         }
     }

@@ -35,6 +35,9 @@ pub fn m4_scan(points: &[Point], query: &M4Query) -> M4Result {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert by panicking; the workspace deny-set targets library code.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
     use super::*;
 
     fn pts(raw: &[(i64, f64)]) -> Vec<Point> {

@@ -122,6 +122,9 @@ pub fn execute(
 
 #[cfg(test)]
 mod tests {
+    // Tests assert by panicking; the workspace deny-set targets library code.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
     use super::*;
     use tsfile::types::Point;
     use tskv::config::EngineConfig;

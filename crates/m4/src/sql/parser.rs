@@ -290,6 +290,9 @@ impl Parser {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert by panicking; the workspace deny-set targets library code.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
     use super::*;
 
     const PAPER_SQL: &str = "SELECT FirstTime(T), FirstValue(T), LastTime(T), LastValue(T), \

@@ -9,6 +9,10 @@
 //! identical BP/TP *values* (any point attaining the extreme value is a
 //! valid representative).
 
+// Tests assert by panicking; the workspace panic-freedom deny-set
+// (root Cargo.toml) is aimed at library code.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;

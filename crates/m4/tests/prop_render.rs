@@ -2,6 +2,10 @@
 //! series and chart geometries (chart width == number of spans), the
 //! M4-reduced line chart is pixel-identical to the full-data chart.
 
+// Tests assert by panicking; the workspace panic-freedom deny-set
+// (root Cargo.toml) is aimed at library code.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
 use proptest::prelude::*;
 use tsfile::types::Point;
 

@@ -1,5 +1,6 @@
 //! Bit-level reader/writer used by the Gorilla value codec.
 
+use crate::cast;
 use crate::error::TsFileError;
 use crate::Result;
 
@@ -24,14 +25,16 @@ impl BitWriter {
             self.buf.push(0);
         }
         if bit {
-            let last = self.buf.last_mut().expect("buffer non-empty after push");
-            *last |= 1 << (7 - self.bit_pos);
+            let mask = 1 << (7 - self.bit_pos);
+            if let Some(last) = self.buf.last_mut() {
+                *last |= mask;
+            }
         }
         self.bit_pos = (self.bit_pos + 1) % 8;
     }
 
     /// Write the low `nbits` bits of `value`, most significant first.
-    pub fn write_bits(&mut self, value: u64, nbits: u8) {
+    pub fn write_bits(&mut self, value: u64, nbits: u32) {
         debug_assert!(nbits <= 64);
         for i in (0..nbits).rev() {
             self.write_bit((value >> i) & 1 == 1);
@@ -48,7 +51,7 @@ impl BitWriter {
         if self.bit_pos == 0 {
             self.buf.len() * 8
         } else {
-            (self.buf.len() - 1) * 8 + self.bit_pos as usize
+            (self.buf.len() - 1) * 8 + cast::usize_from_u8(self.bit_pos)
         }
     }
 }
@@ -72,13 +75,13 @@ impl<'a> BitReader<'a> {
             .buf
             .get(self.pos / 8)
             .ok_or(TsFileError::UnexpectedEof { what: "bitstream" })?;
-        let bit = (byte >> (7 - (self.pos % 8) as u8)) & 1 == 1;
+        let bit = (byte >> (7 - self.pos % 8)) & 1 == 1;
         self.pos += 1;
         Ok(bit)
     }
 
     /// Read `nbits` bits, most significant first.
-    pub fn read_bits(&mut self, nbits: u8) -> Result<u64> {
+    pub fn read_bits(&mut self, nbits: u32) -> Result<u64> {
         debug_assert!(nbits <= 64);
         let mut v = 0u64;
         for _ in 0..nbits {
@@ -93,7 +96,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn single_bits_roundtrip() {
+    fn single_bits_roundtrip() -> Result<()> {
         let mut w = BitWriter::new();
         let pattern = [true, false, true, true, false, false, true, false, true];
         for &b in &pattern {
@@ -103,12 +106,13 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes);
         for &b in &pattern {
-            assert_eq!(r.read_bit().unwrap(), b);
+            assert_eq!(r.read_bit()?, b);
         }
+        Ok(())
     }
 
     #[test]
-    fn multi_bit_roundtrip() {
+    fn multi_bit_roundtrip() -> Result<()> {
         let mut w = BitWriter::new();
         w.write_bits(0b1011, 4);
         w.write_bits(u64::MAX, 64);
@@ -116,10 +120,11 @@ mod tests {
         w.write_bits(0x1234_5678_9ABC_DEF0, 61);
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes);
-        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
-        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
-        assert_eq!(r.read_bits(1).unwrap(), 0);
-        assert_eq!(r.read_bits(61).unwrap(), 0x1234_5678_9ABC_DEF0 & ((1 << 61) - 1));
+        assert_eq!(r.read_bits(4)?, 0b1011);
+        assert_eq!(r.read_bits(64)?, u64::MAX);
+        assert_eq!(r.read_bits(1)?, 0);
+        assert_eq!(r.read_bits(61)?, 0x1234_5678_9ABC_DEF0 & ((1 << 61) - 1));
+        Ok(())
     }
 
     #[test]

@@ -8,20 +8,21 @@
 //! zero count, 6 bits of block length, then the block).
 
 use super::bitio::{BitReader, BitWriter};
+use crate::cast;
 use crate::error::TsFileError;
 use crate::Result;
 
 /// Encode a float column.
 pub fn encode(values: &[f64], out: &mut Vec<u8>) {
-    if values.is_empty() {
+    let Some((first, rest)) = values.split_first() else {
         return;
-    }
+    };
     let mut w = BitWriter::new();
-    let mut prev = values[0].to_bits();
+    let mut prev = first.to_bits();
     w.write_bits(prev, 64);
     let mut prev_leading: u32 = u32::MAX; // "no previous window"
     let mut prev_trailing: u32 = 0;
-    for &v in &values[1..] {
+    for &v in rest {
         let bits = v.to_bits();
         let xor = bits ^ prev;
         prev = bits;
@@ -36,14 +37,14 @@ pub fn encode(values: &[f64], out: &mut Vec<u8>) {
             // Reuse previous window.
             w.write_bit(false);
             let sig = 64 - prev_leading - prev_trailing;
-            w.write_bits(xor >> prev_trailing, sig as u8);
+            w.write_bits(xor >> prev_trailing, sig);
         } else {
             w.write_bit(true);
             let sig = 64 - leading - trailing; // ≥ 1 since xor != 0
             w.write_bits(u64::from(leading), 5);
             // sig ∈ [1, 64]; store sig-1 in 6 bits.
             w.write_bits(u64::from(sig - 1), 6);
-            w.write_bits(xor >> trailing, sig as u8);
+            w.write_bits(xor >> trailing, sig);
             prev_leading = leading;
             prev_trailing = trailing;
         }
@@ -70,8 +71,9 @@ pub fn decode(buf: &[u8], n: usize) -> Result<Vec<f64>> {
         }
         let new_window = r.read_bit()?;
         if new_window {
-            leading = r.read_bits(5)? as u32;
-            let sig = r.read_bits(6)? as u32 + 1;
+            // 5- and 6-bit reads always fit in u32; low32 is bit-exact here.
+            leading = cast::low32(r.read_bits(5)?);
+            let sig = cast::low32(r.read_bits(6)?) + 1;
             if leading + sig > 64 {
                 return Err(TsFileError::Corrupt(format!(
                     "gorilla window out of range: leading={leading} sig={sig}"
@@ -85,7 +87,7 @@ pub fn decode(buf: &[u8], n: usize) -> Result<Vec<f64>> {
             ));
         }
         let sig = 64 - leading - trailing;
-        let block = r.read_bits(sig as u8)?;
+        let block = r.read_bits(sig)?;
         let xor = block << trailing;
         prev ^= xor;
         out.push(f64::from_bits(prev));
@@ -97,41 +99,42 @@ pub fn decode(buf: &[u8], n: usize) -> Result<Vec<f64>> {
 mod tests {
     use super::*;
 
-    fn roundtrip(vs: &[f64]) {
+    fn roundtrip(vs: &[f64]) -> Result<()> {
         let mut buf = Vec::new();
         encode(vs, &mut buf);
-        let back = decode(&buf, vs.len()).unwrap();
+        let back = decode(&buf, vs.len())?;
         assert_eq!(back.len(), vs.len());
         for (a, b) in vs.iter().zip(&back) {
             assert_eq!(a.to_bits(), b.to_bits(), "bitwise mismatch {a} vs {b}");
         }
+        Ok(())
     }
 
     #[test]
-    fn empty_and_singleton() {
-        roundtrip(&[]);
-        roundtrip(&[3.25]);
-        roundtrip(&[f64::NAN]);
+    fn empty_and_singleton() -> Result<()> {
+        roundtrip(&[])?;
+        roundtrip(&[3.25])?;
+        roundtrip(&[f64::NAN])
     }
 
     #[test]
-    fn constant_series_is_tiny() {
+    fn constant_series_is_tiny() -> Result<()> {
         let vs = vec![21.5f64; 4096];
         let mut buf = Vec::new();
         encode(&vs, &mut buf);
         // 64 bits head + 1 bit per repeat → ~520 bytes.
         assert!(buf.len() < 600, "got {} bytes", buf.len());
-        roundtrip(&vs);
+        roundtrip(&vs)
     }
 
     #[test]
-    fn slowly_varying_sensor_series() {
+    fn slowly_varying_sensor_series() -> Result<()> {
         let vs: Vec<f64> = (0..5000).map(|i| 20.0 + (i as f64 * 0.01).sin()).collect();
-        roundtrip(&vs);
+        roundtrip(&vs)
     }
 
     #[test]
-    fn adversarial_bit_patterns() {
+    fn adversarial_bit_patterns() -> Result<()> {
         let vs = vec![
             0.0,
             -0.0,
@@ -144,23 +147,23 @@ mod tests {
             f64::from_bits(0xFFFF_FFFF_FFFF_FFFF),
             1.0,
         ];
-        roundtrip(&vs);
+        roundtrip(&vs)
     }
 
     #[test]
-    fn alternating_extremes() {
+    fn alternating_extremes() -> Result<()> {
         let vs: Vec<f64> = (0..1000)
             .map(|i| if i % 2 == 0 { f64::MAX } else { f64::MIN_POSITIVE })
             .collect();
-        roundtrip(&vs);
+        roundtrip(&vs)
     }
 
     #[test]
-    fn leading_zeros_capped_at_31() {
+    fn leading_zeros_capped_at_31() -> Result<()> {
         // xor with > 31 leading zeros exercises the `.min(31)` cap path.
         let a = 1.0f64;
         let b = f64::from_bits(a.to_bits() ^ 1); // 63 leading zeros in xor
-        roundtrip(&[a, b, a, b]);
+        roundtrip(&[a, b, a, b])
     }
 
     #[test]

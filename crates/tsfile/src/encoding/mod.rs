@@ -87,24 +87,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn kind_tag_roundtrip() {
+    fn kind_tag_roundtrip() -> crate::Result<()> {
         for k in [EncodingKind::Plain, EncodingKind::Ts2Diff, EncodingKind::Gorilla] {
-            assert_eq!(EncodingKind::from_u8(k as u8).unwrap(), k);
+            assert_eq!(EncodingKind::from_u8(k as u8)?, k);
         }
         assert!(EncodingKind::from_u8(77).is_err());
+        Ok(())
     }
 
     #[test]
-    fn dispatch_roundtrip_all_kinds() {
+    fn dispatch_roundtrip_all_kinds() -> crate::Result<()> {
         let ts: Vec<i64> = (0..500).map(|i| i * 9000 + (i % 7)).collect();
         let vs: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 100.0).collect();
         for k in [EncodingKind::Plain, EncodingKind::Ts2Diff, EncodingKind::Gorilla] {
             let mut tb = Vec::new();
             encode_timestamps(k, &ts, &mut tb);
-            assert_eq!(decode_timestamps(k, &tb, ts.len()).unwrap(), ts);
+            assert_eq!(decode_timestamps(k, &tb, ts.len())?, ts);
             let mut vb = Vec::new();
             encode_values(k, &vs, &mut vb);
-            assert_eq!(decode_values(k, &vb, vs.len()).unwrap(), vs);
+            assert_eq!(decode_values(k, &vb, vs.len())?, vs);
         }
+        Ok(())
     }
 }

@@ -15,13 +15,28 @@ pub fn encode_i64(values: &[i64], out: &mut Vec<u8>) {
 
 /// Decode `n` raw little-endian `i64` values.
 pub fn decode_i64(buf: &[u8], n: usize) -> Result<Vec<i64>> {
-    if buf.len() < n * 8 {
-        return Err(TsFileError::UnexpectedEof { what: "plain i64 column" });
-    }
-    Ok(buf[..n * 8]
+    Ok(column_bytes(buf, n, "plain i64 column")?
         .chunks_exact(8)
-        .map(|c| i64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+        .map(|c| i64::from_le_bytes(le_bytes(c)))
         .collect())
+}
+
+/// Checked prefix: the first `n * 8` bytes of `buf`, or `UnexpectedEof`.
+fn column_bytes<'a>(buf: &'a [u8], n: usize, what: &'static str) -> Result<&'a [u8]> {
+    n.checked_mul(8)
+        .and_then(|need| buf.get(..need))
+        .ok_or(TsFileError::UnexpectedEof { what })
+}
+
+/// Copy a `chunks_exact(8)` chunk into a fixed array (length is
+/// guaranteed by the iterator contract; short chunks yield zeros rather
+/// than a panic path).
+fn le_bytes(c: &[u8]) -> [u8; 8] {
+    let mut b = [0u8; 8];
+    for (dst, src) in b.iter_mut().zip(c) {
+        *dst = *src;
+    }
+    b
 }
 
 /// Encode `f64` values as raw little-endian bytes.
@@ -34,12 +49,9 @@ pub fn encode_f64(values: &[f64], out: &mut Vec<u8>) {
 
 /// Decode `n` raw little-endian `f64` values.
 pub fn decode_f64(buf: &[u8], n: usize) -> Result<Vec<f64>> {
-    if buf.len() < n * 8 {
-        return Err(TsFileError::UnexpectedEof { what: "plain f64 column" });
-    }
-    Ok(buf[..n * 8]
+    Ok(column_bytes(buf, n, "plain f64 column")?
         .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+        .map(|c| f64::from_le_bytes(le_bytes(c)))
         .collect())
 }
 
@@ -48,32 +60,35 @@ mod tests {
     use super::*;
 
     #[test]
-    fn i64_roundtrip() {
+    fn i64_roundtrip() -> Result<()> {
         let vals = vec![i64::MIN, -1, 0, 1, i64::MAX, 42];
         let mut buf = Vec::new();
         encode_i64(&vals, &mut buf);
         assert_eq!(buf.len(), vals.len() * 8);
-        assert_eq!(decode_i64(&buf, vals.len()).unwrap(), vals);
+        assert_eq!(decode_i64(&buf, vals.len())?, vals);
+        Ok(())
     }
 
     #[test]
-    fn f64_roundtrip_with_specials() {
+    fn f64_roundtrip_with_specials() -> Result<()> {
         let vals = vec![0.0, -0.0, 1.5, f64::MAX, f64::MIN_POSITIVE, f64::INFINITY];
         let mut buf = Vec::new();
         encode_f64(&vals, &mut buf);
-        let back = decode_f64(&buf, vals.len()).unwrap();
+        let back = decode_f64(&buf, vals.len())?;
         for (a, b) in vals.iter().zip(&back) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+        Ok(())
     }
 
     #[test]
-    fn nan_preserved_bitwise() {
+    fn nan_preserved_bitwise() -> Result<()> {
         let vals = vec![f64::NAN];
         let mut buf = Vec::new();
         encode_f64(&vals, &mut buf);
-        let back = decode_f64(&buf, 1).unwrap();
-        assert!(back[0].is_nan());
+        let back = decode_f64(&buf, 1)?;
+        assert!(back.iter().all(|v| v.is_nan()));
+        Ok(())
     }
 
     #[test]
@@ -85,10 +100,11 @@ mod tests {
     }
 
     #[test]
-    fn empty_roundtrip() {
+    fn empty_roundtrip() -> Result<()> {
         let mut buf = Vec::new();
         encode_i64(&[], &mut buf);
         assert!(buf.is_empty());
-        assert!(decode_i64(&buf, 0).unwrap().is_empty());
+        assert!(decode_i64(&buf, 0)?.is_empty());
+        Ok(())
     }
 }

@@ -13,20 +13,21 @@ use crate::Result;
 /// Encode a (not necessarily regular) increasing timestamp column.
 /// Works for any i64 sequence; compression is best when deltas repeat.
 pub fn encode(ts: &[i64], out: &mut Vec<u8>) {
-    if ts.is_empty() {
+    let Some((&first, rest)) = ts.split_first() else {
         return;
-    }
-    varint::write_i64(out, ts[0]);
-    if ts.len() == 1 {
-        return;
-    }
-    let first_delta = ts[1].wrapping_sub(ts[0]);
-    varint::write_i64(out, first_delta);
-    let mut prev_delta = first_delta;
-    for w in ts[1..].windows(2) {
-        let delta = w[1].wrapping_sub(w[0]);
-        varint::write_i64(out, delta.wrapping_sub(prev_delta));
-        prev_delta = delta;
+    };
+    varint::write_i64(out, first);
+    let mut prev_ts = first;
+    // The first delta is written raw; later ones as delta-of-delta.
+    let mut prev_delta: Option<i64> = None;
+    for &t in rest {
+        let delta = t.wrapping_sub(prev_ts);
+        match prev_delta {
+            None => varint::write_i64(out, delta),
+            Some(pd) => varint::write_i64(out, delta.wrapping_sub(pd)),
+        }
+        prev_delta = Some(delta);
+        prev_ts = t;
     }
 }
 
@@ -92,72 +93,77 @@ pub fn decode_until(buf: &[u8], n: usize, limit: i64) -> Result<Vec<i64>> {
 mod tests {
     use super::*;
 
-    fn roundtrip(ts: &[i64]) {
+    fn roundtrip(ts: &[i64]) -> Result<()> {
         let mut buf = Vec::new();
         encode(ts, &mut buf);
-        assert_eq!(decode(&buf, ts.len()).unwrap(), ts);
+        assert_eq!(decode(&buf, ts.len())?, ts);
+        Ok(())
     }
 
     #[test]
-    fn empty_and_singleton() {
-        roundtrip(&[]);
-        roundtrip(&[42]);
-        roundtrip(&[i64::MIN]);
+    fn empty_and_singleton() -> Result<()> {
+        roundtrip(&[])?;
+        roundtrip(&[42])?;
+        roundtrip(&[i64::MIN])
     }
 
     #[test]
-    fn regular_interval_compresses_hard() {
+    fn regular_interval_compresses_hard() -> Result<()> {
         let ts: Vec<i64> = (0..10_000).map(|i| 1_639_966_606_000 + i * 9000).collect();
         let mut buf = Vec::new();
         encode(&ts, &mut buf);
         // All deltas-of-deltas are zero → ~1 byte per point after the head.
         assert!(buf.len() < ts.len() + 32, "got {} bytes", buf.len());
-        assert_eq!(decode(&buf, ts.len()).unwrap(), ts);
+        assert_eq!(decode(&buf, ts.len())?, ts);
+        Ok(())
     }
 
     #[test]
-    fn irregular_still_exact() {
+    fn irregular_still_exact() -> Result<()> {
         let ts = vec![0, 5, 5, 7, 100, 101, 1_000_000, 1_000_001];
-        roundtrip(&ts);
+        roundtrip(&ts)
     }
 
     #[test]
-    fn decreasing_and_negative_timestamps() {
+    fn decreasing_and_negative_timestamps() -> Result<()> {
         // The codec itself does not require monotonicity.
-        roundtrip(&[100, 50, -50, -51, 0]);
+        roundtrip(&[100, 50, -50, -51, 0])
     }
 
     #[test]
-    fn extreme_values() {
-        roundtrip(&[i64::MIN, i64::MAX, 0, i64::MAX, i64::MIN]);
+    fn extreme_values() -> Result<()> {
+        roundtrip(&[i64::MIN, i64::MAX, 0, i64::MAX, i64::MIN])
     }
 
     #[test]
-    fn decode_until_stops_early() {
+    fn decode_until_stops_early() -> Result<()> {
         let ts: Vec<i64> = (0..1000).map(|i| i * 10).collect();
         let mut buf = Vec::new();
         encode(&ts, &mut buf);
-        let partial = decode_until(&buf, ts.len(), 505).unwrap();
+        let partial = decode_until(&buf, ts.len(), 505)?;
         // Includes the first crossing value (510), nothing after.
-        assert_eq!(*partial.last().unwrap(), 510);
+        assert_eq!(partial.last().copied(), Some(510));
         assert_eq!(partial.len(), 52);
         assert_eq!(&partial[..51], &ts[..51]);
+        Ok(())
     }
 
     #[test]
-    fn decode_until_past_end_returns_all() {
+    fn decode_until_past_end_returns_all() -> Result<()> {
         let ts: Vec<i64> = (0..100).map(|i| i * 3).collect();
         let mut buf = Vec::new();
         encode(&ts, &mut buf);
-        assert_eq!(decode_until(&buf, ts.len(), i64::MAX).unwrap(), ts);
+        assert_eq!(decode_until(&buf, ts.len(), i64::MAX)?, ts);
+        Ok(())
     }
 
     #[test]
-    fn decode_until_before_start_returns_one() {
+    fn decode_until_before_start_returns_one() -> Result<()> {
         let ts: Vec<i64> = (10..50).collect();
         let mut buf = Vec::new();
         encode(&ts, &mut buf);
-        assert_eq!(decode_until(&buf, ts.len(), 0).unwrap(), vec![10]);
+        assert_eq!(decode_until(&buf, ts.len(), 0)?, vec![10]);
+        Ok(())
     }
 
     #[test]

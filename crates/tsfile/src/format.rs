@@ -147,46 +147,51 @@ mod tests {
     use super::*;
     use crate::types::Point;
 
-    fn meta(version: u64, t0: i64, t1: i64) -> ChunkMeta {
+    fn meta(version: u64, t0: i64, t1: i64) -> crate::Result<ChunkMeta> {
         let pts = vec![Point::new(t0, 1.0), Point::new(t1, 2.0)];
-        ChunkMeta {
+        Ok(ChunkMeta {
             offset: 6,
             byte_len: 100,
             version: Version(version),
-            stats: ChunkStatistics::from_points(&pts).unwrap(),
+            stats: ChunkStatistics::from_points(&pts)?,
             index: StepIndex::learn(&[t0, t1]),
-        }
+        })
     }
 
     #[test]
-    fn chunk_meta_roundtrip() {
-        let m = meta(3, 0, 999);
+    fn chunk_meta_roundtrip() -> crate::Result<()> {
+        let m = meta(3, 0, 999)?;
         let mut buf = Vec::new();
         m.encode(&mut buf);
         let mut pos = 0;
-        assert_eq!(ChunkMeta::decode(&buf, &mut pos).unwrap(), m);
+        assert_eq!(ChunkMeta::decode(&buf, &mut pos)?, m);
         assert_eq!(pos, buf.len());
+        Ok(())
     }
 
     #[test]
-    fn footer_roundtrip() {
-        let f = FileFooter { chunks: vec![meta(1, 0, 10), meta(2, 5, 20), meta(3, 100, 110)] };
+    fn footer_roundtrip() -> crate::Result<()> {
+        let f =
+            FileFooter { chunks: vec![meta(1, 0, 10)?, meta(2, 5, 20)?, meta(3, 100, 110)?] };
         let body = f.encode_body();
-        assert_eq!(FileFooter::decode_body(&body).unwrap(), f);
+        assert_eq!(FileFooter::decode_body(&body)?, f);
+        Ok(())
     }
 
     #[test]
-    fn empty_footer_roundtrip() {
+    fn empty_footer_roundtrip() -> crate::Result<()> {
         let f = FileFooter::default();
-        assert_eq!(FileFooter::decode_body(&f.encode_body()).unwrap(), f);
+        assert_eq!(FileFooter::decode_body(&f.encode_body())?, f);
+        Ok(())
     }
 
     #[test]
-    fn footer_rejects_trailing_garbage() {
-        let f = FileFooter { chunks: vec![meta(1, 0, 10)] };
+    fn footer_rejects_trailing_garbage() -> crate::Result<()> {
+        let f = FileFooter { chunks: vec![meta(1, 0, 10)?] };
         let mut body = f.encode_body();
         body.push(0xAB);
         assert!(FileFooter::decode_body(&body).is_err());
+        Ok(())
     }
 
     #[test]

@@ -478,46 +478,49 @@ mod tests {
     }
 
     #[test]
-    fn learns_paper_example() {
+    fn learns_paper_example() -> std::result::Result<(), &'static str> {
         let ts = example_3_8();
-        let idx = StepIndex::learn(&ts).expect("model should fit");
+        let idx = StepIndex::learn(&ts).ok_or("model should fit")?;
         assert_eq!(idx.median_delta(), 9000);
         // tilt, level, tilt
         assert_eq!(idx.segment_count(), 3);
         assert_eq!(idx.epsilon(), 0, "regular steps should be exact");
         // Proposition 3.7: f(first)=1, f(last)=count.
         assert_eq!(idx.predict(ts[0]), 1.0);
-        assert_eq!(idx.predict(*ts.last().unwrap()), 1000.0);
+        assert_eq!(idx.predict(*ts.last().ok_or("empty")?), 1000.0);
         // Mid-gap timestamps predict the level position.
         let mid_gap = ts[241] + 2 * 9000;
         let p = idx.predict(mid_gap);
         assert!((p - 242.0).abs() <= 1.0, "gap predicts plateau, got {p}");
+        Ok(())
     }
 
     #[test]
-    fn exact_on_all_points_when_regular() {
+    fn exact_on_all_points_when_regular() -> std::result::Result<(), &'static str> {
         let ts: Vec<i64> = (0..5000).map(|i| 1_000_000 + i * 100).collect();
-        let idx = StepIndex::learn(&ts).unwrap();
+        let idx = StepIndex::learn(&ts).ok_or("model should fit")?;
         assert_eq!(idx.segment_count(), 1);
         assert_eq!(idx.epsilon(), 0);
         for (i, &t) in ts.iter().enumerate() {
             assert_eq!(idx.predict(t), (i + 1) as f64);
         }
+        Ok(())
     }
 
     #[test]
-    fn epoch_millis_no_float_cancellation() {
+    fn epoch_millis_no_float_cancellation() -> std::result::Result<(), &'static str> {
         // Regression guard for the K·t + b numeric trap.
         let ts: Vec<i64> = (0..100_000).map(|i| 1_639_966_606_000 + i * 9000).collect();
-        let idx = StepIndex::learn(&ts).unwrap();
+        let idx = StepIndex::learn(&ts).ok_or("model should fit")?;
         assert_eq!(idx.epsilon(), 0);
         assert_eq!(idx.predict(ts[99_999]), 100_000.0);
+        Ok(())
     }
 
     #[test]
-    fn ops_match_binary_search_on_gappy_data() {
+    fn ops_match_binary_search_on_gappy_data() -> std::result::Result<(), &'static str> {
         let ts = example_3_8();
-        let idx = StepIndex::learn(&ts).unwrap();
+        let idx = StepIndex::learn(&ts).ok_or("model should fit")?;
         let probes: Vec<i64> = (0..2000)
             .map(|i| ts[0] - 5000 + i * 7001)
             .chain(ts.iter().copied())
@@ -540,10 +543,11 @@ mod tests {
                 "last_before({t})"
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn jittered_timestamps_still_correct() {
+    fn jittered_timestamps_still_correct() -> std::result::Result<(), &'static str> {
         // ±3ms jitter: model inexact (ε>0) but lookups stay exact.
         let mut ts: Vec<i64> = Vec::new();
         let mut state = 0x12345u64;
@@ -554,11 +558,12 @@ mod tests {
             t += 1000 + jitter;
             ts.push(t);
         }
-        let idx = StepIndex::learn(&ts).unwrap();
+        let idx = StepIndex::learn(&ts).ok_or("model should fit")?;
         for probe in ts.iter().step_by(17) {
             assert!(idx.exists_at(&ts, *probe));
             assert!(!idx.exists_at(&ts, probe + 1) || ts.binary_search(&(probe + 1)).is_ok());
         }
+        Ok(())
     }
 
     #[test]
@@ -569,7 +574,7 @@ mod tests {
     }
 
     #[test]
-    fn multiple_gaps() {
+    fn multiple_gaps() -> std::result::Result<(), &'static str> {
         let mut ts = Vec::new();
         let mut t = 0i64;
         for block in 0..5 {
@@ -579,25 +584,27 @@ mod tests {
             }
             t += 100_000 * (block + 1); // widening gaps
         }
-        let idx = StepIndex::learn(&ts).unwrap();
+        let idx = StepIndex::learn(&ts).ok_or("model should fit")?;
         // 5 tilts + 4 levels
         assert_eq!(idx.segment_count(), 9);
         for (i, &tt) in ts.iter().enumerate() {
             let err = (idx.predict(tt) - (i + 1) as f64).abs();
             assert!(err <= idx.epsilon() as f64 + 1e-9, "pos {i} err {err}");
         }
+        Ok(())
     }
 
     #[test]
-    fn encode_decode_roundtrip() {
+    fn encode_decode_roundtrip() -> std::result::Result<(), &'static str> {
         let ts = example_3_8();
-        let idx = StepIndex::learn(&ts).unwrap();
+        let idx = StepIndex::learn(&ts).ok_or("model should fit")?;
         let mut buf = Vec::new();
         idx.encode(&mut buf);
         let mut pos = 0;
-        let back = StepIndex::decode(&buf, &mut pos).unwrap();
+        let back = StepIndex::decode(&buf, &mut pos).map_err(|_| "decode failed")?;
         assert_eq!(back, idx);
         assert_eq!(pos, buf.len());
+        Ok(())
     }
 
     #[test]
@@ -622,12 +629,13 @@ mod tests {
     }
 
     #[test]
-    fn split_timestamps_bracket_chunk() {
+    fn split_timestamps_bracket_chunk() -> std::result::Result<(), &'static str> {
         let ts = example_3_8();
-        let idx = StepIndex::learn(&ts).unwrap();
+        let idx = StepIndex::learn(&ts).ok_or("model should fit")?;
         let splits = idx.split_timestamps();
         assert_eq!(splits.first(), Some(&ts[0]));
-        assert_eq!(splits.last(), Some(ts.last().unwrap()));
+        assert_eq!(splits.last().copied(), ts.last().copied());
         assert!(splits.windows(2).all(|w| w[0] <= w[1]));
+        Ok(())
     }
 }

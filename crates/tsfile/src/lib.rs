@@ -31,22 +31,28 @@
 //! ```
 //! use tsfile::{TsFileWriter, TsFileReader, types::Point};
 //!
+//! # fn main() -> tsfile::Result<()> {
 //! let dir = std::env::temp_dir().join("tsfile-doc-example");
-//! std::fs::create_dir_all(&dir).unwrap();
+//! std::fs::create_dir_all(&dir)?;
 //! let path = dir.join("doc.tsfile");
 //!
-//! let mut w = TsFileWriter::create(&path).unwrap();
+//! let mut w = TsFileWriter::create(&path)?;
 //! let points: Vec<Point> = (0..100).map(|i| Point::new(i * 1000, i as f64)).collect();
-//! w.write_chunk(&points, 1).unwrap();
-//! w.finish().unwrap();
+//! w.write_chunk(&points, 1)?;
+//! w.finish()?;
 //!
-//! let r = TsFileReader::open(&path).unwrap();
+//! let r = TsFileReader::open(&path)?;
 //! assert_eq!(r.chunk_metas().len(), 1);
-//! let back = r.read_chunk(&r.chunk_metas()[0]).unwrap();
+//! let back = r.read_chunk(&r.chunk_metas()[0])?;
 //! assert_eq!(back, points);
 //! # std::fs::remove_file(&path).ok();
+//! # Ok(())
+//! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub mod cast;
 pub mod checksum;
 pub mod encoding;
 pub mod error;

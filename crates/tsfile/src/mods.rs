@@ -72,8 +72,15 @@ impl ModEntry {
         let Some(crc_bytes) = buf.get(body_end..crc_end) else {
             return Ok(None);
         };
-        let expected = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
-        if crc32(&buf[start_pos..body_end]) != expected {
+        let mut crc_arr = [0u8; 4];
+        for (dst, src) in crc_arr.iter_mut().zip(crc_bytes) {
+            *dst = *src;
+        }
+        let expected = u32::from_le_bytes(crc_arr);
+        let Some(body) = buf.get(start_pos..body_end) else {
+            return Ok(None);
+        };
+        if crc32(body) != expected {
             return Ok(None);
         }
         *pos = crc_end;
@@ -137,59 +144,63 @@ mod tests {
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("tsfile-mods-tests");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).ok();
         let p = dir.join(name);
         std::fs::remove_file(&p).ok();
         p
     }
 
     #[test]
-    fn append_and_reload() {
+    fn append_and_reload() -> Result<()> {
         let p = tmp("basic.mods");
-        let mut m = ModsFile::open(&p).unwrap();
-        m.append(ModEntry::new(Version(2), 100, 200)).unwrap();
-        m.append(ModEntry::new(Version(5), -50, 50)).unwrap();
+        let mut m = ModsFile::open(&p)?;
+        m.append(ModEntry::new(Version(2), 100, 200))?;
+        m.append(ModEntry::new(Version(5), -50, 50))?;
         drop(m);
-        let m2 = ModsFile::open(&p).unwrap();
-        assert_eq!(m2.entries().len(), 2);
-        assert_eq!(m2.entries()[0], ModEntry::new(Version(2), 100, 200));
-        assert_eq!(m2.entries()[1], ModEntry::new(Version(5), -50, 50));
+        let m2 = ModsFile::open(&p)?;
+        assert_eq!(
+            m2.entries(),
+            &[ModEntry::new(Version(2), 100, 200), ModEntry::new(Version(5), -50, 50)]
+        );
+        Ok(())
     }
 
     #[test]
-    fn missing_file_is_empty() {
+    fn missing_file_is_empty() -> Result<()> {
         let p = tmp("missing.mods");
-        let m = ModsFile::open(&p).unwrap();
+        let m = ModsFile::open(&p)?;
         assert!(m.entries().is_empty());
+        Ok(())
     }
 
     #[test]
-    fn torn_tail_entry_dropped() {
+    fn torn_tail_entry_dropped() -> Result<()> {
         let p = tmp("torn.mods");
-        let mut m = ModsFile::open(&p).unwrap();
-        m.append(ModEntry::new(Version(1), 0, 10)).unwrap();
-        m.append(ModEntry::new(Version(2), 20, 30)).unwrap();
+        let mut m = ModsFile::open(&p)?;
+        m.append(ModEntry::new(Version(1), 0, 10))?;
+        m.append(ModEntry::new(Version(2), 20, 30))?;
         drop(m);
         // Simulate a crash mid-append: truncate the last 3 bytes.
-        let data = std::fs::read(&p).unwrap();
-        std::fs::write(&p, &data[..data.len() - 3]).unwrap();
-        let m2 = ModsFile::open(&p).unwrap();
-        assert_eq!(m2.entries().len(), 1);
-        assert_eq!(m2.entries()[0], ModEntry::new(Version(1), 0, 10));
+        let data = std::fs::read(&p)?;
+        std::fs::write(&p, &data[..data.len() - 3])?;
+        let m2 = ModsFile::open(&p)?;
+        assert_eq!(m2.entries(), &[ModEntry::new(Version(1), 0, 10)]);
+        Ok(())
     }
 
     #[test]
-    fn corrupt_tail_crc_dropped() {
+    fn corrupt_tail_crc_dropped() -> Result<()> {
         let p = tmp("crc.mods");
-        let mut m = ModsFile::open(&p).unwrap();
-        m.append(ModEntry::new(Version(1), 0, 10)).unwrap();
+        let mut m = ModsFile::open(&p)?;
+        m.append(ModEntry::new(Version(1), 0, 10))?;
         drop(m);
-        let mut data = std::fs::read(&p).unwrap();
+        let mut data = std::fs::read(&p)?;
         let n = data.len();
         data[n - 1] ^= 0xFF;
-        std::fs::write(&p, &data).unwrap();
-        let m2 = ModsFile::open(&p).unwrap();
+        std::fs::write(&p, &data)?;
+        let m2 = ModsFile::open(&p)?;
         assert!(m2.entries().is_empty());
+        Ok(())
     }
 
     #[test]
@@ -202,17 +213,18 @@ mod tests {
     }
 
     #[test]
-    fn append_after_reload_continues_log() {
+    fn append_after_reload_continues_log() -> Result<()> {
         let p = tmp("continue.mods");
         {
-            let mut m = ModsFile::open(&p).unwrap();
-            m.append(ModEntry::new(Version(1), 0, 1)).unwrap();
+            let mut m = ModsFile::open(&p)?;
+            m.append(ModEntry::new(Version(1), 0, 1))?;
         }
         {
-            let mut m = ModsFile::open(&p).unwrap();
-            m.append(ModEntry::new(Version(2), 2, 3)).unwrap();
+            let mut m = ModsFile::open(&p)?;
+            m.append(ModEntry::new(Version(2), 2, 3))?;
         }
-        let m = ModsFile::open(&p).unwrap();
+        let m = ModsFile::open(&p)?;
         assert_eq!(m.entries().len(), 2);
+        Ok(())
     }
 }

@@ -52,14 +52,18 @@ impl TsFileReader {
         file.seek(SeekFrom::End(-(trailer_len as i64)))?;
         let mut trailer = vec![0u8; trailer_len as usize];
         file.read_exact(&mut trailer)?;
-        let tail_magic = &trailer[trailer_len as usize - MAGIC.len()..];
+        let magic_start = trailer.len().saturating_sub(MAGIC.len());
+        let tail_magic = trailer.get(magic_start..).unwrap_or(&[]);
         if tail_magic != MAGIC {
             let mut found = [0u8; 6];
-            found.copy_from_slice(tail_magic);
+            for (dst, src) in found.iter_mut().zip(tail_magic) {
+                *dst = *src;
+            }
             return Err(TsFileError::BadMagic { found });
         }
-        let expected_crc = u32::from_le_bytes(trailer[0..4].try_into().expect("4 bytes"));
-        let body_len = u64::from_le_bytes(trailer[4..12].try_into().expect("8 bytes"));
+        let too_short = || TsFileError::Corrupt("trailer too short".into());
+        let expected_crc = le_u32(&trailer).ok_or_else(too_short)?;
+        let body_len = trailer.get(4..).and_then(le_u64).ok_or_else(too_short)?;
         let footer_start = file_len
             .checked_sub(trailer_len + body_len)
             .ok_or_else(|| TsFileError::Corrupt("footer length exceeds file".into()))?;
@@ -101,7 +105,9 @@ impl TsFileReader {
     pub fn read_chunk(&self, meta: &ChunkMeta) -> Result<Vec<Point>> {
         let mut body = vec![0u8; meta.byte_len as usize];
         {
-            let mut file = self.file.lock().expect("tsfile reader mutex poisoned");
+            // A poisoned mutex only means another reader panicked while
+            // holding it; the File itself has no invariant to lose.
+            let mut file = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             file.seek(SeekFrom::Start(meta.offset))?;
             file.read_exact(&mut body)?;
         }
@@ -122,7 +128,7 @@ impl TsFileReader {
     ) -> Result<Vec<i64>> {
         let mut body = vec![0u8; meta.byte_len as usize];
         {
-            let mut file = self.file.lock().expect("tsfile reader mutex poisoned");
+            let mut file = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             file.seek(SeekFrom::Start(meta.offset))?;
             file.read_exact(&mut body)?;
         }
@@ -142,13 +148,34 @@ impl TsFileReader {
     }
 }
 
+/// First four bytes of `bytes` as a little-endian `u32`, if present.
+fn le_u32(bytes: &[u8]) -> Option<u32> {
+    let src = bytes.get(..4)?;
+    let mut arr = [0u8; 4];
+    for (dst, s) in arr.iter_mut().zip(src) {
+        *dst = *s;
+    }
+    Some(u32::from_le_bytes(arr))
+}
+
+/// First eight bytes of `bytes` as a little-endian `u64`, if present.
+fn le_u64(bytes: &[u8]) -> Option<u64> {
+    let src = bytes.get(..8)?;
+    let mut arr = [0u8; 8];
+    for (dst, s) in arr.iter_mut().zip(src) {
+        *dst = *s;
+    }
+    Some(u64::from_le_bytes(arr))
+}
+
 /// Decode a chunk body (as laid out by the writer) into points.
 pub fn decode_chunk_body(body: &[u8], meta: &ChunkMeta) -> Result<Vec<Point>> {
     if body.len() < 4 {
         return Err(TsFileError::UnexpectedEof { what: "chunk body" });
     }
     let (payload, crc_bytes) = body.split_at(body.len() - 4);
-    let expected_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    let expected_crc =
+        le_u32(crc_bytes).ok_or(TsFileError::UnexpectedEof { what: "chunk body crc" })?;
     let actual_crc = crc32(payload);
     if actual_crc != expected_crc {
         return Err(TsFileError::ChecksumMismatch {
@@ -178,14 +205,20 @@ pub fn decode_chunk_body(body: &[u8], meta: &ChunkMeta) -> Result<Vec<Point>> {
         .checked_add(ts_len)
         .filter(|&e| e <= payload.len())
         .ok_or(TsFileError::UnexpectedEof { what: "timestamp column" })?;
-    let ts = encoding::decode_timestamps(ts_kind, &payload[pos..ts_end], n)?;
+    let ts_col = payload
+        .get(pos..ts_end)
+        .ok_or(TsFileError::UnexpectedEof { what: "timestamp column" })?;
+    let ts = encoding::decode_timestamps(ts_kind, ts_col, n)?;
     pos = ts_end;
     let val_len = crate::varint::read_u64(payload, &mut pos)? as usize;
     let val_end = pos
         .checked_add(val_len)
         .filter(|&e| e <= payload.len())
         .ok_or(TsFileError::UnexpectedEof { what: "value column" })?;
-    let vs = encoding::decode_values(val_kind, &payload[pos..val_end], n)?;
+    let val_col = payload
+        .get(pos..val_end)
+        .ok_or(TsFileError::UnexpectedEof { what: "value column" })?;
+    let vs = encoding::decode_values(val_kind, val_col, n)?;
     Ok(ts.into_iter().zip(vs).map(|(t, v)| Point::new(t, v)).collect())
 }
 
@@ -200,7 +233,8 @@ pub fn decode_chunk_timestamps(
         return Err(TsFileError::UnexpectedEof { what: "chunk body" });
     }
     let (payload, crc_bytes) = body.split_at(body.len() - 4);
-    let expected_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    let expected_crc =
+        le_u32(crc_bytes).ok_or(TsFileError::UnexpectedEof { what: "chunk body crc" })?;
     let actual_crc = crc32(payload);
     if actual_crc != expected_crc {
         return Err(TsFileError::ChecksumMismatch {
@@ -226,7 +260,9 @@ pub fn decode_chunk_timestamps(
         .checked_add(ts_len)
         .filter(|&e| e <= payload.len())
         .ok_or(TsFileError::UnexpectedEof { what: "timestamp column" })?;
-    let col = &payload[pos..ts_end];
+    let col = payload
+        .get(pos..ts_end)
+        .ok_or(TsFileError::UnexpectedEof { what: "timestamp column" })?;
     match (ts_kind, until) {
         (EncodingKind::Plain, _) => {
             // Plain is random-access; an early stop saves little.
@@ -245,7 +281,7 @@ mod tests {
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("tsfile-reader-tests");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).ok();
         dir.join(name)
     }
 
@@ -254,31 +290,32 @@ mod tests {
     }
 
     #[test]
-    fn write_read_roundtrip_multi_chunk() {
+    fn write_read_roundtrip_multi_chunk() -> Result<()> {
         let p = tmp("roundtrip.tsfile");
-        let mut w = TsFileWriter::create(&p).unwrap();
+        let mut w = TsFileWriter::create(&p)?;
         let c1 = series(1000, 9000);
         let c2: Vec<Point> = (0..500).map(|i| Point::new(i * 7 + 3, i as f64)).collect();
-        w.write_chunk(&c1, 1).unwrap();
-        w.write_chunk(&c2, 2).unwrap();
-        w.finish().unwrap();
+        w.write_chunk(&c1, 1)?;
+        w.write_chunk(&c2, 2)?;
+        w.finish()?;
 
-        let r = TsFileReader::open(&p).unwrap();
+        let r = TsFileReader::open(&p)?;
         assert_eq!(r.chunk_metas().len(), 2);
-        assert_eq!(r.read_chunk(&r.chunk_metas()[0]).unwrap(), c1);
-        assert_eq!(r.read_chunk(&r.chunk_metas()[1]).unwrap(), c2);
+        assert_eq!(r.read_chunk(&r.chunk_metas()[0])?, c1);
+        assert_eq!(r.read_chunk(&r.chunk_metas()[1])?, c2);
         assert_eq!(r.chunks_read(), 2);
         assert!(r.bytes_read() > 0);
+        Ok(())
     }
 
     #[test]
-    fn metadata_matches_points() {
+    fn metadata_matches_points() -> Result<()> {
         let p = tmp("meta.tsfile");
-        let mut w = TsFileWriter::create(&p).unwrap();
+        let mut w = TsFileWriter::create(&p)?;
         let pts = vec![Point::new(10, 5.0), Point::new(20, -2.0), Point::new(30, 8.0)];
-        w.write_chunk(&pts, 7).unwrap();
-        w.finish().unwrap();
-        let r = TsFileReader::open(&p).unwrap();
+        w.write_chunk(&pts, 7)?;
+        w.finish()?;
+        let r = TsFileReader::open(&p)?;
         let m = &r.chunk_metas()[0];
         assert_eq!(m.version.0, 7);
         assert_eq!(m.stats.first, pts[0]);
@@ -286,81 +323,88 @@ mod tests {
         assert_eq!(m.stats.bottom, pts[1]);
         assert_eq!(m.stats.top, pts[2]);
         assert_eq!(m.stats.count, 3);
+        Ok(())
     }
 
     #[test]
-    fn timestamps_only_partial_decode() {
+    fn timestamps_only_partial_decode() -> Result<()> {
         let p = tmp("partial.tsfile");
-        let mut w = TsFileWriter::create(&p).unwrap();
+        let mut w = TsFileWriter::create(&p)?;
         let pts = series(1000, 9000);
-        w.write_chunk(&pts, 1).unwrap();
-        w.finish().unwrap();
-        let r = TsFileReader::open(&p).unwrap();
+        w.write_chunk(&pts, 1)?;
+        w.finish()?;
+        let r = TsFileReader::open(&p)?;
         let meta = &r.chunk_metas()[0];
-        let all = r.read_chunk_timestamps(meta, None).unwrap();
+        let all = r.read_chunk_timestamps(meta, None)?;
         assert_eq!(all.len(), 1000);
         assert!(all.iter().zip(&pts).all(|(t, p)| *t == p.t));
-        let some = r.read_chunk_timestamps(meta, Some(45_000)).unwrap();
+        let some = r.read_chunk_timestamps(meta, Some(45_000))?;
         assert!(some.len() < 20, "early stop expected, got {}", some.len());
-        assert!(*some.last().unwrap() > 45_000 || some.len() == 1000);
+        assert!(some.last().is_some_and(|&t| t > 45_000) || some.len() == 1000);
+        Ok(())
     }
 
     #[test]
-    fn rejects_non_tsfile() {
+    fn rejects_non_tsfile() -> Result<()> {
         let p = tmp("garbage.bin");
-        std::fs::write(&p, b"this is definitely not a tsfile at all").unwrap();
+        std::fs::write(&p, b"this is definitely not a tsfile at all")?;
         assert!(matches!(TsFileReader::open(&p), Err(TsFileError::BadMagic { .. })));
+        Ok(())
     }
 
     #[test]
-    fn rejects_truncated_file() {
+    fn rejects_truncated_file() -> Result<()> {
         let p = tmp("trunc.tsfile");
-        let mut w = TsFileWriter::create(&p).unwrap();
-        w.write_chunk(&series(100, 10), 1).unwrap();
-        w.finish().unwrap();
-        let data = std::fs::read(&p).unwrap();
-        std::fs::write(&p, &data[..data.len() - 3]).unwrap();
+        let mut w = TsFileWriter::create(&p)?;
+        w.write_chunk(&series(100, 10), 1)?;
+        w.finish()?;
+        let data = std::fs::read(&p)?;
+        std::fs::write(&p, &data[..data.len() - 3])?;
         assert!(TsFileReader::open(&p).is_err());
+        Ok(())
     }
 
     #[test]
-    fn detects_chunk_body_corruption() {
+    fn detects_chunk_body_corruption() -> Result<()> {
         let p = tmp("flip.tsfile");
-        let mut w = TsFileWriter::create(&p).unwrap();
-        let meta = w.write_chunk(&series(200, 10), 1).unwrap();
-        w.finish().unwrap();
-        let mut data = std::fs::read(&p).unwrap();
+        let mut w = TsFileWriter::create(&p)?;
+        let meta = w.write_chunk(&series(200, 10), 1)?;
+        w.finish()?;
+        let mut data = std::fs::read(&p)?;
         // Flip one bit in the middle of the chunk body.
         let idx = (meta.offset + meta.byte_len / 2) as usize;
         data[idx] ^= 0x01;
-        std::fs::write(&p, &data).unwrap();
-        let r = TsFileReader::open(&p).unwrap();
+        std::fs::write(&p, &data)?;
+        let r = TsFileReader::open(&p)?;
         assert!(matches!(
             r.read_chunk(&r.chunk_metas()[0]),
             Err(TsFileError::ChecksumMismatch { .. })
         ));
+        Ok(())
     }
 
     #[test]
-    fn detects_footer_corruption() {
+    fn detects_footer_corruption() -> Result<()> {
         let p = tmp("footerflip.tsfile");
-        let mut w = TsFileWriter::create(&p).unwrap();
-        w.write_chunk(&series(50, 10), 1).unwrap();
-        w.finish().unwrap();
-        let mut data = std::fs::read(&p).unwrap();
+        let mut w = TsFileWriter::create(&p)?;
+        w.write_chunk(&series(50, 10), 1)?;
+        w.finish()?;
+        let mut data = std::fs::read(&p)?;
         let n = data.len();
         // Footer body sits just before the 18-byte trailer; flip a bit in it.
         data[n - 20] ^= 0x80;
-        std::fs::write(&p, &data).unwrap();
+        std::fs::write(&p, &data)?;
         assert!(TsFileReader::open(&p).is_err());
+        Ok(())
     }
 
     #[test]
-    fn empty_file_with_footer_only() {
+    fn empty_file_with_footer_only() -> Result<()> {
         let p = tmp("nochunks.tsfile");
-        let mut w = TsFileWriter::create(&p).unwrap();
-        w.finish().unwrap();
-        let r = TsFileReader::open(&p).unwrap();
+        let mut w = TsFileWriter::create(&p)?;
+        w.finish()?;
+        let r = TsFileReader::open(&p)?;
         assert!(r.chunk_metas().is_empty());
+        Ok(())
     }
 }

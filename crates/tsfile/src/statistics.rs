@@ -34,11 +34,11 @@ impl ChunkStatistics {
     /// Ties on value resolve to the earliest point, matching a single
     /// forward scan (any tie choice is valid for M4, Definition 2.1).
     pub fn from_points(points: &[Point]) -> Result<Self> {
-        let first = *points.first().ok_or(TsFileError::EmptyChunk)?;
-        let last = *points.last().expect("non-empty");
+        let (&first, rest) = points.split_first().ok_or(TsFileError::EmptyChunk)?;
+        let last = rest.last().copied().unwrap_or(first);
         let mut bottom = first;
         let mut top = first;
-        for p in &points[1..] {
+        for p in rest {
             // total_cmp gives NaN and signed zero a consistent order,
             // so every component (statistics, oracle, operators) agrees
             // on which point is the extreme.
@@ -76,7 +76,11 @@ impl ChunkStatistics {
                 .get(*pos..end)
                 .ok_or(TsFileError::UnexpectedEof { what: "statistics value" })?;
             *pos = end;
-            Ok(Point::new(t, f64::from_le_bytes(bytes.try_into().expect("8-byte slice"))))
+            let mut arr = [0u8; 8];
+            for (dst, src) in arr.iter_mut().zip(bytes) {
+                *dst = *src;
+            }
+            Ok(Point::new(t, f64::from_le_bytes(arr)))
         };
         let first = read_point(pos)?;
         let last = read_point(pos)?;
@@ -127,23 +131,25 @@ mod tests {
     }
 
     #[test]
-    fn from_points_basic() {
+    fn from_points_basic() -> Result<()> {
         let points = pts(&[(1, 5.0), (2, -3.0), (3, 9.0), (4, 0.0)]);
-        let s = ChunkStatistics::from_points(&points).unwrap();
+        let s = ChunkStatistics::from_points(&points)?;
         assert_eq!(s.first, Point::new(1, 5.0));
         assert_eq!(s.last, Point::new(4, 0.0));
         assert_eq!(s.bottom, Point::new(2, -3.0));
         assert_eq!(s.top, Point::new(3, 9.0));
         assert_eq!(s.count, 4);
+        Ok(())
     }
 
     #[test]
-    fn from_points_single() {
+    fn from_points_single() -> Result<()> {
         let points = pts(&[(7, 1.5)]);
-        let s = ChunkStatistics::from_points(&points).unwrap();
+        let s = ChunkStatistics::from_points(&points)?;
         assert_eq!(s.first, s.last);
         assert_eq!(s.bottom, s.top);
         assert_eq!(s.count, 1);
+        Ok(())
     }
 
     #[test]
@@ -152,23 +158,25 @@ mod tests {
     }
 
     #[test]
-    fn value_ties_resolve_to_earliest() {
+    fn value_ties_resolve_to_earliest() -> Result<()> {
         let points = pts(&[(1, 2.0), (2, 2.0), (3, 2.0)]);
-        let s = ChunkStatistics::from_points(&points).unwrap();
+        let s = ChunkStatistics::from_points(&points)?;
         assert_eq!(s.bottom.t, 1);
         assert_eq!(s.top.t, 1);
+        Ok(())
     }
 
     #[test]
-    fn encode_decode_roundtrip() {
+    fn encode_decode_roundtrip() -> Result<()> {
         let points = pts(&[(100, -1.25), (200, 4.5), (305, 4.5), (400, 0.0)]);
-        let s = ChunkStatistics::from_points(&points).unwrap();
+        let s = ChunkStatistics::from_points(&points)?;
         let mut buf = Vec::new();
         s.encode(&mut buf);
         let mut pos = 0;
-        let back = ChunkStatistics::decode(&buf, &mut pos).unwrap();
+        let back = ChunkStatistics::decode(&buf, &mut pos)?;
         assert_eq!(back, s);
         assert_eq!(pos, buf.len());
+        Ok(())
     }
 
     #[test]
@@ -200,9 +208,10 @@ mod tests {
     }
 
     #[test]
-    fn time_range_matches_first_last() {
+    fn time_range_matches_first_last() -> Result<()> {
         let points = pts(&[(3, 1.0), (9, 2.0)]);
-        let s = ChunkStatistics::from_points(&points).unwrap();
+        let s = ChunkStatistics::from_points(&points)?;
         assert_eq!(s.time_range(), TimeRange::new(3, 9));
+        Ok(())
     }
 }

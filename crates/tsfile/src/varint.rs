@@ -3,6 +3,7 @@
 //! Used by the chunk format for lengths and by the TS_2DIFF timestamp
 //! encoding for signed deltas. Kept dependency-free.
 
+use crate::cast;
 use crate::error::TsFileError;
 use crate::Result;
 
@@ -10,19 +11,19 @@ use crate::Result;
 /// sign) become small unsigned values.
 #[inline]
 pub fn zigzag(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
+    cast::u64_bits((v << 1) ^ (v >> 63))
 }
 
 /// Inverse of [`zigzag`].
 #[inline]
 pub fn unzigzag(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
+    cast::i64_bits(v >> 1) ^ -cast::i64_bits(v & 1)
 }
 
 /// Append an unsigned LEB128 varint to `out`.
 pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
     loop {
-        let byte = (v & 0x7f) as u8;
+        let byte = cast::low8(v & 0x7f);
         v >>= 7;
         if v == 0 {
             out.push(byte);
@@ -85,7 +86,7 @@ mod tests {
     }
 
     #[test]
-    fn varint_roundtrip() {
+    fn varint_roundtrip() -> Result<()> {
         let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
         let mut buf = Vec::new();
         for &v in &values {
@@ -93,13 +94,14 @@ mod tests {
         }
         let mut pos = 0;
         for &v in &values {
-            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(read_u64(&buf, &mut pos)?, v);
         }
         assert_eq!(pos, buf.len());
+        Ok(())
     }
 
     #[test]
-    fn signed_varint_roundtrip() {
+    fn signed_varint_roundtrip() -> Result<()> {
         let values = [0i64, -1, 1, i64::MIN, i64::MAX, -123456789];
         let mut buf = Vec::new();
         for &v in &values {
@@ -107,8 +109,9 @@ mod tests {
         }
         let mut pos = 0;
         for &v in &values {
-            assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(read_i64(&buf, &mut pos)?, v);
         }
+        Ok(())
     }
 
     #[test]

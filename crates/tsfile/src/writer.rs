@@ -142,7 +142,7 @@ mod tests {
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("tsfile-writer-tests");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).ok();
         dir.join(name)
     }
 
@@ -151,51 +151,55 @@ mod tests {
     }
 
     #[test]
-    fn empty_chunk_rejected() {
+    fn empty_chunk_rejected() -> Result<()> {
         let p = tmp("empty.tsfile");
-        let mut w = TsFileWriter::create(&p).unwrap();
+        let mut w = TsFileWriter::create(&p)?;
         assert!(matches!(w.write_chunk(&[], 1), Err(TsFileError::EmptyChunk)));
+        Ok(())
     }
 
     #[test]
-    fn unsorted_chunk_rejected() {
+    fn unsorted_chunk_rejected() -> Result<()> {
         let p = tmp("unsorted.tsfile");
-        let mut w = TsFileWriter::create(&p).unwrap();
+        let mut w = TsFileWriter::create(&p)?;
         let points = vec![Point::new(5, 0.0), Point::new(5, 1.0)];
         assert!(matches!(
             w.write_chunk(&points, 1),
             Err(TsFileError::UnsortedPoints { .. })
         ));
+        Ok(())
     }
 
     #[test]
-    fn double_finish_rejected() {
+    fn double_finish_rejected() -> Result<()> {
         let p = tmp("double-finish.tsfile");
-        let mut w = TsFileWriter::create(&p).unwrap();
-        w.write_chunk(&pts(0..5), 1).unwrap();
-        w.finish().unwrap();
+        let mut w = TsFileWriter::create(&p)?;
+        w.write_chunk(&pts(0..5), 1)?;
+        w.finish()?;
         assert!(matches!(w.finish(), Err(TsFileError::WriterFinished)));
         assert!(matches!(w.write_chunk(&pts(5..9), 2), Err(TsFileError::WriterFinished)));
+        Ok(())
     }
 
     #[test]
-    fn chunk_count_tracks_writes() {
+    fn chunk_count_tracks_writes() -> Result<()> {
         let p = tmp("count.tsfile");
-        let mut w = TsFileWriter::create(&p).unwrap();
+        let mut w = TsFileWriter::create(&p)?;
         assert_eq!(w.chunk_count(), 0);
-        w.write_chunk(&pts(0..5), 1).unwrap();
-        w.write_chunk(&pts(10..15), 2).unwrap();
+        w.write_chunk(&pts(0..5), 1)?;
+        w.write_chunk(&pts(10..15), 2)?;
         assert_eq!(w.chunk_count(), 2);
+        Ok(())
     }
 
     #[test]
-    fn meta_offsets_are_monotonic() {
+    fn meta_offsets_are_monotonic() -> Result<()> {
         let p = tmp("offsets.tsfile");
-        let mut w = TsFileWriter::create(&p).unwrap();
-        let m1 = w.write_chunk(&pts(0..100), 1).unwrap();
-        let m2 = w.write_chunk(&pts(100..200), 2).unwrap();
+        let mut w = TsFileWriter::create(&p)?;
+        let m1 = w.write_chunk(&pts(0..100), 1)?;
+        let m2 = w.write_chunk(&pts(100..200), 2)?;
         assert_eq!(m1.offset, MAGIC.len() as u64);
         assert_eq!(m2.offset, m1.offset + m1.byte_len);
-        w.finish().unwrap();
+        w.finish()
     }
 }

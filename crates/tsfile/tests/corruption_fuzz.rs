@@ -2,6 +2,10 @@
 //! return an error — never panic, never loop, never hand back silently
 //! wrong data (CRCs gate every decode path).
 
+// Tests assert by panicking; the workspace panic-freedom deny-set
+// (root Cargo.toml) is aimed at library code.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
 use proptest::prelude::*;
 use tsfile::types::Point;
 use tsfile::{ModsFile, TsFileReader, TsFileWriter};
@@ -97,6 +101,113 @@ proptest! {
         let path = dir.join(format!("rand-{}.tsfile", std::process::id()));
         std::fs::write(&path, &bytes).unwrap();
         let _ = TsFileReader::open(&path);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The "no silently wrong data" half of the contract: when a read
+    /// *succeeds* on a corrupted file, the returned points must be
+    /// byte-exact against the original chunk for that version — the
+    /// CRCs either reject the flip or it never touched that data.
+    #[test]
+    fn surviving_chunk_reads_are_exact(
+        flips in prop::collection::vec((any::<prop::sample::Index>(), 1u8..=255), 1..8)
+    ) {
+        let dir = std::env::temp_dir().join("tsfile-fuzz");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("exact-{}.tsfile", std::process::id()));
+        let original = sample_file(&path);
+        let pts: Vec<Point> = (0..500).map(|i| Point::new(i * 100, (i % 17) as f64)).collect();
+
+        let mut corrupted = original.clone();
+        for (idx, mask) in &flips {
+            let i = idx.index(corrupted.len());
+            corrupted[i] ^= mask;
+        }
+        std::fs::write(&path, &corrupted).unwrap();
+
+        if let Ok(reader) = TsFileReader::open(&path) {
+            for meta in reader.chunk_metas() {
+                let Ok(got) = reader.read_chunk(meta) else { continue };
+                // A surviving read implies an uncorrupted footer entry,
+                // so the version must be one the writer produced.
+                let expected = match meta.version.0 {
+                    1 => &pts[..250],
+                    2 => &pts[250..],
+                    v => return Err(TestCaseError::fail(format!("phantom chunk version {v}"))),
+                };
+                prop_assert_eq!(got.as_slice(), expected, "silent corruption passed the CRC");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Flips aimed at the footer / tail metadata region, where a decode
+    /// bug is most likely to panic (lengths, counts, offsets).
+    #[test]
+    fn footer_flips_never_panic(
+        flips in prop::collection::vec((0usize..160, 1u8..=255), 1..6)
+    ) {
+        let dir = std::env::temp_dir().join("tsfile-fuzz");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("foot-{}.tsfile", std::process::id()));
+        let original = sample_file(&path);
+
+        let mut corrupted = original.clone();
+        let len = corrupted.len();
+        for (back, mask) in &flips {
+            let i = len - 1 - (back % len.min(160));
+            corrupted[i] ^= mask;
+        }
+        std::fs::write(&path, &corrupted).unwrap();
+
+        if let Ok(reader) = TsFileReader::open(&path) {
+            for meta in reader.chunk_metas() {
+                let _ = reader.read_chunk(meta);
+                let _ = reader.read_chunk_timestamps(meta, None);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Flip one byte of a valid mods log: replay must never panic and
+    /// must yield an exact *prefix* of the original entries — a
+    /// corrupted record may drop the tail but never rewrite history.
+    #[test]
+    fn mods_flip_replay_is_clean_prefix(
+        idx in any::<prop::sample::Index>(),
+        mask in 1u8..=255,
+        n_entries in 1usize..12,
+    ) {
+        let dir = std::env::temp_dir().join("tsfile-fuzz");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("modflip-{}.mods", std::process::id()));
+        std::fs::remove_file(&path).ok();
+
+        let originals: Vec<tsfile::ModEntry> = (0..n_entries)
+            .map(|i| {
+                let i = i as i64;
+                tsfile::ModEntry::new(tsfile::types::Version(i as u64 + 1), i * 10, i * 10 + 5)
+            })
+            .collect();
+        {
+            let mut mods = ModsFile::open(&path).unwrap();
+            for e in &originals {
+                mods.append(*e).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let i = idx.index(bytes.len());
+        bytes[i] ^= mask;
+        std::fs::write(&path, &bytes).unwrap();
+
+        match ModsFile::open(&path) {
+            Err(_) => {} // clean failure
+            Ok(mods) => {
+                let got = mods.entries();
+                prop_assert!(got.len() < originals.len(), "a one-byte flip must drop a record");
+                prop_assert_eq!(got, &originals[..got.len()], "replay rewrote history");
+            }
+        }
         std::fs::remove_file(&path).ok();
     }
 }

@@ -1,6 +1,10 @@
 //! Property-based tests: every codec and the full file format must
 //! round-trip arbitrary inputs exactly (bitwise for floats).
 
+// Tests assert by panicking; the workspace panic-freedom deny-set
+// (root Cargo.toml) is aimed at library code.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
 use proptest::prelude::*;
 use tsfile::encoding::{bitio, gorilla, plain, ts2diff};
 use tsfile::statistics::ChunkStatistics;
@@ -55,7 +59,7 @@ proptest! {
     }
 
     #[test]
-    fn bitio_roundtrip(chunks in prop::collection::vec((any::<u64>(), 1u8..=64), 0..100)) {
+    fn bitio_roundtrip(chunks in prop::collection::vec((any::<u64>(), 1u32..=64), 0..100)) {
         let mut w = bitio::BitWriter::new();
         for &(v, n) in &chunks {
             w.write_bits(v, n);

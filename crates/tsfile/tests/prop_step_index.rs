@@ -3,6 +3,10 @@
 //! exactly with binary search, and the learned model must respect its
 //! own verified error bound.
 
+// Tests assert by panicking; the workspace panic-freedom deny-set
+// (root Cargo.toml) is aimed at library code.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
 use proptest::prelude::*;
 use tsfile::index::{binary_search_ops, StepIndex};
 

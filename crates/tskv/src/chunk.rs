@@ -50,12 +50,12 @@ impl ChunkHandle {
         }
     }
 
-    /// Build a handle for the memtable's contents (must be non-empty
-    /// and time-sorted). `version` must exceed every sealed version.
-    pub fn from_mem(points: Arc<Vec<Point>>, version: Version) -> Self {
-        let stats = ChunkStatistics::from_points(&points)
-            .expect("memtable chunk handle requires non-empty points");
-        ChunkHandle { version, stats, index: None, data: ChunkData::Mem { points } }
+    /// Build a handle for the memtable's contents (must be time-sorted).
+    /// `version` must exceed every sealed version. Returns `None` for an
+    /// empty point set, which has no statistics to expose.
+    pub fn from_mem(points: Arc<Vec<Point>>, version: Version) -> Option<Self> {
+        let stats = ChunkStatistics::from_points(&points).ok()?;
+        Some(ChunkHandle { version, stats, index: None, data: ChunkData::Mem { points } })
     }
 
     /// The chunk's (unclipped) time interval `[FP(C).t, LP(C).t]`.
@@ -81,20 +81,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn mem_handle_stats() {
+    fn mem_handle_stats() -> std::result::Result<(), &'static str> {
         let pts = Arc::new(vec![Point::new(1, 5.0), Point::new(2, -1.0), Point::new(3, 2.0)]);
-        let h = ChunkHandle::from_mem(pts, Version(9));
+        let h = ChunkHandle::from_mem(pts, Version(9)).ok_or("non-empty points")?;
         assert_eq!(h.version, Version(9));
         assert_eq!(h.count(), 3);
         assert_eq!(h.time_range(), TimeRange::new(1, 3));
         assert_eq!(h.stats.bottom, Point::new(2, -1.0));
         assert!(h.is_mem());
         assert!(h.index.is_none());
+        Ok(())
     }
 
     #[test]
-    #[should_panic(expected = "non-empty")]
     fn mem_handle_rejects_empty() {
-        let _ = ChunkHandle::from_mem(Arc::new(Vec::new()), Version(1));
+        assert!(ChunkHandle::from_mem(Arc::new(Vec::new()), Version(1)).is_none());
     }
 }

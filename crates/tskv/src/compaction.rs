@@ -47,35 +47,36 @@ mod tests {
     use crate::TsKv;
     use tsfile::types::Point;
 
-    fn fresh(name: &str) -> (std::path::PathBuf, TsKv) {
+    type TestResult = std::result::Result<(), Box<dyn std::error::Error>>;
+
+    fn fresh(name: &str) -> crate::Result<(std::path::PathBuf, TsKv)> {
         let dir = std::env::temp_dir().join(format!("tskv-compact-{name}-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let kv = TsKv::open(
             &dir,
             EngineConfig { points_per_chunk: 50, memtable_threshold: 200, ..Default::default() },
-        )
-        .unwrap();
-        (dir, kv)
+        )?;
+        Ok((dir, kv))
     }
 
     #[test]
-    fn compaction_preserves_merged_series() {
-        let (dir, kv) = fresh("preserve");
+    fn compaction_preserves_merged_series() -> TestResult {
+        let (dir, kv) = fresh("preserve")?;
         for t in 0..1_000i64 {
-            kv.insert("s", Point::new(t, 1.0)).unwrap();
+            kv.insert("s", Point::new(t, 1.0))?;
         }
-        kv.flush_all().unwrap();
+        kv.flush_all()?;
         for t in 300..700i64 {
-            kv.insert("s", Point::new(t, 2.0)).unwrap(); // overwrites
+            kv.insert("s", Point::new(t, 2.0))?; // overwrites
         }
-        kv.flush_all().unwrap();
-        kv.delete("s", 100, 149).unwrap();
-        kv.delete("s", 650, 800).unwrap();
+        kv.flush_all()?;
+        kv.delete("s", 100, 149)?;
+        kv.delete("s", 650, 800)?;
 
-        let before = MergeReader::new(&kv.snapshot("s").unwrap()).collect_merged().unwrap();
-        let report = kv.compact("s").unwrap();
-        let snap = kv.snapshot("s").unwrap();
-        let after = MergeReader::new(&snap).collect_merged().unwrap();
+        let before = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
+        let report = kv.compact("s")?;
+        let snap = kv.snapshot("s")?;
+        let after = MergeReader::new(&snap).collect_merged()?;
 
         assert_eq!(before, after, "compaction must not change the logical series");
         assert!(report.files_removed >= 2);
@@ -90,84 +91,89 @@ mod tests {
             }
         }
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn compaction_keeps_memtable_untouched() {
-        let (dir, kv) = fresh("memtable");
+    fn compaction_keeps_memtable_untouched() -> TestResult {
+        let (dir, kv) = fresh("memtable")?;
         for t in 0..400i64 {
-            kv.insert("s", Point::new(t, 1.0)).unwrap();
+            kv.insert("s", Point::new(t, 1.0))?;
         }
-        kv.flush_all().unwrap();
+        kv.flush_all()?;
         // Buffered-only points.
         for t in 400..450i64 {
-            kv.insert("s", Point::new(t, 5.0)).unwrap();
+            kv.insert("s", Point::new(t, 5.0))?;
         }
-        kv.compact("s").unwrap();
-        assert_eq!(kv.unflushed_points("s").unwrap(), 50);
-        let merged = MergeReader::new(&kv.snapshot("s").unwrap()).collect_merged().unwrap();
+        kv.compact("s")?;
+        assert_eq!(kv.unflushed_points("s")?, 50);
+        let merged = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
         assert_eq!(merged.len(), 450);
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn compacting_fully_deleted_series_removes_files() {
-        let (dir, kv) = fresh("wipe");
+    fn compacting_fully_deleted_series_removes_files() -> TestResult {
+        let (dir, kv) = fresh("wipe")?;
         for t in 0..300i64 {
-            kv.insert("s", Point::new(t, 1.0)).unwrap();
+            kv.insert("s", Point::new(t, 1.0))?;
         }
-        kv.flush_all().unwrap();
-        kv.delete("s", -10, 10_000).unwrap();
-        let report = kv.compact("s").unwrap();
+        kv.flush_all()?;
+        kv.delete("s", -10, 10_000)?;
+        let report = kv.compact("s")?;
         assert_eq!(report.points_written, 0);
-        let snap = kv.snapshot("s").unwrap();
+        let snap = kv.snapshot("s")?;
         assert!(snap.chunks().is_empty());
-        assert!(MergeReader::new(&snap).collect_merged().unwrap().is_empty());
+        assert!(MergeReader::new(&snap).collect_merged()?.is_empty());
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn compacting_empty_series_is_noop() {
-        let (dir, kv) = fresh("noop");
-        kv.create_series("s").unwrap();
-        let report = kv.compact("s").unwrap();
+    fn compacting_empty_series_is_noop() -> TestResult {
+        let (dir, kv) = fresh("noop")?;
+        kv.create_series("s")?;
+        let report = kv.compact("s")?;
         assert_eq!(report, CompactionReport::empty());
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn old_snapshot_survives_compaction() {
-        let (dir, kv) = fresh("snapshot");
+    fn old_snapshot_survives_compaction() -> TestResult {
+        let (dir, kv) = fresh("snapshot")?;
         for t in 0..500i64 {
-            kv.insert("s", Point::new(t, 3.0)).unwrap();
+            kv.insert("s", Point::new(t, 3.0))?;
         }
-        kv.flush_all().unwrap();
-        let old_snap = kv.snapshot("s").unwrap();
-        kv.delete("s", 0, 100).unwrap();
-        kv.compact("s").unwrap();
+        kv.flush_all()?;
+        let old_snap = kv.snapshot("s")?;
+        kv.delete("s", 0, 100)?;
+        kv.compact("s")?;
         // The pre-compaction snapshot still reads its (unlinked) files.
-        let merged = MergeReader::new(&old_snap).collect_merged().unwrap();
+        let merged = MergeReader::new(&old_snap).collect_merged()?;
         assert_eq!(merged.len(), 500);
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn recovery_after_compaction() {
-        let (dir, kv) = fresh("recover");
+    fn recovery_after_compaction() -> TestResult {
+        let (dir, kv) = fresh("recover")?;
         for t in 0..600i64 {
-            kv.insert("s", Point::new(t, 1.0)).unwrap();
+            kv.insert("s", Point::new(t, 1.0))?;
         }
-        kv.flush_all().unwrap();
-        kv.delete("s", 0, 99).unwrap();
-        kv.compact("s").unwrap();
+        kv.flush_all()?;
+        kv.delete("s", 0, 99)?;
+        kv.compact("s")?;
         drop(kv);
         let kv = TsKv::open(
             &dir,
             EngineConfig { points_per_chunk: 50, memtable_threshold: 200, ..Default::default() },
-        )
-        .unwrap();
-        let merged = MergeReader::new(&kv.snapshot("s").unwrap()).collect_merged().unwrap();
+        )?;
+        let merged = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
         assert_eq!(merged.len(), 500);
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 }

@@ -1,5 +1,27 @@
 //! The storage engine: series management, write path, flush, delete,
 //! snapshot, and recovery from disk.
+//!
+//! ## Lock discipline
+//!
+//! All series state sits behind one `RwLock`. The xtask L2 lint bans
+//! holding that lock across file I/O or chunk decode, so every heavy
+//! operation is split into short locked phases around an unlocked I/O
+//! phase:
+//!
+//! * **Flush** — phase A (locked): rotate the WAL, drain the memtable,
+//!   reserve chunk versions, and park the drained points in
+//!   [`SeriesStore::flushing`] so concurrent snapshots still see them.
+//!   Phase B (unlocked): encode and seal the TsFile. Phase C (locked):
+//!   install the file, attach deletes that arrived mid-flush, discard
+//!   the WAL's sealed segment — or, on failure, return the points to
+//!   the memtable (anything newer that landed meanwhile wins).
+//! * **Compaction** — same shape; versions for the output chunks are
+//!   reserved up front so deletes issued during the merge order after
+//!   every compacted chunk, and their mods entries are carried onto
+//!   the new file at install time.
+//! * WAL appends (and the O(1) segment rotation) stay under the lock
+//!   on purpose: serializing durability appends against the buffered
+//!   state they describe is what the lock is *for* (see DESIGN.md).
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -38,6 +60,16 @@ impl TsFileResource {
     }
 }
 
+/// Points drained from the memtable by a flush that is still in its
+/// unlocked sealing phase. Kept visible to snapshots (as a mem chunk
+/// carrying the last reserved version) until the sealed file replaces
+/// it.
+#[derive(Debug)]
+struct FlushInFlight {
+    points: Arc<Vec<Point>>,
+    last_version: Version,
+}
+
 /// Per-series state: the memtable, its WAL, and the sealed files.
 #[derive(Debug)]
 struct SeriesStore {
@@ -46,12 +78,49 @@ struct SeriesStore {
     wal: Option<Wal>,
     files: Vec<TsFileResource>,
     next_file_id: u64,
+    /// Set while a flush's unlocked sealing phase runs.
+    flushing: Option<FlushInFlight>,
+    /// Deletes issued while a flush was in flight; attached to the new
+    /// file (if overlapping) when it is installed.
+    pending_mods: Vec<ModEntry>,
+    /// Set while a compaction's unlocked merge phase runs.
+    compacting: bool,
 }
 
 impl SeriesStore {
     fn wal_path(dir: &Path) -> PathBuf {
         dir.join("series.wal")
     }
+
+    fn assemble(
+        dir: PathBuf,
+        memtable: MemTable,
+        wal: Option<Wal>,
+        files: Vec<TsFileResource>,
+        next_file_id: u64,
+    ) -> Self {
+        SeriesStore {
+            dir,
+            memtable,
+            wal,
+            files,
+            next_file_id,
+            flushing: None,
+            pending_mods: Vec::new(),
+            compacting: false,
+        }
+    }
+}
+
+/// Outcome of a flush's phase A (computed under the lock).
+enum FlushPrep {
+    /// Another flush owns the series' in-flight slot.
+    Busy,
+    /// Nothing buffered.
+    Done,
+    /// Seal these points (outside the lock) into the file at `path`,
+    /// using the pre-reserved chunk `versions`.
+    Go { points: Arc<Vec<Point>>, versions: Vec<Version>, path: PathBuf },
 }
 
 /// The LSM time series store.
@@ -84,7 +153,15 @@ impl TsKv {
     /// Open (or create) a store rooted at `dir`, recovering any series
     /// directories found there: sealed TsFiles, their delete logs, and
     /// — when WAL is enabled — the unflushed memtable contents replayed
-    /// from each series' write-ahead log.
+    /// from each series' write-ahead log (sealed segment first, so an
+    /// interrupted flush loses nothing).
+    ///
+    /// A crash mid-flush or mid-compaction can leave one torn TsFile,
+    /// always at the highest file id; it is quarantined (renamed to
+    /// `*.corrupt`) rather than failing recovery, since its points are
+    /// still covered by the WAL's sealed segment (flush) or by the
+    /// older generation (compaction). An unreadable file at any other
+    /// id is genuine corruption and surfaces as an error.
     pub fn open<P: AsRef<Path>>(dir: P, config: EngineConfig) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
@@ -102,7 +179,7 @@ impl TsKv {
                 continue; // foreign directory; ignore
             }
             let sdir = entry.path();
-            let mut files: Vec<(u64, TsFileResource)> = Vec::new();
+            let mut paths: Vec<(u64, PathBuf)> = Vec::new();
             for f in std::fs::read_dir(&sdir)? {
                 let f = f?;
                 let path = f.path();
@@ -114,7 +191,23 @@ impl TsKv {
                     .and_then(|s| s.to_str())
                     .and_then(|s| s.parse().ok())
                     .unwrap_or(0);
-                let reader = Arc::new(TsFileReader::open(&path)?);
+                paths.push((id, path));
+            }
+            paths.sort_by_key(|(id, _)| *id);
+            let next_file_id = paths.last().map(|(id, _)| id + 1).unwrap_or(0);
+            let newest = paths.len().saturating_sub(1);
+            let mut files: Vec<TsFileResource> = Vec::new();
+            for (i, (_, path)) in paths.iter().enumerate() {
+                let reader = match TsFileReader::open(path) {
+                    Ok(r) => Arc::new(r),
+                    Err(_) if i == newest => {
+                        let mut quarantined = path.clone().into_os_string();
+                        quarantined.push(".corrupt");
+                        std::fs::rename(path, &quarantined)?;
+                        continue;
+                    }
+                    Err(e) => return Err(e.into()),
+                };
                 let mods = ModsFile::open(path.with_extension("mods"))?;
                 for m in reader.chunk_metas() {
                     alloc.observe(m.version);
@@ -122,13 +215,12 @@ impl TsKv {
                 for e in mods.entries() {
                     alloc.observe(e.version);
                 }
-                files.push((id, TsFileResource { reader, mods }));
+                files.push(TsFileResource { reader, mods });
             }
-            files.sort_by_key(|(id, _)| *id);
-            let next_file_id = files.last().map(|(id, _)| id + 1).unwrap_or(0);
-            let files = files.into_iter().map(|(_, r)| r).collect();
             // Replay the WAL (if any) into a fresh memtable, restoring
-            // unflushed state in operation order.
+            // unflushed state in operation order. Versioned deletes are
+            // re-attached to any overlapping sealed file whose mods log
+            // missed them (crash between the WAL and mods appends).
             let mut memtable = MemTable::new();
             let wal_path = SeriesStore::wal_path(&sdir);
             for record in Wal::replay(&wal_path)? {
@@ -138,16 +230,25 @@ impl TsKv {
                             memtable.insert(p);
                         }
                     }
-                    WalRecord::Delete(range) => {
+                    WalRecord::Delete { version, range } => {
                         memtable.delete_range(range);
+                        alloc.observe(version);
+                        let entry = ModEntry::new(version, range.start, range.end);
+                        for res in &mut files {
+                            let overlaps =
+                                res.time_range().map(|r| r.overlaps(&range)).unwrap_or(false);
+                            let known =
+                                res.mods.entries().iter().any(|m| m.version == version);
+                            if overlaps && !known {
+                                res.mods.append(entry)?;
+                            }
+                        }
                     }
                 }
             }
             let wal = if config.enable_wal { Some(Wal::open(&wal_path)?) } else { None };
-            series.insert(
-                name,
-                SeriesStore { dir: sdir, memtable, wal, files, next_file_id },
-            );
+            series
+                .insert(name, SeriesStore::assemble(sdir, memtable, wal, files, next_file_id));
         }
 
         Ok(TsKv { dir, config, alloc, series: RwLock::new(series), io: Arc::new(IoStats::default()) })
@@ -173,26 +274,24 @@ impl TsKv {
     /// Create an empty series (inserting auto-creates too).
     pub fn create_series(&self, name: &str) -> Result<()> {
         validate_series_name(name)?;
-        let mut map = self.series.write();
-        if !map.contains_key(name) {
-            let sdir = self.dir.join(name);
-            std::fs::create_dir_all(&sdir)?;
-            let wal = if self.config.enable_wal {
-                Some(Wal::open(SeriesStore::wal_path(&sdir))?)
-            } else {
-                None
-            };
-            map.insert(
-                name.to_string(),
-                SeriesStore {
-                    dir: sdir,
-                    memtable: MemTable::new(),
-                    wal,
-                    files: Vec::new(),
-                    next_file_id: 0,
-                },
-            );
+        let exists = self.series.read().contains_key(name);
+        if exists {
+            return Ok(());
         }
+        // Prepare the directory and WAL handle before taking the write
+        // lock, so no file I/O happens under it. A racing creator may
+        // install first; `or_insert_with` then keeps theirs and this
+        // call's handles are simply dropped.
+        let sdir = self.dir.join(name);
+        std::fs::create_dir_all(&sdir)?;
+        let wal = if self.config.enable_wal {
+            Some(Wal::open(SeriesStore::wal_path(&sdir))?)
+        } else {
+            None
+        };
+        let mut map = self.series.write();
+        map.entry(name.to_string())
+            .or_insert_with(|| SeriesStore::assemble(sdir, MemTable::new(), wal, Vec::new(), 0));
         Ok(())
     }
 
@@ -208,73 +307,157 @@ impl TsKv {
             return Ok(());
         }
         self.create_series(name)?;
-        let mut map = self.series.write();
-        let store = map.get_mut(name).expect("created above");
-        // Log and apply in sub-batches that never straddle a flush: a
-        // flush truncates the WAL, so records must cover exactly the
-        // points still buffered at that moment.
-        let mut rest = points;
-        while !rest.is_empty() {
-            let room = self.config.memtable_threshold.saturating_sub(store.memtable.len()).max(1);
-            let (head, tail) = rest.split_at(room.min(rest.len()));
-            rest = tail;
+        let need_flush = {
+            let mut map = self.series.write();
+            let store =
+                map.get_mut(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
             if let Some(wal) = &mut store.wal {
-                wal.append_inserts(head)?;
+                wal.append_inserts(points)?;
             }
-            for p in head {
+            for p in points {
                 store.memtable.insert(*p);
             }
-            if store.memtable.len() >= self.config.memtable_threshold {
-                Self::flush_store(&self.config, &self.alloc, store)?;
-            }
+            store.memtable.len() >= self.config.memtable_threshold && store.flushing.is_none()
+        };
+        if need_flush {
+            self.flush_series(name, false)?;
         }
         Ok(())
     }
 
     /// Flush one series' memtable to a new sealed TsFile.
     pub fn flush(&self, name: &str) -> Result<()> {
-        let mut map = self.series.write();
-        let store = map.get_mut(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
-        Self::flush_store(&self.config, &self.alloc, store)
+        self.flush_series(name, true)
     }
 
     /// Flush every series.
     pub fn flush_all(&self) -> Result<()> {
-        let mut map = self.series.write();
-        for store in map.values_mut() {
-            Self::flush_store(&self.config, &self.alloc, store)?;
+        for name in self.series_names() {
+            self.flush_series(&name, true)?;
         }
         Ok(())
     }
 
-    fn flush_store(
-        config: &EngineConfig,
-        alloc: &VersionAllocator,
-        store: &mut SeriesStore,
-    ) -> Result<()> {
-        if store.memtable.is_empty() {
-            return Ok(());
+    /// The flush state machine. `wait` controls behavior when another
+    /// flush holds the series' in-flight slot: explicit flushes wait
+    /// and then flush whatever is buffered; the auto-flush on the
+    /// insert path just returns (the running flush is making room, and
+    /// the next insert re-checks the threshold).
+    fn flush_series(&self, name: &str, wait: bool) -> Result<()> {
+        loop {
+            // Phase A (locked): claim the in-flight slot, rotate the
+            // WAL, drain the memtable, reserve chunk versions.
+            let prep = {
+                let mut map = self.series.write();
+                let store =
+                    map.get_mut(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+                if store.flushing.is_some() {
+                    FlushPrep::Busy
+                } else if store.memtable.is_empty() {
+                    FlushPrep::Done
+                } else {
+                    if let Some(wal) = &mut store.wal {
+                        wal.rotate_for_flush()?;
+                    }
+                    let points = Arc::new(store.memtable.drain_sorted());
+                    // Reserving every chunk version while still locked
+                    // guarantees that any later delete orders after
+                    // every chunk of this flush.
+                    let n_chunks = points.len().div_ceil(self.config.points_per_chunk).max(1);
+                    let versions: Vec<Version> =
+                        (0..n_chunks).map(|_| self.alloc.next()).collect();
+                    let last_version =
+                        versions.last().copied().unwrap_or_else(|| self.alloc.current());
+                    let path = store.dir.join(format!("{:08}.tsfile", store.next_file_id));
+                    store.next_file_id += 1;
+                    store.flushing =
+                        Some(FlushInFlight { points: Arc::clone(&points), last_version });
+                    FlushPrep::Go { points, versions, path }
+                }
+            };
+            match prep {
+                FlushPrep::Done => return Ok(()),
+                FlushPrep::Busy if wait => {
+                    std::thread::yield_now();
+                    continue;
+                }
+                FlushPrep::Busy => return Ok(()),
+                FlushPrep::Go { points, versions, path } => {
+                    // Phase B (unlocked): the heavy encode + write.
+                    let sealed = Self::seal_points(&self.config, &path, &points, &versions);
+                    if sealed.is_err() {
+                        std::fs::remove_file(&path).ok();
+                    }
+                    return self.install_flush(name, &points, sealed);
+                }
+            }
         }
-        let points = store.memtable.drain_sorted();
-        let path = store.dir.join(format!("{:08}.tsfile", store.next_file_id));
-        store.next_file_id += 1;
+    }
+
+    /// Flush phase C (locked): install the sealed file — or, on a
+    /// sealing failure, put the points back.
+    fn install_flush(
+        &self,
+        name: &str,
+        points: &[Point],
+        sealed: Result<TsFileResource>,
+    ) -> Result<()> {
+        let mut map = self.series.write();
+        let store = map.get_mut(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+        store.flushing = None;
+        let pending = std::mem::take(&mut store.pending_mods);
+        match sealed {
+            Ok(mut res) => {
+                // Deletes issued while sealing ran only reached the old
+                // files; attach them to the new one too.
+                for e in &pending {
+                    let overlaps =
+                        res.time_range().map(|r| r.overlaps(&e.range)).unwrap_or(false);
+                    if overlaps {
+                        res.mods.append(*e)?;
+                    }
+                }
+                store.files.push(res);
+                if let Some(wal) = &mut store.wal {
+                    wal.discard_sealed()?;
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // The points stay buffered (and, with WAL on, remain
+                // covered by the sealed segment, which the next
+                // rotation folds forward). Writes and deletes that
+                // landed mid-flush are newer and must win — hence the
+                // absent-only reinsert and the tombstone filter.
+                for p in points {
+                    if !pending.iter().any(|m| m.covers(p.t)) {
+                        store.memtable.insert_if_absent(*p);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Encode `points` into a sealed TsFile at `path`, one chunk per
+    /// `points_per_chunk` slice, consuming the pre-reserved `versions`
+    /// in order. Runs without any engine lock held.
+    fn seal_points(
+        config: &EngineConfig,
+        path: &Path,
+        points: &[Point],
+        versions: &[Version],
+    ) -> Result<TsFileResource> {
         let mut w =
-            TsFileWriter::create_with_encodings(&path, config.ts_encoding, config.val_encoding)?;
+            TsFileWriter::create_with_encodings(path, config.ts_encoding, config.val_encoding)?;
         w.set_build_index(config.build_step_index);
-        for chunk in points.chunks(config.points_per_chunk) {
-            let version = alloc.next();
+        for (chunk, version) in points.chunks(config.points_per_chunk).zip(versions) {
             w.write_chunk(chunk, version.0)?;
         }
         w.finish()?;
-        let reader = Arc::new(TsFileReader::open(&path)?);
+        let reader = Arc::new(TsFileReader::open(path)?);
         let mods = ModsFile::open(path.with_extension("mods"))?;
-        store.files.push(TsFileResource { reader, mods });
-        // The flushed points are durable in the sealed file; the WAL
-        // records covering them can go.
-        if let Some(wal) = &mut store.wal {
-            wal.reset()?;
-        }
-        Ok(())
+        Ok(TsFileResource { reader, mods })
     }
 
     /// Delete all points of `name` in `[start, end]` (inclusive), as an
@@ -289,11 +472,16 @@ impl TsKv {
         let version = self.alloc.next();
         let range = TimeRange::new(start, end);
         if let Some(wal) = &mut store.wal {
-            wal.append_delete(range)?;
+            wal.append_delete(version, range)?;
             wal.sync()?;
         }
         store.memtable.delete_range(range);
         let entry = ModEntry::new(version, start, end);
+        if store.flushing.is_some() {
+            // The in-flight file is not in `files` yet; park the entry
+            // so install_flush can attach it.
+            store.pending_mods.push(entry);
+        }
         for res in &mut store.files {
             let overlaps = res.time_range().map(|r| r.overlaps(&range)).unwrap_or(false);
             if overlaps {
@@ -304,8 +492,9 @@ impl TsKv {
     }
 
     /// Capture a point-in-time read view of one series: all sealed
-    /// chunks, the memtable image (as a high-version in-memory chunk),
-    /// and all deletes, each sorted by version.
+    /// chunks, any in-flight flush image, the memtable image (as a
+    /// high-version in-memory chunk), and all deletes, each sorted by
+    /// version.
     pub fn snapshot(&self, name: &str) -> Result<SeriesSnapshot> {
         let map = self.series.read();
         let store = map.get(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
@@ -327,10 +516,23 @@ impl TsKv {
             }
             files.push(Arc::clone(&res.reader));
         }
+        // Deletes issued mid-flush may not have reached any file yet.
+        for e in &store.pending_mods {
+            if !deletes.iter().any(|d| d.version == e.version) {
+                deletes.push(*e);
+            }
+        }
+        // Points being sealed by an in-flight flush: visible as a mem
+        // chunk carrying the last version reserved for that flush, so
+        // later deletes (higher version) apply to it and the live
+        // memtable chunk (below, strictly higher again) overrides it.
+        if let Some(fl) = &store.flushing {
+            chunks.extend(ChunkHandle::from_mem(Arc::clone(&fl.points), fl.last_version));
+        }
         if !store.memtable.is_empty() {
             let points = Arc::new(store.memtable.to_points());
             let version = Version(self.alloc.current().0 + 1);
-            chunks.push(ChunkHandle::from_mem(points, version));
+            chunks.extend(ChunkHandle::from_mem(points, version));
         }
         chunks.sort_by_key(|c| c.version);
         deletes.sort_by_key(|d| d.version);
@@ -340,72 +542,122 @@ impl TsKv {
     /// Fully compact one series: merge every sealed file (applying
     /// deletes and overwrites), write the result as a single fresh
     /// TsFile, and unlink the old files and their mods logs. The
-    /// memtable and WAL are untouched. See [`crate::compaction`].
+    /// memtable and WAL are untouched. Returns an empty report if a
+    /// compaction is already running for the series.
+    /// See [`crate::compaction`].
     pub fn compact(&self, name: &str) -> Result<CompactionReport> {
-        let mut map = self.series.write();
-        let store = map.get_mut(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
-        if store.files.is_empty() {
-            return Ok(CompactionReport::empty());
-        }
-
-        // Sealed-only snapshot (no memtable chunk): the merge input.
-        let mut files = Vec::with_capacity(store.files.len());
-        let mut chunks = Vec::new();
-        let mut deletes: Vec<ModEntry> = Vec::new();
-        for res in &store.files {
-            let file_idx = files.len();
-            for meta in res.reader.chunk_metas() {
-                chunks.push(ChunkHandle::from_file(file_idx, meta.clone()));
+        // Phase A (locked): capture the merge input (chunk metadata and
+        // Arc'd readers only — no chunk bodies) and reserve output
+        // versions.
+        let (files, chunks, deletes, n_input, versions, path) = {
+            let mut map = self.series.write();
+            let store =
+                map.get_mut(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+            if store.files.is_empty() || store.compacting {
+                return Ok(CompactionReport::empty());
             }
-            for e in res.mods.entries() {
-                if !deletes.iter().any(|d| d.version == e.version) {
-                    deletes.push(*e);
+            store.compacting = true;
+            let mut files = Vec::with_capacity(store.files.len());
+            let mut chunks = Vec::new();
+            let mut deletes: Vec<ModEntry> = Vec::new();
+            for res in &store.files {
+                let file_idx = files.len();
+                for meta in res.reader.chunk_metas() {
+                    chunks.push(ChunkHandle::from_file(file_idx, meta.clone()));
                 }
+                for e in res.mods.entries() {
+                    if !deletes.iter().any(|d| d.version == e.version) {
+                        deletes.push(*e);
+                    }
+                }
+                files.push(Arc::clone(&res.reader));
             }
-            files.push(Arc::clone(&res.reader));
-        }
-        let chunks_merged = chunks.len();
-        let deletes_applied = deletes.len();
-        let snapshot = SeriesSnapshot::new(files, chunks, deletes, Arc::clone(&self.io));
-        let merged = MergeReader::new(&snapshot).collect_merged()?;
-
-        let report = CompactionReport {
-            files_removed: store.files.len(),
-            chunks_merged,
-            points_written: merged.len(),
-            deletes_applied,
-        };
-
-        // Write the replacement file first; only then unlink the old
-        // generation (crash between the two leaves a recoverable mix:
-        // the new file holds only latest points, so re-reading both
-        // generations still merges to the same series).
-        let mut new_files = Vec::new();
-        if !merged.is_empty() {
+            // Upper bound on output chunks: the merge never emits more
+            // points than it reads. Reserving the versions here (not
+            // while writing) keeps every later delete ordered after the
+            // whole output; unused reservations are harmless gaps.
+            let raw_total: u64 = chunks.iter().map(ChunkHandle::count).sum();
+            let max_chunks =
+                raw_total.div_ceil(self.config.points_per_chunk.max(1) as u64).max(1);
+            let versions: Vec<Version> =
+                (0..max_chunks).map(|_| self.alloc.next()).collect();
             let path = store.dir.join(format!("{:08}.tsfile", store.next_file_id));
             store.next_file_id += 1;
-            let mut w = TsFileWriter::create_with_encodings(
-                &path,
-                self.config.ts_encoding,
-                self.config.val_encoding,
-            )?;
-            w.set_build_index(self.config.build_step_index);
-            for chunk in merged.chunks(self.config.points_per_chunk) {
-                let version = self.alloc.next();
-                w.write_chunk(chunk, version.0)?;
+            (files, chunks, deletes, store.files.len(), versions, path)
+        };
+        let max_reserved = versions.last().copied().unwrap_or_else(|| self.alloc.current());
+        let chunks_merged = chunks.len();
+        let deletes_applied = deletes.len();
+
+        // Phase B (unlocked): decode, merge, and write the output.
+        let snapshot = SeriesSnapshot::new(files, chunks, deletes, Arc::clone(&self.io));
+        let outcome = MergeReader::new(&snapshot).collect_merged().and_then(|merged| {
+            if merged.is_empty() {
+                Ok((0, None))
+            } else {
+                let res = Self::seal_points(&self.config, &path, &merged, &versions)?;
+                Ok((merged.len(), Some(res)))
             }
-            w.finish()?;
-            let reader = Arc::new(TsFileReader::open(&path)?);
-            let mods = ModsFile::open(path.with_extension("mods"))?;
-            new_files.push(TsFileResource { reader, mods });
-        }
-        let old = std::mem::replace(&mut store.files, new_files);
-        for res in old {
-            let path = res.reader.path().to_path_buf();
+        });
+        if outcome.is_err() {
             std::fs::remove_file(&path).ok();
-            std::fs::remove_file(path.with_extension("mods")).ok();
         }
-        Ok(report)
+
+        // Phase C (locked): swap the new generation in, carry forward
+        // mods that arrived during the merge, collect the doomed paths.
+        let (doomed, points_written) = {
+            let mut map = self.series.write();
+            let store =
+                map.get_mut(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+            store.compacting = false;
+            let (points_written, sealed) = outcome?;
+            // Deletes issued during the merge postdate every reserved
+            // version and live only in the input files' mods.
+            let mut carried: Vec<ModEntry> = Vec::new();
+            for res in store.files.iter().take(n_input) {
+                for e in res.mods.entries() {
+                    if e.version > max_reserved
+                        && !carried.iter().any(|d| d.version == e.version)
+                    {
+                        carried.push(*e);
+                    }
+                }
+            }
+            // Files flushed while the merge ran sit after the inputs.
+            let tail = store.files.split_off(n_input);
+            let old = std::mem::take(&mut store.files);
+            if let Some(mut res) = sealed {
+                for e in carried {
+                    let overlaps =
+                        res.time_range().map(|r| r.overlaps(&e.range)).unwrap_or(false);
+                    if overlaps {
+                        res.mods.append(e)?;
+                    }
+                }
+                store.files.push(res);
+            }
+            store.files.extend(tail);
+            let doomed: Vec<PathBuf> =
+                old.iter().map(|r| r.reader.path().to_path_buf()).collect();
+            (doomed, points_written)
+        };
+
+        // Phase D (unlocked): unlink the old generation. The new file
+        // was written before the unlink (a crash in between leaves a
+        // recoverable mix: the new file holds only latest points, so
+        // re-reading both generations still merges to the same series),
+        // and snapshots still holding the old readers keep working —
+        // POSIX unlink semantics.
+        for p in &doomed {
+            std::fs::remove_file(p).ok();
+            std::fs::remove_file(p.with_extension("mods")).ok();
+        }
+        Ok(CompactionReport {
+            files_removed: doomed.len(),
+            chunks_merged,
+            points_written,
+            deletes_applied,
+        })
     }
 
     /// Engine-wide I/O counters (shared by all snapshots).
@@ -413,11 +665,13 @@ impl TsKv {
         &self.io
     }
 
-    /// Total points currently buffered in memtables (not yet flushed).
+    /// Total points currently buffered in memory and not yet durable in
+    /// a sealed file (the memtable plus any in-flight flush image).
     pub fn unflushed_points(&self, name: &str) -> Result<usize> {
         let map = self.series.read();
         let store = map.get(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
-        Ok(store.memtable.len())
+        let in_flight = store.flushing.as_ref().map(|f| f.points.len()).unwrap_or(0);
+        Ok(store.memtable.len() + in_flight)
     }
 }
 
@@ -426,288 +680,385 @@ mod tests {
     use super::*;
     use crate::readers::MergeReader;
 
-    fn fresh(name: &str) -> (PathBuf, TsKv) {
+    type TestResult = std::result::Result<(), Box<dyn std::error::Error>>;
+
+    fn fresh(name: &str) -> Result<(PathBuf, TsKv)> {
         let dir = std::env::temp_dir().join(format!("tskv-engine-{name}-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let kv = TsKv::open(
             &dir,
             EngineConfig { points_per_chunk: 100, memtable_threshold: 250, ..Default::default() },
-        )
-        .unwrap();
-        (dir, kv)
+        )?;
+        Ok((dir, kv))
     }
 
     #[test]
-    fn auto_flush_on_threshold() {
-        let (dir, kv) = fresh("autoflush");
+    fn auto_flush_on_threshold() -> TestResult {
+        let (dir, kv) = fresh("autoflush")?;
         for t in 0..600i64 {
-            kv.insert("s", Point::new(t, 0.0)).unwrap();
+            kv.insert("s", Point::new(t, 0.0))?;
         }
         // Two auto-flushes (at 250 and 500); 100 points remain buffered.
-        assert_eq!(kv.unflushed_points("s").unwrap(), 100);
-        let snap = kv.snapshot("s").unwrap();
+        assert_eq!(kv.unflushed_points("s")?, 100);
+        let snap = kv.snapshot("s")?;
         // 250/100 → 3 chunks per flush (100+100+50), ×2 files, + mem chunk.
         assert_eq!(snap.chunks().len(), 7);
         assert_eq!(snap.raw_point_count(), 600);
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn chunk_versions_strictly_increase() {
-        let (dir, kv) = fresh("versions");
+    fn chunk_versions_strictly_increase() -> TestResult {
+        let (dir, kv) = fresh("versions")?;
         for t in 0..500i64 {
-            kv.insert("s", Point::new(t, 0.0)).unwrap();
+            kv.insert("s", Point::new(t, 0.0))?;
         }
-        kv.flush_all().unwrap();
-        let snap = kv.snapshot("s").unwrap();
+        kv.flush_all()?;
+        let snap = kv.snapshot("s")?;
         let versions: Vec<u64> = snap.chunks().iter().map(|c| c.version.0).collect();
         assert!(versions.windows(2).all(|w| w[0] < w[1]), "{versions:?}");
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn delete_validates_range() {
-        let (dir, kv) = fresh("badrange");
-        kv.create_series("s").unwrap();
+    fn delete_validates_range() -> TestResult {
+        let (dir, kv) = fresh("badrange")?;
+        kv.create_series("s")?;
         assert!(matches!(
             kv.delete("s", 10, 5),
             Err(TsKvError::InvalidDeleteRange { .. })
         ));
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn unknown_series_errors() {
-        let (dir, kv) = fresh("unknown");
+    fn unknown_series_errors() -> TestResult {
+        let (dir, kv) = fresh("unknown")?;
         assert!(matches!(kv.snapshot("nope"), Err(TsKvError::SeriesNotFound(_))));
         assert!(matches!(kv.delete("nope", 0, 1), Err(TsKvError::SeriesNotFound(_))));
         assert!(matches!(kv.flush("nope"), Err(TsKvError::SeriesNotFound(_))));
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn invalid_series_name_rejected() {
-        let (dir, kv) = fresh("badname");
+    fn invalid_series_name_rejected() -> TestResult {
+        let (dir, kv) = fresh("badname")?;
         assert!(kv.create_series("../evil").is_err());
         assert!(kv.create_series("").is_err());
         assert!(kv.create_series("a/b").is_err());
         assert!(kv.create_series("room1.sensor_2-x").is_ok());
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn recovery_reloads_files_and_mods() {
+    fn recovery_reloads_files_and_mods() -> TestResult {
         let dir = std::env::temp_dir().join(format!("tskv-recover-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let config =
             EngineConfig { points_per_chunk: 50, memtable_threshold: 100, ..Default::default() };
         {
-            let kv = TsKv::open(&dir, config.clone()).unwrap();
+            let kv = TsKv::open(&dir, config.clone())?;
             for t in 0..300i64 {
-                kv.insert("s", Point::new(t, t as f64)).unwrap();
+                kv.insert("s", Point::new(t, t as f64))?;
             }
-            kv.flush_all().unwrap();
-            kv.delete("s", 100, 150).unwrap();
+            kv.flush_all()?;
+            kv.delete("s", 100, 150)?;
         }
         // Reopen: sealed data + deletes must be back; versions must
         // continue past the recovered maximum.
-        let kv = TsKv::open(&dir, config).unwrap();
+        let kv = TsKv::open(&dir, config)?;
         assert_eq!(kv.series_names(), vec!["s".to_string()]);
-        let snap = kv.snapshot("s").unwrap();
+        let snap = kv.snapshot("s")?;
         assert_eq!(snap.raw_point_count(), 300);
         assert_eq!(snap.deletes().len(), 1);
-        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        let merged = MergeReader::new(&snap).collect_merged()?;
         assert_eq!(merged.len(), 300 - 51);
 
         // New writes get versions above everything recovered.
-        let max_recovered =
-            snap.chunks().iter().map(|c| c.version.0).chain(snap.deletes().iter().map(|d| d.version.0)).max().unwrap();
-        kv.insert("s", Point::new(1000, 1.0)).unwrap();
-        kv.flush_all().unwrap();
-        let snap2 = kv.snapshot("s").unwrap();
-        let new_max = snap2.chunks().iter().map(|c| c.version.0).max().unwrap();
+        let max_recovered = snap
+            .chunks()
+            .iter()
+            .map(|c| c.version.0)
+            .chain(snap.deletes().iter().map(|d| d.version.0))
+            .max()
+            .ok_or("recovered snapshot is empty")?;
+        kv.insert("s", Point::new(1000, 1.0))?;
+        kv.flush_all()?;
+        let snap2 = kv.snapshot("s")?;
+        let new_max =
+            snap2.chunks().iter().map(|c| c.version.0).max().ok_or("no chunks after flush")?;
         assert!(new_max > max_recovered);
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn out_of_order_batches_create_overlapping_chunks() {
-        let (dir, kv) = fresh("overlap");
+    fn out_of_order_batches_create_overlapping_chunks() -> TestResult {
+        let (dir, kv) = fresh("overlap")?;
         let batch1: Vec<Point> = (0..200).map(|t| Point::new(t, 1.0)).collect();
-        kv.insert_batch("s", &batch1).unwrap();
-        kv.flush_all().unwrap();
+        kv.insert_batch("s", &batch1)?;
+        kv.flush_all()?;
         let batch2: Vec<Point> = (100..300).map(|t| Point::new(t, 2.0)).collect();
-        kv.insert_batch("s", &batch2).unwrap();
-        kv.flush_all().unwrap();
-        let snap = kv.snapshot("s").unwrap();
+        kv.insert_batch("s", &batch2)?;
+        kv.flush_all()?;
+        let snap = kv.snapshot("s")?;
         let overlapping = snap.chunks_overlapping(TimeRange::new(100, 199));
         assert!(overlapping.len() >= 2, "expected overlap, got {}", overlapping.len());
-        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        let merged = MergeReader::new(&snap).collect_merged()?;
         assert_eq!(merged.len(), 300);
         assert!(merged.iter().filter(|p| (100..200).contains(&p.t)).all(|p| p.v == 2.0));
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn delete_future_range_affects_nothing() {
-        let (dir, kv) = fresh("futuredel");
+    fn delete_future_range_affects_nothing() -> TestResult {
+        let (dir, kv) = fresh("futuredel")?;
         for t in 0..100i64 {
-            kv.insert("s", Point::new(t, 1.0)).unwrap();
+            kv.insert("s", Point::new(t, 1.0))?;
         }
-        kv.flush_all().unwrap();
-        kv.delete("s", 10_000, 20_000).unwrap();
+        kv.flush_all()?;
+        kv.delete("s", 10_000, 20_000)?;
         // Points written after the delete, inside its range: unaffected.
         for t in 10_000..10_010i64 {
-            kv.insert("s", Point::new(t, 2.0)).unwrap();
+            kv.insert("s", Point::new(t, 2.0))?;
         }
-        kv.flush_all().unwrap();
-        let snap = kv.snapshot("s").unwrap();
-        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        kv.flush_all()?;
+        let snap = kv.snapshot("s")?;
+        let merged = MergeReader::new(&snap).collect_merged()?;
         assert_eq!(merged.len(), 110);
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn wal_recovers_unflushed_data() {
+    fn wal_recovers_unflushed_data() -> TestResult {
         let dir = std::env::temp_dir().join(format!("tskv-walrec-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let config =
             EngineConfig { points_per_chunk: 50, memtable_threshold: 1_000, ..Default::default() };
         {
-            let kv = TsKv::open(&dir, config.clone()).unwrap();
+            let kv = TsKv::open(&dir, config.clone())?;
             for t in 0..300i64 {
-                kv.insert("s", Point::new(t, t as f64)).unwrap();
+                kv.insert("s", Point::new(t, t as f64))?;
             }
             // Delete part of the buffered range, then add more — all
             // without ever flushing.
-            kv.delete("s", 100, 199).unwrap();
+            kv.delete("s", 100, 199)?;
             for t in 300..400i64 {
-                kv.insert("s", Point::new(t, 7.0)).unwrap();
+                kv.insert("s", Point::new(t, 7.0))?;
             }
             // Simulated crash: drop without flushing.
         }
-        let kv = TsKv::open(&dir, config).unwrap();
-        assert_eq!(kv.unflushed_points("s").unwrap(), 300);
-        let snap = kv.snapshot("s").unwrap();
-        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        let kv = TsKv::open(&dir, config)?;
+        assert_eq!(kv.unflushed_points("s")?, 300);
+        let snap = kv.snapshot("s")?;
+        let merged = MergeReader::new(&snap).collect_merged()?;
         assert_eq!(merged.len(), 300);
         assert!(merged.iter().all(|p| !(100..=199).contains(&p.t)));
         assert!(merged.iter().filter(|p| p.t >= 300).all(|p| p.v == 7.0));
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn wal_truncated_by_flush() {
+    fn wal_truncated_by_flush() -> TestResult {
         let dir = std::env::temp_dir().join(format!("tskv-waltrunc-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let config =
             EngineConfig { points_per_chunk: 50, memtable_threshold: 100, ..Default::default() };
         {
-            let kv = TsKv::open(&dir, config.clone()).unwrap();
+            let kv = TsKv::open(&dir, config.clone())?;
             // 250 points: two auto-flushes, 50 left in WAL + memtable.
             for t in 0..250i64 {
-                kv.insert("s", Point::new(t, 1.0)).unwrap();
+                kv.insert("s", Point::new(t, 1.0))?;
             }
         }
-        let kv = TsKv::open(&dir, config).unwrap();
-        assert_eq!(kv.unflushed_points("s").unwrap(), 50);
-        let snap = kv.snapshot("s").unwrap();
+        let kv = TsKv::open(&dir, config)?;
+        assert_eq!(kv.unflushed_points("s")?, 50);
+        let snap = kv.snapshot("s")?;
         assert_eq!(snap.raw_point_count(), 250);
-        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        let merged = MergeReader::new(&snap).collect_merged()?;
         assert_eq!(merged.len(), 250);
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn wal_disabled_drops_unflushed() {
+    fn flush_discards_sealed_wal_segment() -> TestResult {
+        let (dir, kv) = fresh("wal-clean")?;
+        for t in 0..10i64 {
+            kv.insert("s", Point::new(t, 1.0))?;
+        }
+        kv.flush_all()?;
+        // A completed flush leaves neither a sealed segment nor live
+        // records in the active one.
+        let wal_path = dir.join("s").join("series.wal");
+        assert!(!Wal::sealed_path(&wal_path).exists());
+        assert!(Wal::replay(&wal_path)?.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn recovery_reattaches_wal_delete_to_missing_mods() -> TestResult {
+        let dir = std::env::temp_dir().join(format!("tskv-reattach-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config =
+            EngineConfig { points_per_chunk: 50, memtable_threshold: 1_000, ..Default::default() };
+        {
+            let kv = TsKv::open(&dir, config.clone())?;
+            let batch: Vec<Point> = (0..100).map(|t| Point::new(t, 1.0)).collect();
+            kv.insert_batch("s", &batch)?;
+            kv.flush_all()?;
+            kv.delete("s", 10, 20)?;
+        }
+        // Simulate a crash between the WAL append and the mods append:
+        // drop the mods file; the delete now lives only in the WAL.
+        for f in std::fs::read_dir(dir.join("s"))? {
+            let p = f?.path();
+            if p.extension().and_then(|e| e.to_str()) == Some("mods") {
+                std::fs::remove_file(&p)?;
+            }
+        }
+        let kv = TsKv::open(&dir, config)?;
+        let snap = kv.snapshot("s")?;
+        assert_eq!(snap.deletes().len(), 1, "WAL delete must be re-attached");
+        let merged = MergeReader::new(&snap).collect_merged()?;
+        assert_eq!(merged.len(), 89);
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn torn_newest_tsfile_quarantined() -> TestResult {
+        let dir = std::env::temp_dir().join(format!("tskv-quarantine-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config =
+            EngineConfig { points_per_chunk: 50, memtable_threshold: 1_000, ..Default::default() };
+        {
+            let kv = TsKv::open(&dir, config.clone())?;
+            let batch: Vec<Point> = (0..100).map(|t| Point::new(t, 1.0)).collect();
+            kv.insert_batch("s", &batch)?;
+            kv.flush_all()?;
+            let batch: Vec<Point> = (100..200).map(|t| Point::new(t, 2.0)).collect();
+            kv.insert_batch("s", &batch)?;
+            kv.flush_all()?;
+        }
+        // Tear the newest file (as a crash mid-flush would).
+        let torn = dir.join("s").join("00000001.tsfile");
+        std::fs::write(&torn, b"TSF1 torn mid-write")?;
+        let kv = TsKv::open(&dir, config)?;
+        let snap = kv.snapshot("s")?;
+        assert_eq!(snap.raw_point_count(), 100, "older generation must survive");
+        assert!(dir.join("s").join("00000001.tsfile.corrupt").exists());
+        // The quarantined id is not reused.
+        kv.insert("s", Point::new(500, 1.0))?;
+        kv.flush_all()?;
+        assert!(dir.join("s").join("00000002.tsfile").exists());
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn wal_disabled_drops_unflushed() -> TestResult {
         let dir = std::env::temp_dir().join(format!("tskv-nowal-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let config = EngineConfig { enable_wal: false, ..Default::default() };
         {
-            let kv = TsKv::open(&dir, config.clone()).unwrap();
-            kv.insert("s", Point::new(1, 1.0)).unwrap();
+            let kv = TsKv::open(&dir, config.clone())?;
+            kv.insert("s", Point::new(1, 1.0))?;
         }
-        let kv = TsKv::open(&dir, config).unwrap();
-        assert_eq!(kv.unflushed_points("s").unwrap(), 0);
+        let kv = TsKv::open(&dir, config)?;
+        assert_eq!(kv.unflushed_points("s")?, 0);
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn delete_on_empty_series_is_recorded_but_harmless() {
-        let (dir, kv) = fresh("empty-del");
-        kv.create_series("s").unwrap();
-        kv.delete("s", 0, 100).unwrap();
-        let snap = kv.snapshot("s").unwrap();
+    fn delete_on_empty_series_is_recorded_but_harmless() -> TestResult {
+        let (dir, kv) = fresh("empty-del")?;
+        kv.create_series("s")?;
+        kv.delete("s", 0, 100)?;
+        let snap = kv.snapshot("s")?;
         // No files → nothing to attach the tombstone to; the op is a
         // no-op beyond consuming a version.
         assert!(snap.deletes().is_empty());
-        kv.insert("s", Point::new(50, 1.0)).unwrap();
-        kv.flush_all().unwrap();
-        let merged =
-            MergeReader::new(&kv.snapshot("s").unwrap()).collect_merged().unwrap();
+        kv.insert("s", Point::new(50, 1.0))?;
+        kv.flush_all()?;
+        let merged = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
         assert_eq!(merged.len(), 1, "later write must not be hit by the earlier delete");
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn repeated_identical_deletes_are_idempotent() {
-        let (dir, kv) = fresh("dup-del");
+    fn repeated_identical_deletes_are_idempotent() -> TestResult {
+        let (dir, kv) = fresh("dup-del")?;
         for t in 0..100i64 {
-            kv.insert("s", Point::new(t, 1.0)).unwrap();
+            kv.insert("s", Point::new(t, 1.0))?;
         }
-        kv.flush_all().unwrap();
-        kv.delete("s", 10, 20).unwrap();
-        kv.delete("s", 10, 20).unwrap();
-        kv.delete("s", 10, 20).unwrap();
-        let snap = kv.snapshot("s").unwrap();
+        kv.flush_all()?;
+        kv.delete("s", 10, 20)?;
+        kv.delete("s", 10, 20)?;
+        kv.delete("s", 10, 20)?;
+        let snap = kv.snapshot("s")?;
         assert_eq!(snap.deletes().len(), 3); // three ops, distinct versions
-        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        let merged = MergeReader::new(&snap).collect_merged()?;
         assert_eq!(merged.len(), 89);
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn single_point_series_lifecycle() {
-        let (dir, kv) = fresh("single");
-        kv.insert("s", Point::new(i64::MAX - 1, f64::MAX)).unwrap();
-        kv.flush_all().unwrap();
-        let snap = kv.snapshot("s").unwrap();
+    fn single_point_series_lifecycle() -> TestResult {
+        let (dir, kv) = fresh("single")?;
+        kv.insert("s", Point::new(i64::MAX - 1, f64::MAX))?;
+        kv.flush_all()?;
+        let snap = kv.snapshot("s")?;
         assert_eq!(snap.raw_point_count(), 1);
-        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        let merged = MergeReader::new(&snap).collect_merged()?;
         assert_eq!(merged, vec![Point::new(i64::MAX - 1, f64::MAX)]);
-        kv.delete("s", i64::MAX - 1, i64::MAX).unwrap();
-        let merged =
-            MergeReader::new(&kv.snapshot("s").unwrap()).collect_merged().unwrap();
+        kv.delete("s", i64::MAX - 1, i64::MAX)?;
+        let merged = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
         assert!(merged.is_empty());
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn negative_timestamps_supported() {
-        let (dir, kv) = fresh("negative");
+    fn negative_timestamps_supported() -> TestResult {
+        let (dir, kv) = fresh("negative")?;
         for t in -500..-400i64 {
-            kv.insert("s", Point::new(t, t as f64)).unwrap();
+            kv.insert("s", Point::new(t, t as f64))?;
         }
-        kv.flush_all().unwrap();
-        kv.delete("s", -480, -460).unwrap();
-        let snap = kv.snapshot("s").unwrap();
-        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        kv.flush_all()?;
+        kv.delete("s", -480, -460)?;
+        let snap = kv.snapshot("s")?;
+        let merged = MergeReader::new(&snap).collect_merged()?;
         assert_eq!(merged.len(), 100 - 21);
-        assert_eq!(merged[0].t, -500);
+        assert_eq!(merged.first().map(|p| p.t), Some(-500));
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn multiple_series_are_independent() {
-        let (dir, kv) = fresh("multi");
-        kv.insert("a", Point::new(1, 1.0)).unwrap();
-        kv.insert("b", Point::new(2, 2.0)).unwrap();
-        kv.flush_all().unwrap();
-        kv.delete("a", 0, 10).unwrap();
-        let a = MergeReader::new(&kv.snapshot("a").unwrap()).collect_merged().unwrap();
-        let b = MergeReader::new(&kv.snapshot("b").unwrap()).collect_merged().unwrap();
+    fn multiple_series_are_independent() -> TestResult {
+        let (dir, kv) = fresh("multi")?;
+        kv.insert("a", Point::new(1, 1.0))?;
+        kv.insert("b", Point::new(2, 2.0))?;
+        kv.flush_all()?;
+        kv.delete("a", 0, 10)?;
+        let a = MergeReader::new(&kv.snapshot("a")?).collect_merged()?;
+        let b = MergeReader::new(&kv.snapshot("b")?).collect_merged()?;
         assert!(a.is_empty());
         assert_eq!(b, vec![Point::new(2, 2.0)]);
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 }

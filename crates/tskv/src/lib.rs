@@ -38,17 +38,22 @@
 //! use tskv::{TsKv, config::EngineConfig};
 //! use tsfile::types::Point;
 //!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let dir = std::env::temp_dir().join(format!("tskv-doc-{}", std::process::id()));
-//! let kv = TsKv::open(&dir, EngineConfig::default()).unwrap();
+//! let kv = TsKv::open(&dir, EngineConfig::default())?;
 //! for i in 0..5000i64 {
-//!     kv.insert("sensor.speed", Point::new(i * 1000, i as f64)).unwrap();
+//!     kv.insert("sensor.speed", Point::new(i * 1000, i as f64))?;
 //! }
-//! kv.delete("sensor.speed", 1_000_000, 2_000_000).unwrap();
-//! let snap = kv.snapshot("sensor.speed").unwrap();
-//! let merged = tskv::readers::MergeReader::new(&snap).collect_merged().unwrap();
+//! kv.delete("sensor.speed", 1_000_000, 2_000_000)?;
+//! let snap = kv.snapshot("sensor.speed")?;
+//! let merged = tskv::readers::MergeReader::new(&snap).collect_merged()?;
 //! assert!(merged.iter().all(|p| p.t < 1_000_000 || p.t > 2_000_000));
 //! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
 //! ```
+
+#![forbid(unsafe_code)]
 
 pub mod chunk;
 pub mod compaction;

@@ -27,6 +27,20 @@ impl MemTable {
         self.data.insert(p.t, p.v).is_none()
     }
 
+    /// Insert a point only if its timestamp is not already buffered.
+    /// Used when returning points to the buffer after a failed flush:
+    /// anything re-written in the meantime is newer and must win.
+    pub fn insert_if_absent(&mut self, p: Point) -> bool {
+        use std::collections::btree_map::Entry;
+        match self.data.entry(p.t) {
+            Entry::Vacant(slot) => {
+                slot.insert(p.v);
+                true
+            }
+            Entry::Occupied(_) => false,
+        }
+    }
+
     /// Remove all buffered points covered by `range`; returns how many
     /// were removed.
     pub fn delete_range(&mut self, range: TimeRange) -> usize {
@@ -84,6 +98,15 @@ mod tests {
         assert_eq!(m.len(), 3);
         let pts = m.to_points();
         assert_eq!(pts, vec![Point::new(10, 1.0), Point::new(20, 9.0), Point::new(30, 3.0)]);
+    }
+
+    #[test]
+    fn insert_if_absent_never_overwrites() {
+        let mut m = MemTable::new();
+        assert!(m.insert_if_absent(Point::new(10, 1.0)));
+        m.insert(Point::new(20, 2.0));
+        assert!(!m.insert_if_absent(Point::new(20, 9.0)));
+        assert_eq!(m.to_points(), vec![Point::new(10, 1.0), Point::new(20, 2.0)]);
     }
 
     #[test]

@@ -49,30 +49,31 @@ mod tests {
     use crate::config::EngineConfig;
     use crate::engine::TsKv;
 
+    type TestResult = std::result::Result<(), Box<dyn std::error::Error>>;
+
     #[test]
-    fn full_and_partial_reads_count_io() {
+    fn full_and_partial_reads_count_io() -> TestResult {
         let dir = std::env::temp_dir().join(format!("tskv-dr-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let kv = TsKv::open(
             &dir,
             EngineConfig { points_per_chunk: 1000, memtable_threshold: 1000, ..Default::default() },
-        )
-        .unwrap();
+        )?;
         for i in 0..1000i64 {
-            kv.insert("s", Point::new(i * 100, i as f64)).unwrap();
+            kv.insert("s", Point::new(i * 100, i as f64))?;
         }
-        kv.flush_all().unwrap();
-        let snap = kv.snapshot("s").unwrap();
+        kv.flush_all()?;
+        let snap = kv.snapshot("s")?;
         let dr = DataReader::new(&snap);
-        let chunk = &snap.chunks()[0];
+        let chunk = snap.chunks().first().ok_or("no chunks")?;
 
-        let pts = dr.read_points(chunk).unwrap();
+        let pts = dr.read_points(chunk)?;
         assert_eq!(pts.len(), 1000);
 
-        let ts = dr.read_timestamps(chunk).unwrap();
+        let ts = dr.read_timestamps(chunk)?;
         assert_eq!(ts.len(), 1000);
 
-        let partial = dr.read_timestamps_until(chunk, 5_000).unwrap();
+        let partial = dr.read_timestamps_until(chunk, 5_000)?;
         assert!(partial.len() < 100, "partial decode stops early");
 
         let io = snap.io().snapshot();
@@ -80,5 +81,6 @@ mod tests {
         assert_eq!(io.points_decoded, 1000);
         assert_eq!(io.timestamps_decoded, 1000 + partial.len() as u64);
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 }

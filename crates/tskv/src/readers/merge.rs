@@ -125,123 +125,129 @@ mod tests {
     use crate::config::EngineConfig;
     use crate::engine::TsKv;
 
-    fn fresh(name: &str) -> (std::path::PathBuf, TsKv) {
+    type TestResult = std::result::Result<(), Box<dyn std::error::Error>>;
+
+    fn fresh(name: &str) -> crate::Result<(std::path::PathBuf, TsKv)> {
         let dir = std::env::temp_dir().join(format!("tskv-merge-{name}-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let kv = TsKv::open(
             &dir,
             EngineConfig { points_per_chunk: 100, memtable_threshold: 100, ..Default::default() },
-        )
-        .unwrap();
-        (dir, kv)
+        )?;
+        Ok((dir, kv))
     }
 
     #[test]
-    fn merges_overlapping_chunks_latest_wins() {
-        let (dir, kv) = fresh("overwrite");
+    fn merges_overlapping_chunks_latest_wins() -> TestResult {
+        let (dir, kv) = fresh("overwrite")?;
         // Batch 1: t in 0..100, v = 1.
         for t in 0..100i64 {
-            kv.insert("s", Point::new(t, 1.0)).unwrap();
+            kv.insert("s", Point::new(t, 1.0))?;
         }
-        kv.flush_all().unwrap();
+        kv.flush_all()?;
         // Batch 2 overwrites t in 50..100 with v = 2 (overlapping chunk).
         for t in 50..100i64 {
-            kv.insert("s", Point::new(t, 2.0)).unwrap();
+            kv.insert("s", Point::new(t, 2.0))?;
         }
-        kv.flush_all().unwrap();
+        kv.flush_all()?;
 
-        let snap = kv.snapshot("s").unwrap();
-        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        let snap = kv.snapshot("s")?;
+        let merged = MergeReader::new(&snap).collect_merged()?;
         assert_eq!(merged.len(), 100);
         assert!(merged.iter().take(50).all(|p| p.v == 1.0));
         assert!(merged.iter().skip(50).all(|p| p.v == 2.0));
         assert!(merged.windows(2).all(|w| w[0].t < w[1].t));
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn deletes_apply_only_to_older_versions() {
-        let (dir, kv) = fresh("deletes");
+    fn deletes_apply_only_to_older_versions() -> TestResult {
+        let (dir, kv) = fresh("deletes")?;
         for t in 0..100i64 {
-            kv.insert("s", Point::new(t, 1.0)).unwrap();
+            kv.insert("s", Point::new(t, 1.0))?;
         }
-        kv.flush_all().unwrap();
-        kv.delete("s", 20, 40).unwrap();
+        kv.flush_all()?;
+        kv.delete("s", 20, 40)?;
         // Re-insert part of the deleted range afterwards (newer version).
         for t in 30..=35i64 {
-            kv.insert("s", Point::new(t, 9.0)).unwrap();
+            kv.insert("s", Point::new(t, 9.0))?;
         }
-        kv.flush_all().unwrap();
+        kv.flush_all()?;
 
-        let snap = kv.snapshot("s").unwrap();
-        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        let snap = kv.snapshot("s")?;
+        let merged = MergeReader::new(&snap).collect_merged()?;
         // 0..20 (20) + 41..100 (59) + re-inserted 30..=35 (6)
         assert_eq!(merged.len(), 85);
         assert!(merged.iter().all(|p| !(20..=40).contains(&p.t) || p.v == 9.0));
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn range_filter_prunes_chunks() {
-        let (dir, kv) = fresh("range");
+    fn range_filter_prunes_chunks() -> TestResult {
+        let (dir, kv) = fresh("range")?;
         for t in 0..1000i64 {
-            kv.insert("s", Point::new(t, t as f64)).unwrap();
+            kv.insert("s", Point::new(t, t as f64))?;
         }
-        kv.flush_all().unwrap();
-        let snap = kv.snapshot("s").unwrap();
+        kv.flush_all()?;
+        let snap = kv.snapshot("s")?;
         let before = snap.io().snapshot();
-        let merged =
-            MergeReader::with_range(&snap, TimeRange::new(250, 349)).collect_merged().unwrap();
+        let merged = MergeReader::with_range(&snap, TimeRange::new(250, 349)).collect_merged()?;
         assert_eq!(merged.len(), 100);
-        assert_eq!(merged[0].t, 250);
+        assert_eq!(merged.first().map(|p| p.t), Some(250));
         let delta = snap.io().snapshot() - before;
         // Only 2 of the 10 chunks overlap [250, 349].
         assert_eq!(delta.chunks_loaded, 2);
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn empty_snapshot_merges_empty() {
-        let (dir, kv) = fresh("empty");
-        kv.create_series("s").unwrap();
-        let snap = kv.snapshot("s").unwrap();
-        assert!(MergeReader::new(&snap).collect_merged().unwrap().is_empty());
+    fn empty_snapshot_merges_empty() -> TestResult {
+        let (dir, kv) = fresh("empty")?;
+        kv.create_series("s")?;
+        let snap = kv.snapshot("s")?;
+        assert!(MergeReader::new(&snap).collect_merged()?.is_empty());
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn memtable_points_visible_and_latest() {
-        let (dir, kv) = fresh("memtable");
+    fn memtable_points_visible_and_latest() -> TestResult {
+        let (dir, kv) = fresh("memtable")?;
         for t in 0..50i64 {
-            kv.insert("s", Point::new(t, 1.0)).unwrap();
+            kv.insert("s", Point::new(t, 1.0))?;
         }
-        kv.flush_all().unwrap();
+        kv.flush_all()?;
         // Unflushed overwrites + fresh points.
         for t in 40..60i64 {
-            kv.insert("s", Point::new(t, 7.0)).unwrap();
+            kv.insert("s", Point::new(t, 7.0))?;
         }
-        let snap = kv.snapshot("s").unwrap();
-        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        let snap = kv.snapshot("s")?;
+        let merged = MergeReader::new(&snap).collect_merged()?;
         assert_eq!(merged.len(), 60);
         assert!(merged.iter().filter(|p| p.t >= 40).all(|p| p.v == 7.0));
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn delete_does_not_resurrect_older_point() {
-        let (dir, kv) = fresh("resurrect");
+    fn delete_does_not_resurrect_older_point() -> TestResult {
+        let (dir, kv) = fresh("resurrect")?;
         // v1 chunk: point at t=10 value 1.
-        kv.insert("s", Point::new(10, 1.0)).unwrap();
-        kv.flush_all().unwrap();
+        kv.insert("s", Point::new(10, 1.0))?;
+        kv.flush_all()?;
         // v2 chunk: overwrite t=10 with value 2.
-        kv.insert("s", Point::new(10, 2.0)).unwrap();
-        kv.flush_all().unwrap();
+        kv.insert("s", Point::new(10, 2.0))?;
+        kv.flush_all()?;
         // v3 delete covering t=10: erases BOTH versions; the old value
         // must not resurface.
-        kv.delete("s", 10, 10).unwrap();
-        let snap = kv.snapshot("s").unwrap();
-        let merged = MergeReader::new(&snap).collect_merged().unwrap();
+        kv.delete("s", 10, 10)?;
+        let snap = kv.snapshot("s")?;
+        let merged = MergeReader::new(&snap).collect_merged()?;
         assert!(merged.is_empty(), "got {merged:?}");
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 }

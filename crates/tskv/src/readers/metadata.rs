@@ -44,25 +44,27 @@ mod tests {
     use crate::engine::TsKv;
     use tsfile::types::Point;
 
+    type TestResult = std::result::Result<(), Box<dyn std::error::Error>>;
+
     #[test]
-    fn overlapping_filters_by_interval() {
+    fn overlapping_filters_by_interval() -> TestResult {
         let dir = std::env::temp_dir().join(format!("tskv-mdr-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let kv = TsKv::open(
             &dir,
             EngineConfig { points_per_chunk: 10, memtable_threshold: 10, ..Default::default() },
-        )
-        .unwrap();
+        )?;
         for i in 0..100i64 {
-            kv.insert("s", Point::new(i, i as f64)).unwrap();
+            kv.insert("s", Point::new(i, i as f64))?;
         }
-        kv.flush_all().unwrap();
-        let snap = kv.snapshot("s").unwrap();
+        kv.flush_all()?;
+        let snap = kv.snapshot("s")?;
         let r = MetadataReader::new(&snap);
         assert_eq!(r.all().len(), 10);
         let hits = r.overlapping(TimeRange::new(25, 34));
         assert_eq!(hits.len(), 2); // chunks [20..29] and [30..39]
         assert!(r.overlapping(TimeRange::new(1000, 2000)).is_empty());
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 }

@@ -117,84 +117,89 @@ mod tests {
     use crate::engine::TsKv;
     use tsfile::types::{Point, TimeRange};
 
-    fn fresh(name: &str) -> (std::path::PathBuf, TsKv) {
+    type TestResult = std::result::Result<(), Box<dyn std::error::Error>>;
+
+    fn fresh(name: &str) -> crate::Result<(std::path::PathBuf, TsKv)> {
         let dir = std::env::temp_dir().join(format!("tskv-snap-{name}-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let kv = TsKv::open(
             &dir,
             EngineConfig { points_per_chunk: 100, memtable_threshold: 400, ..Default::default() },
-        )
-        .unwrap();
-        (dir, kv)
+        )?;
+        Ok((dir, kv))
     }
 
     #[test]
-    fn mem_chunk_included_and_versioned_last() {
-        let (dir, kv) = fresh("mem");
+    fn mem_chunk_included_and_versioned_last() -> TestResult {
+        let (dir, kv) = fresh("mem")?;
         for t in 0..400i64 {
-            kv.insert("s", Point::new(t, 1.0)).unwrap();
+            kv.insert("s", Point::new(t, 1.0))?;
         }
-        kv.flush_all().unwrap();
+        kv.flush_all()?;
         for t in 400..450i64 {
-            kv.insert("s", Point::new(t, 2.0)).unwrap();
+            kv.insert("s", Point::new(t, 2.0))?;
         }
-        let snap = kv.snapshot("s").unwrap();
+        let snap = kv.snapshot("s")?;
         let chunks = snap.chunks();
         assert_eq!(chunks.len(), 5); // 4 sealed + 1 mem
-        let mem = chunks.last().unwrap();
+        let mem = chunks.last().ok_or("no chunks")?;
         assert!(mem.is_mem());
         assert!(chunks[..4].iter().all(|c| c.version < mem.version));
         assert_eq!(mem.count(), 50);
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn read_timestamps_until_on_mem_chunk_stops_early() {
-        let (dir, kv) = fresh("mem-until");
+    fn read_timestamps_until_on_mem_chunk_stops_early() -> TestResult {
+        let (dir, kv) = fresh("mem-until")?;
         for t in 0..50i64 {
-            kv.insert("s", Point::new(t * 10, 0.0)).unwrap();
+            kv.insert("s", Point::new(t * 10, 0.0))?;
         }
-        let snap = kv.snapshot("s").unwrap();
-        let mem = snap.chunks().last().unwrap();
+        let snap = kv.snapshot("s")?;
+        let mem = snap.chunks().last().ok_or("no mem chunk")?;
         assert!(mem.is_mem());
-        let ts = snap.read_timestamps(mem, Some(105)).unwrap();
-        assert_eq!(*ts.last().unwrap(), 110); // first value past the limit
+        let ts = snap.read_timestamps(mem, Some(105))?;
+        assert_eq!(ts.last().copied(), Some(110)); // first value past the limit
         assert_eq!(ts.len(), 12);
-        let all = snap.read_timestamps(mem, None).unwrap();
+        let all = snap.read_timestamps(mem, None)?;
         assert_eq!(all.len(), 50);
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn chunks_overlapping_respects_boundaries() {
-        let (dir, kv) = fresh("overlap");
+    fn chunks_overlapping_respects_boundaries() -> TestResult {
+        let (dir, kv) = fresh("overlap")?;
         for t in 0..400i64 {
-            kv.insert("s", Point::new(t, 0.0)).unwrap();
+            kv.insert("s", Point::new(t, 0.0))?;
         }
-        kv.flush_all().unwrap();
-        let snap = kv.snapshot("s").unwrap();
+        kv.flush_all()?;
+        let snap = kv.snapshot("s")?;
         // Chunks: [0,99] [100,199] [200,299] [300,399].
         assert_eq!(snap.chunks_overlapping(TimeRange::new(99, 100)).len(), 2);
         assert_eq!(snap.chunks_overlapping(TimeRange::new(150, 160)).len(), 1);
         assert_eq!(snap.chunks_overlapping(TimeRange::new(-50, -1)).len(), 0);
         assert_eq!(snap.chunks_overlapping(TimeRange::new(0, 399)).len(), 4);
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn raw_point_count_sums_all_chunks() {
-        let (dir, kv) = fresh("count");
+    fn raw_point_count_sums_all_chunks() -> TestResult {
+        let (dir, kv) = fresh("count")?;
         for t in 0..250i64 {
-            kv.insert("s", Point::new(t, 0.0)).unwrap();
+            kv.insert("s", Point::new(t, 0.0))?;
         }
         // Overwrite 50 points → extra chunk with 50 points after flush.
-        kv.flush_all().unwrap();
+        kv.flush_all()?;
         for t in 0..50i64 {
-            kv.insert("s", Point::new(t, 9.0)).unwrap();
+            kv.insert("s", Point::new(t, 9.0))?;
         }
-        kv.flush_all().unwrap();
-        let snap = kv.snapshot("s").unwrap();
+        kv.flush_all()?;
+        let snap = kv.snapshot("s")?;
         assert_eq!(snap.raw_point_count(), 300); // raw, not deduplicated
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 }

@@ -97,7 +97,11 @@ mod tests {
             .collect();
         let mut seen = HashSet::new();
         for h in handles {
-            for v in h.join().unwrap() {
+            let versions = match h.join() {
+                Ok(vs) => vs,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            for v in versions {
                 assert!(seen.insert(v), "duplicate version {v}");
             }
         }

@@ -4,9 +4,29 @@
 //! so IoTDB's WAL never features in its measurements — but a storage
 //! engine that silently drops buffered points on restart is not usable.
 //! This WAL makes the memtable durable: every insert batch and delete
-//! is appended (CRC-framed, torn tails dropped) before it is applied,
-//! and the log is truncated once a flush seals its contents into a
-//! TsFile.
+//! is appended (CRC-framed, torn tails dropped) before it is applied.
+//!
+//! ## Segments and flush rotation
+//!
+//! The log is two files: the **active** segment (`series.wal`) covering
+//! the current memtable, and an optional **sealed** segment
+//! (`series.wal.old`) covering points currently being flushed. When a
+//! flush begins, [`Wal::rotate_for_flush`] diverts the log: the active
+//! segment becomes the sealed one and a fresh active segment opens.
+//! Once the flush's TsFile is durable, [`Wal::discard_sealed`] drops
+//! the sealed segment. This keeps the heavy TsFile write outside the
+//! engine's series lock (xtask lint L2) without a window where a crash
+//! could lose acknowledged writes:
+//!
+//! * crash mid-flush → the sealed segment still covers the in-flight
+//!   points and [`Wal::replay`] reads it before the active segment;
+//! * flush failure → the sealed segment survives, and the *next*
+//!   rotation folds the active segment onto it so replay order (old
+//!   records first) is preserved;
+//! * crash after the TsFile is durable but before the discard → the
+//!   sealed segment replays points that also exist in the new file;
+//!   the merge path dedups same-timestamp points, so reads stay
+//!   correct at the cost of a transiently larger memtable.
 //!
 //! Durability level: records are written to the OS on every append and
 //! fsynced when [`Wal::sync`] is called (the engine syncs on flush and
@@ -17,14 +37,17 @@
 //! before it.
 //!
 //! * kind 0 — insert run: `varint n`, then `n × (varint_i t, f64 v)`.
-//! * kind 1 — delete: `varint_i t_ds`, `varint_i t_de`.
+//! * kind 1 — delete: `varint κ`, `varint_i t_ds`, `varint_i t_de`.
+//!   The version κ lets recovery re-attach the tombstone to sealed
+//!   files whose mods log missed it (crash between WAL append and the
+//!   mods append).
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 use tsfile::checksum::crc32;
-use tsfile::types::{Point, TimeRange, Timestamp};
+use tsfile::types::{Point, TimeRange, Timestamp, Version};
 use tsfile::varint;
 
 use crate::Result;
@@ -33,10 +56,10 @@ use crate::Result;
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalRecord {
     Insert(Vec<Point>),
-    Delete(TimeRange),
+    Delete { version: Version, range: TimeRange },
 }
 
-/// Append-only, truncatable per-series log.
+/// Append-only, rotatable per-series log.
 #[derive(Debug)]
 pub struct Wal {
     path: PathBuf,
@@ -66,10 +89,11 @@ impl Wal {
         self.append_framed(body)
     }
 
-    /// Append one delete.
-    pub fn append_delete(&mut self, range: TimeRange) -> Result<()> {
-        let mut body = Vec::with_capacity(24);
+    /// Append one delete with its global version `κ`.
+    pub fn append_delete(&mut self, version: Version, range: TimeRange) -> Result<()> {
+        let mut body = Vec::with_capacity(32);
         body.push(1u8);
+        varint::write_u64(&mut body, version.0);
         varint::write_i64(&mut body, range.start);
         varint::write_i64(&mut body, range.end);
         self.append_framed(body)
@@ -88,8 +112,41 @@ impl Wal {
         Ok(())
     }
 
-    /// Discard all records (called after a successful flush has made
-    /// their effects durable in a sealed TsFile).
+    /// Begin a flush: divert the log so records covering the points
+    /// being flushed are kept apart from records for new writes. The
+    /// active segment's contents move to the sealed segment and a fresh
+    /// active segment opens. If a sealed segment already exists (a
+    /// previous flush failed after rotating), the active segment is
+    /// folded onto it instead, preserving append order on replay.
+    ///
+    /// Must be called under the same lock that serializes appends.
+    pub fn rotate_for_flush(&mut self) -> Result<()> {
+        let sealed = Self::sealed_path(&self.path);
+        if sealed.exists() {
+            let mut dst = OpenOptions::new().append(true).open(&sealed)?;
+            let mut src = File::open(&self.path)?;
+            std::io::copy(&mut src, &mut dst)?;
+            dst.sync_data()?;
+            self.reset()
+        } else {
+            std::fs::rename(&self.path, &sealed)?;
+            self.file = OpenOptions::new().create(true).append(true).open(&self.path)?;
+            Ok(())
+        }
+    }
+
+    /// End a flush: the sealed TsFile now covers the sealed segment's
+    /// records, so the segment can go. No-op if none exists.
+    pub fn discard_sealed(&mut self) -> Result<()> {
+        match std::fs::remove_file(Self::sealed_path(&self.path)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Discard all active-segment records (their effects are durable
+    /// elsewhere, or the caller is tearing the series down).
     pub fn reset(&mut self) -> Result<()> {
         // Recreate rather than truncate-in-place: O_APPEND offsets reset
         // with the new file handle on every platform.
@@ -103,33 +160,44 @@ impl Wal {
         Ok(())
     }
 
-    /// Replay the log at `path` (no-op if absent). A torn or corrupt
-    /// tail record ends the replay silently; everything before it is
-    /// returned in append order.
+    /// Replay the log at `path` (no-op if absent): first the sealed
+    /// segment left by an interrupted flush, then the active segment,
+    /// so records come back in append order. A torn or corrupt tail
+    /// record ends that segment's replay silently; everything before it
+    /// is returned.
     pub fn replay<P: AsRef<Path>>(path: P) -> Result<Vec<WalRecord>> {
         let path = path.as_ref();
-        if !path.exists() {
-            return Ok(Vec::new());
-        }
-        let mut buf = Vec::new();
-        File::open(path)?.read_to_end(&mut buf)?;
         let mut out = Vec::new();
-        let mut pos = 0usize;
-        while pos < buf.len() {
-            match decode_record(&buf, pos) {
-                Some((record, next)) => {
-                    out.push(record);
-                    pos = next;
+        for segment in [Self::sealed_path(path), path.to_path_buf()] {
+            if !segment.exists() {
+                continue;
+            }
+            let mut buf = Vec::new();
+            File::open(&segment)?.read_to_end(&mut buf)?;
+            let mut pos = 0usize;
+            while pos < buf.len() {
+                match decode_record(&buf, pos) {
+                    Some((record, next)) => {
+                        out.push(record);
+                        pos = next;
+                    }
+                    None => break,
                 }
-                None => break,
             }
         }
         Ok(out)
     }
 
-    /// Current size of the log file in bytes.
+    /// Current size of the active segment in bytes.
     pub fn len_bytes(&self) -> Result<u64> {
         Ok(self.file.metadata()?.len())
+    }
+
+    /// Path of the sealed segment belonging to the WAL at `path`.
+    pub fn sealed_path(path: &Path) -> PathBuf {
+        let mut p = path.as_os_str().to_os_string();
+        p.push(".old");
+        PathBuf::from(p)
     }
 }
 
@@ -148,22 +216,23 @@ fn decode_record(buf: &[u8], start: usize) -> Option<(WalRecord, usize)> {
             let mut points = Vec::with_capacity(n);
             for _ in 0..n {
                 let t: Timestamp = varint::read_i64(buf, &mut pos).ok()?;
-                let v_bytes = buf.get(pos..pos + 8)?;
+                let v_bytes = buf.get(pos..pos.checked_add(8)?)?;
                 pos += 8;
                 points.push(Point::new(t, f64::from_le_bytes(v_bytes.try_into().ok()?)));
             }
             WalRecord::Insert(points)
         }
         1 => {
+            let version = Version(varint::read_u64(buf, &mut pos).ok()?);
             let s = varint::read_i64(buf, &mut pos).ok()?;
             let e = varint::read_i64(buf, &mut pos).ok()?;
-            WalRecord::Delete(TimeRange::new(s, e))
+            WalRecord::Delete { version, range: TimeRange::new(s, e) }
         }
         _ => return None,
     };
-    let crc_bytes = buf.get(pos..pos + 4)?;
+    let crc_bytes = buf.get(pos..pos.checked_add(4)?)?;
     let expected = u32::from_le_bytes(crc_bytes.try_into().ok()?);
-    if crc32(&buf[start..pos]) != expected {
+    if crc32(buf.get(start..pos)?) != expected {
         return None;
     }
     Some((record, pos + 4))
@@ -173,11 +242,14 @@ fn decode_record(buf: &[u8], start: usize) -> Option<(WalRecord, usize)> {
 mod tests {
     use super::*;
 
+    type TestResult = std::result::Result<(), Box<dyn std::error::Error>>;
+
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("tskv-wal-tests");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).ok();
         let p = dir.join(name);
         std::fs::remove_file(&p).ok();
+        std::fs::remove_file(Wal::sealed_path(&p)).ok();
         p
     }
 
@@ -186,88 +258,150 @@ mod tests {
     }
 
     #[test]
-    fn append_replay_roundtrip() {
+    fn append_replay_roundtrip() -> TestResult {
         let p = tmp("roundtrip.wal");
-        let mut w = Wal::open(&p).unwrap();
-        w.append_inserts(&pts(&[(1, 1.0), (2, 2.0)])).unwrap();
-        w.append_delete(TimeRange::new(0, 10)).unwrap();
-        w.append_inserts(&pts(&[(5, 5.0)])).unwrap();
-        w.sync().unwrap();
+        let mut w = Wal::open(&p)?;
+        w.append_inserts(&pts(&[(1, 1.0), (2, 2.0)]))?;
+        w.append_delete(Version(7), TimeRange::new(0, 10))?;
+        w.append_inserts(&pts(&[(5, 5.0)]))?;
+        w.sync()?;
         drop(w);
-        let records = Wal::replay(&p).unwrap();
+        let records = Wal::replay(&p)?;
         assert_eq!(
             records,
             vec![
                 WalRecord::Insert(pts(&[(1, 1.0), (2, 2.0)])),
-                WalRecord::Delete(TimeRange::new(0, 10)),
+                WalRecord::Delete { version: Version(7), range: TimeRange::new(0, 10) },
                 WalRecord::Insert(pts(&[(5, 5.0)])),
             ]
         );
+        Ok(())
     }
 
     #[test]
-    fn missing_file_replays_empty() {
-        assert!(Wal::replay(tmp("missing.wal")).unwrap().is_empty());
+    fn missing_file_replays_empty() -> TestResult {
+        assert!(Wal::replay(tmp("missing.wal"))?.is_empty());
+        Ok(())
     }
 
     #[test]
-    fn reset_clears_log() {
+    fn reset_clears_log() -> TestResult {
         let p = tmp("reset.wal");
-        let mut w = Wal::open(&p).unwrap();
-        w.append_inserts(&pts(&[(1, 1.0)])).unwrap();
-        assert!(w.len_bytes().unwrap() > 0);
-        w.reset().unwrap();
-        assert_eq!(w.len_bytes().unwrap(), 0);
-        assert!(Wal::replay(&p).unwrap().is_empty());
+        let mut w = Wal::open(&p)?;
+        w.append_inserts(&pts(&[(1, 1.0)]))?;
+        assert!(w.len_bytes()? > 0);
+        w.reset()?;
+        assert_eq!(w.len_bytes()?, 0);
+        assert!(Wal::replay(&p)?.is_empty());
         // Appending after a reset works (fresh handle).
-        w.append_delete(TimeRange::new(1, 2)).unwrap();
-        assert_eq!(Wal::replay(&p).unwrap().len(), 1);
+        w.append_delete(Version(1), TimeRange::new(1, 2))?;
+        assert_eq!(Wal::replay(&p)?.len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn torn_tail_dropped() {
+    fn rotation_diverts_then_discard_drops() -> TestResult {
+        let p = tmp("rotate.wal");
+        let mut w = Wal::open(&p)?;
+        w.append_inserts(&pts(&[(1, 1.0)]))?;
+        w.rotate_for_flush()?;
+        assert_eq!(w.len_bytes()?, 0, "active segment is fresh after rotation");
+        w.append_inserts(&pts(&[(2, 2.0)]))?;
+        // Replay sees sealed-segment records first.
+        let records = Wal::replay(&p)?;
+        assert_eq!(
+            records,
+            vec![
+                WalRecord::Insert(pts(&[(1, 1.0)])),
+                WalRecord::Insert(pts(&[(2, 2.0)])),
+            ]
+        );
+        w.discard_sealed()?;
+        assert!(!Wal::sealed_path(&p).exists());
+        assert_eq!(Wal::replay(&p)?, vec![WalRecord::Insert(pts(&[(2, 2.0)]))]);
+        Ok(())
+    }
+
+    #[test]
+    fn second_rotation_folds_active_onto_surviving_sealed_segment() -> TestResult {
+        let p = tmp("fold.wal");
+        let mut w = Wal::open(&p)?;
+        w.append_inserts(&pts(&[(1, 1.0)]))?;
+        w.rotate_for_flush()?; // flush #1 starts…
+        w.append_inserts(&pts(&[(2, 2.0)]))?;
+        w.rotate_for_flush()?; // …fails; flush #2 rotates with .old present
+        w.append_inserts(&pts(&[(3, 3.0)]))?;
+        // Append order must survive both rotations.
+        let records = Wal::replay(&p)?;
+        assert_eq!(
+            records,
+            vec![
+                WalRecord::Insert(pts(&[(1, 1.0)])),
+                WalRecord::Insert(pts(&[(2, 2.0)])),
+                WalRecord::Insert(pts(&[(3, 3.0)])),
+            ]
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn discard_without_sealed_segment_is_noop() -> TestResult {
+        let p = tmp("nodiscard.wal");
+        let mut w = Wal::open(&p)?;
+        w.discard_sealed()?;
+        Ok(())
+    }
+
+    #[test]
+    fn torn_tail_dropped() -> TestResult {
         let p = tmp("torn.wal");
-        let mut w = Wal::open(&p).unwrap();
-        w.append_inserts(&pts(&[(1, 1.0)])).unwrap();
-        w.append_inserts(&pts(&[(2, 2.0), (3, 3.0)])).unwrap();
+        let mut w = Wal::open(&p)?;
+        w.append_inserts(&pts(&[(1, 1.0)]))?;
+        w.append_inserts(&pts(&[(2, 2.0), (3, 3.0)]))?;
         drop(w);
-        let data = std::fs::read(&p).unwrap();
-        std::fs::write(&p, &data[..data.len() - 5]).unwrap();
-        let records = Wal::replay(&p).unwrap();
+        let data = std::fs::read(&p)?;
+        let keep = data.len() - 5;
+        std::fs::write(&p, data.get(..keep).ok_or("short wal")?)?;
+        let records = Wal::replay(&p)?;
         assert_eq!(records, vec![WalRecord::Insert(pts(&[(1, 1.0)]))]);
+        Ok(())
     }
 
     #[test]
-    fn corrupt_record_ends_replay() {
+    fn corrupt_record_ends_replay() -> TestResult {
         let p = tmp("corrupt.wal");
-        let mut w = Wal::open(&p).unwrap();
-        w.append_inserts(&pts(&[(1, 1.0)])).unwrap();
-        w.append_inserts(&pts(&[(2, 2.0)])).unwrap();
+        let mut w = Wal::open(&p)?;
+        w.append_inserts(&pts(&[(1, 1.0)]))?;
+        w.append_inserts(&pts(&[(2, 2.0)]))?;
         drop(w);
-        let mut data = std::fs::read(&p).unwrap();
+        let mut data = std::fs::read(&p)?;
         let n = data.len();
-        data[n - 6] ^= 0xFF; // flip a bit in the second record's body
-        std::fs::write(&p, &data).unwrap();
-        assert_eq!(Wal::replay(&p).unwrap().len(), 1);
+        let byte = data.get_mut(n - 6).ok_or("short wal")?;
+        *byte ^= 0xFF; // flip a bit in the second record's body
+        std::fs::write(&p, &data)?;
+        assert_eq!(Wal::replay(&p)?.len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn absurd_count_rejected() {
+    fn absurd_count_rejected() -> TestResult {
         let p = tmp("absurd.wal");
         // Hand-craft a record claiming u64::MAX points.
         let mut body = vec![0u8];
         varint::write_u64(&mut body, u64::MAX);
         let crc = crc32(&body);
         body.extend_from_slice(&crc.to_le_bytes());
-        std::fs::write(&p, &body).unwrap();
-        assert!(Wal::replay(&p).unwrap().is_empty());
+        std::fs::write(&p, &body)?;
+        assert!(Wal::replay(&p)?.is_empty());
+        Ok(())
     }
 
     #[test]
-    fn empty_insert_is_noop() {
+    fn empty_insert_is_noop() -> TestResult {
         let p = tmp("empty.wal");
-        let mut w = Wal::open(&p).unwrap();
-        w.append_inserts(&[]).unwrap();
-        assert_eq!(w.len_bytes().unwrap(), 0);
+        let mut w = Wal::open(&p)?;
+        w.append_inserts(&[])?;
+        assert_eq!(w.len_bytes()?, 0);
+        Ok(())
     }
 }

@@ -6,6 +6,10 @@
 //! if this holds, any operator equivalent to `MergeReader` output is
 //! correct with respect to the paper's semantics.
 
+// Tests assert by panicking; the workspace panic-freedom deny-set
+// (root Cargo.toml) is aimed at library code.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;

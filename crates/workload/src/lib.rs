@@ -18,6 +18,8 @@
 //! All generation is deterministic given the seed, so benchmark runs
 //! are reproducible.
 
+#![forbid(unsafe_code)]
+
 pub mod datasets;
 pub mod scenario;
 pub mod signal;

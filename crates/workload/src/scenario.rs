@@ -110,6 +110,9 @@ pub fn apply_random_deletes(
 
 #[cfg(test)]
 mod tests {
+    // Tests assert by panicking; the workspace deny-set targets library code.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
     use super::*;
     use rand::SeedableRng;
     use tskv::config::EngineConfig;

@@ -102,6 +102,9 @@ fn sample_run(mean: usize, rng: &mut StdRng) -> usize {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert by panicking; the workspace deny-set targets library code.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
     use super::*;
     use rand::SeedableRng;
 

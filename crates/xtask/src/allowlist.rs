@@ -1,0 +1,210 @@
+//! Parser for `xtask-lint-allowlist.toml` at the workspace root.
+//!
+//! The file is a sequence of `[[allow]]` tables with four required
+//! string keys: `rule`, `path`, `contains`, `justification`. Parsed by
+//! hand (this workspace builds offline; no toml crate), accepting only
+//! that restricted shape. Every entry must be *used* by a current
+//! violation — stale entries are themselves lint errors — and the
+//! whole file is capped below [`MAX_ENTRIES`] entries so the list
+//! stays a short, audited document rather than a dumping ground.
+
+use crate::rules::{Rule, Violation};
+
+/// Hard cap (exclusive) on allowlist size.
+pub const MAX_ENTRIES: usize = 10;
+
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub rule: String,
+    /// Path suffix, forward slashes, relative to the workspace root.
+    pub path: String,
+    /// Substring that must appear in the offending source line.
+    pub contains: String,
+    pub justification: String,
+    /// Line in the allowlist file, for error reporting.
+    pub line: u32,
+}
+
+impl AllowEntry {
+    pub fn matches(&self, v: &Violation) -> bool {
+        v.rule.code() == self.rule
+            && v.path.ends_with(&self.path)
+            && v.excerpt.contains(&self.contains)
+    }
+}
+
+/// Parse the allowlist. Structural problems are returned as
+/// `ALLOWLIST` violations (so they fail the lint run like anything
+/// else) rather than aborting.
+pub fn parse(path_label: &str, content: &str) -> (Vec<AllowEntry>, Vec<Violation>) {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut problems: Vec<Violation> = Vec::new();
+    let mut current: Option<(AllowEntry, u32)> = None;
+
+    let mut problem = |line: u32, msg: String, excerpt: &str| {
+        problems.push(Violation {
+            rule: Rule::Allowlist,
+            path: path_label.to_string(),
+            line,
+            message: msg,
+            excerpt: excerpt.trim().to_string(),
+        });
+    };
+
+    let finalize =
+        |entry: Option<(AllowEntry, u32)>,
+         entries: &mut Vec<AllowEntry>,
+         problem: &mut dyn FnMut(u32, String, &str)| {
+            let Some((e, start_line)) = entry else { return };
+            let missing: Vec<&str> = [
+                ("rule", e.rule.is_empty()),
+                ("path", e.path.is_empty()),
+                ("contains", e.contains.is_empty()),
+                ("justification", e.justification.is_empty()),
+            ]
+            .iter()
+            .filter_map(|&(k, m)| m.then_some(k))
+            .collect();
+            if missing.is_empty() {
+                if e.justification.trim().len() < 20 {
+                    problem(
+                        start_line,
+                        "allowlist justification is too short to be a real rationale \
+                         (< 20 chars)"
+                            .to_string(),
+                        "",
+                    );
+                }
+                entries.push(e);
+            } else {
+                problem(
+                    start_line,
+                    format!("allowlist entry missing required keys: {}", missing.join(", ")),
+                    "",
+                );
+            }
+        };
+
+    for (idx, raw) in content.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finalize(current.take(), &mut entries, &mut problem);
+            current = Some((
+                AllowEntry {
+                    rule: String::new(),
+                    path: String::new(),
+                    contains: String::new(),
+                    justification: String::new(),
+                    line: line_no,
+                },
+                line_no,
+            ));
+            continue;
+        }
+        let Some((key, value)) = parse_kv(line) else {
+            problem(
+                line_no,
+                "unrecognized allowlist syntax; expected `[[allow]]` or `key = \"value\"`"
+                    .to_string(),
+                raw,
+            );
+            continue;
+        };
+        let Some((entry, _)) = current.as_mut() else {
+            problem(line_no, "key outside an [[allow]] table".to_string(), raw);
+            continue;
+        };
+        match key {
+            "rule" => entry.rule = value,
+            "path" => entry.path = value.replace('\\', "/"),
+            "contains" => entry.contains = value,
+            "justification" => entry.justification = value,
+            other => {
+                problem(line_no, format!("unknown allowlist key `{other}`"), raw);
+            }
+        }
+    }
+    finalize(current.take(), &mut entries, &mut problem);
+
+    if entries.len() >= MAX_ENTRIES {
+        problem(
+            0,
+            format!(
+                "allowlist has {} entries; the budget is < {MAX_ENTRIES}. Fix code instead \
+                 of growing the list",
+                entries.len()
+            ),
+            "",
+        );
+    }
+    (entries, problems)
+}
+
+/// Parse `key = "value"`; returns None on any other shape.
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let key = key.trim();
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+    // Unescape the two sequences the format needs.
+    Some((key, inner.replace("\\\"", "\"").replace("\\\\", "\\")))
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
+    use super::*;
+
+    const GOOD: &str = r#"
+# comment
+[[allow]]
+rule = "L1"
+path = "crates/tsfile/src/encoding/bitio.rs"
+contains = "self.bytes[self.pos]"
+justification = "index provably bounded by the length check at loop entry"
+"#;
+
+    #[test]
+    fn parses_valid_entry() {
+        let (entries, problems) = parse("allow.toml", GOOD);
+        assert!(problems.is_empty(), "{problems:?}");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "L1");
+        assert!(entries[0].contains.contains("bytes[self.pos]"));
+    }
+
+    #[test]
+    fn missing_justification_is_a_problem() {
+        let src = "[[allow]]\nrule = \"L1\"\npath = \"x.rs\"\ncontains = \"y\"\n";
+        let (entries, problems) = parse("allow.toml", src);
+        assert!(entries.is_empty());
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn short_justification_rejected() {
+        let src =
+            "[[allow]]\nrule = \"L1\"\npath = \"x.rs\"\ncontains = \"y\"\njustification = \"ok\"\n";
+        let (_, problems) = parse("allow.toml", src);
+        assert!(problems.iter().any(|p| p.message.contains("too short")));
+    }
+
+    #[test]
+    fn entry_budget_enforced() {
+        let mut src = String::new();
+        for i in 0..MAX_ENTRIES {
+            src.push_str(&format!(
+                "[[allow]]\nrule = \"L1\"\npath = \"f{i}.rs\"\ncontains = \"z\"\n\
+                 justification = \"a justification that is long enough to pass\"\n"
+            ));
+        }
+        let (_, problems) = parse("allow.toml", &src);
+        assert!(problems.iter().any(|p| p.message.contains("budget")));
+    }
+}

@@ -1,0 +1,225 @@
+//! Repo-specific static analysis for the m4lsm workspace.
+//!
+//! Run as `cargo run -p xtask -- lint`. Four rule families (see
+//! DESIGN.md for full contracts):
+//!
+//! - **L1** panic-freedom in `tsfile`/`tskv`/`m4` non-test code, plus
+//!   an indexing ban inside byte-parsing modules;
+//! - **L2** no lock/RefCell guard held across file I/O or chunk decode
+//!   in `tskv::engine`, `tskv::snapshot`, `m4::lsm::cache`;
+//! - **L3** public decode/read entry points in the storage crates
+//!   return `Result`/`Option`;
+//! - **L4** no bare `as` numeric conversions in the codec layers
+//!   (`varint`, `bitio`, encodings) outside the audited `tsfile::cast`
+//!   module.
+//!
+//! Escapes go through `xtask-lint-allowlist.toml` at the workspace
+//! root: fewer than ten entries, each carrying a written
+//! justification, each required to still match a real site.
+
+#![forbid(unsafe_code)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{FileRules, Rule, Violation};
+
+/// Name of the allowlist file at the workspace root.
+pub const ALLOWLIST_FILE: &str = "xtask-lint-allowlist.toml";
+
+/// Crates whose `src/` trees get the L1 panic-freedom scan.
+const L1_CRATES: &[&str] = &["crates/tsfile/src", "crates/tskv/src", "crates/m4/src"];
+
+/// Byte-parsing modules: L1 additionally bans indexing/slicing here.
+/// Membership criterion: the file interprets *raw disk bytes*.
+/// `index.rs` is deliberately absent — its decode path is already
+/// get()-based and the rest is in-memory model math over slices whose
+/// invariants are established at decode time.
+const UNTRUSTED_INPUT_FILES: &[&str] = &[
+    "crates/tsfile/src/reader.rs",
+    "crates/tsfile/src/varint.rs",
+    "crates/tsfile/src/mods.rs",
+    "crates/tsfile/src/statistics.rs",
+    "crates/tsfile/src/encoding/bitio.rs",
+    "crates/tsfile/src/encoding/gorilla.rs",
+    "crates/tsfile/src/encoding/plain.rs",
+    "crates/tsfile/src/encoding/ts2diff.rs",
+    "crates/tskv/src/wal.rs",
+];
+
+/// Files subject to the L2 lock-discipline scan.
+const L2_FILES: &[&str] =
+    &["crates/tskv/src/engine.rs", "crates/tskv/src/snapshot.rs", "crates/m4/src/lsm/cache.rs"];
+
+/// Files whose public read/decode entry points must be fallible (L3).
+const L3_FILES: &[&str] = &[
+    "crates/tsfile/src/reader.rs",
+    "crates/tsfile/src/varint.rs",
+    "crates/tsfile/src/mods.rs",
+    "crates/tsfile/src/statistics.rs",
+    "crates/tsfile/src/index.rs",
+    "crates/tsfile/src/format.rs",
+    "crates/tsfile/src/encoding/bitio.rs",
+    "crates/tsfile/src/encoding/gorilla.rs",
+    "crates/tsfile/src/encoding/plain.rs",
+    "crates/tsfile/src/encoding/ts2diff.rs",
+    "crates/tskv/src/chunk.rs",
+    "crates/tskv/src/snapshot.rs",
+    "crates/tskv/src/wal.rs",
+];
+
+/// Codec layers under the L4 cast audit. `cast.rs` is the audited
+/// escape hatch and appears in the allowlist, not here.
+const L4_FILES: &[&str] = &[
+    "crates/tsfile/src/varint.rs",
+    "crates/tsfile/src/cast.rs",
+    "crates/tsfile/src/encoding/bitio.rs",
+    "crates/tsfile/src/encoding/gorilla.rs",
+    "crates/tsfile/src/encoding/plain.rs",
+    "crates/tsfile/src/encoding/ts2diff.rs",
+];
+
+/// Rule selection for one workspace-relative path.
+pub fn rules_for(rel_path: &str) -> FileRules {
+    let in_any = |set: &[&str]| set.contains(&rel_path);
+    FileRules {
+        l1: L1_CRATES.iter().any(|root| rel_path.starts_with(root)) && rel_path.ends_with(".rs"),
+        l1_indexing: in_any(UNTRUSTED_INPUT_FILES),
+        l2: in_any(L2_FILES),
+        l3: in_any(L3_FILES),
+        l4: in_any(L4_FILES),
+    }
+}
+
+/// Locate the workspace root: walk up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(content) = std::fs::read_to_string(&manifest) {
+            if content.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn walk_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            walk_rs_files(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Run every rule over the workspace at `root`, apply the allowlist,
+/// and return the surviving violations (empty = pass).
+pub fn run_lint(root: &Path) -> Result<Vec<Violation>, String> {
+    let mut raw: Vec<Violation> = Vec::new();
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for crate_src in L1_CRATES {
+        walk_rs_files(&root.join(crate_src), &mut files);
+    }
+
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .map_err(|_| format!("{} escapes workspace root", file.display()))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let rules = rules_for(&rel);
+        if !rules.any() {
+            continue;
+        }
+        let src = std::fs::read_to_string(file)
+            .map_err(|e| format!("read {}: {e}", file.display()))?;
+        raw.extend(rules::lint_source(&rel, &src, rules));
+    }
+
+    // Apply the allowlist: matched violations are suppressed, unused
+    // entries and structural problems are reported.
+    let allow_path = root.join(ALLOWLIST_FILE);
+    let (entries, mut problems) = match std::fs::read_to_string(&allow_path) {
+        Ok(content) => allowlist::parse(ALLOWLIST_FILE, &content),
+        Err(_) => (Vec::new(), Vec::new()),
+    };
+
+    let mut used = vec![false; entries.len()];
+    let mut surviving: Vec<Violation> = Vec::new();
+    for v in raw {
+        let mut suppressed = false;
+        for (e, used_flag) in entries.iter().zip(used.iter_mut()) {
+            if e.matches(&v) {
+                *used_flag = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            surviving.push(v);
+        }
+    }
+    for (e, used_flag) in entries.iter().zip(&used) {
+        if !used_flag {
+            problems.push(Violation {
+                rule: Rule::Allowlist,
+                path: ALLOWLIST_FILE.to_string(),
+                line: e.line,
+                message: format!(
+                    "stale allowlist entry (rule {}, path {}, contains {:?}) matches no \
+                     current violation; remove it",
+                    e.rule, e.path, e.contains
+                ),
+                excerpt: String::new(),
+            });
+        }
+    }
+    surviving.extend(problems);
+    surviving.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(surviving)
+}
+
+/// Lint one file with every rule enabled, ignoring the allowlist.
+/// Used by the fixture self-tests and `xtask lint --file`.
+pub fn lint_single_file(path: &Path) -> Result<Vec<Violation>, String> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    Ok(rules::lint_source(&path.to_string_lossy(), &src, FileRules::all()))
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
+    use super::*;
+
+    #[test]
+    fn rules_for_maps_paths() {
+        let r = rules_for("crates/tsfile/src/encoding/bitio.rs");
+        assert!(r.l1 && r.l1_indexing && !r.l2 && r.l3 && r.l4);
+        let r = rules_for("crates/tskv/src/engine.rs");
+        assert!(r.l1 && !r.l1_indexing && r.l2 && !r.l3 && !r.l4);
+        let r = rules_for("crates/m4/src/lsm/cache.rs");
+        assert!(r.l1 && r.l2);
+        let r = rules_for("crates/workload/src/lib.rs");
+        assert!(!r.any());
+    }
+
+    #[test]
+    fn workspace_root_found_from_nested_dir() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).unwrap();
+        assert!(root.join("crates/tsfile/src/lib.rs").exists());
+    }
+}

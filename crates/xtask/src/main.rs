@@ -1,0 +1,74 @@
+//! CLI for the repo-specific lints: `cargo run -p xtask -- lint`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("lint") => {
+            let mut root: Option<PathBuf> = None;
+            let mut single_file: Option<PathBuf> = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--root" => match it.next() {
+                        Some(p) => root = Some(PathBuf::from(p)),
+                        None => return usage("--root needs a path"),
+                    },
+                    "--file" => match it.next() {
+                        Some(p) => single_file = Some(PathBuf::from(p)),
+                        None => return usage("--file needs a path"),
+                    },
+                    other => return usage(&format!("unknown flag `{other}`")),
+                }
+            }
+            run(root, single_file)
+        }
+        Some(other) => usage(&format!("unknown command `{other}`")),
+        None => usage("missing command"),
+    }
+}
+
+fn run(root: Option<PathBuf>, single_file: Option<PathBuf>) -> ExitCode {
+    let result = if let Some(file) = single_file {
+        xtask::lint_single_file(&file)
+    } else {
+        let root = root.or_else(|| {
+            xtask::find_workspace_root(&PathBuf::from(env!("CARGO_MANIFEST_DIR")))
+        });
+        let Some(root) = root else {
+            eprintln!("xtask lint: could not locate the workspace root; pass --root");
+            return ExitCode::FAILURE;
+        };
+        xtask::run_lint(&root)
+    };
+    match result {
+        Ok(violations) if violations.is_empty() => {
+            println!("xtask lint: clean (L1 panic-freedom, L2 lock discipline, L3 fallible decode API, L4 cast audit)");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{}:{}: [{}] {}", v.path, v.line, v.rule.code(), v.message);
+                if !v.excerpt.is_empty() {
+                    println!("    > {}", v.excerpt);
+                }
+            }
+            println!("xtask lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("xtask: {problem}");
+    eprintln!("usage: cargo run -p xtask -- lint [--root <workspace-root>] [--file <file.rs>]");
+    ExitCode::FAILURE
+}

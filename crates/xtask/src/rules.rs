@@ -1,0 +1,509 @@
+//! The four lint rules, implemented over the lexer's token stream.
+//!
+//! All rules are lexical approximations, tuned to this repository's
+//! code shapes; see DESIGN.md for the precise contracts and known
+//! limitations of each.
+
+use crate::lexer::{lex, strip_test_code, Tok, TokKind};
+
+/// Which rule fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Panic-freedom: no unwrap/expect/panic!/unreachable!/todo!/
+    /// unimplemented!, and no indexing in byte-parsing modules.
+    L1,
+    /// Lock discipline: no lock/RefCell guard held across file I/O or
+    /// chunk decode.
+    L2,
+    /// Fallibility: public read/decode/open entry points return Result.
+    L3,
+    /// Cast audit: no `as` numeric conversions in codec layers outside
+    /// the audited cast module.
+    L4,
+    /// Allowlist hygiene: stale or malformed allowlist entries.
+    Allowlist,
+}
+
+impl Rule {
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::L1 => "L1",
+            Rule::L2 => "L2",
+            Rule::L3 => "L3",
+            Rule::L4 => "L4",
+            Rule::Allowlist => "ALLOWLIST",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: Rule,
+    /// Path relative to the workspace root, forward slashes.
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+    /// Trimmed text of the offending source line (used for allowlist
+    /// matching and for display).
+    pub excerpt: String,
+}
+
+/// Per-file rule selection, derived from the path by [`crate::config`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileRules {
+    /// L1 panic-site scan.
+    pub l1: bool,
+    /// L1 indexing scan (byte-parsing modules only).
+    pub l1_indexing: bool,
+    pub l2: bool,
+    pub l3: bool,
+    pub l4: bool,
+}
+
+impl FileRules {
+    pub fn all() -> Self {
+        FileRules { l1: true, l1_indexing: true, l2: true, l3: true, l4: true }
+    }
+
+    pub fn any(self) -> bool {
+        self.l1 || self.l1_indexing || self.l2 || self.l3 || self.l4
+    }
+}
+
+/// Lint one file's source under the given rule selection.
+pub fn lint_source(path: &str, src: &str, rules: FileRules) -> Vec<Violation> {
+    let lines: Vec<&str> = src.lines().collect();
+    let toks = strip_test_code(&lex(src));
+    let mut out = Vec::new();
+    let excerpt = |line: u32| -> String {
+        lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+    let mut push = |rule: Rule, line: u32, message: String| {
+        out.push(Violation { rule, path: path.to_string(), line, message, excerpt: excerpt(line) });
+    };
+
+    if rules.l1 {
+        scan_panic_sites(&toks, rules.l1_indexing, &mut push);
+    }
+    if rules.l2 {
+        scan_lock_discipline(&toks, &mut push);
+    }
+    if rules.l3 {
+        scan_fallible_api(&toks, &mut push);
+    }
+    if rules.l4 {
+        scan_numeric_casts(&toks, &mut push);
+    }
+    out
+}
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (slice patterns, array types/literals).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "return", "if", "while", "match", "else", "mut", "ref", "move", "as", "box",
+    "const", "static", "dyn", "impl", "for", "where",
+];
+
+fn scan_panic_sites(toks: &[Tok], indexing: bool, push: &mut impl FnMut(Rule, u32, String)) {
+    for (i, t) in toks.iter().enumerate() {
+        match &t.kind {
+            TokKind::Ident(name) if matches!(name.as_str(), "unwrap" | "expect") => {
+                let dotted = i > 0 && toks[i - 1].is_punct('.');
+                let called = toks.get(i + 1).is_some_and(|t| t.is_open('('));
+                if dotted && called {
+                    push(
+                        Rule::L1,
+                        t.line,
+                        format!(".{name}() in non-test code; propagate a typed error instead"),
+                    );
+                }
+            }
+            TokKind::Ident(name)
+                if PANIC_MACROS.contains(&name.as_str())
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) =>
+            {
+                push(
+                    Rule::L1,
+                    t.line,
+                    format!("{name}! in non-test code; return an error for reachable states"),
+                );
+            }
+            TokKind::Open('[') if indexing && i > 0 => {
+                let prev = &toks[i - 1];
+                let index_expr = match &prev.kind {
+                    TokKind::Ident(w) => !NON_INDEX_KEYWORDS.contains(&w.as_str()),
+                    TokKind::Close(')') | TokKind::Close(']') => true,
+                    _ => false,
+                };
+                if index_expr {
+                    push(
+                        Rule::L1,
+                        t.line,
+                        "indexing/slicing in a byte-parsing module; use get()/split-based \
+                         access and return a corruption error"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Guard-acquiring method calls: `.x()` with no arguments.
+const ACQUIRE_METHODS: &[&str] = &["read", "write", "lock", "borrow", "borrow_mut"];
+
+/// Identifiers whose appearance (as a call or path segment) means file
+/// I/O or chunk decoding is happening. Deliberately absent: `append` —
+/// WAL/mods durability appends are the critical section a series lock
+/// exists to serialize (see DESIGN.md).
+const IO_DECODE_CALLEES: &[&str] = &[
+    "read_chunk",
+    "read_chunk_timestamps",
+    "read_timestamps",
+    "read_points",
+    "read_values",
+    "decode",
+    "decode_i64",
+    "decode_f64",
+    "decode_until",
+    "open",
+    "create",
+    "flush",
+    "flush_to_disk",
+    "write_chunk",
+    "finish",
+    "write_all",
+    "sync_all",
+    "sync_data",
+    "File",
+    "OpenOptions",
+    "fs",
+    "TsFileReader",
+    "TsFileWriter",
+    "replay",
+];
+
+#[derive(Debug)]
+struct ActiveGuard {
+    /// Binding name for `let` guards; `None` for statement temporaries.
+    name: Option<String>,
+    /// Brace depth at which the guard's scope lives. The guard dies
+    /// when depth drops below this.
+    depth: u32,
+    /// For temporaries: die at the next `;` at `depth`.
+    statement_scoped: bool,
+    acquired_via: String,
+    line: u32,
+}
+
+fn scan_lock_discipline(toks: &[Tok], push: &mut impl FnMut(Rule, u32, String)) {
+    let mut depth: u32 = 0;
+    let mut guards: Vec<ActiveGuard> = Vec::new();
+    // Tracks whether the current statement began with `let`, and the
+    // binding name right after it.
+    let mut stmt_let_name: Option<String> = None;
+    let mut stmt_has_let = false;
+    let mut reported: Vec<(u32, String)> = Vec::new();
+
+    let mut i = 0usize;
+    let n = toks.len();
+    while i < n {
+        let t = &toks[i];
+        match &t.kind {
+            TokKind::Open('{') => {
+                depth += 1;
+                stmt_has_let = false;
+                stmt_let_name = None;
+            }
+            TokKind::Close('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+                stmt_has_let = false;
+                stmt_let_name = None;
+            }
+            TokKind::Punct(';') => {
+                guards.retain(|g| !(g.statement_scoped && g.depth == depth));
+                stmt_has_let = false;
+                stmt_let_name = None;
+            }
+            TokKind::Ident(w) if w == "let" => {
+                stmt_has_let = true;
+                stmt_let_name = None;
+                // Binding name: first ident after `let`, skipping `mut`.
+                let mut j = i + 1;
+                while j < n {
+                    match toks[j].ident() {
+                        Some("mut") => j += 1,
+                        Some(name) => {
+                            stmt_let_name = Some(name.to_string());
+                            break;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            TokKind::Ident(w) if w == "drop" && toks.get(i + 1).is_some_and(|t| t.is_open('(')) => {
+                // `drop(guard)` releases by name.
+                if let Some(TokKind::Ident(name)) = toks.get(i + 2).map(|t| &t.kind) {
+                    if toks.get(i + 3).is_some_and(|t| t.is_close(')')) {
+                        guards.retain(|g| g.name.as_deref() != Some(name.as_str()));
+                    }
+                }
+            }
+            TokKind::Ident(m)
+                if ACQUIRE_METHODS.contains(&m.as_str())
+                    && i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|t| t.is_open('('))
+                    && toks.get(i + 2).is_some_and(|t| t.is_close(')')) =>
+            {
+                // `let g = x.read();` binds the guard itself (lives to
+                // scope end). `let n = x.read().len();` only borrows a
+                // temporary guard (lives to statement end) — told apart
+                // by what follows the `()`.
+                let ends_stmt = toks
+                    .get(i + 3)
+                    .is_none_or(|t| t.is_punct(';') || t.is_punct('?'));
+                let binds_guard = stmt_has_let && ends_stmt;
+                guards.push(ActiveGuard {
+                    name: if binds_guard { stmt_let_name.clone() } else { None },
+                    depth,
+                    statement_scoped: !binds_guard,
+                    acquired_via: m.clone(),
+                    line: t.line,
+                });
+            }
+            TokKind::Ident(callee)
+                if IO_DECODE_CALLEES.contains(&callee.as_str()) && !guards.is_empty() =>
+            {
+                // Only count uses that look like a call or path access.
+                let next = toks.get(i + 1);
+                let is_use = next.is_some_and(|t| {
+                    t.is_open('(') || t.is_punct(':') || t.is_punct('.') || t.is_punct('?')
+                });
+                // `.read()`-style acquisitions already handled above.
+                let is_acquire = ACQUIRE_METHODS.contains(&callee.as_str());
+                if is_use && !is_acquire {
+                    for g in &guards {
+                        let key = (t.line, callee.clone());
+                        if reported.contains(&key) {
+                            continue;
+                        }
+                        reported.push(key);
+                        push(
+                            Rule::L2,
+                            t.line,
+                            format!(
+                                "`{callee}` (file I/O / chunk decode) reached while a `{}{}` \
+                                 guard from line {} is live; narrow the guard's scope",
+                                g.name.as_deref().map(|s| format!("{s}: ")).unwrap_or_default(),
+                                g.acquired_via,
+                                g.line,
+                            ),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Function-name prefixes that mark a decode/read entry point.
+const FALLIBLE_PREFIXES: &[&str] =
+    &["read", "decode", "open", "parse", "load", "recover", "replay", "scan"];
+
+fn scan_fallible_api(toks: &[Tok], push: &mut impl FnMut(Rule, u32, String)) {
+    let n = toks.len();
+    let mut i = 0usize;
+    while i < n {
+        if toks[i].ident() != Some("pub") {
+            i += 1;
+            continue;
+        }
+        // Skip restricted visibility `pub(crate)` / `pub(in ...)`.
+        let mut j = i + 1;
+        if j < n && toks[j].is_open('(') {
+            let mut d = 0i32;
+            while j < n {
+                if toks[j].is_open('(') {
+                    d += 1;
+                } else if toks[j].is_close(')') {
+                    d -= 1;
+                    if d == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Qualifiers before `fn`.
+        while j < n && matches!(toks[j].ident(), Some("const" | "unsafe" | "async" | "extern")) {
+            j += 1;
+        }
+        if j >= n || toks[j].ident() != Some("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.get(j + 1).and_then(Tok::ident) else {
+            i = j + 1;
+            continue;
+        };
+        let name = name.to_string();
+        let line = toks[j + 1].line;
+        let relevant = FALLIBLE_PREFIXES
+            .iter()
+            .any(|p| name == *p || name.starts_with(&format!("{p}_")) || name.starts_with(*p));
+        if !relevant {
+            i = j + 1;
+            continue;
+        }
+        // Find the parameter list, then inspect tokens up to the body
+        // brace or a `;` for `-> ... Result/Option ...`.
+        let mut k = j + 2;
+        while k < n && !toks[k].is_open('(') {
+            k += 1;
+        }
+        let mut d = 0i32;
+        while k < n {
+            if toks[k].is_open('(') {
+                d += 1;
+            } else if toks[k].is_close(')') {
+                d -= 1;
+                if d == 0 {
+                    k += 1;
+                    break;
+                }
+            }
+            k += 1;
+        }
+        let mut returns_fallible = false;
+        let mut saw_arrow = false;
+        while k < n && !toks[k].is_open('{') && !toks[k].is_punct(';') {
+            if toks[k].is_punct('-') && toks.get(k + 1).is_some_and(|t| t.is_punct('>')) {
+                saw_arrow = true;
+            }
+            if matches!(toks[k].ident(), Some("Result" | "Option")) {
+                returns_fallible = true;
+            }
+            k += 1;
+        }
+        if !saw_arrow || !returns_fallible {
+            push(
+                Rule::L3,
+                line,
+                format!(
+                    "public decode/read entry point `{name}` does not return Result/Option; \
+                     corrupt input must surface as a typed error"
+                ),
+            );
+        }
+        i = k;
+    }
+}
+
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+    "f32", "f64",
+];
+
+fn scan_numeric_casts(toks: &[Tok], push: &mut impl FnMut(Rule, u32, String)) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.ident() == Some("as") {
+            if let Some(ty) = toks.get(i + 1).and_then(Tok::ident) {
+                if NUMERIC_TYPES.contains(&ty) {
+                    push(
+                        Rule::L4,
+                        t.line,
+                        format!(
+                            "`as {ty}` in a codec layer; use the audited helpers in \
+                             tsfile::cast (checked, wrapping, or bit-exact by name)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
+    use super::*;
+
+    fn lint_all(src: &str) -> Vec<Violation> {
+        lint_source("test.rs", src, FileRules::all())
+    }
+
+    #[test]
+    fn l1_flags_unwrap_expect_and_macros() {
+        let v = lint_all("fn f() { x.unwrap(); y.expect(\"e\"); panic!(\"no\"); }");
+        assert_eq!(v.iter().filter(|v| v.rule == Rule::L1).count(), 3);
+    }
+
+    #[test]
+    fn l1_ignores_test_code_and_comments() {
+        let v = lint_all(
+            "// a.unwrap()\n#[cfg(test)]\nmod t { fn g() { b.unwrap(); } }\nfn ok() -> Option<u8> { None }",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn l1_indexing_flags_index_but_not_array_types() {
+        let v = lint_all("fn f(buf: &[u8], x: [u8; 4]) -> u8 { let a = [0u8; 2]; buf[1] }");
+        let idx: Vec<_> = v.iter().filter(|v| v.message.contains("indexing")).collect();
+        assert_eq!(idx.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn l2_flags_io_under_let_guard_until_scope_end() {
+        let src = "fn f(&self) { let g = self.map.read(); self.reader.read_chunk(m); }";
+        let v = lint_all(src);
+        assert!(v.iter().any(|v| v.rule == Rule::L2), "{v:?}");
+    }
+
+    #[test]
+    fn l2_respects_drop_and_scope_exit() {
+        let ok = "fn f(&self) { { let g = self.map.read(); } self.reader.read_chunk(m); }";
+        assert!(!lint_all(ok).iter().any(|v| v.rule == Rule::L2));
+        let dropped =
+            "fn f(&self) { let g = self.map.read(); drop(g); self.reader.read_chunk(m); }";
+        assert!(!lint_all(dropped).iter().any(|v| v.rule == Rule::L2));
+    }
+
+    #[test]
+    fn l2_statement_temporary_guard() {
+        let src = "fn f(&self) { self.map.read().do_io(File::open(p)); }";
+        let v = lint_all(src);
+        assert!(v.iter().any(|v| v.rule == Rule::L2), "{v:?}");
+        let ok = "fn f(&self) { let n = self.map.read().len(); File::open(p); }";
+        assert!(!lint_all(ok).iter().any(|v| v.rule == Rule::L2));
+    }
+
+    #[test]
+    fn l3_requires_result_on_pub_read_fns() {
+        let v = lint_all("pub fn read_header(b: &[u8]) -> u64 { 0 }");
+        assert!(v.iter().any(|v| v.rule == Rule::L3));
+        let ok = lint_all("pub fn read_header(b: &[u8]) -> Result<u64, E> { Ok(0) }");
+        assert!(!ok.iter().any(|v| v.rule == Rule::L3));
+        let private = lint_all("fn read_header(b: &[u8]) -> u64 { 0 }");
+        assert!(!private.iter().any(|v| v.rule == Rule::L3));
+    }
+
+    #[test]
+    fn l4_flags_numeric_as_casts_only() {
+        let v = lint_all("fn f(x: u64) -> u8 { use a as b; x as u8 }");
+        assert_eq!(v.iter().filter(|v| v.rule == Rule::L4).count(), 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Fixture self-tests: each file under `tests/fixtures/` violates
+//! exactly one rule family, and the lint must (a) flag it through the
+//! library API, (b) exit non-zero on it through the CLI, and (c) stay
+//! clean — exit zero — on the real workspace.
+
+// Tests assert by panicking; the workspace panic-freedom deny-set
+// (root Cargo.toml) is aimed at library code.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use xtask::{lint_single_file, Rule, Violation};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+/// Lint a fixture and assert every violation belongs to `rule`.
+fn lint_fixture(name: &str, rule: Rule) -> Vec<Violation> {
+    let v = lint_single_file(&fixture(name)).unwrap();
+    assert!(!v.is_empty(), "{name}: expected at least one violation");
+    for violation in &v {
+        assert_eq!(
+            violation.rule, rule,
+            "{name}: expected only {} violations, got {violation:?}",
+            rule.code()
+        );
+    }
+    v
+}
+
+#[test]
+fn l1_fixture_flags_every_panic_path_class() {
+    let v = lint_fixture("l1_panic_paths.rs", Rule::L1);
+    let has = |needle: &str| v.iter().any(|v| v.message.contains(needle));
+    assert!(has(".unwrap()"), "{v:?}");
+    assert!(has(".expect()"), "{v:?}");
+    assert!(has("panic!"), "{v:?}");
+    assert!(has("unreachable!"), "{v:?}");
+    assert!(has("indexing"), "{v:?}");
+    assert_eq!(v.len(), 5, "one finding per class: {v:?}");
+}
+
+#[test]
+fn l2_fixture_flags_guard_across_chunk_load() {
+    let v = lint_fixture("l2_guard_across_io.rs", Rule::L2);
+    assert!(
+        v.iter().any(|v| v.message.contains("read_chunk") && v.message.contains("guard")),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn l3_fixture_flags_infallible_decode_entry_point() {
+    let v = lint_fixture("l3_infallible_decode.rs", Rule::L3);
+    assert!(v.iter().any(|v| v.message.contains("decode_frame")), "{v:?}");
+}
+
+#[test]
+fn l4_fixture_flags_bare_numeric_cast() {
+    let v = lint_fixture("l4_unchecked_cast.rs", Rule::L4);
+    assert!(v.iter().any(|v| v.message.contains("as u32")), "{v:?}");
+}
+
+#[test]
+fn workspace_lints_clean_through_library() {
+    let root = xtask::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+    let v = xtask::run_lint(&root).unwrap();
+    assert!(v.is_empty(), "workspace must lint clean: {v:#?}");
+}
+
+#[test]
+fn cli_exits_nonzero_on_each_fixture() {
+    for name in [
+        "l1_panic_paths.rs",
+        "l2_guard_across_io.rs",
+        "l3_infallible_decode.rs",
+        "l4_unchecked_cast.rs",
+    ] {
+        let status = Command::new(env!("CARGO_BIN_EXE_xtask"))
+            .arg("lint")
+            .arg("--file")
+            .arg(fixture(name))
+            .status()
+            .unwrap();
+        assert!(!status.success(), "{name}: CLI must exit non-zero on a violating file");
+    }
+}
+
+#[test]
+fn cli_exits_zero_on_workspace() {
+    let root = xtask::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+    let status = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("lint")
+        .arg("--root")
+        .arg(&root)
+        .status()
+        .unwrap();
+    assert!(status.success(), "CLI must exit zero on the clean workspace");
+}

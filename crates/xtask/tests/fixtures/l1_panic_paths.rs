@@ -1,0 +1,30 @@
+//! L1 fixture: one site per panic-path class, nothing else. This file
+//! is never compiled — the fixture self-test lexes it and asserts that
+//! every site below is flagged (and that no other rule fires).
+
+pub struct Frame;
+
+pub fn unwrap_site(input: Option<Frame>) -> Frame {
+    input.unwrap()
+}
+
+pub fn expect_site(input: Option<Frame>) -> Frame {
+    input.expect("frame present")
+}
+
+pub fn panic_site(kind: u8) {
+    if kind == 0 {
+        panic!("zero frame kind");
+    }
+}
+
+pub fn unreachable_site(kind: u8) {
+    match kind {
+        0 => {}
+        _ => unreachable!(),
+    }
+}
+
+pub fn indexing_site(buf: &Vec<u8>) -> u8 {
+    buf[0]
+}

@@ -1,0 +1,17 @@
+//! L2 fixture: a lock guard held across a chunk load. The guard is
+//! let-bound (lives to scope end), and `read_chunk` runs before it
+//! dies — exactly the shape the lock-discipline scan must reject.
+//! Names avoid the L3 fallible prefixes and there are no panic sites
+//! or casts, so only L2 may fire.
+
+struct Store;
+
+impl Store {
+    fn warm_cache(&self) {
+        let guard = self.series.read();
+        let pts = self.files.read_chunk(guard.meta());
+        keep(pts);
+    }
+}
+
+fn keep<T>(_: T) {}

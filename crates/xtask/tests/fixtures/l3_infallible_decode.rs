@@ -1,0 +1,9 @@
+//! L3 fixture: a public decode entry point returning a bare value.
+//! Corrupt input has nowhere to surface but a panic, which is exactly
+//! what the fallible-API scan must reject. No guard, panic site or
+//! cast, so only L3 may fire.
+
+pub fn decode_frame(buf: &Vec<u8>) -> Vec<u32> {
+    let _ = buf;
+    Vec::new()
+}

@@ -1,0 +1,8 @@
+//! L4 fixture: a bare truncating `as` conversion in codec-style code.
+//! The audited helpers in `tsfile::cast` are the only sanctioned way
+//! to narrow; this shape must be flagged. Private fn with a
+//! non-fallible-prefix name, so only L4 may fire.
+
+fn narrow_length(raw: u64) -> u32 {
+    raw as u32
+}

@@ -35,13 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     load_sequential(&kv, "s", &points)?;
 
     let snap = kv.snapshot("s")?;
-    let t0 = points.first().unwrap().t;
-    let t1 = points.last().unwrap().t + 1;
+    let t0 = points.first().ok_or("empty dataset")?.t;
+    let t1 = points.last().ok_or("empty dataset")?.t + 1;
     let query = M4Query::new(t0, t1, WIDTH)?;
 
     let m4_result = M4Lsm::new().execute(&snap, &query)?;
     let merged = MergeReader::with_range(&snap, query.full_range()).collect_merged()?;
-    let (vmin, vmax) = value_range(&merged).expect("non-empty");
+    let (vmin, vmax) = value_range(&merged).ok_or("non-empty series expected")?;
     let map = PixelMap::new(&query, vmin, vmax, WIDTH, HEIGHT);
 
     let full = render_series(&merged, &map)?;

@@ -69,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 6. Draw it. The M4 rendering is pixel-identical to rendering all
     //    86 400 points.
     let merged = MergeReader::with_range(&snap, query.full_range()).collect_merged()?;
-    let (vmin, vmax) = value_range(&merged).expect("non-empty series");
+    let (vmin, vmax) = value_range(&merged).ok_or("non-empty series expected")?;
     let map = PixelMap::new(&query, vmin, vmax, 120, 24);
     let canvas = render_m4(&result, &map)?;
     let full = m4lsm::m4::render::render_series(&merged, &map)?;

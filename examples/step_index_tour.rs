@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 use m4lsm::tsfile::index::{binary_search_ops, StepIndex};
 use m4lsm::workload::timestamps;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(35);
 
     // A KOB-like chunk: 9 s cadence interrupted by transmission gaps
@@ -22,7 +22,7 @@ fn main() {
     let ts = timestamps::regular_with_gaps(1_639_966_606_000, 9_000, 100_000, 5_000, 3_855_000, &mut rng);
 
     let t = Instant::now();
-    let idx = StepIndex::learn(&ts).expect("step model fits");
+    let idx = StepIndex::learn(&ts).ok_or("step model fits on monotone timestamps")?;
     println!("learned in {:?}:", t.elapsed());
     println!("  slope K        = 1/{} (median Δt ms)", idx.median_delta());
     println!("  segments       = {} (tilt/level alternating)", idx.segment_count());
@@ -31,7 +31,7 @@ fn main() {
     println!("  split timestamps 𝕊 = {:?} …", &splits[..splits.len().min(6)]);
 
     // Proposition 3.7: f(first) = 1, f(last) = n.
-    println!("  f(first) = {}, f(last) = {}", idx.predict(ts[0]), idx.predict(*ts.last().unwrap()));
+    println!("  f(first) = {}, f(last) = {}", idx.predict(ts[0]), idx.predict(*ts.last().ok_or("empty timestamp column")?));
 
     // Probe workload: half hits, half misses around real timestamps.
     let probes: Vec<i64> = (0..200_000)
@@ -69,4 +69,5 @@ fn main() {
     println!("\nexists_at over {} probes on a {}-point chunk:", probes.len(), ts.len());
     run("step-regression index", &|t| idx.exists_at(&ts, t));
     run("binary search", &|t| binary_search_ops::exists_at(&ts, t));
+    Ok(())
 }

@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     series_dirs.sort();
 
     for sdir in series_dirs {
-        println!("\nseries {}", sdir.file_name().unwrap().to_string_lossy());
+        println!("\nseries {}", sdir.file_name().unwrap_or_default().to_string_lossy());
         let mut files: Vec<_> = std::fs::read_dir(&sdir)?
             .filter_map(|e| e.ok())
             .map(|e| e.path())
@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for path in files {
             let reader = TsFileReader::open(&path)?;
             let size = std::fs::metadata(&path)?.len();
-            println!("  {} ({} bytes, {} chunks)", path.file_name().unwrap().to_string_lossy(), size, reader.chunk_metas().len());
+            println!("  {} ({} bytes, {} chunks)", path.file_name().unwrap_or_default().to_string_lossy(), size, reader.chunk_metas().len());
             for meta in reader.chunk_metas() {
                 let s = &meta.stats;
                 print!(

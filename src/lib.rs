@@ -16,6 +16,8 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
+#![forbid(unsafe_code)]
+
 pub use m4;
 pub use tsfile;
 pub use tskv;

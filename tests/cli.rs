@@ -1,6 +1,10 @@
 //! Integration test for the `m4cli` binary: ingest → list → query →
 //! delete → render → compact, end to end through the process boundary.
 
+// Integration tests assert by panicking; the workspace panic-freedom
+// deny-set (root Cargo.toml) is aimed at library code.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
 use std::process::Command;
 
 fn m4cli(args: &[&str]) -> (bool, String) {

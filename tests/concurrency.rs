@@ -2,6 +2,10 @@
 //! and readers do not interfere; parallel queries over one snapshot
 //! agree.
 
+// Integration tests assert by panicking; the workspace panic-freedom
+// deny-set (root Cargo.toml) is aimed at library code.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
 use std::sync::Arc;
 
 use m4lsm::m4::{M4Lsm, M4Query, M4Udf};

@@ -3,6 +3,10 @@
 //! query results over the same operation history — configuration
 //! changes trade performance, never correctness.
 
+// Integration tests assert by panicking; the workspace panic-freedom
+// deny-set (root Cargo.toml) is aimed at library code.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
 use m4lsm::m4::{M4Lsm, M4Query, M4Udf};
 use m4lsm::tsfile::encoding::EncodingKind;
 use m4lsm::tsfile::types::Point;

@@ -3,6 +3,10 @@
 //! four datasets look different from one another (the skew/gap
 //! structure survives into the visualization).
 
+// Integration tests assert by panicking; the workspace panic-freedom
+// deny-set (root Cargo.toml) is aimed at library code.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
 use m4lsm::m4::oracle::m4_scan;
 use m4lsm::m4::render::{render_m4, render_series, value_range, PixelMap};
 use m4lsm::m4::M4Query;

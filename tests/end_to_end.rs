@@ -1,6 +1,10 @@
 //! End-to-end integration: the full pipeline from dataset generation
 //! through LSM storage, both operators, rendering, and recovery.
 
+// Integration tests assert by panicking; the workspace panic-freedom
+// deny-set (root Cargo.toml) is aimed at library code.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
 use m4lsm::m4::render::{render_m4, render_series, value_range, PixelMap};
 use m4lsm::m4::{M4Lsm, M4Query, M4Udf};
 use m4lsm::tskv::config::EngineConfig;

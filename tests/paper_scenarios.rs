@@ -4,6 +4,10 @@
 //! Example 3.2, the TP walk of Figure 7(b) / Example 3.4, and the step
 //! regression of Examples 3.8–3.10.
 
+// Integration tests assert by panicking; the workspace panic-freedom
+// deny-set (root Cargo.toml) is aimed at library code.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
 use m4lsm::m4::{M4Lsm, M4Query, M4Udf};
 use m4lsm::tsfile::types::Point;
 use m4lsm::tsfile::StepIndex;

@@ -1,0 +1,206 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the API surface the workspace benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`/`throughput`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter` — with a plain wall-clock measurement
+//! loop (median of per-sample means) instead of criterion's statistics
+//! engine. Results print one line per benchmark; no HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level driver, one per bench binary.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// Identifier `function_name/parameter` for parameterized benchmarks.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, &mut |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.id, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let samples = self
+            .sample_size
+            .unwrap_or(self._criterion.default_sample_size)
+            .max(1);
+        // Warm-up pass, untimed.
+        let mut bencher = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+        f(&mut bencher);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut bencher = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+            f(&mut bencher);
+            if bencher.iterations > 0 {
+                per_iter.push(bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64);
+            }
+        }
+        per_iter.sort_by(f64::total_cmp);
+        let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or(f64::NAN);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  ({:.3} Melem/s)", n as f64 / median * 1e3 / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!("  ({:.3} MiB/s)", n as f64 / median * 1e9 / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: median {} per iter over {} samples{rate}",
+            self.name,
+            format_ns(median),
+            per_iter.len(),
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "n/a".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Passed to the benchmark closure; times the routine under test.
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One sample = a small fixed batch, long enough to amortize the
+        // Instant overhead for cheap routines.
+        const BATCH: u64 = 8;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += BATCH;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let data = vec![1u64, 2, 3];
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            ran += 1;
+            b.iter(|| d.iter().sum::<u64>())
+        });
+        group.bench_function("noop", |b| b.iter(|| ()));
+        group.finish();
+        assert!(ran >= 3);
+    }
+}

@@ -1,0 +1,678 @@
+//! Offline shim for `proptest`.
+//!
+//! Covers the subset this workspace uses: `proptest!` test functions
+//! with `pattern in strategy` bindings, integer range strategies,
+//! tuples, `Just`, `prop_map`, weighted `prop_oneof!`,
+//! `prop::collection::vec`, `prop::sample::Index`, `any::<T>()`,
+//! `prop_assert!` / `prop_assert_eq!`, and `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest: no shrinking (a failing case is
+//! reported with its RNG seed instead of a minimized value), and
+//! regression files use a simple `xs <seed-hex> <test-name>` line
+//! format. Seeds are deterministic per test name, so CI runs are
+//! reproducible; set `PROPTEST_RNG_SEED` to explore a different part
+//! of the input space.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// Deterministic SplitMix64 RNG driving value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)` for `1 <= n <= 2^64` via widening
+    /// multiply (no modulo bias worth caring about in a test shim).
+    fn below_u128(&mut self, n: u128) -> u128 {
+        debug_assert!((1..=(1u128 << 64)).contains(&n));
+        ((self.next_u64() as u128) * n) >> 64
+    }
+}
+
+/// Test case outcome other than success.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failed — the case is a counterexample.
+    Fail(String),
+    /// Input rejected by `prop_assume!` — not a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runner configuration. Only `cases` is honored by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn pick(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.pick(rng))
+    }
+}
+
+/// Type-erased strategy, produced by [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn pick(&self, rng: &mut TestRng) -> T {
+        self.0.pick(rng)
+    }
+}
+
+/// Strategy yielding a clone of a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn pick(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice among boxed strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(options.iter().any(|(w, _)| *w > 0), "prop_oneof! needs a nonzero weight");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn pick(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.options.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut r = rng.below_u128(u128::from(total)) as u64;
+        for (w, strat) in &self.options {
+            let w = u64::from(*w);
+            if r < w {
+                return strat.pick(rng);
+            }
+            r -= w;
+        }
+        // Unreachable given total = sum of weights; defensively use the
+        // last arm rather than panicking inside test infrastructure.
+        self.options[self.options.len() - 1].1.pick(rng)
+    }
+}
+
+/// Types with a canonical full-domain strategy, for `any::<T>()`.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-domain strategy for primitive types.
+pub struct ArbitraryAll<T>(std::marker::PhantomData<T>);
+
+impl<T> ArbitraryAll<T> {
+    fn new() -> Self {
+        ArbitraryAll(std::marker::PhantomData)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for ArbitraryAll<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = ArbitraryAll<$t>;
+            fn arbitrary() -> Self::Strategy {
+                ArbitraryAll::new()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for ArbitraryAll<f64> {
+    type Value = f64;
+    fn pick(&self, rng: &mut TestRng) -> f64 {
+        // All finite bit patterns (negative zero and subnormals
+        // included); resample the ~0.05% of draws that land on the
+        // all-ones exponent (inf/NaN), like proptest's default.
+        loop {
+            let v = f64::from_bits(rng.next_u64());
+            if v.is_finite() {
+                return v;
+            }
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = ArbitraryAll<f64>;
+    fn arbitrary() -> Self::Strategy {
+        ArbitraryAll::new()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn pick(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy {self:?}");
+        let unit = rng.next_u64() as f64 / (u64::MAX as f64 + 1.0);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+impl Strategy for ArbitraryAll<bool> {
+    type Value = bool;
+    fn pick(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = ArbitraryAll<bool>;
+    fn arbitrary() -> Self::Strategy {
+        ArbitraryAll::new()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "empty range strategy {:?}", self);
+                ((self.start as i128) + rng.below_u128(span as u128) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                assert!(span > 0, "empty range strategy {:?}", self);
+                ((*self.start() as i128) + rng.below_u128(span as u128) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.pick(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Namespaced strategy constructors, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+
+        /// Strategy for vectors whose length is drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn pick(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.pick_len(rng);
+                (0..len).map(|_| self.element.pick(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        use super::super::{Arbitrary, ArbitraryAll, Strategy, TestRng};
+
+        /// A deferred index: carries entropy, mapped onto a concrete
+        /// collection length at use time.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// Map onto `[0, len)`. `len` must be nonzero.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                (((self.0 as u128) * (len as u128)) >> 64) as usize
+            }
+        }
+
+        impl Strategy for ArbitraryAll<Index> {
+            type Value = Index;
+            fn pick(&self, rng: &mut TestRng) -> Index {
+                Index(rng.next_u64())
+            }
+        }
+
+        impl Arbitrary for Index {
+            type Strategy = ArbitraryAll<Index>;
+            fn arbitrary() -> Self::Strategy {
+                ArbitraryAll(std::marker::PhantomData)
+            }
+        }
+    }
+}
+
+/// Length distribution for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl SizeRange {
+    fn pick_len(&self, rng: &mut TestRng) -> usize {
+        let span = (self.max_inclusive - self.min) as u128 + 1;
+        self.min + rng.below_u128(span) as usize
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.end > r.start, "empty size range {r:?}");
+        SizeRange { min: r.start, max_inclusive: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.end() >= r.start(), "empty size range {r:?}");
+        SizeRange { min: *r.start(), max_inclusive: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max_inclusive: n }
+    }
+}
+
+/// Drives the cases of one `proptest!` test function: replays any
+/// persisted regression seeds first, then runs `config.cases` fresh
+/// cases, persisting the seed of the first failure.
+pub struct TestRunner {
+    config: ProptestConfig,
+    full_name: String,
+    regression_path: PathBuf,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, full_name: &str, manifest_dir: &str, source_file: &str) -> Self {
+        let stem = std::path::Path::new(source_file)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "unknown".to_string());
+        let regression_path =
+            PathBuf::from(manifest_dir).join("proptest-regressions").join(format!("{stem}.txt"));
+        TestRunner { config, full_name: full_name.to_string(), regression_path }
+    }
+
+    fn base_seed(&self) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_RNG_SEED") {
+            if let Ok(seed) = s.parse::<u64>() {
+                return seed;
+            }
+        }
+        // FNV-1a over the test name: deterministic, distinct per test.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in self.full_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    fn persisted_seeds(&self) -> Vec<u64> {
+        let Ok(content) = std::fs::read_to_string(&self.regression_path) else {
+            return Vec::new();
+        };
+        let mut seeds = Vec::new();
+        for line in content.lines() {
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("xs") {
+                continue;
+            }
+            let (Some(hex), Some(name)) = (parts.next(), parts.next()) else { continue };
+            if name != self.full_name {
+                continue;
+            }
+            if let Ok(seed) = u64::from_str_radix(hex, 16) {
+                seeds.push(seed);
+            }
+        }
+        seeds
+    }
+
+    fn persist_failure(&self, seed: u64) {
+        if self.persisted_seeds().contains(&seed) {
+            return;
+        }
+        if let Some(dir) = self.regression_path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let header = if self.regression_path.exists() {
+            String::new()
+        } else {
+            "# proptest shim regression seeds: `xs <seed-hex> <test-name>` lines are\n\
+             # replayed before fresh cases. Committed so counterexamples stay covered.\n"
+                .to_string()
+        };
+        let line = format!("{header}xs {seed:016x} {}\n", self.full_name);
+        use std::io::Write as _;
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.regression_path);
+        if let Ok(mut f) = file {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+
+    pub fn run(&mut self, test: &mut dyn FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+        let base = self.base_seed();
+        let fresh = (0..u64::from(self.config.cases)).map(|i| {
+            // SplitMix-style case-seed derivation from the base seed.
+            TestRng::from_seed(base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))).next_u64()
+        });
+        let seeds: Vec<u64> = self.persisted_seeds().into_iter().chain(fresh).collect();
+        for seed in seeds {
+            let mut rng = TestRng::from_seed(seed);
+            match catch_unwind(AssertUnwindSafe(|| test(&mut rng))) {
+                Ok(Ok(())) | Ok(Err(TestCaseError::Reject(_))) => {}
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    self.persist_failure(seed);
+                    panic!(
+                        "proptest shim: {} failed (seed {seed:#018x}, persisted to {}): {msg}",
+                        self.full_name,
+                        self.regression_path.display()
+                    );
+                }
+                Err(payload) => {
+                    self.persist_failure(seed);
+                    eprintln!(
+                        "proptest shim: {} panicked (seed {seed:#018x}, persisted to {})",
+                        self.full_name,
+                        self.regression_path.display()
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` consumer expects in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut __runner = $crate::TestRunner::new(
+                $cfg,
+                concat!(module_path!(), "::", stringify!($name)),
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+            );
+            __runner.run(&mut |__rng: &mut $crate::TestRng| {
+                $(let $arg = $crate::Strategy::pick(&($strat), __rng);)+
+                let __body_result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                __body_result
+            });
+        }
+        $crate::__proptest_tests!(@cfg ($cfg) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{} ({:?} != {:?})", format!($($fmt)+), l, r);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..2000 {
+            let v = Strategy::pick(&(1u8..=255), &mut rng);
+            assert!(v >= 1);
+            let w = Strategy::pick(&(-5i16..3), &mut rng);
+            assert!((-5..3).contains(&w));
+            let full = Strategy::pick(&(u64::MIN..=u64::MAX), &mut rng);
+            let _ = full;
+        }
+    }
+
+    #[test]
+    fn index_maps_into_len() {
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..500 {
+            let idx = Strategy::pick(&any::<prop::sample::Index>(), &mut rng);
+            assert!(idx.index(13) < 13);
+            assert_eq!(idx.index(1), 0);
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![
+            3 => (0i32..10).prop_map(|v| v * 2),
+            1 => Just(-1i32),
+        ];
+        let mut rng = TestRng::from_seed(11);
+        let mut saw_just = false;
+        for _ in 0..200 {
+            let v = Strategy::pick(&strat, &mut rng);
+            assert!(v == -1 || (v % 2 == 0 && (0..20).contains(&v)));
+            saw_just |= v == -1;
+        }
+        assert!(saw_just, "weighted arm never chosen");
+    }
+
+    #[test]
+    fn vec_strategy_len_in_range() {
+        let strat = prop::collection::vec(any::<u8>(), 2..5);
+        let mut rng = TestRng::from_seed(13);
+        for _ in 0..200 {
+            let v = Strategy::pick(&strat, &mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_and_asserts(a in 0u32..100, pair in (any::<bool>(), 1usize..4)) {
+            prop_assert!(a < 100);
+            let (_flag, n) = pair;
+            prop_assert_eq!(n.min(3), n, "len in range");
+        }
+    }
+}

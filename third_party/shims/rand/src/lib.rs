@@ -1,0 +1,275 @@
+//! Offline shim for the `rand` crate (0.8 API surface).
+//!
+//! Implements exactly what this workspace uses: `Rng::{gen_range,
+//! gen_bool, gen}`, `SeedableRng::seed_from_u64`, and `rngs::StdRng`.
+//! The generator is xoshiro256** seeded via SplitMix64 — deterministic
+//! across platforms, statistically solid for workload generation and
+//! tests (not cryptographic).
+//!
+//! See `third_party/shims/README.md` for why these shims exist.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source: 64 random bits per call.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+/// Seedable construction (the only entry point the workspace uses).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample_half_open(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+    fn sample_inclusive(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+}
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+    fn is_empty_range(&self) -> bool;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+    fn is_empty_range(&self) -> bool {
+        // `true` for incomparable (NaN) bounds, like `!(start < end)`.
+        self.start.partial_cmp(&self.end) != Some(core::cmp::Ordering::Less)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_inclusive(rng, low, high)
+    }
+    fn is_empty_range(&self) -> bool {
+        self.start().partial_cmp(self.end()).is_none_or(|o| o == core::cmp::Ordering::Greater)
+    }
+}
+
+/// Values producible by [`Rng::gen`].
+pub trait Standard {
+    fn generate(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for f64 {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every RngCore.
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open or inclusive range.
+    /// Panics if the range is empty, matching rand 0.8.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        assert!(!range.is_empty_range(), "cannot sample empty range");
+        range.sample_from(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]: {p}");
+        f64::generate(self) < p
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(denominator > 0, "gen_ratio with zero denominator");
+        assert!(numerator <= denominator, "gen_ratio needs numerator <= denominator");
+        u32::sample_half_open(self, 0, denominator) < numerator
+    }
+
+    /// Sample a value of a [`Standard`]-distributed type.
+    fn r#gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::generate(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+                // Width fits in u64 for every supported type.
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                let v = modulo_u64(rng.next_u64(), span);
+                (low as $wide).wrapping_add(v as $wide) as $t
+            }
+            fn sample_inclusive(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $wide as $t;
+                }
+                let v = modulo_u64(rng.next_u64(), span + 1);
+                (low as $wide).wrapping_add(v as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+/// `x % span` with a light bias-reduction pass (two rounds of
+/// widening-multiply rejection would be overkill for test workloads).
+fn modulo_u64(x: u64, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Widening multiply maps x uniformly onto [0, span) with bias
+    // at most span/2^64 — negligible for the spans used here.
+    (((x as u128) * (span as u128)) >> 64) as u64
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+    fn sample_inclusive(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+        // The closed/open distinction is immaterial at f64 resolution.
+        Self::sample_half_open(rng, low, high)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+        f64::sample_half_open(rng, low as f64, high as f64) as f32
+    }
+    fn sample_inclusive(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+        Self::sample_half_open(rng, low, high)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** (Blackman & Vigna), seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.gen_range(-3i16..=3);
+            assert!((-3..=3).contains(&w));
+            let f = rng.gen_range(-0.5f64..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let u = rng.gen_range(1usize..=1);
+            assert_eq!(u, 1);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "suspicious coin: {heads}");
+    }
+
+    #[test]
+    fn full_domain_ranges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _: i64 = rng.gen_range(i64::MIN..=i64::MAX);
+        let _: u64 = rng.gen_range(u64::MIN..=u64::MAX);
+        let _: i16 = rng.gen_range(i16::MIN..i16::MAX);
+    }
+}

@@ -1,0 +1,112 @@
+//! Offline shim for `serde_derive`: a `#[derive(Serialize)]` that
+//! supports plain (non-generic) structs with named fields — the only
+//! shape this workspace derives. Token parsing is done by hand; the
+//! container has no registry access, so `syn`/`quote` are unavailable.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a non-generic struct with named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap_or_default(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let mut name: Option<String> = None;
+    let mut fields: Option<Vec<String>> = None;
+    let mut saw_struct = false;
+
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" {
+                    saw_struct = true;
+                } else if saw_struct && name.is_none() {
+                    name = Some(s);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' && name.is_some() => {
+                return Err("serde shim: generic structs are not supported".into());
+            }
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace && name.is_some() && fields.is_none() =>
+            {
+                fields = Some(parse_field_names(g.stream())?);
+            }
+            _ => {}
+        }
+    }
+
+    let name = name.ok_or_else(|| "serde shim: expected a struct".to_string())?;
+    let fields =
+        fields.ok_or_else(|| "serde shim: expected named fields (no tuple/unit structs)".to_string())?;
+
+    let mut pushes = String::new();
+    for f in &fields {
+        pushes.push_str(&format!(
+            "__fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+        ));
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(__fields)\n\
+             }}\n\
+         }}\n"
+    );
+    out.parse().map_err(|e| format!("serde shim: generated code failed to parse: {e:?}"))
+}
+
+/// Extract field names from the brace-group token stream of a struct.
+/// A field name is the identifier immediately preceding the first
+/// top-level `:` of each comma-separated chunk (attributes and
+/// visibility come earlier; types may contain their own `:` tokens,
+/// which we skip by only taking the first).
+fn parse_field_names(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut last_ident: Option<String> = None;
+    let mut colon_seen_in_chunk = false;
+    let mut prev_was_colon = false;
+
+    for tt in stream {
+        match tt {
+            TokenTree::Ident(id) => {
+                if !colon_seen_in_chunk {
+                    last_ident = Some(id.to_string());
+                }
+                prev_was_colon = false;
+            }
+            TokenTree::Punct(p) => match p.as_char() {
+                ':' => {
+                    if prev_was_colon {
+                        // `::` inside a path before any field colon —
+                        // cannot happen before the field name in valid
+                        // struct syntax, but be conservative.
+                        prev_was_colon = false;
+                    } else if !colon_seen_in_chunk {
+                        let name = last_ident
+                            .take()
+                            .ok_or_else(|| "serde shim: field colon without a name".to_string())?;
+                        names.push(name);
+                        colon_seen_in_chunk = true;
+                        prev_was_colon = true;
+                    }
+                }
+                ',' => {
+                    colon_seen_in_chunk = false;
+                    last_ident = None;
+                    prev_was_colon = false;
+                }
+                _ => prev_was_colon = false,
+            },
+            _ => prev_was_colon = false,
+        }
+    }
+    Ok(names)
+}

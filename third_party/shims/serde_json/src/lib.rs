@@ -1,0 +1,172 @@
+//! Offline shim for `serde_json` (serialization only): formats the
+//! [`serde::Value`] tree produced by the serde shim as JSON text.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use serde::{Serialize, Value};
+
+/// Serialization error. The only representable failure is a
+/// non-finite float, which JSON cannot encode.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0)?;
+    Ok(out)
+}
+
+/// Serialize to pretty-printed JSON (two-space indent, like serde_json).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0)?;
+    Ok(out)
+}
+
+fn write_value(
+    out: &mut String,
+    v: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if !f.is_finite() {
+                return Err(Error(format!("non-finite float {f}")));
+            }
+            // Rust's shortest-roundtrip Display; ensure a decimal point
+            // or exponent so the token stays a JSON number with float
+            // affinity (serde_json prints 1.0, not 1).
+            let s = f.to_string();
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        Value::Str(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            write_seq(out, items.len(), indent, depth, |out, i, ind, d| {
+                write_value(out, &items[i], ind, d)
+            })?;
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_json_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1)?;
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_seq(
+    out: &mut String,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    mut item: impl FnMut(&mut String, usize, Option<usize>, usize) -> Result<(), Error>,
+) -> Result<(), Error> {
+    if len == 0 {
+        out.push_str("[]");
+        return Ok(());
+    }
+    out.push('[');
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(out, indent, depth + 1);
+        item(out, i, indent, depth + 1)?;
+    }
+    newline_indent(out, indent, depth);
+    out.push(']');
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::Int(1)),
+            ("b".to_string(), Value::Array(vec![Value::Float(0.5), Value::Str("x\"y".into())])),
+        ]);
+        assert_eq!(to_string(&v).map_err(|e| e.to_string()), Ok("{\"a\":1,\"b\":[0.5,\"x\\\"y\"]}".to_string()));
+        let pretty = to_string_pretty(&v).map_err(|e| e.to_string());
+        assert_eq!(
+            pretty,
+            Ok("{\n  \"a\": 1,\n  \"b\": [\n    0.5,\n    \"x\\\"y\"\n  ]\n}".to_string())
+        );
+    }
+
+    #[test]
+    fn floats_keep_number_affinity() {
+        assert_eq!(to_string(&2.0f64).map_err(|_| ()), Ok("2.0".to_string()));
+        assert!(to_string(&f64::NAN).is_err());
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string(&Value::Array(vec![])).map_err(|_| ()), Ok("[]".to_string()));
+        assert_eq!(to_string(&Value::Object(vec![])).map_err(|_| ()), Ok("{}".to_string()));
+    }
+}

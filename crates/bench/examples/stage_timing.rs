@@ -1,0 +1,80 @@
+//! Stage profiler for the parallel read path: times the plan / load /
+//! merge / scan stages of an M4-UDF query separately, at 1 and 4
+//! worker threads, so regressions can be localized to a stage. Run
+//! with `cargo run --release -p bench --example stage_timing`.
+//!
+//! Interpreting the numbers: load and merge fan out across the worker
+//! pool, so on an N-core host they should shrink with threads; on a
+//! single-core container (like CI) they stay flat and only the cache
+//! rows of the `parallel` experiment show improvement.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::time::Instant;
+
+use bench::harness::Harness;
+use m4::pool;
+use m4::{oracle, M4Query};
+use tskv::config::EngineConfig;
+use tskv::readers::MergeReader;
+use tskv::TsKv;
+use workload::Dataset;
+
+fn main() {
+    let h = Harness::new(0.05, 1).with_datasets(vec![Dataset::Mf03]);
+    let fx = h.build_store("prof", Dataset::Mf03, 0.3, 0, 0);
+    let (dir, t_min, t_max) = (fx.dir.clone(), fx.t_min, fx.t_max);
+    drop(fx);
+
+    for threads in [1usize, 4] {
+        let kv = TsKv::open(
+            &dir,
+            EngineConfig { enable_read_cache: false, read_threads: threads, ..Default::default() },
+        )
+        .unwrap();
+        let snap = kv.snapshot("s").unwrap();
+        let q = M4Query::new(t_min, t_max + 1, 1000).unwrap();
+
+        let t0 = Instant::now();
+        let reader = MergeReader::with_range(&snap, q.full_range());
+        let plan = reader.plan();
+        let t_plan = t0.elapsed();
+
+        let t0 = Instant::now();
+        let runs: Vec<_> = pool::run_indexed(threads, plan.len(), |i| {
+            let c = &plan[i];
+            Ok((c.version, snap.read_points(c).unwrap()))
+        })
+        .unwrap();
+        let t_load = t0.elapsed();
+
+        let t0 = Instant::now();
+        let jobs = (threads * 4).clamp(1, q.w);
+        let segments = pool::run_indexed(threads, jobs, |j| {
+            let a = j * q.w / jobs;
+            let b = ((j + 1) * q.w / jobs).max(a + 1).min(q.w);
+            let lo = q.span_range(a).start;
+            let hi = q.span_range(b - 1).end;
+            Ok(reader.merge_runs_in(&runs, tsfile::types::TimeRange::new(lo, hi)))
+        })
+        .unwrap();
+        let merged = segments.concat();
+        let t_merge = t0.elapsed();
+
+        let t0 = Instant::now();
+        let r = oracle::m4_scan(&merged, &q);
+        let t_scan = t0.elapsed();
+
+        println!(
+            "threads={threads}: plan={:?} load={:?} merge={:?} scan={:?} (chunks={}, pts={}, spans={})",
+            t_plan,
+            t_load,
+            t_merge,
+            t_scan,
+            plan.len(),
+            merged.len(),
+            r.non_empty()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    h.cleanup();
+}

@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Experiments: table2, fig8, fig10, fig11, fig12, fig13, fig14,
-//! pixels, ablation, all.
+//! pixels, ablation, compaction, parallel, all.
 
 // CLI entry point: bad flags and failed experiment setup end the
 // process with a message, which is the UX a command-line tool owes its
@@ -22,7 +22,9 @@
 
 use std::io::Write;
 
-use bench::experiments::{ablation, compaction, fig10, fig11, fig12, fig13, fig14, fig8, pixels, table2};
+use bench::experiments::{
+    ablation, compaction, fig10, fig11, fig12, fig13, fig14, fig8, parallel, pixels, table2,
+};
 use bench::harness::{print_table, ExpRow, Harness};
 
 struct Args {
@@ -57,7 +59,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--exp table2|fig8|fig10|fig11|fig12|fig13|fig14|pixels|ablation|compaction|all] \
+                    "usage: repro [--exp table2|fig8|fig10|fig11|fig12|fig13|fig14|pixels|ablation|compaction|parallel|all] \
                      [--scale F] [--repeats N] [--out FILE.json] [--dataset NAME]..."
                 );
                 std::process::exit(0);
@@ -92,6 +94,7 @@ fn main() {
             "fig14" => fig14::run(h),
             "ablation" => ablation::run(h),
             "compaction" => compaction::run(h),
+            "parallel" => parallel::run(h),
             _ => unreachable!(),
         };
         println!("\n== {name} ==");
@@ -109,7 +112,7 @@ fn main() {
         println!("\n== fig8 ==");
         fig8::run(&h);
     }
-    for name in ["fig10", "fig11", "fig12", "fig13", "fig14", "ablation", "compaction"] {
+    for name in ["fig10", "fig11", "fig12", "fig13", "fig14", "ablation", "compaction", "parallel"] {
         if all || args.exp == name {
             run_measured(name, &mut rows, &h);
         }
@@ -132,6 +135,10 @@ fn main() {
 
 /// Print the headline ratio the paper reports for each figure.
 fn summarize(name: &str, rows: &[ExpRow]) {
+    if name == "parallel" {
+        summarize_parallel(rows);
+        return;
+    }
     let avg = |op: &str| {
         let v: Vec<f64> =
             rows.iter().filter(|r| r.operator == op).map(|r| r.latency_ms).collect();
@@ -147,6 +154,46 @@ fn summarize(name: &str, rows: &[ExpRow]) {
         println!(
             "-- {name}: mean latency M4-UDF {udf:.2} ms vs M4-LSM {lsm:.2} ms (speedup {:.1}x)",
             udf / lsm
+        );
+    }
+}
+
+/// Headline numbers for the parallel read path: cold fan-out speedup,
+/// warm-cache decode reduction, and single-thread cache overhead.
+fn summarize_parallel(rows: &[ExpRow]) {
+    let mean = |exp: &str, op: &str, threads: f64, f: &dyn Fn(&ExpRow) -> f64| {
+        let v: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.experiment == exp && r.operator == op && r.value == threads)
+            .map(f)
+            .collect();
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let lat = |r: &ExpRow| r.latency_ms;
+    let dec = |r: &ExpRow| r.points_decoded as f64;
+    let cold1 = mean("par-nocache", "cold", 1.0, &lat);
+    let cold4 = mean("par-nocache", "cold", 4.0, &lat);
+    if cold1.is_finite() && cold4 > 0.0 {
+        println!("-- parallel: cold 4-thread speedup {:.2}x (1t {cold1:.2} ms / 4t {cold4:.2} ms)", cold1 / cold4);
+    }
+    let cold_dec = mean("par-cache", "cold", 4.0, &dec);
+    let warm_dec = mean("par-cache", "warm", 4.0, &dec);
+    if cold_dec.is_finite() && warm_dec.is_finite() {
+        let ratio = if warm_dec > 0.0 { cold_dec / warm_dec } else { f64::INFINITY };
+        println!(
+            "-- parallel: warm-cache decode reduction {ratio:.1}x ({cold_dec:.0} -> {warm_dec:.0} points)"
+        );
+    }
+    let nocache1 = mean("par-nocache", "cold", 1.0, &lat);
+    let cache1 = mean("par-cache", "cold", 1.0, &lat);
+    if nocache1.is_finite() && nocache1 > 0.0 && cache1.is_finite() {
+        println!(
+            "-- parallel: single-thread cold overhead with cache on {:+.1}%",
+            (cache1 / nocache1 - 1.0) * 100.0
         );
     }
 }

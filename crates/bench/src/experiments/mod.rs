@@ -10,5 +10,6 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig8;
+pub mod parallel;
 pub mod pixels;
 pub mod table2;

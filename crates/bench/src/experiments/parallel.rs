@@ -1,0 +1,124 @@
+//! Parallel read path: latency vs worker threads, with the cross-query
+//! decoded-chunk LRU off and on.
+//!
+//! Not a paper artifact — this measures the engine additions layered on
+//! the reproduction: positional chunk I/O + the M4 worker pool
+//! (`threads` axis) and the engine-wide decoded-chunk LRU (`cold` vs
+//! `warm` rows). The store is built once per dataset and reopened for
+//! every grid cell, so each cell's first query runs against an empty
+//! process cache ("cold") and the second immediately repeats it
+//! ("warm"). With the cache off, warm equals cold by construction; with
+//! it on, warm loads no chunk bodies at all.
+
+use std::time::Instant;
+
+use m4::{M4Query, M4Udf};
+use tskv::config::EngineConfig;
+use tskv::TsKv;
+
+use crate::harness::{ExpRow, Harness};
+
+/// Worker-pool widths to sweep.
+pub const THREAD_GRID: [usize; 4] = [1, 2, 4, 8];
+/// Pixel width, as in the paper's "typical" setting.
+pub const W: usize = 1000;
+
+pub fn run(h: &Harness) -> Vec<ExpRow> {
+    let mut rows = Vec::new();
+    for dataset in h.datasets.iter().copied() {
+        // Build once (30% overlap so the merge has real work), then
+        // reopen per configuration so every cell starts cold.
+        let fx = h.build_store("parallel", dataset, 0.3, 0, 0);
+        let (dir, t_min, t_max) = (fx.dir.clone(), fx.t_min, fx.t_max);
+        drop(fx);
+
+        for cache_on in [false, true] {
+            let exp = if cache_on { "par-cache" } else { "par-nocache" };
+            for &threads in &THREAD_GRID {
+                let config = EngineConfig {
+                    enable_read_cache: cache_on,
+                    read_threads: threads,
+                    ..Default::default()
+                };
+                let mut cold_lat = Vec::new();
+                let mut warm_lat = Vec::new();
+                let mut cold_io = Default::default();
+                let mut warm_io = Default::default();
+                for _ in 0..h.repeats.max(1) {
+                    let kv = TsKv::open(&dir, config.clone()).expect("reopen store");
+                    let snap = kv.snapshot("s").expect("snapshot");
+                    let q = M4Query::new(t_min, t_max + 1, W).expect("valid query");
+
+                    let before = snap.io().snapshot();
+                    let start = Instant::now();
+                    let cold = M4Udf::new().execute(&snap, &q).expect("cold query");
+                    cold_lat.push(start.elapsed().as_secs_f64() * 1e3);
+                    cold_io = snap.io().snapshot() - before;
+
+                    let before = snap.io().snapshot();
+                    let start = Instant::now();
+                    let warm = M4Udf::new().execute(&snap, &q).expect("warm query");
+                    warm_lat.push(start.elapsed().as_secs_f64() * 1e3);
+                    warm_io = snap.io().snapshot() - before;
+
+                    assert!(
+                        warm.equivalent(&cold),
+                        "warm result diverged ({} threads={threads})",
+                        dataset.name()
+                    );
+                }
+                cold_lat.sort_by(f64::total_cmp);
+                warm_lat.sort_by(f64::total_cmp);
+                for (op, lat, io) in
+                    [("cold", &cold_lat, &cold_io), ("warm", &warm_lat, &warm_io)]
+                {
+                    rows.push(ExpRow {
+                        experiment: exp.to_string(),
+                        dataset: dataset.name().to_string(),
+                        operator: op.to_string(),
+                        param: "threads".to_string(),
+                        value: threads as f64,
+                        latency_ms: lat[lat.len() / 2],
+                        chunks_loaded: io.chunks_loaded,
+                        points_decoded: io.points_decoded,
+                        timestamps_decoded: io.timestamps_decoded,
+                    });
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_queries_hit_the_cache() {
+        let h = Harness::new(0.002, 1).with_datasets(vec![workload::Dataset::BallSpeed]);
+        let rows = run(&h);
+        h.cleanup();
+        assert_eq!(rows.len(), 2 * THREAD_GRID.len() * 2);
+        for r in &rows {
+            match (r.experiment.as_str(), r.operator.as_str()) {
+                // Cache off: the repeat pays full I/O again.
+                ("par-nocache", "warm") => assert!(r.chunks_loaded > 0, "{r:?}"),
+                // Cache on: the repeat loads nothing from disk.
+                ("par-cache", "warm") => assert_eq!(r.chunks_loaded, 0, "{r:?}"),
+                ("par-nocache" | "par-cache", "cold") => {
+                    assert!(r.chunks_loaded > 0, "{r:?}")
+                }
+                _ => panic!("unexpected row {r:?}"),
+            }
+        }
+        // Thread count never changes how much work is done, only when.
+        let loads: Vec<u64> = rows
+            .iter()
+            .filter(|r| r.operator == "cold" && r.experiment == "par-nocache")
+            .map(|r| r.chunks_loaded)
+            .collect();
+        assert!(loads.windows(2).all(|w| w[0] == w[1]), "{loads:?}");
+    }
+}

@@ -64,6 +64,12 @@ impl Harness {
 
     /// Build (or rebuild) a store containing `dataset` at this scale,
     /// written with the given overlap fraction and deletes.
+    ///
+    /// Paper-reproduction experiments measure *cold* single-threaded
+    /// reads (the paper's setup has neither a decoded-chunk cache nor a
+    /// parallel read path), so the cross-query LRU is disabled and the
+    /// pool is pinned to one thread here; the `parallel` experiment
+    /// opts back in via [`Harness::build_store_with`].
     pub fn build_store(
         &self,
         tag: &str,
@@ -72,12 +78,29 @@ impl Harness {
         n_deletes: usize,
         delete_range_ms: i64,
     ) -> StoreFixture {
+        let config =
+            EngineConfig { enable_read_cache: false, read_threads: 1, ..Default::default() };
+        self.build_store_with(tag, dataset, overlap, n_deletes, delete_range_ms, config)
+    }
+
+    /// [`Harness::build_store`] with an explicit engine configuration
+    /// (cache capacity, read threads, ...).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_store_with(
+        &self,
+        tag: &str,
+        dataset: Dataset,
+        overlap: f64,
+        n_deletes: usize,
+        delete_range_ms: i64,
+        config: EngineConfig,
+    ) -> StoreFixture {
         let dir = self.root.join(format!("{tag}-{}", dataset.name()));
         std::fs::remove_dir_all(&dir).ok();
         let points = dataset.generate(self.scale);
         let t_min = points.first().expect("non-empty dataset").t;
         let t_max = points.last().expect("non-empty dataset").t;
-        let kv = TsKv::open(&dir, EngineConfig::default()).expect("open store");
+        let kv = TsKv::open(&dir, config).expect("open store");
         let mut rng = StdRng::seed_from_u64(0xBEEF ^ dataset as u64);
         if overlap > 0.0 {
             load_with_overlap(&kv, "s", &points, overlap, &mut rng).expect("load");

@@ -35,6 +35,7 @@ pub mod agg;
 pub mod error;
 pub mod lsm;
 pub mod oracle;
+pub mod pool;
 pub mod query;
 pub mod render;
 pub mod repr;

@@ -5,10 +5,23 @@
 //! for another. The cache ensures each chunk body is read and decoded
 //! at most once per query (full loads), and that timestamp-only probes
 //! reuse previously decoded prefixes (partial loads, Figure 7(b)).
+//!
+//! The cache is `Sync` — span executors on different worker-pool
+//! threads share one instance — and layers on the engine's cross-query
+//! decoded-chunk LRU: full loads go through
+//! [`SeriesSnapshot::read_points`], which consults the shared LRU
+//! first, so this layer only deduplicates work *within* one query and
+//! pins the per-query `Arc`s (plus the timestamp prefixes, which the
+//! shared LRU deliberately does not cache). Lock discipline: no guard
+//! is ever held across a read or decode — hits are `Arc`-cloned out
+//! under a short guard, misses decode unlocked and then publish.
+//! Racing misses on one chunk may decode twice; the engine-level LRU
+//! makes that a cheap memory copy, never wrong data.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use tsfile::index::binary_search_ops;
 use tsfile::types::{Point, Timestamp};
@@ -24,34 +37,35 @@ struct TsPrefix {
     complete: bool,
 }
 
-/// Per-query cache of decoded chunk data.
+/// Per-query cache of decoded chunk data. `Sync`: shared by the span
+/// executors running on the worker pool.
 #[derive(Debug)]
 pub(crate) struct ChunkCache<'a> {
     snapshot: &'a SeriesSnapshot,
-    points: RefCell<HashMap<usize, Arc<Vec<Point>>>>,
-    ts: RefCell<HashMap<usize, TsPrefix>>,
+    points: Mutex<HashMap<usize, Arc<Vec<Point>>>>,
+    ts: Mutex<HashMap<usize, TsPrefix>>,
 }
 
 impl<'a> ChunkCache<'a> {
     pub fn new(snapshot: &'a SeriesSnapshot) -> Self {
-        ChunkCache { snapshot, points: RefCell::new(HashMap::new()), ts: RefCell::new(HashMap::new()) }
+        ChunkCache { snapshot, points: Mutex::new(HashMap::new()), ts: Mutex::new(HashMap::new()) }
     }
 
     /// Full load of chunk `idx` (raw points, unfiltered), cached.
     pub fn points(&self, idx: usize, chunk: &ChunkHandle) -> Result<Arc<Vec<Point>>> {
-        // Copy the hit out so no cache borrow is held across the read.
-        let cached = self.points.borrow().get(&idx).map(Arc::clone);
+        // Copy the hit out so no guard is held across the read.
+        let cached = self.points.lock().get(&idx).map(Arc::clone);
         if let Some(p) = cached {
             return Ok(p);
         }
-        let pts = Arc::new(self.snapshot.read_points(chunk)?);
-        self.points.borrow_mut().insert(idx, Arc::clone(&pts));
+        let pts = self.snapshot.read_points(chunk)?;
+        self.points.lock().insert(idx, Arc::clone(&pts));
         Ok(pts)
     }
 
     /// Whether chunk `idx` has already been fully loaded.
     pub fn is_loaded(&self, idx: usize) -> bool {
-        self.points.borrow().contains_key(&idx)
+        self.points.lock().contains_key(&idx)
     }
 
     /// Timestamp-membership probe: does chunk `idx` contain a point at
@@ -73,14 +87,14 @@ impl<'a> ChunkCache<'a> {
                 return Ok(answer);
             }
         }
-        let loaded = self.points.borrow().get(&idx).map(Arc::clone);
+        let loaded = self.points.lock().get(&idx).map(Arc::clone);
         if let Some(pts) = loaded {
             return Ok(search_points(&pts, chunk, t, use_step_index));
         }
         // Answer from the cached prefix if it provably covers `t`; the
-        // borrow must end before any fetch below.
+        // guard must end before any fetch below.
         let cached_hit = {
-            let ts_map = self.ts.borrow();
+            let ts_map = self.ts.lock();
             match ts_map.get(&idx) {
                 Some(prefix)
                     if prefix.complete || prefix.ts.last().is_some_and(|&last| last >= t) =>
@@ -96,7 +110,16 @@ impl<'a> ChunkCache<'a> {
         let ts = self.snapshot.read_timestamps(chunk, Some(t))?;
         let complete = ts.len() as u64 == chunk.count();
         let answer = search_ts(&ts, chunk, t, use_step_index);
-        self.ts.borrow_mut().insert(idx, TsPrefix { ts, complete });
+        // Keep the longer prefix if a racing probe published first — a
+        // prefix only ever answers timestamps it provably covers, so
+        // monotone growth is a performance property, not correctness.
+        let mut ts_map = self.ts.lock();
+        match ts_map.get(&idx) {
+            Some(existing) if existing.complete || existing.ts.len() >= ts.len() => {}
+            _ => {
+                ts_map.insert(idx, TsPrefix { ts, complete });
+            }
+        }
         Ok(answer)
     }
 }

@@ -15,12 +15,19 @@
 //! only. The configuration toggles the paper's two accelerators for
 //! ablation benchmarks: lazy loading (§3.3/3.4) and the
 //! step-regression chunk index (§3.5).
+//!
+//! Spans are independent (each holds its own candidate state and the
+//! shared `ChunkCache` is `Sync`), so step 3 fans them across the
+//! engine-configured worker pool ([`crate::pool`]): candidate
+//! verification and the lazy chunk loads it triggers run concurrently
+//! per span, while results keep span order.
 
 mod cache;
 mod span;
 
 use tskv::SeriesSnapshot;
 
+use crate::pool;
 use crate::query::M4Query;
 use crate::repr::M4Result;
 use crate::{M4Error, Result};
@@ -97,11 +104,13 @@ impl M4Lsm {
             }
         }
 
-        let mut spans = Vec::with_capacity(query.w);
-        for (i, chunks) in per_span.into_iter().enumerate() {
+        // Solve the spans on the worker pool. Each executor is private
+        // to its job; only the chunk cache (Sync, short guards) is
+        // shared. `run_indexed` keeps span order.
+        let spans = pool::run_indexed(snapshot.pool_threads(), query.w, |i| {
+            let chunks = per_span.get(i).cloned().unwrap_or_default();
             if chunks.is_empty() {
-                spans.push(None);
-                continue;
+                return Ok(None);
             }
             let executor = SpanExecutor::new(
                 chunks,
@@ -111,8 +120,8 @@ impl M4Lsm {
                 &cache,
                 &self.cfg,
             );
-            spans.push(executor.compute()?);
-        }
+            executor.compute()
+        })?;
         Ok(M4Result { spans })
     }
 }

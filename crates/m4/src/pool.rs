@@ -1,0 +1,155 @@
+//! A small scoped worker pool for fanning independent chunk work
+//! across threads (std only — no external executor).
+//!
+//! Both M4 operators have embarrassingly parallel inner loops: M4-UDF
+//! loads every overlapping chunk before its single k-way merge, and
+//! M4-LSM solves each time span independently. [`run_indexed`] runs
+//! those loops on `std::thread::scope` workers that claim job indices
+//! from a shared atomic cursor, so cheap jobs (cache hits, metadata-only
+//! spans) never straddle a static partition boundary next to expensive
+//! ones.
+//!
+//! The pool holds no locks of its own; job closures go through the
+//! engine's snapshot/cache layers, whose lock discipline `xtask lint`
+//! (L2) enforces. A worker that fails flips a stop flag so the
+//! remaining workers drain quickly; the first error in job order is
+//! returned. Workers are assumed panic-free (the workspace denies
+//! panic paths); if one panics anyway the pool reports a typed
+//! [`M4Error::Internal`] instead of propagating the panic.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::{M4Error, Result};
+
+/// Run `f(0) .. f(jobs - 1)` across at most `threads` workers and
+/// return the results in index order. `threads <= 1` (or a single job)
+/// degenerates to a plain sequential loop on the calling thread with
+/// zero spawn overhead — the single-thread path stays byte-identical
+/// to the pre-pool behavior.
+///
+/// On failure the error from the lowest-indexed failing job is
+/// returned; jobs not yet claimed when the stop flag flips are never
+/// started.
+pub fn run_indexed<T, F>(threads: usize, jobs: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    let threads = threads.max(1).min(jobs);
+    if threads <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let gathered: Vec<Vec<(usize, Result<T>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out: Vec<(usize, Result<T>)> = Vec::new();
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        let r = f(i);
+                        if r.is_err() {
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                        out.push((i, r));
+                    }
+                    out
+                })
+            })
+            .collect();
+        // A panicked worker yields an empty batch; the missing slots
+        // surface as a typed error below.
+        handles.into_iter().map(|h| h.join().unwrap_or_default()).collect()
+    });
+
+    let mut slots: Vec<Option<Result<T>>> = (0..jobs).map(|_| None).collect();
+    for (i, r) in gathered.into_iter().flatten() {
+        if let Some(slot) = slots.get_mut(i) {
+            *slot = Some(r);
+        }
+    }
+    // First error in job order wins (deterministic regardless of
+    // scheduling); unclaimed jobs after it are expected holes.
+    let failed = slots.iter().any(|s| matches!(s, Some(Err(_))));
+    let mut out = Vec::with_capacity(jobs);
+    for slot in slots {
+        match slot {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => return Err(e),
+            None if failed => continue,
+            None => return Err(M4Error::Internal("worker pool lost a job without an error")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests assert by panicking; the workspace deny-set targets library code.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+
+    #[test]
+    fn preserves_order_across_threads() {
+        for threads in [1, 2, 4, 8] {
+            let out = run_indexed(threads, 100, |i| Ok(i * 3)).unwrap();
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let out: Vec<usize> = run_indexed(4, 0, |_| Ok(0)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn first_error_in_job_order_wins() {
+        let err = run_indexed(4, 50, |i| {
+            if i == 7 {
+                Err(M4Error::Internal("seven"))
+            } else if i == 30 {
+                Err(M4Error::Internal("thirty"))
+            } else {
+                Ok(i)
+            }
+        })
+        .unwrap_err();
+        // 7 < 30; whichever thread hit which first, job order decides.
+        assert!(matches!(err, M4Error::Internal("seven")));
+    }
+
+    #[test]
+    fn uses_multiple_threads_when_asked() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let barrier = std::sync::Barrier::new(4);
+        run_indexed(4, 4, |_| {
+            barrier.wait();
+            seen.lock().unwrap().insert(std::thread::current().id());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen.lock().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn single_thread_runs_on_caller() {
+        let caller = std::thread::current().id();
+        run_indexed(1, 10, |_| {
+            assert_eq!(std::thread::current().id(), caller);
+            Ok(())
+        })
+        .unwrap();
+    }
+}

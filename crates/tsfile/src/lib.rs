@@ -59,6 +59,7 @@ pub mod error;
 pub mod format;
 pub mod index;
 pub mod mods;
+pub mod pread;
 pub mod reader;
 pub mod statistics;
 pub mod types;

@@ -10,21 +10,32 @@ use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 use crate::checksum::crc32;
 use crate::encoding::{self, EncodingKind};
 use crate::format::{ChunkMeta, FileFooter, MAGIC};
+use crate::pread::PositionalFile;
 use crate::types::Point;
 use crate::{Result, TsFileError};
 
-/// Read-side handle to one TsFile. Thread-safe: the underlying file is
-/// behind a mutex, and chunk reads are positioned reads.
+/// Process-wide allocator for [`TsFileReader::handle_id`]. Starts at 1
+/// so 0 can serve as an "unkeyed" sentinel for callers that need one.
+static NEXT_HANDLE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Read-side handle to one TsFile. Thread-safe without interior
+/// locking: the file is immutable once sealed and all chunk reads are
+/// positional (`pread`-style), so concurrent loads through one shared
+/// handle never contend on a cursor.
 #[derive(Debug)]
 pub struct TsFileReader {
     path: PathBuf,
-    file: Mutex<File>,
+    file: PositionalFile,
     footer: FileFooter,
+    /// Process-unique identity of this open handle; never reused, even
+    /// when the same path is reopened. Cache layers key decoded chunk
+    /// bodies by it so entries from a retired (compacted-away) file can
+    /// never alias a newer file's chunks.
+    handle_id: u64,
     /// Total chunk bodies read through this handle (observability for
     /// the benchmark harness: "how many chunks did this query load?").
     chunks_read: AtomicU64,
@@ -84,11 +95,18 @@ impl TsFileReader {
         let footer = FileFooter::decode_body(&body)?;
         Ok(TsFileReader {
             path,
-            file: Mutex::new(file),
+            file: PositionalFile::new(file),
             footer,
+            handle_id: NEXT_HANDLE_ID.fetch_add(1, Ordering::Relaxed),
             chunks_read: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
         })
+    }
+
+    /// Process-unique identity of this open handle (stable for its
+    /// lifetime, never reused by later opens).
+    pub fn handle_id(&self) -> u64 {
+        self.handle_id
     }
 
     /// All chunk metadata in file order (ascending offset). No I/O.
@@ -102,15 +120,10 @@ impl TsFileReader {
     }
 
     /// Read and decode one chunk body. Verifies the body CRC.
+    /// Lock-free: safe to call from many threads concurrently.
     pub fn read_chunk(&self, meta: &ChunkMeta) -> Result<Vec<Point>> {
         let mut body = vec![0u8; meta.byte_len as usize];
-        {
-            // A poisoned mutex only means another reader panicked while
-            // holding it; the File itself has no invariant to lose.
-            let mut file = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            file.seek(SeekFrom::Start(meta.offset))?;
-            file.read_exact(&mut body)?;
-        }
+        self.file.read_exact_at(&mut body, meta.offset)?;
         self.chunks_read.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(meta.byte_len, Ordering::Relaxed);
         decode_chunk_body(&body, meta)
@@ -127,11 +140,7 @@ impl TsFileReader {
         until: Option<i64>,
     ) -> Result<Vec<i64>> {
         let mut body = vec![0u8; meta.byte_len as usize];
-        {
-            let mut file = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            file.seek(SeekFrom::Start(meta.offset))?;
-            file.read_exact(&mut body)?;
-        }
+        self.file.read_exact_at(&mut body, meta.offset)?;
         self.chunks_read.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(meta.byte_len, Ordering::Relaxed);
         decode_chunk_timestamps(&body, meta, until)
@@ -341,6 +350,58 @@ mod tests {
         let some = r.read_chunk_timestamps(meta, Some(45_000))?;
         assert!(some.len() < 20, "early stop expected, got {}", some.len());
         assert!(some.last().is_some_and(|&t| t > 45_000) || some.len() == 1000);
+        Ok(())
+    }
+
+    #[test]
+    fn concurrent_chunk_reads_share_one_handle() -> Result<()> {
+        let p = tmp("concurrent.tsfile");
+        let mut w = TsFileWriter::create(&p)?;
+        let chunks: Vec<Vec<Point>> = (0..8)
+            .map(|c| (0..500).map(|i| Point::new(c * 10_000 + i, (c + i) as f64)).collect())
+            .collect();
+        for (i, c) in chunks.iter().enumerate() {
+            w.write_chunk(c, i as u64 + 1)?;
+        }
+        w.finish()?;
+        let r = TsFileReader::open(&p)?;
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let r = &r;
+                let chunks = &chunks;
+                handles.push(s.spawn(move || -> Result<()> {
+                    for _ in 0..20 {
+                        for (meta, expect) in r.chunk_metas().iter().zip(chunks) {
+                            if r.read_chunk(meta)? != *expect {
+                                return Err(TsFileError::Corrupt(
+                                    "concurrent read returned wrong chunk".into(),
+                                ));
+                            }
+                        }
+                    }
+                    Ok(())
+                }));
+            }
+            for h in handles {
+                h.join().map_err(|_| TsFileError::Corrupt("reader thread panicked".into()))??;
+            }
+            Ok::<(), TsFileError>(())
+        })?;
+        assert_eq!(r.chunks_read(), 4 * 20 * 8);
+        Ok(())
+    }
+
+    #[test]
+    fn handle_ids_unique_across_reopens() -> Result<()> {
+        let p = tmp("handleid.tsfile");
+        let mut w = TsFileWriter::create(&p)?;
+        w.write_chunk(&series(10, 5), 1)?;
+        w.finish()?;
+        let a = TsFileReader::open(&p)?;
+        let b = TsFileReader::open(&p)?;
+        assert_ne!(a.handle_id(), b.handle_id(), "same path, distinct handles");
+        assert_ne!(a.handle_id(), 0, "0 is reserved as an unkeyed sentinel");
         Ok(())
     }
 

@@ -36,6 +36,17 @@ pub struct EngineConfig {
     /// may disable it to keep the write path identical to IoTDB's
     /// measured configuration.
     pub enable_wal: bool,
+    /// Capacity of the cross-query decoded-chunk LRU in bytes
+    /// (approximate: decoded point payload plus a small per-entry
+    /// overhead). Must be nonzero and at most 1 TiB.
+    pub cache_capacity_bytes: u64,
+    /// Worker threads the M4 operators may fan chunk loads across.
+    /// `1` means fully sequential. Must be in `1..=256`.
+    pub read_threads: usize,
+    /// Whether snapshots consult the shared decoded-chunk cache. Off
+    /// reproduces the seed's always-decode behavior (the benchmark's
+    /// cache-off arm).
+    pub enable_read_cache: bool,
 }
 
 impl Default for EngineConfig {
@@ -47,9 +58,18 @@ impl Default for EngineConfig {
             val_encoding: EncodingKind::Gorilla,
             build_step_index: true,
             enable_wal: true,
+            cache_capacity_bytes: 64 * 1024 * 1024,
+            read_threads: 4,
+            enable_read_cache: true,
         }
     }
 }
+
+/// Upper bound on [`EngineConfig::read_threads`].
+pub const MAX_READ_THREADS: usize = 256;
+
+/// Upper bound on [`EngineConfig::cache_capacity_bytes`] (1 TiB).
+pub const MAX_CACHE_CAPACITY_BYTES: u64 = 1 << 40;
 
 impl EngineConfig {
     /// Validate and clamp nonsensical settings (zero sizes become 1).
@@ -62,10 +82,50 @@ impl EngineConfig {
         }
         self
     }
+
+    /// Reject zero/absurd cache and parallelism knobs with a typed
+    /// error. Unlike the legacy size clamps in [`normalized`], these
+    /// knobs fail loudly: a zero thread count or zero-byte cache is a
+    /// misconfiguration, not a degenerate-but-meaningful setting.
+    ///
+    /// [`normalized`]: EngineConfig::normalized
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.read_threads == 0 {
+            return Err(crate::TsKvError::InvalidConfig {
+                field: "read_threads",
+                value: 0,
+                reason: "must be at least 1",
+            });
+        }
+        if self.read_threads > MAX_READ_THREADS {
+            return Err(crate::TsKvError::InvalidConfig {
+                field: "read_threads",
+                value: self.read_threads as u64,
+                reason: "exceeds the 256-thread ceiling",
+            });
+        }
+        if self.cache_capacity_bytes == 0 {
+            return Err(crate::TsKvError::InvalidConfig {
+                field: "cache_capacity_bytes",
+                value: 0,
+                reason: "must be nonzero (disable the cache via enable_read_cache instead)",
+            });
+        }
+        if self.cache_capacity_bytes > MAX_CACHE_CAPACITY_BYTES {
+            return Err(crate::TsKvError::InvalidConfig {
+                field: "cache_capacity_bytes",
+                value: self.cache_capacity_bytes,
+                reason: "exceeds the 1 TiB ceiling",
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::panic)]
+
     use super::*;
 
     #[test]
@@ -81,5 +141,39 @@ mod tests {
             .normalized();
         assert_eq!(c.points_per_chunk, 1);
         assert_eq!(c.memtable_threshold, 1);
+    }
+
+    #[test]
+    fn validate_accepts_defaults() {
+        assert!(EngineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_and_absurd_knobs() {
+        use crate::TsKvError;
+        let cases: [(EngineConfig, &str); 4] = [
+            (EngineConfig { read_threads: 0, ..Default::default() }, "read_threads"),
+            (
+                EngineConfig { read_threads: MAX_READ_THREADS + 1, ..Default::default() },
+                "read_threads",
+            ),
+            (
+                EngineConfig { cache_capacity_bytes: 0, ..Default::default() },
+                "cache_capacity_bytes",
+            ),
+            (
+                EngineConfig {
+                    cache_capacity_bytes: MAX_CACHE_CAPACITY_BYTES + 1,
+                    ..Default::default()
+                },
+                "cache_capacity_bytes",
+            ),
+        ];
+        for (config, want_field) in cases {
+            match config.validate() {
+                Err(TsKvError::InvalidConfig { field, .. }) => assert_eq!(field, want_field),
+                other => panic!("expected InvalidConfig for {want_field}, got {other:?}"),
+            }
+        }
     }
 }

@@ -32,6 +32,7 @@ use parking_lot::RwLock;
 use tsfile::types::{Point, TimeRange, Timestamp, Version};
 use tsfile::{ModEntry, ModsFile, TsFileReader, TsFileWriter};
 
+use crate::cache::DecodedChunkCache;
 use crate::chunk::ChunkHandle;
 use crate::compaction::CompactionReport;
 use crate::config::EngineConfig;
@@ -134,6 +135,8 @@ pub struct TsKv {
     alloc: VersionAllocator,
     series: RwLock<HashMap<String, SeriesStore>>,
     io: Arc<IoStats>,
+    /// Cross-query decoded-chunk LRU; `None` when disabled by config.
+    cache: Option<Arc<DecodedChunkCache>>,
 }
 
 fn validate_series_name(name: &str) -> Result<()> {
@@ -166,6 +169,7 @@ impl TsKv {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         let config = config.normalized();
+        config.validate()?;
         let alloc = VersionAllocator::default();
         let mut series = HashMap::new();
 
@@ -251,7 +255,13 @@ impl TsKv {
                 .insert(name, SeriesStore::assemble(sdir, memtable, wal, files, next_file_id));
         }
 
-        Ok(TsKv { dir, config, alloc, series: RwLock::new(series), io: Arc::new(IoStats::default()) })
+        let io = Arc::new(IoStats::default());
+        let cache = if config.enable_read_cache {
+            Some(Arc::new(DecodedChunkCache::new(config.cache_capacity_bytes, Arc::clone(&io))))
+        } else {
+            None
+        };
+        Ok(TsKv { dir, config, alloc, series: RwLock::new(series), io, cache })
     }
 
     /// The engine configuration.
@@ -536,7 +546,14 @@ impl TsKv {
         }
         chunks.sort_by_key(|c| c.version);
         deletes.sort_by_key(|d| d.version);
-        Ok(SeriesSnapshot::new(files, chunks, deletes, Arc::clone(&self.io)))
+        Ok(SeriesSnapshot::new(
+            files,
+            chunks,
+            deletes,
+            Arc::clone(&self.io),
+            self.cache.clone(),
+            self.config.read_threads,
+        ))
     }
 
     /// Fully compact one series: merge every sealed file (applying
@@ -589,8 +606,12 @@ impl TsKv {
         let chunks_merged = chunks.len();
         let deletes_applied = deletes.len();
 
-        // Phase B (unlocked): decode, merge, and write the output.
-        let snapshot = SeriesSnapshot::new(files, chunks, deletes, Arc::clone(&self.io));
+        // Phase B (unlocked): decode, merge, and write the output. The
+        // merge reads through the shared cache (compaction input chunks
+        // are often hot), but with a sequential snapshot — compaction
+        // threads are the caller's budget, not the query pool's.
+        let snapshot =
+            SeriesSnapshot::new(files, chunks, deletes, Arc::clone(&self.io), self.cache.clone(), 1);
         let outcome = MergeReader::new(&snapshot).collect_merged().and_then(|merged| {
             if merged.is_empty() {
                 Ok((0, None))
@@ -637,18 +658,27 @@ impl TsKv {
                 store.files.push(res);
             }
             store.files.extend(tail);
-            let doomed: Vec<PathBuf> =
-                old.iter().map(|r| r.reader.path().to_path_buf()).collect();
+            let doomed: Vec<(PathBuf, u64)> = old
+                .iter()
+                .map(|r| (r.reader.path().to_path_buf(), r.reader.handle_id()))
+                .collect();
             (doomed, points_written)
         };
 
-        // Phase D (unlocked): unlink the old generation. The new file
-        // was written before the unlink (a crash in between leaves a
-        // recoverable mix: the new file holds only latest points, so
-        // re-reading both generations still merges to the same series),
-        // and snapshots still holding the old readers keep working —
-        // POSIX unlink semantics.
-        for p in &doomed {
+        // Phase D (unlocked): drop the retired files' cache entries and
+        // unlink the old generation. The new file was written before
+        // the unlink (a crash in between leaves a recoverable mix: the
+        // new file holds only latest points, so re-reading both
+        // generations still merges to the same series), and snapshots
+        // still holding the old readers keep working — POSIX unlink
+        // semantics. Such a straggler snapshot may re-populate a
+        // retired file's cache entries after this invalidation; that is
+        // benign (handle ids are never reused, so the entries can only
+        // ever serve that same straggler) and the LRU ages them out.
+        for (p, file_id) in &doomed {
+            if let Some(cache) = &self.cache {
+                cache.invalidate_file(*file_id);
+            }
             std::fs::remove_file(p).ok();
             std::fs::remove_file(p.with_extension("mods")).ok();
         }
@@ -663,6 +693,11 @@ impl TsKv {
     /// Engine-wide I/O counters (shared by all snapshots).
     pub fn io(&self) -> &Arc<IoStats> {
         &self.io
+    }
+
+    /// The cross-query decoded-chunk cache, if enabled by config.
+    pub fn cache(&self) -> Option<&Arc<DecodedChunkCache>> {
+        self.cache.as_ref()
     }
 
     /// Total points currently buffered in memory and not yet durable in

@@ -18,6 +18,15 @@ pub enum TsKvError {
     InvalidDeleteRange { start: i64, end: i64 },
     /// A series name contained characters unusable as a directory name.
     InvalidSeriesName(String),
+    /// A configuration knob held a zero/absurd value.
+    InvalidConfig {
+        /// Name of the offending `EngineConfig` field.
+        field: &'static str,
+        /// The rejected value.
+        value: u64,
+        /// Why the value is unusable.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for TsKvError {
@@ -31,6 +40,9 @@ impl fmt::Display for TsKvError {
             }
             TsKvError::InvalidSeriesName(name) => {
                 write!(f, "invalid series name: {name:?}")
+            }
+            TsKvError::InvalidConfig { field, value, reason } => {
+                write!(f, "invalid config: {field} = {value}: {reason}")
             }
         }
     }

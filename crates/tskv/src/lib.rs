@@ -55,6 +55,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod chunk;
 pub mod compaction;
 pub mod config;
@@ -68,6 +69,7 @@ pub mod stats;
 pub mod version;
 pub mod wal;
 
+pub use cache::{CacheKey, DecodedChunkCache};
 pub use chunk::ChunkHandle;
 pub use engine::TsKv;
 pub use error::TsKvError;

@@ -1,5 +1,7 @@
 //! DataReader: chunk-body loads, full and partial.
 
+use std::sync::Arc;
+
 use tsfile::types::{Point, Timestamp};
 
 use crate::chunk::ChunkHandle;
@@ -22,8 +24,9 @@ impl<'a> DataReader<'a> {
         DataReader { snapshot }
     }
 
-    /// Full load: all points of a chunk (Table 1 case c).
-    pub fn read_points(&self, chunk: &ChunkHandle) -> Result<Vec<Point>> {
+    /// Full load: all points of a chunk (Table 1 case c). The `Arc` may
+    /// be shared with the engine's decoded-chunk cache.
+    pub fn read_points(&self, chunk: &ChunkHandle) -> Result<Arc<Vec<Point>>> {
         self.snapshot.read_points(chunk)
     }
 

@@ -9,8 +9,11 @@
 
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use tsfile::types::{Point, TimeRange, Timestamp, Version};
+
+use crate::chunk::ChunkHandle;
 
 use crate::delete::DeleteSweep;
 use crate::snapshot::SeriesSnapshot;
@@ -64,22 +67,61 @@ impl<'a> MergeReader<'a> {
         MergeReader { snapshot, range }
     }
 
+    /// The chunks this reader would load: every chunk overlapping the
+    /// requested range, cloned out so callers may fan the loads across
+    /// threads without borrowing the snapshot's chunk list.
+    pub fn plan(&self) -> Vec<ChunkHandle> {
+        self.snapshot.chunks_overlapping(self.range).into_iter().cloned().collect()
+    }
+
     /// Materialize the merged, latest-points-only series in time order.
     pub fn collect_merged(&self) -> Result<Vec<Point>> {
         // Load all overlapping chunks (the baseline's full cost).
-        let chunks = self.snapshot.chunks_overlapping(self.range);
-        let mut runs: Vec<(Version, Vec<Point>)> = Vec::with_capacity(chunks.len());
+        let chunks = self.plan();
+        let mut runs: Vec<(Version, Arc<Vec<Point>>)> = Vec::with_capacity(chunks.len());
         for c in &chunks {
             let pts = self.snapshot.read_points(c)?;
             runs.push((c.version, pts));
         }
+        Ok(self.merge_runs(&runs))
+    }
+
+    /// K-way merge pre-loaded runs (one per planned chunk, any order):
+    /// latest version wins a same-timestamp collision, and points
+    /// covered by a later-versioned delete are dropped. Pure CPU — the
+    /// parallel M4-UDF path loads the runs through a worker pool and
+    /// feeds them here.
+    pub fn merge_runs(&self, runs: &[(Version, Arc<Vec<Point>>)]) -> Vec<Point> {
+        self.merge_runs_in(runs, self.range)
+    }
+
+    /// [`MergeReader::merge_runs`] restricted to the time segment
+    /// `seg` (inclusive, intersected with the reader's range).
+    ///
+    /// A point's visibility depends only on information at its own
+    /// timestamp — the highest-versioned write there and the deletes
+    /// covering it — so merging disjoint time segments independently
+    /// and concatenating in time order yields exactly the full merge.
+    /// This is what lets the parallel M4-UDF path shard the k-way merge
+    /// itself across the worker pool, not just the chunk loads.
+    pub fn merge_runs_in(&self, runs: &[(Version, Arc<Vec<Point>>)], seg: TimeRange) -> Vec<Point> {
+        let lo = self.range.start.max(seg.start);
+        let hi = self.range.end.min(seg.end);
+        if lo > hi {
+            return Vec::new();
+        }
         let mut deletes = DeleteSweep::new(self.snapshot.deletes());
 
-        let mut cursors = vec![0usize; runs.len()];
+        // Start each cursor at the first point inside the segment; the
+        // heap never holds a point past its end.
+        let mut cursors: Vec<usize> =
+            runs.iter().map(|(_, pts)| pts.partition_point(|p| p.t < lo)).collect();
         let mut heap = BinaryHeap::with_capacity(runs.len());
         for (i, (version, pts)) in runs.iter().enumerate() {
-            if let Some(p) = pts.first() {
-                heap.push(HeapEntry { t: p.t, version: *version, run: i });
+            if let Some(p) = pts.get(cursors[i]) {
+                if p.t <= hi {
+                    heap.push(HeapEntry { t: p.t, version: *version, run: i });
+                }
             }
         }
 
@@ -89,19 +131,14 @@ impl<'a> MergeReader<'a> {
             let (version, pts) = &runs[entry.run];
             let p = pts[cursors[entry.run]];
             cursors[entry.run] += 1;
-            if cursors[entry.run] < pts.len() {
-                heap.push(HeapEntry {
-                    t: pts[cursors[entry.run]].t,
-                    version: *version,
-                    run: entry.run,
-                });
+            if let Some(next) = pts.get(cursors[entry.run]) {
+                if next.t <= hi {
+                    heap.push(HeapEntry { t: next.t, version: *version, run: entry.run });
+                }
             }
             // Same timestamp as an already-emitted (higher-version)
             // point: this one was overwritten.
             if last_t == Some(p.t) {
-                continue;
-            }
-            if !self.range.contains(p.t) {
                 continue;
             }
             if deletes.is_deleted(p.t, *version) {
@@ -115,7 +152,7 @@ impl<'a> MergeReader<'a> {
             last_t = Some(p.t);
             out.push(p);
         }
-        Ok(out)
+        out
     }
 }
 
@@ -228,6 +265,46 @@ mod tests {
         let merged = MergeReader::new(&snap).collect_merged()?;
         assert_eq!(merged.len(), 60);
         assert!(merged.iter().filter(|p| p.t >= 40).all(|p| p.v == 7.0));
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn segment_merges_concatenate_to_full_merge() -> TestResult {
+        let (dir, kv) = fresh("segments")?;
+        // Overlapping history + deletes + a re-insert, so segments cut
+        // through overwrites and tombstones.
+        for t in 0..1000i64 {
+            kv.insert("s", Point::new(t, 1.0))?;
+        }
+        kv.flush_all()?;
+        for t in 300..700i64 {
+            kv.insert("s", Point::new(t, 2.0))?;
+        }
+        kv.flush_all()?;
+        kv.delete("s", 450, 550)?;
+        for t in 500..=520i64 {
+            kv.insert("s", Point::new(t, 3.0))?;
+        }
+        kv.flush_all()?;
+
+        let snap = kv.snapshot("s")?;
+        let reader = MergeReader::new(&snap);
+        let plan = reader.plan();
+        let mut runs = Vec::new();
+        for c in &plan {
+            runs.push((c.version, snap.read_points(c)?));
+        }
+        let full = reader.merge_runs(&runs);
+        // Any partition of the time axis must concatenate to the full
+        // merge — including cuts inside the deleted/re-inserted window.
+        for bounds in [vec![0, 1000], vec![0, 450, 500, 521, 1000], vec![0, 333, 666, 1000]] {
+            let mut cat = Vec::new();
+            for w in bounds.windows(2) {
+                cat.extend(reader.merge_runs_in(&runs, TimeRange::new(w[0], w[1] - 1)));
+            }
+            assert_eq!(cat, full, "bounds {bounds:?}");
+        }
         std::fs::remove_dir_all(&dir).ok();
         Ok(())
     }

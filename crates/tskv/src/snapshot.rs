@@ -12,17 +12,27 @@ use std::sync::Arc;
 use tsfile::types::{Point, TimeRange, Timestamp};
 use tsfile::{ModEntry, TsFileReader};
 
+use crate::cache::{CacheKey, DecodedChunkCache};
 use crate::chunk::{ChunkData, ChunkHandle};
 use crate::stats::IoStats;
 use crate::Result;
 
 /// Immutable read view of one series.
+///
+/// Holds one shared immutable [`TsFileReader`] handle per TsFile for
+/// its whole lifetime — chunk loads never reopen files, and because
+/// the handles do positional reads, any number of threads may load
+/// chunks through one snapshot concurrently.
 #[derive(Debug)]
 pub struct SeriesSnapshot {
     files: Vec<Arc<TsFileReader>>,
     chunks: Vec<ChunkHandle>,
     deletes: Vec<ModEntry>,
     io: Arc<IoStats>,
+    /// Engine-wide decoded-chunk LRU; `None` when disabled by config.
+    cache: Option<Arc<DecodedChunkCache>>,
+    /// Engine-configured fan-out for parallel chunk loads.
+    read_threads: usize,
 }
 
 impl SeriesSnapshot {
@@ -33,8 +43,10 @@ impl SeriesSnapshot {
         chunks: Vec<ChunkHandle>,
         deletes: Vec<ModEntry>,
         io: Arc<IoStats>,
+        cache: Option<Arc<DecodedChunkCache>>,
+        read_threads: usize,
     ) -> Self {
-        SeriesSnapshot { files, chunks, deletes, io }
+        SeriesSnapshot { files, chunks, deletes, io, cache, read_threads: read_threads.max(1) }
     }
 
     /// All chunks visible to this snapshot, in version order.
@@ -52,6 +64,25 @@ impl SeriesSnapshot {
         &self.io
     }
 
+    /// The engine's decoded-chunk cache, if enabled.
+    pub fn cache(&self) -> Option<&Arc<DecodedChunkCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Engine-configured worker-thread count for parallel chunk loads
+    /// (always at least 1).
+    pub fn pool_threads(&self) -> usize {
+        self.read_threads
+    }
+
+    /// Process-unique reader handle ids of the sealed files backing
+    /// this snapshot. Decoded-chunk cache keys are scoped by these ids,
+    /// so after a compaction the engine cache must only hold ids that
+    /// some live snapshot can still produce.
+    pub fn file_handle_ids(&self) -> Vec<u64> {
+        self.files.iter().map(|f| f.handle_id()).collect()
+    }
+
     /// Chunks whose time interval overlaps `range`.
     pub fn chunks_overlapping(&self, range: TimeRange) -> Vec<&ChunkHandle> {
         self.chunks.iter().filter(|c| c.time_range().overlaps(&range)).collect()
@@ -63,15 +94,34 @@ impl SeriesSnapshot {
     }
 
     /// Load a chunk's full points (timestamp + value), in time order.
-    pub fn read_points(&self, chunk: &ChunkHandle) -> Result<Vec<Point>> {
+    ///
+    /// Sealed chunks are served from the engine's decoded-chunk cache
+    /// when possible; a miss reads and decodes outside any lock, then
+    /// publishes the result. The returned `Arc` is shared with the
+    /// cache — callers must not mutate through it.
+    pub fn read_points(&self, chunk: &ChunkHandle) -> Result<Arc<Vec<Point>>> {
         match &chunk.data {
             ChunkData::Mem { points } => {
                 self.io.record_mem_read(points.len() as u64);
-                Ok(points.as_ref().clone())
+                Ok(Arc::clone(points))
             }
             ChunkData::File { file_idx, meta } => {
-                let pts = self.files[*file_idx].read_chunk(meta)?;
+                let file = &self.files[*file_idx];
+                let key = CacheKey {
+                    file_id: file.handle_id(),
+                    offset: meta.offset,
+                    version: meta.version.0,
+                };
+                if let Some(cache) = &self.cache {
+                    if let Some(points) = cache.get(key) {
+                        return Ok(points);
+                    }
+                }
+                let pts = Arc::new(file.read_chunk(meta)?);
                 self.io.record_chunk_load(meta.byte_len, pts.len() as u64);
+                if let Some(cache) = &self.cache {
+                    cache.insert(key, Arc::clone(&pts));
+                }
                 Ok(pts)
             }
         }

@@ -15,6 +15,10 @@ pub struct IoStats {
     points_decoded: AtomicU64,
     timestamps_decoded: AtomicU64,
     mem_chunks_read: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    cache_invalidations: AtomicU64,
 }
 
 /// Plain-value snapshot of [`IoStats`], subtractable for deltas.
@@ -30,6 +34,16 @@ pub struct IoSnapshot {
     pub timestamps_decoded: u64,
     /// In-memory (memtable) chunk reads, which cost no I/O.
     pub mem_chunks_read: u64,
+    /// Chunk-body reads served from the decoded-chunk cache (no I/O,
+    /// no decode).
+    pub cache_hits: u64,
+    /// Chunk-body reads that missed the cache and went to disk.
+    pub cache_misses: u64,
+    /// Decoded chunks evicted to stay within the cache capacity.
+    pub cache_evictions: u64,
+    /// Decoded chunks dropped because their file was retired
+    /// (compaction).
+    pub cache_invalidations: u64,
 }
 
 impl IoStats {
@@ -50,6 +64,22 @@ impl IoStats {
         self.points_decoded.fetch_add(points, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cache_evictions(&self, n: u64) {
+        self.cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cache_invalidations(&self, n: u64) {
+        self.cache_invalidations.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Capture current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -58,6 +88,10 @@ impl IoStats {
             points_decoded: self.points_decoded.load(Ordering::Relaxed),
             timestamps_decoded: self.timestamps_decoded.load(Ordering::Relaxed),
             mem_chunks_read: self.mem_chunks_read.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            cache_invalidations: self.cache_invalidations.load(Ordering::Relaxed),
         }
     }
 }
@@ -71,6 +105,10 @@ impl std::ops::Sub for IoSnapshot {
             points_decoded: self.points_decoded - rhs.points_decoded,
             timestamps_decoded: self.timestamps_decoded - rhs.timestamps_decoded,
             mem_chunks_read: self.mem_chunks_read - rhs.mem_chunks_read,
+            cache_hits: self.cache_hits - rhs.cache_hits,
+            cache_misses: self.cache_misses - rhs.cache_misses,
+            cache_evictions: self.cache_evictions - rhs.cache_evictions,
+            cache_invalidations: self.cache_invalidations - rhs.cache_invalidations,
         }
     }
 }

@@ -51,8 +51,13 @@ const UNTRUSTED_INPUT_FILES: &[&str] = &[
 ];
 
 /// Files subject to the L2 lock-discipline scan.
-const L2_FILES: &[&str] =
-    &["crates/tskv/src/engine.rs", "crates/tskv/src/snapshot.rs", "crates/m4/src/lsm/cache.rs"];
+const L2_FILES: &[&str] = &[
+    "crates/tskv/src/engine.rs",
+    "crates/tskv/src/snapshot.rs",
+    "crates/tskv/src/cache.rs",
+    "crates/m4/src/lsm/cache.rs",
+    "crates/m4/src/pool.rs",
+];
 
 /// Files whose public read/decode entry points must be fallible (L3).
 const L3_FILES: &[&str] = &[
@@ -212,6 +217,10 @@ mod tests {
         assert!(r.l1 && !r.l1_indexing && r.l2 && !r.l3 && !r.l4);
         let r = rules_for("crates/m4/src/lsm/cache.rs");
         assert!(r.l1 && r.l2);
+        let r = rules_for("crates/tskv/src/cache.rs");
+        assert!(r.l1 && r.l2 && !r.l3);
+        let r = rules_for("crates/m4/src/pool.rs");
+        assert!(r.l1 && r.l2 && !r.l3);
         let r = rules_for("crates/workload/src/lib.rs");
         assert!(!r.any());
     }

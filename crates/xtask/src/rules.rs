@@ -188,6 +188,10 @@ const IO_DECODE_CALLEES: &[&str] = &[
     "TsFileReader",
     "TsFileWriter",
     "replay",
+    "decode_chunk_body",
+    "decode_chunk_timestamps",
+    "read_exact_at",
+    "run_indexed",
 ];
 
 #[derive(Debug)]

@@ -52,6 +52,19 @@ fn l2_fixture_flags_guard_across_chunk_load() {
 }
 
 #[test]
+fn l2_fixture_flags_guard_across_cache_decode_and_pool() {
+    let v = lint_fixture("l2_guard_across_cache.rs", Rule::L2);
+    assert!(
+        v.iter().any(|v| v.message.contains("decode_chunk_body") && v.message.contains("guard")),
+        "{v:?}"
+    );
+    assert!(
+        v.iter().any(|v| v.message.contains("run_indexed") && v.message.contains("guard")),
+        "{v:?}"
+    );
+}
+
+#[test]
 fn l3_fixture_flags_infallible_decode_entry_point() {
     let v = lint_fixture("l3_infallible_decode.rs", Rule::L3);
     assert!(v.iter().any(|v| v.message.contains("decode_frame")), "{v:?}");
@@ -75,6 +88,7 @@ fn cli_exits_nonzero_on_each_fixture() {
     for name in [
         "l1_panic_paths.rs",
         "l2_guard_across_io.rs",
+        "l2_guard_across_cache.rs",
         "l3_infallible_decode.rs",
         "l4_unchecked_cast.rs",
     ] {

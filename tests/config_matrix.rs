@@ -56,6 +56,7 @@ fn all_configurations_agree() {
                         val_encoding: val_enc,
                         build_step_index: index,
                         enable_wal: wal,
+                        ..Default::default()
                     },
                 )
                 .unwrap();

@@ -84,7 +84,10 @@ fn full_lifecycle_all_datasets() {
 #[test]
 fn merge_free_saves_io() {
     let dir = dir_for("io");
-    let kv = TsKv::open(&dir, EngineConfig::default()).unwrap();
+    // Cold-read accounting: the cross-query LRU would let the UDF run
+    // reuse chunks the LSM run already decoded, so turn it off here.
+    let config = EngineConfig { enable_read_cache: false, ..Default::default() };
+    let kv = TsKv::open(&dir, config).unwrap();
     let points = Dataset::Mf03.generate(0.02); // 200k points → 200 chunks
     m4lsm::workload::load_sequential(&kv, "s", &points).unwrap();
     let snap = kv.snapshot("s").unwrap();

@@ -20,7 +20,14 @@ fn store(name: &str, chunk: usize) -> (std::path::PathBuf, TsKv) {
     std::fs::remove_dir_all(&dir).ok();
     let kv = TsKv::open(
         &dir,
-        EngineConfig { points_per_chunk: chunk, memtable_threshold: chunk, ..Default::default() },
+        // These scenarios assert the paper's per-query I/O counts,
+        // which assume cold reads — keep the cross-query LRU off.
+        EngineConfig {
+            points_per_chunk: chunk,
+            memtable_threshold: chunk,
+            enable_read_cache: false,
+            ..Default::default()
+        },
     )
     .unwrap();
     (dir, kv)

@@ -7,7 +7,12 @@
 //! ```
 //!
 //! Experiments: table2, fig8, fig10, fig11, fig12, fig13, fig14,
-//! pixels, ablation, compaction, parallel, all.
+//! pixels, ablation, compaction, parallel, ingest, all.
+//!
+//! `--out` writes `{"meta": {...}, "rows": [...]}` — the meta header
+//! records the run's scale/repeats and the baseline write-path knobs
+//! (write_shards, wal_batch_bytes, fsync_policy, compaction_*) so
+//! committed BENCH files are self-describing.
 
 // CLI entry point: bad flags and failed experiment setup end the
 // process with a message, which is the UX a command-line tool owes its
@@ -22,10 +27,12 @@
 
 use std::io::Write;
 
+use bench::experiments::ingest::{self, IngestReport, IngestRow};
 use bench::experiments::{
     ablation, compaction, fig10, fig11, fig12, fig13, fig14, fig8, parallel, pixels, table2,
 };
-use bench::harness::{print_table, ExpRow, Harness};
+use bench::harness::{print_table, BenchMeta, BenchReport, ExpRow, Harness};
+use tskv::config::EngineConfig;
 
 struct Args {
     exp: String,
@@ -36,17 +43,30 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { exp: "all".to_string(), scale: 0.02, repeats: 3, out: None, datasets: None };
+    let mut args = Args {
+        exp: "all".to_string(),
+        scale: 0.02,
+        repeats: 3,
+        out: None,
+        datasets: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--exp" => args.exp = it.next().expect("--exp needs a value"),
             "--scale" => {
-                args.scale = it.next().expect("--scale needs a value").parse().expect("number")
+                args.scale = it
+                    .next()
+                    .expect("--scale needs a value")
+                    .parse()
+                    .expect("number")
             }
             "--repeats" => {
-                args.repeats = it.next().expect("--repeats needs a value").parse().expect("int")
+                args.repeats = it
+                    .next()
+                    .expect("--repeats needs a value")
+                    .parse()
+                    .expect("int")
             }
             "--out" => args.out = Some(it.next().expect("--out needs a path")),
             "--dataset" => {
@@ -59,7 +79,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--exp table2|fig8|fig10|fig11|fig12|fig13|fig14|pixels|ablation|compaction|parallel|all] \
+                    "usage: repro [--exp table2|fig8|fig10|fig11|fig12|fig13|fig14|pixels|ablation|compaction|parallel|ingest|all] \
                      [--scale F] [--repeats N] [--out FILE.json] [--dataset NAME]..."
                 );
                 std::process::exit(0);
@@ -112,7 +132,16 @@ fn main() {
         println!("\n== fig8 ==");
         fig8::run(&h);
     }
-    for name in ["fig10", "fig11", "fig12", "fig13", "fig14", "ablation", "compaction", "parallel"] {
+    for name in [
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "ablation",
+        "compaction",
+        "parallel",
+    ] {
         if all || args.exp == name {
             run_measured(name, &mut rows, &h);
         }
@@ -122,13 +151,39 @@ fn main() {
         let p = pixels::run(&h);
         pixels::print(&p);
     }
+    let mut ingest_rows: Vec<IngestRow> = Vec::new();
+    if all || args.exp == "ingest" {
+        println!("\n== ingest ==");
+        ingest_rows = ingest::run(&h);
+        ingest::print(&ingest_rows);
+        ingest::summarize(&ingest_rows);
+    }
 
     if let Some(path) = &args.out {
-        let json = serde_json::to_string_pretty(&rows).expect("serialize rows");
+        let meta = BenchMeta::new(&h, &EngineConfig::default());
+        let (json, n) = if args.exp == "ingest" {
+            let report = IngestReport {
+                meta,
+                rows: ingest_rows,
+            };
+            (
+                serde_json::to_string_pretty(&report).expect("serialize ingest report"),
+                report.rows.len(),
+            )
+        } else {
+            if !ingest_rows.is_empty() {
+                println!("\nnote: ingest rows are only serialized by `--exp ingest --out ...`");
+            }
+            let report = BenchReport { meta, rows };
+            (
+                serde_json::to_string_pretty(&report).expect("serialize report"),
+                report.rows.len(),
+            )
+        };
         std::fs::File::create(path)
             .and_then(|mut f| f.write_all(json.as_bytes()))
             .expect("write output file");
-        println!("\nwrote {} rows to {path}", rows.len());
+        println!("\nwrote {n} rows to {path}");
     }
     h.cleanup();
 }
@@ -140,8 +195,11 @@ fn summarize(name: &str, rows: &[ExpRow]) {
         return;
     }
     let avg = |op: &str| {
-        let v: Vec<f64> =
-            rows.iter().filter(|r| r.operator == op).map(|r| r.latency_ms).collect();
+        let v: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.operator == op)
+            .map(|r| r.latency_ms)
+            .collect();
         if v.is_empty() {
             f64::NAN
         } else {
@@ -178,12 +236,19 @@ fn summarize_parallel(rows: &[ExpRow]) {
     let cold1 = mean("par-nocache", "cold", 1.0, &lat);
     let cold4 = mean("par-nocache", "cold", 4.0, &lat);
     if cold1.is_finite() && cold4 > 0.0 {
-        println!("-- parallel: cold 4-thread speedup {:.2}x (1t {cold1:.2} ms / 4t {cold4:.2} ms)", cold1 / cold4);
+        println!(
+            "-- parallel: cold 4-thread speedup {:.2}x (1t {cold1:.2} ms / 4t {cold4:.2} ms)",
+            cold1 / cold4
+        );
     }
     let cold_dec = mean("par-cache", "cold", 4.0, &dec);
     let warm_dec = mean("par-cache", "warm", 4.0, &dec);
     if cold_dec.is_finite() && warm_dec.is_finite() {
-        let ratio = if warm_dec > 0.0 { cold_dec / warm_dec } else { f64::INFINITY };
+        let ratio = if warm_dec > 0.0 {
+            cold_dec / warm_dec
+        } else {
+            f64::INFINITY
+        };
         println!(
             "-- parallel: warm-cache decode reduction {ratio:.1}x ({cold_dec:.0} -> {warm_dec:.0} points)"
         );

@@ -1,0 +1,342 @@
+//! Write-path scale-out: multi-writer batched ingest throughput with
+//! concurrent M4 queries.
+//!
+//! Not a paper artifact — this measures the sharded write path layered
+//! on the reproduction: lock-striped series shards (`write_shards`
+//! axis), the `write_batch` group-commit API (`batch_points` axis) and
+//! writer-thread fan-out (`writers` axis). Each grid cell builds a
+//! fresh store with the background compaction scheduler *on*, splits
+//! one dataset into [`SERIES`] disjoint streams, and races the writers
+//! over a shared job queue while a query thread hammers a pre-loaded
+//! probe series with M4 queries and checks every result against a
+//! baseline taken before ingest started — background compaction must
+//! never change what a query sees. After the writers drain, every
+//! stream is merged back out of the store and counted: a cell is only
+//! valid when `points_written == points_read_back`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use serde::Serialize;
+
+use m4::{M4Query, M4Udf};
+use tskv::config::EngineConfig;
+use tskv::readers::MergeReader;
+use tskv::{TsKv, WriteBatch};
+use workload::Dataset;
+
+use crate::harness::{BenchMeta, Harness};
+
+/// Disjoint series streams one dataset is striped across.
+pub const SERIES: usize = 8;
+/// Writer-thread counts to race.
+pub const WRITER_GRID: [usize; 2] = [1, 4];
+/// Lock-stripe counts to sweep (`EngineConfig::write_shards`).
+pub const SHARD_GRID: [usize; 2] = [1, 8];
+/// Points per series per `write_batch` call.
+pub const BATCH_GRID: [usize; 2] = [1, 256];
+/// Pixel width of the concurrent probe queries.
+pub const W: usize = 480;
+
+/// One ingest grid cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct IngestRow {
+    pub dataset: String,
+    pub writers: usize,
+    pub shards: usize,
+    pub batch_points: usize,
+    pub points_written: u64,
+    pub points_read_back: u64,
+    pub elapsed_ms: f64,
+    pub points_per_sec: f64,
+    pub wal_batches: u64,
+    pub wal_syncs: u64,
+    pub compactions_completed: u64,
+    /// Concurrent M4 probe queries completed while writers ran.
+    pub queries_run: u64,
+    /// Mean latency of those probe queries (ms).
+    pub query_latency_ms: f64,
+}
+
+/// The document `repro --exp ingest --out` writes.
+#[derive(Debug, Serialize)]
+pub struct IngestReport {
+    pub meta: BenchMeta,
+    pub rows: Vec<IngestRow>,
+}
+
+pub fn run(h: &Harness) -> Vec<IngestRow> {
+    let mut rows = Vec::new();
+    for dataset in h.datasets.iter().copied() {
+        let points = dataset.generate(h.scale);
+        // Stripe the dataset into SERIES disjoint streams so every
+        // stream spans the full time range with unique timestamps.
+        let mut streams: Vec<Vec<tsfile::Point>> = vec![Vec::new(); SERIES];
+        for (i, p) in points.iter().enumerate() {
+            streams[i % SERIES].push(*p);
+        }
+        for &shards in &SHARD_GRID {
+            for &batch_points in &BATCH_GRID {
+                for &writers in &WRITER_GRID {
+                    rows.push(run_cell(
+                        h,
+                        dataset,
+                        &points,
+                        &streams,
+                        shards,
+                        batch_points,
+                        writers,
+                    ));
+                }
+            }
+        }
+    }
+    rows
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    h: &Harness,
+    dataset: Dataset,
+    probe_points: &[tsfile::Point],
+    streams: &[Vec<tsfile::Point>],
+    shards: usize,
+    batch_points: usize,
+    writers: usize,
+) -> IngestRow {
+    let dir = h.root.join(format!(
+        "ingest-{}-s{shards}-b{batch_points}-w{writers}",
+        dataset.name()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create ingest dir");
+    let config = EngineConfig {
+        enable_read_cache: false,
+        read_threads: 1,
+        write_shards: shards,
+        compaction_auto: true,
+        ..Default::default()
+    };
+    let kv = TsKv::open(&dir, config).expect("open ingest store");
+
+    // Probe series: loaded and flushed before timing starts, queried
+    // concurrently during ingest. The baseline is taken up front; the
+    // background scheduler may compact the probe at any time, and every
+    // concurrent result must still be equivalent to it.
+    kv.insert_batch("probe", probe_points).expect("load probe");
+    kv.flush("probe").expect("flush probe");
+    let t_min = probe_points.first().expect("non-empty dataset").t;
+    let t_max = probe_points.last().expect("non-empty dataset").t;
+    let query = M4Query::new(t_min, t_max + 1, W).expect("valid query");
+    let baseline = {
+        let snap = kv.snapshot("probe").expect("probe snapshot");
+        M4Udf::new().execute(&snap, &query).expect("baseline query")
+    };
+
+    // Job queue: one (series, point-range) batch per entry, interleaved
+    // round-robin across series so concurrent writers land on
+    // different shards.
+    let names: Vec<String> = (0..streams.len()).map(|i| format!("w{i}")).collect();
+    let mut jobs: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+    let mut offset = 0usize;
+    loop {
+        let mut pushed = false;
+        for (si, stream) in streams.iter().enumerate() {
+            if offset < stream.len() {
+                let end = (offset + batch_points.max(1)).min(stream.len());
+                jobs.push((si, offset..end));
+                pushed = true;
+            }
+        }
+        if !pushed {
+            break;
+        }
+        offset += batch_points.max(1);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let written = AtomicU64::new(0);
+    let queries = AtomicU64::new(0);
+    let query_ms = AtomicU64::new(0); // total, in microseconds
+
+    let before = kv.io().snapshot();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        scope.spawn(|| loop {
+            let q_start = Instant::now();
+            let snap = kv.snapshot("probe").expect("concurrent snapshot");
+            let r = M4Udf::new()
+                .execute(&snap, &query)
+                .expect("concurrent query");
+            assert!(
+                r.equivalent(&baseline),
+                "concurrent M4 result diverged during ingest ({})",
+                dataset.name()
+            );
+            queries.fetch_add(1, Ordering::Relaxed);
+            query_ms.fetch_add(q_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+        });
+        let mut handles = Vec::new();
+        for _ in 0..writers.max(1) {
+            handles.push(scope.spawn(|| {
+                let mut my_points = 0u64;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some((si, range)) = jobs.get(i).cloned() else {
+                        break;
+                    };
+                    let mut wb = WriteBatch::new();
+                    wb.insert_many(&names[si], &streams[si][range]);
+                    my_points += kv.write_batch(&wb).expect("write batch") as u64;
+                }
+                my_points
+            }));
+        }
+        for handle in handles {
+            written.fetch_add(handle.join().expect("writer thread"), Ordering::Relaxed);
+        }
+        stop.store(true, Ordering::Release);
+    });
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    let io = kv.io().snapshot() - before;
+
+    // Read-back verification: merge every stream out of the store and
+    // count. Timestamps are unique per series, so the merged count must
+    // equal the written count exactly — through flushes, group commits
+    // and however many background compactions ran.
+    let mut read_back = 0u64;
+    for name in &names {
+        let snap = kv.snapshot(name).expect("read-back snapshot");
+        read_back += MergeReader::new(&snap)
+            .collect_merged()
+            .expect("read back")
+            .len() as u64;
+    }
+
+    drop(kv); // joins the compaction scheduler
+    std::fs::remove_dir_all(&dir).ok();
+
+    let points_written = written.load(Ordering::Relaxed);
+    let queries_run = queries.load(Ordering::Relaxed);
+    IngestRow {
+        dataset: dataset.name().to_string(),
+        writers,
+        shards,
+        batch_points,
+        points_written,
+        points_read_back: read_back,
+        elapsed_ms,
+        points_per_sec: if elapsed_ms > 0.0 {
+            points_written as f64 / (elapsed_ms / 1e3)
+        } else {
+            f64::INFINITY
+        },
+        wal_batches: io.wal_batches,
+        wal_syncs: io.wal_syncs,
+        compactions_completed: io.compactions_completed,
+        queries_run,
+        query_latency_ms: if queries_run > 0 {
+            query_ms.load(Ordering::Relaxed) as f64 / 1e3 / queries_run as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Pretty-print ingest rows as an aligned table.
+pub fn print(rows: &[IngestRow]) {
+    if rows.is_empty() {
+        return;
+    }
+    println!(
+        "{:<10} {:>7} {:>6} {:>6} {:>12} {:>12} {:>10} {:>12} {:>8} {:>8}",
+        "dataset",
+        "writers",
+        "shards",
+        "batch",
+        "points",
+        "pts/sec",
+        "elapsed",
+        "wal_batches",
+        "queries",
+        "q_ms"
+    );
+    for r in rows {
+        println!(
+            "{:<10} {:>7} {:>6} {:>6} {:>12} {:>12.0} {:>9.1}ms {:>12} {:>8} {:>8.2}",
+            r.dataset,
+            r.writers,
+            r.shards,
+            r.batch_points,
+            r.points_written,
+            r.points_per_sec,
+            r.elapsed_ms,
+            r.wal_batches,
+            r.queries_run,
+            r.query_latency_ms
+        );
+    }
+}
+
+/// Headline ratios: batching win and multi-writer scaling at the
+/// largest shard count.
+pub fn summarize(rows: &[IngestRow]) {
+    let max_shards = SHARD_GRID.iter().copied().max().unwrap_or(1);
+    let max_batch = BATCH_GRID.iter().copied().max().unwrap_or(1);
+    let max_writers = WRITER_GRID.iter().copied().max().unwrap_or(1);
+    let mean = |w: usize, s: usize, b: usize| {
+        let v: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.writers == w && r.shards == s && r.batch_points == b)
+            .map(|r| r.points_per_sec)
+            .collect();
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let single = mean(1, max_shards, max_batch);
+    let multi = mean(max_writers, max_shards, max_batch);
+    if single.is_finite() && single > 0.0 && multi.is_finite() {
+        println!(
+            "-- ingest: {max_writers} writers vs 1 at shards={max_shards} batch={max_batch}: \
+             {multi:.0} vs {single:.0} pts/sec ({:.2}x)",
+            multi / single
+        );
+    }
+    let unbatched = mean(1, max_shards, 1);
+    if unbatched.is_finite() && unbatched > 0.0 && single.is_finite() {
+        println!(
+            "-- ingest: batch={max_batch} vs batch=1 single-writer: {:.1}x",
+            single / unbatched
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_reads_back_exactly_what_it_wrote() {
+        let h = Harness::new(0.002, 1).with_datasets(vec![Dataset::BallSpeed]);
+        let rows = run(&h);
+        h.cleanup();
+        assert_eq!(
+            rows.len(),
+            WRITER_GRID.len() * SHARD_GRID.len() * BATCH_GRID.len()
+        );
+        for r in &rows {
+            assert!(r.points_written > 0, "{r:?}");
+            assert_eq!(r.points_written, r.points_read_back, "{r:?}");
+            // The query thread always completes at least one probe
+            // query before it observes the stop flag.
+            assert!(r.queries_run >= 1, "{r:?}");
+        }
+    }
+}

@@ -10,6 +10,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig8;
+pub mod ingest;
 pub mod parallel;
 pub mod pixels;
 pub mod table2;

@@ -34,6 +34,49 @@ pub struct ExpRow {
     pub timestamps_decoded: u64,
 }
 
+/// Run provenance recorded at the top of every `--out` JSON file, so
+/// BENCH artifacts are self-describing: the write-path and scheduler
+/// knobs in effect (experiments that sweep a knob say so in their own
+/// rows; the header records the baseline configuration).
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchMeta {
+    pub scale: f64,
+    pub repeats: usize,
+    pub write_shards: usize,
+    pub wal_batch_bytes: usize,
+    pub fsync_policy: String,
+    pub compaction_auto: bool,
+    pub compaction_threshold: usize,
+    pub compaction_interval_ms: u64,
+    pub read_threads: usize,
+    pub cache_capacity_bytes: u64,
+}
+
+impl BenchMeta {
+    /// Capture the harness run parameters plus one engine config.
+    pub fn new(h: &Harness, config: &EngineConfig) -> Self {
+        BenchMeta {
+            scale: h.scale,
+            repeats: h.repeats,
+            write_shards: config.write_shards,
+            wal_batch_bytes: config.wal_batch_bytes,
+            fsync_policy: config.fsync_policy.as_str().to_string(),
+            compaction_auto: config.compaction_auto,
+            compaction_threshold: config.compaction_threshold,
+            compaction_interval_ms: config.compaction_interval_ms,
+            read_threads: config.read_threads,
+            cache_capacity_bytes: config.cache_capacity_bytes,
+        }
+    }
+}
+
+/// The document `repro --out` writes: `{"meta": ..., "rows": [...]}`.
+#[derive(Debug, Serialize)]
+pub struct BenchReport {
+    pub meta: BenchMeta,
+    pub rows: Vec<ExpRow>,
+}
+
 /// Experiment context: scratch directory, scale, repetitions.
 #[derive(Debug, Clone)]
 pub struct Harness {
@@ -48,7 +91,12 @@ impl Harness {
     /// Create a harness writing stores under `root` (created on use).
     pub fn new(scale: f64, repeats: usize) -> Self {
         let root = std::env::temp_dir().join(format!("m4-bench-{}", std::process::id()));
-        Harness { scale, repeats, root, datasets: Dataset::ALL.to_vec() }
+        Harness {
+            scale,
+            repeats,
+            root,
+            datasets: Dataset::ALL.to_vec(),
+        }
     }
 
     /// Restrict to a subset of datasets.
@@ -78,8 +126,11 @@ impl Harness {
         n_deletes: usize,
         delete_range_ms: i64,
     ) -> StoreFixture {
-        let config =
-            EngineConfig { enable_read_cache: false, read_threads: 1, ..Default::default() };
+        let config = EngineConfig {
+            enable_read_cache: false,
+            read_threads: 1,
+            ..Default::default()
+        };
         self.build_store_with(tag, dataset, overlap, n_deletes, delete_range_ms, config)
     }
 
@@ -111,7 +162,13 @@ impl Harness {
             apply_random_deletes(&kv, "s", n_deletes, delete_range_ms, t_min, t_max, &mut rng)
                 .expect("deletes");
         }
-        StoreFixture { kv, dir, t_min, t_max, n_points: points.len() }
+        StoreFixture {
+            kv,
+            dir,
+            t_min,
+            t_max,
+            n_points: points.len(),
+        }
     }
 
     /// Time one operator over `repeats` runs; returns the median

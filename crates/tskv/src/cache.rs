@@ -15,18 +15,32 @@
 //! the cached bytes are valid for as long as the key can be formed at
 //! all.
 //!
+//! ## Sharding
+//!
+//! The map is lock-striped by key hash: one mutex (and one LRU list)
+//! per shard, with the byte capacity split evenly across shards, so
+//! concurrent readers hashing to different stripes never contend. The
+//! stripe count scales with capacity (roughly one per MiB, capped at
+//! 16); caches of ≤ 1 MiB stay single-shard, which keeps the LRU
+//! globally exact for small configurations. With more shards the LRU
+//! is exact *per shard* — a hot key can only evict entries in its own
+//! stripe, which bounds the approximation error to one stripe's
+//! capacity. Hit/miss/eviction/invalidation counters still aggregate
+//! in the engine-wide [`IoStats`].
+//!
 //! ## Lock discipline (xtask L2)
 //!
-//! The cache is shared by every concurrent query, so its internal mutex
-//! is a contention point. All methods hold the guard only for map
-//! bookkeeping — never across file I/O or chunk decode. Callers follow
-//! the same rule: [`DecodedChunkCache::get`] clones the `Arc` out under
-//! the guard and returns; on a miss the caller decodes *outside* any
-//! guard and then calls [`DecodedChunkCache::insert`]. Two racing
-//! misses on the same key both decode and one insert wins — wasted work
-//! under contention, never wrong data.
+//! The cache is shared by every concurrent query, so its internal
+//! mutexes are contention points. All methods hold a guard only for
+//! map bookkeeping — never across file I/O or chunk decode. Callers
+//! follow the same rule: [`DecodedChunkCache::get`] clones the `Arc`
+//! out under the guard and returns; on a miss the caller decodes
+//! *outside* any guard and then calls [`DecodedChunkCache::insert`].
+//! Two racing misses on the same key both decode and one insert wins —
+//! wasted work under contention, never wrong data.
 
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -88,7 +102,9 @@ impl Inner {
     fn evict_to(&mut self, capacity: u64) -> u64 {
         let mut evicted = 0;
         while self.bytes > capacity {
-            let Some((_, key)) = self.by_tick.pop_first() else { break };
+            let Some((_, key)) = self.by_tick.pop_first() else {
+                break;
+            };
             if let Some(e) = self.map.remove(&key) {
                 self.bytes -= e.bytes;
                 evicted += 1;
@@ -98,14 +114,17 @@ impl Inner {
     }
 }
 
-/// Capacity-bounded, cross-query LRU of decoded chunk bodies.
+/// Capacity-bounded, cross-query LRU of decoded chunk bodies,
+/// lock-striped by key hash.
 ///
 /// Shared by all of an engine's snapshots (and, transitively, every
 /// query operator). Hit/miss/eviction/invalidation counts surface
 /// through the engine's [`IoStats`].
 #[derive(Debug)]
 pub struct DecodedChunkCache {
-    inner: Mutex<Inner>,
+    shards: Vec<Mutex<Inner>>,
+    /// Byte budget of one stripe (`capacity_bytes / shards.len()`).
+    shard_capacity: u64,
     capacity_bytes: u64,
     io: Arc<IoStats>,
 }
@@ -117,18 +136,41 @@ fn entry_bytes(points: &[Point]) -> u64 {
     (points.len() as u64) * (std::mem::size_of::<Point>() as u64) + ENTRY_OVERHEAD
 }
 
+/// Stripe count for a given capacity: one shard per MiB, clamped to
+/// [1, 16]. Small caches stay single-shard so their LRU is globally
+/// exact (several tests and tiny configs depend on that).
+fn shard_count(capacity_bytes: u64) -> usize {
+    ((capacity_bytes >> 20) as usize).clamp(1, 16)
+}
+
 impl DecodedChunkCache {
     /// Create a cache bounded to roughly `capacity_bytes` of decoded
     /// points. Counters are recorded into `io`.
     pub fn new(capacity_bytes: u64, io: Arc<IoStats>) -> Self {
-        DecodedChunkCache { inner: Mutex::new(Inner::default()), capacity_bytes, io }
+        let n = shard_count(capacity_bytes);
+        let shards = (0..n).map(|_| Mutex::new(Inner::default())).collect();
+        let shard_capacity = capacity_bytes / n as u64;
+        DecodedChunkCache {
+            shards,
+            shard_capacity,
+            capacity_bytes,
+            io,
+        }
+    }
+
+    /// The stripe owning `key`. `shards` is never empty, so the modulo
+    /// index is always in bounds.
+    fn shard(&self, key: &CacheKey) -> &Mutex<Inner> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
     /// Look up a decoded chunk. A hit bumps the entry's recency and
     /// clones the `Arc` out — the guard is released before the caller
     /// touches the points.
     pub fn get(&self, key: CacheKey) -> Option<Arc<Vec<Point>>> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shard(&key).lock();
         if inner.map.contains_key(&key) {
             inner.touch(key);
             let points = inner.map.get(&key).map(|e| Arc::clone(&e.points));
@@ -143,22 +185,30 @@ impl DecodedChunkCache {
     }
 
     /// Install a decoded chunk (decoded by the caller, outside any
-    /// guard). A chunk larger than the whole capacity is not cached.
-    /// Racing inserts for the same key keep the newest `Arc`.
+    /// guard). A chunk larger than its stripe's share of the capacity
+    /// is not cached. Racing inserts for the same key keep the newest
+    /// `Arc`.
     pub fn insert(&self, key: CacheKey, points: Arc<Vec<Point>>) {
         let bytes = entry_bytes(&points);
-        if bytes > self.capacity_bytes {
+        if bytes > self.shard_capacity {
             return;
         }
         let evicted = {
-            let mut inner = self.inner.lock();
+            let mut inner = self.shard(&key).lock();
             inner.remove(&key);
             let tick = inner.next_tick;
             inner.next_tick += 1;
             inner.bytes += bytes;
-            inner.map.insert(key, Entry { points, bytes, tick });
+            inner.map.insert(
+                key,
+                Entry {
+                    points,
+                    bytes,
+                    tick,
+                },
+            );
             inner.by_tick.insert(tick, key);
-            inner.evict_to(self.capacity_bytes)
+            inner.evict_to(self.shard_capacity)
         };
         if evicted > 0 {
             self.io.record_cache_evictions(evicted);
@@ -166,17 +216,23 @@ impl DecodedChunkCache {
     }
 
     /// Drop every entry belonging to `file_id` (the file was retired by
-    /// compaction). Returns how many entries were dropped.
+    /// compaction), across all stripes. Returns how many entries were
+    /// dropped.
     pub fn invalidate_file(&self, file_id: u64) -> u64 {
-        let dropped = {
-            let mut inner = self.inner.lock();
-            let doomed: Vec<CacheKey> =
-                inner.map.keys().filter(|k| k.file_id == file_id).copied().collect();
+        let mut dropped = 0u64;
+        for shard in &self.shards {
+            let mut inner = shard.lock();
+            let doomed: Vec<CacheKey> = inner
+                .map
+                .keys()
+                .filter(|k| k.file_id == file_id)
+                .copied()
+                .collect();
             for key in &doomed {
                 inner.remove(key);
             }
-            doomed.len() as u64
-        };
+            dropped += doomed.len() as u64;
+        }
         if dropped > 0 {
             self.io.record_cache_invalidations(dropped);
         }
@@ -185,16 +241,18 @@ impl DecodedChunkCache {
 
     /// Distinct file ids currently holding entries (test/diagnostic).
     pub fn file_ids(&self) -> Vec<u64> {
-        let inner = self.inner.lock();
-        let mut ids: Vec<u64> = inner.map.keys().map(|k| k.file_id).collect();
+        let mut ids: Vec<u64> = Vec::new();
+        for shard in &self.shards {
+            ids.extend(shard.lock().map.keys().map(|k| k.file_id));
+        }
         ids.sort_unstable();
         ids.dedup();
         ids
     }
 
-    /// Number of cached chunks.
+    /// Number of cached chunks across all stripes.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// Whether the cache is empty.
@@ -202,14 +260,19 @@ impl DecodedChunkCache {
         self.len() == 0
     }
 
-    /// Current decoded bytes held (approximate).
+    /// Current decoded bytes held (approximate, across all stripes).
     pub fn bytes(&self) -> u64 {
-        self.inner.lock().bytes
+        self.shards.iter().map(|s| s.lock().bytes).sum()
     }
 
     /// Configured capacity in bytes.
     pub fn capacity_bytes(&self) -> u64 {
         self.capacity_bytes
+    }
+
+    /// Number of lock stripes (test/diagnostic).
+    pub fn shard_len(&self) -> usize {
+        self.shards.len()
     }
 }
 
@@ -221,7 +284,11 @@ mod tests {
     use super::*;
 
     fn key(file: u64, off: u64) -> CacheKey {
-        CacheKey { file_id: file, offset: off, version: off }
+        CacheKey {
+            file_id: file,
+            offset: off,
+            version: off,
+        }
     }
 
     fn pts(n: usize) -> Arc<Vec<Point>> {
@@ -288,8 +355,41 @@ mod tests {
         c.insert(key(1, 0), pts(10));
         let b1 = c.bytes();
         c.insert(key(1, 0), pts(10));
-        assert_eq!(c.bytes(), b1, "replacing an entry must not double-count bytes");
+        assert_eq!(
+            c.bytes(),
+            b1,
+            "replacing an entry must not double-count bytes"
+        );
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn shard_count_scales_with_capacity() {
+        let (tiny, _) = cache(64 * 1024);
+        assert_eq!(tiny.shard_len(), 1, "sub-MiB caches stay single-shard");
+        let (mid, _) = cache(8 << 20);
+        assert_eq!(mid.shard_len(), 8);
+        let (big, _) = cache(1 << 30);
+        assert_eq!(big.shard_len(), 16, "stripe count is capped");
+    }
+
+    #[test]
+    fn sharded_cache_roundtrips_and_invalidates_across_stripes() {
+        let (c, io) = cache(8 << 20);
+        assert!(c.shard_len() > 1);
+        // Keys spread over stripes; every one must round-trip.
+        for off in 0..200u64 {
+            c.insert(key(off % 3, off), pts(64));
+        }
+        for off in 0..200u64 {
+            assert!(c.get(key(off % 3, off)).is_some(), "off={off}");
+        }
+        assert!(c.bytes() <= c.capacity_bytes());
+        // Invalidation must reach every stripe.
+        let dropped = c.invalidate_file(0);
+        assert_eq!(dropped, 67); // off % 3 == 0 for 0..200
+        assert!(c.file_ids() == vec![1, 2]);
+        assert_eq!(io.snapshot().cache_invalidations, 67);
     }
 
     #[test]

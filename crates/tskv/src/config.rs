@@ -3,6 +3,42 @@
 
 use tsfile::encoding::EncodingKind;
 
+/// When the write-ahead log forces its group-committed bytes to
+/// stable storage.
+///
+/// Group commit batches every WAL frame of one `write_batch` /
+/// `insert_batch` call into a single buffered append (see
+/// [`crate::wal`]); the policy decides whether that append is also
+/// fsynced before the call returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// fsync once per committed batch: an acknowledged write survives
+    /// power loss, at one `fdatasync` per batch (not per point).
+    Always,
+    /// fsync only at flush rotation and on deletes. An acknowledged
+    /// insert survives a process crash (the bytes are in the OS page
+    /// cache) but the tail since the last flush may be lost on power
+    /// failure. This matches the engine's historical behavior and is
+    /// the default.
+    #[default]
+    OnFlush,
+    /// Never fsync the WAL explicitly; durability rides entirely on
+    /// the OS writeback and the sealed-TsFile fsyncs. For benchmarks
+    /// and bulk loads.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Stable lowercase name (used in benchmark metadata headers).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::OnFlush => "on_flush",
+            FsyncPolicy::Never => "never",
+        }
+    }
+}
+
 /// Tunables of the storage engine.
 ///
 /// Correspondence with the paper's Table 4:
@@ -47,6 +83,29 @@ pub struct EngineConfig {
     /// reproduces the seed's always-decode behavior (the benchmark's
     /// cache-off arm).
     pub enable_read_cache: bool,
+    /// Number of lock-striped shards the series map is split across.
+    /// Writers to series in different shards never contend; `1`
+    /// reproduces the old single-lock engine. Must be in `1..=256`.
+    pub write_shards: usize,
+    /// Byte threshold at which a group-committed WAL batch is written
+    /// through to the file mid-batch; every batch is written out (and
+    /// fsynced per [`fsync_policy`]) when its call commits regardless.
+    /// Must be in `1..=1 GiB`.
+    ///
+    /// [`fsync_policy`]: EngineConfig::fsync_policy
+    pub wal_batch_bytes: usize,
+    /// When group-committed WAL bytes are forced to stable storage.
+    pub fsync_policy: FsyncPolicy,
+    /// Run the background compaction scheduler. Off by default:
+    /// compaction stays manual (`kv.compact`), which is the paper's
+    /// NO_COMPACTION setup and the test default.
+    pub compaction_auto: bool,
+    /// Sealed-file count per series at which the scheduler queues a
+    /// compaction. Must be at least 2 (compacting a single file is a
+    /// rewrite for nothing).
+    pub compaction_threshold: usize,
+    /// Scheduler poll period in milliseconds. Must be in `1..=60_000`.
+    pub compaction_interval_ms: u64,
 }
 
 impl Default for EngineConfig {
@@ -61,6 +120,12 @@ impl Default for EngineConfig {
             cache_capacity_bytes: 64 * 1024 * 1024,
             read_threads: 4,
             enable_read_cache: true,
+            write_shards: 8,
+            wal_batch_bytes: 64 * 1024,
+            fsync_policy: FsyncPolicy::OnFlush,
+            compaction_auto: false,
+            compaction_threshold: 8,
+            compaction_interval_ms: 20,
         }
     }
 }
@@ -70,6 +135,16 @@ pub const MAX_READ_THREADS: usize = 256;
 
 /// Upper bound on [`EngineConfig::cache_capacity_bytes`] (1 TiB).
 pub const MAX_CACHE_CAPACITY_BYTES: u64 = 1 << 40;
+
+/// Upper bound on [`EngineConfig::write_shards`].
+pub const MAX_WRITE_SHARDS: usize = 256;
+
+/// Upper bound on [`EngineConfig::wal_batch_bytes`] (1 GiB).
+pub const MAX_WAL_BATCH_BYTES: usize = 1 << 30;
+
+/// Upper bound on [`EngineConfig::compaction_interval_ms`] (1 minute —
+/// a slower scheduler is indistinguishable from a disabled one).
+pub const MAX_COMPACTION_INTERVAL_MS: u64 = 60_000;
 
 impl EngineConfig {
     /// Validate and clamp nonsensical settings (zero sizes become 1).
@@ -118,6 +193,55 @@ impl EngineConfig {
                 reason: "exceeds the 1 TiB ceiling",
             });
         }
+        if self.write_shards == 0 {
+            return Err(crate::TsKvError::InvalidConfig {
+                field: "write_shards",
+                value: 0,
+                reason: "must be at least 1",
+            });
+        }
+        if self.write_shards > MAX_WRITE_SHARDS {
+            return Err(crate::TsKvError::InvalidConfig {
+                field: "write_shards",
+                value: self.write_shards as u64,
+                reason: "exceeds the 256-shard ceiling",
+            });
+        }
+        if self.wal_batch_bytes == 0 {
+            return Err(crate::TsKvError::InvalidConfig {
+                field: "wal_batch_bytes",
+                value: 0,
+                reason: "must be nonzero (disable the WAL via enable_wal instead)",
+            });
+        }
+        if self.wal_batch_bytes > MAX_WAL_BATCH_BYTES {
+            return Err(crate::TsKvError::InvalidConfig {
+                field: "wal_batch_bytes",
+                value: self.wal_batch_bytes as u64,
+                reason: "exceeds the 1 GiB ceiling",
+            });
+        }
+        if self.compaction_threshold < 2 {
+            return Err(crate::TsKvError::InvalidConfig {
+                field: "compaction_threshold",
+                value: self.compaction_threshold as u64,
+                reason: "must be at least 2 sealed files",
+            });
+        }
+        if self.compaction_interval_ms == 0 {
+            return Err(crate::TsKvError::InvalidConfig {
+                field: "compaction_interval_ms",
+                value: 0,
+                reason: "must be at least 1 ms",
+            });
+        }
+        if self.compaction_interval_ms > MAX_COMPACTION_INTERVAL_MS {
+            return Err(crate::TsKvError::InvalidConfig {
+                field: "compaction_interval_ms",
+                value: self.compaction_interval_ms,
+                reason: "exceeds the 60 s ceiling",
+            });
+        }
         Ok(())
     }
 }
@@ -137,8 +261,12 @@ mod tests {
 
     #[test]
     fn normalized_clamps_zeros() {
-        let c = EngineConfig { points_per_chunk: 0, memtable_threshold: 0, ..Default::default() }
-            .normalized();
+        let c = EngineConfig {
+            points_per_chunk: 0,
+            memtable_threshold: 0,
+            ..Default::default()
+        }
+        .normalized();
         assert_eq!(c.points_per_chunk, 1);
         assert_eq!(c.memtable_threshold, 1);
     }
@@ -149,16 +277,98 @@ mod tests {
     }
 
     #[test]
+    fn fsync_policy_names_are_stable() {
+        assert_eq!(FsyncPolicy::Always.as_str(), "always");
+        assert_eq!(FsyncPolicy::OnFlush.as_str(), "on_flush");
+        assert_eq!(FsyncPolicy::Never.as_str(), "never");
+        assert_eq!(FsyncPolicy::default(), FsyncPolicy::OnFlush);
+    }
+
+    #[test]
+    fn validate_rejects_bad_write_path_knobs() {
+        use crate::TsKvError;
+        let cases: [(EngineConfig, &str); 7] = [
+            (
+                EngineConfig {
+                    write_shards: 0,
+                    ..Default::default()
+                },
+                "write_shards",
+            ),
+            (
+                EngineConfig {
+                    write_shards: MAX_WRITE_SHARDS + 1,
+                    ..Default::default()
+                },
+                "write_shards",
+            ),
+            (
+                EngineConfig {
+                    wal_batch_bytes: 0,
+                    ..Default::default()
+                },
+                "wal_batch_bytes",
+            ),
+            (
+                EngineConfig {
+                    wal_batch_bytes: MAX_WAL_BATCH_BYTES + 1,
+                    ..Default::default()
+                },
+                "wal_batch_bytes",
+            ),
+            (
+                EngineConfig {
+                    compaction_threshold: 1,
+                    ..Default::default()
+                },
+                "compaction_threshold",
+            ),
+            (
+                EngineConfig {
+                    compaction_interval_ms: 0,
+                    ..Default::default()
+                },
+                "compaction_interval_ms",
+            ),
+            (
+                EngineConfig {
+                    compaction_interval_ms: MAX_COMPACTION_INTERVAL_MS + 1,
+                    ..Default::default()
+                },
+                "compaction_interval_ms",
+            ),
+        ];
+        for (config, want_field) in cases {
+            match config.validate() {
+                Err(TsKvError::InvalidConfig { field, .. }) => assert_eq!(field, want_field),
+                other => panic!("expected InvalidConfig for {want_field}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn validate_rejects_zero_and_absurd_knobs() {
         use crate::TsKvError;
         let cases: [(EngineConfig, &str); 4] = [
-            (EngineConfig { read_threads: 0, ..Default::default() }, "read_threads"),
             (
-                EngineConfig { read_threads: MAX_READ_THREADS + 1, ..Default::default() },
+                EngineConfig {
+                    read_threads: 0,
+                    ..Default::default()
+                },
                 "read_threads",
             ),
             (
-                EngineConfig { cache_capacity_bytes: 0, ..Default::default() },
+                EngineConfig {
+                    read_threads: MAX_READ_THREADS + 1,
+                    ..Default::default()
+                },
+                "read_threads",
+            ),
+            (
+                EngineConfig {
+                    cache_capacity_bytes: 0,
+                    ..Default::default()
+                },
                 "cache_capacity_bytes",
             ),
             (

@@ -3,10 +3,12 @@
 //!
 //! ## Lock discipline
 //!
-//! All series state sits behind one `RwLock`. The xtask L2 lint bans
-//! holding that lock across file I/O or chunk decode, so every heavy
-//! operation is split into short locked phases around an unlocked I/O
-//! phase:
+//! Series state is partitioned into `write_shards` lock-striped shards
+//! keyed by series-name hash; each shard's map sits behind its own
+//! `RwLock`, so writers to series in different shards never contend.
+//! The xtask L2 lint bans holding any of those locks across file I/O
+//! or chunk decode, so every heavy operation is split into short
+//! locked phases around an unlocked I/O phase:
 //!
 //! * **Flush** — phase A (locked): rotate the WAL, drain the memtable,
 //!   reserve chunk versions, and park the drained points in
@@ -19,25 +21,37 @@
 //!   reserved up front so deletes issued during the merge order after
 //!   every compacted chunk, and their mods entries are carried onto
 //!   the new file at install time.
-//! * WAL appends (and the O(1) segment rotation) stay under the lock
-//!   on purpose: serializing durability appends against the buffered
-//!   state they describe is what the lock is *for* (see DESIGN.md).
+//! * WAL appends, the group-commit drain, and the O(1) segment
+//!   rotation stay under the shard lock on purpose: serializing
+//!   durability appends against the buffered state they describe is
+//!   what the lock is *for* (see DESIGN.md).
+//! * **Background compaction** — when `compaction_auto` is on, a
+//!   scheduler thread ([`crate::scheduler`]) scans the shards with
+//!   short read guards for series whose sealed-file count crossed
+//!   `compaction_threshold`, then runs the same phased [`compact`]
+//!   entirely off-lock.
+//!
+//! [`compact`]: TsKv::compact
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use tsfile::types::{Point, TimeRange, Timestamp, Version};
 use tsfile::{ModEntry, ModsFile, TsFileReader, TsFileWriter};
 
+use crate::batch::WriteBatch;
 use crate::cache::DecodedChunkCache;
 use crate::chunk::ChunkHandle;
 use crate::compaction::CompactionReport;
-use crate::config::EngineConfig;
-use crate::readers::MergeReader;
+use crate::config::{EngineConfig, FsyncPolicy};
 use crate::memtable::MemTable;
+use crate::readers::MergeReader;
+use crate::scheduler::CompactionScheduler;
 use crate::snapshot::SeriesSnapshot;
 use crate::stats::IoStats;
 use crate::version::VersionAllocator;
@@ -121,22 +135,46 @@ enum FlushPrep {
     Done,
     /// Seal these points (outside the lock) into the file at `path`,
     /// using the pre-reserved chunk `versions`.
-    Go { points: Arc<Vec<Point>>, versions: Vec<Version>, path: PathBuf },
+    Go {
+        points: Arc<Vec<Point>>,
+        versions: Vec<Version>,
+        path: PathBuf,
+    },
+}
+
+/// One lock stripe of the series map. Writers to series in different
+/// shards never contend; the stripe count is
+/// [`EngineConfig::write_shards`].
+#[derive(Debug)]
+struct Shard {
+    series: RwLock<HashMap<String, SeriesStore>>,
+}
+
+/// Shared engine state. [`TsKv`] and the background compaction
+/// scheduler both hold this behind an `Arc`, so the scheduler thread
+/// can run phased compactions without borrowing the facade.
+#[derive(Debug)]
+pub(crate) struct EngineInner {
+    dir: PathBuf,
+    config: EngineConfig,
+    alloc: VersionAllocator,
+    shards: Vec<Shard>,
+    io: Arc<IoStats>,
+    /// Cross-query decoded-chunk LRU; `None` when disabled by config.
+    cache: Option<Arc<DecodedChunkCache>>,
 }
 
 /// The LSM time series store.
 ///
 /// See the crate docs for the data model. All methods are `&self`;
-/// internal state is behind a [`parking_lot::RwLock`].
+/// internal state is lock-striped behind per-shard
+/// [`parking_lot::RwLock`]s.
 #[derive(Debug)]
 pub struct TsKv {
-    dir: PathBuf,
-    config: EngineConfig,
-    alloc: VersionAllocator,
-    series: RwLock<HashMap<String, SeriesStore>>,
-    io: Arc<IoStats>,
-    /// Cross-query decoded-chunk LRU; `None` when disabled by config.
-    cache: Option<Arc<DecodedChunkCache>>,
+    /// Declared before `inner` so drop order joins the scheduler
+    /// thread while the engine state it references is still alive.
+    scheduler: Option<CompactionScheduler>,
+    inner: Arc<EngineInner>,
 }
 
 fn validate_series_name(name: &str) -> Result<()> {
@@ -152,27 +190,161 @@ fn validate_series_name(name: &str) -> Result<()> {
     }
 }
 
-impl TsKv {
-    /// Open (or create) a store rooted at `dir`, recovering any series
-    /// directories found there: sealed TsFiles, their delete logs, and
-    /// — when WAL is enabled — the unflushed memtable contents replayed
-    /// from each series' write-ahead log (sealed segment first, so an
-    /// interrupted flush loses nothing).
-    ///
-    /// A crash mid-flush or mid-compaction can leave one torn TsFile,
-    /// always at the highest file id; it is quarantined (renamed to
-    /// `*.corrupt`) rather than failing recovery, since its points are
-    /// still covered by the WAL's sealed segment (flush) or by the
-    /// older generation (compaction). An unreadable file at any other
-    /// id is genuine corruption and surfaces as an error.
-    pub fn open<P: AsRef<Path>>(dir: P, config: EngineConfig) -> Result<Self> {
-        let dir = dir.as_ref().to_path_buf();
+/// Recover one series directory: sealed TsFiles, their delete logs,
+/// and the unflushed memtable contents replayed from the series' WAL
+/// (sealed segment first, so an interrupted flush loses nothing).
+/// Runs with no engine lock held — recovery parallelizes these calls
+/// across series.
+fn recover_series_dir(
+    sdir: &Path,
+    config: &EngineConfig,
+    alloc: &VersionAllocator,
+) -> Result<SeriesStore> {
+    let mut paths: Vec<(u64, PathBuf)> = Vec::new();
+    for f in std::fs::read_dir(sdir)? {
+        let f = f?;
+        let path = f.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("tsfile") {
+            continue;
+        }
+        let id: u64 = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        paths.push((id, path));
+    }
+    paths.sort_by_key(|(id, _)| *id);
+    let next_file_id = paths.last().map(|(id, _)| id + 1).unwrap_or(0);
+    let newest = paths.len().saturating_sub(1);
+    let mut files: Vec<TsFileResource> = Vec::new();
+    for (i, (_, path)) in paths.iter().enumerate() {
+        let reader = match TsFileReader::open(path) {
+            Ok(r) => Arc::new(r),
+            Err(_) if i == newest => {
+                let mut quarantined = path.clone().into_os_string();
+                quarantined.push(".corrupt");
+                std::fs::rename(path, &quarantined)?;
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let mods = ModsFile::open(path.with_extension("mods"))?;
+        for m in reader.chunk_metas() {
+            alloc.observe(m.version);
+        }
+        for e in mods.entries() {
+            alloc.observe(e.version);
+        }
+        files.push(TsFileResource { reader, mods });
+    }
+    // Replay the WAL (if any) into a fresh memtable, restoring
+    // unflushed state in operation order. Versioned deletes are
+    // re-attached to any overlapping sealed file whose mods log
+    // missed them (crash between the WAL and mods appends).
+    let mut memtable = MemTable::new();
+    let wal_path = SeriesStore::wal_path(sdir);
+    for record in Wal::replay(&wal_path)? {
+        match record {
+            WalRecord::Insert(points) => {
+                for p in points {
+                    memtable.insert(p);
+                }
+            }
+            WalRecord::Delete { version, range } => {
+                memtable.delete_range(range);
+                alloc.observe(version);
+                let entry = ModEntry::new(version, range.start, range.end);
+                for res in &mut files {
+                    let overlaps = res
+                        .time_range()
+                        .map(|r| r.overlaps(&range))
+                        .unwrap_or(false);
+                    let known = res.mods.entries().iter().any(|m| m.version == version);
+                    if overlaps && !known {
+                        res.mods.append(entry)?;
+                    }
+                }
+            }
+        }
+    }
+    let wal = if config.enable_wal {
+        Some(Wal::open_grouped(&wal_path, config.wal_batch_bytes)?)
+    } else {
+        None
+    };
+    Ok(SeriesStore::assemble(
+        sdir.to_path_buf(),
+        memtable,
+        wal,
+        files,
+        next_file_id,
+    ))
+}
+
+/// Recover every series directory, fanning the per-series work across
+/// up to `write_shards` scoped threads (same claim-by-atomic-cursor
+/// shape as `m4::pool`). Results come back in `dirs` order; the first
+/// error (in that order) wins, matching sequential recovery.
+fn recover_all(
+    dirs: &[(String, PathBuf)],
+    config: &EngineConfig,
+    alloc: &VersionAllocator,
+) -> Result<Vec<(String, SeriesStore)>> {
+    let workers = config.write_shards.min(dirs.len());
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(dirs.len());
+        for (name, sdir) in dirs {
+            out.push((name.clone(), recover_series_dir(sdir, config, alloc)?));
+        }
+        return Ok(out);
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<SeriesStore>>>> =
+        dirs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some((_, sdir)) = dirs.get(i) else { break };
+                let res = recover_series_dir(sdir, config, alloc);
+                if let Some(slot) = slots.get(i) {
+                    *slot.lock() = Some(res);
+                }
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(dirs.len());
+    for ((name, sdir), slot) in dirs.iter().zip(slots) {
+        match slot.into_inner() {
+            Some(Ok(store)) => out.push((name.clone(), store)),
+            Some(Err(e)) => return Err(e),
+            // A worker can only leave a slot empty by panicking, which
+            // the workspace forbids; recover the series inline rather
+            // than guessing.
+            None => out.push((name.clone(), recover_series_dir(sdir, config, alloc)?)),
+        }
+    }
+    Ok(out)
+}
+
+/// Stripe index for `name` among `n` shards.
+fn shard_of(name: &str, n: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut h);
+    (h.finish() as usize) % n.max(1)
+}
+
+impl EngineInner {
+    /// Open (or create) the shared engine state rooted at `dir`. See
+    /// [`TsKv::open`] for recovery semantics.
+    fn open(dir: PathBuf, config: EngineConfig) -> Result<Self> {
         std::fs::create_dir_all(&dir)?;
         let config = config.normalized();
         config.validate()?;
         let alloc = VersionAllocator::default();
-        let mut series = HashMap::new();
 
+        let mut dirs: Vec<(String, PathBuf)> = Vec::new();
         for entry in std::fs::read_dir(&dir)? {
             let entry = entry?;
             if !entry.file_type()?.is_dir() {
@@ -182,109 +354,63 @@ impl TsKv {
             if validate_series_name(&name).is_err() {
                 continue; // foreign directory; ignore
             }
-            let sdir = entry.path();
-            let mut paths: Vec<(u64, PathBuf)> = Vec::new();
-            for f in std::fs::read_dir(&sdir)? {
-                let f = f?;
-                let path = f.path();
-                if path.extension().and_then(|e| e.to_str()) != Some("tsfile") {
-                    continue;
-                }
-                let id: u64 = path
-                    .file_stem()
-                    .and_then(|s| s.to_str())
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(0);
-                paths.push((id, path));
+            dirs.push((name, entry.path()));
+        }
+        dirs.sort_by(|a, b| a.0.cmp(&b.0));
+        let recovered = recover_all(&dirs, &config, &alloc)?;
+
+        let shards: Vec<Shard> = (0..config.write_shards)
+            .map(|_| Shard {
+                series: RwLock::new(HashMap::new()),
+            })
+            .collect();
+        for (name, store) in recovered {
+            let idx = shard_of(&name, shards.len());
+            if let Some(shard) = shards.get(idx) {
+                shard.series.write().insert(name, store);
             }
-            paths.sort_by_key(|(id, _)| *id);
-            let next_file_id = paths.last().map(|(id, _)| id + 1).unwrap_or(0);
-            let newest = paths.len().saturating_sub(1);
-            let mut files: Vec<TsFileResource> = Vec::new();
-            for (i, (_, path)) in paths.iter().enumerate() {
-                let reader = match TsFileReader::open(path) {
-                    Ok(r) => Arc::new(r),
-                    Err(_) if i == newest => {
-                        let mut quarantined = path.clone().into_os_string();
-                        quarantined.push(".corrupt");
-                        std::fs::rename(path, &quarantined)?;
-                        continue;
-                    }
-                    Err(e) => return Err(e.into()),
-                };
-                let mods = ModsFile::open(path.with_extension("mods"))?;
-                for m in reader.chunk_metas() {
-                    alloc.observe(m.version);
-                }
-                for e in mods.entries() {
-                    alloc.observe(e.version);
-                }
-                files.push(TsFileResource { reader, mods });
-            }
-            // Replay the WAL (if any) into a fresh memtable, restoring
-            // unflushed state in operation order. Versioned deletes are
-            // re-attached to any overlapping sealed file whose mods log
-            // missed them (crash between the WAL and mods appends).
-            let mut memtable = MemTable::new();
-            let wal_path = SeriesStore::wal_path(&sdir);
-            for record in Wal::replay(&wal_path)? {
-                match record {
-                    WalRecord::Insert(points) => {
-                        for p in points {
-                            memtable.insert(p);
-                        }
-                    }
-                    WalRecord::Delete { version, range } => {
-                        memtable.delete_range(range);
-                        alloc.observe(version);
-                        let entry = ModEntry::new(version, range.start, range.end);
-                        for res in &mut files {
-                            let overlaps =
-                                res.time_range().map(|r| r.overlaps(&range)).unwrap_or(false);
-                            let known =
-                                res.mods.entries().iter().any(|m| m.version == version);
-                            if overlaps && !known {
-                                res.mods.append(entry)?;
-                            }
-                        }
-                    }
-                }
-            }
-            let wal = if config.enable_wal { Some(Wal::open(&wal_path)?) } else { None };
-            series
-                .insert(name, SeriesStore::assemble(sdir, memtable, wal, files, next_file_id));
         }
 
         let io = Arc::new(IoStats::default());
         let cache = if config.enable_read_cache {
-            Some(Arc::new(DecodedChunkCache::new(config.cache_capacity_bytes, Arc::clone(&io))))
+            Some(Arc::new(DecodedChunkCache::new(
+                config.cache_capacity_bytes,
+                Arc::clone(&io),
+            )))
         } else {
             None
         };
-        Ok(TsKv { dir, config, alloc, series: RwLock::new(series), io, cache })
+        Ok(EngineInner {
+            dir,
+            config,
+            alloc,
+            shards,
+            io,
+            cache,
+        })
     }
 
-    /// The engine configuration.
-    pub fn config(&self) -> &EngineConfig {
-        &self.config
-    }
-
-    /// Root directory of the store.
-    pub fn dir(&self) -> &Path {
-        &self.dir
+    /// The shard owning `name`. `write_shards >= 1` is validated at
+    /// open and `shard_of` is modulo the stripe count, so the index is
+    /// always in bounds.
+    fn shard(&self, name: &str) -> &Shard {
+        &self.shards[shard_of(name, self.shards.len())]
     }
 
     /// Names of all known series (sorted).
-    pub fn series_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.series.read().keys().cloned().collect();
+    fn series_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for shard in &self.shards {
+            names.extend(shard.series.read().keys().cloned());
+        }
         names.sort();
         names
     }
 
     /// Create an empty series (inserting auto-creates too).
-    pub fn create_series(&self, name: &str) -> Result<()> {
+    fn create_series(&self, name: &str) -> Result<()> {
         validate_series_name(name)?;
-        let exists = self.series.read().contains_key(name);
+        let exists = self.shard(name).series.read().contains_key(name);
         if exists {
             return Ok(());
         }
@@ -295,38 +421,68 @@ impl TsKv {
         let sdir = self.dir.join(name);
         std::fs::create_dir_all(&sdir)?;
         let wal = if self.config.enable_wal {
-            Some(Wal::open(SeriesStore::wal_path(&sdir))?)
+            Some(Wal::open_grouped(
+                SeriesStore::wal_path(&sdir),
+                self.config.wal_batch_bytes,
+            )?)
         } else {
             None
         };
-        let mut map = self.series.write();
+        let mut map = self.shard(name).series.write();
         map.entry(name.to_string())
             .or_insert_with(|| SeriesStore::assemble(sdir, MemTable::new(), wal, Vec::new(), 0));
         Ok(())
     }
 
-    /// Insert one point; may trigger an automatic flush when the
-    /// memtable reaches the configured threshold.
-    pub fn insert(&self, name: &str, p: Point) -> Result<()> {
-        self.insert_batch(name, std::slice::from_ref(&p))
+    /// Append `points` to the store's WAL buffer and memtable. Runs
+    /// under the owning shard's write lock; pure in-memory work plus
+    /// buffered WAL frames (drained by [`EngineInner::commit_wal`]).
+    fn apply_inserts(&self, store: &mut SeriesStore, points: &[Point]) -> Result<()> {
+        if let Some(wal) = &mut store.wal {
+            wal.append_inserts(points)?;
+        }
+        for p in points {
+            store.memtable.insert(*p);
+        }
+        self.io.record_points_written(points.len() as u64);
+        Ok(())
+    }
+
+    /// Drain the store's WAL group-commit buffer in one syscall,
+    /// fsyncing when `sync` (or always under [`FsyncPolicy::Always`]).
+    /// Called before the shard lock is released, so every acknowledged
+    /// write is in the OS first.
+    fn commit_wal_with(&self, store: &mut SeriesStore, sync: bool) -> Result<()> {
+        if let Some(wal) = &mut store.wal {
+            let sync = sync || matches!(self.config.fsync_policy, FsyncPolicy::Always);
+            let bytes = wal.commit(sync)?;
+            if bytes > 0 {
+                self.io.record_wal_batch(bytes);
+                if sync {
+                    self.io.record_wal_sync();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn commit_wal(&self, store: &mut SeriesStore) -> Result<()> {
+        self.commit_wal_with(store, false)
     }
 
     /// Insert a batch of points (any time order; duplicates overwrite).
-    pub fn insert_batch(&self, name: &str, points: &[Point]) -> Result<()> {
+    fn insert_batch(&self, name: &str, points: &[Point]) -> Result<()> {
         if points.is_empty() {
             return Ok(());
         }
         self.create_series(name)?;
         let need_flush = {
-            let mut map = self.series.write();
-            let store =
-                map.get_mut(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
-            if let Some(wal) = &mut store.wal {
-                wal.append_inserts(points)?;
-            }
-            for p in points {
-                store.memtable.insert(*p);
-            }
+            let mut map = self.shard(name).series.write();
+            let store = map
+                .get_mut(name)
+                .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+            self.apply_inserts(store, points)?;
+            self.commit_wal(store)?;
             store.memtable.len() >= self.config.memtable_threshold && store.flushing.is_none()
         };
         if need_flush {
@@ -335,13 +491,61 @@ impl TsKv {
         Ok(())
     }
 
-    /// Flush one series' memtable to a new sealed TsFile.
-    pub fn flush(&self, name: &str) -> Result<()> {
-        self.flush_series(name, true)
+    /// Apply a multi-series [`WriteBatch`]: series grouped by shard so
+    /// each stripe's write lock is taken once, WAL frames group-commit
+    /// per series (one syscall each, fsync per [`FsyncPolicy`]), and
+    /// memtables that crossed the flush threshold flush after every
+    /// lock is released. Returns the number of points written.
+    fn write_batch(&self, batch: &WriteBatch) -> Result<usize> {
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        // Phase 1 (unlocked I/O): ensure every series exists.
+        for (name, _) in batch.entries() {
+            self.create_series(name)?;
+        }
+        // Phase 2: group by shard; one lock acquisition per stripe.
+        let mut by_shard: Vec<Vec<(&str, &[Point])>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (name, points) in batch.entries() {
+            if let Some(group) = by_shard.get_mut(shard_of(name, self.shards.len())) {
+                group.push((name, points));
+            }
+        }
+        let mut total = 0usize;
+        let mut need_flush: Vec<String> = Vec::new();
+        for (idx, group) in by_shard.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let Some(shard) = self.shards.get(idx) else {
+                continue;
+            };
+            let mut map = shard.series.write();
+            for (name, points) in group {
+                let store = map
+                    .get_mut(*name)
+                    .ok_or_else(|| TsKvError::SeriesNotFound((*name).into()))?;
+                self.apply_inserts(store, points)?;
+                self.commit_wal(store)?;
+                total += points.len();
+                if store.memtable.len() >= self.config.memtable_threshold
+                    && store.flushing.is_none()
+                {
+                    need_flush.push((*name).to_string());
+                }
+            }
+        }
+        // Phase 3 (unlocked): flush the memtables that crossed the
+        // threshold.
+        for name in need_flush {
+            self.flush_series(&name, false)?;
+        }
+        Ok(total)
     }
 
     /// Flush every series.
-    pub fn flush_all(&self) -> Result<()> {
+    fn flush_all(&self) -> Result<()> {
         for name in self.series_names() {
             self.flush_series(&name, true)?;
         }
@@ -358,15 +562,25 @@ impl TsKv {
             // Phase A (locked): claim the in-flight slot, rotate the
             // WAL, drain the memtable, reserve chunk versions.
             let prep = {
-                let mut map = self.series.write();
-                let store =
-                    map.get_mut(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+                let mut map = self.shard(name).series.write();
+                let store = map
+                    .get_mut(name)
+                    .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
                 if store.flushing.is_some() {
                     FlushPrep::Busy
                 } else if store.memtable.is_empty() {
                     FlushPrep::Done
                 } else {
                     if let Some(wal) = &mut store.wal {
+                        // Under FsyncPolicy::{Always, OnFlush} the WAL
+                        // is made durable before its segment rotates
+                        // out (the sealed TsFile supersedes it soon
+                        // after; until then the segment is the only
+                        // copy).
+                        if !matches!(self.config.fsync_policy, FsyncPolicy::Never) {
+                            wal.sync()?;
+                            self.io.record_wal_sync();
+                        }
                         wal.rotate_for_flush()?;
                     }
                     let points = Arc::new(store.memtable.drain_sorted());
@@ -374,15 +588,22 @@ impl TsKv {
                     // guarantees that any later delete orders after
                     // every chunk of this flush.
                     let n_chunks = points.len().div_ceil(self.config.points_per_chunk).max(1);
-                    let versions: Vec<Version> =
-                        (0..n_chunks).map(|_| self.alloc.next()).collect();
-                    let last_version =
-                        versions.last().copied().unwrap_or_else(|| self.alloc.current());
+                    let versions: Vec<Version> = (0..n_chunks).map(|_| self.alloc.next()).collect();
+                    let last_version = versions
+                        .last()
+                        .copied()
+                        .unwrap_or_else(|| self.alloc.current());
                     let path = store.dir.join(format!("{:08}.tsfile", store.next_file_id));
                     store.next_file_id += 1;
-                    store.flushing =
-                        Some(FlushInFlight { points: Arc::clone(&points), last_version });
-                    FlushPrep::Go { points, versions, path }
+                    store.flushing = Some(FlushInFlight {
+                        points: Arc::clone(&points),
+                        last_version,
+                    });
+                    FlushPrep::Go {
+                        points,
+                        versions,
+                        path,
+                    }
                 }
             };
             match prep {
@@ -392,7 +613,11 @@ impl TsKv {
                     continue;
                 }
                 FlushPrep::Busy => return Ok(()),
-                FlushPrep::Go { points, versions, path } => {
+                FlushPrep::Go {
+                    points,
+                    versions,
+                    path,
+                } => {
                     // Phase B (unlocked): the heavy encode + write.
                     let sealed = Self::seal_points(&self.config, &path, &points, &versions);
                     if sealed.is_err() {
@@ -412,8 +637,10 @@ impl TsKv {
         points: &[Point],
         sealed: Result<TsFileResource>,
     ) -> Result<()> {
-        let mut map = self.series.write();
-        let store = map.get_mut(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+        let mut map = self.shard(name).series.write();
+        let store = map
+            .get_mut(name)
+            .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
         store.flushing = None;
         let pending = std::mem::take(&mut store.pending_mods);
         match sealed {
@@ -421,8 +648,10 @@ impl TsKv {
                 // Deletes issued while sealing ran only reached the old
                 // files; attach them to the new one too.
                 for e in &pending {
-                    let overlaps =
-                        res.time_range().map(|r| r.overlaps(&e.range)).unwrap_or(false);
+                    let overlaps = res
+                        .time_range()
+                        .map(|r| r.overlaps(&e.range))
+                        .unwrap_or(false);
                     if overlaps {
                         res.mods.append(*e)?;
                     }
@@ -473,18 +702,23 @@ impl TsKv {
     /// Delete all points of `name` in `[start, end]` (inclusive), as an
     /// append-only versioned tombstone. Memtable points are removed
     /// eagerly; sealed chunks are filtered at read time.
-    pub fn delete(&self, name: &str, start: Timestamp, end: Timestamp) -> Result<()> {
+    fn delete(&self, name: &str, start: Timestamp, end: Timestamp) -> Result<()> {
         if start > end {
             return Err(TsKvError::InvalidDeleteRange { start, end });
         }
-        let mut map = self.series.write();
-        let store = map.get_mut(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+        let mut map = self.shard(name).series.write();
+        let store = map
+            .get_mut(name)
+            .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
         let version = self.alloc.next();
         let range = TimeRange::new(start, end);
+        // Tombstones are rare and dangerous to lose: commit (and, unless
+        // the policy is Never, fsync) the delete record immediately.
+        let sync_deletes = !matches!(self.config.fsync_policy, FsyncPolicy::Never);
         if let Some(wal) = &mut store.wal {
             wal.append_delete(version, range)?;
-            wal.sync()?;
         }
+        self.commit_wal_with(store, sync_deletes)?;
         store.memtable.delete_range(range);
         let entry = ModEntry::new(version, start, end);
         if store.flushing.is_some() {
@@ -493,7 +727,10 @@ impl TsKv {
             store.pending_mods.push(entry);
         }
         for res in &mut store.files {
-            let overlaps = res.time_range().map(|r| r.overlaps(&range)).unwrap_or(false);
+            let overlaps = res
+                .time_range()
+                .map(|r| r.overlaps(&range))
+                .unwrap_or(false);
             if overlaps {
                 res.mods.append(entry)?;
             }
@@ -505,9 +742,11 @@ impl TsKv {
     /// chunks, any in-flight flush image, the memtable image (as a
     /// high-version in-memory chunk), and all deletes, each sorted by
     /// version.
-    pub fn snapshot(&self, name: &str) -> Result<SeriesSnapshot> {
-        let map = self.series.read();
-        let store = map.get(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+    fn snapshot(&self, name: &str) -> Result<SeriesSnapshot> {
+        let map = self.shard(name).series.read();
+        let store = map
+            .get(name)
+            .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
 
         let mut files = Vec::with_capacity(store.files.len());
         let mut chunks = Vec::new();
@@ -537,7 +776,10 @@ impl TsKv {
         // later deletes (higher version) apply to it and the live
         // memtable chunk (below, strictly higher again) overrides it.
         if let Some(fl) = &store.flushing {
-            chunks.extend(ChunkHandle::from_mem(Arc::clone(&fl.points), fl.last_version));
+            chunks.extend(ChunkHandle::from_mem(
+                Arc::clone(&fl.points),
+                fl.last_version,
+            ));
         }
         if !store.memtable.is_empty() {
             let points = Arc::new(store.memtable.to_points());
@@ -562,14 +804,15 @@ impl TsKv {
     /// memtable and WAL are untouched. Returns an empty report if a
     /// compaction is already running for the series.
     /// See [`crate::compaction`].
-    pub fn compact(&self, name: &str) -> Result<CompactionReport> {
+    pub(crate) fn compact(&self, name: &str) -> Result<CompactionReport> {
         // Phase A (locked): capture the merge input (chunk metadata and
         // Arc'd readers only — no chunk bodies) and reserve output
         // versions.
         let (files, chunks, deletes, n_input, versions, path) = {
-            let mut map = self.series.write();
-            let store =
-                map.get_mut(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+            let mut map = self.shard(name).series.write();
+            let store = map
+                .get_mut(name)
+                .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
             if store.files.is_empty() || store.compacting {
                 return Ok(CompactionReport::empty());
             }
@@ -594,15 +837,18 @@ impl TsKv {
             // while writing) keeps every later delete ordered after the
             // whole output; unused reservations are harmless gaps.
             let raw_total: u64 = chunks.iter().map(ChunkHandle::count).sum();
-            let max_chunks =
-                raw_total.div_ceil(self.config.points_per_chunk.max(1) as u64).max(1);
-            let versions: Vec<Version> =
-                (0..max_chunks).map(|_| self.alloc.next()).collect();
+            let max_chunks = raw_total
+                .div_ceil(self.config.points_per_chunk.max(1) as u64)
+                .max(1);
+            let versions: Vec<Version> = (0..max_chunks).map(|_| self.alloc.next()).collect();
             let path = store.dir.join(format!("{:08}.tsfile", store.next_file_id));
             store.next_file_id += 1;
             (files, chunks, deletes, store.files.len(), versions, path)
         };
-        let max_reserved = versions.last().copied().unwrap_or_else(|| self.alloc.current());
+        let max_reserved = versions
+            .last()
+            .copied()
+            .unwrap_or_else(|| self.alloc.current());
         let chunks_merged = chunks.len();
         let deletes_applied = deletes.len();
 
@@ -610,16 +856,24 @@ impl TsKv {
         // merge reads through the shared cache (compaction input chunks
         // are often hot), but with a sequential snapshot — compaction
         // threads are the caller's budget, not the query pool's.
-        let snapshot =
-            SeriesSnapshot::new(files, chunks, deletes, Arc::clone(&self.io), self.cache.clone(), 1);
-        let outcome = MergeReader::new(&snapshot).collect_merged().and_then(|merged| {
-            if merged.is_empty() {
-                Ok((0, None))
-            } else {
-                let res = Self::seal_points(&self.config, &path, &merged, &versions)?;
-                Ok((merged.len(), Some(res)))
-            }
-        });
+        let snapshot = SeriesSnapshot::new(
+            files,
+            chunks,
+            deletes,
+            Arc::clone(&self.io),
+            self.cache.clone(),
+            1,
+        );
+        let outcome = MergeReader::new(&snapshot)
+            .collect_merged()
+            .and_then(|merged| {
+                if merged.is_empty() {
+                    Ok((0, None))
+                } else {
+                    let res = Self::seal_points(&self.config, &path, &merged, &versions)?;
+                    Ok((merged.len(), Some(res)))
+                }
+            });
         if outcome.is_err() {
             std::fs::remove_file(&path).ok();
         }
@@ -627,9 +881,10 @@ impl TsKv {
         // Phase C (locked): swap the new generation in, carry forward
         // mods that arrived during the merge, collect the doomed paths.
         let (doomed, points_written) = {
-            let mut map = self.series.write();
-            let store =
-                map.get_mut(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+            let mut map = self.shard(name).series.write();
+            let store = map
+                .get_mut(name)
+                .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
             store.compacting = false;
             let (points_written, sealed) = outcome?;
             // Deletes issued during the merge postdate every reserved
@@ -637,9 +892,7 @@ impl TsKv {
             let mut carried: Vec<ModEntry> = Vec::new();
             for res in store.files.iter().take(n_input) {
                 for e in res.mods.entries() {
-                    if e.version > max_reserved
-                        && !carried.iter().any(|d| d.version == e.version)
-                    {
+                    if e.version > max_reserved && !carried.iter().any(|d| d.version == e.version) {
                         carried.push(*e);
                     }
                 }
@@ -649,8 +902,10 @@ impl TsKv {
             let old = std::mem::take(&mut store.files);
             if let Some(mut res) = sealed {
                 for e in carried {
-                    let overlaps =
-                        res.time_range().map(|r| r.overlaps(&e.range)).unwrap_or(false);
+                    let overlaps = res
+                        .time_range()
+                        .map(|r| r.overlaps(&e.range))
+                        .unwrap_or(false);
                     if overlaps {
                         res.mods.append(e)?;
                     }
@@ -691,22 +946,178 @@ impl TsKv {
     }
 
     /// Engine-wide I/O counters (shared by all snapshots).
-    pub fn io(&self) -> &Arc<IoStats> {
+    pub(crate) fn io(&self) -> &Arc<IoStats> {
         &self.io
+    }
+
+    /// Total points currently buffered in memory and not yet durable in
+    /// a sealed file (the memtable plus any in-flight flush image).
+    fn unflushed_points(&self, name: &str) -> Result<usize> {
+        let map = self.shard(name).series.read();
+        let store = map
+            .get(name)
+            .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+        let in_flight = store.flushing.as_ref().map(|f| f.points.len()).unwrap_or(0);
+        Ok(store.memtable.len() + in_flight)
+    }
+
+    /// Number of sealed TsFiles currently backing `name`.
+    fn sealed_file_count(&self, name: &str) -> Result<usize> {
+        let map = self.shard(name).series.read();
+        let store = map
+            .get(name)
+            .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+        Ok(store.files.len())
+    }
+
+    /// Series whose sealed-file count reached `compaction_threshold`
+    /// and that no compaction currently owns. Takes each shard's read
+    /// guard only for the map walk — never across I/O — so the
+    /// background scheduler can poll this cheaply.
+    pub(crate) fn compaction_candidates(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let map = shard.series.read();
+            for (name, store) in map.iter() {
+                if store.files.len() >= self.config.compaction_threshold && !store.compacting {
+                    out.push(name.clone());
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Scheduler poll interval.
+    pub(crate) fn compaction_interval_ms(&self) -> u64 {
+        self.config.compaction_interval_ms
+    }
+}
+
+impl TsKv {
+    /// Open (or create) a store rooted at `dir`, recovering any series
+    /// directories found there: sealed TsFiles, their delete logs, and
+    /// — when WAL is enabled — the unflushed memtable contents replayed
+    /// from each series' write-ahead log (sealed segment first, so an
+    /// interrupted flush loses nothing). Recovery fans out across up to
+    /// `write_shards` threads, one series at a time per thread.
+    ///
+    /// A crash mid-flush or mid-compaction can leave one torn TsFile,
+    /// always at the highest file id; it is quarantined (renamed to
+    /// `*.corrupt`) rather than failing recovery, since its points are
+    /// still covered by the WAL's sealed segment (flush) or by the
+    /// older generation (compaction). An unreadable file at any other
+    /// id is genuine corruption and surfaces as an error.
+    ///
+    /// When `compaction_auto` is set, a background scheduler thread
+    /// starts here and stops (joined) when the store drops.
+    pub fn open<P: AsRef<Path>>(dir: P, config: EngineConfig) -> Result<Self> {
+        let inner = Arc::new(EngineInner::open(dir.as_ref().to_path_buf(), config)?);
+        let scheduler = if inner.config.compaction_auto {
+            Some(CompactionScheduler::spawn(Arc::clone(&inner))?)
+        } else {
+            None
+        };
+        Ok(TsKv { scheduler, inner })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.inner.config
+    }
+
+    /// Root directory of the store.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// Names of all known series (sorted).
+    pub fn series_names(&self) -> Vec<String> {
+        self.inner.series_names()
+    }
+
+    /// Create an empty series (inserting auto-creates too).
+    pub fn create_series(&self, name: &str) -> Result<()> {
+        self.inner.create_series(name)
+    }
+
+    /// Insert one point; may trigger an automatic flush when the
+    /// memtable reaches the configured threshold.
+    pub fn insert(&self, name: &str, p: Point) -> Result<()> {
+        self.inner.insert_batch(name, std::slice::from_ref(&p))
+    }
+
+    /// Insert a batch of points into one series (any time order;
+    /// duplicates overwrite).
+    pub fn insert_batch(&self, name: &str, points: &[Point]) -> Result<()> {
+        self.inner.insert_batch(name, points)
+    }
+
+    /// Apply a multi-series [`WriteBatch`]: one shard-lock acquisition
+    /// per stripe touched, one WAL group-commit syscall per series,
+    /// fsync per the configured [`FsyncPolicy`]. Returns the number of
+    /// points written.
+    pub fn write_batch(&self, batch: &WriteBatch) -> Result<usize> {
+        self.inner.write_batch(batch)
+    }
+
+    /// Flush one series' memtable to a new sealed TsFile.
+    pub fn flush(&self, name: &str) -> Result<()> {
+        self.inner.flush_series(name, true)
+    }
+
+    /// Flush every series.
+    pub fn flush_all(&self) -> Result<()> {
+        self.inner.flush_all()
+    }
+
+    /// Delete all points of `name` in `[start, end]` (inclusive), as an
+    /// append-only versioned tombstone. Memtable points are removed
+    /// eagerly; sealed chunks are filtered at read time.
+    pub fn delete(&self, name: &str, start: Timestamp, end: Timestamp) -> Result<()> {
+        self.inner.delete(name, start, end)
+    }
+
+    /// Capture a point-in-time read view of one series. See
+    /// [`SeriesSnapshot`].
+    pub fn snapshot(&self, name: &str) -> Result<SeriesSnapshot> {
+        self.inner.snapshot(name)
+    }
+
+    /// Fully compact one series: merge every sealed file (applying
+    /// deletes and overwrites), write the result as a single fresh
+    /// TsFile, and unlink the old files and their mods logs. The
+    /// memtable and WAL are untouched. Returns an empty report if a
+    /// compaction is already running for the series.
+    /// See [`crate::compaction`].
+    pub fn compact(&self, name: &str) -> Result<CompactionReport> {
+        self.inner.compact(name)
+    }
+
+    /// Engine-wide I/O counters (shared by all snapshots).
+    pub fn io(&self) -> &Arc<IoStats> {
+        self.inner.io()
     }
 
     /// The cross-query decoded-chunk cache, if enabled by config.
     pub fn cache(&self) -> Option<&Arc<DecodedChunkCache>> {
-        self.cache.as_ref()
+        self.inner.cache.as_ref()
     }
 
     /// Total points currently buffered in memory and not yet durable in
     /// a sealed file (the memtable plus any in-flight flush image).
     pub fn unflushed_points(&self, name: &str) -> Result<usize> {
-        let map = self.series.read();
-        let store = map.get(name).ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
-        let in_flight = store.flushing.as_ref().map(|f| f.points.len()).unwrap_or(0);
-        Ok(store.memtable.len() + in_flight)
+        self.inner.unflushed_points(name)
+    }
+
+    /// Number of sealed TsFiles currently backing `name`.
+    pub fn sealed_file_count(&self, name: &str) -> Result<usize> {
+        self.inner.sealed_file_count(name)
+    }
+
+    /// Whether the background compaction scheduler is running.
+    pub fn compaction_scheduler_running(&self) -> bool {
+        self.scheduler.is_some()
     }
 }
 
@@ -722,7 +1133,11 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         let kv = TsKv::open(
             &dir,
-            EngineConfig { points_per_chunk: 100, memtable_threshold: 250, ..Default::default() },
+            EngineConfig {
+                points_per_chunk: 100,
+                memtable_threshold: 250,
+                ..Default::default()
+            },
         )?;
         Ok((dir, kv))
     }
@@ -772,9 +1187,18 @@ mod tests {
     #[test]
     fn unknown_series_errors() -> TestResult {
         let (dir, kv) = fresh("unknown")?;
-        assert!(matches!(kv.snapshot("nope"), Err(TsKvError::SeriesNotFound(_))));
-        assert!(matches!(kv.delete("nope", 0, 1), Err(TsKvError::SeriesNotFound(_))));
-        assert!(matches!(kv.flush("nope"), Err(TsKvError::SeriesNotFound(_))));
+        assert!(matches!(
+            kv.snapshot("nope"),
+            Err(TsKvError::SeriesNotFound(_))
+        ));
+        assert!(matches!(
+            kv.delete("nope", 0, 1),
+            Err(TsKvError::SeriesNotFound(_))
+        ));
+        assert!(matches!(
+            kv.flush("nope"),
+            Err(TsKvError::SeriesNotFound(_))
+        ));
         std::fs::remove_dir_all(&dir).ok();
         Ok(())
     }
@@ -794,8 +1218,11 @@ mod tests {
     fn recovery_reloads_files_and_mods() -> TestResult {
         let dir = std::env::temp_dir().join(format!("tskv-recover-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
-        let config =
-            EngineConfig { points_per_chunk: 50, memtable_threshold: 100, ..Default::default() };
+        let config = EngineConfig {
+            points_per_chunk: 50,
+            memtable_threshold: 100,
+            ..Default::default()
+        };
         {
             let kv = TsKv::open(&dir, config.clone())?;
             for t in 0..300i64 {
@@ -825,8 +1252,12 @@ mod tests {
         kv.insert("s", Point::new(1000, 1.0))?;
         kv.flush_all()?;
         let snap2 = kv.snapshot("s")?;
-        let new_max =
-            snap2.chunks().iter().map(|c| c.version.0).max().ok_or("no chunks after flush")?;
+        let new_max = snap2
+            .chunks()
+            .iter()
+            .map(|c| c.version.0)
+            .max()
+            .ok_or("no chunks after flush")?;
         assert!(new_max > max_recovered);
         std::fs::remove_dir_all(&dir).ok();
         Ok(())
@@ -843,10 +1274,17 @@ mod tests {
         kv.flush_all()?;
         let snap = kv.snapshot("s")?;
         let overlapping = snap.chunks_overlapping(TimeRange::new(100, 199));
-        assert!(overlapping.len() >= 2, "expected overlap, got {}", overlapping.len());
+        assert!(
+            overlapping.len() >= 2,
+            "expected overlap, got {}",
+            overlapping.len()
+        );
         let merged = MergeReader::new(&snap).collect_merged()?;
         assert_eq!(merged.len(), 300);
-        assert!(merged.iter().filter(|p| (100..200).contains(&p.t)).all(|p| p.v == 2.0));
+        assert!(merged
+            .iter()
+            .filter(|p| (100..200).contains(&p.t))
+            .all(|p| p.v == 2.0));
         std::fs::remove_dir_all(&dir).ok();
         Ok(())
     }
@@ -875,8 +1313,11 @@ mod tests {
     fn wal_recovers_unflushed_data() -> TestResult {
         let dir = std::env::temp_dir().join(format!("tskv-walrec-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
-        let config =
-            EngineConfig { points_per_chunk: 50, memtable_threshold: 1_000, ..Default::default() };
+        let config = EngineConfig {
+            points_per_chunk: 50,
+            memtable_threshold: 1_000,
+            ..Default::default()
+        };
         {
             let kv = TsKv::open(&dir, config.clone())?;
             for t in 0..300i64 {
@@ -905,8 +1346,11 @@ mod tests {
     fn wal_truncated_by_flush() -> TestResult {
         let dir = std::env::temp_dir().join(format!("tskv-waltrunc-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
-        let config =
-            EngineConfig { points_per_chunk: 50, memtable_threshold: 100, ..Default::default() };
+        let config = EngineConfig {
+            points_per_chunk: 50,
+            memtable_threshold: 100,
+            ..Default::default()
+        };
         {
             let kv = TsKv::open(&dir, config.clone())?;
             // 250 points: two auto-flushes, 50 left in WAL + memtable.
@@ -944,8 +1388,11 @@ mod tests {
     fn recovery_reattaches_wal_delete_to_missing_mods() -> TestResult {
         let dir = std::env::temp_dir().join(format!("tskv-reattach-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
-        let config =
-            EngineConfig { points_per_chunk: 50, memtable_threshold: 1_000, ..Default::default() };
+        let config = EngineConfig {
+            points_per_chunk: 50,
+            memtable_threshold: 1_000,
+            ..Default::default()
+        };
         {
             let kv = TsKv::open(&dir, config.clone())?;
             let batch: Vec<Point> = (0..100).map(|t| Point::new(t, 1.0)).collect();
@@ -974,8 +1421,11 @@ mod tests {
     fn torn_newest_tsfile_quarantined() -> TestResult {
         let dir = std::env::temp_dir().join(format!("tskv-quarantine-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
-        let config =
-            EngineConfig { points_per_chunk: 50, memtable_threshold: 1_000, ..Default::default() };
+        let config = EngineConfig {
+            points_per_chunk: 50,
+            memtable_threshold: 1_000,
+            ..Default::default()
+        };
         {
             let kv = TsKv::open(&dir, config.clone())?;
             let batch: Vec<Point> = (0..100).map(|t| Point::new(t, 1.0)).collect();
@@ -1004,7 +1454,10 @@ mod tests {
     fn wal_disabled_drops_unflushed() -> TestResult {
         let dir = std::env::temp_dir().join(format!("tskv-nowal-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
-        let config = EngineConfig { enable_wal: false, ..Default::default() };
+        let config = EngineConfig {
+            enable_wal: false,
+            ..Default::default()
+        };
         {
             let kv = TsKv::open(&dir, config.clone())?;
             kv.insert("s", Point::new(1, 1.0))?;
@@ -1027,7 +1480,11 @@ mod tests {
         kv.insert("s", Point::new(50, 1.0))?;
         kv.flush_all()?;
         let merged = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
-        assert_eq!(merged.len(), 1, "later write must not be hit by the earlier delete");
+        assert_eq!(
+            merged.len(),
+            1,
+            "later write must not be hit by the earlier delete"
+        );
         std::fs::remove_dir_all(&dir).ok();
         Ok(())
     }
@@ -1078,6 +1535,179 @@ mod tests {
         let merged = MergeReader::new(&snap).collect_merged()?;
         assert_eq!(merged.len(), 100 - 21);
         assert_eq!(merged.first().map(|p| p.t), Some(-500));
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn write_batch_spans_series_and_shards() -> TestResult {
+        let (dir, kv) = fresh("wbatch")?;
+        let mut batch = WriteBatch::new();
+        for s in 0..16 {
+            let pts: Vec<Point> = (0..50).map(|t| Point::new(t, s as f64)).collect();
+            batch.insert_many(&format!("series-{s}"), &pts);
+        }
+        assert_eq!(kv.write_batch(&batch)?, 16 * 50);
+        assert_eq!(kv.series_names().len(), 16);
+        for s in 0..16 {
+            let merged =
+                MergeReader::new(&kv.snapshot(&format!("series-{s}"))?).collect_merged()?;
+            assert_eq!(merged.len(), 50);
+            assert!(merged.iter().all(|p| p.v == s as f64));
+        }
+        let io = kv.io().snapshot();
+        assert_eq!(io.points_written, 16 * 50);
+        // One WAL group-commit batch per touched series (not per point).
+        assert_eq!(io.wal_batches, 16);
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn write_batch_auto_flushes_past_threshold() -> TestResult {
+        let (dir, kv) = fresh("wbatch-flush")?;
+        let mut batch = WriteBatch::new();
+        let pts: Vec<Point> = (0..300).map(|t| Point::new(t, 1.0)).collect();
+        batch.insert_many("s", &pts); // memtable_threshold is 250
+        kv.write_batch(&batch)?;
+        assert_eq!(
+            kv.unflushed_points("s")?,
+            0,
+            "batch must flush past the threshold"
+        );
+        assert_eq!(kv.sealed_file_count("s")?, 1);
+        let merged = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
+        assert_eq!(merged.len(), 300);
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn fsync_always_records_syncs() -> TestResult {
+        let dir = std::env::temp_dir().join(format!("tskv-fsync-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let kv = TsKv::open(
+            &dir,
+            EngineConfig {
+                fsync_policy: FsyncPolicy::Always,
+                ..Default::default()
+            },
+        )?;
+        kv.insert("s", Point::new(1, 1.0))?;
+        kv.insert("s", Point::new(2, 2.0))?;
+        let io = kv.io().snapshot();
+        assert_eq!(io.wal_batches, 2);
+        assert_eq!(io.wal_syncs, 2);
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn background_scheduler_bounds_sealed_files() -> TestResult {
+        let dir = std::env::temp_dir().join(format!("tskv-sched-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let kv = TsKv::open(
+            &dir,
+            EngineConfig {
+                points_per_chunk: 50,
+                memtable_threshold: 1_000,
+                compaction_auto: true,
+                compaction_threshold: 3,
+                compaction_interval_ms: 2,
+                ..Default::default()
+            },
+        )?;
+        assert!(kv.compaction_scheduler_running());
+        // Create sealed files faster than the threshold allows.
+        for round in 0..8i64 {
+            let pts: Vec<Point> = (0..40)
+                .map(|t| Point::new(round * 40 + t, round as f64))
+                .collect();
+            kv.insert_batch("s", &pts)?;
+            kv.flush("s")?;
+        }
+        // The scheduler must merge the pile back under the threshold.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let n = kv.sealed_file_count("s")?;
+            if n <= 3 {
+                break;
+            }
+            if std::time::Instant::now() > deadline {
+                return Err(format!("sealed files stuck at {n}").into());
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let io = kv.io().snapshot();
+        assert!(io.compactions_scheduled > 0);
+        assert!(io.compactions_completed > 0);
+        // Nothing lost or duplicated by background merging.
+        let merged = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
+        assert_eq!(merged.len(), 8 * 40);
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn parallel_recovery_restores_every_series_in_write_order() -> TestResult {
+        let dir = std::env::temp_dir().join(format!("tskv-precover-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = EngineConfig {
+            points_per_chunk: 20,
+            memtable_threshold: 1_000,
+            ..Default::default()
+        };
+        let n_series = 12usize;
+        {
+            let kv = TsKv::open(&dir, config.clone())?;
+            for s in 0..n_series {
+                let name = format!("series-{s}");
+                // Sealed data…
+                let pts: Vec<Point> = (0..60).map(|t| Point::new(t, 1.0)).collect();
+                kv.insert_batch(&name, &pts)?;
+                kv.flush(&name)?;
+                // …then unflushed WAL-only state: an overwrite (later
+                // write must win after replay), a delete, new points.
+                kv.insert(&name, Point::new(10, 99.0))?;
+                kv.delete(&name, 20, 29)?;
+                kv.insert_batch(&name, &[Point::new(100, 2.0), Point::new(101, 2.0)])?;
+            }
+            // Simulated crash: drop without flushing.
+        }
+        let kv = TsKv::open(&dir, config)?;
+        assert_eq!(kv.series_names().len(), n_series);
+        for s in 0..n_series {
+            let name = format!("series-{s}");
+            let merged = MergeReader::new(&kv.snapshot(&name)?).collect_merged()?;
+            // 60 sealed + 2 new − 10 deleted (20..=29).
+            assert_eq!(merged.len(), 52, "{name}");
+            // WAL replay preserved write order: the overwrite of t=10
+            // (appended after the original) must win.
+            let at10 = merged.iter().find(|p| p.t == 10).map(|p| p.v);
+            assert_eq!(at10, Some(99.0), "{name}");
+            assert!(merged.iter().all(|p| !(20..=29).contains(&p.t)), "{name}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn single_shard_config_still_works() -> TestResult {
+        let dir = std::env::temp_dir().join(format!("tskv-oneshard-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let kv = TsKv::open(
+            &dir,
+            EngineConfig {
+                write_shards: 1,
+                ..Default::default()
+            },
+        )?;
+        let mut batch = WriteBatch::new();
+        for s in 0..4 {
+            batch.insert_many(&format!("s{s}"), &[Point::new(1, s as f64)]);
+        }
+        assert_eq!(kv.write_batch(&batch)?, 4);
+        assert_eq!(kv.series_names().len(), 4);
         std::fs::remove_dir_all(&dir).ok();
         Ok(())
     }

@@ -55,6 +55,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod cache;
 pub mod chunk;
 pub mod compaction;
@@ -64,13 +65,16 @@ pub mod engine;
 pub mod error;
 pub mod memtable;
 pub mod readers;
+pub mod scheduler;
 pub mod snapshot;
 pub mod stats;
 pub mod version;
 pub mod wal;
 
+pub use batch::WriteBatch;
 pub use cache::{CacheKey, DecodedChunkCache};
 pub use chunk::ChunkHandle;
+pub use config::FsyncPolicy;
 pub use engine::TsKv;
 pub use error::TsKvError;
 pub use snapshot::SeriesSnapshot;

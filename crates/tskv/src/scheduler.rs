@@ -1,0 +1,104 @@
+//! Background compaction scheduler.
+//!
+//! When `EngineConfig::compaction_auto` is on, [`crate::TsKv::open`]
+//! spawns one `tskv-compactor` thread that keeps every series'
+//! sealed-file count at or below `compaction_threshold` without any
+//! caller involvement:
+//!
+//! 1. **Scan (short read guards)** — ask the engine for
+//!    [`compaction candidates`]: series whose sealed-file count reached
+//!    the threshold and that no compaction currently owns. Each shard's
+//!    read lock is held only for the map walk, never across I/O (xtask
+//!    lint L2 pins this phasing).
+//! 2. **Compact (no locks held here)** — run the engine's existing
+//!    phased compaction for each candidate. The compaction itself
+//!    re-takes the shard lock only for its short capture/install
+//!    phases; the merge and file writes run unlocked, so ingest and
+//!    queries proceed concurrently.
+//! 3. **Sleep** — park for `compaction_interval_ms` (interruptibly, so
+//!    drop/shutdown never waits out the interval).
+//!
+//! Every decision is observable through `IoStats`: each candidate
+//! bumps `compactions_scheduled`; a run that actually merged files
+//! bumps `compactions_completed`; a run that found nothing to do (lost
+//! a race with a manual `compact` or an in-flight one) or failed bumps
+//! `compactions_skipped`. Scheduler errors are recorded, never
+//! propagated — a failed compaction leaves the old generation in
+//! place, which is always a correct (just less compact) state, and the
+//! next tick retries.
+//!
+//! [`compaction candidates`]: crate::engine::EngineInner::compaction_candidates
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::engine::EngineInner;
+use crate::Result;
+
+/// Handle to the background compaction thread. Dropping it stops the
+/// loop and joins the thread (any in-flight compaction finishes its
+/// current phase sequence first).
+#[derive(Debug)]
+pub(crate) struct CompactionScheduler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl CompactionScheduler {
+    /// Spawn the scheduler thread over the shared engine state.
+    pub(crate) fn spawn(inner: Arc<EngineInner>) -> Result<Self> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("tskv-compactor".to_string())
+            .spawn(move || run_loop(&inner, &thread_stop))?;
+        Ok(CompactionScheduler {
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+impl Drop for CompactionScheduler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            // A panic in the scheduler thread is impossible by the
+            // workspace's no-panic discipline; if it ever happened,
+            // surfacing it from drop would abort, so swallow the join
+            // error instead.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The scheduler loop: scan → compact each candidate → park.
+fn run_loop(inner: &EngineInner, stop: &AtomicBool) {
+    let interval = Duration::from_millis(inner.compaction_interval_ms());
+    while !stop.load(Ordering::Relaxed) {
+        // Phase 1: candidates are collected under short per-shard read
+        // guards inside the engine; no guard survives the call.
+        let candidates = inner.compaction_candidates();
+        // Phase 2: compact off-lock, one series at a time.
+        for name in candidates {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            inner.io().record_compaction_scheduled();
+            match inner.compact(&name) {
+                Ok(report) if report.files_removed > 0 => {
+                    inner.io().record_compaction_completed();
+                }
+                Ok(_) | Err(_) => inner.io().record_compaction_skipped(),
+            }
+        }
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        // Phase 3: interruptible sleep (drop unparks).
+        std::thread::park_timeout(interval);
+    }
+}

@@ -1,9 +1,13 @@
-//! Read-path observability counters.
+//! Engine observability counters.
 //!
 //! The paper's claims are about *avoided work* — chunks not loaded,
 //! points not merged. These counters let tests and the benchmark
 //! harness assert that M4-LSM actually touched fewer chunks, instead of
-//! inferring it from wall-clock time alone.
+//! inferring it from wall-clock time alone. The write side mirrors
+//! that philosophy: WAL group-commit counters expose how many syscalls
+//! and fsyncs a batch actually paid, and the compaction scheduler's
+//! scheduled/completed/skipped counts make its hands-free behavior
+//! assertable.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -19,6 +23,13 @@ pub struct IoStats {
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
     cache_invalidations: AtomicU64,
+    points_written: AtomicU64,
+    wal_batches: AtomicU64,
+    wal_bytes: AtomicU64,
+    wal_syncs: AtomicU64,
+    compactions_scheduled: AtomicU64,
+    compactions_completed: AtomicU64,
+    compactions_skipped: AtomicU64,
 }
 
 /// Plain-value snapshot of [`IoStats`], subtractable for deltas.
@@ -44,6 +55,22 @@ pub struct IoSnapshot {
     /// Decoded chunks dropped because their file was retired
     /// (compaction).
     pub cache_invalidations: u64,
+    /// Points accepted into a memtable (insert or write_batch).
+    pub points_written: u64,
+    /// WAL group-commit batches written through to a log file (each is
+    /// one `write_all` syscall covering every frame of the batch).
+    pub wal_batches: u64,
+    /// Bytes appended to WAL files across all group commits.
+    pub wal_bytes: u64,
+    /// Explicit WAL fsyncs (`fdatasync`) issued by the commit path.
+    pub wal_syncs: u64,
+    /// Compactions queued by the background scheduler.
+    pub compactions_scheduled: u64,
+    /// Scheduled compactions that merged at least one file.
+    pub compactions_completed: u64,
+    /// Scheduled compactions that found nothing to do (lost a race
+    /// with a manual compact or an in-flight one) or failed.
+    pub compactions_skipped: u64,
 }
 
 impl IoStats {
@@ -56,7 +83,8 @@ impl IoStats {
     pub(crate) fn record_timestamp_load(&self, bytes: u64, timestamps: u64) {
         self.chunks_loaded.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
-        self.timestamps_decoded.fetch_add(timestamps, Ordering::Relaxed);
+        self.timestamps_decoded
+            .fetch_add(timestamps, Ordering::Relaxed);
     }
 
     pub(crate) fn record_mem_read(&self, points: u64) {
@@ -80,6 +108,31 @@ impl IoStats {
         self.cache_invalidations.fetch_add(n, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_points_written(&self, n: u64) {
+        self.points_written.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wal_batch(&self, bytes: u64) {
+        self.wal_batches.fetch_add(1, Ordering::Relaxed);
+        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wal_sync(&self) {
+        self.wal_syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_compaction_scheduled(&self) {
+        self.compactions_scheduled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_compaction_completed(&self) {
+        self.compactions_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_compaction_skipped(&self) {
+        self.compactions_skipped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Capture current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -92,6 +145,13 @@ impl IoStats {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
             cache_invalidations: self.cache_invalidations.load(Ordering::Relaxed),
+            points_written: self.points_written.load(Ordering::Relaxed),
+            wal_batches: self.wal_batches.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
+            compactions_scheduled: self.compactions_scheduled.load(Ordering::Relaxed),
+            compactions_completed: self.compactions_completed.load(Ordering::Relaxed),
+            compactions_skipped: self.compactions_skipped.load(Ordering::Relaxed),
         }
     }
 }
@@ -109,6 +169,13 @@ impl std::ops::Sub for IoSnapshot {
             cache_misses: self.cache_misses - rhs.cache_misses,
             cache_evictions: self.cache_evictions - rhs.cache_evictions,
             cache_invalidations: self.cache_invalidations - rhs.cache_invalidations,
+            points_written: self.points_written - rhs.points_written,
+            wal_batches: self.wal_batches - rhs.wal_batches,
+            wal_bytes: self.wal_bytes - rhs.wal_bytes,
+            wal_syncs: self.wal_syncs - rhs.wal_syncs,
+            compactions_scheduled: self.compactions_scheduled - rhs.compactions_scheduled,
+            compactions_completed: self.compactions_completed - rhs.compactions_completed,
+            compactions_skipped: self.compactions_skipped - rhs.compactions_skipped,
         }
     }
 }
@@ -130,6 +197,26 @@ mod tests {
         assert_eq!(snap.points_decoded, 18);
         assert_eq!(snap.timestamps_decoded, 7);
         assert_eq!(snap.mem_chunks_read, 1);
+    }
+
+    #[test]
+    fn write_side_counters_accumulate() {
+        let s = IoStats::default();
+        s.record_points_written(100);
+        s.record_wal_batch(4096);
+        s.record_wal_batch(1024);
+        s.record_wal_sync();
+        s.record_compaction_scheduled();
+        s.record_compaction_completed();
+        s.record_compaction_skipped();
+        let snap = s.snapshot();
+        assert_eq!(snap.points_written, 100);
+        assert_eq!(snap.wal_batches, 2);
+        assert_eq!(snap.wal_bytes, 5120);
+        assert_eq!(snap.wal_syncs, 1);
+        assert_eq!(snap.compactions_scheduled, 1);
+        assert_eq!(snap.compactions_completed, 1);
+        assert_eq!(snap.compactions_skipped, 1);
     }
 
     #[test]

@@ -28,9 +28,26 @@
 //!   the merge path dedups same-timestamp points, so reads stay
 //!   correct at the cost of a transiently larger memtable.
 //!
-//! Durability level: records are written to the OS on every append and
-//! fsynced when [`Wal::sync`] is called (the engine syncs on flush and
-//! on delete). A mid-append crash loses at most the torn tail record,
+//! ## Group commit
+//!
+//! [`Wal::open`] is write-through: every append reaches the OS in one
+//! `write_all` syscall, which is what the unit tests and simple callers
+//! expect. [`Wal::open_grouped`] buffers framed records in memory up to
+//! `batch_bytes` and drains them in a single `write_all` — either when
+//! the buffer crosses the threshold or when the engine calls
+//! [`Wal::commit`] at the end of a write call, before releasing the
+//! shard lock. Because the engine never returns (never *acknowledges*
+//! a write) without committing, the durability contract is unchanged:
+//! a crash can only lose writes that were never acknowledged.
+//! [`Wal::commit`] returns the bytes written through since the last
+//! commit so the engine can feed its group-commit counters, and
+//! optionally fsyncs per [`crate::config::FsyncPolicy`].
+//!
+//! Durability level: records are written to the OS on every append
+//! (write-through mode) or on every commit (grouped mode) and fsynced
+//! when [`Wal::sync`] is called or `commit(true)` runs (the engine
+//! syncs on flush and on delete, plus per the configured fsync
+//! policy). A mid-append crash loses at most the torn tail record,
 //! never previously acknowledged state.
 //!
 //! Record layout: `u8 kind` then fields, then `u32 crc` of everything
@@ -64,14 +81,38 @@ pub enum WalRecord {
 pub struct Wal {
     path: PathBuf,
     file: File,
+    /// Group-commit threshold: frames buffer in `buf` until it holds at
+    /// least this many bytes. `0` = write-through (flush every frame).
+    batch_bytes: usize,
+    /// Framed records not yet written to the OS.
+    buf: Vec<u8>,
+    /// Bytes written through since the last [`Wal::commit`]; lets the
+    /// commit path report batch sizes even when a large append drained
+    /// the buffer early.
+    written_since_commit: u64,
 }
 
 impl Wal {
-    /// Open (creating if absent) the WAL at `path`.
+    /// Open (creating if absent) the WAL at `path` in write-through
+    /// mode: every append reaches the OS immediately.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        Self::open_grouped(path, 0)
+    }
+
+    /// Open (creating if absent) the WAL at `path` in group-commit
+    /// mode: appends buffer in memory up to `batch_bytes` and are
+    /// drained in one syscall by [`Wal::commit`] (or when the buffer
+    /// crosses the threshold). `batch_bytes == 0` is write-through.
+    pub fn open_grouped<P: AsRef<Path>>(path: P, batch_bytes: usize) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(Wal { path, file })
+        Ok(Wal {
+            path,
+            file,
+            batch_bytes,
+            buf: Vec::new(),
+            written_since_commit: 0,
+        })
     }
 
     /// Append one insert run.
@@ -101,13 +142,44 @@ impl Wal {
 
     fn append_framed(&mut self, body: Vec<u8>) -> Result<()> {
         let crc = crc32(&body);
-        self.file.write_all(&body)?;
-        self.file.write_all(&crc.to_le_bytes())?;
+        self.buf.extend_from_slice(&body);
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+        if self.buf.len() >= self.batch_bytes {
+            self.flush_buf()?;
+        }
         Ok(())
     }
 
-    /// Force written records to stable storage.
+    /// Drain buffered frames to the OS in one `write_all`.
+    fn flush_buf(&mut self) -> Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.file.write_all(&self.buf)?;
+        self.written_since_commit += self.buf.len() as u64;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// End a group commit: drain any buffered frames, optionally fsync,
+    /// and return the bytes written through since the previous commit
+    /// (0 means the batch was empty). The engine calls this before
+    /// releasing the shard lock, so acknowledged writes are always in
+    /// the OS before the caller sees `Ok`.
+    pub fn commit(&mut self, sync: bool) -> Result<u64> {
+        self.flush_buf()?;
+        let bytes = self.written_since_commit;
+        self.written_since_commit = 0;
+        if sync && bytes > 0 {
+            self.file.sync_data()?;
+        }
+        Ok(bytes)
+    }
+
+    /// Force written records to stable storage (draining the buffer
+    /// first in grouped mode).
     pub fn sync(&mut self) -> Result<()> {
+        self.flush_buf()?;
         self.file.sync_data()?;
         Ok(())
     }
@@ -121,6 +193,9 @@ impl Wal {
     ///
     /// Must be called under the same lock that serializes appends.
     pub fn rotate_for_flush(&mut self) -> Result<()> {
+        // Buffered frames belong to the memtable being flushed; they
+        // must land in the segment that rotates out.
+        self.flush_buf()?;
         let sealed = Self::sealed_path(&self.path);
         if sealed.exists() {
             let mut dst = OpenOptions::new().append(true).open(&sealed)?;
@@ -130,7 +205,10 @@ impl Wal {
             self.reset()
         } else {
             std::fs::rename(&self.path, &sealed)?;
-            self.file = OpenOptions::new().create(true).append(true).open(&self.path)?;
+            self.file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)?;
             Ok(())
         }
     }
@@ -148,6 +226,8 @@ impl Wal {
     /// Discard all active-segment records (their effects are durable
     /// elsewhere, or the caller is tearing the series down).
     pub fn reset(&mut self) -> Result<()> {
+        // Buffered frames cover the same records being discarded.
+        self.buf.clear();
         // Recreate rather than truncate-in-place: O_APPEND offsets reset
         // with the new file handle on every platform.
         let file = OpenOptions::new()
@@ -188,9 +268,10 @@ impl Wal {
         Ok(out)
     }
 
-    /// Current size of the active segment in bytes.
+    /// Logical size of the active segment in bytes, counting buffered
+    /// (not-yet-written) frames so threshold checks see every append.
     pub fn len_bytes(&self) -> Result<u64> {
-        Ok(self.file.metadata()?.len())
+        Ok(self.file.metadata()?.len() + self.buf.len() as u64)
     }
 
     /// Path of the sealed segment belonging to the WAL at `path`.
@@ -226,7 +307,10 @@ fn decode_record(buf: &[u8], start: usize) -> Option<(WalRecord, usize)> {
             let version = Version(varint::read_u64(buf, &mut pos).ok()?);
             let s = varint::read_i64(buf, &mut pos).ok()?;
             let e = varint::read_i64(buf, &mut pos).ok()?;
-            WalRecord::Delete { version, range: TimeRange::new(s, e) }
+            WalRecord::Delete {
+                version,
+                range: TimeRange::new(s, e),
+            }
         }
         _ => return None,
     };
@@ -271,7 +355,10 @@ mod tests {
             records,
             vec![
                 WalRecord::Insert(pts(&[(1, 1.0), (2, 2.0)])),
-                WalRecord::Delete { version: Version(7), range: TimeRange::new(0, 10) },
+                WalRecord::Delete {
+                    version: Version(7),
+                    range: TimeRange::new(0, 10)
+                },
                 WalRecord::Insert(pts(&[(5, 5.0)])),
             ]
         );
@@ -402,6 +489,71 @@ mod tests {
         let mut w = Wal::open(&p)?;
         w.append_inserts(&[])?;
         assert_eq!(w.len_bytes()?, 0);
+        Ok(())
+    }
+
+    #[test]
+    fn grouped_mode_buffers_until_commit() -> TestResult {
+        let p = tmp("grouped.wal");
+        let mut w = Wal::open_grouped(&p, 1 << 20)?;
+        w.append_inserts(&pts(&[(1, 1.0), (2, 2.0)]))?;
+        w.append_delete(Version(3), TimeRange::new(0, 5))?;
+        // Nothing has reached the OS yet…
+        assert_eq!(std::fs::metadata(&p)?.len(), 0);
+        // …but the logical length counts the buffered frames.
+        assert!(w.len_bytes()? > 0);
+        assert!(Wal::replay(&p)?.is_empty());
+        let bytes = w.commit(false)?;
+        assert!(bytes > 0);
+        assert_eq!(std::fs::metadata(&p)?.len(), bytes);
+        assert_eq!(
+            Wal::replay(&p)?,
+            vec![
+                WalRecord::Insert(pts(&[(1, 1.0), (2, 2.0)])),
+                WalRecord::Delete {
+                    version: Version(3),
+                    range: TimeRange::new(0, 5)
+                },
+            ]
+        );
+        // A second commit with nothing new reports an empty batch.
+        assert_eq!(w.commit(true)?, 0);
+        Ok(())
+    }
+
+    #[test]
+    fn grouped_mode_writes_through_past_threshold() -> TestResult {
+        let p = tmp("grouped_threshold.wal");
+        let mut w = Wal::open_grouped(&p, 16)?;
+        // One record larger than the threshold drains immediately.
+        w.append_inserts(&pts(&[(1, 1.0), (2, 2.0), (3, 3.0)]))?;
+        assert!(std::fs::metadata(&p)?.len() > 0);
+        // commit still reports everything written since the last one.
+        assert!(w.commit(false)? > 0);
+        Ok(())
+    }
+
+    #[test]
+    fn rotation_drains_buffered_frames_into_sealed_segment() -> TestResult {
+        let p = tmp("grouped_rotate.wal");
+        let mut w = Wal::open_grouped(&p, 1 << 20)?;
+        w.append_inserts(&pts(&[(1, 1.0)]))?;
+        w.rotate_for_flush()?;
+        // The buffered record rotated out with the sealed segment.
+        assert_eq!(Wal::replay(&p)?, vec![WalRecord::Insert(pts(&[(1, 1.0)]))]);
+        assert!(Wal::sealed_path(&p).exists());
+        assert_eq!(w.len_bytes()?, 0);
+        Ok(())
+    }
+
+    #[test]
+    fn reset_drops_buffered_frames() -> TestResult {
+        let p = tmp("grouped_reset.wal");
+        let mut w = Wal::open_grouped(&p, 1 << 20)?;
+        w.append_inserts(&pts(&[(1, 1.0)]))?;
+        w.reset()?;
+        assert_eq!(w.commit(false)?, 0);
+        assert!(Wal::replay(&p)?.is_empty());
         Ok(())
     }
 }

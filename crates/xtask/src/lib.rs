@@ -53,6 +53,7 @@ const UNTRUSTED_INPUT_FILES: &[&str] = &[
 /// Files subject to the L2 lock-discipline scan.
 const L2_FILES: &[&str] = &[
     "crates/tskv/src/engine.rs",
+    "crates/tskv/src/scheduler.rs",
     "crates/tskv/src/snapshot.rs",
     "crates/tskv/src/cache.rs",
     "crates/m4/src/lsm/cache.rs",
@@ -116,7 +117,9 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 }
 
 fn walk_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
     let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
     paths.sort();
     for p in paths {
@@ -148,8 +151,8 @@ pub fn run_lint(root: &Path) -> Result<Vec<Violation>, String> {
         if !rules.any() {
             continue;
         }
-        let src = std::fs::read_to_string(file)
-            .map_err(|e| format!("read {}: {e}", file.display()))?;
+        let src =
+            std::fs::read_to_string(file).map_err(|e| format!("read {}: {e}", file.display()))?;
         raw.extend(rules::lint_source(&rel, &src, rules));
     }
 
@@ -198,9 +201,12 @@ pub fn run_lint(root: &Path) -> Result<Vec<Violation>, String> {
 /// Lint one file with every rule enabled, ignoring the allowlist.
 /// Used by the fixture self-tests and `xtask lint --file`.
 pub fn lint_single_file(path: &Path) -> Result<Vec<Violation>, String> {
-    let src =
-        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
-    Ok(rules::lint_source(&path.to_string_lossy(), &src, FileRules::all()))
+    let src = std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    Ok(rules::lint_source(
+        &path.to_string_lossy(),
+        &src,
+        FileRules::all(),
+    ))
 }
 
 #[cfg(test)]
@@ -214,6 +220,8 @@ mod tests {
         let r = rules_for("crates/tsfile/src/encoding/bitio.rs");
         assert!(r.l1 && r.l1_indexing && !r.l2 && r.l3 && r.l4);
         let r = rules_for("crates/tskv/src/engine.rs");
+        assert!(r.l1 && !r.l1_indexing && r.l2 && !r.l3 && !r.l4);
+        let r = rules_for("crates/tskv/src/scheduler.rs");
         assert!(r.l1 && !r.l1_indexing && r.l2 && !r.l3 && !r.l4);
         let r = rules_for("crates/m4/src/lsm/cache.rs");
         assert!(r.l1 && r.l2);

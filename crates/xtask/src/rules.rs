@@ -63,7 +63,13 @@ pub struct FileRules {
 
 impl FileRules {
     pub fn all() -> Self {
-        FileRules { l1: true, l1_indexing: true, l2: true, l3: true, l4: true }
+        FileRules {
+            l1: true,
+            l1_indexing: true,
+            l2: true,
+            l3: true,
+            l4: true,
+        }
     }
 
     pub fn any(self) -> bool {
@@ -83,7 +89,13 @@ pub fn lint_source(path: &str, src: &str, rules: FileRules) -> Vec<Violation> {
             .unwrap_or_default()
     };
     let mut push = |rule: Rule, line: u32, message: String| {
-        out.push(Violation { rule, path: path.to_string(), line, message, excerpt: excerpt(line) });
+        out.push(Violation {
+            rule,
+            path: path.to_string(),
+            line,
+            message,
+            excerpt: excerpt(line),
+        });
     };
 
     if rules.l1 {
@@ -160,9 +172,12 @@ fn scan_panic_sites(toks: &[Tok], indexing: bool, push: &mut impl FnMut(Rule, u3
 const ACQUIRE_METHODS: &[&str] = &["read", "write", "lock", "borrow", "borrow_mut"];
 
 /// Identifiers whose appearance (as a call or path segment) means file
-/// I/O or chunk decoding is happening. Deliberately absent: `append` —
-/// WAL/mods durability appends are the critical section a series lock
-/// exists to serialize (see DESIGN.md).
+/// I/O or chunk decoding is happening. Deliberately absent: `append`
+/// and `commit` — WAL/mods durability appends and the WAL group-commit
+/// drain are the critical section a series shard lock exists to
+/// serialize (see DESIGN.md). `compact` is present: compactions decode
+/// and rewrite whole files and must never run under a shard guard (the
+/// background scheduler's phase discipline depends on it).
 const IO_DECODE_CALLEES: &[&str] = &[
     "read_chunk",
     "read_chunk_timestamps",
@@ -192,6 +207,7 @@ const IO_DECODE_CALLEES: &[&str] = &[
     "decode_chunk_timestamps",
     "read_exact_at",
     "run_indexed",
+    "compact",
 ];
 
 #[derive(Debug)]
@@ -277,7 +293,11 @@ fn scan_lock_discipline(toks: &[Tok], push: &mut impl FnMut(Rule, u32, String)) 
                     .is_none_or(|t| t.is_punct(';') || t.is_punct('?'));
                 let binds_guard = stmt_has_let && ends_stmt;
                 guards.push(ActiveGuard {
-                    name: if binds_guard { stmt_let_name.clone() } else { None },
+                    name: if binds_guard {
+                        stmt_let_name.clone()
+                    } else {
+                        None
+                    },
                     depth,
                     statement_scoped: !binds_guard,
                     acquired_via: m.clone(),
@@ -307,7 +327,10 @@ fn scan_lock_discipline(toks: &[Tok], push: &mut impl FnMut(Rule, u32, String)) 
                             format!(
                                 "`{callee}` (file I/O / chunk decode) reached while a `{}{}` \
                                  guard from line {} is live; narrow the guard's scope",
-                                g.name.as_deref().map(|s| format!("{s}: ")).unwrap_or_default(),
+                                g.name
+                                    .as_deref()
+                                    .map(|s| format!("{s}: "))
+                                    .unwrap_or_default(),
                                 g.acquired_via,
                                 g.line,
                             ),
@@ -322,8 +345,9 @@ fn scan_lock_discipline(toks: &[Tok], push: &mut impl FnMut(Rule, u32, String)) 
 }
 
 /// Function-name prefixes that mark a decode/read entry point.
-const FALLIBLE_PREFIXES: &[&str] =
-    &["read", "decode", "open", "parse", "load", "recover", "replay", "scan"];
+const FALLIBLE_PREFIXES: &[&str] = &[
+    "read", "decode", "open", "parse", "load", "recover", "replay", "scan",
+];
 
 fn scan_fallible_api(toks: &[Tok], push: &mut impl FnMut(Rule, u32, String)) {
     let n = toks.len();
@@ -351,7 +375,12 @@ fn scan_fallible_api(toks: &[Tok], push: &mut impl FnMut(Rule, u32, String)) {
             }
         }
         // Qualifiers before `fn`.
-        while j < n && matches!(toks[j].ident(), Some("const" | "unsafe" | "async" | "extern")) {
+        while j < n
+            && matches!(
+                toks[j].ident(),
+                Some("const" | "unsafe" | "async" | "extern")
+            )
+        {
             j += 1;
         }
         if j >= n || toks[j].ident() != Some("fn") {
@@ -416,8 +445,8 @@ fn scan_fallible_api(toks: &[Tok], push: &mut impl FnMut(Rule, u32, String)) {
 }
 
 const NUMERIC_TYPES: &[&str] = &[
-    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
-    "f32", "f64",
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
 ];
 
 fn scan_numeric_casts(toks: &[Tok], push: &mut impl FnMut(Rule, u32, String)) {
@@ -466,7 +495,10 @@ mod tests {
     #[test]
     fn l1_indexing_flags_index_but_not_array_types() {
         let v = lint_all("fn f(buf: &[u8], x: [u8; 4]) -> u8 { let a = [0u8; 2]; buf[1] }");
-        let idx: Vec<_> = v.iter().filter(|v| v.message.contains("indexing")).collect();
+        let idx: Vec<_> = v
+            .iter()
+            .filter(|v| v.message.contains("indexing"))
+            .collect();
         assert_eq!(idx.len(), 1, "{v:?}");
     }
 

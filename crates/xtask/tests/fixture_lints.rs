@@ -5,7 +5,12 @@
 
 // Tests assert by panicking; the workspace panic-freedom deny-set
 // (root Cargo.toml) is aimed at library code.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -13,7 +18,9 @@ use std::process::Command;
 use xtask::{lint_single_file, Rule, Violation};
 
 fn fixture(name: &str) -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
 }
 
 /// Lint a fixture and assert every violation belongs to `rule`.
@@ -22,7 +29,8 @@ fn lint_fixture(name: &str, rule: Rule) -> Vec<Violation> {
     assert!(!v.is_empty(), "{name}: expected at least one violation");
     for violation in &v {
         assert_eq!(
-            violation.rule, rule,
+            violation.rule,
+            rule,
             "{name}: expected only {} violations, got {violation:?}",
             rule.code()
         );
@@ -46,7 +54,8 @@ fn l1_fixture_flags_every_panic_path_class() {
 fn l2_fixture_flags_guard_across_chunk_load() {
     let v = lint_fixture("l2_guard_across_io.rs", Rule::L2);
     assert!(
-        v.iter().any(|v| v.message.contains("read_chunk") && v.message.contains("guard")),
+        v.iter()
+            .any(|v| v.message.contains("read_chunk") && v.message.contains("guard")),
         "{v:?}"
     );
 }
@@ -55,11 +64,23 @@ fn l2_fixture_flags_guard_across_chunk_load() {
 fn l2_fixture_flags_guard_across_cache_decode_and_pool() {
     let v = lint_fixture("l2_guard_across_cache.rs", Rule::L2);
     assert!(
-        v.iter().any(|v| v.message.contains("decode_chunk_body") && v.message.contains("guard")),
+        v.iter()
+            .any(|v| v.message.contains("decode_chunk_body") && v.message.contains("guard")),
         "{v:?}"
     );
     assert!(
-        v.iter().any(|v| v.message.contains("run_indexed") && v.message.contains("guard")),
+        v.iter()
+            .any(|v| v.message.contains("run_indexed") && v.message.contains("guard")),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn l2_fixture_flags_scheduler_guard_across_compact() {
+    let v = lint_fixture("l2_scheduler_lock_phase.rs", Rule::L2);
+    assert!(
+        v.iter()
+            .any(|v| v.message.contains("compact") && v.message.contains("guard")),
         "{v:?}"
     );
 }
@@ -67,7 +88,10 @@ fn l2_fixture_flags_guard_across_cache_decode_and_pool() {
 #[test]
 fn l3_fixture_flags_infallible_decode_entry_point() {
     let v = lint_fixture("l3_infallible_decode.rs", Rule::L3);
-    assert!(v.iter().any(|v| v.message.contains("decode_frame")), "{v:?}");
+    assert!(
+        v.iter().any(|v| v.message.contains("decode_frame")),
+        "{v:?}"
+    );
 }
 
 #[test]
@@ -89,6 +113,7 @@ fn cli_exits_nonzero_on_each_fixture() {
         "l1_panic_paths.rs",
         "l2_guard_across_io.rs",
         "l2_guard_across_cache.rs",
+        "l2_scheduler_lock_phase.rs",
         "l3_infallible_decode.rs",
         "l4_unchecked_cast.rs",
     ] {
@@ -98,7 +123,10 @@ fn cli_exits_nonzero_on_each_fixture() {
             .arg(fixture(name))
             .status()
             .unwrap();
-        assert!(!status.success(), "{name}: CLI must exit non-zero on a violating file");
+        assert!(
+            !status.success(),
+            "{name}: CLI must exit non-zero on a violating file"
+        );
     }
 }
 
@@ -111,5 +139,8 @@ fn cli_exits_zero_on_workspace() {
         .arg(&root)
         .status()
         .unwrap();
-    assert!(status.success(), "CLI must exit zero on the clean workspace");
+    assert!(
+        status.success(),
+        "CLI must exit zero on the clean workspace"
+    );
 }

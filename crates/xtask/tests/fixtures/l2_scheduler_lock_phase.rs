@@ -1,0 +1,20 @@
+//! L2 fixture: a shard read guard held across a compaction call — the
+//! phase discipline the background compaction scheduler must keep
+//! (collect candidates under a short guard, drop it, *then* compact
+//! each one off-lock). The `compact` recognizer must reject the fused
+//! form below. Names avoid the L3 fallible prefixes and there are no
+//! panic sites, indexing, or casts, so only L2 may fire.
+
+struct Scheduler;
+
+impl Scheduler {
+    fn tick(&self) {
+        let shard = self.shards.read();
+        for name in shard.candidates() {
+            let report = compact(name);
+            keep(report);
+        }
+    }
+}
+
+fn keep<T>(_: T) {}

@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Experiments: table2, fig8, fig10, fig11, fig12, fig13, fig14,
-//! pixels, ablation, compaction, parallel, ingest, all.
+//! pixels, ablation, compaction, parallel, ingest, serve, all.
 //!
 //! `--out` writes `{"meta": {...}, "rows": [...]}` — the meta header
 //! records the run's scale/repeats and the baseline write-path knobs
@@ -28,6 +28,7 @@
 use std::io::Write;
 
 use bench::experiments::ingest::{self, IngestReport, IngestRow};
+use bench::experiments::serve::{self, ServeReport, ServeRow};
 use bench::experiments::{
     ablation, compaction, fig10, fig11, fig12, fig13, fig14, fig8, parallel, pixels, table2,
 };
@@ -79,7 +80,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--exp table2|fig8|fig10|fig11|fig12|fig13|fig14|pixels|ablation|compaction|parallel|ingest|all] \
+                    "usage: repro [--exp table2|fig8|fig10|fig11|fig12|fig13|fig14|pixels|ablation|compaction|parallel|ingest|serve|all] \
                      [--scale F] [--repeats N] [--out FILE.json] [--dataset NAME]..."
                 );
                 std::process::exit(0);
@@ -158,6 +159,13 @@ fn main() {
         ingest::print(&ingest_rows);
         ingest::summarize(&ingest_rows);
     }
+    let mut serve_rows: Vec<ServeRow> = Vec::new();
+    if all || args.exp == "serve" {
+        println!("\n== serve ==");
+        serve_rows = serve::run(&h);
+        serve::print(&serve_rows);
+        serve::summarize(&serve_rows);
+    }
 
     if let Some(path) = &args.out {
         let meta = BenchMeta::new(&h, &EngineConfig::default());
@@ -170,9 +178,21 @@ fn main() {
                 serde_json::to_string_pretty(&report).expect("serialize ingest report"),
                 report.rows.len(),
             )
+        } else if args.exp == "serve" {
+            let report = ServeReport {
+                meta,
+                rows: serve_rows,
+            };
+            (
+                serde_json::to_string_pretty(&report).expect("serialize serve report"),
+                report.rows.len(),
+            )
         } else {
             if !ingest_rows.is_empty() {
                 println!("\nnote: ingest rows are only serialized by `--exp ingest --out ...`");
+            }
+            if !serve_rows.is_empty() {
+                println!("\nnote: serve rows are only serialized by `--exp serve --out ...`");
             }
             let report = BenchReport { meta, rows };
             (

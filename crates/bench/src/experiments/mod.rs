@@ -13,4 +13,5 @@ pub mod fig8;
 pub mod ingest;
 pub mod parallel;
 pub mod pixels;
+pub mod serve;
 pub mod table2;

@@ -1,0 +1,515 @@
+//! Network service layer: cross-process M4-LSM over the tsnet server.
+//!
+//! Not a paper artifact — this measures the `tsnet` request path layered
+//! on the reproduction: N concurrent clients drive one TCP server over
+//! loopback with every RPC kind (`Ping`, `WriteBatch`, `M4Query` both
+//! operators, `Delete`, `Stats`, `FlushSeal`) while the `clients` ×
+//! `max_in_flight` grid sweeps offered concurrency against the
+//! admission gate. Each client owns a disjoint set of series, so the
+//! concurrent interleaving commutes and a **twin store** can replay
+//! every client's script in-process afterwards: a cell is only valid
+//! (`oracle_match`) when every M4 result that crossed the wire is
+//! *byte-identical* — compared as canonical encoded response frames —
+//! to the in-process result at the same script position.
+//!
+//! Latency quantiles come from the server's fixed-bucket histogram
+//! (power-of-two bucket bounds), fetched over the wire by the `Stats`
+//! RPC — the row never reaches into the server process.
+
+use std::net::SocketAddr;
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use m4::{M4Lsm, M4Query, M4Udf};
+use tsfile::types::Point;
+use tskv::config::EngineConfig;
+use tskv::{TsKv, WriteBatch};
+use tsnet::wire::encode_response;
+use tsnet::{
+    ClientConfig, Operator, Request, Response, ServerConfig, ServerStatsSnapshot, TsNetClient,
+    TsNetServer,
+};
+use workload::Dataset;
+
+use crate::harness::{BenchMeta, Harness};
+
+/// Concurrent client counts to race.
+pub const CLIENT_GRID: [usize; 2] = [1, 4];
+/// Admission-control bounds to sweep (`ServerConfig::max_in_flight`).
+pub const INFLIGHT_GRID: [usize; 2] = [1, 8];
+/// Points per `WriteBatch` RPC.
+pub const BATCH: usize = 256;
+/// Pixel width of every M4 query.
+pub const W: u32 = 480;
+/// Per-cell cap on dataset points: the cell measures the RPC path, not
+/// bulk transfer, and 16 cells × 4 datasets must stay tractable.
+pub const POINT_CAP: usize = 40_000;
+
+/// One serve grid cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeRow {
+    pub dataset: String,
+    pub clients: usize,
+    pub max_in_flight: usize,
+    /// Points shipped over the wire by all clients together.
+    pub points_sent: u64,
+    pub requests_ping: u64,
+    pub requests_write: u64,
+    pub requests_query: u64,
+    pub requests_delete: u64,
+    pub requests_stats: u64,
+    pub requests_flush: u64,
+    /// Requests answered `Busy` by the admission gate (each was
+    /// retried by the client until it landed).
+    pub rejected_busy: u64,
+    pub timeouts: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    pub elapsed_ms: f64,
+    pub requests_per_sec: f64,
+    /// Median latency bucket bound (µs) from the server histogram.
+    pub p50_us: u64,
+    /// p99 latency bucket bound (µs) from the server histogram.
+    pub p99_us: u64,
+    /// Every M4 response byte-identical to the in-process twin replay.
+    pub oracle_match: bool,
+}
+
+/// The document `repro --exp serve --out` writes.
+#[derive(Debug, Serialize)]
+pub struct ServeReport {
+    pub meta: BenchMeta,
+    pub rows: Vec<ServeRow>,
+}
+
+/// One deterministic client action. Built once per client from its
+/// point stripe, then executed twice: over the wire and against the
+/// in-process twin.
+enum Step {
+    Write(Range<usize>),
+    Query { op: Operator, t_qs: i64, t_qe: i64 },
+    Delete { start: i64, end: i64 },
+    FlushSeal { compact: bool },
+}
+
+pub fn run(h: &Harness) -> Vec<ServeRow> {
+    let mut rows = Vec::new();
+    for dataset in h.datasets.iter().copied() {
+        let mut points = dataset.generate(h.scale);
+        points.truncate(POINT_CAP);
+        for &max_in_flight in &INFLIGHT_GRID {
+            for &clients in &CLIENT_GRID {
+                rows.push(run_cell(h, dataset, &points, clients, max_in_flight));
+            }
+        }
+    }
+    rows
+}
+
+fn run_cell(
+    h: &Harness,
+    dataset: Dataset,
+    points: &[Point],
+    clients: usize,
+    max_in_flight: usize,
+) -> ServeRow {
+    let dir = h
+        .root
+        .join(format!("serve-{}-c{clients}-f{max_in_flight}", dataset.name()));
+    let twin_dir = h.root.join(format!(
+        "serve-twin-{}-c{clients}-f{max_in_flight}",
+        dataset.name()
+    ));
+    for d in [&dir, &twin_dir] {
+        std::fs::remove_dir_all(d).ok();
+        std::fs::create_dir_all(d).expect("create serve dir");
+    }
+
+    // Stripe the dataset into one disjoint stream per client; every
+    // stream spans the full time range with unique ascending
+    // timestamps, so concurrent clients never touch the same series.
+    let mut streams: Vec<Vec<Point>> = vec![Vec::new(); clients.max(1)];
+    for (i, p) in points.iter().enumerate() {
+        streams[i % clients.max(1)].push(*p);
+    }
+    let scripts: Vec<Vec<Step>> = streams.iter().map(|s| build_script(s)).collect();
+    let points_sent: u64 = streams.iter().map(|s| s.len() as u64).sum();
+
+    let store = Arc::new(TsKv::open(&dir, EngineConfig::default()).expect("open serve store"));
+    let server = TsNetServer::start(
+        Arc::clone(&store),
+        ServerConfig {
+            max_connections: clients + 2,
+            max_in_flight,
+            ..Default::default()
+        },
+    )
+    .expect("start serve server");
+    let addr = server.local_addr();
+
+    let start = Instant::now();
+    let observed: Vec<Vec<Vec<u8>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = scripts
+            .iter()
+            .zip(&streams)
+            .enumerate()
+            .map(|(c, (script, stream))| {
+                scope.spawn(move || run_client(addr, c, stream, script))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|t| t.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let snap = final_stats(addr);
+    server.shutdown();
+    drop(server);
+    drop(store);
+
+    // Twin replay: same scripts, same engine config, one client at a
+    // time. Disjoint series make the concurrent interleaving commute,
+    // so position-by-position byte equality is the correctness bar.
+    let twin = TsKv::open(&twin_dir, EngineConfig::default()).expect("open twin store");
+    let mut oracle_match = true;
+    for (c, (script, stream)) in scripts.iter().zip(&streams).enumerate() {
+        let expected = oracle_replay(&twin, &series_name(c), stream, script);
+        if observed[c] != expected {
+            oracle_match = false;
+        }
+    }
+    drop(twin);
+    for d in [&dir, &twin_dir] {
+        std::fs::remove_dir_all(d).ok();
+    }
+
+    ServeRow {
+        dataset: dataset.name().to_string(),
+        clients,
+        max_in_flight,
+        points_sent,
+        requests_ping: snap.requests_ping,
+        requests_write: snap.requests_write,
+        requests_query: snap.requests_query,
+        requests_delete: snap.requests_delete,
+        requests_stats: snap.requests_stats,
+        requests_flush: snap.requests_flush,
+        rejected_busy: snap.rejected_busy,
+        timeouts: snap.timeouts,
+        bytes_in: snap.bytes_in,
+        bytes_out: snap.bytes_out,
+        elapsed_ms,
+        requests_per_sec: if elapsed_ms > 0.0 {
+            snap.requests_total() as f64 / (elapsed_ms / 1e3)
+        } else {
+            f64::INFINITY
+        },
+        p50_us: snap.p50_us(),
+        p99_us: snap.p99_us(),
+        oracle_match,
+    }
+}
+
+fn series_name(client: usize) -> String {
+    format!("serve.c{client}")
+}
+
+/// Deterministic action list for one client stripe: batched writes
+/// interleaved with both M4 operators, a mid-script flush+compact, an
+/// occasional delete, and a closing flush / no-op delete / final query
+/// pair so every RPC kind runs at any stripe size.
+fn build_script(stream: &[Point]) -> Vec<Step> {
+    let mut steps = Vec::new();
+    let t_min = stream.first().expect("non-empty stripe").t;
+    let t_last = stream.last().expect("non-empty stripe").t;
+    let nbatches = stream.len().div_ceil(BATCH);
+    for bi in 0..nbatches {
+        let range = bi * BATCH..((bi + 1) * BATCH).min(stream.len());
+        let first = stream[range.start];
+        let last = stream[range.end - 1];
+        steps.push(Step::Write(range));
+        if bi % 5 == 2 {
+            steps.push(Step::Query {
+                op: Operator::Lsm,
+                t_qs: t_min,
+                t_qe: last.t + 1,
+            });
+        }
+        if bi % 7 == 4 {
+            steps.push(Step::Query {
+                op: Operator::Udf,
+                t_qs: t_min,
+                t_qe: last.t + 1,
+            });
+        }
+        if bi == nbatches / 2 {
+            steps.push(Step::FlushSeal { compact: true });
+        }
+        if bi % 9 == 6 {
+            // Carve an eighth of this batch's span back out.
+            steps.push(Step::Delete {
+                start: first.t,
+                end: first.t + (last.t - first.t) / 8,
+            });
+        }
+    }
+    steps.push(Step::FlushSeal { compact: false });
+    // No-op range past the end: keeps the Delete RPC exercised even
+    // when the stripe is too small for the modular delete to fire.
+    steps.push(Step::Delete {
+        start: t_last + 1,
+        end: t_last + 2,
+    });
+    steps.push(Step::Query {
+        op: Operator::Udf,
+        t_qs: t_min,
+        t_qe: t_last + 1,
+    });
+    steps.push(Step::Query {
+        op: Operator::Lsm,
+        t_qs: t_min,
+        t_qe: t_last + 1,
+    });
+    steps
+}
+
+/// Issue one RPC, retrying `Busy` rejections until admitted. Cells
+/// with more clients than in-flight slots depend on this backpressure
+/// loop actually landing every request.
+fn rpc(client: &mut TsNetClient, req: Request) -> Response {
+    client
+        .call_with_busy_retry(req, 10_000, 1)
+        .expect("serve rpc")
+}
+
+/// Execute one client script over the wire; returns the canonical
+/// encoded bytes of every M4 response, in script order.
+fn run_client(addr: SocketAddr, c: usize, stream: &[Point], script: &[Step]) -> Vec<Vec<u8>> {
+    let mut client = TsNetClient::connect(addr, ClientConfig::default()).expect("connect client");
+    let name = series_name(c);
+    // The opening ping parks its admission slot for a beat: with more
+    // clients than slots this guarantees the Busy path is exercised
+    // (and retried) in every saturated cell, independent of how the
+    // organic traffic happens to interleave.
+    match rpc(&mut client, Request::Ping { delay_ms: 25 }) {
+        Response::Pong => {}
+        other => panic!("ping answered {other:?}"),
+    }
+    let mut out = Vec::new();
+    for step in script {
+        match step {
+            Step::Write(range) => {
+                let entries = vec![(name.clone(), stream[range.clone()].to_vec())];
+                match rpc(&mut client, Request::WriteBatch { entries }) {
+                    Response::Written { points } => {
+                        assert_eq!(points as usize, range.len(), "write echo")
+                    }
+                    other => panic!("write answered {other:?}"),
+                }
+            }
+            Step::Query { op, t_qs, t_qe } => {
+                let req = Request::M4Query {
+                    series: name.clone(),
+                    op: *op,
+                    t_qs: *t_qs,
+                    t_qe: *t_qe,
+                    w: W,
+                };
+                match rpc(&mut client, req) {
+                    Response::M4 { spans } => out.push(m4_bytes(spans)),
+                    other => panic!("query answered {other:?}"),
+                }
+            }
+            Step::Delete { start, end } => {
+                let req = Request::Delete {
+                    series: name.clone(),
+                    start: *start,
+                    end: *end,
+                };
+                match rpc(&mut client, req) {
+                    Response::Deleted => {}
+                    other => panic!("delete answered {other:?}"),
+                }
+            }
+            Step::FlushSeal { compact } => {
+                let req = Request::FlushSeal {
+                    series: Some(name.clone()),
+                    compact: *compact,
+                };
+                match rpc(&mut client, req) {
+                    Response::Flushed { .. } => {}
+                    other => panic!("flush answered {other:?}"),
+                }
+            }
+        }
+    }
+    // Every client ends with a Stats round-trip so the control-plane
+    // RPC is exercised under whatever contention the cell created.
+    client.stats().expect("client stats");
+    out
+}
+
+/// Replay one client script against the in-process twin; returns the
+/// expected M4 bytes at the same script positions.
+fn oracle_replay(kv: &TsKv, name: &str, stream: &[Point], script: &[Step]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for step in script {
+        match step {
+            Step::Write(range) => {
+                let mut wb = WriteBatch::new();
+                wb.insert_many(name, &stream[range.clone()]);
+                kv.write_batch(&wb).expect("oracle write");
+            }
+            Step::Query { op, t_qs, t_qe } => {
+                let snap = kv.snapshot(name).expect("oracle snapshot");
+                let query = M4Query::new(*t_qs, *t_qe, W as usize).expect("oracle query spec");
+                let result = match op {
+                    Operator::Udf => M4Udf::new().execute(&snap, &query),
+                    Operator::Lsm => M4Lsm::new().execute(&snap, &query),
+                }
+                .expect("oracle execute");
+                out.push(m4_bytes(result.spans));
+            }
+            Step::Delete { start, end } => {
+                kv.delete(name, *start, *end).expect("oracle delete");
+            }
+            Step::FlushSeal { compact } => {
+                kv.flush(name).expect("oracle flush");
+                if *compact {
+                    kv.compact(name).expect("oracle compact");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Canonical comparison unit: the encoded `M4` response frame.
+fn m4_bytes(spans: Vec<Option<m4::SpanRepr>>) -> Vec<u8> {
+    encode_response(&Response::M4 { spans }).expect("encode m4 response")
+}
+
+/// Fetch the server counters over the wire (fresh connection, so the
+/// measured clients' sockets are already closed).
+fn final_stats(addr: SocketAddr) -> ServerStatsSnapshot {
+    let mut client = TsNetClient::connect(addr, ClientConfig::default()).expect("stats client");
+    let (_io, server) = client.stats().expect("final stats");
+    server
+}
+
+/// Pretty-print serve rows as an aligned table.
+pub fn print(rows: &[ServeRow]) {
+    if rows.is_empty() {
+        return;
+    }
+    println!(
+        "{:<10} {:>7} {:>8} {:>8} {:>9} {:>6} {:>8} {:>8} {:>10} {:>6}",
+        "dataset", "clients", "inflight", "reqs", "req/s", "busy", "p50_us", "p99_us", "elapsed", "oracle"
+    );
+    for r in rows {
+        let total = r.requests_ping
+            + r.requests_write
+            + r.requests_query
+            + r.requests_delete
+            + r.requests_stats
+            + r.requests_flush;
+        println!(
+            "{:<10} {:>7} {:>8} {:>8} {:>9.0} {:>6} {:>8} {:>8} {:>9.1}ms {:>6}",
+            r.dataset,
+            r.clients,
+            r.max_in_flight,
+            total,
+            r.requests_per_sec,
+            r.rejected_busy,
+            r.p50_us,
+            r.p99_us,
+            r.elapsed_ms,
+            if r.oracle_match { "ok" } else { "FAIL" }
+        );
+    }
+}
+
+/// Headline ratios: client fan-out scaling at the widest admission
+/// gate, and the backpressure the narrowest gate generated.
+pub fn summarize(rows: &[ServeRow]) {
+    let max_clients = CLIENT_GRID.iter().copied().max().unwrap_or(1);
+    let max_inflight = INFLIGHT_GRID.iter().copied().max().unwrap_or(1);
+    let min_inflight = INFLIGHT_GRID.iter().copied().min().unwrap_or(1);
+    let mean = |c: usize, f: usize, metric: &dyn Fn(&ServeRow) -> f64| {
+        let v: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.clients == c && r.max_in_flight == f)
+            .map(metric)
+            .collect();
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let rps = |r: &ServeRow| r.requests_per_sec;
+    let single = mean(1, max_inflight, &rps);
+    let multi = mean(max_clients, max_inflight, &rps);
+    if single.is_finite() && single > 0.0 && multi.is_finite() {
+        println!(
+            "-- serve: {max_clients} clients vs 1 at in-flight={max_inflight}: \
+             {multi:.0} vs {single:.0} req/s ({:.2}x)",
+            multi / single
+        );
+    }
+    let busy = mean(max_clients, min_inflight, &|r| r.rejected_busy as f64);
+    if busy.is_finite() {
+        println!(
+            "-- serve: admission gate at in-flight={min_inflight} with {max_clients} clients \
+             rejected {busy:.0} requests/cell (all retried to completion)"
+        );
+    }
+    let mismatches = rows.iter().filter(|r| !r.oracle_match).count();
+    println!(
+        "-- serve: {}/{} cells byte-identical to the in-process oracle",
+        rows.len() - mismatches,
+        rows.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_matches_the_oracle_and_runs_every_rpc_kind() {
+        let h = Harness::new(0.002, 1).with_datasets(vec![Dataset::BallSpeed]);
+        let rows = run(&h);
+        h.cleanup();
+        assert_eq!(rows.len(), CLIENT_GRID.len() * INFLIGHT_GRID.len());
+        for r in &rows {
+            assert!(r.oracle_match, "{r:?}");
+            assert!(r.points_sent > 0, "{r:?}");
+            // Every RPC kind must have executed in every cell.
+            for (kind, n) in [
+                ("ping", r.requests_ping),
+                ("write", r.requests_write),
+                ("query", r.requests_query),
+                ("delete", r.requests_delete),
+                ("stats", r.requests_stats),
+                ("flush", r.requests_flush),
+            ] {
+                assert!(n > 0, "{kind} never ran: {r:?}");
+            }
+            assert_eq!(r.timeouts, 0, "{r:?}");
+            assert!(r.bytes_in > 0 && r.bytes_out > 0, "{r:?}");
+        }
+        // The saturated cell (4 clients, 1 slot) must actually have
+        // exercised the admission gate.
+        let saturated = rows
+            .iter()
+            .find(|r| r.clients == 4 && r.max_in_flight == 1)
+            .expect("saturated cell present");
+        assert!(saturated.rejected_busy > 0, "{saturated:?}");
+    }
+}

@@ -1,0 +1,214 @@
+//! Blocking client for the tsnet protocol.
+//!
+//! One [`TsNetClient`] owns one TCP connection and issues one request
+//! at a time (the protocol is strictly request/response per
+//! connection; use one client per thread for concurrency). Connection
+//! establishment retries with linear backoff; `Busy` responses surface
+//! as the retryable [`NetError::Busy`] so callers choose their own
+//! backpressure policy — or use [`TsNetClient::call_with_busy_retry`].
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::Duration;
+
+use m4::SpanRepr;
+use tsfile::types::Point;
+use tskv::stats::IoSnapshot;
+
+use crate::error::NetError;
+use crate::stats::ServerStatsSnapshot;
+use crate::wire::{self, Frame, Operator, Request, RequestEnvelope, Response};
+use crate::Result;
+
+/// Tuning knobs for one client connection.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Connection attempts before giving up.
+    pub connect_attempts: u32,
+    /// Backoff between connection attempts (ms, linear: attempt × this).
+    pub connect_backoff_ms: u64,
+    /// Socket read timeout while waiting for a response (ms; 0 = none).
+    pub read_timeout_ms: u64,
+    /// Deadline stamped on every request envelope (ms; 0 = none).
+    pub deadline_ms: u32,
+    /// Largest response payload this client will accept (bytes).
+    pub max_payload_bytes: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_attempts: 10,
+            connect_backoff_ms: 50,
+            read_timeout_ms: 30_000,
+            deadline_ms: 0,
+            max_payload_bytes: wire::MAX_PAYLOAD_BYTES,
+        }
+    }
+}
+
+/// A blocking connection to a [`crate::server::TsNetServer`].
+pub struct TsNetClient {
+    stream: TcpStream,
+    config: ClientConfig,
+}
+
+impl TsNetClient {
+    /// Connect to `addr`, retrying per the config. Useful against a
+    /// server that is still binding (CI starts both concurrently).
+    pub fn connect(addr: impl ToSocketAddrs + Copy, config: ClientConfig) -> Result<TsNetClient> {
+        let attempts = config.connect_attempts.max(1);
+        let mut last: Option<std::io::Error> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                thread::sleep(Duration::from_millis(
+                    config.connect_backoff_ms.saturating_mul(u64::from(attempt)),
+                ));
+            }
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    if config.read_timeout_ms > 0 {
+                        stream
+                            .set_read_timeout(Some(Duration::from_millis(config.read_timeout_ms)))?;
+                    }
+                    stream.set_nodelay(true)?;
+                    return Ok(TsNetClient { stream, config });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(NetError::ConnectFailed {
+            attempts,
+            last: last.unwrap_or_else(|| {
+                std::io::Error::other("no connection attempt ran")
+            }),
+        })
+    }
+
+    /// Change the deadline stamped on subsequent requests (ms; 0 = none).
+    pub fn set_deadline_ms(&mut self, deadline_ms: u32) {
+        self.config.deadline_ms = deadline_ms;
+    }
+
+    /// Issue one request and decode its response frame. Error
+    /// responses come back as `Err` ([`NetError::Busy`],
+    /// [`NetError::Timeout`] or [`NetError::Remote`]).
+    pub fn call(&mut self, body: Request) -> Result<Response> {
+        let env = RequestEnvelope {
+            deadline_ms: self.config.deadline_ms,
+            body,
+        };
+        let bytes = wire::encode_request(&env)?;
+        wire::write_frame(&mut self.stream, &bytes)?;
+        let frame = wire::read_frame(&mut self.stream, self.config.max_payload_bytes)?;
+        match frame {
+            Frame::Response(Response::Error { code, detail }) => {
+                Err(NetError::from_remote(code, detail))
+            }
+            Frame::Response(resp) => Ok(resp),
+            Frame::Request(_) => Err(NetError::UnexpectedResponse("client")),
+        }
+    }
+
+    /// Like [`TsNetClient::call`], retrying `Busy` rejections with
+    /// linear backoff. Non-retryable errors return immediately.
+    pub fn call_with_busy_retry(
+        &mut self,
+        body: Request,
+        attempts: u32,
+        backoff_ms: u64,
+    ) -> Result<Response> {
+        let attempts = attempts.max(1);
+        let mut outcome = self.call(body.clone());
+        for attempt in 1..attempts {
+            match &outcome {
+                Err(NetError::Busy) => {
+                    thread::sleep(Duration::from_millis(
+                        backoff_ms.saturating_mul(u64::from(attempt)),
+                    ));
+                    outcome = self.call(body.clone());
+                }
+                _ => break,
+            }
+        }
+        outcome
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        self.ping_delay(0)
+    }
+
+    /// Liveness probe that holds its admission slot for `delay_ms` on
+    /// the server — orchestration aid for backpressure tests.
+    pub fn ping_delay(&mut self, delay_ms: u32) -> Result<()> {
+        match self.call(Request::Ping { delay_ms })? {
+            Response::Pong => Ok(()),
+            _ => Err(NetError::UnexpectedResponse("ping")),
+        }
+    }
+
+    /// Write points to one or more series; returns points accepted.
+    pub fn write_batch(&mut self, entries: Vec<(String, Vec<Point>)>) -> Result<u64> {
+        match self.call(Request::WriteBatch { entries })? {
+            Response::Written { points } => Ok(points),
+            _ => Err(NetError::UnexpectedResponse("write-batch")),
+        }
+    }
+
+    /// Run an M4 query; returns the per-span representations.
+    pub fn m4_query(
+        &mut self,
+        series: &str,
+        op: Operator,
+        t_qs: i64,
+        t_qe: i64,
+        w: u32,
+    ) -> Result<Vec<Option<SpanRepr>>> {
+        let req = Request::M4Query {
+            series: series.to_string(),
+            op,
+            t_qs,
+            t_qe,
+            w,
+        };
+        match self.call(req)? {
+            Response::M4 { spans } => Ok(spans),
+            _ => Err(NetError::UnexpectedResponse("m4-query")),
+        }
+    }
+
+    /// Delete `[start, end]` from a series.
+    pub fn delete(&mut self, series: &str, start: i64, end: i64) -> Result<()> {
+        let req = Request::Delete {
+            series: series.to_string(),
+            start,
+            end,
+        };
+        match self.call(req)? {
+            Response::Deleted => Ok(()),
+            _ => Err(NetError::UnexpectedResponse("delete")),
+        }
+    }
+
+    /// Fetch engine I/O counters and server counters.
+    pub fn stats(&mut self) -> Result<(IoSnapshot, ServerStatsSnapshot)> {
+        match self.call(Request::Stats)? {
+            Response::Stats { io, server } => Ok((*io, *server)),
+            _ => Err(NetError::UnexpectedResponse("stats")),
+        }
+    }
+
+    /// Flush (and optionally compact) one series or all; returns the
+    /// series count touched.
+    pub fn flush_seal(&mut self, series: Option<&str>, compact: bool) -> Result<u32> {
+        let req = Request::FlushSeal {
+            series: series.map(str::to_string),
+            compact,
+        };
+        match self.call(req)? {
+            Response::Flushed { series_flushed } => Ok(series_flushed),
+            _ => Err(NetError::UnexpectedResponse("flush-seal")),
+        }
+    }
+}

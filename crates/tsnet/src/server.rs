@@ -1,0 +1,596 @@
+//! The TCP query/ingest server.
+//!
+//! ## Threading model
+//!
+//! One blocking **accept thread** owns the listener. Each accepted
+//! connection gets a dedicated **worker thread** from a bounded pool
+//! (`max_connections`); connections beyond the bound are answered with
+//! a `Busy` error frame and closed. Workers alternate between a short
+//! `peek`-with-timeout poll (so they notice shutdown without consuming
+//! frame bytes) and a full blocking frame read once bytes are present.
+//!
+//! ## Admission control
+//!
+//! A single atomic in-flight gauge admits at most `max_in_flight`
+//! requests into execution; excess requests are answered immediately
+//! with `Busy` (the connection stays usable — backpressure, not
+//! eviction). `Stats` is control-plane and bypasses admission, so an
+//! operator (or a test) can always observe a saturated server.
+//!
+//! ## Shutdown protocol
+//!
+//! [`TsNetServer::shutdown`] sets the drain flag, wakes the accept
+//! thread with a self-connection, then joins it and every worker.
+//! Workers finish the request they are executing (its response is
+//! written before the thread exits — in-flight work is drained), answer
+//! any *newly arriving* frame with `ShuttingDown`, and exit at the next
+//! idle poll.
+//!
+//! ## Lock discipline (xtask L2)
+//!
+//! The only lock is the worker-pool registry. Guards over it are
+//! acquired *after* thread spawn and scoped to a registry push or take
+//! — no file I/O, no flush/compact, no socket write happens while a
+//! guard is live.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use tskv::{TsKv, WriteBatch};
+
+use crate::error::{ErrorCode, NetError};
+use crate::stats::{RequestKind, ServerStats};
+use crate::wire::{self, Frame, Operator, Request, Response};
+use crate::Result;
+
+/// Tuning knobs for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (see
+    /// [`TsNetServer::local_addr`]).
+    pub addr: String,
+    /// Worker-pool bound: connections beyond this are answered `Busy`
+    /// and closed.
+    pub max_connections: usize,
+    /// Admission-control bound: requests executing at once.
+    pub max_in_flight: usize,
+    /// Server-side cap on any request's deadline (ms; 0 = uncapped).
+    pub request_timeout_ms: u64,
+    /// How long a worker may block mid-frame before the connection is
+    /// considered dead (ms).
+    pub frame_read_timeout_ms: u64,
+    /// Idle poll interval between frames (ms); bounds how fast workers
+    /// notice shutdown.
+    pub poll_interval_ms: u64,
+    /// Cap on `Ping::delay_ms` so a client cannot park a slot forever.
+    pub max_ping_delay_ms: u32,
+    /// Per-frame payload ceiling (bytes), at most
+    /// [`wire::MAX_PAYLOAD_BYTES`].
+    pub max_payload_bytes: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 32,
+            max_in_flight: 4,
+            request_timeout_ms: 30_000,
+            frame_read_timeout_ms: 30_000,
+            poll_interval_ms: 20,
+            max_ping_delay_ms: 10_000,
+            max_payload_bytes: wire::MAX_PAYLOAD_BYTES,
+        }
+    }
+}
+
+/// State shared by the accept thread and every worker.
+struct Shared {
+    store: Arc<TsKv>,
+    stats: Arc<ServerStats>,
+    config: ServerConfig,
+    shutting_down: AtomicBool,
+    in_flight: AtomicUsize,
+    active_conns: AtomicUsize,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running server. Dropping it shuts it down (joining all threads);
+/// call [`TsNetServer::shutdown`] explicitly to control when.
+pub struct TsNetServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl TsNetServer {
+    /// Bind `config.addr` and start serving `store`.
+    pub fn start(store: Arc<TsKv>, config: ServerConfig) -> Result<TsNetServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            store,
+            stats: Arc::new(ServerStats::default()),
+            config,
+            shutting_down: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            active_conns: AtomicUsize::new(0),
+            workers: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = thread::Builder::new()
+            .name("tsnet-accept".to_string())
+            .spawn(move || accept_loop(&accept_shared, &listener))
+            .map_err(NetError::Io)?;
+        Ok(TsNetServer {
+            shared,
+            addr,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's observability counters.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// The engine this server fronts.
+    pub fn store(&self) -> Arc<TsKv> {
+        Arc::clone(&self.shared.store)
+    }
+
+    /// Admitted requests executing right now.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Whether the drain flag is set.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight requests,
+    /// join every thread. Idempotent; blocks until the drain finishes.
+    pub fn shutdown(&self) {
+        let already = self.shared.shutting_down.swap(true, Ordering::AcqRel);
+        // Wake the blocking accept call so it can observe the flag.
+        // Harmless if the listener is already gone.
+        let _ = TcpStream::connect(self.addr);
+        if already {
+            // Another caller is (or was) draining; nothing to join here.
+            return;
+        }
+        let accept = {
+            let mut slot = self.accept.lock();
+            slot.take()
+        };
+        if let Some(handle) = accept {
+            let _ = handle.join();
+        }
+        let workers = {
+            let mut pool = self.shared.workers.lock();
+            std::mem::take(&mut *pool)
+        };
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TsNetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    // The wake-up pill (or a late client); close it.
+                    return;
+                }
+                handle_connection(shared, stream);
+            }
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    return;
+                }
+                // Transient accept failure; don't spin.
+                thread::sleep(Duration::from_millis(
+                    shared.config.poll_interval_ms.max(1),
+                ));
+            }
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let occupied = shared.active_conns.fetch_add(1, Ordering::AcqRel);
+    if occupied >= shared.config.max_connections.max(1) {
+        shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+        shared.stats.record_conn_rejected();
+        let _ = respond(
+            shared,
+            &mut stream,
+            &error_response(ErrorCode::Busy, "connection limit reached"),
+        );
+        return;
+    }
+    shared.stats.record_conn_accepted();
+    let worker_shared = Arc::clone(shared);
+    let spawned = thread::Builder::new()
+        .name("tsnet-worker".to_string())
+        .spawn(move || {
+            worker_loop(&worker_shared, stream);
+            worker_shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+        });
+    match spawned {
+        Ok(handle) => {
+            let mut pool = shared.workers.lock();
+            pool.push(handle);
+        }
+        Err(_) => {
+            // The stream moved into the failed closure and is gone;
+            // release the slot.
+            shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, mut stream: TcpStream) {
+    let poll = Duration::from_millis(shared.config.poll_interval_ms.max(1));
+    if stream.set_read_timeout(Some(poll)).is_err() {
+        return;
+    }
+    let mut probe = [0u8; 1];
+    loop {
+        match stream.peek(&mut probe) {
+            Ok(0) => return, // peer closed
+            Ok(_) => {
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    // A frame arrived after the drain began: answer it
+                    // with a typed refusal and close. (In-flight work is
+                    // drained; *new* work is not accepted.)
+                    let _ = respond(
+                        shared,
+                        &mut stream,
+                        &error_response(ErrorCode::ShuttingDown, "server is draining"),
+                    );
+                    return;
+                }
+                if !serve_one(shared, &mut stream, poll) {
+                    return;
+                }
+            }
+            Err(e) if polling_would_block(&e) => {
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn polling_would_block(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Socket reader that counts the bytes it delivers.
+struct CountingReader<'a> {
+    inner: &'a mut TcpStream,
+    bytes: u64,
+}
+
+impl Read for CountingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+}
+
+/// Read, execute and answer one request. Returns `false` when the
+/// connection must close (framing lost or socket dead).
+fn serve_one(shared: &Shared, stream: &mut TcpStream, poll: Duration) -> bool {
+    let frame_timeout = Duration::from_millis(shared.config.frame_read_timeout_ms.max(1));
+    if stream.set_read_timeout(Some(frame_timeout)).is_err() {
+        return false;
+    }
+    let started = Instant::now();
+    let mut counting = CountingReader {
+        inner: stream,
+        bytes: 0,
+    };
+    let frame = wire::read_frame(&mut counting, shared.config.max_payload_bytes);
+    let bytes_in = counting.bytes;
+    shared.stats.add_bytes_in(bytes_in);
+    let env = match frame {
+        Ok(Frame::Request(env)) => env,
+        Ok(Frame::Response(_)) => {
+            // A peer that sends response frames is not a client;
+            // refuse and close.
+            let _ = respond(
+                shared,
+                stream,
+                &error_response(ErrorCode::InvalidRequest, "expected a request frame"),
+            );
+            return false;
+        }
+        Err(e) => {
+            // Frame boundaries are unrecoverable after a decode error:
+            // answer (best effort) and close.
+            let _ = respond(
+                shared,
+                stream,
+                &error_response(ErrorCode::InvalidRequest, &format!("bad frame: {e}")),
+            );
+            return false;
+        }
+    };
+
+    let admission_exempt = matches!(env.body, Request::Stats);
+    if !admission_exempt && !try_admit(shared) {
+        shared.stats.record_busy();
+        let sent = respond(
+            shared,
+            stream,
+            &error_response(ErrorCode::Busy, "max in-flight reached"),
+        );
+        let _ = stream.set_read_timeout(Some(poll));
+        return sent.is_ok();
+    }
+
+    let (kind, outcome) = execute(shared, &env.body);
+    if !admission_exempt {
+        release(shared);
+    }
+
+    let elapsed = started.elapsed();
+    let response = match outcome {
+        Ok(resp) => {
+            if deadline_missed(elapsed, env.deadline_ms, shared.config.request_timeout_ms) {
+                shared.stats.record_timeout();
+                error_response(
+                    ErrorCode::Timeout,
+                    &format!("deadline of {} ms elapsed", env.deadline_ms),
+                )
+            } else {
+                shared.stats.record_request(kind, duration_us(elapsed));
+                resp
+            }
+        }
+        Err((code, detail)) => {
+            shared.stats.record_error();
+            error_response(code, &detail)
+        }
+    };
+
+    let sent = respond(shared, stream, &response);
+    let _ = stream.set_read_timeout(Some(poll));
+    sent.is_ok()
+}
+
+/// Whether `elapsed` exceeds the effective deadline: the tighter of the
+/// request's own deadline and the server-wide cap (0 disables either).
+fn deadline_missed(elapsed: Duration, deadline_ms: u32, cap_ms: u64) -> bool {
+    let request = if deadline_ms > 0 {
+        Some(u64::from(deadline_ms))
+    } else {
+        None
+    };
+    let cap = if cap_ms > 0 { Some(cap_ms) } else { None };
+    let effective = match (request, cap) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (Some(a), None) => Some(a),
+        (None, Some(b)) => Some(b),
+        (None, None) => None,
+    };
+    match effective {
+        Some(ms) => elapsed > Duration::from_millis(ms),
+        None => false,
+    }
+}
+
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+fn try_admit(shared: &Shared) -> bool {
+    let max = shared.config.max_in_flight.max(1);
+    shared
+        .in_flight
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+            if n < max {
+                Some(n + 1)
+            } else {
+                None
+            }
+        })
+        .is_ok()
+}
+
+fn release(shared: &Shared) {
+    shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+}
+
+fn error_response(code: ErrorCode, detail: &str) -> Response {
+    Response::Error {
+        code,
+        detail: detail.to_string(),
+    }
+}
+
+/// Encode and write one response frame, counting bytes out.
+fn respond(shared: &Shared, stream: &mut TcpStream, resp: &Response) -> Result<()> {
+    let bytes = wire::encode_response(resp)?;
+    wire::write_frame(stream, &bytes)?;
+    shared.stats.add_bytes_out(bytes.len() as u64);
+    Ok(())
+}
+
+fn map_tskv_error(e: &tskv::TsKvError) -> (ErrorCode, String) {
+    use tskv::TsKvError;
+    let code = match e {
+        TsKvError::SeriesNotFound(_) => ErrorCode::SeriesNotFound,
+        TsKvError::InvalidDeleteRange { .. }
+        | TsKvError::InvalidSeriesName(_)
+        | TsKvError::InvalidConfig { .. } => ErrorCode::InvalidRequest,
+        TsKvError::TsFile(_) | TsKvError::Io(_) => ErrorCode::Engine,
+    };
+    (code, e.to_string())
+}
+
+fn map_m4_error(e: &m4::M4Error) -> (ErrorCode, String) {
+    use m4::M4Error;
+    let code = match e {
+        M4Error::Storage(inner) => return map_tskv_error(inner),
+        M4Error::EmptyQueryRange { .. } | M4Error::ZeroSpans | M4Error::EmptyCanvas => {
+            ErrorCode::InvalidRequest
+        }
+        M4Error::Internal(_) => ErrorCode::Engine,
+    };
+    (code, e.to_string())
+}
+
+type Execution = std::result::Result<Response, (ErrorCode, String)>;
+
+fn execute(shared: &Shared, body: &Request) -> (RequestKind, Execution) {
+    match body {
+        Request::Ping { delay_ms } => {
+            let delay = (*delay_ms).min(shared.config.max_ping_delay_ms);
+            if delay > 0 {
+                thread::sleep(Duration::from_millis(u64::from(delay)));
+            }
+            (RequestKind::Ping, Ok(Response::Pong))
+        }
+        Request::WriteBatch { entries } => (RequestKind::Write, execute_write(shared, entries)),
+        Request::M4Query {
+            series,
+            op,
+            t_qs,
+            t_qe,
+            w,
+        } => (
+            RequestKind::Query,
+            execute_query(shared, series, *op, *t_qs, *t_qe, *w),
+        ),
+        Request::Delete { series, start, end } => {
+            let outcome = match shared.store.delete(series, *start, *end) {
+                Ok(()) => Ok(Response::Deleted),
+                Err(e) => Err(map_tskv_error(&e)),
+            };
+            (RequestKind::Delete, outcome)
+        }
+        Request::Stats => {
+            let io_snap = shared.store.io().snapshot();
+            let in_flight = shared.in_flight.load(Ordering::Acquire) as u64;
+            let server = shared.stats.snapshot(in_flight);
+            (
+                RequestKind::Stats,
+                Ok(Response::Stats {
+                    io: Box::new(io_snap),
+                    server: Box::new(server),
+                }),
+            )
+        }
+        Request::FlushSeal { series, compact } => {
+            (RequestKind::Flush, execute_flush(shared, series, *compact))
+        }
+    }
+}
+
+fn execute_write(shared: &Shared, entries: &[(String, Vec<tsfile::types::Point>)]) -> Execution {
+    let mut batch = WriteBatch::new();
+    for (series, points) in entries {
+        batch.insert_many(series, points);
+    }
+    match shared.store.write_batch(&batch) {
+        Ok(points) => Ok(Response::Written {
+            points: points as u64,
+        }),
+        Err(e) => Err(map_tskv_error(&e)),
+    }
+}
+
+fn execute_query(
+    shared: &Shared,
+    series: &str,
+    op: Operator,
+    t_qs: i64,
+    t_qe: i64,
+    w: u32,
+) -> Execution {
+    let snapshot = shared.store.snapshot(series).map_err(|e| map_tskv_error(&e))?;
+    let query = m4::M4Query::new(t_qs, t_qe, w as usize).map_err(|e| map_m4_error(&e))?;
+    let result = match op {
+        Operator::Udf => m4::M4Udf::new().execute(&snapshot, &query),
+        Operator::Lsm => m4::M4Lsm::new().execute(&snapshot, &query),
+    };
+    match result {
+        Ok(r) => Ok(Response::M4 { spans: r.spans }),
+        Err(e) => Err(map_m4_error(&e)),
+    }
+}
+
+fn execute_flush(shared: &Shared, series: &Option<String>, compact: bool) -> Execution {
+    let names: Vec<String> = match series {
+        Some(name) => vec![name.clone()],
+        None => shared.store.series_names(),
+    };
+    for name in &names {
+        shared.store.flush(name).map_err(|e| map_tskv_error(&e))?;
+        if compact {
+            shared.store.compact(name).map_err(|e| map_tskv_error(&e))?;
+        }
+    }
+    Ok(Response::Flushed {
+        series_flushed: names.len() as u32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests assert by panicking; the workspace deny-set targets
+    // library code.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+
+    #[test]
+    fn deadline_uses_the_tighter_of_request_and_cap() {
+        let ms = Duration::from_millis;
+        // No deadline anywhere: never missed.
+        assert!(!deadline_missed(ms(10_000), 0, 0));
+        // Request deadline only.
+        assert!(deadline_missed(ms(11), 10, 0));
+        assert!(!deadline_missed(ms(9), 10, 0));
+        // Server cap only.
+        assert!(deadline_missed(ms(31), 0, 30));
+        // Both: the tighter wins in each direction.
+        assert!(deadline_missed(ms(11), 10, 30));
+        assert!(deadline_missed(ms(11), 30, 10));
+        assert!(!deadline_missed(ms(9), 10, 30));
+    }
+
+    #[test]
+    fn duration_us_saturates() {
+        assert_eq!(duration_us(Duration::from_micros(7)), 7);
+        assert_eq!(duration_us(Duration::MAX), u64::MAX);
+    }
+}

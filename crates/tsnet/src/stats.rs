@@ -1,0 +1,312 @@
+//! Server observability counters.
+//!
+//! Same philosophy as [`tskv::stats`]: the interesting claims about the
+//! service layer — how many requests were rejected under backpressure,
+//! how many timed out, what the tail latency looks like — must be
+//! assertable in tests and benchmarks, not inferred from wall-clock
+//! time. Latency is recorded into a **fixed-bucket power-of-two
+//! histogram**, so quantiles are computed from counts alone; tests feed
+//! durations in directly and never depend on a real clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of latency histogram buckets. Bucket `i` counts requests
+/// whose latency `us` satisfies `bucket_index(us) == i`; bucket `i`'s
+/// upper bound is `2^i` microseconds and the last bucket absorbs
+/// everything slower (`2^25` µs ≈ 33 s).
+pub const LATENCY_BUCKETS: usize = 26;
+
+/// Histogram bucket for a duration in microseconds: the number of
+/// significant bits, clamped to the last bucket.
+pub fn bucket_index(us: u64) -> usize {
+    let bits = (u64::BITS - us.leading_zeros()) as usize;
+    bits.min(LATENCY_BUCKETS - 1)
+}
+
+/// Inclusive upper bound (µs) of histogram bucket `i`.
+pub fn bucket_upper_bound_us(i: usize) -> u64 {
+    1u64 << i.min(LATENCY_BUCKETS - 1)
+}
+
+/// The RPC kinds the server counts individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    Ping,
+    Write,
+    Query,
+    Delete,
+    Stats,
+    Flush,
+}
+
+impl RequestKind {
+    fn index(self) -> usize {
+        match self {
+            RequestKind::Ping => 0,
+            RequestKind::Write => 1,
+            RequestKind::Query => 2,
+            RequestKind::Delete => 3,
+            RequestKind::Stats => 4,
+            RequestKind::Flush => 5,
+        }
+    }
+}
+
+const KINDS: usize = 6;
+
+/// Shared atomic counters for one server's lifetime.
+#[derive(Debug)]
+pub struct ServerStats {
+    requests: [AtomicU64; KINDS],
+    rejected_busy: AtomicU64,
+    timeouts: AtomicU64,
+    errors: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    connections_accepted: AtomicU64,
+    connections_rejected: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats {
+            requests: std::array::from_fn(|_| AtomicU64::new(0)),
+            rejected_busy: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+            connections_rejected: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl ServerStats {
+    /// Count one executed request of `kind` and its latency.
+    pub fn record_request(&self, kind: RequestKind, latency_us: u64) {
+        if let Some(c) = self.requests.get(kind.index()) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(b) = self.latency.get(bucket_index(latency_us)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one request rejected by admission control.
+    pub fn record_busy(&self) {
+        self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request whose deadline elapsed.
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request answered with a non-busy, non-timeout error.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count request bytes read off a socket.
+    pub fn add_bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count response bytes written to a socket.
+    pub fn add_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count one accepted connection.
+    pub fn record_conn_accepted(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one connection turned away at the pool limit.
+    pub fn record_conn_rejected(&self) {
+        self.connections_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Plain-value snapshot. `in_flight` is the current admission
+    /// gauge, owned by the server rather than the counter block.
+    pub fn snapshot(&self, in_flight: u64) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            requests_ping: self.requests[RequestKind::Ping.index()].load(Ordering::Relaxed),
+            requests_write: self.requests[RequestKind::Write.index()].load(Ordering::Relaxed),
+            requests_query: self.requests[RequestKind::Query.index()].load(Ordering::Relaxed),
+            requests_delete: self.requests[RequestKind::Delete.index()].load(Ordering::Relaxed),
+            requests_stats: self.requests[RequestKind::Stats.index()].load(Ordering::Relaxed),
+            requests_flush: self.requests[RequestKind::Flush.index()].load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+            in_flight,
+            latency_counts: self.latency.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`ServerStats`], serialized by the `Stats`
+/// RPC alongside the engine's [`tskv::stats::IoSnapshot`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Executed `Ping` requests.
+    pub requests_ping: u64,
+    /// Executed `WriteBatch` requests.
+    pub requests_write: u64,
+    /// Executed `M4Query` requests.
+    pub requests_query: u64,
+    /// Executed `Delete` requests.
+    pub requests_delete: u64,
+    /// Executed `Stats` requests (control-plane; bypass admission).
+    pub requests_stats: u64,
+    /// Executed `FlushSeal` requests.
+    pub requests_flush: u64,
+    /// Requests rejected by the max-in-flight admission gate.
+    pub rejected_busy: u64,
+    /// Requests whose deadline elapsed before the response was ready.
+    pub timeouts: u64,
+    /// Requests answered with a non-busy, non-timeout error.
+    pub errors: u64,
+    /// Request bytes read off sockets.
+    pub bytes_in: u64,
+    /// Response bytes written to sockets.
+    pub bytes_out: u64,
+    /// Connections accepted into the worker pool.
+    pub connections_accepted: u64,
+    /// Connections turned away at the pool limit.
+    pub connections_rejected: u64,
+    /// Admitted requests executing right now.
+    pub in_flight: u64,
+    /// Latency histogram counts ([`LATENCY_BUCKETS`] entries; bucket
+    /// `i` covers latencies up to [`bucket_upper_bound_us`]`(i)`).
+    pub latency_counts: Vec<u64>,
+}
+
+impl ServerStatsSnapshot {
+    /// Total executed requests across all kinds.
+    pub fn requests_total(&self) -> u64 {
+        self.requests_ping
+            + self.requests_write
+            + self.requests_query
+            + self.requests_delete
+            + self.requests_stats
+            + self.requests_flush
+    }
+
+    /// The histogram bucket upper bound (µs) containing the `q`-th
+    /// latency quantile (`0.0 < q <= 1.0`). Zero when nothing was
+    /// recorded. Quantiles are bucket-resolution approximations: the
+    /// returned value is the smallest power-of-two bound at or above
+    /// the true quantile.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total: u64 = self.latency_counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.latency_counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound_us(i);
+            }
+        }
+        bucket_upper_bound_us(LATENCY_BUCKETS - 1)
+    }
+
+    /// Median latency bucket bound (µs).
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 99th-percentile latency bucket bound (µs).
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests assert by panicking; the workspace deny-set targets
+    // library code.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_clamped() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), LATENCY_BUCKETS - 1);
+        let mut last = 0;
+        for us in [0u64, 1, 5, 100, 10_000, 1 << 40] {
+            let b = bucket_index(us);
+            assert!(b >= last);
+            last = b;
+        }
+    }
+
+    #[test]
+    fn quantiles_from_recorded_counts_no_clock() {
+        let s = ServerStats::default();
+        // 99 fast requests (~100 µs) and one slow outlier (~1 s),
+        // recorded directly — no wall-clock involved.
+        for _ in 0..99 {
+            s.record_request(RequestKind::Query, 100);
+        }
+        s.record_request(RequestKind::Query, 1_000_000);
+        let snap = s.snapshot(0);
+        assert_eq!(snap.requests_query, 100);
+        // 100 µs has 7 significant bits → bucket 7, bound 128 µs.
+        assert_eq!(snap.p50_us(), 128);
+        // The 99th of 100 samples is still a fast one; p100 is slow.
+        assert_eq!(snap.p99_us(), 128);
+        assert_eq!(snap.quantile_us(1.0), bucket_upper_bound_us(bucket_index(1_000_000)));
+    }
+
+    #[test]
+    fn counters_accumulate_by_kind() {
+        let s = ServerStats::default();
+        s.record_request(RequestKind::Ping, 1);
+        s.record_request(RequestKind::Write, 1);
+        s.record_request(RequestKind::Write, 1);
+        s.record_busy();
+        s.record_timeout();
+        s.record_error();
+        s.add_bytes_in(10);
+        s.add_bytes_out(20);
+        s.record_conn_accepted();
+        s.record_conn_rejected();
+        let snap = s.snapshot(3);
+        assert_eq!(snap.requests_ping, 1);
+        assert_eq!(snap.requests_write, 2);
+        assert_eq!(snap.requests_total(), 3);
+        assert_eq!(snap.rejected_busy, 1);
+        assert_eq!(snap.timeouts, 1);
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.bytes_in, 10);
+        assert_eq!(snap.bytes_out, 20);
+        assert_eq!(snap.connections_accepted, 1);
+        assert_eq!(snap.connections_rejected, 1);
+        assert_eq!(snap.in_flight, 3);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let snap = ServerStats::default().snapshot(0);
+        assert_eq!(snap.p50_us(), 0);
+        assert_eq!(snap.p99_us(), 0);
+    }
+}

@@ -1,0 +1,979 @@
+//! The length-prefixed, versioned binary wire protocol.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! magic    4 bytes  b"TSN1"
+//! version  1 byte   protocol version (currently 1)
+//! kind     1 byte   0 = request, 1 = response
+//! len      4 bytes  payload length, little-endian u32
+//! payload  len bytes
+//! crc      4 bytes  CRC32 (IEEE) of the payload, little-endian
+//! ```
+//!
+//! Payloads are flat little-endian structs: `u8` tags for enums,
+//! fixed-width integers, `f64` as raw bits (NaN patterns survive the
+//! wire), strings as a `u16` length prefix + UTF-8 bytes. A request
+//! payload starts with a `deadline_ms: u32` envelope field (0 = no
+//! deadline) followed by the request tag.
+//!
+//! This module interprets **untrusted network bytes** and therefore
+//! follows the same discipline as the tsfile byte parsers (xtask L1/L3):
+//! no panics, no indexing — every structural problem decodes to a
+//! typed [`NetError`], and a corrupted payload is caught by the
+//! checksum before any of it is interpreted.
+
+use std::io::{Read, Write};
+
+use m4::SpanRepr;
+use tsfile::checksum::crc32;
+use tsfile::types::Point;
+use tskv::stats::IoSnapshot;
+
+use crate::error::{ErrorCode, NetError};
+use crate::stats::{ServerStatsSnapshot, LATENCY_BUCKETS};
+use crate::Result;
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"TSN1";
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Bytes before the payload (magic + version + kind + len).
+pub const HEADER_LEN: usize = 10;
+/// Bytes after the payload (payload CRC32).
+pub const TRAILER_LEN: usize = 4;
+/// Hard ceiling on payload size (64 MiB); [`crate::server::ServerConfig`]
+/// may lower it.
+pub const MAX_PAYLOAD_BYTES: u32 = 64 * 1024 * 1024;
+/// Ceiling on series per [`Request::WriteBatch`].
+pub const MAX_BATCH_SERIES: u32 = 1 << 16;
+
+/// Which M4 operator a query should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operator {
+    /// The merge-everything baseline ([`m4::M4Udf`]).
+    Udf,
+    /// The paper's metadata-first operator ([`m4::M4Lsm`]).
+    Lsm,
+}
+
+/// One RPC request body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe. `delay_ms` makes the server hold the request's
+    /// admission slot for that long before answering — an
+    /// orchestration aid for backpressure tests and benchmarks (capped
+    /// by [`crate::server::ServerConfig::max_ping_delay_ms`]).
+    Ping { delay_ms: u32 },
+    /// Multi-series write, applied via [`tskv::TsKv::write_batch`].
+    WriteBatch { entries: Vec<(String, Vec<Point>)> },
+    /// An M4 representation query over one series.
+    M4Query {
+        series: String,
+        op: Operator,
+        t_qs: i64,
+        t_qe: i64,
+        w: u32,
+    },
+    /// Versioned range tombstone on one series.
+    Delete { series: String, start: i64, end: i64 },
+    /// Engine + server counters. Control-plane: bypasses admission.
+    Stats,
+    /// Flush (and optionally compact) one series or every series —
+    /// test/bench orchestration, mirroring the in-process harness.
+    FlushSeal { series: Option<String>, compact: bool },
+}
+
+/// A request plus its envelope fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestEnvelope {
+    /// Milliseconds the client is willing to wait (0 = no deadline).
+    /// The server answers `Timeout` when the response misses it; the
+    /// work itself is not preempted.
+    pub deadline_ms: u32,
+    pub body: Request,
+}
+
+/// One RPC response body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Pong,
+    /// Points accepted by `WriteBatch`.
+    Written { points: u64 },
+    /// Per-span M4 representations (`None` = empty span), exactly the
+    /// `spans` of an [`m4::M4Result`].
+    M4 { spans: Vec<Option<SpanRepr>> },
+    Deleted,
+    /// Engine I/O counters and server counters. Boxed: the two
+    /// snapshot blocks dwarf every other variant, and responses are
+    /// moved around (channels, retries) far more often than stats are
+    /// read.
+    Stats {
+        io: Box<IoSnapshot>,
+        server: Box<ServerStatsSnapshot>,
+    },
+    /// Series flushed (and compacted when requested) by `FlushSeal`.
+    Flushed { series_flushed: u32 },
+    /// Typed failure.
+    Error { code: ErrorCode, detail: String },
+}
+
+/// A decoded frame: what kind of payload it carried.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    Request(RequestEnvelope),
+    Response(Response),
+}
+
+const KIND_REQUEST: u8 = 0;
+const KIND_RESPONSE: u8 = 1;
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) -> Result<()> {
+    let len = u16::try_from(s.len()).map_err(|_| NetError::TooLarge {
+        context: "string",
+        len: s.len() as u64,
+        max: u64::from(u16::MAX),
+    })?;
+    put_u16(out, len);
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_point(out: &mut Vec<u8>, p: Point) {
+    put_i64(out, p.t);
+    put_u64(out, p.v.to_bits());
+}
+
+fn encode_request_payload(env: &RequestEnvelope) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    put_u32(&mut out, env.deadline_ms);
+    match &env.body {
+        Request::Ping { delay_ms } => {
+            out.push(0);
+            put_u32(&mut out, *delay_ms);
+        }
+        Request::WriteBatch { entries } => {
+            out.push(1);
+            let n = u32::try_from(entries.len()).map_err(|_| NetError::TooLarge {
+                context: "write-batch series count",
+                len: entries.len() as u64,
+                max: u64::from(MAX_BATCH_SERIES),
+            })?;
+            if n > MAX_BATCH_SERIES {
+                return Err(NetError::TooLarge {
+                    context: "write-batch series count",
+                    len: u64::from(n),
+                    max: u64::from(MAX_BATCH_SERIES),
+                });
+            }
+            put_u32(&mut out, n);
+            for (name, points) in entries {
+                put_str(&mut out, name)?;
+                let np = u32::try_from(points.len()).map_err(|_| NetError::TooLarge {
+                    context: "write-batch point count",
+                    len: points.len() as u64,
+                    max: u64::from(u32::MAX),
+                })?;
+                put_u32(&mut out, np);
+                for p in points {
+                    put_point(&mut out, *p);
+                }
+            }
+        }
+        Request::M4Query {
+            series,
+            op,
+            t_qs,
+            t_qe,
+            w,
+        } => {
+            out.push(2);
+            put_str(&mut out, series)?;
+            out.push(match op {
+                Operator::Udf => 0,
+                Operator::Lsm => 1,
+            });
+            put_i64(&mut out, *t_qs);
+            put_i64(&mut out, *t_qe);
+            put_u32(&mut out, *w);
+        }
+        Request::Delete { series, start, end } => {
+            out.push(3);
+            put_str(&mut out, series)?;
+            put_i64(&mut out, *start);
+            put_i64(&mut out, *end);
+        }
+        Request::Stats => out.push(4),
+        Request::FlushSeal { series, compact } => {
+            out.push(5);
+            match series {
+                Some(name) => {
+                    out.push(1);
+                    put_str(&mut out, name)?;
+                }
+                None => out.push(0),
+            }
+            out.push(u8::from(*compact));
+        }
+    }
+    Ok(out)
+}
+
+fn encode_response_payload(resp: &Response) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Pong => out.push(0),
+        Response::Written { points } => {
+            out.push(1);
+            put_u64(&mut out, *points);
+        }
+        Response::M4 { spans } => {
+            out.push(2);
+            let w = u32::try_from(spans.len()).map_err(|_| NetError::TooLarge {
+                context: "span count",
+                len: spans.len() as u64,
+                max: u64::from(u32::MAX),
+            })?;
+            put_u32(&mut out, w);
+            for span in spans {
+                match span {
+                    Some(s) => {
+                        out.push(1);
+                        put_point(&mut out, s.first);
+                        put_point(&mut out, s.last);
+                        put_point(&mut out, s.bottom);
+                        put_point(&mut out, s.top);
+                    }
+                    None => out.push(0),
+                }
+            }
+        }
+        Response::Deleted => out.push(3),
+        Response::Stats { io, server } => {
+            out.push(4);
+            for v in [
+                io.chunks_loaded,
+                io.bytes_read,
+                io.points_decoded,
+                io.timestamps_decoded,
+                io.mem_chunks_read,
+                io.cache_hits,
+                io.cache_misses,
+                io.cache_evictions,
+                io.cache_invalidations,
+                io.points_written,
+                io.wal_batches,
+                io.wal_bytes,
+                io.wal_syncs,
+                io.compactions_scheduled,
+                io.compactions_completed,
+                io.compactions_skipped,
+            ] {
+                put_u64(&mut out, v);
+            }
+            for v in [
+                server.requests_ping,
+                server.requests_write,
+                server.requests_query,
+                server.requests_delete,
+                server.requests_stats,
+                server.requests_flush,
+                server.rejected_busy,
+                server.timeouts,
+                server.errors,
+                server.bytes_in,
+                server.bytes_out,
+                server.connections_accepted,
+                server.connections_rejected,
+                server.in_flight,
+            ] {
+                put_u64(&mut out, v);
+            }
+            let n = u32::try_from(server.latency_counts.len()).map_err(|_| {
+                NetError::TooLarge {
+                    context: "latency bucket count",
+                    len: server.latency_counts.len() as u64,
+                    max: LATENCY_BUCKETS as u64,
+                }
+            })?;
+            put_u32(&mut out, n);
+            for c in &server.latency_counts {
+                put_u64(&mut out, *c);
+            }
+        }
+        Response::Flushed { series_flushed } => {
+            out.push(5);
+            put_u32(&mut out, *series_flushed);
+        }
+        Response::Error { code, detail } => {
+            out.push(6);
+            out.push(code.to_wire());
+            put_str(&mut out, detail)?;
+        }
+    }
+    Ok(out)
+}
+
+fn frame_bytes(kind: u8, payload: Vec<u8>) -> Result<Vec<u8>> {
+    let len = u32::try_from(payload.len()).map_err(|_| NetError::TooLarge {
+        context: "payload",
+        len: payload.len() as u64,
+        max: u64::from(MAX_PAYLOAD_BYTES),
+    })?;
+    if len > MAX_PAYLOAD_BYTES {
+        return Err(NetError::TooLarge {
+            context: "payload",
+            len: u64::from(len),
+            max: u64::from(MAX_PAYLOAD_BYTES),
+        });
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    put_u32(&mut out, len);
+    let crc = crc32(&payload);
+    out.extend_from_slice(&payload);
+    put_u32(&mut out, crc);
+    Ok(out)
+}
+
+/// Encode a request envelope into one complete frame.
+pub fn encode_request(env: &RequestEnvelope) -> Result<Vec<u8>> {
+    frame_bytes(KIND_REQUEST, encode_request_payload(env)?)
+}
+
+/// Encode a response into one complete frame.
+pub fn encode_response(resp: &Response) -> Result<Vec<u8>> {
+    frame_bytes(KIND_RESPONSE, encode_response_payload(resp)?)
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// Bounds-checked reader over untrusted bytes. Every access goes
+/// through `get`; running out of bytes is a typed error, never a panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or(NetError::Truncated {
+            needed: n,
+            got: self.remaining(),
+        })?;
+        let slice = self.buf.get(self.pos..end).ok_or(NetError::Truncated {
+            needed: n,
+            got: self.remaining(),
+        })?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        let b = self.take(1)?;
+        b.first().copied().ok_or(NetError::Truncated { needed: 1, got: 0 })
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        let arr: [u8; 2] = b.try_into().map_err(|_| NetError::Truncated {
+            needed: 2,
+            got: b.len(),
+        })?;
+        Ok(u16::from_le_bytes(arr))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        let arr: [u8; 4] = b.try_into().map_err(|_| NetError::Truncated {
+            needed: 4,
+            got: b.len(),
+        })?;
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        let arr: [u8; 8] = b.try_into().map_err(|_| NetError::Truncated {
+            needed: 8,
+            got: b.len(),
+        })?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(tsfile::cast::i64_bits(self.u64()?))
+    }
+
+    fn str16(&mut self) -> Result<String> {
+        let len = usize::from(self.u16()?);
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| NetError::BadString)
+    }
+
+    fn point(&mut self) -> Result<Point> {
+        let t = self.i64()?;
+        let v = f64::from_bits(self.u64()?);
+        Ok(Point::new(t, v))
+    }
+
+    /// Guard a claimed element count against the bytes actually
+    /// present, so corrupted counts cannot drive huge allocations.
+    fn check_claim(&self, context: &'static str, n: u64, min_elem_bytes: u64) -> Result<()> {
+        let available = self.remaining() as u64;
+        let needed = n.saturating_mul(min_elem_bytes);
+        if needed > available {
+            return Err(NetError::TooLarge {
+                context,
+                len: n,
+                max: available / min_elem_bytes.max(1),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Decode a request payload (the bytes between header and CRC).
+pub fn decode_request_payload(payload: &[u8]) -> Result<RequestEnvelope> {
+    let mut c = Cursor::new(payload);
+    let deadline_ms = c.u32()?;
+    let tag = c.u8()?;
+    let body = match tag {
+        0 => Request::Ping { delay_ms: c.u32()? },
+        1 => {
+            let n = c.u32()?;
+            if n > MAX_BATCH_SERIES {
+                return Err(NetError::TooLarge {
+                    context: "write-batch series count",
+                    len: u64::from(n),
+                    max: u64::from(MAX_BATCH_SERIES),
+                });
+            }
+            // Each series costs at least a name length + point count.
+            c.check_claim("write-batch series count", u64::from(n), 6)?;
+            let mut entries = Vec::new();
+            for _ in 0..n {
+                let name = c.str16()?;
+                let np = c.u32()?;
+                c.check_claim("write-batch point count", u64::from(np), 16)?;
+                let mut points = Vec::with_capacity(np as usize);
+                for _ in 0..np {
+                    points.push(c.point()?);
+                }
+                entries.push((name, points));
+            }
+            Request::WriteBatch { entries }
+        }
+        2 => {
+            let series = c.str16()?;
+            let op = match c.u8()? {
+                0 => Operator::Udf,
+                1 => Operator::Lsm,
+                other => {
+                    return Err(NetError::UnknownTag {
+                        context: "operator",
+                        tag: other,
+                    })
+                }
+            };
+            let t_qs = c.i64()?;
+            let t_qe = c.i64()?;
+            let w = c.u32()?;
+            Request::M4Query {
+                series,
+                op,
+                t_qs,
+                t_qe,
+                w,
+            }
+        }
+        3 => {
+            let series = c.str16()?;
+            let start = c.i64()?;
+            let end = c.i64()?;
+            Request::Delete { series, start, end }
+        }
+        4 => Request::Stats,
+        5 => {
+            let series = match c.u8()? {
+                0 => None,
+                1 => Some(c.str16()?),
+                other => {
+                    return Err(NetError::UnknownTag {
+                        context: "flush-seal series flag",
+                        tag: other,
+                    })
+                }
+            };
+            let compact = match c.u8()? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(NetError::UnknownTag {
+                        context: "flush-seal compact flag",
+                        tag: other,
+                    })
+                }
+            };
+            Request::FlushSeal { series, compact }
+        }
+        other => {
+            return Err(NetError::UnknownTag {
+                context: "request",
+                tag: other,
+            })
+        }
+    };
+    if c.remaining() != 0 {
+        return Err(NetError::TooLarge {
+            context: "request payload trailing bytes",
+            len: c.remaining() as u64,
+            max: 0,
+        });
+    }
+    Ok(RequestEnvelope { deadline_ms, body })
+}
+
+fn decode_io_snapshot(c: &mut Cursor<'_>) -> Result<IoSnapshot> {
+    Ok(IoSnapshot {
+        chunks_loaded: c.u64()?,
+        bytes_read: c.u64()?,
+        points_decoded: c.u64()?,
+        timestamps_decoded: c.u64()?,
+        mem_chunks_read: c.u64()?,
+        cache_hits: c.u64()?,
+        cache_misses: c.u64()?,
+        cache_evictions: c.u64()?,
+        cache_invalidations: c.u64()?,
+        points_written: c.u64()?,
+        wal_batches: c.u64()?,
+        wal_bytes: c.u64()?,
+        wal_syncs: c.u64()?,
+        compactions_scheduled: c.u64()?,
+        compactions_completed: c.u64()?,
+        compactions_skipped: c.u64()?,
+    })
+}
+
+fn decode_server_snapshot(c: &mut Cursor<'_>) -> Result<ServerStatsSnapshot> {
+    let mut snap = ServerStatsSnapshot {
+        requests_ping: c.u64()?,
+        requests_write: c.u64()?,
+        requests_query: c.u64()?,
+        requests_delete: c.u64()?,
+        requests_stats: c.u64()?,
+        requests_flush: c.u64()?,
+        rejected_busy: c.u64()?,
+        timeouts: c.u64()?,
+        errors: c.u64()?,
+        bytes_in: c.u64()?,
+        bytes_out: c.u64()?,
+        connections_accepted: c.u64()?,
+        connections_rejected: c.u64()?,
+        in_flight: c.u64()?,
+        latency_counts: Vec::new(),
+    };
+    let n = c.u32()?;
+    if n as usize > LATENCY_BUCKETS {
+        return Err(NetError::TooLarge {
+            context: "latency bucket count",
+            len: u64::from(n),
+            max: LATENCY_BUCKETS as u64,
+        });
+    }
+    c.check_claim("latency bucket count", u64::from(n), 8)?;
+    let mut counts = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        counts.push(c.u64()?);
+    }
+    snap.latency_counts = counts;
+    Ok(snap)
+}
+
+/// Decode a response payload (the bytes between header and CRC).
+pub fn decode_response_payload(payload: &[u8]) -> Result<Response> {
+    let mut c = Cursor::new(payload);
+    let tag = c.u8()?;
+    let resp = match tag {
+        0 => Response::Pong,
+        1 => Response::Written { points: c.u64()? },
+        2 => {
+            let w = c.u32()?;
+            c.check_claim("span count", u64::from(w), 1)?;
+            let mut spans = Vec::with_capacity(w as usize);
+            for _ in 0..w {
+                match c.u8()? {
+                    0 => spans.push(None),
+                    1 => {
+                        let first = c.point()?;
+                        let last = c.point()?;
+                        let bottom = c.point()?;
+                        let top = c.point()?;
+                        spans.push(Some(SpanRepr {
+                            first,
+                            last,
+                            bottom,
+                            top,
+                        }));
+                    }
+                    other => {
+                        return Err(NetError::UnknownTag {
+                            context: "span flag",
+                            tag: other,
+                        })
+                    }
+                }
+            }
+            Response::M4 { spans }
+        }
+        3 => Response::Deleted,
+        4 => {
+            let io = Box::new(decode_io_snapshot(&mut c)?);
+            let server = Box::new(decode_server_snapshot(&mut c)?);
+            Response::Stats { io, server }
+        }
+        5 => Response::Flushed {
+            series_flushed: c.u32()?,
+        },
+        6 => {
+            let code_tag = c.u8()?;
+            let code = ErrorCode::from_wire(code_tag).ok_or(NetError::UnknownTag {
+                context: "error code",
+                tag: code_tag,
+            })?;
+            let detail = c.str16()?;
+            Response::Error { code, detail }
+        }
+        other => {
+            return Err(NetError::UnknownTag {
+                context: "response",
+                tag: other,
+            })
+        }
+    };
+    if c.remaining() != 0 {
+        return Err(NetError::TooLarge {
+            context: "response payload trailing bytes",
+            len: c.remaining() as u64,
+            max: 0,
+        });
+    }
+    Ok(resp)
+}
+
+/// Parse and validate a frame header. Returns `(kind, payload_len)`.
+fn decode_header(header: &[u8], max_payload_bytes: u32) -> Result<(u8, usize)> {
+    let mut c = Cursor::new(header);
+    let magic = c.take(4)?;
+    if magic != MAGIC {
+        let arr: [u8; 4] = magic.try_into().map_err(|_| NetError::Truncated {
+            needed: 4,
+            got: magic.len(),
+        })?;
+        return Err(NetError::BadMagic(arr));
+    }
+    let version = c.u8()?;
+    if version != VERSION {
+        return Err(NetError::UnsupportedVersion(version));
+    }
+    let kind = c.u8()?;
+    if kind != KIND_REQUEST && kind != KIND_RESPONSE {
+        return Err(NetError::UnknownTag {
+            context: "frame kind",
+            tag: kind,
+        });
+    }
+    let len = c.u32()?;
+    let max = max_payload_bytes.min(MAX_PAYLOAD_BYTES);
+    if len > max {
+        return Err(NetError::TooLarge {
+            context: "payload",
+            len: u64::from(len),
+            max: u64::from(max),
+        });
+    }
+    Ok((kind, len as usize))
+}
+
+fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame> {
+    match kind {
+        KIND_REQUEST => Ok(Frame::Request(decode_request_payload(payload)?)),
+        _ => Ok(Frame::Response(decode_response_payload(payload)?)),
+    }
+}
+
+/// Decode one complete frame from a byte buffer. Returns the frame and
+/// the number of bytes it occupied. Every malformed shape — wrong
+/// magic, unknown version or tag, truncation at any offset, checksum
+/// mismatch, trailing payload bytes — is a typed error.
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize)> {
+    let mut c = Cursor::new(buf);
+    let header = c.take(HEADER_LEN)?;
+    let (kind, len) = decode_header(header, MAX_PAYLOAD_BYTES)?;
+    let payload = c.take(len)?;
+    let expected = c.u32()?;
+    let actual = crc32(payload);
+    if expected != actual {
+        return Err(NetError::ChecksumMismatch { expected, actual });
+    }
+    let frame = decode_payload(kind, payload)?;
+    Ok((frame, HEADER_LEN + len + TRAILER_LEN))
+}
+
+/// Read one frame off a blocking stream. `max_payload_bytes` bounds
+/// the allocation a peer can demand.
+pub fn read_frame(r: &mut impl Read, max_payload_bytes: u32) -> Result<Frame> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let (kind, len) = decode_header(&header, max_payload_bytes)?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut crc_bytes = [0u8; TRAILER_LEN];
+    r.read_exact(&mut crc_bytes)?;
+    let expected = u32::from_le_bytes(crc_bytes);
+    let actual = crc32(&payload);
+    if expected != actual {
+        return Err(NetError::ChecksumMismatch { expected, actual });
+    }
+    decode_payload(kind, &payload)
+}
+
+/// Write one pre-encoded frame to a blocking stream and flush it.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> Result<()> {
+    w.write_all(frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests assert by panicking; the workspace deny-set targets
+    // library code.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
+    use super::*;
+
+    fn roundtrip_request(body: Request) {
+        let env = RequestEnvelope {
+            deadline_ms: 250,
+            body,
+        };
+        let bytes = encode_request(&env).unwrap();
+        let (frame, used) = decode_frame(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(frame, Frame::Request(env));
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let bytes = encode_response(&resp).unwrap();
+        let (frame, used) = decode_frame(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(frame, Frame::Response(resp));
+    }
+
+    #[test]
+    fn request_variants_roundtrip() {
+        roundtrip_request(Request::Ping { delay_ms: 0 });
+        roundtrip_request(Request::WriteBatch {
+            entries: vec![
+                ("a.b".into(), vec![Point::new(1, 2.0), Point::new(-5, -0.0)]),
+                ("c".into(), vec![]),
+            ],
+        });
+        roundtrip_request(Request::M4Query {
+            series: "sensor.speed".into(),
+            op: Operator::Lsm,
+            t_qs: -100,
+            t_qe: i64::MAX,
+            w: 480,
+        });
+        roundtrip_request(Request::Delete {
+            series: "s".into(),
+            start: i64::MIN,
+            end: i64::MAX,
+        });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::FlushSeal {
+            series: Some("s".into()),
+            compact: true,
+        });
+        roundtrip_request(Request::FlushSeal {
+            series: None,
+            compact: false,
+        });
+    }
+
+    #[test]
+    fn response_variants_roundtrip() {
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::Written { points: u64::MAX });
+        roundtrip_response(Response::M4 {
+            spans: vec![
+                None,
+                Some(SpanRepr {
+                    first: Point::new(1, 1.5),
+                    last: Point::new(9, -2.5),
+                    bottom: Point::new(4, -7.0),
+                    top: Point::new(3, 8.0),
+                }),
+            ],
+        });
+        roundtrip_response(Response::Deleted);
+        roundtrip_response(Response::Stats {
+            io: Box::new(IoSnapshot {
+                chunks_loaded: 1,
+                points_decoded: 3,
+                ..Default::default()
+            }),
+            server: Box::new(ServerStatsSnapshot {
+                requests_query: 7,
+                latency_counts: vec![0; LATENCY_BUCKETS],
+                ..Default::default()
+            }),
+        });
+        roundtrip_response(Response::Flushed { series_flushed: 3 });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::SeriesNotFound,
+            detail: "series \"x\"".into(),
+        });
+    }
+
+    #[test]
+    fn nan_value_bits_survive_the_wire() {
+        let weird = f64::from_bits(0x7FF8_0000_0000_1234);
+        let env = RequestEnvelope {
+            deadline_ms: 0,
+            body: Request::WriteBatch {
+                entries: vec![("s".into(), vec![Point::new(0, weird)])],
+            },
+        };
+        let bytes = encode_request(&env).unwrap();
+        let (frame, _) = decode_frame(&bytes).unwrap();
+        let Frame::Request(env2) = frame else {
+            panic!("wrong kind")
+        };
+        let Request::WriteBatch { entries } = env2.body else {
+            panic!("wrong body")
+        };
+        assert_eq!(entries[0].1[0].v.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn bad_magic_version_kind_are_typed() {
+        let good = encode_request(&RequestEnvelope {
+            deadline_ms: 0,
+            body: Request::Stats,
+        })
+        .unwrap();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode_frame(&bad), Err(NetError::BadMagic(_))));
+
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            decode_frame(&bad),
+            Err(NetError::UnsupportedVersion(99))
+        ));
+
+        let mut bad = good.clone();
+        bad[5] = 7;
+        assert!(matches!(
+            decode_frame(&bad),
+            Err(NetError::UnknownTag {
+                context: "frame kind",
+                tag: 7
+            })
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let good = encode_request(&RequestEnvelope {
+            deadline_ms: 9,
+            body: Request::Ping { delay_ms: 1 },
+        })
+        .unwrap();
+        let mut bad = good.clone();
+        bad[HEADER_LEN] ^= 0x40;
+        assert!(matches!(
+            decode_frame(&bad),
+            Err(NetError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let good = encode_response(&Response::Written { points: 5 }).unwrap();
+        for k in 0..good.len() {
+            let r = decode_frame(&good[..k]);
+            assert!(r.is_err(), "prefix of {k} bytes must not decode");
+        }
+    }
+
+    #[test]
+    fn oversized_claimed_counts_are_rejected() {
+        // A write-batch frame claiming u32::MAX points but holding none.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 0); // deadline
+        payload.push(1); // WriteBatch
+        put_u32(&mut payload, 1); // one series
+        put_str(&mut payload, "s").unwrap();
+        put_u32(&mut payload, u32::MAX); // absurd point count
+        let frame = frame_bytes(KIND_REQUEST, payload).unwrap();
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(NetError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn stream_read_write_roundtrip() {
+        let env = RequestEnvelope {
+            deadline_ms: 1,
+            body: Request::Delete {
+                series: "s".into(),
+                start: 0,
+                end: 10,
+            },
+        };
+        let bytes = encode_request(&env).unwrap();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &bytes).unwrap();
+        let frame = read_frame(&mut buf.as_slice(), MAX_PAYLOAD_BYTES).unwrap();
+        assert_eq!(frame, Frame::Request(env));
+    }
+}

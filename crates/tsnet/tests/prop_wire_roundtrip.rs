@@ -1,0 +1,246 @@
+//! Property tests for the tsnet wire protocol.
+//!
+//! The protocol's contract has two halves:
+//!
+//! 1. **Round-trip fidelity** — any encodable request/response decodes
+//!    back to a frame that re-encodes to the *same bytes* (byte
+//!    equality sidesteps `NaN != NaN`: value bit patterns must survive
+//!    the wire exactly).
+//! 2. **Hostile-input totality** — truncations, bit flips and random
+//!    garbage must decode to typed [`tsnet::NetError`]s, never panic,
+//!    and anything that *does* decode must be self-consistent
+//!    (re-encoding reproduces the consumed bytes).
+
+// Tests assert by panicking; the workspace deny-set targets library
+// code.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
+
+use proptest::prelude::*;
+use tsfile::types::Point;
+use tskv::stats::IoSnapshot;
+use tsnet::stats::{ServerStatsSnapshot, LATENCY_BUCKETS};
+use tsnet::wire::{
+    decode_frame, encode_request, encode_response, Frame, Operator, Request, RequestEnvelope,
+    Response,
+};
+use tsnet::ErrorCode;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(97u8..=122, 1..=12)
+        .prop_map(|bytes| String::from_utf8(bytes).unwrap_or_default())
+}
+
+/// Points with *any* value bit pattern — NaN and infinities included.
+fn point_strategy() -> impl Strategy<Value = Point> {
+    (any::<i64>(), any::<u64>()).prop_map(|(t, bits)| Point::new(t, f64::from_bits(bits)))
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    let entry = (name_strategy(), prop::collection::vec(point_strategy(), 0..=16));
+    prop_oneof![
+        any::<u32>().prop_map(|delay_ms| Request::Ping { delay_ms }),
+        prop::collection::vec(entry, 0..=4).prop_map(|entries| Request::WriteBatch { entries }),
+        (
+            name_strategy(),
+            any::<bool>(),
+            any::<i64>(),
+            any::<i64>(),
+            any::<u32>()
+        )
+            .prop_map(|(series, lsm, t_qs, t_qe, w)| Request::M4Query {
+                series,
+                op: if lsm { Operator::Lsm } else { Operator::Udf },
+                t_qs,
+                t_qe,
+                w,
+            }),
+        (name_strategy(), any::<i64>(), any::<i64>()).prop_map(|(series, start, end)| {
+            Request::Delete { series, start, end }
+        }),
+        Just(Request::Stats),
+        (any::<bool>(), name_strategy(), any::<bool>()).prop_map(|(named, name, compact)| {
+            Request::FlushSeal {
+                series: if named { Some(name) } else { None },
+                compact,
+            }
+        }),
+    ]
+}
+
+fn envelope_strategy() -> impl Strategy<Value = RequestEnvelope> {
+    (any::<u32>(), request_strategy())
+        .prop_map(|(deadline_ms, body)| RequestEnvelope { deadline_ms, body })
+}
+
+fn span_strategy() -> impl Strategy<Value = Option<m4::SpanRepr>> {
+    (
+        any::<bool>(),
+        point_strategy(),
+        point_strategy(),
+        point_strategy(),
+        point_strategy(),
+    )
+        .prop_map(|(some, first, last, bottom, top)| {
+            some.then_some(m4::SpanRepr {
+                first,
+                last,
+                bottom,
+                top,
+            })
+        })
+}
+
+fn io_snapshot_strategy() -> impl Strategy<Value = IoSnapshot> {
+    prop::collection::vec(any::<u64>(), 16usize).prop_map(|v| IoSnapshot {
+        chunks_loaded: v[0],
+        bytes_read: v[1],
+        points_decoded: v[2],
+        timestamps_decoded: v[3],
+        mem_chunks_read: v[4],
+        cache_hits: v[5],
+        cache_misses: v[6],
+        cache_evictions: v[7],
+        cache_invalidations: v[8],
+        points_written: v[9],
+        wal_batches: v[10],
+        wal_bytes: v[11],
+        wal_syncs: v[12],
+        compactions_scheduled: v[13],
+        compactions_completed: v[14],
+        compactions_skipped: v[15],
+    })
+}
+
+fn server_snapshot_strategy() -> impl Strategy<Value = ServerStatsSnapshot> {
+    (
+        prop::collection::vec(any::<u64>(), 14usize),
+        prop::collection::vec(any::<u64>(), 0..=LATENCY_BUCKETS),
+    )
+        .prop_map(|(v, latency_counts)| ServerStatsSnapshot {
+            requests_ping: v[0],
+            requests_write: v[1],
+            requests_query: v[2],
+            requests_delete: v[3],
+            requests_stats: v[4],
+            requests_flush: v[5],
+            rejected_busy: v[6],
+            timeouts: v[7],
+            errors: v[8],
+            bytes_in: v[9],
+            bytes_out: v[10],
+            connections_accepted: v[11],
+            connections_rejected: v[12],
+            in_flight: v[13],
+            latency_counts,
+        })
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Pong),
+        any::<u64>().prop_map(|points| Response::Written { points }),
+        prop::collection::vec(span_strategy(), 0..=24).prop_map(|spans| Response::M4 { spans }),
+        Just(Response::Deleted),
+        (io_snapshot_strategy(), server_snapshot_strategy())
+            .prop_map(|(io, server)| Response::Stats {
+                io: Box::new(io),
+                server: Box::new(server),
+            }),
+        any::<u32>().prop_map(|series_flushed| Response::Flushed { series_flushed }),
+        (0u8..=5, name_strategy()).prop_map(|(tag, detail)| Response::Error {
+            code: ErrorCode::from_wire(tag).unwrap(),
+            detail,
+        }),
+    ]
+}
+
+/// Re-encode a decoded frame with the matching encoder.
+fn reencode(frame: &Frame) -> Vec<u8> {
+    match frame {
+        Frame::Request(env) => encode_request(env).unwrap(),
+        Frame::Response(resp) => encode_response(resp).unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn request_encode_decode_reencode_is_identity(env in envelope_strategy()) {
+        let bytes = encode_request(&env).unwrap();
+        let (frame, used) = decode_frame(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert!(matches!(frame, Frame::Request(_)));
+        prop_assert_eq!(reencode(&frame), bytes);
+    }
+
+    #[test]
+    fn response_encode_decode_reencode_is_identity(resp in response_strategy()) {
+        let bytes = encode_response(&resp).unwrap();
+        let (frame, used) = decode_frame(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert!(matches!(frame, Frame::Response(_)));
+        prop_assert_eq!(reencode(&frame), bytes);
+    }
+
+    #[test]
+    fn every_strict_prefix_is_a_typed_error(
+        env in envelope_strategy(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let bytes = encode_request(&env).unwrap();
+        let k = cut.index(bytes.len()); // strictly less than the full frame
+        prop_assert!(decode_frame(&bytes[..k]).is_err());
+    }
+
+    #[test]
+    fn single_bit_corruption_never_panics_and_stays_framed(
+        env in envelope_strategy(),
+        pos in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode_request(&env).unwrap();
+        let k = pos.index(bytes.len());
+        bytes[k] ^= 1u8 << bit;
+        // A flip is either caught as a typed error (magic, version,
+        // kind, length, checksum) or — only for bytes outside the
+        // checksummed payload that still form a valid frame, e.g. the
+        // request/response kind byte — decodes to a frame that
+        // re-encodes to exactly the bytes consumed.
+        match decode_frame(&bytes) {
+            Err(_) => {}
+            Ok((frame, used)) => {
+                prop_assert_eq!(reencode(&frame), bytes[..used].to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn payload_corruption_is_always_caught_by_the_checksum(
+        resp in response_strategy(),
+        pos in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode_response(&resp).unwrap();
+        let payload_len = bytes.len() - tsnet::wire::HEADER_LEN - tsnet::wire::TRAILER_LEN;
+        prop_assume!(payload_len > 0);
+        let k = tsnet::wire::HEADER_LEN + pos.index(payload_len);
+        bytes[k] ^= 1u8 << bit;
+        let caught = matches!(
+            decode_frame(&bytes),
+            Err(tsnet::NetError::ChecksumMismatch { .. })
+        );
+        prop_assert!(caught, "payload flip must fail the checksum");
+    }
+
+    #[test]
+    fn random_garbage_never_panics(junk in prop::collection::vec(any::<u8>(), 0..=64)) {
+        // Totality: the decoder must return, not panic, on anything.
+        let _ = decode_frame(&junk);
+    }
+}

@@ -3,10 +3,12 @@
 //! Run as `cargo run -p xtask -- lint`. Four rule families (see
 //! DESIGN.md for full contracts):
 //!
-//! - **L1** panic-freedom in `tsfile`/`tskv`/`m4` non-test code, plus
-//!   an indexing ban inside byte-parsing modules;
+//! - **L1** panic-freedom in `tsfile`/`tskv`/`m4`/`tsnet` non-test
+//!   code, plus an indexing ban inside byte-parsing modules (including
+//!   the network wire decoder);
 //! - **L2** no lock/RefCell guard held across file I/O or chunk decode
-//!   in `tskv::engine`, `tskv::snapshot`, `m4::lsm::cache`;
+//!   in `tskv::engine`, `tskv::snapshot`, `m4::lsm::cache`, and the
+//!   `tsnet::server` connection pool;
 //! - **L3** public decode/read entry points in the storage crates
 //!   return `Result`/`Option`;
 //! - **L4** no bare `as` numeric conversions in the codec layers
@@ -31,10 +33,16 @@ pub use rules::{FileRules, Rule, Violation};
 pub const ALLOWLIST_FILE: &str = "xtask-lint-allowlist.toml";
 
 /// Crates whose `src/` trees get the L1 panic-freedom scan.
-const L1_CRATES: &[&str] = &["crates/tsfile/src", "crates/tskv/src", "crates/m4/src"];
+const L1_CRATES: &[&str] = &[
+    "crates/tsfile/src",
+    "crates/tskv/src",
+    "crates/m4/src",
+    "crates/tsnet/src",
+];
 
 /// Byte-parsing modules: L1 additionally bans indexing/slicing here.
-/// Membership criterion: the file interprets *raw disk bytes*.
+/// Membership criterion: the file interprets *raw disk bytes* (or raw
+/// network bytes — the tsnet wire decoder).
 /// `index.rs` is deliberately absent — its decode path is already
 /// get()-based and the rest is in-memory model math over slices whose
 /// invariants are established at decode time.
@@ -48,6 +56,7 @@ const UNTRUSTED_INPUT_FILES: &[&str] = &[
     "crates/tsfile/src/encoding/plain.rs",
     "crates/tsfile/src/encoding/ts2diff.rs",
     "crates/tskv/src/wal.rs",
+    "crates/tsnet/src/wire.rs",
 ];
 
 /// Files subject to the L2 lock-discipline scan.
@@ -58,6 +67,8 @@ const L2_FILES: &[&str] = &[
     "crates/tskv/src/cache.rs",
     "crates/m4/src/lsm/cache.rs",
     "crates/m4/src/pool.rs",
+    "crates/tsnet/src/server.rs",
+    "crates/tsnet/src/client.rs",
 ];
 
 /// Files whose public read/decode entry points must be fallible (L3).
@@ -75,6 +86,7 @@ const L3_FILES: &[&str] = &[
     "crates/tskv/src/chunk.rs",
     "crates/tskv/src/snapshot.rs",
     "crates/tskv/src/wal.rs",
+    "crates/tsnet/src/wire.rs",
 ];
 
 /// Codec layers under the L4 cast audit. `cast.rs` is the audited
@@ -228,6 +240,12 @@ mod tests {
         let r = rules_for("crates/tskv/src/cache.rs");
         assert!(r.l1 && r.l2 && !r.l3);
         let r = rules_for("crates/m4/src/pool.rs");
+        assert!(r.l1 && r.l2 && !r.l3);
+        let r = rules_for("crates/tsnet/src/wire.rs");
+        assert!(r.l1 && r.l1_indexing && !r.l2 && r.l3 && !r.l4);
+        let r = rules_for("crates/tsnet/src/server.rs");
+        assert!(r.l1 && !r.l1_indexing && r.l2 && !r.l3 && !r.l4);
+        let r = rules_for("crates/tsnet/src/client.rs");
         assert!(r.l1 && r.l2 && !r.l3);
         let r = rules_for("crates/workload/src/lib.rs");
         assert!(!r.any());

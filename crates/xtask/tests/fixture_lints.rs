@@ -86,6 +86,21 @@ fn l2_fixture_flags_scheduler_guard_across_compact() {
 }
 
 #[test]
+fn l2_fixture_flags_conn_pool_guard_across_spawn_io() {
+    let v = lint_fixture("l2_conn_pool_guard.rs", Rule::L2);
+    assert!(
+        v.iter()
+            .any(|v| v.message.contains("File") && v.message.contains("guard")),
+        "{v:?}"
+    );
+    assert!(
+        v.iter()
+            .any(|v| v.message.contains("create") && v.message.contains("guard")),
+        "{v:?}"
+    );
+}
+
+#[test]
 fn l3_fixture_flags_infallible_decode_entry_point() {
     let v = lint_fixture("l3_infallible_decode.rs", Rule::L3);
     assert!(
@@ -114,6 +129,7 @@ fn cli_exits_nonzero_on_each_fixture() {
         "l2_guard_across_io.rs",
         "l2_guard_across_cache.rs",
         "l2_scheduler_lock_phase.rs",
+        "l2_conn_pool_guard.rs",
         "l3_infallible_decode.rs",
         "l4_unchecked_cast.rs",
     ] {

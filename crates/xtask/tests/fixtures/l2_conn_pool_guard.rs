@@ -1,0 +1,20 @@
+//! L2 fixture: connection-pool guard phasing. The tsnet server's worker
+//! registry lock must be acquired *after* the worker thread is spawned
+//! and released before any socket/file I/O — registering under a live
+//! guard while the spawn closure opens its log fuses registry mutation
+//! with I/O and serializes every accept behind it. The `File`/`create`
+//! recognizers must reject the fused form below. Names avoid the L3
+//! fallible prefixes and there are no panic sites, indexing, or casts,
+//! so only L2 may fire.
+
+struct Acceptor;
+
+impl Acceptor {
+    fn adopt(&self, conn: Conn) {
+        let mut pool = self.workers.lock();
+        let log = File::create(self.log_path(&conn));
+        pool.push(spawn_worker(conn, log));
+    }
+}
+
+fn spawn_worker<C, L>(_: C, _: L) {}

@@ -11,6 +11,8 @@
 //! * [`tskv`] — LSM storage engine: memtable, flush, versions, readers.
 //! * [`m4`] — M4 representation, the M4-UDF baseline, the M4-LSM
 //!   operator, and the step-regression chunk index.
+//! * [`tsnet`] — network service layer: wire protocol, TCP
+//!   query/ingest server, blocking client.
 //! * [`workload`] — synthetic dataset generators matching the paper's
 //!   four evaluation datasets.
 //!
@@ -21,4 +23,5 @@
 pub use m4;
 pub use tsfile;
 pub use tskv;
+pub use tsnet;
 pub use workload;

@@ -39,13 +39,17 @@ fn main() {
         let plan = reader.plan();
         let t_plan = t0.elapsed();
 
+        let io_before = snap.io().snapshot();
         let t0 = Instant::now();
-        let runs: Vec<_> = pool::run_indexed(threads, plan.len(), |i| {
+        let page_runs: Vec<_> = pool::run_indexed(threads, plan.len(), |i| {
             let c = &plan[i];
-            Ok((c.version, snap.read_points(c).unwrap()))
+            let pages = snap.read_points_in(c, q.full_range()).unwrap();
+            Ok(pages.into_iter().map(|(_, pts)| (c.version, pts)).collect::<Vec<_>>())
         })
         .unwrap();
+        let runs: Vec<_> = page_runs.into_iter().flatten().collect();
         let t_load = t0.elapsed();
+        let io = snap.io().snapshot() - io_before;
 
         let t0 = Instant::now();
         let jobs = (threads * 4).clamp(1, q.w);
@@ -73,6 +77,10 @@ fn main() {
             plan.len(),
             merged.len(),
             r.non_empty()
+        );
+        println!(
+            "  pages: decoded={} skipped={} stat_answered={} (points_decoded={})",
+            io.pages_decoded, io.pages_skipped, io.pages_stat_answered, io.points_decoded
         );
     }
     std::fs::remove_dir_all(&dir).ok();

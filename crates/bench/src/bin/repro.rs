@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Experiments: table2, fig8, fig10, fig11, fig12, fig13, fig14,
-//! pixels, ablation, compaction, parallel, ingest, serve, all.
+//! pixels, ablation, compaction, parallel, pages, ingest, serve, all.
 //!
 //! `--out` writes `{"meta": {...}, "rows": [...]}` — the meta header
 //! records the run's scale/repeats and the baseline write-path knobs
@@ -28,6 +28,7 @@
 use std::io::Write;
 
 use bench::experiments::ingest::{self, IngestReport, IngestRow};
+use bench::experiments::pages::{self, PagesReport, PagesRow};
 use bench::experiments::serve::{self, ServeReport, ServeRow};
 use bench::experiments::{
     ablation, compaction, fig10, fig11, fig12, fig13, fig14, fig8, parallel, pixels, table2,
@@ -80,7 +81,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--exp table2|fig8|fig10|fig11|fig12|fig13|fig14|pixels|ablation|compaction|parallel|ingest|serve|all] \
+                    "usage: repro [--exp table2|fig8|fig10|fig11|fig12|fig13|fig14|pixels|ablation|compaction|parallel|pages|ingest|serve|all] \
                      [--scale F] [--repeats N] [--out FILE.json] [--dataset NAME]..."
                 );
                 std::process::exit(0);
@@ -152,6 +153,13 @@ fn main() {
         let p = pixels::run(&h);
         pixels::print(&p);
     }
+    let mut pages_rows: Vec<PagesRow> = Vec::new();
+    if all || args.exp == "pages" {
+        println!("\n== pages ==");
+        pages_rows = pages::run(&h);
+        pages::print(&pages_rows);
+        pages::summarize(&pages_rows);
+    }
     let mut ingest_rows: Vec<IngestRow> = Vec::new();
     if all || args.exp == "ingest" {
         println!("\n== ingest ==");
@@ -169,7 +177,16 @@ fn main() {
 
     if let Some(path) = &args.out {
         let meta = BenchMeta::new(&h, &EngineConfig::default());
-        let (json, n) = if args.exp == "ingest" {
+        let (json, n) = if args.exp == "pages" {
+            let report = PagesReport {
+                meta,
+                rows: pages_rows,
+            };
+            (
+                serde_json::to_string_pretty(&report).expect("serialize pages report"),
+                report.rows.len(),
+            )
+        } else if args.exp == "ingest" {
             let report = IngestReport {
                 meta,
                 rows: ingest_rows,
@@ -188,6 +205,9 @@ fn main() {
                 report.rows.len(),
             )
         } else {
+            if !pages_rows.is_empty() {
+                println!("\nnote: pages rows are only serialized by `--exp pages --out ...`");
+            }
             if !ingest_rows.is_empty() {
                 println!("\nnote: ingest rows are only serialized by `--exp ingest --out ...`");
             }

@@ -11,6 +11,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig8;
 pub mod ingest;
+pub mod pages;
 pub mod parallel;
 pub mod pixels;
 pub mod serve;

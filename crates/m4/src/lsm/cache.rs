@@ -2,9 +2,11 @@
 //!
 //! A chunk split by one span boundary is needed by two adjacent spans;
 //! a chunk probed for an overwrite at one candidate may be probed again
-//! for another. The cache ensures each chunk body is read and decoded
-//! at most once per query (full loads), and that timestamp-only probes
-//! reuse previously decoded prefixes (partial loads, Figure 7(b)).
+//! for another. The cache ensures each chunk body — or, for paged
+//! chunks, each *page* body — is read and decoded at most once per
+//! query (full loads), and that timestamp-only probes reuse previously
+//! decoded prefixes (partial loads, Figure 7(b)). Entries are keyed
+//! `(chunk idx, page)`; whole-chunk loads use a sentinel page number.
 //!
 //! The cache is `Sync` — span executors on different worker-pool
 //! threads share one instance — and layers on the engine's cross-query
@@ -29,21 +31,29 @@ use tskv::{ChunkHandle, SeriesSnapshot};
 
 use crate::Result;
 
-/// Decoded timestamp prefix of a chunk: everything up to (and one past)
-/// the largest probe timestamp seen so far.
+/// Decoded timestamp prefix of a chunk or page: everything up to (and
+/// one past) the largest probe timestamp seen so far.
 #[derive(Debug)]
 struct TsPrefix {
     ts: Vec<Timestamp>,
     complete: bool,
 }
 
-/// Per-query cache of decoded chunk data. `Sync`: shared by the span
-/// executors running on the worker pool.
+/// Sentinel page number keying whole-chunk entries; real page numbers
+/// of a paged chunk never reach it.
+const WHOLE: u32 = u32::MAX;
+
+/// Decoded points keyed `(chunk idx, page-or-[`WHOLE`])`.
+pub(crate) type PageKeyedPoints = HashMap<(usize, u32), Arc<Vec<Point>>>;
+
+/// Per-query cache of decoded chunk data, keyed `(chunk idx, page)` so
+/// fragments of a paged chunk load independently. `Sync`: shared by
+/// the span executors running on the worker pool.
 #[derive(Debug)]
 pub(crate) struct ChunkCache<'a> {
     snapshot: &'a SeriesSnapshot,
-    points: Mutex<HashMap<usize, Arc<Vec<Point>>>>,
-    ts: Mutex<HashMap<usize, TsPrefix>>,
+    points: Mutex<PageKeyedPoints>,
+    ts: Mutex<HashMap<(usize, u32), TsPrefix>>,
 }
 
 impl<'a> ChunkCache<'a> {
@@ -54,18 +64,48 @@ impl<'a> ChunkCache<'a> {
     /// Full load of chunk `idx` (raw points, unfiltered), cached.
     pub fn points(&self, idx: usize, chunk: &ChunkHandle) -> Result<Arc<Vec<Point>>> {
         // Copy the hit out so no guard is held across the read.
-        let cached = self.points.lock().get(&idx).map(Arc::clone);
+        let cached = self.points.lock().get(&(idx, WHOLE)).map(Arc::clone);
         if let Some(p) = cached {
             return Ok(p);
         }
         let pts = self.snapshot.read_points(chunk)?;
-        self.points.lock().insert(idx, Arc::clone(&pts));
+        self.points.lock().insert((idx, WHOLE), Arc::clone(&pts));
+        Ok(pts)
+    }
+
+    /// Load of one page of chunk `idx` (raw points of that page only),
+    /// cached per page.
+    pub fn points_page(
+        &self,
+        idx: usize,
+        page: u32,
+        chunk: &ChunkHandle,
+    ) -> Result<Arc<Vec<Point>>> {
+        let cached = self.points.lock().get(&(idx, page)).map(Arc::clone);
+        if let Some(p) = cached {
+            return Ok(p);
+        }
+        let pts = self.snapshot.read_page_points(chunk, page)?;
+        self.points.lock().insert((idx, page), Arc::clone(&pts));
         Ok(pts)
     }
 
     /// Whether chunk `idx` has already been fully loaded.
     pub fn is_loaded(&self, idx: usize) -> bool {
-        self.points.lock().contains_key(&idx)
+        self.points.lock().contains_key(&(idx, WHOLE))
+    }
+
+    /// Whether page `page` of chunk `idx` is already decoded — either
+    /// as its own entry or covered by a whole-chunk load.
+    pub fn is_loaded_page(&self, idx: usize, page: u32) -> bool {
+        let map = self.points.lock();
+        map.contains_key(&(idx, page)) || map.contains_key(&(idx, WHOLE))
+    }
+
+    /// Count a probe or candidate answered from page statistics alone
+    /// (no page body read) toward the engine's I/O counters.
+    pub fn note_page_stat_answered(&self) {
+        self.snapshot.io().record_page_stat_answered();
     }
 
     /// Timestamp-membership probe: does chunk `idx` contain a point at
@@ -87,40 +127,98 @@ impl<'a> ChunkCache<'a> {
                 return Ok(answer);
             }
         }
-        let loaded = self.points.lock().get(&idx).map(Arc::clone);
+        let loaded = self.points.lock().get(&(idx, WHOLE)).map(Arc::clone);
         if let Some(pts) = loaded {
-            return Ok(search_points(&pts, chunk, t, use_step_index));
+            return Ok(search_points(&pts, t));
         }
         // Answer from the cached prefix if it provably covers `t`; the
         // guard must end before any fetch below.
-        let cached_hit = {
-            let ts_map = self.ts.lock();
-            match ts_map.get(&idx) {
-                Some(prefix)
-                    if prefix.complete || prefix.ts.last().is_some_and(|&last| last >= t) =>
-                {
-                    Some(search_ts(&prefix.ts, chunk, t, use_step_index))
-                }
-                _ => None,
-            }
-        };
-        if let Some(answer) = cached_hit {
+        if let Some(answer) = self.ts_prefix_hit(idx, WHOLE, chunk, t, use_step_index) {
             return Ok(answer);
         }
         let ts = self.snapshot.read_timestamps(chunk, Some(t))?;
         let complete = ts.len() as u64 == chunk.count();
         let answer = search_ts(&ts, chunk, t, use_step_index);
-        // Keep the longer prefix if a racing probe published first — a
-        // prefix only ever answers timestamps it provably covers, so
-        // monotone growth is a performance property, not correctness.
-        let mut ts_map = self.ts.lock();
-        match ts_map.get(&idx) {
-            Some(existing) if existing.complete || existing.ts.len() >= ts.len() => {}
-            _ => {
-                ts_map.insert(idx, TsPrefix { ts, complete });
+        self.publish_prefix(idx, WHOLE, ts, complete);
+        Ok(answer)
+    }
+
+    /// Page-targeted membership probe: does *page* `page` of chunk
+    /// `idx` contain a point at exactly `t`? Used when the caller
+    /// already knows (from page statistics) which page could hold `t`;
+    /// decodes at most that page's timestamp prefix instead of the
+    /// chunk prefix up to `t`.
+    pub fn contains_timestamp_page(
+        &self,
+        idx: usize,
+        page: u32,
+        chunk: &ChunkHandle,
+        t: Timestamp,
+        use_step_index: bool,
+    ) -> Result<bool> {
+        // The step-regression model is chunk-global, so its
+        // metadata-only answer remains valid for any in-page probe.
+        if use_step_index {
+            if let Some(answer) = chunk.index.as_ref().and_then(|i| i.exists_at_meta(t)) {
+                return Ok(answer);
             }
         }
+        let loaded = {
+            let map = self.points.lock();
+            map.get(&(idx, page)).or_else(|| map.get(&(idx, WHOLE))).map(Arc::clone)
+        };
+        if let Some(pts) = loaded {
+            return Ok(search_points(&pts, t));
+        }
+        // NOTE: page timestamp slices start mid-chunk, so the step
+        // index's position predictions do not apply — plain binary
+        // search only below this point.
+        if let Some(answer) = self.ts_prefix_hit(idx, page, chunk, t, false) {
+            return Ok(answer);
+        }
+        let ts = self.snapshot.read_page_timestamps(chunk, page, Some(t))?;
+        let page_count =
+            chunk.paged().and_then(|i| i.pages.get(page as usize)).map_or(0, |p| p.stats.count);
+        let complete = ts.len() as u64 == page_count;
+        let answer = binary_search_ops::exists_at(&ts, t);
+        self.publish_prefix(idx, page, ts, complete);
         Ok(answer)
+    }
+
+    /// Answer a probe from an already-cached timestamp prefix, if it
+    /// provably covers `t`. No guard survives the call.
+    fn ts_prefix_hit(
+        &self,
+        idx: usize,
+        page: u32,
+        chunk: &ChunkHandle,
+        t: Timestamp,
+        use_step_index: bool,
+    ) -> Option<bool> {
+        let ts_map = self.ts.lock();
+        match ts_map.get(&(idx, page)) {
+            Some(prefix) if prefix.complete || prefix.ts.last().is_some_and(|&last| last >= t) => {
+                if page == WHOLE {
+                    Some(search_ts(&prefix.ts, chunk, t, use_step_index))
+                } else {
+                    Some(binary_search_ops::exists_at(&prefix.ts, t))
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Keep the longer prefix if a racing probe published first — a
+    /// prefix only ever answers timestamps it provably covers, so
+    /// monotone growth is a performance property, not correctness.
+    fn publish_prefix(&self, idx: usize, page: u32, ts: Vec<Timestamp>, complete: bool) {
+        let mut ts_map = self.ts.lock();
+        match ts_map.get(&(idx, page)) {
+            Some(existing) if existing.complete || existing.ts.len() >= ts.len() => {}
+            _ => {
+                ts_map.insert((idx, page), TsPrefix { ts, complete });
+            }
+        }
     }
 }
 
@@ -131,11 +229,10 @@ fn search_ts(ts: &[Timestamp], chunk: &ChunkHandle, t: Timestamp, use_step_index
     }
 }
 
-fn search_points(pts: &[Point], chunk: &ChunkHandle, t: Timestamp, use_step_index: bool) -> bool {
+fn search_points(pts: &[Point], t: Timestamp) -> bool {
     // Points are sorted by time; search over a lazily projected column
     // would allocate, so binary search the points directly. The step
     // index is only a win for the (cheaply projected) prefix case.
-    let _ = (chunk, use_step_index);
     pts.binary_search_by_key(&t, |p| p.t).is_ok()
 }
 

@@ -35,18 +35,27 @@ use tsfile::ModEntry;
 use tskv::delete::DeleteSweep;
 use tskv::ChunkHandle;
 
-use crate::lsm::cache::ChunkCache;
+use crate::lsm::cache::{ChunkCache, PageKeyedPoints};
 use crate::lsm::M4LsmConfig;
 use crate::repr::SpanRepr;
 use crate::{M4Error, Result};
 
-/// One chunk as seen by one span.
+/// One chunk — or one page of a paged chunk — as seen by one span.
+///
+/// Paged chunks enter span assignment *per page*: each overlapping
+/// page becomes its own fragment with its own statistics, so a span
+/// covering only part of a large chunk works at page granularity
+/// (metadata candidates from page statistics, loads of single pages).
 #[derive(Debug, Clone)]
 pub(crate) struct SpanChunk {
     /// Index into the snapshot's chunk list (cache key).
     pub idx: usize,
-    /// Whether the chunk's time interval lies entirely inside the span
-    /// (only then do whole-chunk statistics describe the subsequence).
+    /// Page number within the chunk when this entry is a page fragment
+    /// of a paged chunk; `None` for in-memory, v1 and single-page
+    /// chunks, which are handled whole.
+    pub frag: Option<u32>,
+    /// Whether the fragment's time interval lies entirely inside the
+    /// span (only then do its statistics describe the subsequence).
     pub whole: bool,
 }
 
@@ -58,8 +67,9 @@ pub(crate) struct SpanExecutor<'a, 'b> {
     pub span: TimeRange,
     pub cache: &'b ChunkCache<'a>,
     pub cfg: &'b M4LsmConfig,
-    /// Per-span live point sets of loaded chunks (in-span, non-deleted).
-    live: RefCell<HashMap<usize, Arc<Vec<Point>>>>,
+    /// Per-span live point sets of loaded fragments (in-span,
+    /// non-deleted), keyed `(chunk idx, page-or-sentinel)`.
+    live: RefCell<PageKeyedPoints>,
 }
 
 /// FP/LP solver state for one chunk.
@@ -105,22 +115,45 @@ impl<'a, 'b> SpanExecutor<'a, 'b> {
         &self.handles[sc.idx]
     }
 
+    /// The fragment's statistics: page statistics for page fragments,
+    /// whole-chunk statistics otherwise.
     fn stats(&self, sc: &SpanChunk) -> &'b ChunkStatistics {
-        &self.handle(sc).stats
+        let h = self.handle(sc);
+        match sc.frag.and_then(|f| h.paged().and_then(|i| i.pages.get(f as usize))) {
+            Some(pm) => &pm.stats,
+            None => &h.stats,
+        }
     }
 
     fn version(&self, sc: &SpanChunk) -> Version {
         self.handle(sc).version
     }
 
-    /// Load a chunk (through the query cache) and compute its live
+    /// Cache key of the fragment's live set within this span.
+    fn key(sc: &SpanChunk) -> (usize, u32) {
+        (sc.idx, sc.frag.unwrap_or(u32::MAX))
+    }
+
+    /// Whether the fragment's raw points are already decoded in the
+    /// query cache (its own page, or a whole-chunk load covering it).
+    fn paid(&self, sc: &SpanChunk) -> bool {
+        match sc.frag {
+            Some(f) => self.cache.is_loaded_page(sc.idx, f),
+            None => self.cache.is_loaded(sc.idx),
+        }
+    }
+
+    /// Load a fragment (through the query cache) and compute its live
     /// point set for this span: in-span and not deleted. Cached per
     /// span so FP/LP/BP/TP share the work.
     fn live(&self, sc: &SpanChunk) -> Result<Arc<Vec<Point>>> {
-        if let Some(l) = self.live.borrow().get(&sc.idx) {
+        if let Some(l) = self.live.borrow().get(&Self::key(sc)) {
             return Ok(Arc::clone(l));
         }
-        let raw = self.cache.points(sc.idx, self.handle(sc))?;
+        let raw = match sc.frag {
+            Some(f) => self.cache.points_page(sc.idx, f, self.handle(sc))?,
+            None => self.cache.points(sc.idx, self.handle(sc))?,
+        };
         let version = self.version(sc);
         let mut sweep = DeleteSweep::new(self.deletes);
         let live: Vec<Point> = raw
@@ -129,7 +162,7 @@ impl<'a, 'b> SpanExecutor<'a, 'b> {
             .copied()
             .collect();
         let live = Arc::new(live);
-        self.live.borrow_mut().insert(sc.idx, Arc::clone(&live));
+        self.live.borrow_mut().insert(Self::key(sc), Arc::clone(&live));
         Ok(live)
     }
 
@@ -164,7 +197,7 @@ impl<'a, 'b> SpanExecutor<'a, 'b> {
         // Initialize per-chunk state.
         let mut states: Vec<EdgeState> = Vec::with_capacity(self.chunks.len());
         for sc in &self.chunks {
-            let st = if sc.whole && !self.cache.is_loaded(sc.idx) {
+            let st = if sc.whole && !self.paid(sc) {
                 let s = self.stats(sc);
                 EdgeState::Exact(if first { s.first } else { s.last })
             } else {
@@ -225,7 +258,7 @@ impl<'a, 'b> SpanExecutor<'a, 'b> {
             let EdgeState::Exact(p) = states[pos] else {
                 return Err(M4Error::Internal("selected edge candidate is neither bound nor exact"));
             };
-            if self.cache.is_loaded(sc.idx) || self.live.borrow().contains_key(&sc.idx) {
+            if self.paid(&sc) || self.live.borrow().contains_key(&Self::key(&sc)) {
                 // Live sets are delete-filtered already; Proposition 3.1
                 // rules out overwrites for the extreme-time candidate.
                 return Ok(Some(p));
@@ -238,7 +271,14 @@ impl<'a, 'b> SpanExecutor<'a, 'b> {
                 self.covering_deletes(p.t, version).map(|d| d.range.start).min()
             };
             match clip {
-                None => return Ok(Some(p)), // latest (Proposition 3.1)
+                None => {
+                    // Latest (Proposition 3.1). A page fragment answered
+                    // here never read its body: page statistics alone.
+                    if sc.frag.is_some() {
+                        self.cache.note_page_stat_answered();
+                    }
+                    return Ok(Some(p));
+                }
                 Some(edge) => {
                     if !self.cfg.lazy_load {
                         // Ablation: eager load on first refutation.
@@ -281,7 +321,7 @@ impl<'a, 'b> SpanExecutor<'a, 'b> {
         // Timestamps known to be overwritten, per chunk.
         let mut excluded: Vec<HashSet<Timestamp>> = vec![HashSet::new(); self.chunks.len()];
         for sc in &self.chunks {
-            let st = if self.cache.is_loaded(sc.idx) || !sc.whole {
+            let st = if self.paid(sc) || !sc.whole {
                 // Pay the (already paid or unavoidable) load.
                 self.live(sc)?;
                 ExtremeState::Loaded
@@ -368,6 +408,11 @@ impl<'a, 'b> SpanExecutor<'a, 'b> {
                 self.is_overwritten(p_g.t, version)?
             };
             if !deleted && !overwritten {
+                // A page fragment whose metadata extreme survives
+                // verification was answered from page statistics alone.
+                if sc.frag.is_some() && matches!(states[pos], ExtremeState::Meta(_)) {
+                    self.cache.note_page_stat_answered();
+                }
                 return Ok(Some(p_g));
             }
             // Refuted: lazy-load bookkeeping.
@@ -430,10 +475,19 @@ impl<'a, 'b> SpanExecutor<'a, 'b> {
     fn is_overwritten(&self, t: Timestamp, version: Version) -> Result<bool> {
         for other in &self.chunks {
             let h = self.handle(other);
-            if h.version <= version || !h.stats.time_range().contains(t) {
+            // Fragment statistics make this interval check page-tight:
+            // a `t` falling between two pages of a later chunk is ruled
+            // out here without any probe.
+            if h.version <= version || !self.stats(other).time_range().contains(t) {
                 continue;
             }
-            if self.cache.contains_timestamp(other.idx, h, t, self.cfg.use_step_index)? {
+            let hit = match other.frag {
+                Some(f) => self
+                    .cache
+                    .contains_timestamp_page(other.idx, f, h, t, self.cfg.use_step_index)?,
+                None => self.cache.contains_timestamp(other.idx, h, t, self.cfg.use_step_index)?,
+            };
+            if hit {
                 return Ok(true);
             }
         }

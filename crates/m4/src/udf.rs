@@ -45,12 +45,17 @@ impl M4Udf {
         let threads = snapshot.pool_threads();
         let reader = MergeReader::with_range(snapshot, query.full_range());
         let plan = reader.plan();
-        let runs: Vec<(Version, Arc<Vec<Point>>)> =
+        // One load job per chunk; each yields that chunk's overlapping
+        // pages as independent runs (time-disjoint, same version), so
+        // the k-way merge below is unchanged while out-of-range pages
+        // are never decoded.
+        let page_runs: Vec<Vec<(Version, Arc<Vec<Point>>)>> =
             pool::run_indexed(threads, plan.len(), |i| {
                 let chunk = plan.get(i).ok_or(M4Error::Internal("udf load plan out of range"))?;
-                let pts = snapshot.read_points(chunk)?;
-                Ok((chunk.version, pts))
+                let pages = snapshot.read_points_in(chunk, query.full_range())?;
+                Ok(pages.into_iter().map(|(_, pts)| (chunk.version, pts)).collect())
             })?;
+        let runs: Vec<(Version, Arc<Vec<Point>>)> = page_runs.into_iter().flatten().collect();
         // Shard the merge into contiguous groups of spans (disjoint
         // time segments); oversubscribe the pool a little so uneven
         // segments balance. Concatenation in span order is the exact

@@ -54,7 +54,10 @@ pub fn encode(values: &[f64], out: &mut Vec<u8>) {
 
 /// Decode `n` floats produced by [`encode`].
 pub fn decode(buf: &[u8], n: usize) -> Result<Vec<f64>> {
-    let mut out = Vec::with_capacity(n);
+    // `n` comes from on-disk metadata: cap the reservation by what the
+    // buffer could possibly hold (≥1 bit per value after the 64-bit
+    // head) so a corrupt count cannot OOM before BitReader runs dry.
+    let mut out = Vec::with_capacity(n.min(buf.len().saturating_mul(8)));
     if n == 0 {
         return Ok(out);
     }

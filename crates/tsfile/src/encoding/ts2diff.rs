@@ -33,7 +33,10 @@ pub fn encode(ts: &[i64], out: &mut Vec<u8>) {
 
 /// Decode `n` timestamps produced by [`encode`].
 pub fn decode(buf: &[u8], n: usize) -> Result<Vec<i64>> {
-    let mut out = Vec::with_capacity(n);
+    // `n` comes from on-disk metadata: cap the reservation by what the
+    // buffer could possibly hold (≥1 byte per varint) so a corrupt
+    // count cannot OOM before the decode loop hits UnexpectedEof.
+    let mut out = Vec::with_capacity(n.min(buf.len().saturating_add(1)));
     if n == 0 {
         return Ok(out);
     }

@@ -59,6 +59,7 @@ pub mod error;
 pub mod format;
 pub mod index;
 pub mod mods;
+pub mod page;
 pub mod pread;
 pub mod reader;
 pub mod statistics;
@@ -70,6 +71,7 @@ pub use error::TsFileError;
 pub use format::{ChunkMeta, FileFooter};
 pub use index::StepIndex;
 pub use mods::{ModEntry, ModsFile};
+pub use page::{PageMeta, PageStatistics, PagedChunkInfo};
 pub use reader::TsFileReader;
 pub use statistics::ChunkStatistics;
 pub use types::{Point, Timestamp, Value, Version};

@@ -13,9 +13,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::checksum::crc32;
 use crate::encoding::{self, EncodingKind};
-use crate::format::{ChunkMeta, FileFooter, MAGIC};
+use crate::format::{ChunkMeta, FileFooter, FORMAT_V1, FORMAT_V2, MAGIC, MAGIC_V1};
+use crate::page::{self, PageMeta};
 use crate::pread::PositionalFile;
-use crate::types::Point;
+use crate::types::{Point, TimeRange};
 use crate::{Result, TsFileError};
 
 /// Process-wide allocator for [`TsFileReader::handle_id`]. Starts at 1
@@ -31,6 +32,9 @@ pub struct TsFileReader {
     path: PathBuf,
     file: PositionalFile,
     footer: FileFooter,
+    /// Format version parsed from the head magic (`FORMAT_V1` or
+    /// `FORMAT_V2`). v1 files carry monolithic single-page chunks.
+    format: u8,
     /// Process-unique identity of this open handle; never reused, even
     /// when the same path is reopened. Cache layers key decoded chunk
     /// bodies by it so entries from a retired (compacted-away) file can
@@ -51,9 +55,13 @@ impl TsFileReader {
 
         let mut head = [0u8; 6];
         file.read_exact(&mut head)?;
-        if &head != MAGIC {
+        let format = if &head == MAGIC {
+            FORMAT_V2
+        } else if &head == MAGIC_V1 {
+            FORMAT_V1
+        } else {
             return Err(TsFileError::BadMagic { found: head });
-        }
+        };
 
         let file_len = file.metadata()?.len();
         let trailer_len = (4 + 8 + MAGIC.len()) as u64; // crc + len + magic
@@ -65,7 +73,7 @@ impl TsFileReader {
         file.read_exact(&mut trailer)?;
         let magic_start = trailer.len().saturating_sub(MAGIC.len());
         let tail_magic = trailer.get(magic_start..).unwrap_or(&[]);
-        if tail_magic != MAGIC {
+        if tail_magic != head {
             let mut found = [0u8; 6];
             for (dst, src) in found.iter_mut().zip(tail_magic) {
                 *dst = *src;
@@ -92,11 +100,12 @@ impl TsFileReader {
                 what: "footer",
             });
         }
-        let footer = FileFooter::decode_body(&body)?;
+        let footer = FileFooter::decode_body(&body, format)?;
         Ok(TsFileReader {
             path,
             file: PositionalFile::new(file),
             footer,
+            format,
             handle_id: NEXT_HANDLE_ID.fetch_add(1, Ordering::Relaxed),
             chunks_read: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
@@ -109,6 +118,12 @@ impl TsFileReader {
         self.handle_id
     }
 
+    /// Format version of the underlying file (`FORMAT_V1` or
+    /// `FORMAT_V2`, selected by the head magic at open).
+    pub fn format_version(&self) -> u8 {
+        self.format
+    }
+
     /// All chunk metadata in file order (ascending offset). No I/O.
     pub fn chunk_metas(&self) -> &[ChunkMeta] {
         &self.footer.chunks
@@ -119,31 +134,176 @@ impl TsFileReader {
         &self.path
     }
 
-    /// Read and decode one chunk body. Verifies the body CRC.
+    /// Read and decode one chunk body. Verifies the body CRC(s).
     /// Lock-free: safe to call from many threads concurrently.
+    ///
+    /// v2 chunks decode page by page and concatenate; v1 chunks decode
+    /// as one monolithic body.
     pub fn read_chunk(&self, meta: &ChunkMeta) -> Result<Vec<Point>> {
+        let Some(info) = &meta.paged else {
+            let mut body = vec![0u8; meta.byte_len as usize];
+            self.file.read_exact_at(&mut body, meta.offset)?;
+            self.chunks_read.fetch_add(1, Ordering::Relaxed);
+            self.bytes_read.fetch_add(meta.byte_len, Ordering::Relaxed);
+            return decode_chunk_body(&body, meta);
+        };
         let mut body = vec![0u8; meta.byte_len as usize];
         self.file.read_exact_at(&mut body, meta.offset)?;
         self.chunks_read.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(meta.byte_len, Ordering::Relaxed);
-        decode_chunk_body(&body, meta)
+        let mut out = Vec::with_capacity((meta.stats.count as usize).min(body.len()));
+        for pm in &info.pages {
+            let slice = page_body_slice(&body, pm, 0)?;
+            out.extend(page::decode_page(slice, info.ts_encoding, info.val_encoding, pm)?);
+        }
+        if out.len() as u64 != meta.stats.count {
+            return Err(TsFileError::Corrupt(format!(
+                "chunk pages decoded {} points but metadata says {}",
+                out.len(),
+                meta.stats.count
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Read and decode one page of a v2 chunk (by index into its page
+    /// list). A single page-sized pread — the finest read unit.
+    pub fn read_page(&self, meta: &ChunkMeta, page_no: u32) -> Result<Vec<Point>> {
+        let info = meta
+            .paged
+            .as_ref()
+            .ok_or_else(|| TsFileError::Corrupt("read_page on unpaged chunk".into()))?;
+        let pm = info
+            .pages
+            .get(page_no as usize)
+            .ok_or_else(|| TsFileError::Corrupt(format!("page {page_no} out of range")))?;
+        let mut body = vec![0u8; pm.byte_len as usize];
+        self.file.read_exact_at(&mut body, meta.offset + pm.offset)?;
+        self.chunks_read.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(pm.byte_len, Ordering::Relaxed);
+        page::decode_page(&body, info.ts_encoding, info.val_encoding, pm)
+    }
+
+    /// Read and decode only the pages of a v2 chunk whose time range
+    /// overlaps `range`, as `(page_no, points)` pairs in time order.
+    /// One contiguous pread covers the whole overlapping window (pages
+    /// tile the body, so the window is a single byte range). For v1
+    /// chunks this degenerates to the whole chunk as page 0.
+    ///
+    /// Returns an empty vec — with no I/O at all — when no page
+    /// overlaps.
+    pub fn read_pages_overlapping(
+        &self,
+        meta: &ChunkMeta,
+        range: TimeRange,
+    ) -> Result<Vec<(u32, Vec<Point>)>> {
+        let Some(info) = &meta.paged else {
+            // v1 monolithic chunk: the chunk is its own single page.
+            if meta.stats.last.t < range.start || meta.stats.first.t > range.end {
+                return Ok(Vec::new());
+            }
+            return Ok(vec![(0, self.read_chunk(meta)?)]);
+        };
+        let window = info.pages_overlapping(range);
+        if window.is_empty() {
+            return Ok(Vec::new());
+        }
+        let first = info
+            .pages
+            .get(window.start)
+            .ok_or_else(|| TsFileError::Corrupt("page window out of range".into()))?;
+        let last = info
+            .pages
+            .get(window.end - 1)
+            .ok_or_else(|| TsFileError::Corrupt("page window out of range".into()))?;
+        let base = first.offset;
+        let len = last.offset + last.byte_len - base;
+        let mut buf = vec![0u8; len as usize];
+        self.file.read_exact_at(&mut buf, meta.offset + base)?;
+        self.chunks_read.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(len, Ordering::Relaxed);
+        let mut out = Vec::with_capacity(window.len());
+        for (i, pm) in info.pages.iter().enumerate().take(window.end).skip(window.start) {
+            let slice = page_body_slice(&buf, pm, base)?;
+            let pts = page::decode_page(slice, info.ts_encoding, info.val_encoding, pm)?;
+            let page_no = u32::try_from(i)
+                .map_err(|_| TsFileError::Corrupt("page index exceeds u32".into()))?;
+            out.push((page_no, pts));
+        }
+        Ok(out)
+    }
+
+    /// Read one page of a v2 chunk and decode only its timestamp
+    /// column, optionally stopping once past `until`.
+    pub fn read_page_timestamps(
+        &self,
+        meta: &ChunkMeta,
+        page_no: u32,
+        until: Option<i64>,
+    ) -> Result<Vec<i64>> {
+        let info = meta
+            .paged
+            .as_ref()
+            .ok_or_else(|| TsFileError::Corrupt("read_page_timestamps on unpaged chunk".into()))?;
+        let pm = info
+            .pages
+            .get(page_no as usize)
+            .ok_or_else(|| TsFileError::Corrupt(format!("page {page_no} out of range")))?;
+        let mut body = vec![0u8; pm.byte_len as usize];
+        self.file.read_exact_at(&mut body, meta.offset + pm.offset)?;
+        self.chunks_read.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(pm.byte_len, Ordering::Relaxed);
+        page::decode_page_timestamps(&body, info.ts_encoding, pm, until)
     }
 
     /// Read a chunk body but decode only its timestamp column, stopping
-    /// early once a timestamp exceeds `until` (when given). The body
-    /// I/O is unavoidable (a chunk is the I/O unit), but the value
+    /// early once a timestamp exceeds `until` (when given). The value
     /// column is never decoded and the timestamp decode terminates at
     /// the probe boundary — the paper's partial scan (Figure 7(b)).
+    ///
+    /// On v2 chunks the probe is page-aware: only the byte prefix up to
+    /// the page containing the crossing timestamp is read at all, and
+    /// pages past the crossing are never decoded.
     pub fn read_chunk_timestamps(
         &self,
         meta: &ChunkMeta,
         until: Option<i64>,
     ) -> Result<Vec<i64>> {
-        let mut body = vec![0u8; meta.byte_len as usize];
-        self.file.read_exact_at(&mut body, meta.offset)?;
+        let Some(info) = &meta.paged else {
+            let mut body = vec![0u8; meta.byte_len as usize];
+            self.file.read_exact_at(&mut body, meta.offset)?;
+            self.chunks_read.fetch_add(1, Ordering::Relaxed);
+            self.bytes_read.fetch_add(meta.byte_len, Ordering::Relaxed);
+            return decode_chunk_timestamps(&body, meta, until);
+        };
+        // Pages whose first timestamp is past `until` contribute at most
+        // the crossing value, which must come from the first such page.
+        let upto = match until {
+            Some(limit) => {
+                let i = info.pages.partition_point(|p| p.stats.first.t <= limit);
+                (i + 1).min(info.pages.len())
+            }
+            None => info.pages.len(),
+        };
+        let Some(last) = info.pages.get(upto.saturating_sub(1)) else {
+            return Ok(Vec::new());
+        };
+        let len = last.offset + last.byte_len;
+        let mut buf = vec![0u8; len as usize];
+        self.file.read_exact_at(&mut buf, meta.offset)?;
         self.chunks_read.fetch_add(1, Ordering::Relaxed);
-        self.bytes_read.fetch_add(meta.byte_len, Ordering::Relaxed);
-        decode_chunk_timestamps(&body, meta, until)
+        self.bytes_read.fetch_add(len, Ordering::Relaxed);
+        let mut out: Vec<i64> = Vec::new();
+        for pm in info.pages.iter().take(upto) {
+            if let (Some(limit), Some(&t)) = (until, out.last()) {
+                if t > limit {
+                    break; // crossing value already emitted
+                }
+            }
+            let slice = page_body_slice(&buf, pm, 0)?;
+            out.extend(page::decode_page_timestamps(slice, info.ts_encoding, pm, until)?);
+        }
+        Ok(out)
     }
 
     /// Number of chunk bodies read through this handle so far.
@@ -155,6 +315,23 @@ impl TsFileReader {
     pub fn bytes_read(&self) -> u64 {
         self.bytes_read.load(Ordering::Relaxed)
     }
+}
+
+/// Slice one page's body out of a buffer that starts at chunk-relative
+/// byte offset `base`. All bounds come from the (CRC-verified) footer,
+/// but are re-checked here so a logic error can never index wild.
+fn page_body_slice<'a>(buf: &'a [u8], pm: &PageMeta, base: u64) -> Result<&'a [u8]> {
+    let start = pm
+        .offset
+        .checked_sub(base)
+        .and_then(|o| usize::try_from(o).ok())
+        .ok_or(TsFileError::UnexpectedEof { what: "page body" })?;
+    let end = usize::try_from(pm.byte_len)
+        .ok()
+        .and_then(|l| start.checked_add(l))
+        .filter(|&e| e <= buf.len())
+        .ok_or(TsFileError::UnexpectedEof { what: "page body" })?;
+    buf.get(start..end).ok_or(TsFileError::UnexpectedEof { what: "page body" })
 }
 
 /// First four bytes of `bytes` as a little-endian `u32`, if present.
@@ -389,6 +566,74 @@ mod tests {
             Ok::<(), TsFileError>(())
         })?;
         assert_eq!(r.chunks_read(), 4 * 20 * 8);
+        Ok(())
+    }
+
+    #[test]
+    fn paged_chunk_selective_reads() -> Result<()> {
+        let p = tmp("paged-selective.tsfile");
+        let mut w = TsFileWriter::create(&p)?;
+        w.set_page_points(100);
+        // Irregular-ish: break constant delta so the stream path is hit too.
+        let pts: Vec<Point> =
+            (0..1000).map(|i| Point::new(i * 10 + (i % 7), i as f64)).collect();
+        w.write_chunk(&pts, 1)?;
+        w.finish()?;
+        let r = TsFileReader::open(&p)?;
+        assert_eq!(r.format_version(), FORMAT_V2);
+        let meta = &r.chunk_metas()[0];
+        assert_eq!(meta.page_count(), 10);
+
+        // Whole-chunk read still returns everything, in order.
+        assert_eq!(r.read_chunk(meta)?, pts);
+
+        // A narrow range decodes only the overlapping pages.
+        let span = TimeRange::new(2_500, 3_500); // pages 2 and 3 (t ≈ idx*10)
+        let pages = r.read_pages_overlapping(meta, span)?;
+        assert_eq!(pages.iter().map(|(no, _)| *no).collect::<Vec<_>>(), vec![2, 3]);
+        let decoded: usize = pages.iter().map(|(_, p)| p.len()).sum();
+        assert_eq!(decoded, 200, "exactly two 100-point pages");
+        for (no, page_pts) in &pages {
+            assert_eq!(page_pts, &pts[*no as usize * 100..(*no as usize + 1) * 100]);
+        }
+
+        // Disjoint range: no pages, no I/O.
+        let before = r.chunks_read();
+        assert!(r.read_pages_overlapping(meta, TimeRange::new(20_000, 30_000))?.is_empty());
+        assert_eq!(r.chunks_read(), before);
+
+        // Single-page read and its timestamp-only variant.
+        assert_eq!(r.read_page(meta, 5)?, &pts[500..600]);
+        let ts = r.read_page_timestamps(meta, 5, None)?;
+        assert!(ts.iter().zip(&pts[500..600]).all(|(t, p)| *t == p.t));
+        assert!(r.read_page(meta, 10).is_err(), "page_no out of range");
+        Ok(())
+    }
+
+    #[test]
+    fn paged_timestamp_probe_reads_prefix_only() -> Result<()> {
+        let p = tmp("paged-probe.tsfile");
+        let mut w = TsFileWriter::create(&p)?;
+        w.set_page_points(100);
+        let pts = series(1000, 10);
+        w.write_chunk(&pts, 1)?;
+        w.finish()?;
+        let r = TsFileReader::open(&p)?;
+        let meta = &r.chunk_metas()[0];
+        let bytes_before = r.bytes_read();
+        let some = r.read_chunk_timestamps(meta, Some(1_505))?;
+        // Crossing value included, nothing decoded past it.
+        assert_eq!(some.last().copied(), Some(1_510));
+        assert!(some.len() <= 200, "got {}", some.len());
+        let prefix_bytes = r.bytes_read() - bytes_before;
+        assert!(
+            prefix_bytes < meta.byte_len,
+            "probe read {prefix_bytes} of {} bytes",
+            meta.byte_len
+        );
+        // Unbounded probe still yields the full column.
+        let all = r.read_chunk_timestamps(meta, None)?;
+        assert_eq!(all.len(), 1000);
         Ok(())
     }
 

@@ -169,6 +169,24 @@ proptest! {
         std::fs::remove_file(&path).ok();
     }
 
+    /// A corrupt on-disk count must not translate into an unbounded
+    /// preallocation: feed tiny buffers with absurd `n` straight to the
+    /// column decoders. Each must fail (or stop) quickly — if any of
+    /// them still did `Vec::with_capacity(n)` uncapped, this test would
+    /// abort the process trying to reserve exabytes.
+    #[test]
+    fn absurd_counts_do_not_preallocate(
+        n in (1u64 << 40)..(1u64 << 62),
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let n = usize::try_from(n).unwrap();
+        let _ = tsfile::encoding::ts2diff::decode(&bytes, n);
+        let _ = tsfile::encoding::ts2diff::decode_until(&bytes, n, 1_000);
+        let _ = tsfile::encoding::gorilla::decode(&bytes, n);
+        let _ = tsfile::encoding::plain::decode_i64(&bytes, n);
+        let _ = tsfile::encoding::plain::decode_f64(&bytes, n);
+    }
+
     /// Flip one byte of a valid mods log: replay must never panic and
     /// must yield an exact *prefix* of the original entries — a
     /// corrupted record may drop the tail but never rewrite history.

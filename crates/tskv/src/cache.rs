@@ -5,7 +5,13 @@
 //! chunk on every query is the dominant read-path lever. This module
 //! caches *decoded* points (the expensive artifact) keyed by
 //!
-//! > (file handle id, chunk byte offset, chunk version)
+//! > (file handle id, chunk byte offset, page number, chunk version)
+//!
+//! Page granularity (format v2) means a narrow query that touches a
+//! few hundred points caches — and later evicts — only those pages,
+//! instead of a multi-megabyte whole-chunk body. Whole-chunk entries
+//! (v1 files, full scans) use the reserved page number
+//! [`CacheKey::WHOLE_CHUNK`].
 //!
 //! The file handle id is a process-unique id minted by
 //! [`tsfile::TsFileReader::open`] and never reused, so entries for a
@@ -49,15 +55,24 @@ use tsfile::types::Point;
 
 use crate::stats::IoStats;
 
-/// Identity of one decoded chunk body.
+/// Identity of one decoded page (or whole chunk body).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Process-unique id of the owning [`tsfile::TsFileReader`].
     pub file_id: u64,
     /// Byte offset of the chunk within the file.
     pub offset: u64,
+    /// Page number within the chunk, or [`Self::WHOLE_CHUNK`] for a
+    /// monolithic whole-chunk entry.
+    pub page_no: u32,
     /// The chunk's version `κ`.
     pub version: u64,
+}
+
+impl CacheKey {
+    /// Sentinel page number marking an entry that holds the entire
+    /// decoded chunk body (v1 files; full-chunk reads).
+    pub const WHOLE_CHUNK: u32 = u32::MAX;
 }
 
 /// One cached decoded chunk.
@@ -287,6 +302,7 @@ mod tests {
         CacheKey {
             file_id: file,
             offset: off,
+            page_no: CacheKey::WHOLE_CHUNK,
             version: off,
         }
     }
@@ -311,6 +327,19 @@ mod tests {
         let s = io.snapshot();
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.cache_misses, 1);
+    }
+
+    #[test]
+    fn page_keys_are_distinct_entries() {
+        let (c, _io) = cache(1 << 20);
+        let base = CacheKey { file_id: 1, offset: 0, page_no: 0, version: 9 };
+        c.insert(base, pts(10));
+        c.insert(CacheKey { page_no: 1, ..base }, pts(20));
+        c.insert(CacheKey { page_no: CacheKey::WHOLE_CHUNK, ..base }, pts(30));
+        assert_eq!(c.len(), 3, "pages of one chunk cache independently");
+        assert_eq!(c.get(CacheKey { page_no: 1, ..base }).unwrap().len(), 20);
+        // Retiring the file drops every page entry.
+        assert_eq!(c.invalidate_file(1), 3);
     }
 
     #[test]

@@ -74,6 +74,16 @@ impl ChunkHandle {
     pub fn is_mem(&self) -> bool {
         matches!(self.data, ChunkData::Mem { .. })
     }
+
+    /// The chunk's on-disk page index, when the backing file stores the
+    /// body paged (format v2). `None` for memtable chunks and for v1
+    /// monolithic chunks — those read as a single whole-chunk page.
+    pub fn paged(&self) -> Option<&tsfile::PagedChunkInfo> {
+        match &self.data {
+            ChunkData::File { meta, .. } => meta.paged.as_ref(),
+            ChunkData::Mem { .. } => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -57,6 +57,13 @@ pub struct EngineConfig {
     /// Maximum points per chunk; a flush splits the memtable into runs
     /// of at most this many points (paper value: 1000).
     pub points_per_chunk: usize,
+    /// Points per page inside a sealed chunk (format v2): the unit of
+    /// selective decode and of the page-granular read cache.
+    /// `usize::MAX` degenerates to one page per chunk (the monolithic
+    /// baseline). Zero is clamped to 1 by [`normalized`].
+    ///
+    /// [`normalized`]: EngineConfig::normalized
+    pub page_points: usize,
     /// Memtable point count that triggers an automatic flush. Each
     /// flush seals exactly one TsFile.
     pub memtable_threshold: usize,
@@ -112,6 +119,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             points_per_chunk: 1000,
+            page_points: tsfile::page::DEFAULT_PAGE_POINTS,
             memtable_threshold: 100_000,
             ts_encoding: EncodingKind::Ts2Diff,
             val_encoding: EncodingKind::Gorilla,
@@ -154,6 +162,9 @@ impl EngineConfig {
         }
         if self.memtable_threshold == 0 {
             self.memtable_threshold = 1;
+        }
+        if self.page_points == 0 {
+            self.page_points = 1;
         }
         self
     }
@@ -264,11 +275,18 @@ mod tests {
         let c = EngineConfig {
             points_per_chunk: 0,
             memtable_threshold: 0,
+            page_points: 0,
             ..Default::default()
         }
         .normalized();
         assert_eq!(c.points_per_chunk, 1);
         assert_eq!(c.memtable_threshold, 1);
+        assert_eq!(c.page_points, 1);
+    }
+
+    #[test]
+    fn default_page_points_matches_tsfile() {
+        assert_eq!(EngineConfig::default().page_points, tsfile::page::DEFAULT_PAGE_POINTS);
     }
 
     #[test]

@@ -690,6 +690,7 @@ impl EngineInner {
         let mut w =
             TsFileWriter::create_with_encodings(path, config.ts_encoding, config.val_encoding)?;
         w.set_build_index(config.build_step_index);
+        w.set_page_points(config.page_points);
         for (chunk, version) in points.chunks(config.points_per_chunk).zip(versions) {
             w.write_chunk(chunk, version.0)?;
         }
@@ -813,7 +814,12 @@ impl EngineInner {
             let store = map
                 .get_mut(name)
                 .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
-            if store.files.is_empty() || store.compacting {
+            // An in-flight flush already reserved versions for points
+            // not yet visible in `files`; reserving output versions now
+            // would order the merged (older) data *after* that flush
+            // and resurrect overwritten values. Back off and let the
+            // scheduler retry once the flush installs.
+            if store.files.is_empty() || store.compacting || store.flushing.is_some() {
                 return Ok(CompactionReport::empty());
             }
             store.compacting = true;

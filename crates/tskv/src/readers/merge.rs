@@ -76,12 +76,17 @@ impl<'a> MergeReader<'a> {
 
     /// Materialize the merged, latest-points-only series in time order.
     pub fn collect_merged(&self) -> Result<Vec<Point>> {
-        // Load all overlapping chunks (the baseline's full cost).
+        // Load the overlapping pages of all overlapping chunks. Pages
+        // of one chunk are time-disjoint sorted runs sharing the
+        // chunk's version, so feeding them to the k-way merge as
+        // independent runs is exact — and pages outside the range are
+        // never decoded.
         let chunks = self.plan();
         let mut runs: Vec<(Version, Arc<Vec<Point>>)> = Vec::with_capacity(chunks.len());
         for c in &chunks {
-            let pts = self.snapshot.read_points(c)?;
-            runs.push((c.version, pts));
+            for (_, pts) in self.snapshot.read_points_in(c, self.range)? {
+                runs.push((c.version, pts));
+            }
         }
         Ok(self.merge_runs(&runs))
     }

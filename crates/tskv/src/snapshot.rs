@@ -110,6 +110,7 @@ impl SeriesSnapshot {
                 let key = CacheKey {
                     file_id: file.handle_id(),
                     offset: meta.offset,
+                    page_no: CacheKey::WHOLE_CHUNK,
                     version: meta.version.0,
                 };
                 if let Some(cache) = &self.cache {
@@ -119,12 +120,92 @@ impl SeriesSnapshot {
                 }
                 let pts = Arc::new(file.read_chunk(meta)?);
                 self.io.record_chunk_load(meta.byte_len, pts.len() as u64);
+                self.io.record_pages_decoded(meta.page_count() as u64);
                 if let Some(cache) = &self.cache {
                     cache.insert(key, Arc::clone(&pts));
                 }
                 Ok(pts)
             }
         }
+    }
+
+    /// Load the points of one page of a sealed, paged chunk, going
+    /// through the decoded-page cache. Fails on in-memory chunks and on
+    /// v1 (unpaged) chunks — callers only hold page numbers for chunks
+    /// whose handle exposes a page index ([`ChunkHandle::paged`]).
+    pub fn read_page_points(&self, chunk: &ChunkHandle, page_no: u32) -> Result<Arc<Vec<Point>>> {
+        match &chunk.data {
+            ChunkData::Mem { .. } => Err(tsfile::TsFileError::Corrupt(
+                "page read on in-memory chunk".into(),
+            ))?,
+            ChunkData::File { file_idx, meta } => {
+                self.load_page(&self.files[*file_idx], meta, page_no)
+            }
+        }
+    }
+
+    /// Load only the pages of `chunk` overlapping `range`, as
+    /// `(page_no, points)` runs in page order. Each page is a sorted,
+    /// time-disjoint slice of the chunk, so the runs can be merged
+    /// independently. Non-overlapping pages of the visited chunk are
+    /// counted as skipped; in-memory, v1 and single-page chunks
+    /// degenerate to one whole-chunk run numbered 0.
+    pub fn read_points_in(
+        &self,
+        chunk: &ChunkHandle,
+        range: TimeRange,
+    ) -> Result<Vec<(u32, Arc<Vec<Point>>)>> {
+        let ChunkData::File { file_idx, meta } = &chunk.data else {
+            return Ok(vec![(0, self.read_points(chunk)?)]);
+        };
+        let Some(info) = &meta.paged else {
+            return Ok(vec![(0, self.read_points(chunk)?)]);
+        };
+        if info.pages.len() <= 1 {
+            return Ok(vec![(0, self.read_points(chunk)?)]);
+        }
+        let window = info.pages_overlapping(range);
+        self.io.record_pages_skipped((info.pages.len() - window.len()) as u64);
+        let file = &self.files[*file_idx];
+        let mut out = Vec::with_capacity(window.len());
+        for page_no in window {
+            let page_no = u32::try_from(page_no).map_err(|_| {
+                tsfile::TsFileError::Corrupt("page index exceeds u32 range".into())
+            })?;
+            out.push((page_no, self.load_page(file, meta, page_no)?));
+        }
+        Ok(out)
+    }
+
+    fn load_page(
+        &self,
+        file: &Arc<TsFileReader>,
+        meta: &tsfile::format::ChunkMeta,
+        page_no: u32,
+    ) -> Result<Arc<Vec<Point>>> {
+        let key = CacheKey {
+            file_id: file.handle_id(),
+            offset: meta.offset,
+            page_no,
+            version: meta.version.0,
+        };
+        if let Some(cache) = &self.cache {
+            if let Some(points) = cache.get(key) {
+                return Ok(points);
+            }
+        }
+        let pts = Arc::new(file.read_page(meta, page_no)?);
+        let bytes = meta
+            .paged
+            .as_ref()
+            .and_then(|i| i.pages.get(page_no as usize))
+            .map_or(0, |p| p.byte_len);
+        self.io.record_chunk_load(bytes, pts.len() as u64);
+        self.io.record_pages_decoded(1);
+        if let Some(cache) = &self.cache {
+            cache.insert(key, Arc::clone(&pts));
+        }
+        Ok(pts)
     }
 
     /// Load only a chunk's timestamp column, optionally stopping early
@@ -155,6 +236,34 @@ impl SeriesSnapshot {
             ChunkData::File { file_idx, meta } => {
                 let ts = self.files[*file_idx].read_chunk_timestamps(meta, until)?;
                 self.io.record_timestamp_load(meta.byte_len, ts.len() as u64);
+                Ok(ts)
+            }
+        }
+    }
+
+    /// Load the timestamp column of one page of a sealed, paged chunk,
+    /// optionally stopping once past `until`. The page-targeted variant
+    /// of [`SeriesSnapshot::read_timestamps`]: a point-existence probe
+    /// that already knows which page could hold the timestamp decodes
+    /// just that page's prefix.
+    pub fn read_page_timestamps(
+        &self,
+        chunk: &ChunkHandle,
+        page_no: u32,
+        until: Option<Timestamp>,
+    ) -> Result<Vec<Timestamp>> {
+        match &chunk.data {
+            ChunkData::Mem { .. } => Err(tsfile::TsFileError::Corrupt(
+                "page timestamp read on in-memory chunk".into(),
+            ))?,
+            ChunkData::File { file_idx, meta } => {
+                let ts = self.files[*file_idx].read_page_timestamps(meta, page_no, until)?;
+                let bytes = meta
+                    .paged
+                    .as_ref()
+                    .and_then(|i| i.pages.get(page_no as usize))
+                    .map_or(0, |p| p.byte_len);
+                self.io.record_timestamp_load(bytes, ts.len() as u64);
                 Ok(ts)
             }
         }

@@ -19,6 +19,9 @@ pub struct IoStats {
     points_decoded: AtomicU64,
     timestamps_decoded: AtomicU64,
     mem_chunks_read: AtomicU64,
+    pages_decoded: AtomicU64,
+    pages_skipped: AtomicU64,
+    pages_stat_answered: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
@@ -45,6 +48,15 @@ pub struct IoSnapshot {
     pub timestamps_decoded: u64,
     /// In-memory (memtable) chunk reads, which cost no I/O.
     pub mem_chunks_read: u64,
+    /// On-disk pages actually decoded (a v1 monolithic chunk counts as
+    /// one page).
+    pub pages_decoded: u64,
+    /// Pages of visited chunks that overlapped no queried range and
+    /// were skipped without decode.
+    pub pages_skipped: u64,
+    /// Probes answered from page statistics alone — the page body was
+    /// never read or decoded.
+    pub pages_stat_answered: u64,
     /// Chunk-body reads served from the decoded-chunk cache (no I/O,
     /// no decode).
     pub cache_hits: u64,
@@ -90,6 +102,23 @@ impl IoStats {
     pub(crate) fn record_mem_read(&self, points: u64) {
         self.mem_chunks_read.fetch_add(1, Ordering::Relaxed);
         self.points_decoded.fetch_add(points, Ordering::Relaxed);
+    }
+
+    /// Record `n` on-disk pages decoded. Public: the query layer (m4)
+    /// drives page-granular loads and reports what it decoded.
+    pub fn record_pages_decoded(&self, n: u64) {
+        self.pages_decoded.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` pages skipped without decode (no overlap with the
+    /// queried range).
+    pub fn record_pages_skipped(&self, n: u64) {
+        self.pages_skipped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a probe answered purely from page statistics.
+    pub fn record_page_stat_answered(&self) {
+        self.pages_stat_answered.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_cache_hit(&self) {
@@ -141,6 +170,9 @@ impl IoStats {
             points_decoded: self.points_decoded.load(Ordering::Relaxed),
             timestamps_decoded: self.timestamps_decoded.load(Ordering::Relaxed),
             mem_chunks_read: self.mem_chunks_read.load(Ordering::Relaxed),
+            pages_decoded: self.pages_decoded.load(Ordering::Relaxed),
+            pages_skipped: self.pages_skipped.load(Ordering::Relaxed),
+            pages_stat_answered: self.pages_stat_answered.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
@@ -165,6 +197,9 @@ impl std::ops::Sub for IoSnapshot {
             points_decoded: self.points_decoded - rhs.points_decoded,
             timestamps_decoded: self.timestamps_decoded - rhs.timestamps_decoded,
             mem_chunks_read: self.mem_chunks_read - rhs.mem_chunks_read,
+            pages_decoded: self.pages_decoded - rhs.pages_decoded,
+            pages_skipped: self.pages_skipped - rhs.pages_skipped,
+            pages_stat_answered: self.pages_stat_answered - rhs.pages_stat_answered,
             cache_hits: self.cache_hits - rhs.cache_hits,
             cache_misses: self.cache_misses - rhs.cache_misses,
             cache_evictions: self.cache_evictions - rhs.cache_evictions,
@@ -191,12 +226,18 @@ mod tests {
         s.record_chunk_load(50, 5);
         s.record_timestamp_load(30, 7);
         s.record_mem_read(3);
+        s.record_pages_decoded(4);
+        s.record_pages_skipped(6);
+        s.record_page_stat_answered();
         let snap = s.snapshot();
         assert_eq!(snap.chunks_loaded, 3);
         assert_eq!(snap.bytes_read, 180);
         assert_eq!(snap.points_decoded, 18);
         assert_eq!(snap.timestamps_decoded, 7);
         assert_eq!(snap.mem_chunks_read, 1);
+        assert_eq!(snap.pages_decoded, 4);
+        assert_eq!(snap.pages_skipped, 6);
+        assert_eq!(snap.pages_stat_answered, 1);
     }
 
     #[test]

@@ -288,6 +288,9 @@ fn encode_response_payload(resp: &Response) -> Result<Vec<u8>> {
                 io.compactions_scheduled,
                 io.compactions_completed,
                 io.compactions_skipped,
+                io.pages_decoded,
+                io.pages_skipped,
+                io.pages_stat_answered,
             ] {
                 put_u64(&mut out, v);
             }
@@ -584,6 +587,9 @@ fn decode_io_snapshot(c: &mut Cursor<'_>) -> Result<IoSnapshot> {
         compactions_scheduled: c.u64()?,
         compactions_completed: c.u64()?,
         compactions_skipped: c.u64()?,
+        pages_decoded: c.u64()?,
+        pages_skipped: c.u64()?,
+        pages_stat_answered: c.u64()?,
     })
 }
 
@@ -855,6 +861,9 @@ mod tests {
             io: Box::new(IoSnapshot {
                 chunks_loaded: 1,
                 points_decoded: 3,
+                pages_decoded: 5,
+                pages_skipped: 11,
+                pages_stat_answered: 2,
                 ..Default::default()
             }),
             server: Box::new(ServerStatsSnapshot {

@@ -96,7 +96,7 @@ fn span_strategy() -> impl Strategy<Value = Option<m4::SpanRepr>> {
 }
 
 fn io_snapshot_strategy() -> impl Strategy<Value = IoSnapshot> {
-    prop::collection::vec(any::<u64>(), 16usize).prop_map(|v| IoSnapshot {
+    prop::collection::vec(any::<u64>(), 19usize).prop_map(|v| IoSnapshot {
         chunks_loaded: v[0],
         bytes_read: v[1],
         points_decoded: v[2],
@@ -113,6 +113,9 @@ fn io_snapshot_strategy() -> impl Strategy<Value = IoSnapshot> {
         compactions_scheduled: v[13],
         compactions_completed: v[14],
         compactions_skipped: v[15],
+        pages_decoded: v[16],
+        pages_skipped: v[17],
+        pages_stat_answered: v[18],
     })
 }
 

@@ -48,6 +48,7 @@ const L1_CRATES: &[&str] = &[
 /// invariants are established at decode time.
 const UNTRUSTED_INPUT_FILES: &[&str] = &[
     "crates/tsfile/src/reader.rs",
+    "crates/tsfile/src/page.rs",
     "crates/tsfile/src/varint.rs",
     "crates/tsfile/src/mods.rs",
     "crates/tsfile/src/statistics.rs",
@@ -74,6 +75,7 @@ const L2_FILES: &[&str] = &[
 /// Files whose public read/decode entry points must be fallible (L3).
 const L3_FILES: &[&str] = &[
     "crates/tsfile/src/reader.rs",
+    "crates/tsfile/src/page.rs",
     "crates/tsfile/src/varint.rs",
     "crates/tsfile/src/mods.rs",
     "crates/tsfile/src/statistics.rs",
@@ -231,6 +233,8 @@ mod tests {
     fn rules_for_maps_paths() {
         let r = rules_for("crates/tsfile/src/encoding/bitio.rs");
         assert!(r.l1 && r.l1_indexing && !r.l2 && r.l3 && r.l4);
+        let r = rules_for("crates/tsfile/src/page.rs");
+        assert!(r.l1 && r.l1_indexing && !r.l2 && r.l3 && !r.l4);
         let r = rules_for("crates/tskv/src/engine.rs");
         assert!(r.l1 && !r.l1_indexing && r.l2 && !r.l3 && !r.l4);
         let r = rules_for("crates/tskv/src/scheduler.rs");

@@ -221,11 +221,24 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     if occupied >= shared.config.max_connections.max(1) {
         shared.active_conns.fetch_sub(1, Ordering::AcqRel);
         shared.stats.record_conn_rejected();
-        let _ = respond(
-            shared,
-            &mut stream,
-            &error_response(ErrorCode::Busy, "connection limit reached"),
-        );
+        // Write the Busy rejection off the accept thread: a client
+        // that never drains its socket would otherwise park the
+        // accept loop and starve every other connection. The write is
+        // both detached and bounded by a write timeout; if the spawn
+        // itself fails the connection just closes unanswered.
+        let reject_shared = Arc::clone(shared);
+        let _ = thread::Builder::new()
+            .name("tsnet-reject".to_string())
+            .spawn(move || {
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(
+                    reject_shared.config.frame_read_timeout_ms.max(1),
+                )));
+                let _ = respond(
+                    &reject_shared,
+                    &mut stream,
+                    &error_response(ErrorCode::Busy, "connection limit reached"),
+                );
+            });
         return;
     }
     shared.stats.record_conn_accepted();

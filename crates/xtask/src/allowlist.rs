@@ -1,14 +1,23 @@
 //! Parser for `xtask-lint-allowlist.toml` at the workspace root.
 //!
 //! The file is a sequence of `[[allow]]` tables with four required
-//! string keys: `rule`, `path`, `contains`, `justification`. Parsed by
+//! string keys: `rule`, `path`, `message`, `justification`. Parsed by
 //! hand (this workspace builds offline; no toml crate), accepting only
-//! that restricted shape. Every entry must be *used* by a current
-//! violation — stale entries are themselves lint errors — and the
-//! whole file is capped below [`MAX_ENTRIES`] entries so the list
-//! stays a short, audited document rather than a dumping ground.
+//! that restricted shape.
+//!
+//! Matching is keyed on the *normalized violation message* — the
+//! message with digit runs collapsed, exactly as
+//! [`crate::report::Violation::normalized_message`] computes it — not
+//! on a substring of the source line. Substring matching proved too
+//! wide (one short `contains` could silence every future violation on
+//! the file); message-keyed entries suppress exactly one finding shape
+//! and go stale the moment the finding changes. Every entry must be
+//! *used* by a current violation — stale entries are themselves lint
+//! errors — and the whole file is capped below [`MAX_ENTRIES`] entries
+//! so the list stays a short, audited document rather than a dumping
+//! ground.
 
-use crate::rules::{Rule, Violation};
+use crate::report::{normalize, Rule, Violation};
 
 /// Hard cap (exclusive) on allowlist size.
 pub const MAX_ENTRIES: usize = 10;
@@ -18,8 +27,10 @@ pub struct AllowEntry {
     pub rule: String,
     /// Path suffix, forward slashes, relative to the workspace root.
     pub path: String,
-    /// Substring that must appear in the offending source line.
-    pub contains: String,
+    /// The violation message this entry suppresses, compared after
+    /// normalization (digit runs collapse, whitespace squeezes) so
+    /// line-number drift inside the message does not go stale.
+    pub message: String,
     pub justification: String,
     /// Line in the allowlist file, for error reporting.
     pub line: u32,
@@ -29,7 +40,7 @@ impl AllowEntry {
     pub fn matches(&self, v: &Violation) -> bool {
         v.rule.code() == self.rule
             && v.path.ends_with(&self.path)
-            && v.excerpt.contains(&self.contains)
+            && normalize(&self.message) == v.normalized_message()
     }
 }
 
@@ -51,39 +62,41 @@ pub fn parse(path_label: &str, content: &str) -> (Vec<AllowEntry>, Vec<Violation
         });
     };
 
-    let finalize =
-        |entry: Option<(AllowEntry, u32)>,
-         entries: &mut Vec<AllowEntry>,
-         problem: &mut dyn FnMut(u32, String, &str)| {
-            let Some((e, start_line)) = entry else { return };
-            let missing: Vec<&str> = [
-                ("rule", e.rule.is_empty()),
-                ("path", e.path.is_empty()),
-                ("contains", e.contains.is_empty()),
-                ("justification", e.justification.is_empty()),
-            ]
-            .iter()
-            .filter_map(|&(k, m)| m.then_some(k))
-            .collect();
-            if missing.is_empty() {
-                if e.justification.trim().len() < 20 {
-                    problem(
-                        start_line,
-                        "allowlist justification is too short to be a real rationale \
-                         (< 20 chars)"
-                            .to_string(),
-                        "",
-                    );
-                }
-                entries.push(e);
-            } else {
+    let finalize = |entry: Option<(AllowEntry, u32)>,
+                    entries: &mut Vec<AllowEntry>,
+                    problem: &mut dyn FnMut(u32, String, &str)| {
+        let Some((e, start_line)) = entry else { return };
+        let missing: Vec<&str> = [
+            ("rule", e.rule.is_empty()),
+            ("path", e.path.is_empty()),
+            ("message", e.message.is_empty()),
+            ("justification", e.justification.is_empty()),
+        ]
+        .iter()
+        .filter_map(|&(k, m)| m.then_some(k))
+        .collect();
+        if missing.is_empty() {
+            if e.justification.trim().len() < 20 {
                 problem(
                     start_line,
-                    format!("allowlist entry missing required keys: {}", missing.join(", ")),
+                    "allowlist justification is too short to be a real rationale \
+                         (< 20 chars)"
+                        .to_string(),
                     "",
                 );
             }
-        };
+            entries.push(e);
+        } else {
+            problem(
+                start_line,
+                format!(
+                    "allowlist entry missing required keys: {}",
+                    missing.join(", ")
+                ),
+                "",
+            );
+        }
+    };
 
     for (idx, raw) in content.lines().enumerate() {
         let line_no = idx as u32 + 1;
@@ -97,7 +110,7 @@ pub fn parse(path_label: &str, content: &str) -> (Vec<AllowEntry>, Vec<Violation
                 AllowEntry {
                     rule: String::new(),
                     path: String::new(),
-                    contains: String::new(),
+                    message: String::new(),
                     justification: String::new(),
                     line: line_no,
                 },
@@ -121,7 +134,17 @@ pub fn parse(path_label: &str, content: &str) -> (Vec<AllowEntry>, Vec<Violation
         match key {
             "rule" => entry.rule = value,
             "path" => entry.path = value.replace('\\', "/"),
-            "contains" => entry.contains = value,
+            "message" => entry.message = value,
+            "contains" => {
+                problem(
+                    line_no,
+                    "legacy `contains` key: allowlist entries now match on the normalized \
+                     violation `message`; replace `contains = ...` with the exact message \
+                     reported by `xtask lint`"
+                        .to_string(),
+                    raw,
+                );
+            }
             "justification" => entry.justification = value,
             other => {
                 problem(line_no, format!("unknown allowlist key `{other}`"), raw);
@@ -163,24 +186,82 @@ mod tests {
     const GOOD: &str = r#"
 # comment
 [[allow]]
-rule = "L1"
-path = "crates/tsfile/src/encoding/bitio.rs"
-contains = "self.bytes[self.pos]"
-justification = "index provably bounded by the length check at loop entry"
+rule = "L4"
+path = "crates/tsfile/src/cast.rs"
+message = "`as u64` in a codec layer; use the audited helpers in tsfile::cast (checked, wrapping, or bit-exact by name)"
+justification = "cast.rs IS the audited helper module the rule points at"
 "#;
 
+    fn violation(rule: Rule, path: &str, message: &str) -> Violation {
+        Violation {
+            rule,
+            path: path.to_string(),
+            line: 7,
+            message: message.to_string(),
+            excerpt: String::new(),
+        }
+    }
+
     #[test]
-    fn parses_valid_entry() {
+    fn parses_valid_entry_and_matches_on_normalized_message() {
         let (entries, problems) = parse("allow.toml", GOOD);
         assert!(problems.is_empty(), "{problems:?}");
         assert_eq!(entries.len(), 1);
-        assert_eq!(entries[0].rule, "L1");
-        assert!(entries[0].contains.contains("bytes[self.pos]"));
+        let v = violation(
+            Rule::L4,
+            "crates/tsfile/src/cast.rs",
+            "`as u64` in a codec layer; use the audited helpers in tsfile::cast \
+             (checked, wrapping, or bit-exact by name)",
+        );
+        assert!(entries[0].matches(&v));
+        // Different message on the same file does NOT match.
+        let other = violation(
+            Rule::L4,
+            "crates/tsfile/src/cast.rs",
+            "`as i64` in a codec layer",
+        );
+        assert!(!entries[0].matches(&other));
+    }
+
+    #[test]
+    fn digit_drift_inside_message_still_matches() {
+        let src = "[[allow]]\nrule = \"L2\"\npath = \"x.rs\"\n\
+                   message = \"`open` reached while a `g: read` guard from line 10 is live; narrow the guard's scope\"\n\
+                   justification = \"a justification that is long enough to pass\"\n";
+        let (entries, problems) = parse("allow.toml", src);
+        assert!(problems.is_empty(), "{problems:?}");
+        let v = violation(
+            Rule::L2,
+            "crates/x.rs",
+            "`open` reached while a `g: read` guard from line 42 is live; narrow the guard's scope",
+        );
+        assert!(
+            entries[0].matches(&v),
+            "line-number drift must not invalidate the entry"
+        );
+    }
+
+    #[test]
+    fn legacy_contains_key_is_a_problem() {
+        let src = "[[allow]]\nrule = \"L1\"\npath = \"x.rs\"\ncontains = \"y\"\n\
+                   justification = \"a justification that is long enough to pass\"\n";
+        let (entries, problems) = parse("allow.toml", src);
+        assert!(entries.is_empty(), "{entries:?}");
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.message.contains("legacy `contains`")),
+            "{problems:?}"
+        );
+        // The entry is also incomplete (no message), reported separately.
+        assert!(problems
+            .iter()
+            .any(|p| p.message.contains("missing required keys")));
     }
 
     #[test]
     fn missing_justification_is_a_problem() {
-        let src = "[[allow]]\nrule = \"L1\"\npath = \"x.rs\"\ncontains = \"y\"\n";
+        let src = "[[allow]]\nrule = \"L1\"\npath = \"x.rs\"\nmessage = \"y\"\n";
         let (entries, problems) = parse("allow.toml", src);
         assert!(entries.is_empty());
         assert_eq!(problems.len(), 1);
@@ -190,7 +271,7 @@ justification = "index provably bounded by the length check at loop entry"
     #[test]
     fn short_justification_rejected() {
         let src =
-            "[[allow]]\nrule = \"L1\"\npath = \"x.rs\"\ncontains = \"y\"\njustification = \"ok\"\n";
+            "[[allow]]\nrule = \"L1\"\npath = \"x.rs\"\nmessage = \"y\"\njustification = \"ok\"\n";
         let (_, problems) = parse("allow.toml", src);
         assert!(problems.iter().any(|p| p.message.contains("too short")));
     }
@@ -200,7 +281,7 @@ justification = "index provably bounded by the length check at loop entry"
         let mut src = String::new();
         for i in 0..MAX_ENTRIES {
             src.push_str(&format!(
-                "[[allow]]\nrule = \"L1\"\npath = \"f{i}.rs\"\ncontains = \"z\"\n\
+                "[[allow]]\nrule = \"L1\"\npath = \"f{i}.rs\"\nmessage = \"z\"\n\
                  justification = \"a justification that is long enough to pass\"\n"
             ));
         }

@@ -1,0 +1,233 @@
+//! Workspace-wide function index and name-resolved call graph.
+//!
+//! Resolution is name-based: a method call `x.foo()` maps to every
+//! workspace method named `foo`, a path call `A::foo(...)` to every
+//! function named `foo`. That over-approximates (no type inference),
+//! which is the right direction for lint facts — a summary bit set on
+//! the wrong twin only ever makes the analysis more conservative.
+//!
+//! Calls that happen inside a closure handed to `spawn` are *excluded*
+//! from the enclosing function's edge list: they run on another
+//! thread, so the caller neither holds its locks across them nor
+//! blocks on them. (`rules::l2` analyzes spawned closures separately.)
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, FileAst, FnItem};
+
+/// One function in the workspace, with its location context.
+pub struct FnRef<'a> {
+    /// Index into the file list handed to [`build`].
+    pub file: usize,
+    /// Workspace-relative path of that file.
+    pub path: &'a str,
+    /// Impl type name for methods (`None` for free functions).
+    pub impl_type: Option<&'a str>,
+    pub item: &'a FnItem,
+}
+
+pub struct CallGraph<'a> {
+    pub fns: Vec<FnRef<'a>>,
+    pub by_name: HashMap<&'a str, Vec<usize>>,
+    /// Per function: deduped names it calls on the *current thread*
+    /// (spawn-closure bodies excluded).
+    pub calls: Vec<Vec<String>>,
+}
+
+impl<'a> CallGraph<'a> {
+    pub fn fns_named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Build the index and edges over all parsed files.
+pub fn build<'a>(files: &'a [(String, FileAst)]) -> CallGraph<'a> {
+    let mut fns: Vec<FnRef<'a>> = Vec::new();
+    for (file_idx, (path, ast)) in files.iter().enumerate() {
+        let mut collected = Vec::new();
+        crate::ast::collect_fns(&ast.items, &mut collected);
+        for (impl_type, item) in collected {
+            fns.push(FnRef {
+                file: file_idx,
+                path,
+                impl_type,
+                item,
+            });
+        }
+    }
+    let mut by_name: HashMap<&'a str, Vec<usize>> = HashMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        by_name.entry(f.item.name.as_str()).or_default().push(i);
+    }
+    let mut calls = Vec::with_capacity(fns.len());
+    for f in &fns {
+        let mut names: Vec<String> = Vec::new();
+        if let Some(body) = &f.item.body {
+            collect_call_names_block(body, &mut names);
+        }
+        names.sort();
+        names.dedup();
+        calls.push(names);
+    }
+    CallGraph {
+        fns,
+        by_name,
+        calls,
+    }
+}
+
+/// `true` for call shapes that defer their closure arguments to
+/// another thread.
+pub fn is_spawn_call(e: &Expr) -> bool {
+    match e {
+        Expr::MethodCall { method, .. } => method == "spawn",
+        Expr::Call { callee, .. } => {
+            matches!(&**callee, Expr::Path(segs, _) if segs.last().is_some_and(|s| s == "spawn"))
+        }
+        _ => false,
+    }
+}
+
+fn collect_call_names_block(block: &crate::ast::Block, out: &mut Vec<String>) {
+    use crate::ast::Stmt;
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let {
+                init, else_block, ..
+            } => {
+                if let Some(e) = init {
+                    collect_call_names(e, out);
+                }
+                if let Some(b) = else_block {
+                    collect_call_names_block(b, out);
+                }
+            }
+            Stmt::Expr(e) => collect_call_names(e, out),
+            Stmt::Item(_) => {} // nested fns are indexed on their own
+        }
+    }
+}
+
+fn collect_call_names(e: &Expr, out: &mut Vec<String>) {
+    let spawn = is_spawn_call(e);
+    match e {
+        Expr::MethodCall {
+            recv, method, args, ..
+        } => {
+            out.push(method.clone());
+            collect_call_names(recv, out);
+            for a in args {
+                if spawn && matches!(a, Expr::Closure { .. }) {
+                    continue; // runs on another thread
+                }
+                collect_call_names(a, out);
+            }
+        }
+        Expr::Call { callee, args, .. } => {
+            if let Expr::Path(segs, _) = &**callee {
+                if let Some(last) = segs.last() {
+                    out.push(last.clone());
+                }
+            } else {
+                collect_call_names(callee, out);
+            }
+            for a in args {
+                if spawn && matches!(a, Expr::Closure { .. }) {
+                    continue;
+                }
+                collect_call_names(a, out);
+            }
+        }
+        Expr::Field { base, .. } => collect_call_names(base, out),
+        Expr::Index { base, index, .. } => {
+            collect_call_names(base, out);
+            collect_call_names(index, out);
+        }
+        Expr::Un(inner) | Expr::Try(inner, _) => collect_call_names(inner, out),
+        Expr::Cast { expr, .. } => collect_call_names(expr, out),
+        Expr::Block(b) | Expr::Loop(b) => collect_call_names_block(b, out),
+        Expr::If {
+            cond, then, els, ..
+        } => {
+            collect_call_names(cond, out);
+            collect_call_names_block(then, out);
+            if let Some(e) = els {
+                collect_call_names(e, out);
+            }
+        }
+        Expr::While { cond, body, .. } => {
+            collect_call_names(cond, out);
+            collect_call_names_block(body, out);
+        }
+        Expr::For { iter, body, .. } => {
+            collect_call_names(iter, out);
+            collect_call_names_block(body, out);
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            collect_call_names(scrutinee, out);
+            for arm in arms {
+                collect_call_names(&arm.body, out);
+            }
+        }
+        Expr::Closure { body, .. } => collect_call_names(body, out),
+        Expr::Macro { args, .. } | Expr::Tuple(args, _) => {
+            for a in args {
+                collect_call_names(a, out);
+            }
+        }
+        Expr::StructLit { fields, .. } => {
+            for (_, v) in fields {
+                collect_call_names(v, out);
+            }
+        }
+        Expr::Assign { lhs, rhs, .. } => {
+            collect_call_names(lhs, out);
+            collect_call_names(rhs, out);
+        }
+        Expr::Binary { lhs, rhs } => {
+            collect_call_names(lhs, out);
+            collect_call_names(rhs, out);
+        }
+        Expr::Return(Some(v), _) | Expr::Break(Some(v)) => collect_call_names(v, out),
+        Expr::Path(..)
+        | Expr::Lit(_)
+        | Expr::Return(None, _)
+        | Expr::Break(None)
+        | Expr::Unknown(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
+    use super::*;
+
+    fn graph(src: &str) -> (Vec<(String, FileAst)>, Vec<Vec<String>>) {
+        let files = vec![("a.rs".to_string(), crate::ast::parse_file(src).unwrap())];
+        let calls = {
+            let g = build(&files);
+            g.calls.clone()
+        };
+        (files, calls)
+    }
+
+    #[test]
+    fn edges_collect_method_and_path_calls() {
+        let (_, calls) = graph("fn f() { helper(); self.reader.read_chunk(m); File::open(p); }");
+        assert!(calls[0].contains(&"helper".to_string()));
+        assert!(calls[0].contains(&"read_chunk".to_string()));
+        assert!(calls[0].contains(&"open".to_string()));
+    }
+
+    #[test]
+    fn spawn_closure_calls_are_excluded() {
+        let (_, calls) =
+            graph("fn f() { std::thread::spawn(move || { blocking_io(); }); direct(); }");
+        assert!(!calls[0].contains(&"blocking_io".to_string()));
+        assert!(calls[0].contains(&"direct".to_string()));
+        assert!(calls[0].contains(&"spawn".to_string()));
+    }
+}

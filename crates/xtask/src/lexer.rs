@@ -91,17 +91,26 @@ pub fn lex(src: &str) -> Vec<Tok> {
             '"' => {
                 let start_line = line;
                 i = consume_cooked_string(&chars, i, &mut line);
-                toks.push(Tok { kind: TokKind::Lit, line: start_line });
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    line: start_line,
+                });
             }
             '\'' => {
                 let start_line = line;
                 i = consume_quote(&chars, i, &mut line);
-                toks.push(Tok { kind: TokKind::Lit, line: start_line });
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    line: start_line,
+                });
             }
             c if c.is_ascii_digit() => {
                 let start_line = line;
                 i = consume_number(&chars, i);
-                toks.push(Tok { kind: TokKind::Lit, line: start_line });
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    line: start_line,
+                });
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
@@ -120,21 +129,36 @@ pub fn lex(src: &str) -> Vec<Tok> {
                     } else {
                         consume_raw_string(&chars, i, &mut line)
                     };
-                    toks.push(Tok { kind: TokKind::Lit, line: start_line });
+                    toks.push(Tok {
+                        kind: TokKind::Lit,
+                        line: start_line,
+                    });
                 } else {
-                    toks.push(Tok { kind: TokKind::Ident(word), line });
+                    toks.push(Tok {
+                        kind: TokKind::Ident(word),
+                        line,
+                    });
                 }
             }
             '(' | '[' | '{' => {
-                toks.push(Tok { kind: TokKind::Open(c), line });
+                toks.push(Tok {
+                    kind: TokKind::Open(c),
+                    line,
+                });
                 i += 1;
             }
             ')' | ']' | '}' => {
-                toks.push(Tok { kind: TokKind::Close(c), line });
+                toks.push(Tok {
+                    kind: TokKind::Close(c),
+                    line,
+                });
                 i += 1;
             }
             c => {
-                toks.push(Tok { kind: TokKind::Punct(c), line });
+                toks.push(Tok {
+                    kind: TokKind::Punct(c),
+                    line,
+                });
                 i += 1;
             }
         }
@@ -271,8 +295,9 @@ pub fn strip_test_code(toks: &[Tok]) -> Vec<Tok> {
                         continue;
                     }
                 };
-                let is_test =
-                    toks[bracket + 1..close].iter().any(|t| t.ident() == Some("test"));
+                let is_test = toks[bracket + 1..close]
+                    .iter()
+                    .any(|t| t.ident() == Some("test"));
                 if is_test && inner {
                     // `#![cfg(test)]`: the rest of the scope is test-only.
                     return out;
@@ -353,7 +378,9 @@ mod tests {
     use super::*;
 
     fn idents(toks: &[Tok]) -> Vec<String> {
-        toks.iter().filter_map(|t| t.ident().map(str::to_string)).collect()
+        toks.iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
     }
 
     #[test]

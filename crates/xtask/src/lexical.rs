@@ -1,83 +1,23 @@
-//! The four lint rules, implemented over the lexer's token stream.
+//! The legacy lexical engine: rules L1–L4 approximated over the raw
+//! token stream, no parsing.
 //!
-//! All rules are lexical approximations, tuned to this repository's
-//! code shapes; see DESIGN.md for the precise contracts and known
-//! limitations of each.
+//! This is no longer the primary analyzer — `crate::rules` runs the
+//! same rule families over real syntax (see `crate::ast`) and closes
+//! this engine's documented blind spots. It is kept for two jobs:
+//!
+//! 1. **Fallback**: a file the tolerant parser cannot bracket-balance
+//!    still gets lexical coverage instead of none (reported in
+//!    [`crate::report::LintReport::fallback_files`]).
+//! 2. **Oracle**: the fixture self-tests run both engines over the
+//!    escape fixtures and assert the old one misses what the new one
+//!    catches — a regression test for the rewrite's reason to exist.
 
 use crate::lexer::{lex, strip_test_code, Tok, TokKind};
+use crate::report::{Rule, Violation};
+use crate::FileRules;
 
-/// Which rule fired.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Rule {
-    /// Panic-freedom: no unwrap/expect/panic!/unreachable!/todo!/
-    /// unimplemented!, and no indexing in byte-parsing modules.
-    L1,
-    /// Lock discipline: no lock/RefCell guard held across file I/O or
-    /// chunk decode.
-    L2,
-    /// Fallibility: public read/decode/open entry points return Result.
-    L3,
-    /// Cast audit: no `as` numeric conversions in codec layers outside
-    /// the audited cast module.
-    L4,
-    /// Allowlist hygiene: stale or malformed allowlist entries.
-    Allowlist,
-}
-
-impl Rule {
-    pub fn code(self) -> &'static str {
-        match self {
-            Rule::L1 => "L1",
-            Rule::L2 => "L2",
-            Rule::L3 => "L3",
-            Rule::L4 => "L4",
-            Rule::Allowlist => "ALLOWLIST",
-        }
-    }
-}
-
-/// One lint finding.
-#[derive(Debug, Clone)]
-pub struct Violation {
-    pub rule: Rule,
-    /// Path relative to the workspace root, forward slashes.
-    pub path: String,
-    pub line: u32,
-    pub message: String,
-    /// Trimmed text of the offending source line (used for allowlist
-    /// matching and for display).
-    pub excerpt: String,
-}
-
-/// Per-file rule selection, derived from the path by [`crate::config`].
-#[derive(Debug, Clone, Copy, Default)]
-pub struct FileRules {
-    /// L1 panic-site scan.
-    pub l1: bool,
-    /// L1 indexing scan (byte-parsing modules only).
-    pub l1_indexing: bool,
-    pub l2: bool,
-    pub l3: bool,
-    pub l4: bool,
-}
-
-impl FileRules {
-    pub fn all() -> Self {
-        FileRules {
-            l1: true,
-            l1_indexing: true,
-            l2: true,
-            l3: true,
-            l4: true,
-        }
-    }
-
-    pub fn any(self) -> bool {
-        self.l1 || self.l1_indexing || self.l2 || self.l3 || self.l4
-    }
-}
-
-/// Lint one file's source under the given rule selection.
+/// Lint one file's source under the given rule selection. L5/L6 have
+/// no lexical approximation and are ignored here.
 pub fn lint_source(path: &str, src: &str, rules: FileRules) -> Vec<Violation> {
     let lines: Vec<&str> = src.lines().collect();
     let toks = strip_test_code(&lex(src));

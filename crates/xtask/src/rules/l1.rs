@@ -1,0 +1,83 @@
+//! L1 — panic-freedom: no `unwrap`/`expect`, no panic-family macros,
+//! and (in byte-parsing modules) no indexing/slicing. True syntax
+//! walk: array types and literals no longer need keyword heuristics,
+//! and panics inside *any* closure (spawned or not) are flagged — a
+//! panic on a worker thread still takes the process down under
+//! `panic=abort` and poisons locks otherwise.
+//!
+//! Panic paths reached through a *local alias* (`let f =
+//! Option::unwrap; f(x)`) are reported by the dataflow pass, not here.
+
+use crate::ast::{self, Expr, FileAst};
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn check(file: &FileAst, indexing: bool, push: super::Push) {
+    for item in &file.items {
+        ast::walk_item(item, &mut |e| match e {
+            Expr::MethodCall { method, line, .. }
+                if matches!(method.as_str(), "unwrap" | "expect") =>
+            {
+                push(
+                    *line,
+                    format!(".{method}() in non-test code; propagate a typed error instead"),
+                );
+            }
+            Expr::Macro { name, line, .. } if PANIC_MACROS.contains(&name.as_str()) => {
+                push(
+                    *line,
+                    format!("{name}! in non-test code; return an error for reachable states"),
+                );
+            }
+            Expr::Index { line, .. } if indexing => {
+                push(
+                    *line,
+                    "indexing/slicing in a byte-parsing module; use get()/split-based \
+                     access and return a corruption error"
+                        .to_string(),
+                );
+            }
+            _ => {}
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
+    use super::*;
+
+    fn run(src: &str, indexing: bool) -> Vec<String> {
+        let ast = crate::ast::parse_file(src).unwrap();
+        let mut out = Vec::new();
+        check(&ast, indexing, &mut |_, m| out.push(m));
+        out
+    }
+
+    #[test]
+    fn flags_each_class_once() {
+        let v = run(
+            "fn f() { x.unwrap(); y.expect(\"e\"); panic!(\"no\"); unreachable!(); }",
+            false,
+        );
+        assert_eq!(v.len(), 4, "{v:?}");
+    }
+
+    #[test]
+    fn array_types_and_literals_do_not_trip_indexing() {
+        let v = run(
+            "fn f(x: [u8; 4]) -> u8 { let a = [0u8; 2]; let b: Vec<u8> = vec![]; 0 }",
+            true,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        let v = run("fn f(buf: &[u8]) -> u8 { buf[1] }", true);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn panics_inside_closures_are_flagged() {
+        let v = run("fn f() { std::thread::spawn(|| q.unwrap()); }", false);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+}

@@ -1,0 +1,168 @@
+//! L3 — fallibility: `pub` read/decode entry points return
+//! `Result`/`Option`, judged by the *resolved head* of the return
+//! type, not by literal tokens. This closes both documented lexical
+//! blind spots: `-> DecodeResult` (alias of `Result<...>`) passes, and
+//! `-> Vec<Result<Point, E>>` — fallible-looking tokens, infallible
+//! eager container — is flagged.
+//!
+//! Lazily-fallible wrappers (`impl Iterator<Item = Result<..>>`,
+//! `Box<dyn Iterator<...Result...>>`) are accepted when a
+//! `Result`/`Option` appears among their type arguments.
+
+use std::collections::HashMap;
+
+use crate::ast::{self, FileAst, Vis};
+
+/// Function-name prefixes that mark a decode/read entry point.
+pub const FALLIBLE_PREFIXES: &[&str] = &[
+    "read", "decode", "open", "parse", "load", "recover", "replay", "scan",
+];
+
+/// Type-alias table: alias name → flattened target-type tokens.
+pub type AliasTable = HashMap<String, Vec<String>>;
+
+pub fn build_alias_table(files: &[(String, FileAst)]) -> AliasTable {
+    let mut table = AliasTable::new();
+    for (_, file) in files {
+        let mut aliases = Vec::new();
+        ast::collect_aliases(&file.items, &mut aliases);
+        for (name, ty) in aliases {
+            table.insert(name.to_string(), ty.to_vec());
+        }
+    }
+    table
+}
+
+pub fn check(file: &FileAst, aliases: &AliasTable, push: super::Push) {
+    let mut fns = Vec::new();
+    ast::collect_fns(&file.items, &mut fns);
+    for (_, f) in fns {
+        if f.vis != Vis::Pub {
+            continue;
+        }
+        let relevant = FALLIBLE_PREFIXES.iter().any(|p| f.name.starts_with(*p));
+        if !relevant {
+            continue;
+        }
+        if returns_fallible(&f.ret, aliases, 0) {
+            continue;
+        }
+        let shape = if f.ret.is_empty() {
+            "returns nothing".to_string()
+        } else {
+            format!(
+                "returns `{}`",
+                head_of(&f.ret).unwrap_or_else(|| "?".to_string())
+            )
+        };
+        push(
+            f.line,
+            format!(
+                "public decode/read entry point `{}` does not return Result/Option ({shape} \
+                 after alias resolution); corrupt input must surface as a typed error",
+                f.name
+            ),
+        );
+    }
+}
+
+/// The head identifier of a type: last segment of the leading path,
+/// skipping references, lifetimes, and mutability.
+pub fn head_of(ty: &[String]) -> Option<String> {
+    let mut i = 0usize;
+    while i < ty.len() {
+        match ty[i].as_str() {
+            "&" | "mut" | "<lit>" | "'" => i += 1,
+            _ => break,
+        }
+    }
+    let mut head: Option<String> = None;
+    while i < ty.len() {
+        let t = &ty[i];
+        if t.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            head = Some(t.clone());
+            i += 1;
+            // Path continues through `::`.
+            if ty.get(i).map(String::as_str) == Some(":")
+                && ty.get(i + 1).map(String::as_str) == Some(":")
+            {
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    head
+}
+
+fn returns_fallible(ty: &[String], aliases: &AliasTable, depth: u32) -> bool {
+    if depth > 4 || ty.is_empty() {
+        return false;
+    }
+    let Some(head) = head_of(ty) else {
+        return false;
+    };
+    match head.as_str() {
+        "Result" | "Option" => true,
+        // Lazily-fallible wrappers: fallibility may live in the type
+        // arguments (`impl Iterator<Item = Result<..>>`).
+        "impl" | "dyn" | "Box" => ty.iter().any(|t| t == "Result" || t == "Option"),
+        other => aliases
+            .get(other)
+            .is_some_and(|target| returns_fallible(target, aliases, depth + 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
+    use super::*;
+
+    fn run(src: &str) -> Vec<String> {
+        let files = vec![("t.rs".to_string(), crate::ast::parse_file(src).unwrap())];
+        let aliases = build_alias_table(&files);
+        let mut out = Vec::new();
+        check(&files[0].1, &aliases, &mut |_, m| out.push(m));
+        out
+    }
+
+    #[test]
+    fn plain_result_passes_and_bare_u64_fails() {
+        assert!(run("pub fn read_header(b: &[u8]) -> Result<u64, E> { Ok(0) }").is_empty());
+        assert_eq!(run("pub fn read_header(b: &[u8]) -> u64 { 0 }").len(), 1);
+        assert!(
+            run("fn read_header(b: &[u8]) -> u64 { 0 }").is_empty(),
+            "private is exempt"
+        );
+    }
+
+    #[test]
+    fn alias_of_result_passes_resolution() {
+        let v = run(
+            "pub type DecodeResult = Result<Vec<Point>, Corrupt>;\npub fn decode_frame(b: &[u8]) -> DecodeResult { todo() }",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn eager_container_of_results_is_flagged() {
+        let v = run("pub fn read_all(b: &[u8]) -> Vec<Result<Point, E>> { vec![] }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("`Vec`"), "{v:?}");
+    }
+
+    #[test]
+    fn lazy_iterator_of_results_is_accepted() {
+        let v = run("pub fn scan_rows(b: &[u8]) -> impl Iterator<Item = Result<Row, E>> { it() }");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn alias_chain_resolves_transitively() {
+        let v = run(
+            "pub type Inner = Result<u8, E>;\npub type Outer = Inner;\npub fn parse_v(b: &[u8]) -> Outer { x() }",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,54 @@
+//! L4 — cast audit: no bare `as` numeric conversions in codec layers.
+//! On the AST, only genuine cast *expressions* fire: `use a as b`
+//! renames and trait bounds never parse as casts.
+
+use crate::ast::{self, Expr, FileAst};
+
+pub const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+pub fn check(file: &FileAst, push: super::Push) {
+    for item in &file.items {
+        ast::walk_item(item, &mut |e| {
+            if let Expr::Cast { ty, line, .. } = e {
+                if NUMERIC_TYPES.contains(&ty.as_str()) {
+                    push(
+                        *line,
+                        format!(
+                            "`as {ty}` in a codec layer; use the audited helpers in \
+                             tsfile::cast (checked, wrapping, or bit-exact by name)"
+                        ),
+                    );
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
+    use super::*;
+
+    fn run(src: &str) -> Vec<String> {
+        let ast = crate::ast::parse_file(src).unwrap();
+        let mut out = Vec::new();
+        check(&ast, &mut |_, m| out.push(m));
+        out
+    }
+
+    #[test]
+    fn numeric_casts_fire_renames_do_not() {
+        let v = run("use a as b;\nfn f(x: u64) -> u8 { x as u8 }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("as u8"));
+    }
+
+    #[test]
+    fn non_numeric_casts_pass() {
+        assert!(run("fn f(x: &T) { let p = x as *const T; g(e as Box<dyn Error>); }").is_empty());
+    }
+}

@@ -1,0 +1,457 @@
+//! L6 — counter discipline: every atomic counter in a `*Stats` struct
+//! must (a) be incremented on a non-test path that workspace code can
+//! actually reach, and (b) be surfaced end-to-end through the Stats
+//! RPC wire format — written by an `encode*` function and rebuilt by a
+//! `decode*` function. A counter failing (a) is dead weight that hides
+//! regressions; a counter failing (b) moves locally but is invisible
+//! to remote observers, which defeats the reason it exists.
+//!
+//! Detection is structural, not type-resolved:
+//! - counter structs: name ends in `Stats`, has `AtomicU64` fields
+//!   (scalar or `[AtomicU64; N]` arrays);
+//! - increments: `fetch_add`/`fetch_sub`/`store` whose receiver is the
+//!   field, an index into it, or a local handle bound from
+//!   `self.field.get(i)` / `&self.field` (the if-let handle pattern
+//!   the real histogram code uses);
+//! - wire surface: field names read in `encode*` fns and rebuilt in
+//!   `decode*` fns, with array fields matched by prefix (`requests` is
+//!   surfaced by `requests_ping`, `latency` by `latency_counts`).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{self, Block, Expr, FileAst, FnItem, Stmt, Vis};
+
+/// Atomic write methods that count as "incrementing" a counter.
+const WRITE_METHODS: &[&str] = &["fetch_add", "fetch_sub", "store"];
+
+struct CounterField {
+    struct_name: String,
+    field: String,
+    path: String,
+    line: u32,
+}
+
+/// Run the counter-discipline pass over the whole (parsed) workspace.
+/// `push` receives `(path, line, message)` anchored at the counter
+/// field's declaration.
+pub fn check(files: &[(String, FileAst)], push: &mut dyn FnMut(&str, u32, String)) {
+    // 1. Counter structs and their atomic fields.
+    let mut counters: Vec<CounterField> = Vec::new();
+    for (path, file) in files {
+        let mut structs = Vec::new();
+        ast::collect_structs(&file.items, &mut structs);
+        for s in structs {
+            if !s.name.ends_with("Stats") {
+                continue;
+            }
+            for (fname, ty, line) in &s.fields {
+                if ty.iter().any(|t| t == "AtomicU64") {
+                    counters.push(CounterField {
+                        struct_name: s.name.clone(),
+                        field: fname.clone(),
+                        path: path.clone(),
+                        line: *line,
+                    });
+                }
+            }
+        }
+    }
+    if counters.is_empty() {
+        return;
+    }
+
+    // 2. Increment sites: field name → names of fns that write it,
+    //    plus whether any writing fn is `pub` (library API, assumed
+    //    reachable). Test code was stripped before parsing, so every
+    //    site seen here is a non-test path.
+    let mut incremented: HashMap<String, Vec<(String, bool)>> = HashMap::new();
+    // 3. Every call name anywhere (closures included): reachability.
+    let mut called: HashSet<String> = HashSet::new();
+    // 4. Wire surface.
+    let mut encoded: HashSet<String> = HashSet::new();
+    let mut decoded: HashSet<String> = HashSet::new();
+
+    // Prefer real wire modules for the surface; fall back to every
+    // file so single-file fixtures still exercise the check.
+    let has_wire_file = files.iter().any(|(p, _)| p.contains("wire"));
+
+    for (path, file) in files {
+        let mut fns = Vec::new();
+        ast::collect_fns(&file.items, &mut fns);
+        for (_, f) in fns {
+            let Some(body) = &f.body else { continue };
+            let mut aliases: HashMap<String, String> = HashMap::new();
+            scan_increments(body, &mut aliases, f, &mut incremented);
+            ast::walk_block(body, &mut |e| match e {
+                Expr::MethodCall { method, .. } => {
+                    called.insert(method.clone());
+                }
+                Expr::Call { callee, .. } => {
+                    if let Expr::Path(segs, _) = &**callee {
+                        if let Some(last) = segs.last() {
+                            called.insert(last.clone());
+                        }
+                    }
+                }
+                _ => {}
+            });
+            if has_wire_file && !path.contains("wire") {
+                continue;
+            }
+            if f.name.starts_with("encode") {
+                collect_field_names(body, &mut encoded, false);
+            } else if f.name.starts_with("decode") {
+                collect_field_names(body, &mut decoded, true);
+            }
+        }
+    }
+
+    for c in &counters {
+        match incremented.get(&c.field) {
+            None => {
+                push(
+                    &c.path,
+                    c.line,
+                    format!(
+                        "counter `{}.{}` is never incremented on a non-test path; a counter \
+                         that cannot move hides regressions — wire it up or remove it",
+                        c.struct_name, c.field
+                    ),
+                );
+                continue;
+            }
+            Some(writers) => {
+                let reachable = writers
+                    .iter()
+                    .any(|(fn_name, is_pub)| *is_pub || called.contains(fn_name));
+                if !reachable {
+                    let names: Vec<&str> = writers.iter().map(|(n, _)| n.as_str()).collect();
+                    push(
+                        &c.path,
+                        c.line,
+                        format!(
+                            "counter `{}.{}` is incremented only in `{}`, which no workspace \
+                             code calls; the counter can never move at runtime",
+                            c.struct_name,
+                            c.field,
+                            names.join("`, `")
+                        ),
+                    );
+                }
+            }
+        }
+        if !surfaced(&c.field, &encoded) {
+            push(
+                &c.path,
+                c.line,
+                format!(
+                    "counter `{}.{}` is not written by any Stats RPC `encode*` function; \
+                     remote observers cannot see it",
+                    c.struct_name, c.field
+                ),
+            );
+        } else if !surfaced(&c.field, &decoded) {
+            push(
+                &c.path,
+                c.line,
+                format!(
+                    "counter `{}.{}` is encoded by the Stats RPC but never rebuilt by a \
+                     `decode*` function; the value is dropped on the wire",
+                    c.struct_name, c.field
+                ),
+            );
+        }
+    }
+}
+
+/// An array counter `requests` is surfaced by `requests_ping`;
+/// `latency` by `latency_counts`. Scalars must match exactly or by
+/// the same `field_` prefix (snapshot structs keep scalar names).
+fn surfaced(field: &str, wire: &HashSet<String>) -> bool {
+    if wire.contains(field) {
+        return true;
+    }
+    let prefix = format!("{field}_");
+    wire.iter().any(|n| n.starts_with(&prefix))
+}
+
+/// Resolve an expression to the counter field it is a handle to:
+/// `self.f`, `&self.f`, `self.f.get(i)`, `self.f[i]`, iterators.
+fn handle_target(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Field { name, .. } => Some(name.clone()),
+        Expr::Un(inner) => handle_target(inner),
+        Expr::Index { base, .. } => handle_target(base),
+        Expr::MethodCall { recv, method, .. }
+            if matches!(method.as_str(), "get" | "get_mut" | "iter" | "iter_mut") =>
+        {
+            handle_target(recv)
+        }
+        _ => None,
+    }
+}
+
+fn scan_increments(
+    b: &Block,
+    aliases: &mut HashMap<String, String>,
+    f: &FnItem,
+    out: &mut HashMap<String, Vec<(String, bool)>>,
+) {
+    for stmt in &b.stmts {
+        match stmt {
+            Stmt::Let {
+                pats,
+                init,
+                else_block,
+                ..
+            } => {
+                if let Some(e) = init {
+                    scan_expr(e, aliases, f, out);
+                    if let (1, Some(field)) = (pats.len(), handle_target(e)) {
+                        if let Some(p) = pats.first() {
+                            aliases.insert(p.clone(), field);
+                        }
+                    }
+                }
+                if let Some(blk) = else_block {
+                    scan_increments(blk, aliases, f, out);
+                }
+            }
+            Stmt::Expr(e) => scan_expr(e, aliases, f, out),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+fn scan_expr(
+    e: &Expr,
+    aliases: &mut HashMap<String, String>,
+    f: &FnItem,
+    out: &mut HashMap<String, Vec<(String, bool)>>,
+) {
+    if let Expr::MethodCall { recv, method, .. } = e {
+        if WRITE_METHODS.contains(&method.as_str()) {
+            let field = handle_target(recv).or_else(|| match &**recv {
+                Expr::Path(segs, _) if segs.len() == 1 => {
+                    segs.first().and_then(|id| aliases.get(id).cloned())
+                }
+                _ => None,
+            });
+            if let Some(field) = field {
+                out.entry(field)
+                    .or_default()
+                    .push((f.name.clone(), f.vis == Vis::Pub));
+            }
+        }
+    }
+    // The if-let handle pattern: `if let Some(c) = self.f.get(i) { c.fetch_add(..) }`.
+    if let Expr::If {
+        cond,
+        pats,
+        then,
+        els,
+        ..
+    } = e
+    {
+        scan_expr(cond, aliases, f, out);
+        let mut inner = aliases.clone();
+        if let (1, Some(field)) = (pats.len(), handle_target(cond)) {
+            if let Some(p) = pats.first() {
+                inner.insert(p.clone(), field);
+            }
+        }
+        scan_increments(then, &mut inner, f, out);
+        if let Some(e2) = els {
+            scan_expr(e2, aliases, f, out);
+        }
+        return;
+    }
+    // Generic recursion over children via the pre-order walker, but
+    // only one level at a time so `If` above keeps its alias scope:
+    // easiest is to enumerate children explicitly.
+    match e {
+        Expr::MethodCall { recv, args, .. } => {
+            scan_expr(recv, aliases, f, out);
+            for a in args {
+                scan_expr(a, aliases, f, out);
+            }
+        }
+        Expr::Call { callee, args, .. } => {
+            scan_expr(callee, aliases, f, out);
+            for a in args {
+                scan_expr(a, aliases, f, out);
+            }
+        }
+        Expr::Field { base, .. } => scan_expr(base, aliases, f, out),
+        Expr::Index { base, index, .. } => {
+            scan_expr(base, aliases, f, out);
+            scan_expr(index, aliases, f, out);
+        }
+        Expr::Un(inner) | Expr::Try(inner, _) => scan_expr(inner, aliases, f, out),
+        Expr::Cast { expr, .. } => scan_expr(expr, aliases, f, out),
+        Expr::Block(b) | Expr::Loop(b) => scan_increments(b, &mut aliases.clone(), f, out),
+        Expr::While { cond, body, .. } => {
+            scan_expr(cond, aliases, f, out);
+            scan_increments(body, &mut aliases.clone(), f, out);
+        }
+        Expr::For {
+            iter, body, pats, ..
+        } => {
+            scan_expr(iter, aliases, f, out);
+            let mut inner = aliases.clone();
+            // `for b in self.f.iter() { b.fetch_add(..) }`
+            if let (1, Some(field)) = (pats.len(), handle_target(iter)) {
+                if let Some(p) = pats.first() {
+                    inner.insert(p.clone(), field);
+                }
+            }
+            scan_increments(body, &mut inner, f, out);
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            scan_expr(scrutinee, aliases, f, out);
+            for arm in arms {
+                let mut inner = aliases.clone();
+                if let (1, Some(field)) = (arm.pats.len(), handle_target(scrutinee)) {
+                    if let Some(p) = arm.pats.first() {
+                        inner.insert(p.clone(), field);
+                    }
+                }
+                scan_expr(&arm.body, &mut inner, f, out);
+            }
+        }
+        Expr::Closure { body, .. } => scan_expr(body, aliases, f, out),
+        Expr::Macro { args, .. } | Expr::Tuple(args, _) => {
+            for a in args {
+                scan_expr(a, aliases, f, out);
+            }
+        }
+        Expr::StructLit { fields, .. } => {
+            for (_, v) in fields {
+                scan_expr(v, aliases, f, out);
+            }
+        }
+        Expr::Assign { lhs, rhs, .. } => {
+            scan_expr(lhs, aliases, f, out);
+            scan_expr(rhs, aliases, f, out);
+        }
+        Expr::Binary { lhs, rhs } => {
+            scan_expr(lhs, aliases, f, out);
+            scan_expr(rhs, aliases, f, out);
+        }
+        Expr::Return(Some(v), _) | Expr::Break(Some(v)) => scan_expr(v, aliases, f, out),
+        Expr::If { .. } => {} // handled above
+        Expr::Path(..)
+        | Expr::Lit(_)
+        | Expr::Return(None, _)
+        | Expr::Break(None)
+        | Expr::Unknown(_) => {}
+    }
+}
+
+/// Field names touched in a wire fn: every `x.name` access, and (for
+/// decode fns) struct-literal field keys plus assignment targets.
+fn collect_field_names(b: &Block, out: &mut HashSet<String>, struct_lits: bool) {
+    ast::walk_block(b, &mut |e| match e {
+        Expr::Field { name, .. } => {
+            out.insert(name.clone());
+        }
+        Expr::StructLit { fields, .. } if struct_lits => {
+            for (k, _) in fields {
+                out.insert(k.clone());
+            }
+        }
+        _ => {}
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
+    use super::*;
+
+    fn run(src: &str) -> Vec<String> {
+        let files = vec![("stats.rs".to_string(), crate::ast::parse_file(src).unwrap())];
+        let mut out = Vec::new();
+        check(&files, &mut |_, _, m| out.push(m));
+        out
+    }
+
+    const DISCIPLINED: &str = "\
+pub struct IoStats { hits: AtomicU64 }
+impl IoStats {
+    pub fn record_hit(&self) { self.hits.fetch_add(1, Ordering::Relaxed); }
+}
+fn encode_stats(out: &mut Vec<u8>, s: &Snap) { put_u64(out, s.hits); }
+fn decode_stats(c: &mut Cursor) -> Snap { Snap { hits: c.u64() } }
+";
+
+    #[test]
+    fn disciplined_counter_passes() {
+        assert!(run(DISCIPLINED).is_empty(), "{:?}", run(DISCIPLINED));
+    }
+
+    #[test]
+    fn never_incremented_counter_fires() {
+        let v = run("pub struct IoStats { hits: AtomicU64, misses: AtomicU64 }
+             impl IoStats { pub fn record_hit(&self) { self.hits.fetch_add(1, O); } }
+             fn encode_stats(o: &mut V, s: &S) { put(o, s.hits); put(o, s.misses); }
+             fn decode_stats(c: &mut C) -> S { S { hits: c.u64(), misses: c.u64() } }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].contains("IoStats.misses") && v[0].contains("never incremented"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn uncalled_private_incrementer_fires() {
+        let v = run("pub struct IoStats { hits: AtomicU64 }
+             impl IoStats { fn bump(&self) { self.hits.fetch_add(1, O); } }
+             fn encode_stats(o: &mut V, s: &S) { put(o, s.hits); }
+             fn decode_stats(c: &mut C) -> S { S { hits: c.u64() } }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("no workspace code calls"), "{v:?}");
+    }
+
+    #[test]
+    fn unencoded_counter_fires() {
+        let v = run("pub struct IoStats { hits: AtomicU64 }
+             impl IoStats { pub fn record_hit(&self) { self.hits.fetch_add(1, O); } }
+             fn encode_stats(o: &mut V, s: &S) { put(o, s.other); }
+             fn decode_stats(c: &mut C) -> S { S { other: c.u64() } }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("encode"), "{v:?}");
+    }
+
+    #[test]
+    fn encoded_but_not_decoded_fires() {
+        let v = run("pub struct IoStats { hits: AtomicU64 }
+             impl IoStats { pub fn record_hit(&self) { self.hits.fetch_add(1, O); } }
+             fn encode_stats(o: &mut V, s: &S) { put(o, s.hits); }
+             fn decode_stats(c: &mut C) -> S { S { other: c.u64() } }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("never rebuilt"), "{v:?}");
+    }
+
+    #[test]
+    fn array_counters_match_by_prefix_and_handle_binding() {
+        // The real histogram shape: array field, if-let handle, and
+        // wire names carrying a prefix (`requests_ping`,
+        // `latency_counts`).
+        let v = run(
+            "pub struct ServerStats { requests: [AtomicU64; 6], latency: [AtomicU64; 26] }
+             impl ServerStats {
+                 pub fn record_request(&self, k: usize, us: u64) {
+                     if let Some(c) = self.requests.get(k) { c.fetch_add(1, O); }
+                     if let Some(b) = self.latency.get(bucket_index(us)) { b.fetch_add(1, O); }
+                 }
+             }
+             fn encode_stats(o: &mut V, s: &S) { put(o, s.requests_ping); for c in &s.latency_counts { put(o, c); } }
+             fn decode_stats(c: &mut C) -> S { S { requests_ping: c.u64(), latency_counts: v } }",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

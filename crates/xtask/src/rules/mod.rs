@@ -1,0 +1,17 @@
+//! The six rule families, implemented over the AST engine.
+//!
+//! Each `lN` module exposes a `check` that walks parsed syntax (plus,
+//! for L2/L5/L6, the call-graph summaries) and pushes
+//! [`crate::report::Violation`]-shaped findings through a callback.
+//! Rule selection per file lives in `crate::rules_for`; the lexical
+//! fallback for unparseable sources is `crate::lexical`.
+
+pub mod l1;
+pub mod l2;
+pub mod l3;
+pub mod l4;
+pub mod l5;
+pub mod l6;
+
+/// Shared push-callback shape: (line, message).
+pub type Push<'a> = &'a mut dyn FnMut(u32, String);

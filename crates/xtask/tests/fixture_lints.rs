@@ -1,7 +1,14 @@
 //! Fixture self-tests: each file under `tests/fixtures/` violates
-//! exactly one rule family, and the lint must (a) flag it through the
+//! exactly one rule family (except `l1_alias_call.rs`, which pairs an
+//! L1 and an L2 escape), and the lint must (a) flag it through the
 //! library API, (b) exit non-zero on it through the CLI, and (c) stay
 //! clean — exit zero — on the real workspace.
+//!
+//! The `*_escape_*` tests additionally run the retired lexical engine
+//! (`xtask::lexical`) as an oracle over the four documented lexical
+//! blind spots — helper-returned guards, field-stored guards, local
+//! fn aliases, and type-alias returns — proving the old engine missed
+//! each one and the AST engine catches it.
 
 // Tests assert by panicking; the workspace panic-freedom deny-set
 // (root Cargo.toml) is aimed at library code.
@@ -15,12 +22,19 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use xtask::{lint_single_file, Rule, Violation};
+use xtask::{lint_single_file, FileRules, Rule, Violation};
 
 fn fixture(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(name)
+}
+
+/// Run the retired lexical engine over a fixture — the oracle that
+/// shows what the pre-AST lint did (and didn't) see.
+fn lexical_oracle(name: &str) -> Vec<Violation> {
+    let src = std::fs::read_to_string(fixture(name)).unwrap();
+    xtask::lexical::lint_source(name, &src, FileRules::all())
 }
 
 /// Lint a fixture and assert every violation belongs to `rule`.
@@ -116,6 +130,128 @@ fn l4_fixture_flags_bare_numeric_cast() {
 }
 
 #[test]
+fn l2_escape_helper_returned_guard() {
+    // Old engine: no acquire token at the call site → no guard → clean.
+    let old = lexical_oracle("l2_helper_guard.rs");
+    assert!(old.is_empty(), "lexical engine must miss this: {old:?}");
+    // New engine: `lock_map` has a returns-guard summary.
+    let v = lint_fixture("l2_helper_guard.rs", Rule::L2);
+    assert!(
+        v.iter()
+            .any(|v| v.message.contains("read_chunk") && v.message.contains("guard")),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn l2_escape_guard_stored_in_field() {
+    // Old engine: a statement temporary that "dies" at the `;`.
+    let old = lexical_oracle("l2_field_guard.rs");
+    assert!(old.is_empty(), "lexical engine must miss this: {old:?}");
+    // New engine: assignment into a field promotes the guard to
+    // function scope.
+    let v = lint_fixture("l2_field_guard.rs", Rule::L2);
+    assert!(
+        v.iter()
+            .any(|v| v.message.contains("read_chunk") && v.message.contains("guard")),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn l1_l2_escape_local_fn_alias() {
+    // Old engine: no `.unwrap()` / `File::open(` call-site tokens.
+    let old = lexical_oracle("l1_alias_call.rs");
+    assert!(old.is_empty(), "lexical engine must miss this: {old:?}");
+    // New engine: FnAlias dataflow — one L1 panic and one L2
+    // I/O-under-guard finding, both through the alias.
+    let v = lint_single_file(&fixture("l1_alias_call.rs")).unwrap();
+    assert!(
+        v.iter()
+            .any(|v| v.rule == Rule::L1 && v.message.contains("unwrap")),
+        "aliased unwrap must be flagged as L1: {v:?}"
+    );
+    assert!(
+        v.iter().any(|v| v.rule == Rule::L2
+            && v.message.contains("File::open")
+            && v.message.contains("guard")),
+        "aliased File::open under a guard must be flagged as L2: {v:?}"
+    );
+    for violation in &v {
+        assert!(
+            matches!(violation.rule, Rule::L1 | Rule::L2),
+            "only the two alias findings expected: {violation:?}"
+        );
+    }
+}
+
+#[test]
+fn l3_escape_type_alias_return() {
+    // Old engine, both failure directions: it flagged the Result
+    // alias (false positive) and passed `Vec<Result<..>>` (miss).
+    let old = lexical_oracle("l3_type_alias.rs");
+    assert!(
+        old.iter().any(|v| v.message.contains("decode_frames")),
+        "lexical engine should false-positive on the alias: {old:?}"
+    );
+    assert!(
+        !old.iter().any(|v| v.message.contains("read_all_rows")),
+        "lexical engine should miss the eager container: {old:?}"
+    );
+    // New engine: alias resolves to Result (clean); Vec head flagged.
+    let v = lint_fixture("l3_type_alias.rs", Rule::L3);
+    assert!(
+        v.iter().any(|v| v.message.contains("read_all_rows")),
+        "{v:?}"
+    );
+    assert!(
+        !v.iter().any(|v| v.message.contains("decode_frames")),
+        "alias of Result must not be flagged: {v:?}"
+    );
+}
+
+#[test]
+fn l5_fixture_flags_blocking_call_on_accept_path() {
+    let v = lint_fixture("l5_blocking_accept.rs", Rule::L5);
+    assert!(
+        v.iter().any(|v| v.message.contains("write_frame")),
+        "direct blocking write must be flagged: {v:?}"
+    );
+    assert!(
+        v.iter().any(|v| v.message.contains("accept_loop")),
+        "transitive blocking through handle_connection must reach accept_loop: {v:?}"
+    );
+}
+
+#[test]
+fn l6_fixture_flags_dead_and_unencoded_counters() {
+    let v = lint_fixture("l6_counter_drift.rs", Rule::L6);
+    assert!(
+        v.iter()
+            .any(|v| v.message.contains("dropped") && v.message.contains("incremented")),
+        "dead counter must be flagged: {v:?}"
+    );
+    assert!(
+        v.iter()
+            .any(|v| v.message.contains("retries") && v.message.contains("encode")),
+        "unencoded counter must be flagged: {v:?}"
+    );
+    assert_eq!(
+        v.len(),
+        2,
+        "the disciplined `forwarded` counter must not be flagged: {v:?}"
+    );
+}
+
+#[test]
+fn phased_negative_fixture_clean_under_both_engines() {
+    let v = lint_single_file(&fixture("l2_phased_negative.rs")).unwrap();
+    assert!(v.is_empty(), "AST engine false positive: {v:?}");
+    let old = lexical_oracle("l2_phased_negative.rs");
+    assert!(old.is_empty(), "lexical engine false positive: {old:?}");
+}
+
+#[test]
 fn workspace_lints_clean_through_library() {
     let root = xtask::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
     let v = xtask::run_lint(&root).unwrap();
@@ -132,6 +268,12 @@ fn cli_exits_nonzero_on_each_fixture() {
         "l2_conn_pool_guard.rs",
         "l3_infallible_decode.rs",
         "l4_unchecked_cast.rs",
+        "l2_helper_guard.rs",
+        "l2_field_guard.rs",
+        "l1_alias_call.rs",
+        "l3_type_alias.rs",
+        "l5_blocking_accept.rs",
+        "l6_counter_drift.rs",
     ] {
         let status = Command::new(env!("CARGO_BIN_EXE_xtask"))
             .arg("lint")
@@ -144,6 +286,20 @@ fn cli_exits_nonzero_on_each_fixture() {
             "{name}: CLI must exit non-zero on a violating file"
         );
     }
+}
+
+#[test]
+fn cli_exits_zero_on_negative_fixture() {
+    let status = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("lint")
+        .arg("--file")
+        .arg(fixture("l2_phased_negative.rs"))
+        .status()
+        .unwrap();
+    assert!(
+        status.success(),
+        "CLI must exit zero on the phase-disciplined negative fixture"
+    );
 }
 
 #[test]

@@ -1,0 +1,23 @@
+//! L2 escape #2 (documented lexical blind spot, now closed): the
+//! guard is stored into a *struct field* instead of a `let` binding.
+//! The lexical engine modeled `self.held = Some(self.table.read());`
+//! as a statement temporary that dies at the `;`, so the I/O on the
+//! next line looked guard-free. The AST engine promotes a guard
+//! assigned into a field to function scope (conservatively: it cannot
+//! see when another method drops it), so the `read_chunk` below is
+//! flagged.
+
+struct PinnedCompactor {
+    table: RwLock<Table>,
+    held: Option<RwLockReadGuard<'static, Table>>,
+}
+
+impl PinnedCompactor {
+    /// VIOLATION: the guard parked in `self.held` is live across the
+    /// chunk read.
+    fn seal_and_reload(&mut self, meta: &ChunkMeta) {
+        self.held = Some(self.table.read());
+        let chunk = reader::read_chunk(meta);
+        self.absorb(chunk);
+    }
+}

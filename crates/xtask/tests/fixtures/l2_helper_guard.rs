@@ -1,0 +1,27 @@
+//! L2 escape #1 (documented lexical blind spot, now closed): the
+//! guard is acquired through a *helper method*, so no `.lock()` /
+//! `.read()` token appears at the acquisition site in the caller. The
+//! lexical engine only recognized literal acquire tokens and passed
+//! this file; the AST engine computes a `returns_guard` summary for
+//! `lock_map` (tail expression `self.inner.lock()` and the
+//! `MutexGuard` return type) and tracks the binding to the I/O call.
+
+struct ChunkCache {
+    inner: Mutex<Table>,
+    reader: Reader,
+}
+
+impl ChunkCache {
+    /// The helper every call site uses instead of a raw `.lock()`.
+    fn lock_map(&self) -> MutexGuard<'_, Table> {
+        self.inner.lock()
+    }
+
+    /// VIOLATION: `g` is a lock guard (via the helper) and is still
+    /// live when `read_chunk` performs file I/O.
+    fn refill(&self, meta: &ChunkMeta) {
+        let mut g = self.lock_map();
+        let chunk = self.reader.read_chunk(meta);
+        g.put(meta.idx, chunk);
+    }
+}

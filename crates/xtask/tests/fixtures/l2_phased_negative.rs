@@ -1,0 +1,33 @@
+//! NEGATIVE fixture: phase-disciplined lock usage that must stay
+//! clean under every engine. Guards are confined to a snapshot phase
+//! (block scope or explicit `drop`) and all file I/O happens after
+//! the guard is provably dead. A false positive here means the
+//! dataflow's lifetime model regressed.
+
+struct PhasedStore {
+    map: RwLock<Table>,
+}
+
+impl PhasedStore {
+    /// Phase 1 snapshots under the lock inside a block; phase 2 does
+    /// unlocked I/O. The guard dies at the block's closing brace.
+    fn flush_phased(&self, meta: &ChunkMeta) {
+        let pending = {
+            let m = self.map.read();
+            m.snapshot_pending()
+        };
+        let chunk = reader::read_chunk(meta);
+        self.merge_unlocked(pending, chunk);
+    }
+
+    /// Explicit `drop` ends the guard before the I/O.
+    fn tick(&self, meta: &ChunkMeta) {
+        let g = self.map.read();
+        let due = g.due_count();
+        drop(g);
+        if due > 0 {
+            let points = reader::read_points(meta);
+            self.absorb(points);
+        }
+    }
+}

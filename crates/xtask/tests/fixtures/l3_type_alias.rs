@@ -1,0 +1,25 @@
+//! Escape #4 (documented lexical blind spot, now closed), in both
+//! directions at once:
+//!
+//! - `decode_frames` returns a type alias of `Result`. The lexical
+//!   engine looked for literal `Result`/`Option` tokens in the return
+//!   type and FALSELY FLAGGED this (the alias hides the tokens); the
+//!   AST engine resolves `DecodeResult` through the alias table and
+//!   passes it.
+//! - `read_all_rows` returns `Vec<Result<...>>`. The lexical engine
+//!   saw the `Result` token and FALSELY PASSED it; the AST engine
+//!   judges the resolved *head* (`Vec` — an eager, infallible
+//!   container) and flags it.
+
+pub type DecodeResult = Result<Vec<u64>, CorruptFrame>;
+
+/// Clean: `DecodeResult` is `Result` after alias resolution.
+pub fn decode_frames(buf: &[u8]) -> DecodeResult {
+    Ok(Vec::new())
+}
+
+/// VIOLATION: fallible-looking tokens, infallible eager container —
+/// a corrupt row cannot stop this function from "succeeding".
+pub fn read_all_rows(buf: &[u8]) -> Vec<Result<u64, CorruptFrame>> {
+    Vec::new()
+}

@@ -1,0 +1,27 @@
+//! L5 fixture: blocking socket I/O on the accept/dispatch path. The
+//! accept loop hands each connection to `handle_connection`
+//! *synchronously*, and `handle_connection` writes a banner frame on
+//! the same thread — a client that never drains its socket parks the
+//! accept loop and starves every other connection. Both the direct
+//! frame write and the transitive `accept_loop → handle_connection`
+//! edge must be flagged (the blocking fact propagates through the
+//! call-graph summary).
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                handle_connection(shared, stream);
+            }
+            Err(_) => {
+                thread::sleep(Duration::from_millis(shared.config.poll_ms));
+            }
+        }
+    }
+}
+
+/// VIOLATION: an unbounded socket write on the dispatch thread.
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let banner = shared.banner_frame();
+    wire::write_frame(&mut stream, &banner);
+}

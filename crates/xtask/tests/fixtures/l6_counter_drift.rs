@@ -1,0 +1,36 @@
+//! L6 fixture: counter drift, both halves of the discipline.
+//!
+//! - `dropped` is declared but never incremented anywhere — a dead
+//!   counter that will read 0 forever and hide the regressions it was
+//!   added to catch.
+//! - `retries` is incremented on a live path but never written by the
+//!   `encode*` wire function — it moves locally and is invisible to
+//!   remote observers.
+//! - `forwarded` is disciplined end-to-end (incremented in a `pub`
+//!   recorder, encoded, decoded) and must NOT be flagged.
+
+pub struct RelayStats {
+    forwarded: AtomicU64,
+    dropped: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl RelayStats {
+    pub fn record_forwarded(&self) {
+        self.forwarded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn encode_relay_stats(out: &mut Vec<u8>, s: &RelaySnapshot) {
+    put_u64(out, s.forwarded);
+}
+
+fn decode_relay_stats(c: &mut Cursor) -> RelaySnapshot {
+    RelaySnapshot {
+        forwarded: c.u64(),
+    }
+}

@@ -7,7 +7,8 @@
 //! ```
 //!
 //! Experiments: table2, fig8, fig10, fig11, fig12, fig13, fig14,
-//! pixels, ablation, compaction, parallel, pages, ingest, serve, all.
+//! pixels, ablation, compaction, parallel, pages, ingest, serve,
+//! decode, all.
 //!
 //! `--out` writes `{"meta": {...}, "rows": [...]}` — the meta header
 //! records the run's scale/repeats and the baseline write-path knobs
@@ -27,6 +28,7 @@
 
 use std::io::Write;
 
+use bench::experiments::decode::{self, DecodeReport, DecodeRow, PoolSummary};
 use bench::experiments::ingest::{self, IngestReport, IngestRow};
 use bench::experiments::pages::{self, PagesReport, PagesRow};
 use bench::experiments::serve::{self, ServeReport, ServeRow};
@@ -81,7 +83,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--exp table2|fig8|fig10|fig11|fig12|fig13|fig14|pixels|ablation|compaction|parallel|pages|ingest|serve|all] \
+                    "usage: repro [--exp table2|fig8|fig10|fig11|fig12|fig13|fig14|pixels|ablation|compaction|parallel|pages|ingest|serve|decode|all] \
                      [--scale F] [--repeats N] [--out FILE.json] [--dataset NAME]..."
                 );
                 std::process::exit(0);
@@ -174,6 +176,14 @@ fn main() {
         serve::print(&serve_rows);
         serve::summarize(&serve_rows);
     }
+    let mut decode_out: Option<(Vec<DecodeRow>, PoolSummary)> = None;
+    if all || args.exp == "decode" {
+        println!("\n== decode ==");
+        let (rows, pool) = decode::run(&h);
+        decode::print(&rows, &pool);
+        decode::summarize(&rows, &pool);
+        decode_out = Some((rows, pool));
+    }
 
     if let Some(path) = &args.out {
         let meta = BenchMeta::new(&h, &EngineConfig::default());
@@ -204,6 +214,13 @@ fn main() {
                 serde_json::to_string_pretty(&report).expect("serialize serve report"),
                 report.rows.len(),
             )
+        } else if args.exp == "decode" {
+            let (rows, pool) = decode_out.take().expect("decode experiment ran");
+            let report = DecodeReport { meta, rows, pool };
+            (
+                serde_json::to_string_pretty(&report).expect("serialize decode report"),
+                report.rows.len(),
+            )
         } else {
             if !pages_rows.is_empty() {
                 println!("\nnote: pages rows are only serialized by `--exp pages --out ...`");
@@ -213,6 +230,9 @@ fn main() {
             }
             if !serve_rows.is_empty() {
                 println!("\nnote: serve rows are only serialized by `--exp serve --out ...`");
+            }
+            if decode_out.is_some() {
+                println!("\nnote: decode rows are only serialized by `--exp decode --out ...`");
             }
             let report = BenchReport { meta, rows };
             (

@@ -1,0 +1,297 @@
+//! Decode-kernel microbenchmark: word-at-a-time codecs vs the retained
+//! scalar references, plus buffer-pool effectiveness on real page reads.
+//!
+//! Not a paper artifact — this measures the substrate the read path
+//! stands on. Each row decodes one encoded stream with the production
+//! (batched) kernel and with the scalar reference oracle kept in
+//! `tsfile::encoding::reference`, reporting decoded points/sec for
+//! both, the ratio, and an `equivalent` flag (outputs compared
+//! bit-exactly). The headline invariants are hardware-independent:
+//! outputs must match, and the batched kernel must not be slower than
+//! the reference *in the same run* — that pair is what the bench-smoke
+//! CI gate checks. Plain-encoding rows are context: they share one
+//! kernel, so their ratio is ~1 by construction.
+//!
+//! The pool section writes a small multi-chunk TsFile and re-reads its
+//! chunks repeatedly, reporting the process-wide buffer-pool hit/miss
+//! delta: a warm steady-state read path must show hits.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use tsfile::encoding::{gorilla, plain, reference, ts2diff};
+use tsfile::types::Point;
+use tsfile::{TsFileReader, TsFileWriter};
+use workload::signal::Signal;
+use workload::timestamps;
+
+use crate::harness::{BenchMeta, Harness};
+
+/// One codec/stream cell: batched vs reference decode throughput.
+#[derive(Debug, Clone, Serialize)]
+pub struct DecodeRow {
+    pub codec: String,
+    /// Stream shape ("sensor", "constant", "regular", "jitter", ...).
+    pub dataset: String,
+    pub n_points: usize,
+    pub encoded_bytes: usize,
+    /// Production kernel throughput, million points decoded per second.
+    pub batched_mpoints_s: f64,
+    /// Scalar reference oracle throughput in the same run.
+    pub reference_mpoints_s: f64,
+    /// batched / reference.
+    pub speedup: f64,
+    /// Batched output bit-identical to the reference output.
+    pub equivalent: bool,
+}
+
+/// Buffer-pool effectiveness over the page-read exercise.
+#[derive(Debug, Clone, Serialize)]
+pub struct PoolSummary {
+    /// Pool hit/miss deltas across the chunk re-read loop.
+    pub pool_hits: u64,
+    pub pool_misses: u64,
+    /// hits / (hits + misses); a warm read path sits near 1.0.
+    pub hit_rate: f64,
+}
+
+/// The document `repro --exp decode --out` writes.
+#[derive(Debug, Serialize)]
+pub struct DecodeReport {
+    pub meta: BenchMeta,
+    pub rows: Vec<DecodeRow>,
+    pub pool: PoolSummary,
+}
+
+/// Median decode throughput in million points/sec. Small streams are
+/// batched into enough inner iterations that each timed sample covers
+/// at least ~2^16 points, keeping the timer resolution out of the
+/// measurement.
+fn throughput_mpoints_s<T>(h: &Harness, n: usize, mut decode_once: impl FnMut() -> T) -> f64 {
+    let iters = (1usize << 16).div_ceil(n.max(1)).max(1);
+    // Untimed warmup: fault in the output allocation path and let the
+    // branch predictor settle, so the first timed sample is not
+    // measuring the allocator instead of the kernel.
+    std::hint::black_box(decode_once());
+    let mut samples = Vec::with_capacity(h.repeats.max(1));
+    for _ in 0..h.repeats.max(1) {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(decode_once());
+        }
+        let secs = start.elapsed().as_secs_f64();
+        samples.push((n * iters) as f64 / secs / 1e6);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Deterministic value/timestamp streams at the harness scale.
+fn streams(h: &Harness) -> (Vec<f64>, Vec<f64>, Vec<i64>, Vec<i64>) {
+    let n = ((4_000_000.0 * h.scale) as usize).max(4096);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut sig = Signal::new(210.0, 240.0, 0.4);
+    let sensor: Vec<f64> = (0..n).map(|_| sig.next_value(&mut rng)).collect();
+    let constant = vec![42.5f64; n];
+    let regular = timestamps::regular(1_600_000_000_000, 10, n);
+    let jitter = timestamps::regular_with_jitter(1_600_000_000_000, 10, n, 2, &mut rng);
+    (sensor, constant, regular, jitter)
+}
+
+pub fn run(h: &Harness) -> (Vec<DecodeRow>, PoolSummary) {
+    let (sensor, constant, regular, jitter) = streams(h);
+    let mut rows = Vec::new();
+
+    for (dataset, vs) in [("sensor", &sensor), ("constant", &constant)] {
+        let mut buf = Vec::new();
+        gorilla::encode(vs, &mut buf);
+        let n = vs.len();
+        let batched = gorilla::decode(&buf, n).expect("gorilla decode");
+        let oracle = reference::gorilla_decode(&buf, n).expect("gorilla reference decode");
+        let equivalent = batched.len() == oracle.len()
+            && batched
+                .iter()
+                .zip(&oracle)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        let batched_mpoints_s =
+            throughput_mpoints_s(h, n, || gorilla::decode(&buf, n).expect("decode"));
+        let reference_mpoints_s =
+            throughput_mpoints_s(h, n, || reference::gorilla_decode(&buf, n).expect("decode"));
+        rows.push(DecodeRow {
+            codec: "gorilla-f64".to_string(),
+            dataset: dataset.to_string(),
+            n_points: n,
+            encoded_bytes: buf.len(),
+            batched_mpoints_s,
+            reference_mpoints_s,
+            speedup: batched_mpoints_s / reference_mpoints_s,
+            equivalent,
+        });
+    }
+
+    for (dataset, ts) in [("regular", &regular), ("jitter", &jitter)] {
+        let mut buf = Vec::new();
+        ts2diff::encode(ts, &mut buf);
+        let n = ts.len();
+        let batched = ts2diff::decode(&buf, n).expect("ts2diff decode");
+        let oracle = reference::ts2diff_decode(&buf, n).expect("ts2diff reference decode");
+        let equivalent = batched == oracle;
+        let batched_mpoints_s =
+            throughput_mpoints_s(h, n, || ts2diff::decode(&buf, n).expect("decode"));
+        let reference_mpoints_s =
+            throughput_mpoints_s(h, n, || reference::ts2diff_decode(&buf, n).expect("decode"));
+        rows.push(DecodeRow {
+            codec: "ts2diff-i64".to_string(),
+            dataset: dataset.to_string(),
+            n_points: n,
+            encoded_bytes: buf.len(),
+            batched_mpoints_s,
+            reference_mpoints_s,
+            speedup: batched_mpoints_s / reference_mpoints_s,
+            equivalent,
+        });
+    }
+
+    // Context row: plain has one kernel, so "batched" and "reference"
+    // time the same function and the ratio hovers around 1.
+    {
+        let mut buf = Vec::new();
+        plain::encode_i64(&regular, &mut buf);
+        let n = regular.len();
+        let batched = plain::decode_i64(&buf, n).expect("plain decode");
+        let equivalent = batched == regular;
+        let batched_mpoints_s =
+            throughput_mpoints_s(h, n, || plain::decode_i64(&buf, n).expect("decode"));
+        let reference_mpoints_s =
+            throughput_mpoints_s(h, n, || plain::decode_i64(&buf, n).expect("decode"));
+        rows.push(DecodeRow {
+            codec: "plain-i64".to_string(),
+            dataset: "regular".to_string(),
+            n_points: n,
+            encoded_bytes: buf.len(),
+            batched_mpoints_s,
+            reference_mpoints_s,
+            speedup: batched_mpoints_s / reference_mpoints_s,
+            equivalent,
+        });
+    }
+
+    (rows, exercise_pool(h))
+}
+
+/// Write a multi-chunk TsFile, then re-read every chunk `h.repeats * 8`
+/// times and report the buffer-pool counter delta. After the first
+/// pass through the chunks the pool is warm, so steady-state reads must
+/// land on the freelist.
+fn exercise_pool(h: &Harness) -> PoolSummary {
+    std::fs::create_dir_all(&h.root).expect("bench root");
+    let path = h.root.join("decode-pool.tsfile");
+    std::fs::remove_file(&path).ok();
+    let mut w = TsFileWriter::create(&path).expect("create pool fixture");
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut sig = Signal::new(210.0, 240.0, 0.4);
+    for c in 0..8i64 {
+        let points: Vec<Point> = (0..2048)
+            .map(|i| Point::new(c * 1_000_000 + i * 10, sig.next_value(&mut rng)))
+            .collect();
+        w.write_chunk(&points, 1).expect("write chunk");
+    }
+    w.finish().expect("finish pool fixture");
+
+    let r = TsFileReader::open(&path).expect("open pool fixture");
+    let metas: Vec<_> = r.chunk_metas().to_vec();
+    let (h0, m0) = tsfile::bufpool::pool_counters();
+    for _ in 0..h.repeats.max(1) * 8 {
+        for meta in &metas {
+            let pts = r.read_chunk(meta).expect("read chunk");
+            std::hint::black_box(pts.len());
+        }
+    }
+    let (h1, m1) = tsfile::bufpool::pool_counters();
+    std::fs::remove_file(&path).ok();
+    let (hits, misses) = (h1 - h0, m1 - m0);
+    let total = hits + misses;
+    PoolSummary {
+        pool_hits: hits,
+        pool_misses: misses,
+        hit_rate: if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        },
+    }
+}
+
+/// Aligned table of all cells plus the pool line.
+pub fn print(rows: &[DecodeRow], pool: &PoolSummary) {
+    if rows.is_empty() {
+        return;
+    }
+    println!(
+        "{:<12} {:<9} {:>9} {:>11} {:>12} {:>12} {:>8} {:>6}",
+        "codec", "dataset", "n_points", "enc_bytes", "batched_Mps", "ref_Mps", "speedup", "equiv"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:<9} {:>9} {:>11} {:>12.2} {:>12.2} {:>7.2}x {:>6}",
+            r.codec,
+            r.dataset,
+            r.n_points,
+            r.encoded_bytes,
+            r.batched_mpoints_s,
+            r.reference_mpoints_s,
+            r.speedup,
+            r.equivalent
+        );
+    }
+    println!(
+        "pool: {} hits / {} misses (hit rate {:.1}%)",
+        pool.pool_hits,
+        pool.pool_misses,
+        pool.hit_rate * 100.0
+    );
+}
+
+/// Headline: worst-case speedup over the real codecs and the pool rate.
+pub fn summarize(rows: &[DecodeRow], pool: &PoolSummary) {
+    let mismatches = rows.iter().filter(|r| !r.equivalent).count();
+    let worst = rows
+        .iter()
+        .filter(|r| r.codec != "plain-i64")
+        .map(|r| r.speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "-- decode: {} cells, {} equivalence failures, worst codec speedup {worst:.2}x, pool hit rate {:.1}%",
+        rows.len(),
+        mismatches,
+        pool.hit_rate * 100.0
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_rows_are_equivalent_and_pool_warms() {
+        // Tiny scale, one repeat: this asserts the hardware-independent
+        // invariants (bit-exact equivalence, warm pool) — NOT the
+        // speedup, which debug builds do not reproduce.
+        let h = Harness::new(0.002, 1).with_datasets(vec![]);
+        let (rows, pool) = run(&h);
+        h.cleanup();
+        assert_eq!(rows.len(), 5);
+        assert!(
+            rows.iter().all(|r| r.equivalent),
+            "kernel mismatch: {rows:?}"
+        );
+        assert!(rows.iter().all(|r| r.batched_mpoints_s > 0.0));
+        assert!(
+            pool.pool_hits > 0,
+            "steady-state chunk reads never hit the pool: {pool:?}"
+        );
+    }
+}

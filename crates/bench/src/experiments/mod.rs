@@ -4,6 +4,7 @@
 
 pub mod ablation;
 pub mod compaction;
+pub mod decode;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

@@ -50,6 +50,12 @@ pub struct BenchMeta {
     pub compaction_interval_ms: u64,
     pub read_threads: usize,
     pub cache_capacity_bytes: u64,
+    /// `std::thread::available_parallelism` on the machine that ran
+    /// the benchmark (0 when the platform cannot report it). Makes the
+    /// "1-core container" caveat machine-readable: a flat thread axis
+    /// in a BENCH artifact with `available_parallelism: 1` is
+    /// hardware, not a regression.
+    pub available_parallelism: usize,
 }
 
 impl BenchMeta {
@@ -66,6 +72,8 @@ impl BenchMeta {
             compaction_interval_ms: config.compaction_interval_ms,
             read_threads: config.read_threads,
             cache_capacity_bytes: config.cache_capacity_bytes,
+            available_parallelism: std::thread::available_parallelism()
+                .map_or(0, std::num::NonZeroUsize::get),
         }
     }
 }

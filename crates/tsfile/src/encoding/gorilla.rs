@@ -53,11 +53,18 @@ pub fn encode(values: &[f64], out: &mut Vec<u8>) {
 }
 
 /// Decode `n` floats produced by [`encode`].
+///
+/// Chunked form of the scalar loop retained in
+/// [`super::reference::gorilla_decode`]: runs of `0` control bits
+/// (repeated values — the dominant case for slowly-moving sensors) are
+/// counted with one `leading_zeros` over the peeked word and emitted in
+/// bulk, and the control/window-header bits are read as 2- and 11-bit
+/// groups instead of bit-by-bit. Byte consumption, output and errors
+/// are identical to the reference; the proptest suite pins this.
 pub fn decode(buf: &[u8], n: usize) -> Result<Vec<f64>> {
-    // `n` comes from on-disk metadata: cap the reservation by what the
-    // buffer could possibly hold (≥1 bit per value after the 64-bit
-    // head) so a corrupt count cannot OOM before BitReader runs dry.
-    let mut out = Vec::with_capacity(n.min(buf.len().saturating_mul(8)));
+    // `n` comes from on-disk metadata; see `cap_for` for why the
+    // reservation is capped.
+    let mut out = Vec::with_capacity(super::cap_for(n, buf.len()));
     if n == 0 {
         return Ok(out);
     }
@@ -67,16 +74,32 @@ pub fn decode(buf: &[u8], n: usize) -> Result<Vec<f64>> {
     let mut leading: u32 = 0;
     let mut trailing: u32 = 0;
     let mut have_window = false;
-    for _ in 1..n {
-        if !r.read_bit()? {
-            out.push(f64::from_bits(prev));
+    while out.len() < n {
+        // Bulk path: each leading `0` in the peeked word is one "xor
+        // was zero" control bit, i.e. one repeat of `prev`.
+        let (word, avail) = r.peek();
+        let zeros = word.leading_zeros().min(avail);
+        if zeros > 0 {
+            let remaining = u32::try_from(n - out.len()).unwrap_or(u32::MAX);
+            let run = zeros.min(remaining);
+            r.consume(run);
+            let v = f64::from_bits(prev);
+            for _ in 0..run {
+                out.push(v);
+            }
             continue;
         }
-        let new_window = r.read_bit()?;
-        if new_window {
-            // 5- and 6-bit reads always fit in u32; low32 is bit-exact here.
-            leading = cast::low32(r.read_bits(5)?);
-            let sig = cast::low32(r.read_bits(6)?) + 1;
+        // The next control bit is `1` (or the stream is exhausted and
+        // this read fails exactly where the reference would): read it
+        // together with the window-select bit.
+        let ctl = r.read_bits(2)?;
+        debug_assert!(ctl & 0b10 != 0);
+        if ctl & 1 == 1 {
+            // New window: 5 bits of leading-zero count, 6 bits of
+            // sig-1, read as one 11-bit group. low32 is bit-exact here.
+            let hdr = r.read_bits(11)?;
+            leading = cast::low32(hdr >> 6);
+            let sig = cast::low32(hdr & 0x3f) + 1;
             if leading + sig > 64 {
                 return Err(TsFileError::Corrupt(format!(
                     "gorilla window out of range: leading={leading} sig={sig}"
@@ -156,7 +179,13 @@ mod tests {
     #[test]
     fn alternating_extremes() -> Result<()> {
         let vs: Vec<f64> = (0..1000)
-            .map(|i| if i % 2 == 0 { f64::MAX } else { f64::MIN_POSITIVE })
+            .map(|i| {
+                if i % 2 == 0 {
+                    f64::MAX
+                } else {
+                    f64::MIN_POSITIVE
+                }
+            })
             .collect();
         roundtrip(&vs)
     }
@@ -176,5 +205,36 @@ mod tests {
         encode(&vs, &mut buf);
         buf.truncate(4);
         assert!(decode(&buf, vs.len()).is_err());
+    }
+
+    #[test]
+    fn matches_scalar_reference() -> Result<()> {
+        use super::super::reference;
+        let shapes: [Vec<f64>; 4] = [
+            vec![21.5; 2000],
+            (0..3000).map(|i| 20.0 + (i as f64 * 0.01).sin()).collect(),
+            (0..500)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        f64::MAX
+                    } else {
+                        f64::MIN_POSITIVE
+                    }
+                })
+                .collect(),
+            vec![1.0, f64::NAN, -0.0, f64::INFINITY, 1.0, 1.0],
+        ];
+        for vs in &shapes {
+            let mut fast = Vec::new();
+            encode(vs, &mut fast);
+            let mut slow = Vec::new();
+            reference::gorilla_encode(vs, &mut slow);
+            assert_eq!(fast, slow, "encoder byte divergence");
+            let a = decode(&fast, vs.len())?;
+            let b = reference::gorilla_decode(&fast, vs.len())?;
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a), bits(&b), "decoder divergence");
+        }
+        Ok(())
     }
 }

@@ -15,9 +15,26 @@
 pub mod bitio;
 pub mod gorilla;
 pub mod plain;
+pub mod reference;
 pub mod ts2diff;
 
 use crate::Result;
+
+/// Audited preallocation cap for decoders whose claimed point count
+/// `n` comes from on-disk metadata.
+///
+/// Every codec spends at least one bit per value (Gorilla's repeat
+/// control bit) and at most the whole buffer on the first value, so
+/// `bytes_present * 8 + 1` bounds how many values `bytes_present`
+/// bytes can possibly encode. Capping `Vec::with_capacity` at that
+/// bound means a corrupt count over a tiny buffer cannot over-reserve
+/// (let alone OOM) before the decode loop runs dry — the decoder still
+/// fails with `UnexpectedEof`, it just fails cheaply. Both arithmetic
+/// steps saturate so `n = usize::MAX` stays harmless.
+#[inline]
+pub fn cap_for(n: usize, bytes_present: usize) -> usize {
+    n.min(bytes_present.saturating_mul(8).saturating_add(1))
+}
 
 /// Which encoding a chunk column uses; stored in the chunk header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,7 +105,11 @@ mod tests {
 
     #[test]
     fn kind_tag_roundtrip() -> crate::Result<()> {
-        for k in [EncodingKind::Plain, EncodingKind::Ts2Diff, EncodingKind::Gorilla] {
+        for k in [
+            EncodingKind::Plain,
+            EncodingKind::Ts2Diff,
+            EncodingKind::Gorilla,
+        ] {
             assert_eq!(EncodingKind::from_u8(k as u8)?, k);
         }
         assert!(EncodingKind::from_u8(77).is_err());
@@ -96,10 +117,25 @@ mod tests {
     }
 
     #[test]
+    fn cap_for_bounds_reservation() {
+        // Honest counts pass through; hostile counts clamp to what the
+        // buffer could hold.
+        assert_eq!(cap_for(100, 1024), 100);
+        assert_eq!(cap_for(usize::MAX, 4), 33);
+        assert_eq!(cap_for(usize::MAX, 0), 1);
+        assert_eq!(cap_for(usize::MAX, usize::MAX), usize::MAX);
+        assert_eq!(cap_for(0, 1024), 0);
+    }
+
+    #[test]
     fn dispatch_roundtrip_all_kinds() -> crate::Result<()> {
         let ts: Vec<i64> = (0..500).map(|i| i * 9000 + (i % 7)).collect();
         let vs: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 100.0).collect();
-        for k in [EncodingKind::Plain, EncodingKind::Ts2Diff, EncodingKind::Gorilla] {
+        for k in [
+            EncodingKind::Plain,
+            EncodingKind::Ts2Diff,
+            EncodingKind::Gorilla,
+        ] {
             let mut tb = Vec::new();
             encode_timestamps(k, &ts, &mut tb);
             assert_eq!(decode_timestamps(k, &tb, ts.len())?, ts);

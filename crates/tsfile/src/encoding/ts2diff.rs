@@ -32,11 +32,18 @@ pub fn encode(ts: &[i64], out: &mut Vec<u8>) {
 }
 
 /// Decode `n` timestamps produced by [`encode`].
+///
+/// Chunked form of the scalar loop retained in
+/// [`super::reference::ts2diff_decode`]: when the next 8 bytes are all
+/// single-byte varints (every delta-of-delta in `[-64, 63]` — the
+/// regular-timestamp common case), one word load replaces 8 byte-loop
+/// varint reads and the 8 prefix sums run branch-free; elsewhere the
+/// word-at-a-time varint reader takes over. Output, byte consumption
+/// and errors are identical to the reference (pinned by proptest).
 pub fn decode(buf: &[u8], n: usize) -> Result<Vec<i64>> {
-    // `n` comes from on-disk metadata: cap the reservation by what the
-    // buffer could possibly hold (≥1 byte per varint) so a corrupt
-    // count cannot OOM before the decode loop hits UnexpectedEof.
-    let mut out = Vec::with_capacity(n.min(buf.len().saturating_add(1)));
+    // `n` comes from on-disk metadata; see `cap_for` for why the
+    // reservation is capped.
+    let mut out = Vec::with_capacity(super::cap_for(n, buf.len()));
     if n == 0 {
         return Ok(out);
     }
@@ -49,8 +56,30 @@ pub fn decode(buf: &[u8], n: usize) -> Result<Vec<i64>> {
     let mut delta = varint::read_i64(buf, &mut pos)?;
     let mut cur = first.wrapping_add(delta);
     out.push(cur);
-    for _ in 2..n {
-        let dod = varint::read_i64(buf, &mut pos)?;
+    while out.len() < n {
+        if n - out.len() >= 8 {
+            let window = pos.checked_add(8).and_then(|end| buf.get(pos..end));
+            if let Some(window) = window {
+                let mut wb = [0u8; 8];
+                for (dst, src) in wb.iter_mut().zip(window) {
+                    *dst = *src;
+                }
+                let word = u64::from_le_bytes(wb);
+                if word & varint::CONT_MASK == 0 {
+                    let mut k = 0u32;
+                    while k < 8 {
+                        let dod = varint::unzigzag((word >> (8 * k)) & 0x7f);
+                        delta = delta.wrapping_add(dod);
+                        cur = cur.wrapping_add(delta);
+                        out.push(cur);
+                        k += 1;
+                    }
+                    pos += 8;
+                    continue;
+                }
+            }
+        }
+        let dod = varint::read_i64_fast(buf, &mut pos)?;
         delta = delta.wrapping_add(dod);
         cur = cur.wrapping_add(delta);
         out.push(cur);
@@ -81,7 +110,10 @@ pub fn decode_until(buf: &[u8], n: usize, limit: i64) -> Result<Vec<i64>> {
         return Ok(out);
     }
     for _ in 2..n {
-        let dod = varint::read_i64(buf, &mut pos)?;
+        // The per-value limit check keeps the loop scalar, but the
+        // word-at-a-time varint read still removes the byte loop
+        // (identical semantics to `reference::ts2diff_decode_until`).
+        let dod = varint::read_i64_fast(buf, &mut pos)?;
         delta = delta.wrapping_add(dod);
         cur = cur.wrapping_add(delta);
         out.push(cur);
@@ -176,5 +208,31 @@ mod tests {
         encode(&ts, &mut buf);
         buf.truncate(buf.len() / 2);
         assert!(decode(&buf, ts.len()).is_err());
+    }
+
+    #[test]
+    fn matches_scalar_reference() -> Result<()> {
+        use super::super::reference;
+        let shapes: [Vec<i64>; 4] = [
+            (0..5000).map(|i| 1_600_000_000_000 + i * 9000).collect(),
+            (0..500).map(|i| i * 9000 + (i % 7) * 13).collect(),
+            vec![i64::MIN, i64::MAX, 0, -5, 1 << 50],
+            vec![100, 50, -50, -51, 0, 7, 7, 7, 7, 7, 7, 7, 7, 7],
+        ];
+        for ts in &shapes {
+            let mut buf = Vec::new();
+            encode(ts, &mut buf);
+            assert_eq!(
+                decode(&buf, ts.len())?,
+                reference::ts2diff_decode(&buf, ts.len())?
+            );
+            for limit in [i64::MIN, 0, ts[ts.len() / 2], i64::MAX] {
+                assert_eq!(
+                    decode_until(&buf, ts.len(), limit)?,
+                    reference::ts2diff_decode_until(&buf, ts.len(), limit)?
+                );
+            }
+        }
+        Ok(())
     }
 }

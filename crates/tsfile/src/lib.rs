@@ -52,6 +52,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod bufpool;
 pub mod cast;
 pub mod checksum;
 pub mod encoding;

@@ -26,6 +26,7 @@
 //! [`PagedChunkInfo`] (CRC-protected there), so a v2 chunk body has no
 //! unprotected header bytes.
 
+use crate::bufpool;
 use crate::checksum::crc32;
 use crate::encoding::{self, EncodingKind};
 use crate::statistics::ChunkStatistics;
@@ -74,7 +75,11 @@ impl PageMeta {
         let offset = varint::read_u64(buf, pos)?;
         let byte_len = varint::read_u64(buf, pos)?;
         let stats = PageStatistics::decode(buf, pos)?;
-        Ok(PageMeta { offset, byte_len, stats })
+        Ok(PageMeta {
+            offset,
+            byte_len,
+            stats,
+        })
     }
 }
 
@@ -124,12 +129,12 @@ impl PagedChunkInfo {
     }
 
     pub(crate) fn decode(buf: &[u8], pos: &mut usize) -> Result<Self> {
-        let ts_tag = *buf
-            .get(*pos)
-            .ok_or(TsFileError::UnexpectedEof { what: "page index ts encoding" })?;
-        let val_tag = *buf
-            .get(*pos + 1)
-            .ok_or(TsFileError::UnexpectedEof { what: "page index val encoding" })?;
+        let ts_tag = *buf.get(*pos).ok_or(TsFileError::UnexpectedEof {
+            what: "page index ts encoding",
+        })?;
+        let val_tag = *buf.get(*pos + 1).ok_or(TsFileError::UnexpectedEof {
+            what: "page index val encoding",
+        })?;
         *pos += 2;
         let ts_encoding = EncodingKind::from_u8(ts_tag)?;
         let val_encoding = EncodingKind::from_u8(val_tag)?;
@@ -145,7 +150,11 @@ impl PagedChunkInfo {
         for _ in 0..n {
             pages.push(PageMeta::decode(buf, pos)?);
         }
-        Ok(PagedChunkInfo { ts_encoding, val_encoding, pages })
+        Ok(PagedChunkInfo {
+            ts_encoding,
+            val_encoding,
+            pages,
+        })
     }
 
     /// Structural invariants of a decoded page index, cross-checked
@@ -206,7 +215,10 @@ pub fn encode_page(
     varint::write_u64(out, cast::u64_from_usize(points.len()));
     let ts: Vec<i64> = points.iter().map(|p| p.t).collect();
     let const_delta = constant_delta(&ts);
-    let mut ts_bytes = Vec::new();
+    // Pooled column scratch: page encode runs once per page on every
+    // flush/compaction; reusing the scratch keeps the write path free
+    // of two heap round-trips per page.
+    let mut ts_bytes = bufpool::take(0);
     match const_delta {
         Some((first, delta)) => {
             out.push(TS_MODE_CONST_DELTA);
@@ -221,7 +233,7 @@ pub fn encode_page(
     varint::write_u64(out, cast::u64_from_usize(ts_bytes.len()));
     out.extend_from_slice(&ts_bytes);
     let vs: Vec<f64> = points.iter().map(|p| p.v).collect();
-    let mut val_bytes = Vec::new();
+    let mut val_bytes = bufpool::take(0);
     encoding::encode_values(val_encoding, &vs, &mut val_bytes);
     varint::write_u64(out, cast::u64_from_usize(val_bytes.len()));
     out.extend_from_slice(&val_bytes);
@@ -261,7 +273,11 @@ fn checked_payload<'a>(body: &'a [u8], what: &'static str) -> Result<&'a [u8]> {
     let expected = u32::from_le_bytes(arr);
     let actual = crc32(payload);
     if actual != expected {
-        return Err(TsFileError::ChecksumMismatch { expected, actual, what });
+        return Err(TsFileError::ChecksumMismatch {
+            expected,
+            actual,
+            what,
+        });
     }
     Ok(payload)
 }
@@ -279,30 +295,41 @@ fn split_page(payload: &[u8]) -> Result<PageColumns<'_>> {
     let n = varint::read_u64(payload, &mut pos)?;
     let n = cast::usize_checked(n)
         .ok_or_else(|| TsFileError::Corrupt("page count unaddressable".into()))?;
-    let ts_mode = *payload
-        .get(pos)
-        .ok_or(TsFileError::UnexpectedEof { what: "page ts mode" })?;
+    let ts_mode = *payload.get(pos).ok_or(TsFileError::UnexpectedEof {
+        what: "page ts mode",
+    })?;
     pos += 1;
     let ts_len = cast::usize_checked(varint::read_u64(payload, &mut pos)?)
         .ok_or_else(|| TsFileError::Corrupt("page ts length unaddressable".into()))?;
     let ts_end = pos
         .checked_add(ts_len)
         .filter(|&e| e <= payload.len())
-        .ok_or(TsFileError::UnexpectedEof { what: "page timestamp column" })?;
-    let ts_col = payload
-        .get(pos..ts_end)
-        .ok_or(TsFileError::UnexpectedEof { what: "page timestamp column" })?;
+        .ok_or(TsFileError::UnexpectedEof {
+            what: "page timestamp column",
+        })?;
+    let ts_col = payload.get(pos..ts_end).ok_or(TsFileError::UnexpectedEof {
+        what: "page timestamp column",
+    })?;
     pos = ts_end;
     let val_len = cast::usize_checked(varint::read_u64(payload, &mut pos)?)
         .ok_or_else(|| TsFileError::Corrupt("page val length unaddressable".into()))?;
     let val_end = pos
         .checked_add(val_len)
         .filter(|&e| e <= payload.len())
-        .ok_or(TsFileError::UnexpectedEof { what: "page value column" })?;
+        .ok_or(TsFileError::UnexpectedEof {
+            what: "page value column",
+        })?;
     let val_col = payload
         .get(pos..val_end)
-        .ok_or(TsFileError::UnexpectedEof { what: "page value column" })?;
-    Ok(PageColumns { n, ts_mode, ts_col, val_col })
+        .ok_or(TsFileError::UnexpectedEof {
+            what: "page value column",
+        })?;
+    Ok(PageColumns {
+        n,
+        ts_mode,
+        ts_col,
+        val_col,
+    })
 }
 
 /// Decode the timestamp column of an already-split page.
@@ -334,7 +361,9 @@ fn decode_ts_column(
             (_, Some(limit)) => encoding::ts2diff::decode_until(cols.ts_col, cols.n, limit),
             (_, None) => encoding::ts2diff::decode(cols.ts_col, cols.n),
         },
-        other => Err(TsFileError::Corrupt(format!("unknown page ts mode {other}"))),
+        other => Err(TsFileError::Corrupt(format!(
+            "unknown page ts mode {other}"
+        ))),
     }
 }
 
@@ -364,7 +393,11 @@ pub fn decode_page(
             cols.n
         )));
     }
-    Ok(ts.into_iter().zip(vs).map(|(t, v)| Point::new(t, v)).collect())
+    Ok(ts
+        .into_iter()
+        .zip(vs)
+        .map(|(t, v)| Point::new(t, v))
+        .collect())
 }
 
 /// Decode only a page's timestamp column, optionally stopping once past
@@ -392,11 +425,17 @@ mod tests {
     use super::*;
 
     fn pts(n: i64, step: i64) -> Vec<Point> {
-        (0..n).map(|i| Point::new(i * step, (i % 13) as f64)).collect()
+        (0..n)
+            .map(|i| Point::new(i * step, (i % 13) as f64))
+            .collect()
     }
 
     fn page_meta(points: &[Point], offset: u64, byte_len: u64) -> Result<PageMeta> {
-        Ok(PageMeta { offset, byte_len, stats: PageStatistics::from_points(points)? })
+        Ok(PageMeta {
+            offset,
+            byte_len,
+            stats: PageStatistics::from_points(points)?,
+        })
     }
 
     #[test]
@@ -409,7 +448,12 @@ mod tests {
             p
         }] {
             let mut body = Vec::new();
-            encode_page(&points, EncodingKind::Ts2Diff, EncodingKind::Gorilla, &mut body);
+            encode_page(
+                &points,
+                EncodingKind::Ts2Diff,
+                EncodingKind::Gorilla,
+                &mut body,
+            );
             let meta = page_meta(&points, 0, body.len() as u64)?;
             let back = decode_page(&body, EncodingKind::Ts2Diff, EncodingKind::Gorilla, &meta)?;
             assert_eq!(back, points);
@@ -421,7 +465,12 @@ mod tests {
     fn constant_delta_page_is_tiny() -> Result<()> {
         let points = pts(1000, 50);
         let mut body = Vec::new();
-        encode_page(&points, EncodingKind::Ts2Diff, EncodingKind::Gorilla, &mut body);
+        encode_page(
+            &points,
+            EncodingKind::Ts2Diff,
+            EncodingKind::Gorilla,
+            &mut body,
+        );
         // Same values, same timestamps except one: breaking the constant
         // delta forces the full per-point stream, so the regular page
         // must be dramatically smaller (two varints vs ~1 byte/point).
@@ -430,7 +479,12 @@ mod tests {
             last.t += 1;
         }
         let mut stream_body = Vec::new();
-        encode_page(&irregular, EncodingKind::Ts2Diff, EncodingKind::Gorilla, &mut stream_body);
+        encode_page(
+            &irregular,
+            EncodingKind::Ts2Diff,
+            EncodingKind::Gorilla,
+            &mut stream_body,
+        );
         assert!(
             body.len() + 500 < stream_body.len(),
             "constant-delta path not taken: {} vs {}",
@@ -449,7 +503,12 @@ mod tests {
     fn singleton_page_roundtrip() -> Result<()> {
         let points = vec![Point::new(42, 6.5)];
         let mut body = Vec::new();
-        encode_page(&points, EncodingKind::Ts2Diff, EncodingKind::Gorilla, &mut body);
+        encode_page(
+            &points,
+            EncodingKind::Ts2Diff,
+            EncodingKind::Gorilla,
+            &mut body,
+        );
         let meta = page_meta(&points, 0, body.len() as u64)?;
         assert_eq!(
             decode_page(&body, EncodingKind::Ts2Diff, EncodingKind::Gorilla, &meta)?,
@@ -462,7 +521,12 @@ mod tests {
     fn page_crc_detects_flip() -> Result<()> {
         let points = pts(50, 10);
         let mut body = Vec::new();
-        encode_page(&points, EncodingKind::Ts2Diff, EncodingKind::Gorilla, &mut body);
+        encode_page(
+            &points,
+            EncodingKind::Ts2Diff,
+            EncodingKind::Gorilla,
+            &mut body,
+        );
         let meta = page_meta(&points, 0, body.len() as u64)?;
         let mid = body.len() / 2;
         if let Some(b) = body.get_mut(mid) {
@@ -479,7 +543,12 @@ mod tests {
     fn timestamps_until_stops_early_in_const_delta() -> Result<()> {
         let points = pts(1000, 10);
         let mut body = Vec::new();
-        encode_page(&points, EncodingKind::Ts2Diff, EncodingKind::Gorilla, &mut body);
+        encode_page(
+            &points,
+            EncodingKind::Ts2Diff,
+            EncodingKind::Gorilla,
+            &mut body,
+        );
         let meta = page_meta(&points, 0, body.len() as u64)?;
         let some = decode_page_timestamps(&body, EncodingKind::Ts2Diff, &meta, Some(205))?;
         assert_eq!(some.last().copied(), Some(210));
@@ -489,8 +558,13 @@ mod tests {
 
     #[test]
     fn pages_overlapping_selects_contiguous_window() -> Result<()> {
-        let chunks: Vec<Vec<Point>> =
-            vec![pts(10, 10), pts(10, 10).iter().map(|p| Point::new(p.t + 200, p.v)).collect()];
+        let chunks: Vec<Vec<Point>> = vec![
+            pts(10, 10),
+            pts(10, 10)
+                .iter()
+                .map(|p| Point::new(p.t + 200, p.v))
+                .collect(),
+        ];
         let mut info = PagedChunkInfo {
             ts_encoding: EncodingKind::Ts2Diff,
             val_encoding: EncodingKind::Gorilla,
@@ -520,21 +594,38 @@ mod tests {
     fn validate_rejects_bad_tiling_and_counts() -> Result<()> {
         let points = pts(20, 5);
         let mut body = Vec::new();
-        encode_page(&points, EncodingKind::Ts2Diff, EncodingKind::Gorilla, &mut body);
+        encode_page(
+            &points,
+            EncodingKind::Ts2Diff,
+            EncodingKind::Gorilla,
+            &mut body,
+        );
         let good = PagedChunkInfo {
             ts_encoding: EncodingKind::Ts2Diff,
             val_encoding: EncodingKind::Gorilla,
             pages: vec![page_meta(&points, 0, body.len() as u64)?],
         };
         good.validate(body.len() as u64, 20)?;
-        assert!(good.validate(body.len() as u64 + 1, 20).is_err(), "gap after last page");
-        assert!(good.validate(body.len() as u64, 21).is_err(), "count mismatch");
+        assert!(
+            good.validate(body.len() as u64 + 1, 20).is_err(),
+            "gap after last page"
+        );
+        assert!(
+            good.validate(body.len() as u64, 21).is_err(),
+            "count mismatch"
+        );
         let mut gapped = good.clone();
         if let Some(p) = gapped.pages.first_mut() {
             p.offset = 4;
         }
-        assert!(gapped.validate(body.len() as u64 + 4, 20).is_err(), "offset gap");
-        let empty = PagedChunkInfo { pages: Vec::new(), ..good };
+        assert!(
+            gapped.validate(body.len() as u64 + 4, 20).is_err(),
+            "offset gap"
+        );
+        let empty = PagedChunkInfo {
+            pages: Vec::new(),
+            ..good
+        };
         assert!(empty.validate(0, 0).is_err());
         Ok(())
     }

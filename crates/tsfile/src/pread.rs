@@ -33,8 +33,20 @@ impl PositionalFile {
         }
         #[cfg(not(unix))]
         {
-            PositionalFile { file: std::sync::Mutex::new(file) }
+            PositionalFile {
+                file: std::sync::Mutex::new(file),
+            }
         }
+    }
+
+    /// Read exactly `len` bytes at the absolute byte `offset` into a
+    /// pooled buffer (see [`crate::bufpool`]): the steady-state form of
+    /// `read_exact_at` that reuses a warm allocation per thread instead
+    /// of `vec![0u8; len]` per call.
+    pub fn read_pooled_at(&self, len: usize, offset: u64) -> io::Result<crate::bufpool::PooledBuf> {
+        let mut buf = crate::bufpool::take(len);
+        self.read_exact_at(&mut buf, offset)?;
+        Ok(buf)
     }
 
     /// Fill `buf` from the absolute byte `offset`. Does not perturb any
@@ -47,8 +59,10 @@ impl PositionalFile {
         #[cfg(not(unix))]
         {
             use std::io::{Read, Seek, SeekFrom};
-            let mut file =
-                self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut file = self
+                .file
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             file.seek(SeekFrom::Start(offset))?;
             file.read_exact(buf)
         }
@@ -83,6 +97,24 @@ mod tests {
                 });
             }
         });
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pooled_read_matches_plain_read() {
+        let dir = std::env::temp_dir().join("tsfile-pread-tests");
+        std::fs::create_dir_all(&dir).ok();
+        let path = dir.join(format!("pooled-{}.bin", std::process::id()));
+        let data: Vec<u8> = (0..255u8).cycle().take(4096).collect();
+        std::fs::write(&path, &data).unwrap();
+        let f = PositionalFile::new(File::open(&path).unwrap());
+        for (len, off) in [(512usize, 0u64), (100, 700), (4096, 0)] {
+            let pooled = f.read_pooled_at(len, off).unwrap();
+            let mut plain = vec![0u8; len];
+            f.read_exact_at(&mut plain, off).unwrap();
+            assert_eq!(&pooled[..], &plain[..]);
+        }
+        assert!(f.read_pooled_at(8, 4094).is_err());
         std::fs::remove_file(&path).ok();
     }
 

@@ -11,6 +11,7 @@ use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::bufpool;
 use crate::checksum::crc32;
 use crate::encoding::{self, EncodingKind};
 use crate::format::{ChunkMeta, FileFooter, FORMAT_V1, FORMAT_V2, MAGIC, MAGIC_V1};
@@ -69,7 +70,7 @@ impl TsFileReader {
             return Err(TsFileError::Corrupt("file too short for trailer".into()));
         }
         file.seek(SeekFrom::End(-(trailer_len as i64)))?;
-        let mut trailer = vec![0u8; trailer_len as usize];
+        let mut trailer = bufpool::take(trailer_len as usize);
         file.read_exact(&mut trailer)?;
         let magic_start = trailer.len().saturating_sub(MAGIC.len());
         let tail_magic = trailer.get(magic_start..).unwrap_or(&[]);
@@ -90,7 +91,7 @@ impl TsFileReader {
             return Err(TsFileError::Corrupt("footer overlaps head magic".into()));
         }
         file.seek(SeekFrom::Start(footer_start))?;
-        let mut body = vec![0u8; body_len as usize];
+        let mut body = bufpool::take(body_len as usize);
         file.read_exact(&mut body)?;
         let actual_crc = crc32(&body);
         if actual_crc != expected_crc {
@@ -141,20 +142,27 @@ impl TsFileReader {
     /// as one monolithic body.
     pub fn read_chunk(&self, meta: &ChunkMeta) -> Result<Vec<Point>> {
         let Some(info) = &meta.paged else {
-            let mut body = vec![0u8; meta.byte_len as usize];
-            self.file.read_exact_at(&mut body, meta.offset)?;
+            let body = self
+                .file
+                .read_pooled_at(meta.byte_len as usize, meta.offset)?;
             self.chunks_read.fetch_add(1, Ordering::Relaxed);
             self.bytes_read.fetch_add(meta.byte_len, Ordering::Relaxed);
             return decode_chunk_body(&body, meta);
         };
-        let mut body = vec![0u8; meta.byte_len as usize];
-        self.file.read_exact_at(&mut body, meta.offset)?;
+        let body = self
+            .file
+            .read_pooled_at(meta.byte_len as usize, meta.offset)?;
         self.chunks_read.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(meta.byte_len, Ordering::Relaxed);
         let mut out = Vec::with_capacity((meta.stats.count as usize).min(body.len()));
         for pm in &info.pages {
             let slice = page_body_slice(&body, pm, 0)?;
-            out.extend(page::decode_page(slice, info.ts_encoding, info.val_encoding, pm)?);
+            out.extend(page::decode_page(
+                slice,
+                info.ts_encoding,
+                info.val_encoding,
+                pm,
+            )?);
         }
         if out.len() as u64 != meta.stats.count {
             return Err(TsFileError::Corrupt(format!(
@@ -177,8 +185,9 @@ impl TsFileReader {
             .pages
             .get(page_no as usize)
             .ok_or_else(|| TsFileError::Corrupt(format!("page {page_no} out of range")))?;
-        let mut body = vec![0u8; pm.byte_len as usize];
-        self.file.read_exact_at(&mut body, meta.offset + pm.offset)?;
+        let body = self
+            .file
+            .read_pooled_at(pm.byte_len as usize, meta.offset + pm.offset)?;
         self.chunks_read.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(pm.byte_len, Ordering::Relaxed);
         page::decode_page(&body, info.ts_encoding, info.val_encoding, pm)
@@ -218,12 +227,17 @@ impl TsFileReader {
             .ok_or_else(|| TsFileError::Corrupt("page window out of range".into()))?;
         let base = first.offset;
         let len = last.offset + last.byte_len - base;
-        let mut buf = vec![0u8; len as usize];
-        self.file.read_exact_at(&mut buf, meta.offset + base)?;
+        let buf = self.file.read_pooled_at(len as usize, meta.offset + base)?;
         self.chunks_read.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(len, Ordering::Relaxed);
         let mut out = Vec::with_capacity(window.len());
-        for (i, pm) in info.pages.iter().enumerate().take(window.end).skip(window.start) {
+        for (i, pm) in info
+            .pages
+            .iter()
+            .enumerate()
+            .take(window.end)
+            .skip(window.start)
+        {
             let slice = page_body_slice(&buf, pm, base)?;
             let pts = page::decode_page(slice, info.ts_encoding, info.val_encoding, pm)?;
             let page_no = u32::try_from(i)
@@ -249,8 +263,9 @@ impl TsFileReader {
             .pages
             .get(page_no as usize)
             .ok_or_else(|| TsFileError::Corrupt(format!("page {page_no} out of range")))?;
-        let mut body = vec![0u8; pm.byte_len as usize];
-        self.file.read_exact_at(&mut body, meta.offset + pm.offset)?;
+        let body = self
+            .file
+            .read_pooled_at(pm.byte_len as usize, meta.offset + pm.offset)?;
         self.chunks_read.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(pm.byte_len, Ordering::Relaxed);
         page::decode_page_timestamps(&body, info.ts_encoding, pm, until)
@@ -264,14 +279,11 @@ impl TsFileReader {
     /// On v2 chunks the probe is page-aware: only the byte prefix up to
     /// the page containing the crossing timestamp is read at all, and
     /// pages past the crossing are never decoded.
-    pub fn read_chunk_timestamps(
-        &self,
-        meta: &ChunkMeta,
-        until: Option<i64>,
-    ) -> Result<Vec<i64>> {
+    pub fn read_chunk_timestamps(&self, meta: &ChunkMeta, until: Option<i64>) -> Result<Vec<i64>> {
         let Some(info) = &meta.paged else {
-            let mut body = vec![0u8; meta.byte_len as usize];
-            self.file.read_exact_at(&mut body, meta.offset)?;
+            let body = self
+                .file
+                .read_pooled_at(meta.byte_len as usize, meta.offset)?;
             self.chunks_read.fetch_add(1, Ordering::Relaxed);
             self.bytes_read.fetch_add(meta.byte_len, Ordering::Relaxed);
             return decode_chunk_timestamps(&body, meta, until);
@@ -289,8 +301,7 @@ impl TsFileReader {
             return Ok(Vec::new());
         };
         let len = last.offset + last.byte_len;
-        let mut buf = vec![0u8; len as usize];
-        self.file.read_exact_at(&mut buf, meta.offset)?;
+        let buf = self.file.read_pooled_at(len as usize, meta.offset)?;
         self.chunks_read.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(len, Ordering::Relaxed);
         let mut out: Vec<i64> = Vec::new();
@@ -301,7 +312,12 @@ impl TsFileReader {
                 }
             }
             let slice = page_body_slice(&buf, pm, 0)?;
-            out.extend(page::decode_page_timestamps(slice, info.ts_encoding, pm, until)?);
+            out.extend(page::decode_page_timestamps(
+                slice,
+                info.ts_encoding,
+                pm,
+                until,
+            )?);
         }
         Ok(out)
     }
@@ -331,7 +347,8 @@ fn page_body_slice<'a>(buf: &'a [u8], pm: &PageMeta, base: u64) -> Result<&'a [u
         .and_then(|l| start.checked_add(l))
         .filter(|&e| e <= buf.len())
         .ok_or(TsFileError::UnexpectedEof { what: "page body" })?;
-    buf.get(start..end).ok_or(TsFileError::UnexpectedEof { what: "page body" })
+    buf.get(start..end)
+        .ok_or(TsFileError::UnexpectedEof { what: "page body" })
 }
 
 /// First four bytes of `bytes` as a little-endian `u32`, if present.
@@ -360,8 +377,9 @@ pub fn decode_chunk_body(body: &[u8], meta: &ChunkMeta) -> Result<Vec<Point>> {
         return Err(TsFileError::UnexpectedEof { what: "chunk body" });
     }
     let (payload, crc_bytes) = body.split_at(body.len() - 4);
-    let expected_crc =
-        le_u32(crc_bytes).ok_or(TsFileError::UnexpectedEof { what: "chunk body crc" })?;
+    let expected_crc = le_u32(crc_bytes).ok_or(TsFileError::UnexpectedEof {
+        what: "chunk body crc",
+    })?;
     let actual_crc = crc32(payload);
     if actual_crc != expected_crc {
         return Err(TsFileError::ChecksumMismatch {
@@ -371,13 +389,13 @@ pub fn decode_chunk_body(body: &[u8], meta: &ChunkMeta) -> Result<Vec<Point>> {
         });
     }
     let mut pos = 0usize;
-    let ts_kind = EncodingKind::from_u8(
-        *payload.get(pos).ok_or(TsFileError::UnexpectedEof { what: "chunk header" })?,
-    )?;
+    let ts_kind = EncodingKind::from_u8(*payload.get(pos).ok_or(TsFileError::UnexpectedEof {
+        what: "chunk header",
+    })?)?;
     pos += 1;
-    let val_kind = EncodingKind::from_u8(
-        *payload.get(pos).ok_or(TsFileError::UnexpectedEof { what: "chunk header" })?,
-    )?;
+    let val_kind = EncodingKind::from_u8(*payload.get(pos).ok_or(TsFileError::UnexpectedEof {
+        what: "chunk header",
+    })?)?;
     pos += 1;
     let n = crate::varint::read_u64(payload, &mut pos)? as usize;
     if n as u64 != meta.stats.count {
@@ -390,22 +408,32 @@ pub fn decode_chunk_body(body: &[u8], meta: &ChunkMeta) -> Result<Vec<Point>> {
     let ts_end = pos
         .checked_add(ts_len)
         .filter(|&e| e <= payload.len())
-        .ok_or(TsFileError::UnexpectedEof { what: "timestamp column" })?;
-    let ts_col = payload
-        .get(pos..ts_end)
-        .ok_or(TsFileError::UnexpectedEof { what: "timestamp column" })?;
+        .ok_or(TsFileError::UnexpectedEof {
+            what: "timestamp column",
+        })?;
+    let ts_col = payload.get(pos..ts_end).ok_or(TsFileError::UnexpectedEof {
+        what: "timestamp column",
+    })?;
     let ts = encoding::decode_timestamps(ts_kind, ts_col, n)?;
     pos = ts_end;
     let val_len = crate::varint::read_u64(payload, &mut pos)? as usize;
     let val_end = pos
         .checked_add(val_len)
         .filter(|&e| e <= payload.len())
-        .ok_or(TsFileError::UnexpectedEof { what: "value column" })?;
+        .ok_or(TsFileError::UnexpectedEof {
+            what: "value column",
+        })?;
     let val_col = payload
         .get(pos..val_end)
-        .ok_or(TsFileError::UnexpectedEof { what: "value column" })?;
+        .ok_or(TsFileError::UnexpectedEof {
+            what: "value column",
+        })?;
     let vs = encoding::decode_values(val_kind, val_col, n)?;
-    Ok(ts.into_iter().zip(vs).map(|(t, v)| Point::new(t, v)).collect())
+    Ok(ts
+        .into_iter()
+        .zip(vs)
+        .map(|(t, v)| Point::new(t, v))
+        .collect())
 }
 
 /// Decode only the timestamp column of a chunk body, optionally
@@ -419,8 +447,9 @@ pub fn decode_chunk_timestamps(
         return Err(TsFileError::UnexpectedEof { what: "chunk body" });
     }
     let (payload, crc_bytes) = body.split_at(body.len() - 4);
-    let expected_crc =
-        le_u32(crc_bytes).ok_or(TsFileError::UnexpectedEof { what: "chunk body crc" })?;
+    let expected_crc = le_u32(crc_bytes).ok_or(TsFileError::UnexpectedEof {
+        what: "chunk body crc",
+    })?;
     let actual_crc = crc32(payload);
     if actual_crc != expected_crc {
         return Err(TsFileError::ChecksumMismatch {
@@ -430,9 +459,9 @@ pub fn decode_chunk_timestamps(
         });
     }
     let mut pos = 0usize;
-    let ts_kind = EncodingKind::from_u8(
-        *payload.get(pos).ok_or(TsFileError::UnexpectedEof { what: "chunk header" })?,
-    )?;
+    let ts_kind = EncodingKind::from_u8(*payload.get(pos).ok_or(TsFileError::UnexpectedEof {
+        what: "chunk header",
+    })?)?;
     pos += 2; // skip value encoding tag too
     let n = crate::varint::read_u64(payload, &mut pos)? as usize;
     if n as u64 != meta.stats.count {
@@ -445,10 +474,12 @@ pub fn decode_chunk_timestamps(
     let ts_end = pos
         .checked_add(ts_len)
         .filter(|&e| e <= payload.len())
-        .ok_or(TsFileError::UnexpectedEof { what: "timestamp column" })?;
-    let col = payload
-        .get(pos..ts_end)
-        .ok_or(TsFileError::UnexpectedEof { what: "timestamp column" })?;
+        .ok_or(TsFileError::UnexpectedEof {
+            what: "timestamp column",
+        })?;
+    let col = payload.get(pos..ts_end).ok_or(TsFileError::UnexpectedEof {
+        what: "timestamp column",
+    })?;
     match (ts_kind, until) {
         (EncodingKind::Plain, _) => {
             // Plain is random-access; an early stop saves little.
@@ -472,7 +503,9 @@ mod tests {
     }
 
     fn series(n: i64, step: i64) -> Vec<Point> {
-        (0..n).map(|i| Point::new(i * step, (i as f64 * 0.1).sin() * 50.0)).collect()
+        (0..n)
+            .map(|i| Point::new(i * step, (i as f64 * 0.1).sin() * 50.0))
+            .collect()
     }
 
     #[test]
@@ -498,7 +531,11 @@ mod tests {
     fn metadata_matches_points() -> Result<()> {
         let p = tmp("meta.tsfile");
         let mut w = TsFileWriter::create(&p)?;
-        let pts = vec![Point::new(10, 5.0), Point::new(20, -2.0), Point::new(30, 8.0)];
+        let pts = vec![
+            Point::new(10, 5.0),
+            Point::new(20, -2.0),
+            Point::new(30, 8.0),
+        ];
         w.write_chunk(&pts, 7)?;
         w.finish()?;
         let r = TsFileReader::open(&p)?;
@@ -535,7 +572,11 @@ mod tests {
         let p = tmp("concurrent.tsfile");
         let mut w = TsFileWriter::create(&p)?;
         let chunks: Vec<Vec<Point>> = (0..8)
-            .map(|c| (0..500).map(|i| Point::new(c * 10_000 + i, (c + i) as f64)).collect())
+            .map(|c| {
+                (0..500)
+                    .map(|i| Point::new(c * 10_000 + i, (c + i) as f64))
+                    .collect()
+            })
             .collect();
         for (i, c) in chunks.iter().enumerate() {
             w.write_chunk(c, i as u64 + 1)?;
@@ -561,7 +602,8 @@ mod tests {
                 }));
             }
             for h in handles {
-                h.join().map_err(|_| TsFileError::Corrupt("reader thread panicked".into()))??;
+                h.join()
+                    .map_err(|_| TsFileError::Corrupt("reader thread panicked".into()))??;
             }
             Ok::<(), TsFileError>(())
         })?;
@@ -575,8 +617,9 @@ mod tests {
         let mut w = TsFileWriter::create(&p)?;
         w.set_page_points(100);
         // Irregular-ish: break constant delta so the stream path is hit too.
-        let pts: Vec<Point> =
-            (0..1000).map(|i| Point::new(i * 10 + (i % 7), i as f64)).collect();
+        let pts: Vec<Point> = (0..1000)
+            .map(|i| Point::new(i * 10 + (i % 7), i as f64))
+            .collect();
         w.write_chunk(&pts, 1)?;
         w.finish()?;
         let r = TsFileReader::open(&p)?;
@@ -590,7 +633,10 @@ mod tests {
         // A narrow range decodes only the overlapping pages.
         let span = TimeRange::new(2_500, 3_500); // pages 2 and 3 (t ≈ idx*10)
         let pages = r.read_pages_overlapping(meta, span)?;
-        assert_eq!(pages.iter().map(|(no, _)| *no).collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(
+            pages.iter().map(|(no, _)| *no).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
         let decoded: usize = pages.iter().map(|(_, p)| p.len()).sum();
         assert_eq!(decoded, 200, "exactly two 100-point pages");
         for (no, page_pts) in &pages {
@@ -599,7 +645,9 @@ mod tests {
 
         // Disjoint range: no pages, no I/O.
         let before = r.chunks_read();
-        assert!(r.read_pages_overlapping(meta, TimeRange::new(20_000, 30_000))?.is_empty());
+        assert!(r
+            .read_pages_overlapping(meta, TimeRange::new(20_000, 30_000))?
+            .is_empty());
         assert_eq!(r.chunks_read(), before);
 
         // Single-page read and its timestamp-only variant.
@@ -654,7 +702,10 @@ mod tests {
     fn rejects_non_tsfile() -> Result<()> {
         let p = tmp("garbage.bin");
         std::fs::write(&p, b"this is definitely not a tsfile at all")?;
-        assert!(matches!(TsFileReader::open(&p), Err(TsFileError::BadMagic { .. })));
+        assert!(matches!(
+            TsFileReader::open(&p),
+            Err(TsFileError::BadMagic { .. })
+        ));
         Ok(())
     }
 

@@ -4,7 +4,12 @@
 
 // Tests assert by panicking; the workspace panic-freedom deny-set
 // (root Cargo.toml) is aimed at library code.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
 
 use proptest::prelude::*;
 use tsfile::types::Point;
@@ -12,7 +17,9 @@ use tsfile::{ModsFile, TsFileReader, TsFileWriter};
 
 fn sample_file(path: &std::path::Path) -> Vec<u8> {
     let mut w = TsFileWriter::create(path).unwrap();
-    let pts: Vec<Point> = (0..500).map(|i| Point::new(i * 100, (i % 17) as f64)).collect();
+    let pts: Vec<Point> = (0..500)
+        .map(|i| Point::new(i * 100, (i % 17) as f64))
+        .collect();
     w.write_chunk(&pts[..250], 1).unwrap();
     w.write_chunk(&pts[250..], 2).unwrap();
     w.finish().unwrap();
@@ -185,6 +192,23 @@ proptest! {
         let _ = tsfile::encoding::gorilla::decode(&bytes, n);
         let _ = tsfile::encoding::plain::decode_i64(&bytes, n);
         let _ = tsfile::encoding::plain::decode_f64(&bytes, n);
+    }
+
+    /// The shared prealloc bound behind the decoders: a huge claimed
+    /// `n` over a tiny buffer reserves at most one slot per encoded
+    /// bit (plus one), so the decoders above can never over-reserve
+    /// before their first read fails. Also pins the audited helper's
+    /// arithmetic at the extremes.
+    #[test]
+    fn huge_claimed_counts_cannot_over_reserve(
+        bytes in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let cap = tsfile::encoding::cap_for(usize::MAX, bytes.len());
+        prop_assert!(cap <= bytes.len() * 8 + 1);
+        // A tiny buffer cannot satisfy a huge count: both column
+        // decoders must error rather than fabricate points.
+        prop_assert!(tsfile::encoding::gorilla::decode(&bytes, usize::MAX).is_err());
+        prop_assert!(tsfile::encoding::ts2diff::decode(&bytes, usize::MAX).is_err());
     }
 
     /// Flip one byte of a valid mods log: replay must never panic and

@@ -83,6 +83,14 @@ pub struct IoSnapshot {
     /// Scheduled compactions that found nothing to do (lost a race
     /// with a manual compact or an in-flight one) or failed.
     pub compactions_skipped: u64,
+    /// Pooled read-buffer takes served from a thread freelist
+    /// (process-wide: the pool in `tsfile::bufpool` is shared by every
+    /// store in the process, so deltas — not absolutes — are the
+    /// meaningful per-workload reading).
+    pub pool_hits: u64,
+    /// Pooled read-buffer takes that had to allocate (process-wide,
+    /// see `pool_hits`).
+    pub pool_misses: u64,
 }
 
 impl IoStats {
@@ -162,8 +170,12 @@ impl IoStats {
         self.compactions_skipped.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Capture current counter values.
+    /// Capture current counter values. The buffer-pool counters come
+    /// from the process-wide pool in `tsfile::bufpool` rather than
+    /// per-engine atomics, so every snapshot carries them without the
+    /// read path having to thread a stats handle into `tsfile`.
     pub fn snapshot(&self) -> IoSnapshot {
+        let (pool_hits, pool_misses) = tsfile::bufpool::pool_counters();
         IoSnapshot {
             chunks_loaded: self.chunks_loaded.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
@@ -184,6 +196,8 @@ impl IoStats {
             compactions_scheduled: self.compactions_scheduled.load(Ordering::Relaxed),
             compactions_completed: self.compactions_completed.load(Ordering::Relaxed),
             compactions_skipped: self.compactions_skipped.load(Ordering::Relaxed),
+            pool_hits,
+            pool_misses,
         }
     }
 }
@@ -211,6 +225,8 @@ impl std::ops::Sub for IoSnapshot {
             compactions_scheduled: self.compactions_scheduled - rhs.compactions_scheduled,
             compactions_completed: self.compactions_completed - rhs.compactions_completed,
             compactions_skipped: self.compactions_skipped - rhs.compactions_skipped,
+            pool_hits: self.pool_hits - rhs.pool_hits,
+            pool_misses: self.pool_misses - rhs.pool_misses,
         }
     }
 }
@@ -258,6 +274,16 @@ mod tests {
         assert_eq!(snap.compactions_scheduled, 1);
         assert_eq!(snap.compactions_completed, 1);
         assert_eq!(snap.compactions_skipped, 1);
+    }
+
+    #[test]
+    fn snapshot_carries_pool_counters() {
+        // Exercise the pool, then check the process-wide counters flow
+        // into the snapshot.
+        drop(tsfile::bufpool::take(64));
+        let _warm = tsfile::bufpool::take(64);
+        let snap = IoStats::default().snapshot();
+        assert!(snap.pool_hits + snap.pool_misses > 0);
     }
 
     #[test]

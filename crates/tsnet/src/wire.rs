@@ -36,8 +36,10 @@ use crate::Result;
 
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"TSN1";
-/// Protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// Protocol version this build speaks. v2 appended the buffer-pool
+/// hit/miss counters to the Stats io block (PR 7); v1 peers are
+/// rejected rather than silently mis-framed.
+pub const VERSION: u8 = 2;
 /// Bytes before the payload (magic + version + kind + len).
 pub const HEADER_LEN: usize = 10;
 /// Bytes after the payload (payload CRC32).
@@ -76,12 +78,19 @@ pub enum Request {
         w: u32,
     },
     /// Versioned range tombstone on one series.
-    Delete { series: String, start: i64, end: i64 },
+    Delete {
+        series: String,
+        start: i64,
+        end: i64,
+    },
     /// Engine + server counters. Control-plane: bypasses admission.
     Stats,
     /// Flush (and optionally compact) one series or every series —
     /// test/bench orchestration, mirroring the in-process harness.
-    FlushSeal { series: Option<String>, compact: bool },
+    FlushSeal {
+        series: Option<String>,
+        compact: bool,
+    },
 }
 
 /// A request plus its envelope fields.
@@ -99,10 +108,14 @@ pub struct RequestEnvelope {
 pub enum Response {
     Pong,
     /// Points accepted by `WriteBatch`.
-    Written { points: u64 },
+    Written {
+        points: u64,
+    },
     /// Per-span M4 representations (`None` = empty span), exactly the
     /// `spans` of an [`m4::M4Result`].
-    M4 { spans: Vec<Option<SpanRepr>> },
+    M4 {
+        spans: Vec<Option<SpanRepr>>,
+    },
     Deleted,
     /// Engine I/O counters and server counters. Boxed: the two
     /// snapshot blocks dwarf every other variant, and responses are
@@ -113,9 +126,14 @@ pub enum Response {
         server: Box<ServerStatsSnapshot>,
     },
     /// Series flushed (and compacted when requested) by `FlushSeal`.
-    Flushed { series_flushed: u32 },
+    Flushed {
+        series_flushed: u32,
+    },
     /// Typed failure.
-    Error { code: ErrorCode, detail: String },
+    Error {
+        code: ErrorCode,
+        detail: String,
+    },
 }
 
 /// A decoded frame: what kind of payload it carried.
@@ -291,6 +309,8 @@ fn encode_response_payload(resp: &Response) -> Result<Vec<u8>> {
                 io.pages_decoded,
                 io.pages_skipped,
                 io.pages_stat_answered,
+                io.pool_hits,
+                io.pool_misses,
             ] {
                 put_u64(&mut out, v);
             }
@@ -312,12 +332,10 @@ fn encode_response_payload(resp: &Response) -> Result<Vec<u8>> {
             ] {
                 put_u64(&mut out, v);
             }
-            let n = u32::try_from(server.latency_counts.len()).map_err(|_| {
-                NetError::TooLarge {
-                    context: "latency bucket count",
-                    len: server.latency_counts.len() as u64,
-                    max: LATENCY_BUCKETS as u64,
-                }
+            let n = u32::try_from(server.latency_counts.len()).map_err(|_| NetError::TooLarge {
+                context: "latency bucket count",
+                len: server.latency_counts.len() as u64,
+                max: LATENCY_BUCKETS as u64,
             })?;
             put_u32(&mut out, n);
             for c in &server.latency_counts {
@@ -406,7 +424,9 @@ impl<'a> Cursor<'a> {
 
     fn u8(&mut self) -> Result<u8> {
         let b = self.take(1)?;
-        b.first().copied().ok_or(NetError::Truncated { needed: 1, got: 0 })
+        b.first()
+            .copied()
+            .ok_or(NetError::Truncated { needed: 1, got: 0 })
     }
 
     fn u16(&mut self) -> Result<u16> {
@@ -590,6 +610,8 @@ fn decode_io_snapshot(c: &mut Cursor<'_>) -> Result<IoSnapshot> {
         pages_decoded: c.u64()?,
         pages_skipped: c.u64()?,
         pages_stat_answered: c.u64()?,
+        pool_hits: c.u64()?,
+        pool_misses: c.u64()?,
     })
 }
 
@@ -759,12 +781,14 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize)> {
 }
 
 /// Read one frame off a blocking stream. `max_payload_bytes` bounds
-/// the allocation a peer can demand.
+/// the allocation a peer can demand. The payload staging buffer comes
+/// from the tsfile buffer pool: a server worker thread decoding one
+/// frame per request reuses the same warm allocation.
 pub fn read_frame(r: &mut impl Read, max_payload_bytes: u32) -> Result<Frame> {
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)?;
     let (kind, len) = decode_header(&header, max_payload_bytes)?;
-    let mut payload = vec![0u8; len];
+    let mut payload = tsfile::bufpool::take(len);
     r.read_exact(&mut payload)?;
     let mut crc_bytes = [0u8; TRAILER_LEN];
     r.read_exact(&mut crc_bytes)?;
@@ -787,7 +811,12 @@ pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> Result<()> {
 mod tests {
     // Tests assert by panicking; the workspace deny-set targets
     // library code.
-    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
 
     use super::*;
 

@@ -41,7 +41,10 @@ fn point_strategy() -> impl Strategy<Value = Point> {
 }
 
 fn request_strategy() -> impl Strategy<Value = Request> {
-    let entry = (name_strategy(), prop::collection::vec(point_strategy(), 0..=16));
+    let entry = (
+        name_strategy(),
+        prop::collection::vec(point_strategy(), 0..=16),
+    );
     prop_oneof![
         any::<u32>().prop_map(|delay_ms| Request::Ping { delay_ms }),
         prop::collection::vec(entry, 0..=4).prop_map(|entries| Request::WriteBatch { entries }),
@@ -59,9 +62,8 @@ fn request_strategy() -> impl Strategy<Value = Request> {
                 t_qe,
                 w,
             }),
-        (name_strategy(), any::<i64>(), any::<i64>()).prop_map(|(series, start, end)| {
-            Request::Delete { series, start, end }
-        }),
+        (name_strategy(), any::<i64>(), any::<i64>())
+            .prop_map(|(series, start, end)| { Request::Delete { series, start, end } }),
         Just(Request::Stats),
         (any::<bool>(), name_strategy(), any::<bool>()).prop_map(|(named, name, compact)| {
             Request::FlushSeal {
@@ -96,7 +98,7 @@ fn span_strategy() -> impl Strategy<Value = Option<m4::SpanRepr>> {
 }
 
 fn io_snapshot_strategy() -> impl Strategy<Value = IoSnapshot> {
-    prop::collection::vec(any::<u64>(), 19usize).prop_map(|v| IoSnapshot {
+    prop::collection::vec(any::<u64>(), 21usize).prop_map(|v| IoSnapshot {
         chunks_loaded: v[0],
         bytes_read: v[1],
         points_decoded: v[2],
@@ -116,6 +118,8 @@ fn io_snapshot_strategy() -> impl Strategy<Value = IoSnapshot> {
         pages_decoded: v[16],
         pages_skipped: v[17],
         pages_stat_answered: v[18],
+        pool_hits: v[19],
+        pool_misses: v[20],
     })
 }
 
@@ -149,11 +153,12 @@ fn response_strategy() -> impl Strategy<Value = Response> {
         any::<u64>().prop_map(|points| Response::Written { points }),
         prop::collection::vec(span_strategy(), 0..=24).prop_map(|spans| Response::M4 { spans }),
         Just(Response::Deleted),
-        (io_snapshot_strategy(), server_snapshot_strategy())
-            .prop_map(|(io, server)| Response::Stats {
+        (io_snapshot_strategy(), server_snapshot_strategy()).prop_map(|(io, server)| {
+            Response::Stats {
                 io: Box::new(io),
                 server: Box::new(server),
-            }),
+            }
+        }),
         any::<u32>().prop_map(|series_flushed| Response::Flushed { series_flushed }),
         (0u8..=5, name_strategy()).prop_map(|(tag, detail)| Response::Error {
             code: ErrorCode::from_wire(tag).unwrap(),

@@ -112,10 +112,16 @@ const UNTRUSTED_INPUT_FILES: &[&str] = &[
     "crates/tsfile/src/varint.rs",
     "crates/tsfile/src/mods.rs",
     "crates/tsfile/src/statistics.rs",
+    // bufpool hands out the buffers every raw disk/network byte lands
+    // in; a slip here corrupts what the parsers above read.
+    "crates/tsfile/src/bufpool.rs",
     "crates/tsfile/src/encoding/bitio.rs",
     "crates/tsfile/src/encoding/gorilla.rs",
     "crates/tsfile/src/encoding/plain.rs",
     "crates/tsfile/src/encoding/ts2diff.rs",
+    // The retained scalar oracles parse the same raw bytes the
+    // production kernels do.
+    "crates/tsfile/src/encoding/reference.rs",
     "crates/tskv/src/wal.rs",
     "crates/tsnet/src/wire.rs",
 ];
@@ -145,6 +151,7 @@ const L3_FILES: &[&str] = &[
     "crates/tsfile/src/encoding/gorilla.rs",
     "crates/tsfile/src/encoding/plain.rs",
     "crates/tsfile/src/encoding/ts2diff.rs",
+    "crates/tsfile/src/encoding/reference.rs",
     "crates/tskv/src/chunk.rs",
     "crates/tskv/src/snapshot.rs",
     "crates/tskv/src/wal.rs",
@@ -160,6 +167,7 @@ const L4_FILES: &[&str] = &[
     "crates/tsfile/src/encoding/gorilla.rs",
     "crates/tsfile/src/encoding/plain.rs",
     "crates/tsfile/src/encoding/ts2diff.rs",
+    "crates/tsfile/src/encoding/reference.rs",
 ];
 
 /// Files containing the accept/dispatch path under the L5 blocking ban.
@@ -449,6 +457,10 @@ mod tests {
         assert!(r.l1 && r.l2 && !r.l3);
         let r = rules_for("crates/m4/src/pool.rs");
         assert!(r.l1 && r.l2 && !r.l3);
+        let r = rules_for("crates/tsfile/src/bufpool.rs");
+        assert!(r.l1 && r.l1_indexing && !r.l2 && !r.l3 && !r.l4);
+        let r = rules_for("crates/tsfile/src/encoding/reference.rs");
+        assert!(r.l1 && r.l1_indexing && !r.l2 && r.l3 && r.l4);
         let r = rules_for("crates/tsnet/src/wire.rs");
         assert!(r.l1 && r.l1_indexing && !r.l2 && r.l3 && !r.l4 && !r.l5 && r.l6);
         let r = rules_for("crates/tsnet/src/server.rs");

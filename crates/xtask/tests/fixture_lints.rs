@@ -115,6 +115,16 @@ fn l2_fixture_flags_conn_pool_guard_across_spawn_io() {
 }
 
 #[test]
+fn l2_fixture_flags_bufpool_stripe_guard_across_read() {
+    let v = lint_fixture("l2_bufpool_guard.rs", Rule::L2);
+    assert!(
+        v.iter()
+            .any(|v| v.message.contains("read_exact_at") && v.message.contains("guard")),
+        "{v:?}"
+    );
+}
+
+#[test]
 fn l3_fixture_flags_infallible_decode_entry_point() {
     let v = lint_fixture("l3_infallible_decode.rs", Rule::L3);
     assert!(
@@ -266,6 +276,7 @@ fn cli_exits_nonzero_on_each_fixture() {
         "l2_guard_across_cache.rs",
         "l2_scheduler_lock_phase.rs",
         "l2_conn_pool_guard.rs",
+        "l2_bufpool_guard.rs",
         "l3_infallible_decode.rs",
         "l4_unchecked_cast.rs",
         "l2_helper_guard.rs",

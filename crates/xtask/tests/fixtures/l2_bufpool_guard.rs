@@ -1,0 +1,19 @@
+//! L2 fixture: the buffer-pool shape the thread-local freelist in
+//! `tsfile::bufpool` deliberately avoids — a lock-striped pool whose
+//! stripe guard is still live when the borrowed buffer is filled by a
+//! positional read. Holding the stripe lock across `read_exact_at`
+//! serializes every concurrent chunk load behind one freelist mutex,
+//! exactly the fused lock+I/O section the scan must reject. Names
+//! avoid the L3 fallible prefixes and there are no panic sites,
+//! indexing, or casts, so only L2 may fire.
+
+struct StripedPool;
+
+impl StripedPool {
+    fn fill_buffer(&self, offset: u64) {
+        let mut stripe = self.stripes.lock();
+        let buf = stripe.pop_buffer();
+        self.file.read_exact_at(buf, offset);
+        stripe.push_buffer(buf);
+    }
+}

@@ -15,7 +15,13 @@ fn bench_vary_deletes(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig13/KOB");
     group.sample_size(10);
     for n_deletes in [0usize, 20, 50] {
-        let fx = h.build_store(&format!("bd-{n_deletes}"), Dataset::Kob, 0.0, n_deletes, 60_000);
+        let fx = h.build_store(
+            &format!("bd-{n_deletes}"),
+            Dataset::Kob,
+            0.0,
+            n_deletes,
+            60_000,
+        );
         let snap = fx.kv.snapshot("s").expect("snapshot");
         let q = fx.full_query(1000);
         group.bench_with_input(BenchmarkId::new("M4-UDF", n_deletes), &q, |b, q| {

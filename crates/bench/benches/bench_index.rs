@@ -14,7 +14,8 @@ use workload::timestamps;
 fn bench_index_ops(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(99);
     // A KOB-like chunk: regular with gaps, 10k points.
-    let ts = timestamps::regular_with_gaps(1_600_000_000_000, 5_000, 10_000, 1_000, 3_600_000, &mut rng);
+    let ts =
+        timestamps::regular_with_gaps(1_600_000_000_000, 5_000, 10_000, 1_000, 3_600_000, &mut rng);
     let idx = StepIndex::learn(&ts).expect("model fits");
     let probes: Vec<i64> = (0..1024)
         .map(|_| {
@@ -24,32 +25,50 @@ fn bench_index_ops(c: &mut Criterion) {
         .collect();
 
     let mut group = c.benchmark_group("index/exists_at");
-    group.bench_with_input(BenchmarkId::new("step-regression", ts.len()), &probes, |b, probes| {
-        b.iter(|| {
-            let mut hits = 0usize;
-            for &t in probes {
-                hits += usize::from(idx.exists_at(&ts, t));
-            }
-            hits
-        })
-    });
-    group.bench_with_input(BenchmarkId::new("binary-search", ts.len()), &probes, |b, probes| {
-        b.iter(|| {
-            let mut hits = 0usize;
-            for &t in probes {
-                hits += usize::from(binary_search_ops::exists_at(&ts, t));
-            }
-            hits
-        })
-    });
+    group.bench_with_input(
+        BenchmarkId::new("step-regression", ts.len()),
+        &probes,
+        |b, probes| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &t in probes {
+                    hits += usize::from(idx.exists_at(&ts, t));
+                }
+                hits
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("binary-search", ts.len()),
+        &probes,
+        |b, probes| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &t in probes {
+                    hits += usize::from(binary_search_ops::exists_at(&ts, t));
+                }
+                hits
+            })
+        },
+    );
     group.finish();
 
     let mut group = c.benchmark_group("index/first_after");
     group.bench_function("step-regression", |b| {
-        b.iter(|| probes.iter().filter_map(|&t| idx.first_after(&ts, t)).count())
+        b.iter(|| {
+            probes
+                .iter()
+                .filter_map(|&t| idx.first_after(&ts, t))
+                .count()
+        })
     });
     group.bench_function("binary-search", |b| {
-        b.iter(|| probes.iter().filter_map(|&t| binary_search_ops::first_after(&ts, t)).count())
+        b.iter(|| {
+            probes
+                .iter()
+                .filter_map(|&t| binary_search_ops::first_after(&ts, t))
+                .count()
+        })
     });
     group.finish();
 }

@@ -19,12 +19,16 @@ fn bench_vary_range(c: &mut Criterion) {
     for denom in [8i64, 2, 1] {
         let len = (full / denom).max(1000);
         let q = M4Query::new(fx.t_min, fx.t_min + len, 1000).unwrap();
-        group.bench_with_input(BenchmarkId::new("M4-UDF", format!("1/{denom}")), &q, |b, q| {
-            b.iter(|| M4Udf::new().execute(&snap, q).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("M4-LSM", format!("1/{denom}")), &q, |b, q| {
-            b.iter(|| M4Lsm::new().execute(&snap, q).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("M4-UDF", format!("1/{denom}")),
+            &q,
+            |b, q| b.iter(|| M4Udf::new().execute(&snap, q).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("M4-LSM", format!("1/{denom}")),
+            &q,
+            |b, q| b.iter(|| M4Lsm::new().execute(&snap, q).unwrap()),
+        );
     }
     group.finish();
     h.cleanup();

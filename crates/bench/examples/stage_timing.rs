@@ -28,7 +28,11 @@ fn main() {
     for threads in [1usize, 4] {
         let kv = TsKv::open(
             &dir,
-            EngineConfig { enable_read_cache: false, read_threads: threads, ..Default::default() },
+            EngineConfig {
+                enable_read_cache: false,
+                read_threads: threads,
+                ..Default::default()
+            },
         )
         .unwrap();
         let snap = kv.snapshot("s").unwrap();
@@ -44,7 +48,10 @@ fn main() {
         let page_runs: Vec<_> = pool::run_indexed(threads, plan.len(), |i| {
             let c = &plan[i];
             let pages = snap.read_points_in(c, q.full_range()).unwrap();
-            Ok(pages.into_iter().map(|(_, pts)| (c.version, pts)).collect::<Vec<_>>())
+            Ok(pages
+                .into_iter()
+                .map(|(_, pts)| (c.version, pts))
+                .collect::<Vec<_>>())
         })
         .unwrap();
         let runs: Vec<_> = page_runs.into_iter().flatten().collect();

@@ -28,12 +28,13 @@
 
 use std::io::Write;
 
+use bench::experiments::compaction::{self, CompactionReport, CompactionRow};
 use bench::experiments::decode::{self, DecodeReport, DecodeRow, PoolSummary};
 use bench::experiments::ingest::{self, IngestReport, IngestRow};
 use bench::experiments::pages::{self, PagesReport, PagesRow};
 use bench::experiments::serve::{self, ServeReport, ServeRow};
 use bench::experiments::{
-    ablation, compaction, fig10, fig11, fig12, fig13, fig14, fig8, parallel, pixels, table2,
+    ablation, fig10, fig11, fig12, fig13, fig14, fig8, parallel, pixels, table2,
 };
 use bench::harness::{print_table, BenchMeta, BenchReport, ExpRow, Harness};
 use tskv::config::EngineConfig;
@@ -117,7 +118,6 @@ fn main() {
             "fig13" => fig13::run(h),
             "fig14" => fig14::run(h),
             "ablation" => ablation::run(h),
-            "compaction" => compaction::run(h),
             "parallel" => parallel::run(h),
             _ => unreachable!(),
         };
@@ -137,18 +137,18 @@ fn main() {
         fig8::run(&h);
     }
     for name in [
-        "fig10",
-        "fig11",
-        "fig12",
-        "fig13",
-        "fig14",
-        "ablation",
-        "compaction",
-        "parallel",
+        "fig10", "fig11", "fig12", "fig13", "fig14", "ablation", "parallel",
     ] {
         if all || args.exp == name {
             run_measured(name, &mut rows, &h);
         }
+    }
+    let mut compaction_rows: Vec<CompactionRow> = Vec::new();
+    if all || args.exp == "compaction" {
+        println!("\n== compaction ==");
+        compaction_rows = compaction::run(&h);
+        compaction::print(&compaction_rows);
+        compaction::summarize(&compaction_rows);
     }
     if all || args.exp == "pixels" {
         println!("\n== pixels ==");
@@ -187,7 +187,16 @@ fn main() {
 
     if let Some(path) = &args.out {
         let meta = BenchMeta::new(&h, &EngineConfig::default());
-        let (json, n) = if args.exp == "pages" {
+        let (json, n) = if args.exp == "compaction" {
+            let report = CompactionReport {
+                meta,
+                rows: compaction_rows,
+            };
+            (
+                serde_json::to_string_pretty(&report).expect("serialize compaction report"),
+                report.rows.len(),
+            )
+        } else if args.exp == "pages" {
             let report = PagesReport {
                 meta,
                 rows: pages_rows,
@@ -222,6 +231,11 @@ fn main() {
                 report.rows.len(),
             )
         } else {
+            if !compaction_rows.is_empty() {
+                println!(
+                    "\nnote: compaction rows are only serialized by `--exp compaction --out ...`"
+                );
+            }
             if !pages_rows.is_empty() {
                 println!("\nnote: pages rows are only serialized by `--exp pages --out ...`");
             }

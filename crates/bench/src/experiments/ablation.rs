@@ -15,9 +15,27 @@ pub const W: usize = 1000;
 
 /// Variants measured by the ablation.
 const VARIANTS: [(&str, M4LsmConfig); 3] = [
-    ("LSM-full", M4LsmConfig { lazy_load: true, use_step_index: true }),
-    ("LSM-noidx", M4LsmConfig { lazy_load: true, use_step_index: false }),
-    ("LSM-eager", M4LsmConfig { lazy_load: false, use_step_index: true }),
+    (
+        "LSM-full",
+        M4LsmConfig {
+            lazy_load: true,
+            use_step_index: true,
+        },
+    ),
+    (
+        "LSM-noidx",
+        M4LsmConfig {
+            lazy_load: true,
+            use_step_index: false,
+        },
+    ),
+    (
+        "LSM-eager",
+        M4LsmConfig {
+            lazy_load: false,
+            use_step_index: true,
+        },
+    ),
 ];
 
 pub fn run(h: &Harness) -> Vec<ExpRow> {
@@ -31,7 +49,11 @@ pub fn run(h: &Harness) -> Vec<ExpRow> {
         for (name, cfg) in VARIANTS {
             let m = h.time_query(&snap, &q, Operator::LsmConfigured(cfg));
             if let Some(r) = &reference {
-                assert!(m.result.equivalent(r), "{name} deviates on {}", dataset.name());
+                assert!(
+                    m.result.equivalent(r),
+                    "{name} deviates on {}",
+                    dataset.name()
+                );
             } else {
                 reference = Some(m.result.clone());
             }
@@ -62,7 +84,10 @@ mod tests {
         let rows = run(&h);
         h.cleanup();
         for &dataset in h.datasets.iter() {
-            let per: Vec<_> = rows.iter().filter(|r| r.dataset == dataset.name()).collect();
+            let per: Vec<_> = rows
+                .iter()
+                .filter(|r| r.dataset == dataset.name())
+                .collect();
             let full = per.iter().find(|r| r.operator == "LSM-full").unwrap();
             let eager = per.iter().find(|r| r.operator == "LSM-eager").unwrap();
             assert!(

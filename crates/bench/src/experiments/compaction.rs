@@ -1,32 +1,374 @@
-//! A3 — compaction experiment (beyond the paper): the paper disables
-//! compaction (Table 4) and shows M4-LSM coping with the resulting
-//! overlap and tombstones. Here we measure the same overlap-heavy,
-//! delete-heavy store *before and after* full compaction:
+//! A3 — compaction write-amplification grid (beyond the paper): the
+//! paper disables compaction (Table 4); this experiment measures the
+//! engine's page-aware, policy-driven compaction instead.
 //!
-//! * M4-UDF should improve sharply after compaction (nothing left to
-//!   heap-merge or filter).
-//! * M4-LSM should improve only mildly — merge-freedom already priced
-//!   the mess in — and the two should converge.
+//! The grid is **policy × page size × ingest pattern**. Every cell
+//! builds two stores that ingest the identical workload and then
+//! compact to quiescence:
+//!
+//! * the *clean-copy* store runs the cell's selection policy with the
+//!   page-level rewrite-avoidance path on — pages provably untouched
+//!   by overlap or newer deletes are copied byte-for-byte;
+//! * the *full-rewrite twin* compacts the seed way, decoding and
+//!   re-encoding every input point. Its output bytes are the cell's
+//!   `bytes_logically_merged` — what compaction would write without
+//!   the fast path.
+//!
+//! `bytes_rewritten / bytes_logically_merged` is therefore the write
+//! amplification the clean-page path avoids. Correctness is checked
+//! per cell: M4-UDF must be *byte-identical* across the twins (copied
+//! pages carry the exact original points) and M4-LSM on both stores
+//! must stay Definition-2.1-equivalent to an in-memory oracle.
+//!
+//! Patterns:
+//! * `append` — mostly in-order flushes with one small trailing
+//!   overwrite (so overlap-driven policies still see a merge chain);
+//!   nearly every page is clean and the fast path should collapse
+//!   `bytes_rewritten`.
+//! * `overwrite` — repeated overlapping overwrite windows plus a range
+//!   delete; most pages are dirty and the two stores should converge.
 
-use crate::harness::{ExpRow, Harness};
+use std::collections::BTreeMap;
+use std::time::Instant;
 
-pub const W: usize = 1000;
+use serde::Serialize;
+use tsfile::types::Point;
+use tskv::config::EngineConfig;
+use tskv::readers::MergeReader;
+use tskv::{CompactionPolicyKind, TsKv};
 
-pub fn run(h: &Harness) -> Vec<ExpRow> {
+use m4::oracle::m4_scan;
+use m4::{M4Lsm, M4Query, M4Udf};
+
+use crate::harness::{BenchMeta, Harness};
+
+/// Swept page sizes (points per page).
+pub const PAGE_GRID: [usize; 2] = [256, 1024];
+/// Points per sealed chunk — several pages per chunk at either size.
+pub const POINTS_PER_CHUNK: usize = 4096;
+/// Sealed-file count a policy needs before it may elect a run.
+pub const THRESHOLD: usize = 4;
+/// Cap on compact-to-quiescence iterations per store.
+const MAX_PASSES: usize = 8;
+
+/// One measured cell of the compaction grid.
+#[derive(Debug, Clone, Serialize)]
+pub struct CompactionRow {
+    pub dataset: String,
+    /// Selection policy driving the clean-copy store.
+    pub policy: String,
+    pub page_points: u64,
+    /// Ingest pattern: "append" or "overwrite".
+    pub pattern: String,
+    /// M4-UDF byte-identical across twins AND M4-LSM equivalent to the
+    /// in-memory oracle on both stores.
+    pub oracle_match: bool,
+    /// Sealed files before any compaction pass.
+    pub files_before: u64,
+    /// Files merged away by the clean-copy store across all passes.
+    pub files_removed: u64,
+    /// Input chunk bytes the clean-copy store read while compacting.
+    pub bytes_read: u64,
+    /// Output bytes the clean-copy store re-encoded (copied pages
+    /// excluded).
+    pub bytes_rewritten: u64,
+    /// Output bytes of the full-rewrite twin — the denominator for
+    /// write-amplification savings.
+    pub bytes_logically_merged: u64,
+    pub pages_copied: u64,
+    pub pages_recoded: u64,
+    /// Wall time of the clean-copy store's compaction passes.
+    pub compact_ms: f64,
+}
+
+/// The document `repro --exp compaction --out` writes.
+#[derive(Debug, Serialize)]
+pub struct CompactionReport {
+    pub meta: BenchMeta,
+    pub rows: Vec<CompactionRow>,
+}
+
+/// A deterministic ingest script: flush batches in order, then deletes.
+struct Workload {
+    batches: Vec<Vec<Point>>,
+    delete: Option<(i64, i64)>,
+}
+
+impl Workload {
+    /// Replay into an in-memory model to obtain the merged oracle.
+    fn merged(&self) -> Vec<Point> {
+        let mut model: BTreeMap<i64, f64> = BTreeMap::new();
+        for b in &self.batches {
+            for p in b {
+                model.insert(p.t, p.v);
+            }
+        }
+        if let Some((lo, hi)) = self.delete {
+            let doomed: Vec<i64> = model.range(lo..=hi).map(|(&t, _)| t).collect();
+            for t in doomed {
+                model.remove(&t);
+            }
+        }
+        model.iter().map(|(&t, &v)| Point::new(t, v)).collect()
+    }
+}
+
+/// Append-mostly: six in-order slices plus one ~2% trailing overwrite
+/// (values shifted) so overlap-driven policies have a chain to elect
+/// while almost every page stays clean.
+fn append_workload(base: &[Point]) -> Workload {
+    let n = base.len();
+    let mut batches: Vec<Vec<Point>> = (0..6)
+        .map(|k| base[n * k / 6..n * (k + 1) / 6].to_vec())
+        .collect();
+    let win = (n / 50).max(1);
+    let tail: Vec<Point> = base
+        .iter()
+        .skip(n.saturating_sub(win * 2))
+        .take(win)
+        .map(|p| Point::new(p.t, p.v + 500.0))
+        .collect();
+    if !tail.is_empty() {
+        batches.push(tail);
+    }
+    Workload {
+        batches,
+        delete: None,
+    }
+}
+
+/// Overwrite-heavy: the base in three slices, then four overlapping
+/// overwrite windows (~10% each) and a range delete.
+fn overwrite_workload(base: &[Point]) -> Workload {
+    let n = base.len();
+    let mut batches: Vec<Vec<Point>> = (0..3)
+        .map(|k| base[n * k / 3..n * (k + 1) / 3].to_vec())
+        .collect();
+    let win = (n / 10).max(1);
+    for k in 0..4 {
+        let lo = n * (2 * k + 1) / 9;
+        let w: Vec<Point> = base
+            .iter()
+            .skip(lo)
+            .take(win)
+            .map(|p| Point::new(p.t, p.v + 500.0))
+            .collect();
+        if !w.is_empty() {
+            batches.push(w);
+        }
+    }
+    let del_lo = base.get(n / 2).map_or(0, |p| p.t);
+    let del_hi = base.get(n / 2 + win / 2).map_or(del_lo, |p| p.t);
+    Workload {
+        batches,
+        delete: Some((del_lo, del_hi)),
+    }
+}
+
+/// Tallies accumulated across a store's compact-to-quiescence passes.
+#[derive(Debug, Default)]
+struct CompactTotals {
+    files_removed: u64,
+    bytes_read: u64,
+    bytes_rewritten: u64,
+    pages_copied: u64,
+    pages_recoded: u64,
+    elapsed_ms: f64,
+}
+
+/// Build a store, replay the workload, and compact until the policy
+/// declines (or `MAX_PASSES`). Returns the store (for queries), the
+/// pre-compaction file count, and the accumulated report totals.
+fn build_and_compact(
+    dir: &std::path::Path,
+    policy: CompactionPolicyKind,
+    clean_copy: bool,
+    page_points: usize,
+    wl: &Workload,
+) -> (TsKv, u64, CompactTotals) {
+    std::fs::remove_dir_all(dir).ok();
+    let kv = TsKv::open(
+        dir,
+        EngineConfig {
+            points_per_chunk: POINTS_PER_CHUNK,
+            memtable_threshold: usize::MAX,
+            page_points,
+            compaction_threshold: THRESHOLD,
+            compaction_policy: policy,
+            compaction_clean_page_copy: clean_copy,
+            enable_read_cache: false,
+            enable_wal: false,
+            read_threads: 1,
+            ..Default::default()
+        },
+    )
+    .expect("open store");
+    for b in &wl.batches {
+        kv.insert_batch("s", b).expect("ingest batch");
+        kv.flush("s").expect("flush batch");
+    }
+    if let Some((lo, hi)) = wl.delete {
+        kv.delete("s", lo, hi).expect("delete");
+    }
+    let files_before = kv.sealed_file_count("s").expect("file count") as u64;
+
+    let mut totals = CompactTotals::default();
+    let start = Instant::now();
+    for _ in 0..MAX_PASSES {
+        let report = kv.compact_policy("s").expect("compaction pass");
+        totals.files_removed += report.files_removed as u64;
+        totals.bytes_read += report.bytes_read;
+        totals.bytes_rewritten += report.bytes_rewritten;
+        totals.pages_copied += report.pages_copied;
+        totals.pages_recoded += report.pages_recoded;
+        if report.files_removed == 0 {
+            break;
+        }
+    }
+    totals.elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    (kv, files_before, totals)
+}
+
+pub fn run(h: &Harness) -> Vec<CompactionRow> {
     let mut rows = Vec::new();
-    for dataset in h.datasets.iter().copied() {
-        let fx = h.build_store("compaction", dataset, 0.5, 20, 60_000);
-        let snap = fx.kv.snapshot("s").expect("snapshot");
-        let q = fx.full_query(W);
-        h.compare_row("compact-pre", dataset, &snap, &q, "w", W as f64, &mut rows);
+    for dataset in h.datasets.iter() {
+        let base = dataset.generate(h.scale);
+        for (pattern, wl) in [
+            ("append", append_workload(&base)),
+            ("overwrite", overwrite_workload(&base)),
+        ] {
+            let merged = wl.merged();
+            let t_min = merged.first().map_or(0, |p| p.t);
+            let t_max = merged.last().map_or(0, |p| p.t);
+            let query = M4Query::new(t_min, t_max + 1, 480).expect("valid query");
+            let oracle = m4_scan(&merged, &query);
 
-        let report = fx.kv.compact("s").expect("compaction");
-        assert!(report.chunks_merged > 0);
-        let snap = fx.kv.snapshot("s").expect("snapshot after compaction");
-        h.compare_row("compact-post", dataset, &snap, &q, "w", W as f64, &mut rows);
-        std::fs::remove_dir_all(&fx.dir).ok();
+            for &page_points in &PAGE_GRID {
+                for policy in [
+                    CompactionPolicyKind::Full,
+                    CompactionPolicyKind::SizeTiered,
+                    CompactionPolicyKind::Leveled,
+                    CompactionPolicyKind::Overlap,
+                ] {
+                    let tag = format!("{}-{}-{}", dataset.name(), policy.as_str(), page_points);
+                    let fast_dir = h.root.join(format!("compact-fast-{tag}-{pattern}"));
+                    let slow_dir = h.root.join(format!("compact-slow-{tag}-{pattern}"));
+                    let (fast, files_before, totals) =
+                        build_and_compact(&fast_dir, policy, true, page_points, &wl);
+                    let (slow, _, slow_totals) =
+                        build_and_compact(&slow_dir, policy, false, page_points, &wl);
+
+                    // Correctness: copied pages must be invisible at
+                    // every query level.
+                    let fast_snap = fast.snapshot("s").expect("snapshot");
+                    let slow_snap = slow.snapshot("s").expect("twin snapshot");
+                    let udf_fast = M4Udf::new().execute(&fast_snap, &query).expect("udf");
+                    let udf_slow = M4Udf::new().execute(&slow_snap, &query).expect("twin udf");
+                    let lsm_fast = M4Lsm::new().execute(&fast_snap, &query).expect("lsm");
+                    let lsm_slow = M4Lsm::new().execute(&slow_snap, &query).expect("twin lsm");
+                    let merged_fast = MergeReader::new(&fast_snap)
+                        .collect_merged()
+                        .expect("merged read");
+                    let oracle_match = udf_fast == udf_slow
+                        && lsm_fast.equivalent(&oracle)
+                        && lsm_slow.equivalent(&oracle)
+                        && merged_fast == merged;
+
+                    rows.push(CompactionRow {
+                        dataset: dataset.name().to_string(),
+                        policy: policy.as_str().to_string(),
+                        page_points: page_points as u64,
+                        pattern: pattern.to_string(),
+                        oracle_match,
+                        files_before,
+                        files_removed: totals.files_removed,
+                        bytes_read: totals.bytes_read,
+                        bytes_rewritten: totals.bytes_rewritten,
+                        bytes_logically_merged: slow_totals.bytes_rewritten,
+                        pages_copied: totals.pages_copied,
+                        pages_recoded: totals.pages_recoded,
+                        compact_ms: totals.elapsed_ms,
+                    });
+
+                    drop(fast_snap);
+                    drop(slow_snap);
+                    drop(fast);
+                    drop(slow);
+                    std::fs::remove_dir_all(&fast_dir).ok();
+                    std::fs::remove_dir_all(&slow_dir).ok();
+                }
+            }
+        }
     }
     rows
+}
+
+/// Aligned table of all cells.
+pub fn print(rows: &[CompactionRow]) {
+    if rows.is_empty() {
+        return;
+    }
+    println!(
+        "{:<10} {:<11} {:>6} {:<9} {:>6} {:>5} {:>4} {:>12} {:>12} {:>12} {:>9} {:>9} {:>10}",
+        "dataset",
+        "policy",
+        "pagpts",
+        "pattern",
+        "oracle",
+        "files",
+        "rm",
+        "bytes_read",
+        "rewritten",
+        "logical",
+        "pg_copy",
+        "pg_recode",
+        "compact_ms"
+    );
+    for r in rows {
+        println!(
+            "{:<10} {:<11} {:>6} {:<9} {:>6} {:>5} {:>4} {:>12} {:>12} {:>12} {:>9} {:>9} {:>10.2}",
+            r.dataset,
+            r.policy,
+            r.page_points,
+            r.pattern,
+            r.oracle_match,
+            r.files_before,
+            r.files_removed,
+            r.bytes_read,
+            r.bytes_rewritten,
+            r.bytes_logically_merged,
+            r.pages_copied,
+            r.pages_recoded,
+            r.compact_ms
+        );
+    }
+}
+
+/// Headline: per pattern, bytes actually re-encoded vs what a full
+/// rewrite would have written.
+pub fn summarize(rows: &[CompactionRow]) {
+    let mismatches = rows.iter().filter(|r| !r.oracle_match).count();
+    println!(
+        "-- compaction: {} cells, {} oracle mismatches",
+        rows.len(),
+        mismatches
+    );
+    for pattern in ["append", "overwrite"] {
+        let cells: Vec<&CompactionRow> = rows
+            .iter()
+            .filter(|r| r.pattern == pattern && r.bytes_logically_merged > 0)
+            .collect();
+        let rewritten: u64 = cells.iter().map(|r| r.bytes_rewritten).sum();
+        let logical: u64 = cells.iter().map(|r| r.bytes_logically_merged).sum();
+        let copied: u64 = cells.iter().map(|r| r.pages_copied).sum();
+        if logical > 0 {
+            println!(
+                "-- compaction[{pattern}]: re-encoded {rewritten} of {logical} logically merged bytes \
+                 ({:.1}% avoided), {copied} pages copied raw",
+                (1.0 - rewritten as f64 / logical as f64) * 100.0
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -35,25 +377,31 @@ mod tests {
     use workload::Dataset;
 
     #[test]
-    fn compaction_reduces_baseline_points_decoded_under_overlap() {
+    fn grid_cells_match_oracle_and_append_cells_avoid_rewrites() {
         let h = Harness::new(0.005, 1).with_datasets(vec![Dataset::Mf03]);
         let rows = run(&h);
         h.cleanup();
-        let pre_udf = rows
-            .iter()
-            .find(|r| r.experiment == "compact-pre" && r.operator == "M4-UDF")
-            .unwrap();
-        let post_udf = rows
-            .iter()
-            .find(|r| r.experiment == "compact-post" && r.operator == "M4-UDF")
-            .unwrap();
-        // With 50% overlap the pre-compaction store holds duplicate
-        // coverage; compaction collapses it.
+        // 2 patterns x 2 page sizes x 4 policies.
+        assert_eq!(rows.len(), 16);
         assert!(
-            post_udf.points_decoded <= pre_udf.points_decoded,
-            "pre {} vs post {}",
-            pre_udf.points_decoded,
-            post_udf.points_decoded
+            rows.iter().all(|r| r.oracle_match),
+            "oracle mismatch: {rows:?}"
         );
+
+        // Append-mostly: wherever the policy actually merged, the
+        // clean-page path must strictly beat the full-rewrite twin and
+        // must have copied pages raw.
+        let active: Vec<&CompactionRow> = rows
+            .iter()
+            .filter(|r| r.pattern == "append" && r.bytes_logically_merged > 0)
+            .collect();
+        assert!(!active.is_empty(), "no append cell compacted anything");
+        for r in &active {
+            assert!(
+                r.bytes_rewritten < r.bytes_logically_merged,
+                "clean-copy did not reduce rewrites: {r:?}"
+            );
+            assert!(r.pages_copied > 0, "no raw page copies: {r:?}");
+        }
     }
 }

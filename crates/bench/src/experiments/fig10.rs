@@ -5,7 +5,6 @@
 //! boundaries must be loaded), more slowly on the skewed KOB/RcvTime
 //! datasets (small chunks fall wholly inside spans even at large `w`).
 
-
 use crate::harness::{ExpRow, Harness};
 
 /// The paper sweeps w in [10, 10000].
@@ -50,14 +49,14 @@ mod tests {
         // behaviour).
         let small_w: Vec<_> = rows
             .iter()
-            .filter(|r| {
-                r.value == 10.0 && (r.dataset == "BallSpeed" || r.dataset == "MF03")
-            })
+            .filter(|r| r.value == 10.0 && (r.dataset == "BallSpeed" || r.dataset == "MF03"))
             .collect();
         for pair in small_w.chunks(2) {
             assert!(
                 pair[1].chunks_loaded * 2 <= pair[0].chunks_loaded.max(4),
-                "{:?} vs {:?}", pair[1], pair[0]
+                "{:?} vs {:?}",
+                pair[1],
+                pair[0]
             );
         }
     }

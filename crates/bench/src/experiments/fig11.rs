@@ -5,7 +5,6 @@
 //! span-boundary-split chunks falls as the range grows, and whole
 //! chunks are answered from metadata).
 
-
 use crate::harness::{ExpRow, Harness};
 
 /// Fractions of the full series range to query (w fixed at 1000, as in
@@ -46,7 +45,8 @@ mod tests {
             // Points decoded by the baseline must be non-decreasing in
             // the queried fraction.
             assert!(
-                udf.windows(2).all(|w| w[0].points_decoded <= w[1].points_decoded),
+                udf.windows(2)
+                    .all(|w| w[0].points_decoded <= w[1].points_decoded),
                 "{}: {udf:?}",
                 dataset.name()
             );

@@ -5,7 +5,6 @@
 //! strategy — candidates survive as long as they are not in a later
 //! chunk's interval, and probes are cheap timestamp lookups.
 
-
 use crate::harness::{ExpRow, Harness};
 
 pub const OVERLAPS: [f64; 6] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
@@ -43,7 +42,15 @@ mod tests {
             let fx = h.build_store(&format!("t12-{overlap}"), Dataset::Mf03, overlap, 0, 0);
             let snap = fx.kv.snapshot("s").expect("snapshot");
             let q = fx.full_query(10);
-            h.compare_row("fig12", Dataset::Mf03, &snap, &q, "overlap", overlap, &mut rows);
+            h.compare_row(
+                "fig12",
+                Dataset::Mf03,
+                &snap,
+                &q,
+                "overlap",
+                overlap,
+                &mut rows,
+            );
             std::fs::remove_dir_all(&fx.dir).ok();
         }
         h.cleanup();
@@ -51,6 +58,9 @@ mod tests {
         let udf: Vec<_> = rows.iter().filter(|r| r.operator == "M4-UDF").collect();
         // Baseline decodes everything in both settings; the LSM
         // operator stays well below it even at 50% overlap.
-        assert!(lsm[1].points_decoded < udf[1].points_decoded / 2, "{rows:#?}");
+        assert!(
+            lsm[1].points_decoded < udf[1].points_decoded / 2,
+            "{rows:#?}"
+        );
     }
 }

@@ -6,7 +6,6 @@
 //! but the absolute cost stays small because delete ranges are short
 //! relative to chunk intervals.
 
-
 use crate::harness::{ExpRow, Harness};
 
 /// Delete count as a percentage of the chunk count.

@@ -5,7 +5,6 @@
 //! M4-LSM stays small throughout — longer deletes refute more
 //! candidates but also erase whole chunks from consideration.
 
-
 use crate::harness::{ExpRow, Harness};
 
 /// Delete range length as a fraction of a chunk's typical time span.
@@ -49,7 +48,15 @@ mod tests {
         let snap = fx.kv.snapshot("s").expect("snapshot");
         let q = fx.full_query(100);
         let mut rows = Vec::new();
-        h.compare_row("fig14", Dataset::RcvTime, &snap, &q, "del_range_x", 5.0, &mut rows);
+        h.compare_row(
+            "fig14",
+            Dataset::RcvTime,
+            &snap,
+            &q,
+            "del_range_x",
+            5.0,
+            &mut rows,
+        );
         assert_eq!(rows.len(), 2);
         h.cleanup();
     }

@@ -75,7 +75,9 @@ fn ascii_curve(ts: &[i64], width: usize, height: usize) -> String {
         let y = (i as f64 / (n - 1) as f64 * (height - 1) as f64) as usize;
         grid[height - 1 - y][x.min(width - 1)] = '*';
     }
-    grid.into_iter().map(|row| row.into_iter().collect::<String>() + "\n").collect()
+    grid.into_iter()
+        .map(|row| row.into_iter().collect::<String>() + "\n")
+        .collect()
 }
 
 #[cfg(test)]

@@ -99,19 +99,37 @@ pub fn run(h: &Harness) -> Vec<PagesRow> {
         // window is dense regardless of timestamp skew.
         let m = merged.len();
         let narrow_lo = merged.get(m / 2).map_or(0, |p| p.t);
-        let narrow_hi = merged.get((m / 2 + (m / 100).max(1)).min(m - 1)).map_or(narrow_lo, |p| p.t);
+        let narrow_hi = merged
+            .get((m / 2 + (m / 100).max(1)).min(m - 1))
+            .map_or(narrow_lo, |p| p.t);
         let t_min = merged.first().map_or(0, |p| p.t);
         let t_max = merged.last().map_or(0, |p| p.t);
 
         let queries: Vec<(&str, M4Query)> = vec![
-            ("full", M4Query::new(t_min, t_max + 1, 100).expect("valid query")),
-            ("full", M4Query::new(t_min, t_max + 1, 1000).expect("valid query")),
-            ("narrow", M4Query::new(narrow_lo, narrow_hi + 1, 4).expect("valid query")),
-            ("narrow", M4Query::new(narrow_lo, narrow_hi + 1, 16).expect("valid query")),
+            (
+                "full",
+                M4Query::new(t_min, t_max + 1, 100).expect("valid query"),
+            ),
+            (
+                "full",
+                M4Query::new(t_min, t_max + 1, 1000).expect("valid query"),
+            ),
+            (
+                "narrow",
+                M4Query::new(narrow_lo, narrow_hi + 1, 4).expect("valid query"),
+            ),
+            (
+                "narrow",
+                M4Query::new(narrow_lo, narrow_hi + 1, 16).expect("valid query"),
+            ),
         ];
 
         for &page_points in &PAGE_GRID {
-            let label = if page_points == usize::MAX { 0 } else { page_points as u64 };
+            let label = if page_points == usize::MAX {
+                0
+            } else {
+                page_points as u64
+            };
             let dir = h.root.join(format!("pages-{}-{label}", dataset.name()));
             std::fs::remove_dir_all(&dir).ok();
             let kv = TsKv::open(
@@ -187,7 +205,11 @@ fn measure(
         result = Some(r);
     }
     latencies.sort_by(f64::total_cmp);
-    (latencies[latencies.len() / 2], io, result.expect("at least one run"))
+    (
+        latencies[latencies.len() / 2],
+        io,
+        result.expect("at least one run"),
+    )
 }
 
 /// Aligned table of all cells.
@@ -197,15 +219,29 @@ pub fn print(rows: &[PagesRow]) {
     }
     println!(
         "{:<10} {:<8} {:>6} {:<7} {:>5} {:>11} {:>7} {:>7} {:>11} {:>9} {:>9} {:>9}",
-        "dataset", "op", "pagpts", "query", "w", "latency_ms", "oracle", "chunks", "pts_decoded",
-        "pg_dec", "pg_skip", "pg_stat"
+        "dataset",
+        "op",
+        "pagpts",
+        "query",
+        "w",
+        "latency_ms",
+        "oracle",
+        "chunks",
+        "pts_decoded",
+        "pg_dec",
+        "pg_skip",
+        "pg_stat"
     );
     for r in rows {
         println!(
             "{:<10} {:<8} {:>6} {:<7} {:>5} {:>11.3} {:>7} {:>7} {:>11} {:>9} {:>9} {:>9}",
             r.dataset,
             r.operator,
-            if r.page_points == 0 { "mono".to_string() } else { r.page_points.to_string() },
+            if r.page_points == 0 {
+                "mono".to_string()
+            } else {
+                r.page_points.to_string()
+            },
             r.query,
             r.w,
             r.latency_ms,
@@ -263,7 +299,10 @@ mod tests {
         h.cleanup();
         // 4 page settings x 4 queries x 2 operators.
         assert_eq!(rows.len(), PAGE_GRID.len() * 4 * 2);
-        assert!(rows.iter().all(|r| r.oracle_match), "oracle mismatch: {rows:?}");
+        assert!(
+            rows.iter().all(|r| r.oracle_match),
+            "oracle mismatch: {rows:?}"
+        );
         // Every narrow-span cell on a paged store must decode strictly
         // fewer points than the monolithic baseline for that operator.
         for op in ["M4-UDF", "M4-LSM"] {

@@ -69,8 +69,7 @@ pub fn run(h: &Harness) -> Vec<ExpRow> {
                 }
                 cold_lat.sort_by(f64::total_cmp);
                 warm_lat.sort_by(f64::total_cmp);
-                for (op, lat, io) in
-                    [("cold", &cold_lat, &cold_io), ("warm", &warm_lat, &warm_io)]
+                for (op, lat, io) in [("cold", &cold_lat, &cold_io), ("warm", &warm_lat, &warm_io)]
                 {
                     rows.push(ExpRow {
                         experiment: exp.to_string(),

@@ -44,7 +44,11 @@ pub fn run(h: &Harness) -> Vec<PixelRow> {
         let full = render_series(&merged, &map).expect("render full");
         let lsm = M4Lsm::new().execute(&snap, &q).expect("lsm");
         let udf = M4Udf::new().execute(&snap, &q).expect("udf");
-        assert!(lsm.equivalent(&udf), "operators disagree on {}", dataset.name());
+        assert!(
+            lsm.equivalent(&udf),
+            "operators disagree on {}",
+            dataset.name()
+        );
 
         let m4_canvas = render_m4(&lsm, &map).expect("render m4");
         let mm_canvas = render_series(&minmax_points(&lsm), &map).expect("render minmax");
@@ -63,7 +67,10 @@ pub fn run(h: &Harness) -> Vec<PixelRow> {
 /// Print the pixel table.
 pub fn print(rows: &[PixelRow]) {
     println!("Pixel errors vs full-data rendering ({WIDTH}x{HEIGHT} binary canvas)");
-    println!("{:<10} {:>12} {:>14} {:>14}", "dataset", "M4 diff px", "MinMax diff px", "canvas px");
+    println!(
+        "{:<10} {:>12} {:>14} {:>14}",
+        "dataset", "M4 diff px", "MinMax diff px", "canvas px"
+    );
     for r in rows {
         println!(
             "{:<10} {:>12} {:>14} {:>14}",

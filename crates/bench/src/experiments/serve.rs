@@ -116,9 +116,10 @@ fn run_cell(
     clients: usize,
     max_in_flight: usize,
 ) -> ServeRow {
-    let dir = h
-        .root
-        .join(format!("serve-{}-c{clients}-f{max_in_flight}", dataset.name()));
+    let dir = h.root.join(format!(
+        "serve-{}-c{clients}-f{max_in_flight}",
+        dataset.name()
+    ));
     let twin_dir = h.root.join(format!(
         "serve-twin-{}-c{clients}-f{max_in_flight}",
         dataset.name()
@@ -156,9 +157,7 @@ fn run_cell(
             .iter()
             .zip(&streams)
             .enumerate()
-            .map(|(c, (script, stream))| {
-                scope.spawn(move || run_client(addr, c, stream, script))
-            })
+            .map(|(c, (script, stream))| scope.spawn(move || run_client(addr, c, stream, script)))
             .collect();
         handles
             .into_iter()
@@ -409,7 +408,16 @@ pub fn print(rows: &[ServeRow]) {
     }
     println!(
         "{:<10} {:>7} {:>8} {:>8} {:>9} {:>6} {:>8} {:>8} {:>10} {:>6}",
-        "dataset", "clients", "inflight", "reqs", "req/s", "busy", "p50_us", "p99_us", "elapsed", "oracle"
+        "dataset",
+        "clients",
+        "inflight",
+        "reqs",
+        "req/s",
+        "busy",
+        "p50_us",
+        "p99_us",
+        "elapsed",
+        "oracle"
     );
     for r in rows {
         let total = r.requests_ping

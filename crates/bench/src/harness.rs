@@ -48,6 +48,8 @@ pub struct BenchMeta {
     pub compaction_auto: bool,
     pub compaction_threshold: usize,
     pub compaction_interval_ms: u64,
+    pub compaction_policy: String,
+    pub compaction_clean_page_copy: bool,
     pub read_threads: usize,
     pub cache_capacity_bytes: u64,
     /// `std::thread::available_parallelism` on the machine that ran
@@ -70,6 +72,8 @@ impl BenchMeta {
             compaction_auto: config.compaction_auto,
             compaction_threshold: config.compaction_threshold,
             compaction_interval_ms: config.compaction_interval_ms,
+            compaction_policy: config.compaction_policy.as_str().to_string(),
+            compaction_clean_page_copy: config.compaction_clean_page_copy,
             read_threads: config.read_threads,
             cache_capacity_bytes: config.cache_capacity_bytes,
             available_parallelism: std::thread::available_parallelism()

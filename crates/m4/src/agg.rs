@@ -75,14 +75,26 @@ pub fn aggregate_all(
     let query = M4Query::new(t_start, t_end, 1)?;
     let result = M4Lsm::new().execute(snapshot, &query)?;
     Ok(result.spans[0].map(|s| {
-        [s.first.v, s.first.t as f64, s.last.v, s.last.t as f64, s.bottom.v, s.top.v]
+        [
+            s.first.v,
+            s.first.t as f64,
+            s.last.v,
+            s.last.t as f64,
+            s.bottom.v,
+            s.top.v,
+        ]
     }))
 }
 
 #[cfg(test)]
 mod tests {
     // Tests assert by panicking; the workspace deny-set targets library code.
-    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
 
     use super::*;
     use tsfile::types::Point;
@@ -94,7 +106,11 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         let kv = TsKv::open(
             &dir,
-            EngineConfig { points_per_chunk: 50, memtable_threshold: 200, ..Default::default() },
+            EngineConfig {
+                points_per_chunk: 50,
+                memtable_threshold: 200,
+                ..Default::default()
+            },
         )
         .unwrap();
         (dir, kv)
@@ -112,11 +128,26 @@ mod tests {
         kv.flush_all().unwrap();
 
         let snap = kv.snapshot("s").unwrap();
-        assert_eq!(aggregate(&snap, 0, 1_000, Aggregate::FirstTime).unwrap(), Some(10.0));
-        assert_eq!(aggregate(&snap, 0, 1_000, Aggregate::FirstValue).unwrap(), Some(10.0));
-        assert_eq!(aggregate(&snap, 0, 1_000, Aggregate::LastTime).unwrap(), Some(999.0));
-        assert_eq!(aggregate(&snap, 0, 1_000, Aggregate::MinValue).unwrap(), Some(-7.0));
-        assert_eq!(aggregate(&snap, 0, 1_000, Aggregate::MaxValue).unwrap(), Some(99.0));
+        assert_eq!(
+            aggregate(&snap, 0, 1_000, Aggregate::FirstTime).unwrap(),
+            Some(10.0)
+        );
+        assert_eq!(
+            aggregate(&snap, 0, 1_000, Aggregate::FirstValue).unwrap(),
+            Some(10.0)
+        );
+        assert_eq!(
+            aggregate(&snap, 0, 1_000, Aggregate::LastTime).unwrap(),
+            Some(999.0)
+        );
+        assert_eq!(
+            aggregate(&snap, 0, 1_000, Aggregate::MinValue).unwrap(),
+            Some(-7.0)
+        );
+        assert_eq!(
+            aggregate(&snap, 0, 1_000, Aggregate::MaxValue).unwrap(),
+            Some(99.0)
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -126,7 +157,10 @@ mod tests {
         kv.insert("s", Point::new(5, 1.0)).unwrap();
         kv.flush_all().unwrap();
         let snap = kv.snapshot("s").unwrap();
-        assert_eq!(aggregate(&snap, 100, 200, Aggregate::MaxValue).unwrap(), None);
+        assert_eq!(
+            aggregate(&snap, 100, 200, Aggregate::MaxValue).unwrap(),
+            None
+        );
         assert_eq!(aggregate_all(&snap, 100, 200).unwrap(), None);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -135,7 +169,8 @@ mod tests {
     fn aggregate_all_matches_individual() {
         let (dir, kv) = store("all");
         for t in 0..300i64 {
-            kv.insert("s", Point::new(t * 2, ((t * 13) % 51) as f64)).unwrap();
+            kv.insert("s", Point::new(t * 2, ((t * 13) % 51) as f64))
+                .unwrap();
         }
         kv.flush_all().unwrap();
         let snap = kv.snapshot("s").unwrap();

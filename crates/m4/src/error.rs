@@ -54,14 +54,21 @@ impl From<TsKvError> for M4Error {
 #[cfg(test)]
 mod tests {
     // Tests assert by panicking; the workspace deny-set targets library code.
-    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
 
     use super::*;
 
     #[test]
     fn display_covers_variants() {
         assert!(M4Error::ZeroSpans.to_string().contains("w >= 1"));
-        assert!(M4Error::EmptyQueryRange { t_qs: 5, t_qe: 5 }.to_string().contains('5'));
+        assert!(M4Error::EmptyQueryRange { t_qs: 5, t_qe: 5 }
+            .to_string()
+            .contains('5'));
         let e: M4Error = TsKvError::SeriesNotFound("x".into()).into();
         assert!(std::error::Error::source(&e).is_some());
         assert!(M4Error::Internal("oops").to_string().contains("oops"));

@@ -58,7 +58,11 @@ pub(crate) struct ChunkCache<'a> {
 
 impl<'a> ChunkCache<'a> {
     pub fn new(snapshot: &'a SeriesSnapshot) -> Self {
-        ChunkCache { snapshot, points: Mutex::new(HashMap::new()), ts: Mutex::new(HashMap::new()) }
+        ChunkCache {
+            snapshot,
+            points: Mutex::new(HashMap::new()),
+            ts: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Full load of chunk `idx` (raw points, unfiltered), cached.
@@ -165,7 +169,9 @@ impl<'a> ChunkCache<'a> {
         }
         let loaded = {
             let map = self.points.lock();
-            map.get(&(idx, page)).or_else(|| map.get(&(idx, WHOLE))).map(Arc::clone)
+            map.get(&(idx, page))
+                .or_else(|| map.get(&(idx, WHOLE)))
+                .map(Arc::clone)
         };
         if let Some(pts) = loaded {
             return Ok(search_points(&pts, t));
@@ -177,8 +183,10 @@ impl<'a> ChunkCache<'a> {
             return Ok(answer);
         }
         let ts = self.snapshot.read_page_timestamps(chunk, page, Some(t))?;
-        let page_count =
-            chunk.paged().and_then(|i| i.pages.get(page as usize)).map_or(0, |p| p.stats.count);
+        let page_count = chunk
+            .paged()
+            .and_then(|i| i.pages.get(page as usize))
+            .map_or(0, |p| p.stats.count);
         let complete = ts.len() as u64 == page_count;
         let answer = binary_search_ops::exists_at(&ts, t);
         self.publish_prefix(idx, page, ts, complete);
@@ -239,7 +247,12 @@ fn search_points(pts: &[Point], t: Timestamp) -> bool {
 #[cfg(test)]
 mod tests {
     // Tests assert by panicking; the workspace deny-set targets library code.
-    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
 
     use super::*;
     use tsfile::types::Point;
@@ -251,7 +264,11 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         let kv = TsKv::open(
             &dir,
-            EngineConfig { points_per_chunk: 1000, memtable_threshold: 1000, ..Default::default() },
+            EngineConfig {
+                points_per_chunk: 1000,
+                memtable_threshold: 1000,
+                ..Default::default()
+            },
         )
         .unwrap();
         for t in 0..1000i64 {
@@ -290,7 +307,10 @@ mod tests {
         assert!(cache.contains_timestamp(0, chunk, 5_000, true).unwrap());
         assert!(!cache.contains_timestamp(0, chunk, 5_050, true).unwrap());
         let delta = snap.io().snapshot() - before;
-        assert_eq!(delta.chunks_loaded, 1, "one prefix read for the on-grid probe");
+        assert_eq!(
+            delta.chunks_loaded, 1,
+            "one prefix read for the on-grid probe"
+        );
         // A later probe beyond the cached prefix refetches.
         assert!(cache.contains_timestamp(0, chunk, 90_000, true).unwrap());
         let delta = snap.io().snapshot() - before;
@@ -313,7 +333,10 @@ mod tests {
             assert!(!cache.contains_timestamp(0, chunk, probe, true).unwrap());
         }
         let delta = snap.io().snapshot() - before;
-        assert_eq!(delta.chunks_loaded, 0, "off-grid probes must be metadata-only");
+        assert_eq!(
+            delta.chunks_loaded, 0,
+            "off-grid probes must be metadata-only"
+        );
         // With the index disabled the same probes need a data read.
         assert!(!cache.contains_timestamp(0, chunk, 12_345, false).unwrap());
         assert_eq!((snap.io().snapshot() - before).chunks_loaded, 1);

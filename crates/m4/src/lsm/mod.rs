@@ -52,7 +52,10 @@ pub struct M4LsmConfig {
 
 impl Default for M4LsmConfig {
     fn default() -> Self {
-        M4LsmConfig { lazy_load: true, use_step_index: true }
+        M4LsmConfig {
+            lazy_load: true,
+            use_step_index: true,
+        }
     }
 }
 
@@ -65,7 +68,9 @@ pub struct M4Lsm {
 impl M4Lsm {
     /// Operator with default configuration.
     pub fn new() -> Self {
-        M4Lsm { cfg: M4LsmConfig::default() }
+        M4Lsm {
+            cfg: M4LsmConfig::default(),
+        }
     }
 
     /// Operator with explicit configuration (ablations).
@@ -136,12 +141,12 @@ fn assign(
     if clipped.is_empty() {
         return Ok(());
     }
-    let lo = query
-        .span_of(clipped.start)
-        .ok_or(M4Error::Internal("clipped interval start left the query range"))?;
-    let hi = query
-        .span_of(clipped.end)
-        .ok_or(M4Error::Internal("clipped interval end left the query range"))?;
+    let lo = query.span_of(clipped.start).ok_or(M4Error::Internal(
+        "clipped interval start left the query range",
+    ))?;
+    let hi = query.span_of(clipped.end).ok_or(M4Error::Internal(
+        "clipped interval end left the query range",
+    ))?;
     for (s, chunks) in per_span.iter_mut().enumerate().take(hi + 1).skip(lo) {
         let span_range = query.span_range(s);
         if !span_range.overlaps(&r) {
@@ -156,7 +161,12 @@ fn assign(
 #[cfg(test)]
 mod tests {
     // Tests assert by panicking; the workspace deny-set targets library code.
-    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
 
     use super::*;
     use tsfile::types::Point;
@@ -170,7 +180,11 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         let kv = TsKv::open(
             &dir,
-            EngineConfig { points_per_chunk: chunk, memtable_threshold: chunk * 4, ..Default::default() },
+            EngineConfig {
+                points_per_chunk: chunk,
+                memtable_threshold: chunk * 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         (dir, kv)
@@ -180,9 +194,18 @@ mod tests {
         let snap = kv.snapshot(series).unwrap();
         let udf = M4Udf::new().execute(&snap, q).unwrap();
         for cfg in [
-            M4LsmConfig { lazy_load: true, use_step_index: true },
-            M4LsmConfig { lazy_load: false, use_step_index: true },
-            M4LsmConfig { lazy_load: true, use_step_index: false },
+            M4LsmConfig {
+                lazy_load: true,
+                use_step_index: true,
+            },
+            M4LsmConfig {
+                lazy_load: false,
+                use_step_index: true,
+            },
+            M4LsmConfig {
+                lazy_load: true,
+                use_step_index: false,
+            },
         ] {
             let lsm = M4Lsm::with_config(cfg).execute(&snap, q).unwrap();
             assert!(
@@ -196,7 +219,8 @@ mod tests {
     fn clean_sequential_data() {
         let (dir, kv) = fresh("clean", 100);
         for t in 0..2000i64 {
-            kv.insert("s", Point::new(t, ((t * 37) % 101) as f64)).unwrap();
+            kv.insert("s", Point::new(t, ((t * 37) % 101) as f64))
+                .unwrap();
         }
         kv.flush_all().unwrap();
         assert_matches_udf(&kv, "s", &M4Query::new(0, 2000, 7).unwrap());
@@ -219,7 +243,10 @@ mod tests {
         let q = M4Query::new(0, 1000, 1).unwrap();
         let r = M4Lsm::new().execute(&snap, &q).unwrap();
         let delta = snap.io().snapshot() - before;
-        assert_eq!(delta.chunks_loaded, 0, "merge-free path must not load chunks");
+        assert_eq!(
+            delta.chunks_loaded, 0,
+            "merge-free path must not load chunks"
+        );
         let s = r.spans[0].unwrap();
         assert_eq!(s.first, Point::new(0, 0.0));
         assert_eq!(s.last.t, 999);
@@ -289,7 +316,8 @@ mod tests {
     fn query_subrange_and_misaligned_spans() {
         let (dir, kv) = fresh("subrange", 30);
         for t in 0..900i64 {
-            kv.insert("s", Point::new(t * 7, ((t * 13) % 97) as f64)).unwrap();
+            kv.insert("s", Point::new(t * 7, ((t * 13) % 97) as f64))
+                .unwrap();
         }
         kv.flush_all().unwrap();
         assert_matches_udf(&kv, "s", &M4Query::new(500, 5000, 13).unwrap());
@@ -373,7 +401,8 @@ mod tests {
         kv.insert_batch("s", &c2).unwrap();
         kv.flush("s").unwrap();
         // C³ overwrites both tops with low values.
-        kv.insert_batch("s", &[Point::new(50, 0.0), Point::new(230, 0.0)]).unwrap();
+        kv.insert_batch("s", &[Point::new(50, 0.0), Point::new(230, 0.0)])
+            .unwrap();
         kv.flush("s").unwrap();
 
         let q = M4Query::new(0, 1_000, 1).unwrap();
@@ -419,7 +448,8 @@ mod tests {
         )
         .unwrap();
         for t in 0..4000i64 {
-            kv.insert("s", Point::new(t, ((t * 37) % 101) as f64)).unwrap();
+            kv.insert("s", Point::new(t, ((t * 37) % 101) as f64))
+                .unwrap();
         }
         kv.flush_all().unwrap();
         // Overwrites landing mid-chunk, plus a range delete, so

@@ -108,7 +108,15 @@ impl<'a, 'b> SpanExecutor<'a, 'b> {
         cache: &'b ChunkCache<'a>,
         cfg: &'b M4LsmConfig,
     ) -> Self {
-        SpanExecutor { chunks, handles, deletes, span, cache, cfg, live: RefCell::new(HashMap::new()) }
+        SpanExecutor {
+            chunks,
+            handles,
+            deletes,
+            span,
+            cache,
+            cfg,
+            live: RefCell::new(HashMap::new()),
+        }
     }
 
     fn handle(&self, sc: &SpanChunk) -> &'b ChunkHandle {
@@ -119,7 +127,10 @@ impl<'a, 'b> SpanExecutor<'a, 'b> {
     /// whole-chunk statistics otherwise.
     fn stats(&self, sc: &SpanChunk) -> &'b ChunkStatistics {
         let h = self.handle(sc);
-        match sc.frag.and_then(|f| h.paged().and_then(|i| i.pages.get(f as usize))) {
+        match sc
+            .frag
+            .and_then(|f| h.paged().and_then(|i| i.pages.get(f as usize)))
+        {
             Some(pm) => &pm.stats,
             None => &h.stats,
         }
@@ -162,7 +173,9 @@ impl<'a, 'b> SpanExecutor<'a, 'b> {
             .copied()
             .collect();
         let live = Arc::new(live);
-        self.live.borrow_mut().insert(Self::key(sc), Arc::clone(&live));
+        self.live
+            .borrow_mut()
+            .insert(Self::key(sc), Arc::clone(&live));
         Ok(live)
     }
 
@@ -174,18 +187,27 @@ impl<'a, 'b> SpanExecutor<'a, 'b> {
         };
         // FP exists, so the span holds live points and the other three
         // solvers must find one too.
-        let (Some(last), Some(bottom), Some(top)) =
-            (self.solve_edge(false)?, self.solve_extreme(false)?, self.solve_extreme(true)?)
-        else {
+        let (Some(last), Some(bottom), Some(top)) = (
+            self.solve_edge(false)?,
+            self.solve_extreme(false)?,
+            self.solve_extreme(true)?,
+        ) else {
             return Err(M4Error::Internal("span with an FP yielded no LP/BP/TP"));
         };
-        Ok(Some(SpanRepr { first, last, bottom, top }))
+        Ok(Some(SpanRepr {
+            first,
+            last,
+            bottom,
+            top,
+        }))
     }
 
     /// Deletes with a version above `v` that cover `t`.
     fn covering_deletes(&self, t: Timestamp, v: Version) -> impl Iterator<Item = &'a ModEntry> {
         let deletes = self.deletes;
-        deletes.iter().filter(move |d| d.applies_to(v) && d.covers(t))
+        deletes
+            .iter()
+            .filter(move |d| d.applies_to(v) && d.covers(t))
     }
 
     // ------------------------------------------------------------------
@@ -256,7 +278,9 @@ impl<'a, 'b> SpanExecutor<'a, 'b> {
             }
 
             let EdgeState::Exact(p) = states[pos] else {
-                return Err(M4Error::Internal("selected edge candidate is neither bound nor exact"));
+                return Err(M4Error::Internal(
+                    "selected edge candidate is neither bound nor exact",
+                ));
             };
             if self.paid(&sc) || self.live.borrow().contains_key(&Self::key(&sc)) {
                 // Live sets are delete-filtered already; Proposition 3.1
@@ -266,9 +290,13 @@ impl<'a, 'b> SpanExecutor<'a, 'b> {
             // Unloaded metadata candidate: verify against deletes.
             let version = self.version(&sc);
             let clip: Option<Timestamp> = if first {
-                self.covering_deletes(p.t, version).map(|d| d.range.end).max()
+                self.covering_deletes(p.t, version)
+                    .map(|d| d.range.end)
+                    .max()
             } else {
-                self.covering_deletes(p.t, version).map(|d| d.range.start).min()
+                self.covering_deletes(p.t, version)
+                    .map(|d| d.range.start)
+                    .min()
             };
             match clip {
                 None => {
@@ -289,13 +317,21 @@ impl<'a, 'b> SpanExecutor<'a, 'b> {
                     // delete; the chunk is only loaded if it remains
                     // the most extreme.
                     let s = self.stats(&sc);
-                    let bound = if first { edge.saturating_add(1) } else { edge.saturating_sub(1) };
+                    let bound = if first {
+                        edge.saturating_add(1)
+                    } else {
+                        edge.saturating_sub(1)
+                    };
                     let dead = if first {
                         bound > s.last.t || bound > self.span.end
                     } else {
                         bound < s.first.t || bound < self.span.start
                     };
-                    states[pos] = if dead { EdgeState::Dead } else { EdgeState::Bound(bound) };
+                    states[pos] = if dead {
+                        EdgeState::Dead
+                    } else {
+                        EdgeState::Bound(bound)
+                    };
                 }
             }
         }
@@ -482,10 +518,16 @@ impl<'a, 'b> SpanExecutor<'a, 'b> {
                 continue;
             }
             let hit = match other.frag {
-                Some(f) => self
+                Some(f) => self.cache.contains_timestamp_page(
+                    other.idx,
+                    f,
+                    h,
+                    t,
+                    self.cfg.use_step_index,
+                )?,
+                None => self
                     .cache
-                    .contains_timestamp_page(other.idx, f, h, t, self.cfg.use_step_index)?,
-                None => self.cache.contains_timestamp(other.idx, h, t, self.cfg.use_step_index)?,
+                    .contains_timestamp(other.idx, h, t, self.cfg.use_step_index)?,
             };
             if hit {
                 return Ok(true);

@@ -13,10 +13,17 @@ use crate::repr::{M4Result, SpanRepr};
 pub fn m4_scan(points: &[Point], query: &M4Query) -> M4Result {
     let mut spans: Vec<Option<SpanRepr>> = vec![None; query.w];
     for p in points {
-        let Some(i) = query.span_of(p.t) else { continue };
+        let Some(i) = query.span_of(p.t) else {
+            continue;
+        };
         match &mut spans[i] {
             None => {
-                spans[i] = Some(SpanRepr { first: *p, last: *p, bottom: *p, top: *p });
+                spans[i] = Some(SpanRepr {
+                    first: *p,
+                    last: *p,
+                    bottom: *p,
+                    top: *p,
+                });
             }
             Some(r) => {
                 // Points arrive in time order: later point becomes LP.
@@ -36,7 +43,12 @@ pub fn m4_scan(points: &[Point], query: &M4Query) -> M4Result {
 #[cfg(test)]
 mod tests {
     // Tests assert by panicking; the workspace deny-set targets library code.
-    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
 
     use super::*;
 

@@ -67,7 +67,10 @@ where
             .collect();
         // A panicked worker yields an empty batch; the missing slots
         // surface as a typed error below.
-        handles.into_iter().map(|h| h.join().unwrap_or_default()).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
     });
 
     let mut slots: Vec<Option<Result<T>>> = (0..jobs).map(|_| None).collect();

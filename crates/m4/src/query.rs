@@ -85,15 +85,26 @@ impl M4Query {
 #[cfg(test)]
 mod tests {
     // Tests assert by panicking; the workspace deny-set targets library code.
-    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
 
     use super::*;
 
     #[test]
     fn validation() {
         assert!(M4Query::new(0, 100, 4).is_ok());
-        assert!(matches!(M4Query::new(100, 100, 4), Err(M4Error::EmptyQueryRange { .. })));
-        assert!(matches!(M4Query::new(100, 50, 4), Err(M4Error::EmptyQueryRange { .. })));
+        assert!(matches!(
+            M4Query::new(100, 100, 4),
+            Err(M4Error::EmptyQueryRange { .. })
+        ));
+        assert!(matches!(
+            M4Query::new(100, 50, 4),
+            Err(M4Error::EmptyQueryRange { .. })
+        ));
         assert!(matches!(M4Query::new(0, 100, 0), Err(M4Error::ZeroSpans)));
     }
 

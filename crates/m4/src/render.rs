@@ -15,7 +15,6 @@ use crate::query::M4Query;
 use crate::repr::M4Result;
 use crate::{M4Error, Result};
 
-
 /// A two-color (binary) pixel canvas.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Canvas {
@@ -30,7 +29,11 @@ impl Canvas {
         if width == 0 || height == 0 {
             return Err(M4Error::EmptyCanvas);
         }
-        Ok(Canvas { width, height, bits: vec![false; width * height] })
+        Ok(Canvas {
+            width,
+            height,
+            bits: vec![false; width * height],
+        })
     }
 
     pub fn width(&self) -> usize {
@@ -86,7 +89,11 @@ impl Canvas {
     pub fn diff_pixels(&self, other: &Canvas) -> usize {
         assert_eq!(self.width, other.width, "canvas width mismatch");
         assert_eq!(self.height, other.height, "canvas height mismatch");
-        self.bits.iter().zip(&other.bits).filter(|(a, b)| a != b).count()
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .filter(|(a, b)| a != b)
+            .count()
     }
 
     /// Serialize as a binary PBM (P4) image file — the two-color chart
@@ -97,7 +104,8 @@ impl Canvas {
             std::fs::File::create(path).map_err(|e| M4Error::Storage(e.into()))?,
         );
         let header = format!("P4\n{} {}\n", self.width, self.height);
-        f.write_all(header.as_bytes()).map_err(|e| M4Error::Storage(e.into()))?;
+        f.write_all(header.as_bytes())
+            .map_err(|e| M4Error::Storage(e.into()))?;
         // P4 packs 8 pixels per byte, rows top-to-bottom, MSB first.
         let row_bytes = self.width.div_ceil(8);
         let mut row = vec![0u8; row_bytes];
@@ -141,7 +149,14 @@ pub struct PixelMap {
 impl PixelMap {
     /// Build a map from a query (x axis) and a value range (y axis).
     pub fn new(query: &M4Query, v_min: f64, v_max: f64, width: usize, height: usize) -> Self {
-        PixelMap { t_qs: query.t_qs, t_qe: query.t_qe, v_min, v_max, width, height }
+        PixelMap {
+            t_qs: query.t_qs,
+            t_qe: query.t_qe,
+            v_min,
+            v_max,
+            width,
+            height,
+        }
     }
 
     /// Pixel column of timestamp `t` (clamped).
@@ -189,7 +204,11 @@ pub fn render_m4(result: &M4Result, map: &PixelMap) -> Result<Canvas> {
 pub fn minmax_points(result: &M4Result) -> Vec<Point> {
     let mut out = Vec::new();
     for s in result.spans.iter().flatten() {
-        let (a, b) = if s.bottom.t <= s.top.t { (s.bottom, s.top) } else { (s.top, s.bottom) };
+        let (a, b) = if s.bottom.t <= s.top.t {
+            (s.bottom, s.top)
+        } else {
+            (s.top, s.bottom)
+        };
         out.push(a);
         if a != b {
             out.push(b);
@@ -213,7 +232,12 @@ pub fn value_range(points: &[Point]) -> Option<(f64, f64)> {
 #[cfg(test)]
 mod tests {
     // Tests assert by panicking; the workspace deny-set targets library code.
-    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
 
     use super::*;
     use crate::oracle::m4_scan;
@@ -294,7 +318,10 @@ mod tests {
         let mm = render_series(&minmax_points(&m4), &map).unwrap();
         let m4r = render_m4(&m4, &map).unwrap();
         assert_eq!(full.diff_pixels(&m4r), 0);
-        assert!(full.diff_pixels(&mm) > 0, "MinMax should not be error-free here");
+        assert!(
+            full.diff_pixels(&mm) > 0,
+            "MinMax should not be error-free here"
+        );
     }
 
     #[test]

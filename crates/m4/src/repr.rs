@@ -36,7 +36,12 @@ impl SpanRepr {
                 top = *p;
             }
         }
-        Some(SpanRepr { first, last, bottom, top })
+        Some(SpanRepr {
+            first,
+            last,
+            bottom,
+            top,
+        })
     }
 
     /// Representation equivalence: identical first/last points and
@@ -78,11 +83,15 @@ impl M4Result {
     /// [`SpanRepr::equivalent`]).
     pub fn equivalent(&self, other: &M4Result) -> bool {
         self.spans.len() == other.spans.len()
-            && self.spans.iter().zip(&other.spans).all(|(a, b)| match (a, b) {
-                (None, None) => true,
-                (Some(a), Some(b)) => a.equivalent(b),
-                _ => false,
-            })
+            && self
+                .spans
+                .iter()
+                .zip(&other.spans)
+                .all(|(a, b)| match (a, b) {
+                    (None, None) => true,
+                    (Some(a), Some(b)) => a.equivalent(b),
+                    _ => false,
+                })
     }
 
     /// Flatten to the at-most-4w representation points, in span order
@@ -105,7 +114,12 @@ impl M4Result {
 #[cfg(test)]
 mod tests {
     // Tests assert by panicking; the workspace deny-set targets library code.
-    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
 
     use super::*;
 

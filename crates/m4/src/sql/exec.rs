@@ -99,7 +99,9 @@ pub fn execute(
     operator: ExecOperator,
 ) -> Result<Table, ExecError> {
     let query = statement.bind(params).map_err(ExecError::Sql)?;
-    let snapshot = kv.snapshot(&statement.series).map_err(|e| ExecError::M4(e.into()))?;
+    let snapshot = kv
+        .snapshot(&statement.series)
+        .map_err(|e| ExecError::M4(e.into()))?;
     let result = match operator {
         ExecOperator::Lsm => M4Lsm::new().execute(&snapshot, &query),
         ExecOperator::Udf => M4Udf::new().execute(&snapshot, &query),
@@ -113,17 +115,29 @@ pub fn execute(
         .filter_map(|(group, span)| {
             span.as_ref().map(|repr| Row {
                 group,
-                values: statement.columns.iter().map(|c| project(repr, *c)).collect(),
+                values: statement
+                    .columns
+                    .iter()
+                    .map(|c| project(repr, *c))
+                    .collect(),
             })
         })
         .collect();
-    Ok(Table { columns: statement.columns.clone(), rows })
+    Ok(Table {
+        columns: statement.columns.clone(),
+        rows,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     // Tests assert by panicking; the workspace deny-set targets library code.
-    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
 
     use super::*;
     use tsfile::types::Point;
@@ -134,11 +148,16 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         let kv = TsKv::open(
             &dir,
-            EngineConfig { points_per_chunk: 25, memtable_threshold: 100, ..Default::default() },
+            EngineConfig {
+                points_per_chunk: 25,
+                memtable_threshold: 100,
+                ..Default::default()
+            },
         )
         .unwrap();
         for t in 0..400i64 {
-            kv.insert("root.sg.temp", Point::new(t, (t % 37) as f64)).unwrap();
+            kv.insert("root.sg.temp", Point::new(t, (t % 37) as f64))
+                .unwrap();
         }
         kv.flush_all().unwrap();
         (dir, kv)
@@ -189,10 +208,9 @@ mod tests {
     #[test]
     fn unknown_series_errors() {
         let (dir, kv) = store();
-        let stmt = M4Statement::parse(
-            "SELECT FirstTime(T) FROM nope GROUPBY floor(1*(t-0)/(10-0))",
-        )
-        .unwrap();
+        let stmt =
+            M4Statement::parse("SELECT FirstTime(T) FROM nope GROUPBY floor(1*(t-0)/(10-0))")
+                .unwrap();
         assert!(execute(&kv, &stmt, &Params::new(), ExecOperator::Lsm).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -201,7 +219,10 @@ mod tests {
     fn table_text_rendering() {
         let t = Table {
             columns: vec![Column::FirstTime, Column::TopValue],
-            rows: vec![Row { group: 0, values: vec![100.0, 3.5] }],
+            rows: vec![Row {
+                group: 0,
+                values: vec![100.0, 3.5],
+            }],
         };
         let text = t.to_text();
         assert!(text.contains("FirstTime"));

@@ -108,7 +108,12 @@ pub fn lex(input: &str) -> Result<Vec<Token>, (usize, char)> {
 #[cfg(test)]
 mod tests {
     // Tests assert by panicking; the workspace deny-set targets library code.
-    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
 
     use super::*;
 

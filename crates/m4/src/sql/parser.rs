@@ -63,7 +63,9 @@ impl Column {
     }
 
     fn from_ident(s: &str) -> Option<Column> {
-        Column::ALL.into_iter().find(|c| c.name().eq_ignore_ascii_case(s))
+        Column::ALL
+            .into_iter()
+            .find(|c| c.name().eq_ignore_ascii_case(s))
     }
 }
 
@@ -80,7 +82,10 @@ pub enum SqlError {
     /// Tokenizer failure at byte/char position.
     Lex { pos: usize, ch: char },
     /// Parser failure with a human-readable expectation.
-    Parse { expected: &'static str, found: String },
+    Parse {
+        expected: &'static str,
+        found: String,
+    },
     /// Unknown projection function.
     UnknownFunction(String),
     /// `@param` without a bound value.
@@ -154,9 +159,9 @@ impl M4Statement {
         let resolve = |v: &Value| -> Result<i64, SqlError> {
             match v {
                 Value::Literal(x) => Ok(*x),
-                Value::Param(name) => {
-                    params.get(name).ok_or_else(|| SqlError::UnboundParam(name.clone()))
-                }
+                Value::Param(name) => params
+                    .get(name)
+                    .ok_or_else(|| SqlError::UnboundParam(name.clone())),
             }
         };
         let w = resolve(&self.w)?;
@@ -165,8 +170,7 @@ impl M4Statement {
         if w <= 0 {
             return Err(SqlError::Invalid(format!("w must be positive, got {w}")));
         }
-        M4Query::new(t_qs, t_qe, w as usize)
-            .map_err(|e| SqlError::Invalid(e.to_string()))
+        M4Query::new(t_qs, t_qe, w as usize).map_err(|e| SqlError::Invalid(e.to_string()))
     }
 }
 
@@ -198,24 +202,42 @@ impl Parser {
     fn expect_keyword(&mut self, kw: &'static str) -> Result<(), SqlError> {
         match self.next() {
             Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
-            Some(t) => Err(SqlError::Parse { expected: kw, found: t.to_string() }),
-            None => Err(SqlError::Parse { expected: kw, found: "end of input".into() }),
+            Some(t) => Err(SqlError::Parse {
+                expected: kw,
+                found: t.to_string(),
+            }),
+            None => Err(SqlError::Parse {
+                expected: kw,
+                found: "end of input".into(),
+            }),
         }
     }
 
     fn expect_token(&mut self, want: Token, expected: &'static str) -> Result<(), SqlError> {
         match self.next() {
             Some(t) if t == want => Ok(()),
-            Some(t) => Err(SqlError::Parse { expected, found: t.to_string() }),
-            None => Err(SqlError::Parse { expected, found: "end of input".into() }),
+            Some(t) => Err(SqlError::Parse {
+                expected,
+                found: t.to_string(),
+            }),
+            None => Err(SqlError::Parse {
+                expected,
+                found: "end of input".into(),
+            }),
         }
     }
 
     fn ident(&mut self, expected: &'static str) -> Result<String, SqlError> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            Some(t) => Err(SqlError::Parse { expected, found: t.to_string() }),
-            None => Err(SqlError::Parse { expected, found: "end of input".into() }),
+            Some(t) => Err(SqlError::Parse {
+                expected,
+                found: t.to_string(),
+            }),
+            None => Err(SqlError::Parse {
+                expected,
+                found: "end of input".into(),
+            }),
         }
     }
 
@@ -223,10 +245,14 @@ impl Parser {
         match self.next() {
             Some(Token::Int(v)) => Ok(Value::Literal(v)),
             Some(Token::Param(p)) => Ok(Value::Param(p)),
-            Some(t) => Err(SqlError::Parse { expected: "number or @param", found: t.to_string() }),
-            None => {
-                Err(SqlError::Parse { expected: "number or @param", found: "end of input".into() })
-            }
+            Some(t) => Err(SqlError::Parse {
+                expected: "number or @param",
+                found: t.to_string(),
+            }),
+            None => Err(SqlError::Parse {
+                expected: "number or @param",
+                found: "end of input".into(),
+            }),
         }
     }
 
@@ -235,8 +261,7 @@ impl Parser {
         let mut columns = Vec::new();
         loop {
             let func = self.ident("projection function")?;
-            let column =
-                Column::from_ident(&func).ok_or(SqlError::UnknownFunction(func))?;
+            let column = Column::from_ident(&func).ok_or(SqlError::UnknownFunction(func))?;
             columns.push(column);
             self.expect_token(Token::LParen, "(")?;
             self.ident("series alias")?;
@@ -256,7 +281,10 @@ impl Parser {
         if kw.eq_ignore_ascii_case("GROUP") {
             self.expect_keyword("BY")?;
         } else if !kw.eq_ignore_ascii_case("GROUPBY") {
-            return Err(SqlError::Parse { expected: "GROUPBY", found: kw });
+            return Err(SqlError::Parse {
+                expected: "GROUPBY",
+                found: kw,
+            });
         }
 
         self.expect_keyword("FLOOR")?;
@@ -276,7 +304,10 @@ impl Parser {
         self.expect_token(Token::RParen, ")")?;
         self.expect_token(Token::RParen, ")")?;
         if self.peek().is_some() {
-            return Err(SqlError::Parse { expected: "end of statement", found: self.found() });
+            return Err(SqlError::Parse {
+                expected: "end of statement",
+                found: self.found(),
+            });
         }
         if t_qs2 != t_qs {
             return Err(SqlError::Invalid(
@@ -284,14 +315,25 @@ impl Parser {
                     .into(),
             ));
         }
-        Ok(M4Statement { columns, series, w, t_qs, t_qe })
+        Ok(M4Statement {
+            columns,
+            series,
+            w,
+            t_qs,
+            t_qe,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     // Tests assert by panicking; the workspace deny-set targets library code.
-    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
 
     use super::*;
 
@@ -334,7 +376,10 @@ mod tests {
     #[test]
     fn bind_errors() {
         let stmt = M4Statement::parse(PAPER_SQL).unwrap();
-        assert_eq!(stmt.bind(&Params::new()), Err(SqlError::UnboundParam("w".into())));
+        assert_eq!(
+            stmt.bind(&Params::new()),
+            Err(SqlError::UnboundParam("w".into()))
+        );
         let mut p = Params::new();
         p.set("w", 0).set("tqs", 0).set("tqe", 10);
         assert!(matches!(stmt.bind(&p), Err(SqlError::Invalid(_))));
@@ -367,16 +412,16 @@ mod tests {
             Err(SqlError::Parse { .. })
         ));
         assert!(matches!(
-            M4Statement::parse(
-                "SELECT FirstTime(T) FROM T GROUPBY floor(1*(t-0)/(9-0)) trailing"
-            ),
+            M4Statement::parse("SELECT FirstTime(T) FROM T GROUPBY floor(1*(t-0)/(9-0)) trailing"),
             Err(SqlError::Parse { .. })
         ));
     }
 
     #[test]
     fn error_display() {
-        assert!(SqlError::UnboundParam("w".into()).to_string().contains("@w"));
+        assert!(SqlError::UnboundParam("w".into())
+            .to_string()
+            .contains("@w"));
         assert!(SqlError::Lex { pos: 3, ch: ';' }.to_string().contains(';'));
     }
 }

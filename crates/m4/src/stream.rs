@@ -57,7 +57,14 @@ impl StreamingM4 {
         if in_order {
             self.watermark = Some(p.t);
             match &mut self.spans[i] {
-                None => self.spans[i] = Some(SpanRepr { first: p, last: p, bottom: p, top: p }),
+                None => {
+                    self.spans[i] = Some(SpanRepr {
+                        first: p,
+                        last: p,
+                        bottom: p,
+                        top: p,
+                    })
+                }
                 Some(r) => {
                     r.last = p;
                     if p.v.total_cmp(&r.bottom.v).is_lt() {
@@ -85,7 +92,12 @@ impl StreamingM4 {
 
     /// Spans currently marked dirty (need [`Self::repair`]).
     pub fn dirty_spans(&self) -> Vec<usize> {
-        self.dirty.iter().enumerate().filter(|(_, &d)| d).map(|(i, _)| i).collect()
+        self.dirty
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Replace a dirty span with an authoritative recomputation (e.g.
@@ -98,7 +110,9 @@ impl StreamingM4 {
     /// Current representation. Dirty spans are returned as-is (stale);
     /// consult [`Self::dirty_spans`] to know which.
     pub fn current(&self) -> M4Result {
-        M4Result { spans: self.spans.clone() }
+        M4Result {
+            spans: self.spans.clone(),
+        }
     }
 
     /// Whether every span is exact (no dirty spans).
@@ -110,7 +124,12 @@ impl StreamingM4 {
 #[cfg(test)]
 mod tests {
     // Tests assert by panicking; the workspace deny-set targets library code.
-    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
 
     use super::*;
     use crate::oracle::m4_scan;
@@ -123,8 +142,9 @@ mod tests {
     fn in_order_stream_matches_oracle() {
         let query = q(10);
         let mut s = StreamingM4::new(query);
-        let points: Vec<Point> =
-            (0..1_000).map(|t| Point::new(t, ((t * 37) % 101) as f64)).collect();
+        let points: Vec<Point> = (0..1_000)
+            .map(|t| Point::new(t, ((t * 37) % 101) as f64))
+            .collect();
         s.ingest_all(&points);
         assert!(s.is_exact());
         let expected = m4_scan(&points, &query);
@@ -135,7 +155,9 @@ mod tests {
     fn incremental_prefix_always_matches() {
         let query = q(7);
         let mut s = StreamingM4::new(query);
-        let points: Vec<Point> = (0..500).map(|t| Point::new(t * 2, (t % 13) as f64)).collect();
+        let points: Vec<Point> = (0..500)
+            .map(|t| Point::new(t * 2, (t % 13) as f64))
+            .collect();
         for (i, p) in points.iter().enumerate() {
             s.ingest(*p);
             if i % 97 == 0 {
@@ -156,7 +178,11 @@ mod tests {
         s.ingest(Point::new(50, 9.0));
         assert_eq!(s.dirty_spans(), vec![0]);
         // Span 2 (the in-order one) is still exact.
-        let all = vec![Point::new(50, 9.0), Point::new(100, 1.0), Point::new(500, 2.0)];
+        let all = vec![
+            Point::new(50, 9.0),
+            Point::new(100, 1.0),
+            Point::new(500, 2.0),
+        ];
         let expected = m4_scan(&all, &query);
         s.repair(0, expected.spans[0]);
         assert!(s.is_exact());

@@ -51,9 +51,14 @@ impl M4Udf {
         // are never decoded.
         let page_runs: Vec<Vec<(Version, Arc<Vec<Point>>)>> =
             pool::run_indexed(threads, plan.len(), |i| {
-                let chunk = plan.get(i).ok_or(M4Error::Internal("udf load plan out of range"))?;
+                let chunk = plan
+                    .get(i)
+                    .ok_or(M4Error::Internal("udf load plan out of range"))?;
                 let pages = snapshot.read_points_in(chunk, query.full_range())?;
-                Ok(pages.into_iter().map(|(_, pts)| (chunk.version, pts)).collect())
+                Ok(pages
+                    .into_iter()
+                    .map(|(_, pts)| (chunk.version, pts))
+                    .collect())
             })?;
         let runs: Vec<(Version, Arc<Vec<Point>>)> = page_runs.into_iter().flatten().collect();
         // Shard the merge into contiguous groups of spans (disjoint
@@ -76,7 +81,12 @@ impl M4Udf {
 #[cfg(test)]
 mod tests {
     // Tests assert by panicking; the workspace deny-set targets library code.
-    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
 
     use super::*;
     use tsfile::types::Point;
@@ -89,7 +99,11 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         let kv = TsKv::open(
             &dir,
-            EngineConfig { points_per_chunk: 50, memtable_threshold: 100, ..Default::default() },
+            EngineConfig {
+                points_per_chunk: 50,
+                memtable_threshold: 100,
+                ..Default::default()
+            },
         )
         .unwrap();
         for t in 0..400i64 {

@@ -12,7 +12,11 @@ pub enum TsFileError {
     /// unsupported format version.
     BadMagic { found: [u8; 6] },
     /// A checksum mismatch was detected while decoding a block.
-    ChecksumMismatch { expected: u32, actual: u32, what: &'static str },
+    ChecksumMismatch {
+        expected: u32,
+        actual: u32,
+        what: &'static str,
+    },
     /// The byte stream ended before a complete value could be decoded.
     UnexpectedEof { what: &'static str },
     /// A decoded quantity is out of its legal range (corrupt file or bug).
@@ -33,7 +37,11 @@ impl fmt::Display for TsFileError {
             TsFileError::BadMagic { found } => {
                 write!(f, "bad magic bytes: {found:?} (not a tsfile?)")
             }
-            TsFileError::ChecksumMismatch { expected, actual, what } => write!(
+            TsFileError::ChecksumMismatch {
+                expected,
+                actual,
+                what,
+            } => write!(
                 f,
                 "checksum mismatch in {what}: expected {expected:#010x}, got {actual:#010x}"
             ),
@@ -74,7 +82,11 @@ mod tests {
     fn display_formats() {
         let e = TsFileError::UnsortedPoints { prev: 10, next: 5 };
         assert!(e.to_string().contains("strictly increasing"));
-        let e = TsFileError::ChecksumMismatch { expected: 1, actual: 2, what: "chunk" };
+        let e = TsFileError::ChecksumMismatch {
+            expected: 1,
+            actual: 2,
+            what: "chunk",
+        };
         assert!(e.to_string().contains("chunk"));
         let e = TsFileError::BadMagic { found: *b"NOTTSF" };
         assert!(e.to_string().contains("magic"));

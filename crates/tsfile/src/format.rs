@@ -122,11 +122,13 @@ impl ChunkMeta {
                 Some(StepIndex::decode(buf, pos)?)
             }
             Some(other) => {
-                return Err(TsFileError::Corrupt(format!(
-                    "bad step-index flag {other}"
-                )))
+                return Err(TsFileError::Corrupt(format!("bad step-index flag {other}")))
             }
-            None => return Err(TsFileError::UnexpectedEof { what: "step-index flag" }),
+            None => {
+                return Err(TsFileError::UnexpectedEof {
+                    what: "step-index flag",
+                })
+            }
         };
         let paged = if format >= FORMAT_V2 {
             match buf.get(*pos) {
@@ -141,16 +143,25 @@ impl ChunkMeta {
                     Some(info)
                 }
                 Some(other) => {
-                    return Err(TsFileError::Corrupt(format!(
-                        "bad page-index flag {other}"
-                    )))
+                    return Err(TsFileError::Corrupt(format!("bad page-index flag {other}")))
                 }
-                None => return Err(TsFileError::UnexpectedEof { what: "page-index flag" }),
+                None => {
+                    return Err(TsFileError::UnexpectedEof {
+                        what: "page-index flag",
+                    })
+                }
             }
         } else {
             None
         };
-        Ok(ChunkMeta { offset, byte_len, version, stats, index, paged })
+        Ok(ChunkMeta {
+            offset,
+            byte_len,
+            version,
+            stats,
+            index,
+            paged,
+        })
     }
 }
 
@@ -206,7 +217,12 @@ mod tests {
     fn meta(version: u64, t0: i64, t1: i64) -> crate::Result<ChunkMeta> {
         let pts = vec![Point::new(t0, 1.0), Point::new(t1, 2.0)];
         let mut body = Vec::new();
-        encode_page(&pts, EncodingKind::Ts2Diff, EncodingKind::Gorilla, &mut body);
+        encode_page(
+            &pts,
+            EncodingKind::Ts2Diff,
+            EncodingKind::Gorilla,
+            &mut body,
+        );
         Ok(ChunkMeta {
             offset: 6,
             byte_len: body.len() as u64,
@@ -254,8 +270,9 @@ mod tests {
 
     #[test]
     fn footer_roundtrip() -> crate::Result<()> {
-        let f =
-            FileFooter { chunks: vec![meta(1, 0, 10)?, meta(2, 50, 70)?, meta(3, 100, 110)?] };
+        let f = FileFooter {
+            chunks: vec![meta(1, 0, 10)?, meta(2, 50, 70)?, meta(3, 100, 110)?],
+        };
         for format in [FORMAT_V1, FORMAT_V2] {
             let body = f.encode_body(format);
             let back = FileFooter::decode_body(&body, format)?;
@@ -270,13 +287,18 @@ mod tests {
     #[test]
     fn empty_footer_roundtrip() -> crate::Result<()> {
         let f = FileFooter::default();
-        assert_eq!(FileFooter::decode_body(&f.encode_body(FORMAT_V2), FORMAT_V2)?, f);
+        assert_eq!(
+            FileFooter::decode_body(&f.encode_body(FORMAT_V2), FORMAT_V2)?,
+            f
+        );
         Ok(())
     }
 
     #[test]
     fn footer_rejects_trailing_garbage() -> crate::Result<()> {
-        let f = FileFooter { chunks: vec![meta(1, 0, 10)?] };
+        let f = FileFooter {
+            chunks: vec![meta(1, 0, 10)?],
+        };
         let mut body = f.encode_body(FORMAT_V2);
         body.push(0xAB);
         assert!(FileFooter::decode_body(&body, FORMAT_V2).is_err());

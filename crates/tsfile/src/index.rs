@@ -128,21 +128,37 @@ impl StepIndex {
             tilt: bool,
         }
         let mut anchors: Vec<Anchor> = Vec::with_capacity(seg_count);
-        anchors.push(Anchor { t: ts[0], pos: 1, tilt: true });
+        anchors.push(Anchor {
+            t: ts[0],
+            pos: 1,
+            tilt: true,
+        });
         for (idx, &j) in changing.iter().enumerate() {
             let i = idx + 2; // segment number, 2-based interior
             if i > m - 2 {
                 break; // last changing point handled by the final segment rule
             }
             let tilt = i % 2 == 1;
-            anchors.push(Anchor { t: ts[(j - 1) as usize], pos: j, tilt });
+            anchors.push(Anchor {
+                t: ts[(j - 1) as usize],
+                pos: j,
+                tilt,
+            });
         }
         if seg_count >= 2 {
             let last_is_tilt = seg_count % 2 == 1;
             if last_is_tilt {
-                anchors.push(Anchor { t: ts[n - 1], pos: n as u64, tilt: true });
+                anchors.push(Anchor {
+                    t: ts[n - 1],
+                    pos: n as u64,
+                    tilt: true,
+                });
             } else {
-                anchors.push(Anchor { t: ts[n - 1], pos: n as u64, tilt: false });
+                anchors.push(Anchor {
+                    t: ts[n - 1],
+                    pos: n as u64,
+                    tilt: false,
+                });
             }
         }
         debug_assert_eq!(anchors.len(), seg_count);
@@ -176,9 +192,18 @@ impl StepIndex {
                 return None; // degenerate model; caller falls back
             }
             prev_start = start;
-            segments.push(Segment { start, anchor_t: a.t, anchor_pos: a.pos, tilt: a.tilt });
+            segments.push(Segment {
+                start,
+                anchor_t: a.t,
+                anchor_pos: a.pos,
+                tilt: a.tilt,
+            });
         }
-        if segments.last().map(|s| s.start > ts[n - 1]).unwrap_or(false) {
+        if segments
+            .last()
+            .map(|s| s.start > ts[n - 1])
+            .unwrap_or(false)
+        {
             return None;
         }
 
@@ -370,7 +395,12 @@ impl StepIndex {
                 _ => return Err(TsFileError::Corrupt("step index tilt flag".into())),
             };
             *pos += 1;
-            segments.push(Segment { start, anchor_t, anchor_pos, tilt });
+            segments.push(Segment {
+                start,
+                anchor_t,
+                anchor_pos,
+                tilt,
+            });
         }
         Ok(StepIndex {
             median_delta,
@@ -553,7 +583,9 @@ mod tests {
         let mut state = 0x12345u64;
         let mut t = 1_000_000i64;
         for _ in 0..3000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let jitter = (state >> 33) as i64 % 7 - 3;
             t += 1000 + jitter;
             ts.push(t);

@@ -76,7 +76,7 @@ pub use page::{PageMeta, PageStatistics, PagedChunkInfo};
 pub use reader::TsFileReader;
 pub use statistics::ChunkStatistics;
 pub use types::{Point, Timestamp, Value, Version};
-pub use writer::TsFileWriter;
+pub use writer::{RawPage, TsFileWriter};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, TsFileError>;

@@ -28,7 +28,10 @@ pub struct ModEntry {
 impl ModEntry {
     /// Construct a delete entry.
     pub fn new(version: Version, start: Timestamp, end: Timestamp) -> Self {
-        ModEntry { version, range: TimeRange::new(start, end) }
+        ModEntry {
+            version,
+            range: TimeRange::new(start, end),
+        }
     }
 
     /// Whether timestamp `t` is covered by this delete (`t ⊨ D^κ`).
@@ -119,7 +122,10 @@ impl ModsFile {
     pub fn append(&mut self, entry: ModEntry) -> Result<()> {
         let mut bytes = Vec::with_capacity(28);
         entry.encode(&mut bytes);
-        let mut f = OpenOptions::new().create(true).append(true).open(&self.path)?;
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
         f.write_all(&bytes)?;
         f.sync_data()?;
         self.entries.push(entry);
@@ -160,7 +166,10 @@ mod tests {
         let m2 = ModsFile::open(&p)?;
         assert_eq!(
             m2.entries(),
-            &[ModEntry::new(Version(2), 100, 200), ModEntry::new(Version(5), -50, 50)]
+            &[
+                ModEntry::new(Version(2), 100, 200),
+                ModEntry::new(Version(5), -50, 50)
+            ]
         );
         Ok(())
     }

@@ -282,6 +282,23 @@ fn checked_payload<'a>(body: &'a [u8], what: &'static str) -> Result<&'a [u8]> {
     Ok(payload)
 }
 
+/// Verify a raw page body without decoding it: checksum over the
+/// payload plus the header point count against the page index entry.
+/// This is the integrity gate for byte-for-byte page copies — the
+/// compactor revalidates every page it moves verbatim so silent
+/// corruption can never be propagated into a new file.
+pub fn verify_page_body(body: &[u8], meta: &PageMeta) -> Result<()> {
+    let payload = checked_payload(body, "page body")?;
+    let cols = split_page(payload)?;
+    if cast::u64_from_usize(cols.n) != meta.stats.count {
+        return Err(TsFileError::Corrupt(format!(
+            "page body holds {} points but page index says {}",
+            cols.n, meta.stats.count
+        )));
+    }
+    Ok(())
+}
+
 /// Parsed page header: count, ts mode, and the two column slices.
 struct PageColumns<'a> {
     n: usize,
@@ -534,6 +551,34 @@ mod tests {
         }
         assert!(matches!(
             decode_page(&body, EncodingKind::Ts2Diff, EncodingKind::Gorilla, &meta),
+            Err(TsFileError::ChecksumMismatch { .. })
+        ));
+        Ok(())
+    }
+
+    #[test]
+    fn verify_page_body_checks_crc_and_count() -> Result<()> {
+        let points = pts(80, 5);
+        let mut body = Vec::new();
+        encode_page(
+            &points,
+            EncodingKind::Ts2Diff,
+            EncodingKind::Gorilla,
+            &mut body,
+        );
+        let meta = page_meta(&points, 0, body.len() as u64)?;
+        verify_page_body(&body, &meta)?;
+        // Count mismatch against the index entry.
+        let mut wrong = meta.clone();
+        wrong.stats.count += 1;
+        assert!(verify_page_body(&body, &wrong).is_err());
+        // Flipped byte breaks the CRC.
+        let mut flipped = body.clone();
+        if let Some(b) = flipped.get_mut(10) {
+            *b ^= 0x40;
+        }
+        assert!(matches!(
+            verify_page_body(&flipped, &meta),
             Err(TsFileError::ChecksumMismatch { .. })
         ));
         Ok(())

@@ -247,6 +247,46 @@ impl TsFileReader {
         Ok(out)
     }
 
+    /// Read the raw (still-encoded) bodies of a contiguous page window
+    /// of a v2 chunk in one pooled pread, verifying each page's CRC and
+    /// header count against the footer. Returns the buffer plus the
+    /// chunk-relative byte offset it starts at; individual pages slice
+    /// out via [`page_body_slice`] with that base.
+    ///
+    /// This is the compactor's clean-page copy source: bytes move from
+    /// file to file without ever being decoded, but never without being
+    /// revalidated.
+    pub fn read_page_window_raw(
+        &self,
+        meta: &ChunkMeta,
+        window: std::ops::Range<usize>,
+    ) -> Result<(bufpool::PooledBuf, u64)> {
+        let info = meta
+            .paged
+            .as_ref()
+            .ok_or_else(|| TsFileError::Corrupt("raw page window on unpaged chunk".into()))?;
+        let first = info
+            .pages
+            .get(window.start)
+            .ok_or_else(|| TsFileError::Corrupt("page window out of range".into()))?;
+        let last = window
+            .end
+            .checked_sub(1)
+            .filter(|&e| e >= window.start)
+            .and_then(|e| info.pages.get(e))
+            .ok_or_else(|| TsFileError::Corrupt("page window out of range".into()))?;
+        let base = first.offset;
+        let len = last.offset + last.byte_len - base;
+        let buf = self.file.read_pooled_at(len as usize, meta.offset + base)?;
+        self.chunks_read.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(len, Ordering::Relaxed);
+        for pm in info.pages.iter().take(window.end).skip(window.start) {
+            let slice = page_body_slice(&buf, pm, base)?;
+            page::verify_page_body(slice, pm)?;
+        }
+        Ok((buf, base))
+    }
+
     /// Read one page of a v2 chunk and decode only its timestamp
     /// column, optionally stopping once past `until`.
     pub fn read_page_timestamps(
@@ -336,7 +376,8 @@ impl TsFileReader {
 /// Slice one page's body out of a buffer that starts at chunk-relative
 /// byte offset `base`. All bounds come from the (CRC-verified) footer,
 /// but are re-checked here so a logic error can never index wild.
-fn page_body_slice<'a>(buf: &'a [u8], pm: &PageMeta, base: u64) -> Result<&'a [u8]> {
+/// Public so the compactor can carve pages out of a raw window read.
+pub fn page_body_slice<'a>(buf: &'a [u8], pm: &PageMeta, base: u64) -> Result<&'a [u8]> {
     let start = pm
         .offset
         .checked_sub(base)
@@ -655,6 +696,51 @@ mod tests {
         let ts = r.read_page_timestamps(meta, 5, None)?;
         assert!(ts.iter().zip(&pts[500..600]).all(|(t, p)| *t == p.t));
         assert!(r.read_page(meta, 10).is_err(), "page_no out of range");
+        Ok(())
+    }
+
+    #[test]
+    fn raw_page_window_matches_decoded_pages() -> Result<()> {
+        let p = tmp("raw-window.tsfile");
+        let mut w = TsFileWriter::create(&p)?;
+        w.set_page_points(100);
+        let pts: Vec<Point> = (0..1000)
+            .map(|i| Point::new(i * 10 + (i % 3), i as f64))
+            .collect();
+        w.write_chunk(&pts, 1)?;
+        w.finish()?;
+        let r = TsFileReader::open(&p)?;
+        let meta = &r.chunk_metas()[0];
+        let info = meta.paged.as_ref().ok_or(TsFileError::EmptyChunk)?;
+
+        let (buf, base) = r.read_page_window_raw(meta, 3..6)?;
+        assert_eq!(base, info.pages[3].offset);
+        for pm in &info.pages[3..6] {
+            let slice = page_body_slice(&buf, pm, base)?;
+            let decoded = page::decode_page(slice, info.ts_encoding, info.val_encoding, pm)?;
+            assert_eq!(decoded.len() as u64, pm.stats.count);
+            assert_eq!(decoded.first().map(|p| p.t), Some(pm.stats.first.t));
+        }
+
+        // Out-of-range and empty windows are rejected.
+        assert!(r.read_page_window_raw(meta, 8..11).is_err());
+        assert!(r.read_page_window_raw(meta, 4..4).is_err());
+
+        // A corrupt body inside the window fails verification.
+        let mut data = std::fs::read(&p)?;
+        let idx = (meta.offset + info.pages[4].offset + 5) as usize;
+        data[idx] ^= 0x08;
+        std::fs::write(&p, &data)?;
+        let r2 = TsFileReader::open(&p)?;
+        let m2 = &r2.chunk_metas()[0];
+        assert!(matches!(
+            r2.read_page_window_raw(m2, 3..6),
+            Err(TsFileError::ChecksumMismatch { .. })
+        ));
+        assert!(
+            r2.read_page_window_raw(m2, 0..3).is_ok(),
+            "clean prefix still reads"
+        );
         Ok(())
     }
 

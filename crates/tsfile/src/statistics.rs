@@ -49,7 +49,13 @@ impl ChunkStatistics {
                 top = *p;
             }
         }
-        Ok(ChunkStatistics { first, last, bottom, top, count: points.len() as u64 })
+        Ok(ChunkStatistics {
+            first,
+            last,
+            bottom,
+            top,
+            count: points.len() as u64,
+        })
     }
 
     /// The chunk's time interval `[FP(C).t, LP(C).t]`.
@@ -72,9 +78,9 @@ impl ChunkStatistics {
         let read_point = |pos: &mut usize| -> Result<Point> {
             let t = varint::read_i64(buf, pos)?;
             let end = *pos + 8;
-            let bytes = buf
-                .get(*pos..end)
-                .ok_or(TsFileError::UnexpectedEof { what: "statistics value" })?;
+            let bytes = buf.get(*pos..end).ok_or(TsFileError::UnexpectedEof {
+                what: "statistics value",
+            })?;
             *pos = end;
             let mut arr = [0u8; 8];
             for (dst, src) in arr.iter_mut().zip(bytes) {
@@ -87,7 +93,13 @@ impl ChunkStatistics {
         let bottom = read_point(pos)?;
         let top = read_point(pos)?;
         let count = varint::read_u64(buf, pos)?;
-        let stats = ChunkStatistics { first, last, bottom, top, count };
+        let stats = ChunkStatistics {
+            first,
+            last,
+            bottom,
+            top,
+            count,
+        };
         stats.validate()?;
         Ok(stats)
     }

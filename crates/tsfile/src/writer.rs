@@ -8,11 +8,22 @@ use crate::checksum::crc32;
 use crate::encoding::EncodingKind;
 use crate::format::{ChunkMeta, FileFooter, FORMAT_V2, MAGIC};
 use crate::index::StepIndex;
-use crate::page::{self, PageMeta, PagedChunkInfo, PageStatistics};
+use crate::page::{self, PageMeta, PageStatistics, PagedChunkInfo};
 use crate::statistics::ChunkStatistics;
 use crate::types::{Point, Version};
 use crate::Result;
 use crate::TsFileError;
+
+/// One already-encoded page destined for byte-for-byte reuse: the raw
+/// body bytes (trailing CRC included) plus the footer statistics that
+/// travel with them into the new chunk's page index.
+#[derive(Debug, Clone, Copy)]
+pub struct RawPage<'a> {
+    /// Complete page body as stored on disk.
+    pub bytes: &'a [u8],
+    /// The page's FP/LP/BP/TP/count, carried from the source footer.
+    pub stats: PageStatistics,
+}
 
 /// Writes one TsFile (format v2): magic, page-structured chunk bodies,
 /// footer with a per-chunk page index. Columns are encoded with
@@ -85,7 +96,10 @@ impl TsFileWriter {
         }
         for w in points.windows(2) {
             if w[1].t <= w[0].t {
-                return Err(TsFileError::UnsortedPoints { prev: w[0].t, next: w[1].t });
+                return Err(TsFileError::UnsortedPoints {
+                    prev: w[0].t,
+                    next: w[1].t,
+                });
             }
         }
         let stats = ChunkStatistics::from_points(points)?;
@@ -106,7 +120,11 @@ impl TsFileWriter {
         }
 
         let ts: Vec<i64> = points.iter().map(|p| p.t).collect();
-        let index = if self.build_index { StepIndex::learn(&ts) } else { None };
+        let index = if self.build_index {
+            StepIndex::learn(&ts)
+        } else {
+            None
+        };
         let meta = ChunkMeta {
             offset: self.pos,
             byte_len: body.len() as u64,
@@ -121,6 +139,84 @@ impl TsFileWriter {
         };
         self.out.write_all(&body)?;
         self.pos += body.len() as u64;
+        self.footer.chunks.push(meta.clone());
+        Ok(meta)
+    }
+
+    /// Append one chunk assembled from already-encoded page bodies,
+    /// byte for byte — the compactor's clean-page fast path. Every page
+    /// is CRC-revalidated against its statistics before a single byte
+    /// is written, page offsets are retiled from zero, and the chunk
+    /// statistics are derived by merging the page statistics (earliest
+    /// point wins value ties, matching [`ChunkStatistics::from_points`]).
+    ///
+    /// The pages must be time-ordered and disjoint and share the given
+    /// column encodings (pages of one v2 chunk always do). No step
+    /// index is learned — that would require decoding the timestamps
+    /// this path exists to avoid.
+    pub fn write_chunk_raw(
+        &mut self,
+        pages: &[RawPage<'_>],
+        ts_encoding: EncodingKind,
+        val_encoding: EncodingKind,
+        version: u64,
+    ) -> Result<ChunkMeta> {
+        if self.finished {
+            return Err(TsFileError::WriterFinished);
+        }
+        let (first_page, rest) = pages.split_first().ok_or(TsFileError::EmptyChunk)?;
+        let mut prev_last = first_page.stats.last.t;
+        for p in rest {
+            if p.stats.first.t <= prev_last {
+                return Err(TsFileError::UnsortedPoints {
+                    prev: prev_last,
+                    next: p.stats.first.t,
+                });
+            }
+            prev_last = p.stats.last.t;
+        }
+
+        let mut metas = Vec::with_capacity(pages.len());
+        let mut offset = 0u64;
+        let mut stats = first_page.stats;
+        let mut count = 0u64;
+        for p in pages {
+            p.stats.validate()?;
+            let pm = PageMeta {
+                offset,
+                byte_len: p.bytes.len() as u64,
+                stats: p.stats,
+            };
+            page::verify_page_body(p.bytes, &pm)?;
+            offset += pm.byte_len;
+            count += p.stats.count;
+            if p.stats.bottom.v.total_cmp(&stats.bottom.v).is_lt() {
+                stats.bottom = p.stats.bottom;
+            }
+            if p.stats.top.v.total_cmp(&stats.top.v).is_gt() {
+                stats.top = p.stats.top;
+            }
+            metas.push(pm);
+        }
+        stats.last = pages.last().map_or(stats.last, |p| p.stats.last);
+        stats.count = count;
+
+        let meta = ChunkMeta {
+            offset: self.pos,
+            byte_len: offset,
+            version: Version(version),
+            stats,
+            index: None,
+            paged: Some(PagedChunkInfo {
+                ts_encoding,
+                val_encoding,
+                pages: metas,
+            }),
+        };
+        for p in pages {
+            self.out.write_all(p.bytes)?;
+        }
+        self.pos += offset;
         self.footer.chunks.push(meta.clone());
         Ok(meta)
     }
@@ -170,7 +266,10 @@ mod tests {
     fn empty_chunk_rejected() -> Result<()> {
         let p = tmp("empty.tsfile");
         let mut w = TsFileWriter::create(&p)?;
-        assert!(matches!(w.write_chunk(&[], 1), Err(TsFileError::EmptyChunk)));
+        assert!(matches!(
+            w.write_chunk(&[], 1),
+            Err(TsFileError::EmptyChunk)
+        ));
         Ok(())
     }
 
@@ -193,7 +292,10 @@ mod tests {
         w.write_chunk(&pts(0..5), 1)?;
         w.finish()?;
         assert!(matches!(w.finish(), Err(TsFileError::WriterFinished)));
-        assert!(matches!(w.write_chunk(&pts(5..9), 2), Err(TsFileError::WriterFinished)));
+        assert!(matches!(
+            w.write_chunk(&pts(5..9), 2),
+            Err(TsFileError::WriterFinished)
+        ));
         Ok(())
     }
 
@@ -227,6 +329,100 @@ mod tests {
         for w2 in info.pages.windows(2) {
             assert!(w2[0].stats.last.t < w2[1].stats.first.t);
         }
+        Ok(())
+    }
+
+    #[test]
+    fn raw_chunk_roundtrips_through_copy() -> Result<()> {
+        use crate::reader::{page_body_slice, TsFileReader};
+
+        // Source file: one chunk split into small pages.
+        let src = tmp("raw-src.tsfile");
+        let mut w = TsFileWriter::create(&src)?;
+        w.set_page_points(50);
+        let points = pts(0..200);
+        w.write_chunk(&points, 3)?;
+        w.finish()?;
+        let r = TsFileReader::open(&src)?;
+        let meta = &r.chunk_metas()[0];
+        let info = meta.paged.as_ref().ok_or(TsFileError::EmptyChunk)?;
+        let (buf, base) = r.read_page_window_raw(meta, 0..info.pages.len())?;
+        let raw: Vec<RawPage<'_>> = info
+            .pages
+            .iter()
+            .map(|pm| {
+                Ok(RawPage {
+                    bytes: page_body_slice(&buf, pm, base)?,
+                    stats: pm.stats,
+                })
+            })
+            .collect::<Result<_>>()?;
+
+        // Destination: copy the pages byte for byte under a new version.
+        let dst = tmp("raw-dst.tsfile");
+        let mut w2 = TsFileWriter::create(&dst)?;
+        let m2 = w2.write_chunk_raw(&raw, info.ts_encoding, info.val_encoding, 9)?;
+        w2.finish()?;
+        assert_eq!(m2.version.0, 9);
+        assert_eq!(m2.stats, meta.stats);
+        assert!(m2.index.is_none(), "raw copy learns no step index");
+        let r2 = TsFileReader::open(&dst)?;
+        assert_eq!(r2.read_chunk(&r2.chunk_metas()[0])?, points);
+        Ok(())
+    }
+
+    #[test]
+    fn raw_chunk_rejects_bad_pages() -> Result<()> {
+        use crate::page::{encode_page, PageStatistics};
+
+        let p = tmp("raw-bad.tsfile");
+        let mut w = TsFileWriter::create(&p)?;
+        assert!(matches!(
+            w.write_chunk_raw(&[], EncodingKind::Ts2Diff, EncodingKind::Gorilla, 1),
+            Err(TsFileError::EmptyChunk)
+        ));
+
+        let a = pts(0..10);
+        let b = pts(5..15); // overlaps a in time
+        let mut body_a = Vec::new();
+        encode_page(
+            &a,
+            EncodingKind::Ts2Diff,
+            EncodingKind::Gorilla,
+            &mut body_a,
+        );
+        let mut body_b = Vec::new();
+        encode_page(
+            &b,
+            EncodingKind::Ts2Diff,
+            EncodingKind::Gorilla,
+            &mut body_b,
+        );
+        let pa = RawPage {
+            bytes: &body_a,
+            stats: PageStatistics::from_points(&a)?,
+        };
+        let pb = RawPage {
+            bytes: &body_b,
+            stats: PageStatistics::from_points(&b)?,
+        };
+        assert!(matches!(
+            w.write_chunk_raw(&[pa, pb], EncodingKind::Ts2Diff, EncodingKind::Gorilla, 1),
+            Err(TsFileError::UnsortedPoints { .. })
+        ));
+
+        // Corrupted body fails CRC revalidation before any write.
+        let mut flipped = body_a.clone();
+        flipped[3] ^= 0x20;
+        let bad = RawPage {
+            bytes: &flipped,
+            stats: pa.stats,
+        };
+        assert!(matches!(
+            w.write_chunk_raw(&[bad], EncodingKind::Ts2Diff, EncodingKind::Gorilla, 1),
+            Err(TsFileError::ChecksumMismatch { .. })
+        ));
+        assert_eq!(w.chunk_count(), 0, "failed raw writes record nothing");
         Ok(())
     }
 

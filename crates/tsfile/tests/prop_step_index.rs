@@ -5,7 +5,12 @@
 
 // Tests assert by panicking; the workspace panic-freedom deny-set
 // (root Cargo.toml) is aimed at library code.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
 
 use proptest::prelude::*;
 use tsfile::index::{binary_search_ops, StepIndex};
@@ -47,22 +52,29 @@ fn arbitrary_increasing() -> impl Strategy<Value = Vec<i64>> {
     })
 }
 
-fn check_ops(ts: &[i64], idx: &StepIndex, probes: impl Iterator<Item = i64>) -> Result<(), TestCaseError> {
+fn check_ops(
+    ts: &[i64],
+    idx: &StepIndex,
+    probes: impl Iterator<Item = i64>,
+) -> Result<(), TestCaseError> {
     for t in probes {
         prop_assert_eq!(
             idx.exists_at(ts, t),
             binary_search_ops::exists_at(ts, t),
-            "exists_at({})", t
+            "exists_at({})",
+            t
         );
         prop_assert_eq!(
             idx.first_after(ts, t),
             binary_search_ops::first_after(ts, t),
-            "first_after({})", t
+            "first_after({})",
+            t
         );
         prop_assert_eq!(
             idx.last_before(ts, t),
             binary_search_ops::last_before(ts, t),
-            "last_before({})", t
+            "last_before({})",
+            t
         );
     }
     Ok(())

@@ -6,7 +6,12 @@
 //! `(t = i*100, v = (i % 17) as f64)` split into two chunks of 250
 //! (versions 1 and 2), default encodings, step index enabled.
 
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 use tsfile::format::FORMAT_V1;
 use tsfile::types::{Point, TimeRange};
@@ -17,7 +22,9 @@ fn fixture_path() -> std::path::PathBuf {
 }
 
 fn expected_points() -> Vec<Point> {
-    (0..500i64).map(|i| Point::new(i * 100, (i % 17) as f64)).collect()
+    (0..500i64)
+        .map(|i| Point::new(i * 100, (i % 17) as f64))
+        .collect()
 }
 
 #[test]
@@ -46,14 +53,19 @@ fn v1_fixture_page_apis_degenerate_to_whole_chunk() {
     let expect = expected_points();
 
     // Overlapping read: the chunk is its own single page 0.
-    let pages = r.read_pages_overlapping(&metas[0], TimeRange::new(1_000, 2_000)).unwrap();
+    let pages = r
+        .read_pages_overlapping(&metas[0], TimeRange::new(1_000, 2_000))
+        .unwrap();
     assert_eq!(pages.len(), 1);
     assert_eq!(pages[0].0, 0);
     assert_eq!(pages[0].1, expect[..250]);
 
     // Disjoint range: metadata-only negative answer, no I/O.
     let before = r.chunks_read();
-    assert!(r.read_pages_overlapping(&metas[0], TimeRange::new(100_000, 200_000)).unwrap().is_empty());
+    assert!(r
+        .read_pages_overlapping(&metas[0], TimeRange::new(100_000, 200_000))
+        .unwrap()
+        .is_empty());
     assert_eq!(r.chunks_read(), before);
 
     // Timestamp probe with early stop still works on the v1 layout.

@@ -332,10 +332,21 @@ mod tests {
     #[test]
     fn page_keys_are_distinct_entries() {
         let (c, _io) = cache(1 << 20);
-        let base = CacheKey { file_id: 1, offset: 0, page_no: 0, version: 9 };
+        let base = CacheKey {
+            file_id: 1,
+            offset: 0,
+            page_no: 0,
+            version: 9,
+        };
         c.insert(base, pts(10));
         c.insert(CacheKey { page_no: 1, ..base }, pts(20));
-        c.insert(CacheKey { page_no: CacheKey::WHOLE_CHUNK, ..base }, pts(30));
+        c.insert(
+            CacheKey {
+                page_no: CacheKey::WHOLE_CHUNK,
+                ..base
+            },
+            pts(30),
+        );
         assert_eq!(c.len(), 3, "pages of one chunk cache independently");
         assert_eq!(c.get(CacheKey { page_no: 1, ..base }).unwrap().len(), 20);
         // Retiring the file drops every page entry.

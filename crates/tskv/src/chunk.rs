@@ -55,7 +55,12 @@ impl ChunkHandle {
     /// empty point set, which has no statistics to expose.
     pub fn from_mem(points: Arc<Vec<Point>>, version: Version) -> Option<Self> {
         let stats = ChunkStatistics::from_points(&points).ok()?;
-        Some(ChunkHandle { version, stats, index: None, data: ChunkData::Mem { points } })
+        Some(ChunkHandle {
+            version,
+            stats,
+            index: None,
+            data: ChunkData::Mem { points },
+        })
     }
 
     /// The chunk's (unclipped) time interval `[FP(C).t, LP(C).t]`.
@@ -92,7 +97,11 @@ mod tests {
 
     #[test]
     fn mem_handle_stats() -> std::result::Result<(), &'static str> {
-        let pts = Arc::new(vec![Point::new(1, 5.0), Point::new(2, -1.0), Point::new(3, 2.0)]);
+        let pts = Arc::new(vec![
+            Point::new(1, 5.0),
+            Point::new(2, -1.0),
+            Point::new(3, 2.0),
+        ]);
         let h = ChunkHandle::from_mem(pts, Version(9)).ok_or("non-empty points")?;
         assert_eq!(h.version, Version(9));
         assert_eq!(h.count(), 3);

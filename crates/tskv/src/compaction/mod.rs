@@ -1,0 +1,399 @@
+//! Page-aware, policy-driven compaction.
+//!
+//! The paper measures with compaction *disabled* (Table 4:
+//! `NO_COMPACTION`) because overlapping chunks and pending deletes are
+//! exactly the hard cases M4-LSM handles; a production store still
+//! needs compaction to bound read amplification. This subsystem keeps
+//! the write amplification of doing so low, in two layers:
+//!
+//! * **Selection** ([`policy`]) — a pluggable [`CompactionPolicy`]
+//!   picks *which* contiguous (in version order) run of a series'
+//!   sealed files to merge: everything ([`policy::FullPolicy`], the
+//!   default and the seed behavior), a tier of similar-sized files
+//!   ([`policy::SizeTieredPolicy`]), a bounded fold of the oldest
+//!   files ([`policy::LeveledPolicy`]), or only runs whose time ranges
+//!   actually overlap ([`policy::OverlapPolicy`]). Manual
+//!   [`crate::TsKv::compact`] keeps full-range semantics; the
+//!   background scheduler and [`crate::TsKv::compact_policy`] consult
+//!   the configured policy.
+//! * **Rewrite avoidance** ([`plan`] + [`execute`]) — footer metadata
+//!   classifies each input page as *clean* (overlapping no other input
+//!   chunk and no newer delete) or *dirty*. Clean pages are copied
+//!   byte-for-byte — CRC-revalidated, never decoded, their statistics
+//!   carried into the new footer — while only dirty pages flow through
+//!   decode → k-way merge → re-encode. On append-mostly workloads most
+//!   bytes take the copy path, which is the write-amplification win
+//!   the `repro --exp compaction` grid quantifies.
+//!
+//! Every output chunk carries the **maximum input chunk version**
+//! (inputs are contiguous in version order, so the subset-max version
+//! preserves ordering against everything outside the run), and the
+//! engine keeps each series' file list version-ordered across partial
+//! merges — recovery re-sorts by minimum chunk version, not file id.
+//! After a *full* compaction with no concurrent writes the store holds
+//! only latest points: chunk overlap is zero and no delete entries
+//! remain.
+//!
+//! [`CompactionPolicy`]: policy::CompactionPolicy
+
+pub mod execute;
+pub mod plan;
+pub mod policy;
+
+pub use policy::{CompactionPolicy, CompactionPolicyKind, FileView};
+
+/// Outcome of one compaction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Old sealed files unlinked (the input generation).
+    pub files_removed: usize,
+    /// Chunks read during the merge.
+    pub chunks_merged: usize,
+    /// Live points written to the new file (0 ⇒ everything was deleted
+    /// and no output file exists). Counts copied and re-encoded points
+    /// alike.
+    pub points_written: usize,
+    /// Delete entries applied and dropped.
+    pub deletes_applied: usize,
+    /// Clean input pages copied byte-for-byte, never decoded.
+    pub pages_copied: u64,
+    /// Input pages decoded and re-encoded (a v1 monolithic chunk
+    /// counts as one page).
+    pub pages_recoded: u64,
+    /// Input chunk-body bytes read.
+    pub bytes_read: u64,
+    /// Output bytes produced by the re-encode path. Copied bytes are
+    /// excluded: they are precisely the write amplification avoided.
+    pub bytes_rewritten: u64,
+}
+
+impl CompactionReport {
+    pub(crate) fn empty() -> Self {
+        CompactionReport {
+            files_removed: 0,
+            chunks_merged: 0,
+            points_written: 0,
+            deletes_applied: 0,
+            pages_copied: 0,
+            pages_recoded: 0,
+            bytes_read: 0,
+            bytes_rewritten: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::readers::MergeReader;
+    use crate::TsKv;
+    use tsfile::types::Point;
+
+    type TestResult = std::result::Result<(), Box<dyn std::error::Error>>;
+
+    fn fresh(name: &str) -> crate::Result<(std::path::PathBuf, TsKv)> {
+        let dir = std::env::temp_dir().join(format!("tskv-compact-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let kv = TsKv::open(
+            &dir,
+            EngineConfig {
+                points_per_chunk: 50,
+                memtable_threshold: 200,
+                ..Default::default()
+            },
+        )?;
+        Ok((dir, kv))
+    }
+
+    #[test]
+    fn compaction_preserves_merged_series() -> TestResult {
+        let (dir, kv) = fresh("preserve")?;
+        for t in 0..1_000i64 {
+            kv.insert("s", Point::new(t, 1.0))?;
+        }
+        kv.flush_all()?;
+        for t in 300..700i64 {
+            kv.insert("s", Point::new(t, 2.0))?; // overwrites
+        }
+        kv.flush_all()?;
+        kv.delete("s", 100, 149)?;
+        kv.delete("s", 650, 800)?;
+
+        let before = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
+        let report = kv.compact("s")?;
+        let snap = kv.snapshot("s")?;
+        let after = MergeReader::new(&snap).collect_merged()?;
+
+        assert_eq!(
+            before, after,
+            "compaction must not change the logical series"
+        );
+        assert!(report.files_removed >= 2);
+        assert_eq!(report.points_written, before.len());
+        assert_eq!(report.deletes_applied, 2);
+        assert!(report.bytes_read > 0);
+        assert!(snap.deletes().is_empty(), "tombstones are gone");
+        // No chunk may overlap another.
+        let chunks = snap.chunks();
+        for (i, a) in chunks.iter().enumerate() {
+            for b in chunks.iter().skip(i + 1) {
+                assert!(!a.time_range().overlaps(&b.time_range()));
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn compaction_keeps_memtable_untouched() -> TestResult {
+        let (dir, kv) = fresh("memtable")?;
+        for t in 0..400i64 {
+            kv.insert("s", Point::new(t, 1.0))?;
+        }
+        kv.flush_all()?;
+        // Buffered-only points.
+        for t in 400..450i64 {
+            kv.insert("s", Point::new(t, 5.0))?;
+        }
+        kv.compact("s")?;
+        assert_eq!(kv.unflushed_points("s")?, 50);
+        let merged = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
+        assert_eq!(merged.len(), 450);
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn compacting_fully_deleted_series_removes_files() -> TestResult {
+        let (dir, kv) = fresh("wipe")?;
+        for t in 0..300i64 {
+            kv.insert("s", Point::new(t, 1.0))?;
+        }
+        kv.flush_all()?;
+        kv.delete("s", -10, 10_000)?;
+        let report = kv.compact("s")?;
+        assert_eq!(report.points_written, 0);
+        assert_eq!(
+            report.pages_copied, 0,
+            "a delete over everything leaves nothing clean"
+        );
+        let snap = kv.snapshot("s")?;
+        assert!(snap.chunks().is_empty());
+        assert!(MergeReader::new(&snap).collect_merged()?.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn compacting_empty_series_is_noop() -> TestResult {
+        let (dir, kv) = fresh("noop")?;
+        kv.create_series("s")?;
+        let report = kv.compact("s")?;
+        assert_eq!(report, CompactionReport::empty());
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn old_snapshot_survives_compaction() -> TestResult {
+        let (dir, kv) = fresh("snapshot")?;
+        for t in 0..500i64 {
+            kv.insert("s", Point::new(t, 3.0))?;
+        }
+        kv.flush_all()?;
+        let old_snap = kv.snapshot("s")?;
+        kv.delete("s", 0, 100)?;
+        kv.compact("s")?;
+        // The pre-compaction snapshot still reads its (unlinked) files.
+        let merged = MergeReader::new(&old_snap).collect_merged()?;
+        assert_eq!(merged.len(), 500);
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn recovery_after_compaction() -> TestResult {
+        let (dir, kv) = fresh("recover")?;
+        for t in 0..600i64 {
+            kv.insert("s", Point::new(t, 1.0))?;
+        }
+        kv.flush_all()?;
+        kv.delete("s", 0, 99)?;
+        kv.compact("s")?;
+        drop(kv);
+        let kv = TsKv::open(
+            &dir,
+            EngineConfig {
+                points_per_chunk: 50,
+                memtable_threshold: 200,
+                ..Default::default()
+            },
+        )?;
+        let merged = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
+        assert_eq!(merged.len(), 500);
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    /// Disjoint flushed files: every page is clean, so the whole merge
+    /// is byte copies — zero bytes re-encoded — yet the logical series
+    /// is untouched.
+    #[test]
+    fn append_only_compaction_copies_every_page() -> TestResult {
+        let (dir, kv) = fresh("cleancopy")?;
+        for t in 0..600i64 {
+            kv.insert("s", Point::new(t, t as f64))?;
+        }
+        kv.flush_all()?; // files at 200-point boundaries, disjoint
+        let before = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
+        let report = kv.compact("s")?;
+        assert_eq!(report.files_removed, 3);
+        assert!(report.pages_copied > 0, "{report:?}");
+        assert_eq!(report.pages_recoded, 0, "{report:?}");
+        assert_eq!(report.bytes_rewritten, 0, "{report:?}");
+        assert_eq!(report.points_written, 600);
+        let snap = kv.snapshot("s")?;
+        assert_eq!(MergeReader::new(&snap).collect_merged()?, before);
+        // Copied chunks keep their paged structure in the new file.
+        assert!(snap.chunks().iter().all(|c| c.paged().is_some()));
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    /// The full-rewrite twin (`compaction_clean_page_copy: false`)
+    /// recodes everything and still produces the same logical series.
+    #[test]
+    fn clean_copy_off_is_a_full_rewrite() -> TestResult {
+        let dir = std::env::temp_dir().join(format!("tskv-compact-twin-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let kv = TsKv::open(
+            &dir,
+            EngineConfig {
+                points_per_chunk: 50,
+                memtable_threshold: 200,
+                compaction_clean_page_copy: false,
+                ..Default::default()
+            },
+        )?;
+        for t in 0..600i64 {
+            kv.insert("s", Point::new(t, t as f64))?;
+        }
+        kv.flush_all()?;
+        let before = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
+        let report = kv.compact("s")?;
+        assert_eq!(report.pages_copied, 0, "{report:?}");
+        assert!(report.pages_recoded > 0, "{report:?}");
+        assert!(report.bytes_rewritten > 0, "{report:?}");
+        assert_eq!(
+            MergeReader::new(&kv.snapshot("s")?).collect_merged()?,
+            before
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    /// Mixed workload: overwritten ranges recode, untouched ranges
+    /// copy, and both end up in one correct file.
+    #[test]
+    fn partial_overlap_mixes_copy_and_recode() -> TestResult {
+        let (dir, kv) = fresh("mixed")?;
+        for t in 0..1_000i64 {
+            kv.insert("s", Point::new(t, 1.0))?;
+        }
+        kv.flush_all()?;
+        // Overwrite a narrow window: only pages overlapping [400, 480)
+        // (plus the overwriting file's own pages) should recode.
+        for t in 400..480i64 {
+            kv.insert("s", Point::new(t, 2.0))?;
+        }
+        kv.flush_all()?;
+        let before = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
+        let report = kv.compact("s")?;
+        assert!(report.pages_copied > 0, "{report:?}");
+        assert!(report.pages_recoded > 0, "{report:?}");
+        assert!(
+            report.bytes_rewritten > 0 && report.bytes_rewritten < report.bytes_read,
+            "{report:?}"
+        );
+        let snap = kv.snapshot("s")?;
+        let after = MergeReader::new(&snap).collect_merged()?;
+        assert_eq!(before, after);
+        let chunks = snap.chunks();
+        for (i, a) in chunks.iter().enumerate() {
+            for b in chunks.iter().skip(i + 1) {
+                assert!(!a.time_range().overlaps(&b.time_range()));
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    /// A chunk sitting wholly inside the time gap between two clean
+    /// pages of another chunk ("gap dweller") must split the raw run —
+    /// otherwise the copied chunk and the recoded one would overlap.
+    #[test]
+    fn gap_dweller_splits_the_raw_run() -> TestResult {
+        let dir = std::env::temp_dir().join(format!("tskv-compact-gap-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let kv = TsKv::open(
+            &dir,
+            EngineConfig {
+                points_per_chunk: 1000,
+                page_points: 10,
+                memtable_threshold: 100_000,
+                ..Default::default()
+            },
+        )?;
+        // File 1: two 10-point pages with a hole at t in 100..200.
+        for t in (0..100i64).chain(200..300i64).step_by(10) {
+            kv.insert("s", Point::new(t, 1.0))?;
+        }
+        kv.flush("s")?;
+        // File 2: lives entirely inside the hole — overlaps neither page.
+        for t in (110..190i64).step_by(10) {
+            kv.insert("s", Point::new(t, 2.0))?;
+        }
+        kv.flush("s")?;
+        let before = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
+        let report = kv.compact("s")?;
+        assert!(report.pages_copied > 0, "{report:?}");
+        let snap = kv.snapshot("s")?;
+        assert_eq!(MergeReader::new(&snap).collect_merged()?, before);
+        let chunks = snap.chunks();
+        assert!(chunks.len() >= 2, "the gap must split the output");
+        for (i, a) in chunks.iter().enumerate() {
+            for b in chunks.iter().skip(i + 1) {
+                assert!(
+                    !a.time_range().overlaps(&b.time_range()),
+                    "{:?} overlaps {:?}",
+                    a.time_range(),
+                    b.time_range()
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    /// Deletes dirty exactly the pages they overlap; untouched pages
+    /// still copy.
+    #[test]
+    fn delete_dirties_only_overlapped_pages() -> TestResult {
+        let (dir, kv) = fresh("deldirty")?;
+        for t in 0..1_000i64 {
+            kv.insert("s", Point::new(t, 1.0))?;
+        }
+        kv.flush_all()?;
+        kv.delete("s", 440, 460)?;
+        let before = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
+        let report = kv.compact("s")?;
+        assert!(report.pages_copied > 0, "{report:?}");
+        assert!(report.pages_recoded > 0, "{report:?}");
+        let snap = kv.snapshot("s")?;
+        assert!(snap.deletes().is_empty());
+        assert_eq!(MergeReader::new(&snap).collect_merged()?, before);
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+}

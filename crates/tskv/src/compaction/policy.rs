@@ -1,0 +1,333 @@
+//! Compaction candidate selection policies.
+//!
+//! A [`CompactionPolicy`] decides *which* contiguous run of a series'
+//! sealed files to merge; the plan/execute layers decide *how*. The
+//! engine consults the configured policy under the shard lock — the
+//! decision is pure metadata arithmetic over [`FileView`]s, so holding
+//! the short guard avoids any select/capture race without violating
+//! the no-I/O-under-lock discipline.
+//!
+//! Every policy returns a run that is **contiguous in version order**
+//! (the files vec is kept version-ordered). Contiguity is a
+//! correctness requirement, not a style choice: output chunks carry
+//! the maximum input version, so a merged subset must not skip over a
+//! file whose versions fall inside the merged version interval —
+//! otherwise a point overwritten by that skipped file could resurface.
+
+use std::ops::Range;
+
+use tsfile::types::TimeRange;
+
+/// Metadata summary of one sealed file, in files-vec (= version)
+/// order. Built under the shard lock from in-memory footers only.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FileView {
+    /// Total bytes of chunk bodies in the file.
+    pub bytes: u64,
+    /// Number of chunks.
+    pub chunks: usize,
+    /// Time interval spanned by the file's chunks (`None` only for a
+    /// degenerate chunkless file).
+    pub time_range: Option<TimeRange>,
+    /// Whether the file has delete (mods) entries attached.
+    pub has_mods: bool,
+}
+
+impl FileView {
+    fn overlaps(&self, other: Option<TimeRange>) -> bool {
+        match (self.time_range, other) {
+            (Some(a), Some(b)) => a.overlaps(&b),
+            _ => false,
+        }
+    }
+}
+
+/// A pluggable merge-candidate selector.
+///
+/// `select` sees the series' sealed files in version order and returns
+/// the contiguous run to merge, or `None` to leave the series alone
+/// this round. Implementations must be pure metadata math — they run
+/// under a shard lock.
+pub trait CompactionPolicy: std::fmt::Debug + Send + Sync {
+    /// Stable lowercase policy name (benchmark metadata, logs).
+    fn name(&self) -> &'static str;
+    /// The contiguous run of `files` to merge, if any. `threshold` is
+    /// [`crate::config::EngineConfig::compaction_threshold`].
+    fn select(&self, files: &[FileView], threshold: usize) -> Option<Range<usize>>;
+}
+
+/// The seed strategy: merge *everything* once the file count reaches
+/// the threshold. Maximal read-amplification relief, maximal write
+/// amplification.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullPolicy;
+
+impl CompactionPolicy for FullPolicy {
+    fn name(&self) -> &'static str {
+        "full"
+    }
+
+    fn select(&self, files: &[FileView], threshold: usize) -> Option<Range<usize>> {
+        (files.len() >= threshold.max(1)).then_some(0..files.len())
+    }
+}
+
+/// Size-tiered selection: merge the longest run of consecutive files
+/// of similar size (every member within 4× of the run's smallest),
+/// once that run reaches the threshold. Newly flushed files are all
+/// roughly memtable-sized, so this merges "one tier" at a time and
+/// leaves already-compacted large files untouched — the classic
+/// write-amp/space trade of size-tiered LSM trees.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SizeTieredPolicy;
+
+impl CompactionPolicy for SizeTieredPolicy {
+    fn name(&self) -> &'static str {
+        "size_tiered"
+    }
+
+    fn select(&self, files: &[FileView], threshold: usize) -> Option<Range<usize>> {
+        let threshold = threshold.max(2);
+        let mut best: Option<Range<usize>> = None;
+        let mut start = 0usize;
+        while start < files.len() {
+            let Some(first) = files.get(start) else { break };
+            let mut min_bytes = first.bytes.max(1);
+            let mut end = start + 1;
+            while let Some(f) = files.get(end) {
+                let lo = min_bytes.min(f.bytes.max(1));
+                let hi = min_bytes.max(f.bytes.max(1));
+                if hi > lo.saturating_mul(4) {
+                    break;
+                }
+                min_bytes = lo;
+                end += 1;
+            }
+            if end - start > best.as_ref().map_or(0, Range::len) {
+                best = Some(start..end);
+            }
+            start = end.max(start + 1);
+        }
+        best.filter(|r| r.len() >= threshold)
+    }
+}
+
+/// Leveled selection: merge a bounded run of the *oldest* files (the
+/// base of the tree) once the series crosses the threshold. Each round
+/// folds at most `threshold` files into one, keeping per-round work —
+/// and the read path's lower levels — bounded instead of rewriting the
+/// whole series at once.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeveledPolicy;
+
+impl CompactionPolicy for LeveledPolicy {
+    fn name(&self) -> &'static str {
+        "leveled"
+    }
+
+    fn select(&self, files: &[FileView], threshold: usize) -> Option<Range<usize>> {
+        let threshold = threshold.max(2);
+        (files.len() >= threshold).then_some(0..threshold.min(files.len()))
+    }
+}
+
+/// Overlap-driven selection: merge the longest run of consecutive
+/// files whose time ranges chain-overlap (each file overlapping the
+/// union of the run before it). Overlap is exactly what forces readers
+/// to k-way merge, so this policy spends write bandwidth only where
+/// reads pay for it; a purely append-ordered series is never
+/// rewritten. Fires once the series has at least `threshold` files
+/// and some overlap exists (a delete-carrying file counts — tombstone
+/// reclamation needs a rewrite too).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OverlapPolicy;
+
+impl CompactionPolicy for OverlapPolicy {
+    fn name(&self) -> &'static str {
+        "overlap"
+    }
+
+    fn select(&self, files: &[FileView], threshold: usize) -> Option<Range<usize>> {
+        if files.len() < threshold.max(2) {
+            return None;
+        }
+        let mut best: Option<Range<usize>> = None;
+        let mut start = 0usize;
+        while start < files.len() {
+            let Some(first) = files.get(start) else { break };
+            let mut union = first.time_range;
+            let mut interesting = first.has_mods;
+            let mut end = start + 1;
+            while let Some(f) = files.get(end) {
+                if !f.overlaps(union) && !f.has_mods {
+                    break;
+                }
+                interesting = true;
+                union = match (union, f.time_range) {
+                    (Some(a), Some(b)) => {
+                        Some(TimeRange::new(a.start.min(b.start), a.end.max(b.end)))
+                    }
+                    (a, b) => a.or(b),
+                };
+                end += 1;
+            }
+            let len = end - start;
+            if interesting && len >= 2 && len > best.as_ref().map_or(0, Range::len) {
+                best = Some(start..end);
+            }
+            start = if end > start + 1 { end } else { start + 1 };
+        }
+        best
+    }
+}
+
+/// Config-level selector for the policy implementations above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompactionPolicyKind {
+    /// [`FullPolicy`] — the seed behavior and the default.
+    #[default]
+    Full,
+    /// [`SizeTieredPolicy`].
+    SizeTiered,
+    /// [`LeveledPolicy`].
+    Leveled,
+    /// [`OverlapPolicy`].
+    Overlap,
+}
+
+impl CompactionPolicyKind {
+    /// All kinds, for benchmark grids.
+    pub const ALL: [CompactionPolicyKind; 4] = [
+        CompactionPolicyKind::Full,
+        CompactionPolicyKind::SizeTiered,
+        CompactionPolicyKind::Leveled,
+        CompactionPolicyKind::Overlap,
+    ];
+
+    /// Stable lowercase name (benchmark metadata headers).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CompactionPolicyKind::Full => "full",
+            CompactionPolicyKind::SizeTiered => "size_tiered",
+            CompactionPolicyKind::Leveled => "leveled",
+            CompactionPolicyKind::Overlap => "overlap",
+        }
+    }
+
+    /// Parse the name produced by [`as_str`].
+    ///
+    /// [`as_str`]: CompactionPolicyKind::as_str
+    pub fn parse(s: &str) -> Option<Self> {
+        CompactionPolicyKind::ALL
+            .into_iter()
+            .find(|k| k.as_str() == s)
+    }
+
+    /// Instantiate the policy implementation.
+    pub fn build(self) -> Box<dyn CompactionPolicy> {
+        match self {
+            CompactionPolicyKind::Full => Box::new(FullPolicy),
+            CompactionPolicyKind::SizeTiered => Box::new(SizeTieredPolicy),
+            CompactionPolicyKind::Leveled => Box::new(LeveledPolicy),
+            CompactionPolicyKind::Overlap => Box::new(OverlapPolicy),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(bytes: u64, range: Option<(i64, i64)>, has_mods: bool) -> FileView {
+        FileView {
+            bytes,
+            chunks: 1,
+            time_range: range.map(|(a, b)| TimeRange::new(a, b)),
+            has_mods,
+        }
+    }
+
+    #[test]
+    fn full_policy_wants_everything_past_threshold() {
+        let files: Vec<FileView> = (0..4)
+            .map(|i| view(100, Some((i * 10, i * 10 + 5)), false))
+            .collect();
+        assert_eq!(FullPolicy.select(&files, 4), Some(0..4));
+        assert_eq!(FullPolicy.select(&files, 5), None);
+        assert_eq!(FullPolicy.select(&[], 2), None);
+    }
+
+    #[test]
+    fn size_tiered_picks_similar_sized_run() {
+        // One big compacted file followed by a tier of small flushes.
+        let mut files = vec![view(100_000, Some((0, 99)), false)];
+        for i in 0..4i64 {
+            files.push(view(
+                1_000 + i as u64 * 100,
+                Some((100 + i * 10, 105 + i * 10)),
+                false,
+            ));
+        }
+        assert_eq!(SizeTieredPolicy.select(&files, 4), Some(1..5));
+        // Below the threshold the tier is left to grow.
+        assert_eq!(SizeTieredPolicy.select(&files, 5), None);
+        // Uniform sizes: the whole series is one tier.
+        let uniform: Vec<FileView> = (0..6).map(|_| view(500, Some((0, 1)), false)).collect();
+        assert_eq!(SizeTieredPolicy.select(&uniform, 4), Some(0..6));
+    }
+
+    #[test]
+    fn size_tiered_never_bridges_a_4x_jump() {
+        let files = vec![
+            view(10_000, None, false),
+            view(100, None, false),
+            view(120, None, false),
+        ];
+        assert_eq!(SizeTieredPolicy.select(&files, 2), Some(1..3));
+    }
+
+    #[test]
+    fn leveled_folds_oldest_bounded_run() {
+        let files: Vec<FileView> = (0..10).map(|_| view(100, Some((0, 1)), false)).collect();
+        assert_eq!(LeveledPolicy.select(&files, 4), Some(0..4));
+        assert_eq!(LeveledPolicy.select(&files[..3], 4), None);
+    }
+
+    #[test]
+    fn overlap_policy_targets_overlapping_run_only() {
+        // Files 0-1 append-ordered; 2-3 overlap each other.
+        let files = vec![
+            view(100, Some((0, 9)), false),
+            view(100, Some((10, 19)), false),
+            view(100, Some((20, 39)), false),
+            view(100, Some((30, 49)), false),
+        ];
+        assert_eq!(OverlapPolicy.select(&files, 3), Some(2..4));
+        // Append-only series: nothing to fix, never fires.
+        let appendy = vec![
+            view(100, Some((0, 9)), false),
+            view(100, Some((10, 19)), false),
+            view(100, Some((20, 29)), false),
+        ];
+        assert_eq!(OverlapPolicy.select(&appendy, 2), None);
+        // ... unless a file carries tombstones worth reclaiming.
+        let with_mods = vec![
+            view(100, Some((0, 9)), false),
+            view(100, Some((10, 19)), true),
+            view(100, Some((20, 29)), false),
+        ];
+        assert!(OverlapPolicy.select(&with_mods, 2).is_some());
+        // Below the series threshold the policy stays quiet.
+        assert_eq!(OverlapPolicy.select(&files, 5), None);
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for kind in CompactionPolicyKind::ALL {
+            assert_eq!(CompactionPolicyKind::parse(kind.as_str()), Some(kind));
+            assert_eq!(kind.build().name(), kind.as_str());
+        }
+        assert_eq!(CompactionPolicyKind::parse("nope"), None);
+        assert_eq!(CompactionPolicyKind::default(), CompactionPolicyKind::Full);
+    }
+}

@@ -3,6 +3,8 @@
 
 use tsfile::encoding::EncodingKind;
 
+use crate::compaction::policy::CompactionPolicyKind;
+
 /// When the write-ahead log forces its group-committed bytes to
 /// stable storage.
 ///
@@ -113,6 +115,20 @@ pub struct EngineConfig {
     pub compaction_threshold: usize,
     /// Scheduler poll period in milliseconds. Must be in `1..=60_000`.
     pub compaction_interval_ms: u64,
+    /// How the scheduler (and [`crate::TsKv::compact_policy`]) picks
+    /// which contiguous run of a series' sealed files to merge:
+    /// everything past the threshold (`Full`, the default and the
+    /// seed behavior), a tier of similar-sized files (`SizeTiered`),
+    /// a bounded fold of the oldest files (`Leveled`), or only runs
+    /// whose time ranges actually overlap (`Overlap`). Manual
+    /// [`crate::TsKv::compact`] always merges everything regardless.
+    pub compaction_policy: CompactionPolicyKind,
+    /// Copy pages that overlap no other input chunk and no newer
+    /// delete byte-for-byte instead of re-encoding them. On by
+    /// default; turning it off forces the full decode → merge →
+    /// re-encode path for every page (the benchmark's full-rewrite
+    /// baseline).
+    pub compaction_clean_page_copy: bool,
 }
 
 impl Default for EngineConfig {
@@ -134,6 +150,8 @@ impl Default for EngineConfig {
             compaction_auto: false,
             compaction_threshold: 8,
             compaction_interval_ms: 20,
+            compaction_policy: CompactionPolicyKind::Full,
+            compaction_clean_page_copy: true,
         }
     }
 }
@@ -286,12 +304,30 @@ mod tests {
 
     #[test]
     fn default_page_points_matches_tsfile() {
-        assert_eq!(EngineConfig::default().page_points, tsfile::page::DEFAULT_PAGE_POINTS);
+        assert_eq!(
+            EngineConfig::default().page_points,
+            tsfile::page::DEFAULT_PAGE_POINTS
+        );
     }
 
     #[test]
     fn validate_accepts_defaults() {
         assert!(EngineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn compaction_defaults_match_seed_behavior() {
+        let c = EngineConfig::default();
+        assert_eq!(c.compaction_policy, CompactionPolicyKind::Full);
+        assert!(c.compaction_clean_page_copy);
+        // Every policy kind is a valid configuration.
+        for kind in CompactionPolicyKind::ALL {
+            let c = EngineConfig {
+                compaction_policy: kind,
+                ..Default::default()
+            };
+            assert!(c.validate().is_ok(), "{kind:?}");
+        }
     }
 
     #[test]

@@ -12,7 +12,9 @@ use tsfile::ModEntry;
 /// delete in `deletes`.
 #[inline]
 pub fn is_deleted(t: Timestamp, chunk_version: Version, deletes: &[ModEntry]) -> bool {
-    deletes.iter().any(|d| d.applies_to(chunk_version) && d.covers(t))
+    deletes
+        .iter()
+        .any(|d| d.applies_to(chunk_version) && d.covers(t))
 }
 
 /// Clip a chunk's effective time interval by the deletes that apply to
@@ -83,7 +85,11 @@ impl<'a> DeleteSweep<'a> {
         let mut sorted: Vec<&'a ModEntry> =
             deletes.iter().filter(|d| !d.range.is_empty()).collect();
         sorted.sort_by_key(|d| d.range.start);
-        DeleteSweep { sorted, next: 0, active: Vec::new() }
+        DeleteSweep {
+            sorted,
+            next: 0,
+            active: Vec::new(),
+        }
     }
 
     /// Whether a point at `t` written at `chunk_version` is erased.
@@ -94,7 +100,9 @@ impl<'a> DeleteSweep<'a> {
             self.next += 1;
         }
         self.active.retain(|d| d.range.end >= t);
-        self.active.iter().any(|d| d.applies_to(chunk_version) && d.covers(t))
+        self.active
+            .iter()
+            .any(|d| d.applies_to(chunk_version) && d.covers(t))
     }
 }
 
@@ -185,6 +193,9 @@ mod tests {
     #[test]
     fn clip_both_edges_meet() {
         let deletes = vec![d(2, 0, 49), d(3, 50, 100)];
-        assert_eq!(clip_interval(TimeRange::new(10, 90), Version(1), &deletes), None);
+        assert_eq!(
+            clip_interval(TimeRange::new(10, 90), Version(1), &deletes),
+            None
+        );
     }
 }

@@ -17,10 +17,15 @@
 //!   install the file, attach deletes that arrived mid-flush, discard
 //!   the WAL's sealed segment — or, on failure, return the points to
 //!   the memtable (anything newer that landed meanwhile wins).
-//! * **Compaction** — same shape; versions for the output chunks are
-//!   reserved up front so deletes issued during the merge order after
-//!   every compacted chunk, and their mods entries are carried onto
-//!   the new file at install time.
+//! * **Compaction** — same shape; the input run (chosen under the
+//!   lock, by the configured [`crate::compaction::policy`] for
+//!   scheduler-driven runs) is captured as metadata, merged and
+//!   written off-lock (clean pages copied raw, dirty pages re-encoded
+//!   — see [`crate::compaction`]), and swapped in under the lock
+//!   again. Output chunks carry the maximum input chunk version;
+//!   deletes issued during the merge have versions above the capture
+//!   ceiling and their mods entries are carried onto the new file at
+//!   install time.
 //! * WAL appends, the group-commit drain, and the O(1) segment
 //!   rotation stay under the shard lock on purpose: serializing
 //!   durability appends against the buffered state they describe is
@@ -47,10 +52,11 @@ use tsfile::{ModEntry, ModsFile, TsFileReader, TsFileWriter};
 use crate::batch::WriteBatch;
 use crate::cache::DecodedChunkCache;
 use crate::chunk::ChunkHandle;
-use crate::compaction::CompactionReport;
+use crate::compaction::plan::{self, ChunkView, PageView};
+use crate::compaction::policy::{CompactionPolicy, FileView};
+use crate::compaction::{execute, CompactionReport};
 use crate::config::{EngineConfig, FsyncPolicy};
 use crate::memtable::MemTable;
-use crate::readers::MergeReader;
 use crate::scheduler::CompactionScheduler;
 use crate::snapshot::SeriesSnapshot;
 use crate::stats::IoStats;
@@ -162,6 +168,18 @@ pub(crate) struct EngineInner {
     io: Arc<IoStats>,
     /// Cross-query decoded-chunk LRU; `None` when disabled by config.
     cache: Option<Arc<DecodedChunkCache>>,
+    /// Merge-candidate selector, built from
+    /// [`EngineConfig::compaction_policy`] at open.
+    policy: Box<dyn CompactionPolicy>,
+}
+
+/// How a compaction run's input files are chosen.
+enum CompactMode {
+    /// The whole sealed-file list (manual [`TsKv::compact`]).
+    Full,
+    /// Whatever contiguous run the configured policy selects
+    /// (scheduler ticks and [`TsKv::compact_policy`]).
+    Policy,
 }
 
 /// The LSM time series store.
@@ -216,6 +234,10 @@ fn recover_series_dir(
     }
     paths.sort_by_key(|(id, _)| *id);
     let next_file_id = paths.last().map(|(id, _)| id + 1).unwrap_or(0);
+    // File ids are only creation order. A policy compaction installs
+    // its output (highest id) in the *middle* of the version-ordered
+    // file list, so after a restart id order and version order can
+    // disagree; the version sort below restores the engine invariant.
     let newest = paths.len().saturating_sub(1);
     let mut files: Vec<TsFileResource> = Vec::new();
     for (i, (_, path)) in paths.iter().enumerate() {
@@ -238,6 +260,16 @@ fn recover_series_dir(
         }
         files.push(TsFileResource { reader, mods });
     }
+    // Version order, not id order (see above). The sort is stable, so
+    // degenerate chunkless files keep their id order at the end.
+    files.sort_by_key(|res| {
+        res.reader
+            .chunk_metas()
+            .iter()
+            .map(|m| m.version.0)
+            .min()
+            .unwrap_or(u64::MAX)
+    });
     // Replay the WAL (if any) into a fresh memtable, restoring
     // unflushed state in operation order. Versioned deletes are
     // re-attached to any overlapping sealed file whose mods log
@@ -380,6 +412,7 @@ impl EngineInner {
         } else {
             None
         };
+        let policy = config.compaction_policy.build();
         Ok(EngineInner {
             dir,
             config,
@@ -387,6 +420,7 @@ impl EngineInner {
             shards,
             io,
             cache,
+            policy,
         })
     }
 
@@ -799,113 +833,187 @@ impl EngineInner {
         ))
     }
 
-    /// Fully compact one series: merge every sealed file (applying
-    /// deletes and overwrites), write the result as a single fresh
-    /// TsFile, and unlink the old files and their mods logs. The
-    /// memtable and WAL are untouched. Returns an empty report if a
-    /// compaction is already running for the series.
+    /// Fully compact one series: merge every sealed file (copying
+    /// clean pages byte-for-byte, re-encoding dirty ones), write the
+    /// result as a single fresh TsFile, and unlink the old files and
+    /// their mods logs. The memtable and WAL are untouched. Returns an
+    /// empty report if a compaction is already running for the series.
     /// See [`crate::compaction`].
     pub(crate) fn compact(&self, name: &str) -> Result<CompactionReport> {
-        // Phase A (locked): capture the merge input (chunk metadata and
-        // Arc'd readers only — no chunk bodies) and reserve output
-        // versions.
-        let (files, chunks, deletes, n_input, versions, path) = {
+        self.compact_run(name, CompactMode::Full)
+    }
+
+    /// Compact whatever contiguous run of sealed files the configured
+    /// policy selects (possibly nothing). Used by the background
+    /// scheduler and [`TsKv::compact_policy`].
+    pub(crate) fn compact_policy(&self, name: &str) -> Result<CompactionReport> {
+        self.compact_run(name, CompactMode::Policy)
+    }
+
+    /// The phased compaction state machine shared by the full and
+    /// policy-driven entry points.
+    fn compact_run(&self, name: &str, mode: CompactMode) -> Result<CompactionReport> {
+        // Phase A (locked): choose the input run and capture its
+        // metadata (chunk metas, mods entries, and Arc'd readers only —
+        // no chunk bodies). Selecting under the same guard that sets
+        // `compacting` closes the select/capture race; policies are
+        // pure metadata math, so no I/O happens here.
+        let (files, chunks, deletes, run, out_version, capture_ceiling, path) = {
             let mut map = self.shard(name).series.write();
             let store = map
                 .get_mut(name)
                 .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
-            // An in-flight flush already reserved versions for points
-            // not yet visible in `files`; reserving output versions now
-            // would order the merged (older) data *after* that flush
-            // and resurrect overwritten values. Back off and let the
-            // scheduler retry once the flush installs.
+            // An in-flight flush holds versions for points not yet
+            // visible in `files`; merging around it risks ordering
+            // confusion for no gain. Back off and let the scheduler
+            // retry once the flush installs.
             if store.files.is_empty() || store.compacting || store.flushing.is_some() {
                 return Ok(CompactionReport::empty());
             }
+            let run = match mode {
+                CompactMode::Full => 0..store.files.len(),
+                CompactMode::Policy => {
+                    let views: Vec<FileView> = store
+                        .files
+                        .iter()
+                        .map(|res| FileView {
+                            bytes: res.reader.chunk_metas().iter().map(|m| m.byte_len).sum(),
+                            chunks: res.reader.chunk_metas().len(),
+                            time_range: res.time_range(),
+                            has_mods: !res.mods.entries().is_empty(),
+                        })
+                        .collect();
+                    match self.policy.select(&views, self.config.compaction_threshold) {
+                        Some(r) if !r.is_empty() && r.end <= store.files.len() => r,
+                        _ => return Ok(CompactionReport::empty()),
+                    }
+                }
+            };
             store.compacting = true;
-            let mut files = Vec::with_capacity(store.files.len());
+            let mut files = Vec::with_capacity(run.len());
             let mut chunks = Vec::new();
             let mut deletes: Vec<ModEntry> = Vec::new();
-            for res in &store.files {
+            for res in store.files.get(run.clone()).unwrap_or(&[]) {
                 let file_idx = files.len();
                 for meta in res.reader.chunk_metas() {
                     chunks.push(ChunkHandle::from_file(file_idx, meta.clone()));
                 }
                 for e in res.mods.entries() {
+                    // A delete that touches input data is attached to
+                    // the input file it overlaps, so the run's own mods
+                    // are a complete capture (dedup by version — one
+                    // delete lands in several files' logs).
                     if !deletes.iter().any(|d| d.version == e.version) {
                         deletes.push(*e);
                     }
                 }
                 files.push(Arc::clone(&res.reader));
             }
-            // Upper bound on output chunks: the merge never emits more
-            // points than it reads. Reserving the versions here (not
-            // while writing) keeps every later delete ordered after the
-            // whole output; unused reservations are harmless gaps.
-            let raw_total: u64 = chunks.iter().map(ChunkHandle::count).sum();
-            let max_chunks = raw_total
-                .div_ceil(self.config.points_per_chunk.max(1) as u64)
-                .max(1);
-            let versions: Vec<Version> = (0..max_chunks).map(|_| self.alloc.next()).collect();
+            // Every output chunk carries the maximum input version.
+            // The run is contiguous in version order, so anything that
+            // outranked an input (a later file, a later delete) still
+            // outranks the output, and nothing older can leapfrog it.
+            // No fresh versions are allocated: a reserved version would
+            // order the merged (older) data after concurrent deletes
+            // that the merge never saw.
+            let out_version = chunks.iter().map(|c| c.version.0).max().unwrap_or(0);
+            // Deletes issued after this point get versions above the
+            // ceiling; phase C uses it to find the ones the merge
+            // missed. (`out_version` can be older than a pre-capture
+            // delete that postdates the last flush — the ceiling is the
+            // only version that cleanly splits "seen" from "missed".)
+            let capture_ceiling = self.alloc.current();
             let path = store.dir.join(format!("{:08}.tsfile", store.next_file_id));
             store.next_file_id += 1;
-            (files, chunks, deletes, store.files.len(), versions, path)
+            (
+                files,
+                chunks,
+                deletes,
+                run,
+                out_version,
+                capture_ceiling,
+                path,
+            )
         };
-        let max_reserved = versions
-            .last()
-            .copied()
-            .unwrap_or_else(|| self.alloc.current());
         let chunks_merged = chunks.len();
         let deletes_applied = deletes.len();
 
-        // Phase B (unlocked): decode, merge, and write the output. The
-        // merge reads through the shared cache (compaction input chunks
-        // are often hot), but with a sequential snapshot — compaction
-        // threads are the caller's budget, not the query pool's.
-        let snapshot = SeriesSnapshot::new(
-            files,
-            chunks,
+        // Phase B (unlocked): classify every input page clean/dirty
+        // from footer metadata, then merge-and-write — clean pages
+        // copied raw (CRC-revalidated, never decoded), dirty pages
+        // decoded, k-way merged and re-encoded. The dirty merge reads
+        // through a detached snapshot (no shared cache, detached
+        // counters): compaction I/O is reported via the explicit
+        // `compaction_*` counters instead of polluting the read-path
+        // ones, and the input generation is about to be unlinked — not
+        // worth caching.
+        let views: Vec<ChunkView> = chunks
+            .iter()
+            .map(|c| ChunkView {
+                version: c.version.0,
+                range: c.time_range(),
+                pages: c.paged().map(|info| {
+                    info.pages
+                        .iter()
+                        .map(|p| PageView {
+                            range: p.time_range(),
+                            count: p.stats.count,
+                        })
+                        .collect()
+                }),
+            })
+            .collect();
+        let cplan = plan::classify(&views, &deletes, self.config.compaction_clean_page_copy);
+        let outcome = execute::merge_to_file(
+            &self.config,
+            &path,
+            &files,
+            &chunks,
             deletes,
-            Arc::clone(&self.io),
-            self.cache.clone(),
-            1,
-        );
-        let outcome = MergeReader::new(&snapshot)
-            .collect_merged()
-            .and_then(|merged| {
-                if merged.is_empty() {
-                    Ok((0, None))
-                } else {
-                    let res = Self::seal_points(&self.config, &path, &merged, &versions)?;
-                    Ok((merged.len(), Some(res)))
-                }
-            });
+            &cplan,
+            out_version,
+        )
+        .and_then(|o| {
+            let sealed = if o.wrote_file {
+                let reader = Arc::new(TsFileReader::open(&path)?);
+                let mods = ModsFile::open(path.with_extension("mods"))?;
+                Some(TsFileResource { reader, mods })
+            } else {
+                None
+            };
+            Ok((o, sealed))
+        });
         if outcome.is_err() {
             std::fs::remove_file(&path).ok();
         }
 
-        // Phase C (locked): swap the new generation in, carry forward
-        // mods that arrived during the merge, collect the doomed paths.
-        let (doomed, points_written) = {
+        // Phase C (locked): swap the new generation into the run's
+        // slot, carry forward mods that arrived during the merge,
+        // collect the doomed paths. Only appends happened while
+        // `compacting` was set (flush installs push at the tail), so
+        // the run's indices are still valid and the in-place splice
+        // keeps the file list version-ordered.
+        let (doomed, outcome) = {
             let mut map = self.shard(name).series.write();
             let store = map
                 .get_mut(name)
                 .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
             store.compacting = false;
-            let (points_written, sealed) = outcome?;
-            // Deletes issued during the merge postdate every reserved
-            // version and live only in the input files' mods.
+            let (outcome, sealed) = outcome?;
+            // Deletes issued during the merge postdate the capture
+            // ceiling and live only in the input files' mods.
             let mut carried: Vec<ModEntry> = Vec::new();
-            for res in store.files.iter().take(n_input) {
+            for res in store.files.get(run.clone()).unwrap_or(&[]) {
                 for e in res.mods.entries() {
-                    if e.version > max_reserved && !carried.iter().any(|d| d.version == e.version) {
+                    if e.version > capture_ceiling
+                        && !carried.iter().any(|d| d.version == e.version)
+                    {
                         carried.push(*e);
                     }
                 }
             }
-            // Files flushed while the merge ran sit after the inputs.
-            let tail = store.files.split_off(n_input);
-            let old = std::mem::take(&mut store.files);
+            let tail = store.files.split_off(run.end);
+            let removed = store.files.split_off(run.start);
             if let Some(mut res) = sealed {
                 for e in carried {
                     let overlaps = res
@@ -913,18 +1021,27 @@ impl EngineInner {
                         .map(|r| r.overlaps(&e.range))
                         .unwrap_or(false);
                     if overlaps {
+                        // Carried versions exceed the capture ceiling ≥
+                        // every output chunk version, so they keep
+                        // applying to the new file at read time.
                         res.mods.append(e)?;
                     }
                 }
                 store.files.push(res);
             }
             store.files.extend(tail);
-            let doomed: Vec<(PathBuf, u64)> = old
+            let doomed: Vec<(PathBuf, u64)> = removed
                 .iter()
                 .map(|r| (r.reader.path().to_path_buf(), r.reader.handle_id()))
                 .collect();
-            (doomed, points_written)
+            (doomed, outcome)
         };
+        self.io.record_compaction_io(
+            outcome.bytes_read,
+            outcome.bytes_rewritten,
+            outcome.pages_copied,
+            outcome.pages_recoded,
+        );
 
         // Phase D (unlocked): drop the retired files' cache entries and
         // unlink the old generation. The new file was written before
@@ -946,8 +1063,12 @@ impl EngineInner {
         Ok(CompactionReport {
             files_removed: doomed.len(),
             chunks_merged,
-            points_written,
+            points_written: outcome.points_written,
             deletes_applied,
+            pages_copied: outcome.pages_copied,
+            pages_recoded: outcome.pages_recoded,
+            bytes_read: outcome.bytes_read,
+            bytes_rewritten: outcome.bytes_rewritten,
         })
     }
 
@@ -1091,13 +1212,27 @@ impl TsKv {
     }
 
     /// Fully compact one series: merge every sealed file (applying
-    /// deletes and overwrites), write the result as a single fresh
+    /// deletes and overwrites; clean pages are copied byte-for-byte,
+    /// only dirty pages re-encode), write the result as a single fresh
     /// TsFile, and unlink the old files and their mods logs. The
     /// memtable and WAL are untouched. Returns an empty report if a
     /// compaction is already running for the series.
     /// See [`crate::compaction`].
     pub fn compact(&self, name: &str) -> Result<CompactionReport> {
         self.inner.compact(name)
+    }
+
+    /// Compact one series according to the configured
+    /// [`CompactionPolicy`]: the policy picks the contiguous run of
+    /// sealed files to merge — or declines, yielding an empty report.
+    /// Same phased execution and page-aware rewrite avoidance as
+    /// [`compact`]. This is what the background scheduler runs on
+    /// every candidate.
+    ///
+    /// [`CompactionPolicy`]: crate::compaction::policy::CompactionPolicy
+    /// [`compact`]: TsKv::compact
+    pub fn compact_policy(&self, name: &str) -> Result<CompactionReport> {
+        self.inner.compact_policy(name)
     }
 
     /// Engine-wide I/O counters (shared by all snapshots).

@@ -41,7 +41,11 @@ impl fmt::Display for TsKvError {
             TsKvError::InvalidSeriesName(name) => {
                 write!(f, "invalid series name: {name:?}")
             }
-            TsKvError::InvalidConfig { field, value, reason } => {
+            TsKvError::InvalidConfig {
+                field,
+                value,
+                reason,
+            } => {
                 write!(f, "invalid config: {field} = {value}: {reason}")
             }
         }

@@ -14,8 +14,9 @@
 //!   [`tsfile::Version`] `κ`.
 //! * **Deletes** (`D^κ`) are append-only range tombstones written to the
 //!   per-file mods log with their own version; they are never eagerly
-//!   applied to sealed files (compaction is off, as in the paper's
-//!   experimental setup).
+//!   applied to sealed files — only [`compaction`] folds them in, and
+//!   it is opt-in (off by default, as in the paper's experimental
+//!   setup).
 //! * **Read path**: [`readers::MetadataReader`] serves chunk metadata
 //!   (statistics + version) without touching chunk bodies;
 //!   [`readers::DataReader`] loads and decodes chunk bodies (with
@@ -26,11 +27,16 @@
 //!
 //! Out-of-order arrivals produce time-overlapping chunks whenever write
 //! batches straddle flushes, which is exactly the overlap structure the
-//! paper's §4.3 experiment varies. There is no seq/unseq file split and
-//! no compaction: the paper disables compaction (Table 4:
-//! `compaction_strategy = NO_COMPACTION`), so the on-disk state is the
-//! raw append history — the hardest case for a merge-based reader and
-//! the case M4-LSM is designed for.
+//! paper's §4.3 experiment varies. There is no seq/unseq file split,
+//! and compaction is off by default: the paper disables it (Table 4:
+//! `compaction_strategy = NO_COMPACTION`), so the default on-disk state
+//! is the raw append history — the hardest case for a merge-based
+//! reader and the case M4-LSM is designed for. Beyond the paper, the
+//! [`compaction`] module provides page-aware, policy-driven compaction
+//! (clean pages copied byte-for-byte without decode, merge candidates
+//! picked by a pluggable [`CompactionPolicy`]), run manually via
+//! `compact`/`compact_policy` or by the background [`scheduler`] when
+//! `compaction_auto` is set.
 //!
 //! ## Quick example
 //!
@@ -74,6 +80,7 @@ pub mod wal;
 pub use batch::WriteBatch;
 pub use cache::{CacheKey, DecodedChunkCache};
 pub use chunk::ChunkHandle;
+pub use compaction::{CompactionPolicy, CompactionPolicyKind, CompactionReport, FileView};
 pub use config::FsyncPolicy;
 pub use engine::TsKv;
 pub use error::TsKvError;

@@ -47,8 +47,11 @@ impl MemTable {
         if range.is_empty() {
             return 0;
         }
-        let doomed: Vec<Timestamp> =
-            self.data.range(range.start..=range.end).map(|(&t, _)| t).collect();
+        let doomed: Vec<Timestamp> = self
+            .data
+            .range(range.start..=range.end)
+            .map(|(&t, _)| t)
+            .collect();
         for t in &doomed {
             self.data.remove(t);
         }
@@ -97,7 +100,14 @@ mod tests {
         assert!(!m.insert(Point::new(20, 9.0))); // overwrite
         assert_eq!(m.len(), 3);
         let pts = m.to_points();
-        assert_eq!(pts, vec![Point::new(10, 1.0), Point::new(20, 9.0), Point::new(30, 3.0)]);
+        assert_eq!(
+            pts,
+            vec![
+                Point::new(10, 1.0),
+                Point::new(20, 9.0),
+                Point::new(30, 3.0)
+            ]
+        );
     }
 
     #[test]
@@ -106,7 +116,10 @@ mod tests {
         assert!(m.insert_if_absent(Point::new(10, 1.0)));
         m.insert(Point::new(20, 2.0));
         assert!(!m.insert_if_absent(Point::new(20, 9.0)));
-        assert_eq!(m.to_points(), vec![Point::new(10, 1.0), Point::new(20, 2.0)]);
+        assert_eq!(
+            m.to_points(),
+            vec![Point::new(10, 1.0), Point::new(20, 2.0)]
+        );
     }
 
     #[test]
@@ -116,7 +129,10 @@ mod tests {
             m.insert(Point::new(t, t as f64));
         }
         assert_eq!(m.delete_range(TimeRange::new(20, 30)), 2);
-        assert_eq!(m.to_points(), vec![Point::new(10, 10.0), Point::new(40, 40.0)]);
+        assert_eq!(
+            m.to_points(),
+            vec![Point::new(10, 10.0), Point::new(40, 40.0)]
+        );
         assert_eq!(m.delete_range(TimeRange::new(100, 200)), 0);
         assert_eq!(m.delete_range(TimeRange::new(30, 20)), 0); // empty range
     }

@@ -60,7 +60,11 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         let kv = TsKv::open(
             &dir,
-            EngineConfig { points_per_chunk: 1000, memtable_threshold: 1000, ..Default::default() },
+            EngineConfig {
+                points_per_chunk: 1000,
+                memtable_threshold: 1000,
+                ..Default::default()
+            },
         )?;
         for i in 0..1000i64 {
             kv.insert("s", Point::new(i * 100, i as f64))?;

@@ -56,7 +56,10 @@ impl Ord for HeapEntry {
 impl<'a> MergeReader<'a> {
     /// Merge the whole series.
     pub fn new(snapshot: &'a SeriesSnapshot) -> Self {
-        MergeReader { snapshot, range: TimeRange::new(Timestamp::MIN, Timestamp::MAX) }
+        MergeReader {
+            snapshot,
+            range: TimeRange::new(Timestamp::MIN, Timestamp::MAX),
+        }
     }
 
     /// Merge only points within `range` (inclusive). Chunks that do not
@@ -71,7 +74,11 @@ impl<'a> MergeReader<'a> {
     /// requested range, cloned out so callers may fan the loads across
     /// threads without borrowing the snapshot's chunk list.
     pub fn plan(&self) -> Vec<ChunkHandle> {
-        self.snapshot.chunks_overlapping(self.range).into_iter().cloned().collect()
+        self.snapshot
+            .chunks_overlapping(self.range)
+            .into_iter()
+            .cloned()
+            .collect()
     }
 
     /// Materialize the merged, latest-points-only series in time order.
@@ -119,13 +126,19 @@ impl<'a> MergeReader<'a> {
 
         // Start each cursor at the first point inside the segment; the
         // heap never holds a point past its end.
-        let mut cursors: Vec<usize> =
-            runs.iter().map(|(_, pts)| pts.partition_point(|p| p.t < lo)).collect();
+        let mut cursors: Vec<usize> = runs
+            .iter()
+            .map(|(_, pts)| pts.partition_point(|p| p.t < lo))
+            .collect();
         let mut heap = BinaryHeap::with_capacity(runs.len());
         for (i, (version, pts)) in runs.iter().enumerate() {
             if let Some(p) = pts.get(cursors[i]) {
                 if p.t <= hi {
-                    heap.push(HeapEntry { t: p.t, version: *version, run: i });
+                    heap.push(HeapEntry {
+                        t: p.t,
+                        version: *version,
+                        run: i,
+                    });
                 }
             }
         }
@@ -138,7 +151,11 @@ impl<'a> MergeReader<'a> {
             cursors[entry.run] += 1;
             if let Some(next) = pts.get(cursors[entry.run]) {
                 if next.t <= hi {
-                    heap.push(HeapEntry { t: next.t, version: *version, run: entry.run });
+                    heap.push(HeapEntry {
+                        t: next.t,
+                        version: *version,
+                        run: entry.run,
+                    });
                 }
             }
             // Same timestamp as an already-emitted (higher-version)
@@ -174,7 +191,11 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         let kv = TsKv::open(
             &dir,
-            EngineConfig { points_per_chunk: 100, memtable_threshold: 100, ..Default::default() },
+            EngineConfig {
+                points_per_chunk: 100,
+                memtable_threshold: 100,
+                ..Default::default()
+            },
         )?;
         Ok((dir, kv))
     }
@@ -221,7 +242,9 @@ mod tests {
         let merged = MergeReader::new(&snap).collect_merged()?;
         // 0..20 (20) + 41..100 (59) + re-inserted 30..=35 (6)
         assert_eq!(merged.len(), 85);
-        assert!(merged.iter().all(|p| !(20..=40).contains(&p.t) || p.v == 9.0));
+        assert!(merged
+            .iter()
+            .all(|p| !(20..=40).contains(&p.t) || p.v == 9.0));
         std::fs::remove_dir_all(&dir).ok();
         Ok(())
     }
@@ -303,7 +326,11 @@ mod tests {
         let full = reader.merge_runs(&runs);
         // Any partition of the time axis must concatenate to the full
         // merge — including cuts inside the deleted/re-inserted window.
-        for bounds in [vec![0, 1000], vec![0, 450, 500, 521, 1000], vec![0, 333, 666, 1000]] {
+        for bounds in [
+            vec![0, 1000],
+            vec![0, 450, 500, 521, 1000],
+            vec![0, 333, 666, 1000],
+        ] {
             let mut cat = Vec::new();
             for w in bounds.windows(2) {
                 cat.extend(reader.merge_runs_in(&runs, TimeRange::new(w[0], w[1] - 1)));

@@ -52,7 +52,11 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         let kv = TsKv::open(
             &dir,
-            EngineConfig { points_per_chunk: 10, memtable_threshold: 10, ..Default::default() },
+            EngineConfig {
+                points_per_chunk: 10,
+                memtable_threshold: 10,
+                ..Default::default()
+            },
         )?;
         for i in 0..100i64 {
             kv.insert("s", Point::new(i, i as f64))?;

@@ -10,11 +10,13 @@
 //!    the threshold and that no compaction currently owns. Each shard's
 //!    read lock is held only for the map walk, never across I/O (xtask
 //!    lint L2 pins this phasing).
-//! 2. **Compact (no locks held here)** — run the engine's existing
-//!    phased compaction for each candidate. The compaction itself
-//!    re-takes the shard lock only for its short capture/install
-//!    phases; the merge and file writes run unlocked, so ingest and
-//!    queries proceed concurrently.
+//! 2. **Compact (no locks held here)** — run the engine's phased
+//!    *policy-driven* compaction for each candidate: the configured
+//!    [`crate::compaction::policy`] picks the contiguous file run to
+//!    merge (or declines). The compaction itself re-takes the shard
+//!    lock only for its short capture/install phases; the merge and
+//!    file writes run unlocked, so ingest and queries proceed
+//!    concurrently.
 //! 3. **Sleep** — park for `compaction_interval_ms` (interruptibly, so
 //!    drop/shutdown never waits out the interval).
 //!
@@ -88,7 +90,7 @@ fn run_loop(inner: &EngineInner, stop: &AtomicBool) {
                 return;
             }
             inner.io().record_compaction_scheduled();
-            match inner.compact(&name) {
+            match inner.compact_policy(&name) {
                 Ok(report) if report.files_removed > 0 => {
                     inner.io().record_compaction_completed();
                 }

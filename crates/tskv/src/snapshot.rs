@@ -46,7 +46,14 @@ impl SeriesSnapshot {
         cache: Option<Arc<DecodedChunkCache>>,
         read_threads: usize,
     ) -> Self {
-        SeriesSnapshot { files, chunks, deletes, io, cache, read_threads: read_threads.max(1) }
+        SeriesSnapshot {
+            files,
+            chunks,
+            deletes,
+            io,
+            cache,
+            read_threads: read_threads.max(1),
+        }
     }
 
     /// All chunks visible to this snapshot, in version order.
@@ -85,7 +92,10 @@ impl SeriesSnapshot {
 
     /// Chunks whose time interval overlaps `range`.
     pub fn chunks_overlapping(&self, range: TimeRange) -> Vec<&ChunkHandle> {
-        self.chunks.iter().filter(|c| c.time_range().overlaps(&range)).collect()
+        self.chunks
+            .iter()
+            .filter(|c| c.time_range().overlaps(&range))
+            .collect()
     }
 
     /// Total points across all chunks (before merge/deletes).
@@ -165,13 +175,13 @@ impl SeriesSnapshot {
             return Ok(vec![(0, self.read_points(chunk)?)]);
         }
         let window = info.pages_overlapping(range);
-        self.io.record_pages_skipped((info.pages.len() - window.len()) as u64);
+        self.io
+            .record_pages_skipped((info.pages.len() - window.len()) as u64);
         let file = &self.files[*file_idx];
         let mut out = Vec::with_capacity(window.len());
         for page_no in window {
-            let page_no = u32::try_from(page_no).map_err(|_| {
-                tsfile::TsFileError::Corrupt("page index exceeds u32 range".into())
-            })?;
+            let page_no = u32::try_from(page_no)
+                .map_err(|_| tsfile::TsFileError::Corrupt("page index exceeds u32 range".into()))?;
             out.push((page_no, self.load_page(file, meta, page_no)?));
         }
         Ok(out)
@@ -235,7 +245,8 @@ impl SeriesSnapshot {
             }
             ChunkData::File { file_idx, meta } => {
                 let ts = self.files[*file_idx].read_chunk_timestamps(meta, until)?;
-                self.io.record_timestamp_load(meta.byte_len, ts.len() as u64);
+                self.io
+                    .record_timestamp_load(meta.byte_len, ts.len() as u64);
                 Ok(ts)
             }
         }
@@ -283,7 +294,11 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         let kv = TsKv::open(
             &dir,
-            EngineConfig { points_per_chunk: 100, memtable_threshold: 400, ..Default::default() },
+            EngineConfig {
+                points_per_chunk: 100,
+                memtable_threshold: 400,
+                ..Default::default()
+            },
         )?;
         Ok((dir, kv))
     }

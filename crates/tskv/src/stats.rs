@@ -33,6 +33,10 @@ pub struct IoStats {
     compactions_scheduled: AtomicU64,
     compactions_completed: AtomicU64,
     compactions_skipped: AtomicU64,
+    compaction_bytes_read: AtomicU64,
+    compaction_bytes_rewritten: AtomicU64,
+    compaction_pages_copied: AtomicU64,
+    compaction_pages_recoded: AtomicU64,
 }
 
 /// Plain-value snapshot of [`IoStats`], subtractable for deltas.
@@ -83,6 +87,19 @@ pub struct IoSnapshot {
     /// Scheduled compactions that found nothing to do (lost a race
     /// with a manual compact or an in-flight one) or failed.
     pub compactions_skipped: u64,
+    /// Input chunk-body bytes read by compaction merges (kept out of
+    /// `bytes_read`, which meters the query read path).
+    pub compaction_bytes_read: u64,
+    /// Output bytes produced by compaction's re-encode path. Clean
+    /// pages copied byte-for-byte are *excluded*: the gap between this
+    /// and `compaction_bytes_read` is the write amplification avoided.
+    pub compaction_bytes_rewritten: u64,
+    /// Clean pages compaction copied raw (CRC-revalidated, never
+    /// decoded).
+    pub compaction_pages_copied: u64,
+    /// Input pages compaction decoded and re-encoded (a v1 monolithic
+    /// chunk counts as one page).
+    pub compaction_pages_recoded: u64,
     /// Pooled read-buffer takes served from a thread freelist
     /// (process-wide: the pool in `tsfile::bufpool` is shared by every
     /// store in the process, so deltas — not absolutes — are the
@@ -170,6 +187,26 @@ impl IoStats {
         self.compactions_skipped.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one compaction run's write-amplification tallies: input
+    /// bytes read, bytes re-encoded (copied bytes excluded), and the
+    /// clean/dirty page split.
+    pub(crate) fn record_compaction_io(
+        &self,
+        bytes_read: u64,
+        bytes_rewritten: u64,
+        pages_copied: u64,
+        pages_recoded: u64,
+    ) {
+        self.compaction_bytes_read
+            .fetch_add(bytes_read, Ordering::Relaxed);
+        self.compaction_bytes_rewritten
+            .fetch_add(bytes_rewritten, Ordering::Relaxed);
+        self.compaction_pages_copied
+            .fetch_add(pages_copied, Ordering::Relaxed);
+        self.compaction_pages_recoded
+            .fetch_add(pages_recoded, Ordering::Relaxed);
+    }
+
     /// Capture current counter values. The buffer-pool counters come
     /// from the process-wide pool in `tsfile::bufpool` rather than
     /// per-engine atomics, so every snapshot carries them without the
@@ -196,6 +233,10 @@ impl IoStats {
             compactions_scheduled: self.compactions_scheduled.load(Ordering::Relaxed),
             compactions_completed: self.compactions_completed.load(Ordering::Relaxed),
             compactions_skipped: self.compactions_skipped.load(Ordering::Relaxed),
+            compaction_bytes_read: self.compaction_bytes_read.load(Ordering::Relaxed),
+            compaction_bytes_rewritten: self.compaction_bytes_rewritten.load(Ordering::Relaxed),
+            compaction_pages_copied: self.compaction_pages_copied.load(Ordering::Relaxed),
+            compaction_pages_recoded: self.compaction_pages_recoded.load(Ordering::Relaxed),
             pool_hits,
             pool_misses,
         }
@@ -225,6 +266,11 @@ impl std::ops::Sub for IoSnapshot {
             compactions_scheduled: self.compactions_scheduled - rhs.compactions_scheduled,
             compactions_completed: self.compactions_completed - rhs.compactions_completed,
             compactions_skipped: self.compactions_skipped - rhs.compactions_skipped,
+            compaction_bytes_read: self.compaction_bytes_read - rhs.compaction_bytes_read,
+            compaction_bytes_rewritten: self.compaction_bytes_rewritten
+                - rhs.compaction_bytes_rewritten,
+            compaction_pages_copied: self.compaction_pages_copied - rhs.compaction_pages_copied,
+            compaction_pages_recoded: self.compaction_pages_recoded - rhs.compaction_pages_recoded,
             pool_hits: self.pool_hits - rhs.pool_hits,
             pool_misses: self.pool_misses - rhs.pool_misses,
         }
@@ -266,6 +312,8 @@ mod tests {
         s.record_compaction_scheduled();
         s.record_compaction_completed();
         s.record_compaction_skipped();
+        s.record_compaction_io(1000, 200, 7, 3);
+        s.record_compaction_io(500, 0, 2, 0);
         let snap = s.snapshot();
         assert_eq!(snap.points_written, 100);
         assert_eq!(snap.wal_batches, 2);
@@ -274,6 +322,10 @@ mod tests {
         assert_eq!(snap.compactions_scheduled, 1);
         assert_eq!(snap.compactions_completed, 1);
         assert_eq!(snap.compactions_skipped, 1);
+        assert_eq!(snap.compaction_bytes_read, 1500);
+        assert_eq!(snap.compaction_bytes_rewritten, 200);
+        assert_eq!(snap.compaction_pages_copied, 9);
+        assert_eq!(snap.compaction_pages_recoded, 3);
     }
 
     #[test]

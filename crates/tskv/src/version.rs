@@ -18,7 +18,9 @@ impl VersionAllocator {
     /// Start allocating from `first` (use 1 for a fresh store; recovery
     /// passes max-seen + 1).
     pub fn new(first: u64) -> Self {
-        VersionAllocator { next: AtomicU64::new(first.max(1)) }
+        VersionAllocator {
+            next: AtomicU64::new(first.max(1)),
+        }
     }
 
     /// Allocate the next version.
@@ -36,12 +38,10 @@ impl VersionAllocator {
     pub fn observe(&self, seen: Version) {
         let mut cur = self.next.load(Ordering::SeqCst);
         while cur <= seen.0 {
-            match self.next.compare_exchange(
-                cur,
-                seen.0 + 1,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
+            match self
+                .next
+                .compare_exchange(cur, seen.0 + 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
                 Ok(_) => return,
                 Err(actual) => cur = actual,
             }

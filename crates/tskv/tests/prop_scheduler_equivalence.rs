@@ -20,7 +20,7 @@ use proptest::prelude::*;
 use tsfile::types::Point;
 use tskv::config::EngineConfig;
 use tskv::readers::MergeReader;
-use tskv::TsKv;
+use tskv::{CompactionPolicyKind, TsKv};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -47,6 +47,18 @@ fn merged(kv: &TsKv) -> Vec<Point> {
     MergeReader::new(&snap).collect_merged().unwrap()
 }
 
+/// The scheduler consults the configured policy, so the property runs
+/// under every selection policy — the merge run a policy elects (or
+/// declines) must never show through query results.
+fn policy_strategy() -> impl Strategy<Value = CompactionPolicyKind> {
+    prop_oneof![
+        Just(CompactionPolicyKind::Full),
+        Just(CompactionPolicyKind::SizeTiered),
+        Just(CompactionPolicyKind::Leveled),
+        Just(CompactionPolicyKind::Overlap),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -54,6 +66,8 @@ proptest! {
     fn background_compaction_never_changes_query_results(
         ops in prop::collection::vec(op_strategy(), 1..25),
         chunk_size in 1usize..16,
+        policy in policy_strategy(),
+        clean_copy in any::<bool>(),
     ) {
         let stamp = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
@@ -83,6 +97,8 @@ proptest! {
                 compaction_auto: true,
                 compaction_threshold: 2,
                 compaction_interval_ms: 1,
+                compaction_policy: policy,
+                compaction_clean_page_copy: clean_copy,
                 ..base.clone()
             },
         )

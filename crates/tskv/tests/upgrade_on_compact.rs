@@ -1,0 +1,133 @@
+//! v1 → v2 upgrade-on-compact: compacting a store that holds a
+//! format-v1 file (monolithic single-page chunks) must produce a
+//! format-v2 paged output with identical merged contents, and the
+//! clean-page raw-copy fast path must never be attempted on v1 inputs
+//! (they carry no page index to classify against, so every v1 chunk is
+//! decoded and re-encoded).
+//!
+//! The fixture is the tsfile crate's `tests/fixtures/v1.tsfile`: 500
+//! points `(t = i*100, v = (i % 17) as f64)` in two chunks of 250
+//! (versions 1 and 2), produced by the v1 writer.
+
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
+use std::path::PathBuf;
+
+use tsfile::format::{FORMAT_V1, FORMAT_V2};
+use tsfile::types::Point;
+use tsfile::TsFileReader;
+use tskv::config::EngineConfig;
+use tskv::readers::MergeReader;
+use tskv::TsKv;
+
+fn v1_fixture() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../tsfile/tests/fixtures/v1.tsfile")
+}
+
+fn fixture_points() -> Vec<Point> {
+    (0..500i64)
+        .map(|i| Point::new(i * 100, (i % 17) as f64))
+        .collect()
+}
+
+/// Lay out a store directory whose series `s` starts from the v1
+/// fixture as its only sealed file.
+fn seed_v1_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tskv-upgrade-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("s")).unwrap();
+    std::fs::copy(v1_fixture(), dir.join("s").join("00000000.tsfile")).unwrap();
+    dir
+}
+
+fn sealed_paths(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir.join("s"))
+        .unwrap()
+        .map(|f| f.unwrap().path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("tsfile"))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn compacting_a_v1_file_upgrades_it_to_paged_v2() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = seed_v1_store("pure");
+    let kv = TsKv::open(&dir, EngineConfig::default())?;
+
+    // Sanity: the store recovered the v1 file as-is.
+    let before = sealed_paths(&dir);
+    assert_eq!(before.len(), 1);
+    assert_eq!(TsFileReader::open(&before[0])?.format_version(), FORMAT_V1);
+
+    let report = kv.compact("s")?;
+
+    // Regression pin: the raw-copy fast path must not fire on v1
+    // inputs — no page index means no page can be proven clean.
+    assert_eq!(report.pages_copied, 0, "v1 chunks must never be raw-copied");
+    assert!(report.pages_recoded >= 2, "both v1 chunks re-encode");
+    assert!(report.bytes_rewritten > 0);
+    assert_eq!(report.files_removed, 1);
+
+    // The replacement file is format v2 with a page index on every chunk.
+    let after = sealed_paths(&dir);
+    assert_eq!(after.len(), 1);
+    let out = TsFileReader::open(&after[0])?;
+    assert_eq!(out.format_version(), FORMAT_V2);
+    assert!(out.chunk_metas().iter().all(|m| m.paged.is_some()));
+
+    // Oracle equivalence: merged view unchanged by the upgrade.
+    let merged = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
+    assert_eq!(merged, fixture_points());
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}
+
+#[test]
+fn mixed_v1_v2_compaction_recodes_old_and_copies_clean_new(
+) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = seed_v1_store("mixed");
+    let config = EngineConfig {
+        memtable_threshold: 100_000,
+        points_per_chunk: 250,
+        page_points: 50,
+        ..EngineConfig::default()
+    };
+    let kv = TsKv::open(&dir, config)?;
+
+    // Append a disjoint v2 file strictly after the fixture's range
+    // (fixture ends at t = 49_900), so its pages classify clean.
+    let newer: Vec<Point> = (0..500i64)
+        .map(|i| Point::new(60_000 + i * 10, i as f64))
+        .collect();
+    kv.insert_batch("s", &newer)?;
+    kv.flush("s")?;
+
+    let report = kv.compact("s")?;
+    assert_eq!(report.files_removed, 2);
+    assert!(report.pages_recoded >= 2, "the v1 chunks must re-encode");
+    assert!(
+        report.pages_copied > 0,
+        "the disjoint v2 pages must copy raw"
+    );
+
+    let merged = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
+    let mut expect = fixture_points();
+    expect.extend_from_slice(&newer);
+    assert_eq!(merged, expect);
+
+    // Restart: the upgraded store recovers cleanly and reads the same.
+    drop(kv);
+    let kv = TsKv::open(&dir, EngineConfig::default())?;
+    let merged = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
+    assert_eq!(merged, expect);
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

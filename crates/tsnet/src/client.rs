@@ -68,8 +68,9 @@ impl TsNetClient {
             match TcpStream::connect(addr) {
                 Ok(stream) => {
                     if config.read_timeout_ms > 0 {
-                        stream
-                            .set_read_timeout(Some(Duration::from_millis(config.read_timeout_ms)))?;
+                        stream.set_read_timeout(Some(Duration::from_millis(
+                            config.read_timeout_ms,
+                        )))?;
                     }
                     stream.set_nodelay(true)?;
                     return Ok(TsNetClient { stream, config });
@@ -79,9 +80,7 @@ impl TsNetClient {
         }
         Err(NetError::ConnectFailed {
             attempts,
-            last: last.unwrap_or_else(|| {
-                std::io::Error::other("no connection attempt ran")
-            }),
+            last: last.unwrap_or_else(|| std::io::Error::other("no connection attempt ran")),
         })
     }
 

@@ -110,10 +110,7 @@ pub enum NetError {
     /// the request that was sent.
     UnexpectedResponse(&'static str),
     /// Could not establish a connection within the configured retries.
-    ConnectFailed {
-        attempts: u32,
-        last: io::Error,
-    },
+    ConnectFailed { attempts: u32, last: io::Error },
     /// The server rejected the request under load. Retryable.
     Busy,
     /// The server could not answer within the request's deadline.
@@ -223,7 +220,10 @@ mod tests {
         ));
         assert!(matches!(
             NetError::from_remote(ErrorCode::Engine, "boom".into()),
-            NetError::Remote { code: ErrorCode::Engine, .. }
+            NetError::Remote {
+                code: ErrorCode::Engine,
+                ..
+            }
         ));
         assert!(NetError::Busy.is_retryable());
         assert!(!NetError::BadString.is_retryable());

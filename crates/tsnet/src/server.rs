@@ -208,9 +208,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
                     return;
                 }
                 // Transient accept failure; don't spin.
-                thread::sleep(Duration::from_millis(
-                    shared.config.poll_interval_ms.max(1),
-                ));
+                thread::sleep(Duration::from_millis(shared.config.poll_interval_ms.max(1)));
             }
         }
     }
@@ -549,7 +547,10 @@ fn execute_query(
     t_qe: i64,
     w: u32,
 ) -> Execution {
-    let snapshot = shared.store.snapshot(series).map_err(|e| map_tskv_error(&e))?;
+    let snapshot = shared
+        .store
+        .snapshot(series)
+        .map_err(|e| map_tskv_error(&e))?;
     let query = m4::M4Query::new(t_qs, t_qe, w as usize).map_err(|e| map_m4_error(&e))?;
     let result = match op {
         Operator::Udf => m4::M4Udf::new().execute(&snapshot, &query),

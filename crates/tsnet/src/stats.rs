@@ -148,7 +148,11 @@ impl ServerStats {
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
             connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
             in_flight,
-            latency_counts: self.latency.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            latency_counts: self
+                .latency
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 }
@@ -238,7 +242,12 @@ impl ServerStatsSnapshot {
 mod tests {
     // Tests assert by panicking; the workspace deny-set targets
     // library code.
-    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
 
     use super::*;
 
@@ -273,7 +282,10 @@ mod tests {
         assert_eq!(snap.p50_us(), 128);
         // The 99th of 100 samples is still a fast one; p100 is slow.
         assert_eq!(snap.p99_us(), 128);
-        assert_eq!(snap.quantile_us(1.0), bucket_upper_bound_us(bucket_index(1_000_000)));
+        assert_eq!(
+            snap.quantile_us(1.0),
+            bucket_upper_bound_us(bucket_index(1_000_000))
+        );
     }
 
     #[test]

@@ -37,9 +37,11 @@ use crate::Result;
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"TSN1";
 /// Protocol version this build speaks. v2 appended the buffer-pool
-/// hit/miss counters to the Stats io block (PR 7); v1 peers are
-/// rejected rather than silently mis-framed.
-pub const VERSION: u8 = 2;
+/// hit/miss counters to the Stats io block (PR 7); v3 inserted the
+/// four compaction write-amplification counters (bytes read/rewritten,
+/// pages copied/recoded). Mismatched peers are rejected rather than
+/// silently mis-framed.
+pub const VERSION: u8 = 3;
 /// Bytes before the payload (magic + version + kind + len).
 pub const HEADER_LEN: usize = 10;
 /// Bytes after the payload (payload CRC32).
@@ -306,6 +308,10 @@ fn encode_response_payload(resp: &Response) -> Result<Vec<u8>> {
                 io.compactions_scheduled,
                 io.compactions_completed,
                 io.compactions_skipped,
+                io.compaction_bytes_read,
+                io.compaction_bytes_rewritten,
+                io.compaction_pages_copied,
+                io.compaction_pages_recoded,
                 io.pages_decoded,
                 io.pages_skipped,
                 io.pages_stat_answered,
@@ -607,6 +613,10 @@ fn decode_io_snapshot(c: &mut Cursor<'_>) -> Result<IoSnapshot> {
         compactions_scheduled: c.u64()?,
         compactions_completed: c.u64()?,
         compactions_skipped: c.u64()?,
+        compaction_bytes_read: c.u64()?,
+        compaction_bytes_rewritten: c.u64()?,
+        compaction_pages_copied: c.u64()?,
+        compaction_pages_recoded: c.u64()?,
         pages_decoded: c.u64()?,
         pages_skipped: c.u64()?,
         pages_stat_answered: c.u64()?,

@@ -98,7 +98,7 @@ fn span_strategy() -> impl Strategy<Value = Option<m4::SpanRepr>> {
 }
 
 fn io_snapshot_strategy() -> impl Strategy<Value = IoSnapshot> {
-    prop::collection::vec(any::<u64>(), 21usize).prop_map(|v| IoSnapshot {
+    prop::collection::vec(any::<u64>(), 25usize).prop_map(|v| IoSnapshot {
         chunks_loaded: v[0],
         bytes_read: v[1],
         points_decoded: v[2],
@@ -115,11 +115,15 @@ fn io_snapshot_strategy() -> impl Strategy<Value = IoSnapshot> {
         compactions_scheduled: v[13],
         compactions_completed: v[14],
         compactions_skipped: v[15],
-        pages_decoded: v[16],
-        pages_skipped: v[17],
-        pages_stat_answered: v[18],
-        pool_hits: v[19],
-        pool_misses: v[20],
+        compaction_bytes_read: v[16],
+        compaction_bytes_rewritten: v[17],
+        compaction_pages_copied: v[18],
+        compaction_pages_recoded: v[19],
+        pages_decoded: v[20],
+        pages_skipped: v[21],
+        pages_stat_answered: v[22],
+        pool_hits: v[23],
+        pool_misses: v[24],
     })
 }
 

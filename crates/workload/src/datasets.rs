@@ -29,7 +29,12 @@ pub enum Dataset {
 
 impl Dataset {
     /// All four, in the paper's order.
-    pub const ALL: [Dataset; 4] = [Dataset::BallSpeed, Dataset::Mf03, Dataset::Kob, Dataset::RcvTime];
+    pub const ALL: [Dataset; 4] = [
+        Dataset::BallSpeed,
+        Dataset::Mf03,
+        Dataset::Kob,
+        Dataset::RcvTime,
+    ];
 
     /// Paper-facing name.
     pub fn name(&self) -> &'static str {
@@ -73,7 +78,10 @@ impl Dataset {
                 delta_ms: 5_000, // ~4 months at ~5–6 s cadence
                 // Gaps every few hundred points so the Figure 8(d)
                 // tilt/level steps appear *within* a 1000-point chunk.
-                pattern: Pattern::Gapped { mean_run: 400, gap_ms: 3_600_000 },
+                pattern: Pattern::Gapped {
+                    mean_run: 400,
+                    gap_ms: 3_600_000,
+                },
                 value_range: (0.0, 1_000.0),
                 value_step: 8.0,
                 carrier: Some((120.0, 17_280.0)),
@@ -109,7 +117,11 @@ pub enum Pattern {
     /// Regular cadence with occasional long gaps (Figure 8(d)).
     Gapped { mean_run: usize, gap_ms: i64 },
     /// Bursty collection with long idle periods (Figure 8(c)).
-    Skewed { burst_len: usize, min_idle_ms: i64, max_idle_ms: i64 },
+    Skewed {
+        burst_len: usize,
+        min_idle_ms: i64,
+        max_idle_ms: i64,
+    },
 }
 
 /// Full description of a generatable dataset.
@@ -140,10 +152,19 @@ impl DatasetSpec {
             Pattern::Jittered { jitter_ms } => {
                 timestamps::regular_with_jitter(self.start, self.delta_ms, n, jitter_ms, &mut rng)
             }
-            Pattern::Gapped { mean_run, gap_ms } => {
-                timestamps::regular_with_gaps(self.start, self.delta_ms, n, mean_run, gap_ms, &mut rng)
-            }
-            Pattern::Skewed { burst_len, min_idle_ms, max_idle_ms } => timestamps::skewed(
+            Pattern::Gapped { mean_run, gap_ms } => timestamps::regular_with_gaps(
+                self.start,
+                self.delta_ms,
+                n,
+                mean_run,
+                gap_ms,
+                &mut rng,
+            ),
+            Pattern::Skewed {
+                burst_len,
+                min_idle_ms,
+                max_idle_ms,
+            } => timestamps::skewed(
                 self.start,
                 self.delta_ms,
                 n,
@@ -157,14 +178,21 @@ impl DatasetSpec {
         if let Some((amp, period)) = self.carrier {
             signal = signal.with_carrier(amp, period);
         }
-        ts.into_iter().map(|t| Point::new(t, signal.next_value(&mut rng))).collect()
+        ts.into_iter()
+            .map(|t| Point::new(t, signal.next_value(&mut rng)))
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     // Tests assert by panicking; the workspace deny-set targets library code.
-    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
 
     use super::*;
 
@@ -196,11 +224,17 @@ mod tests {
     fn kob_has_gaps_rcvtime_is_skewed() {
         let kob = Dataset::Kob.generate(0.01);
         let spec = Dataset::Kob.spec();
-        let gaps = kob.windows(2).filter(|w| w[1].t - w[0].t > spec.delta_ms * 10).count();
+        let gaps = kob
+            .windows(2)
+            .filter(|w| w[1].t - w[0].t > spec.delta_ms * 10)
+            .count();
         assert!(gaps > 0, "KOB should have transmission gaps");
 
         let rcv = Dataset::RcvTime.generate(0.01);
-        let idles = rcv.windows(2).filter(|w| w[1].t - w[0].t >= 1_800_000).count();
+        let idles = rcv
+            .windows(2)
+            .filter(|w| w[1].t - w[0].t >= 1_800_000)
+            .count();
         assert!(idles > 2, "RcvTime should have idle periods");
     }
 

@@ -79,7 +79,11 @@ pub fn overlap_fraction(snapshot: &SeriesSnapshot) -> f64 {
     let ranges: Vec<_> = chunks.iter().map(|c| c.time_range()).collect();
     let mut overlapping = 0usize;
     for (i, r) in ranges.iter().enumerate() {
-        if ranges.iter().enumerate().any(|(j, o)| i != j && r.overlaps(o)) {
+        if ranges
+            .iter()
+            .enumerate()
+            .any(|(j, o)| i != j && r.overlaps(o))
+        {
             overlapping += 1;
         }
     }
@@ -111,14 +115,21 @@ pub fn apply_random_deletes(
 #[cfg(test)]
 mod tests {
     // Tests assert by panicking; the workspace deny-set targets library code.
-    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
 
     use super::*;
     use rand::SeedableRng;
     use tskv::config::EngineConfig;
 
     fn series(n: i64) -> Vec<Point> {
-        (0..n).map(|t| Point::new(t * 100, (t % 50) as f64)).collect()
+        (0..n)
+            .map(|t| Point::new(t * 100, (t % 50) as f64))
+            .collect()
     }
 
     fn open(name: &str) -> (std::path::PathBuf, TsKv) {
@@ -126,7 +137,11 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         let kv = TsKv::open(
             &dir,
-            EngineConfig { points_per_chunk: 50, memtable_threshold: 200, ..Default::default() },
+            EngineConfig {
+                points_per_chunk: 50,
+                memtable_threshold: 200,
+                ..Default::default()
+            },
         )
         .unwrap();
         (dir, kv)
@@ -174,7 +189,10 @@ mod tests {
             fractions.push(overlap_fraction(&kv.snapshot("s").unwrap()));
             std::fs::remove_dir_all(&dir).ok();
         }
-        assert!(fractions[0] < fractions[1] && fractions[1] < fractions[2], "{fractions:?}");
+        assert!(
+            fractions[0] < fractions[1] && fractions[1] < fractions[2],
+            "{fractions:?}"
+        );
     }
 
     #[test]
@@ -200,7 +218,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         load_with_overlap(&kv, "s", &pts, 0.7, &mut rng).unwrap();
         let snap = kv.snapshot("s").unwrap();
-        let merged = tskv::readers::MergeReader::new(&snap).collect_merged().unwrap();
+        let merged = tskv::readers::MergeReader::new(&snap)
+            .collect_merged()
+            .unwrap();
         assert_eq!(merged, pts);
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -27,7 +27,15 @@ pub struct Signal {
 impl Signal {
     /// A generic sensor-like signal in `[min, max]`.
     pub fn new(min: f64, max: f64, step: f64) -> Self {
-        Signal { level: (min + max) / 2.0, step, min, max, amplitude: 0.0, period: 1.0, n: 0 }
+        Signal {
+            level: (min + max) / 2.0,
+            step,
+            min,
+            max,
+            amplitude: 0.0,
+            period: 1.0,
+            n: 0,
+        }
     }
 
     /// Add a sinusoidal carrier (daily/periodic pattern).
@@ -54,7 +62,12 @@ impl Signal {
 #[cfg(test)]
 mod tests {
     // Tests assert by panicking; the workspace deny-set targets library code.
-    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
 
     use super::*;
     use rand::SeedableRng;

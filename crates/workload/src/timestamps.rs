@@ -32,7 +32,11 @@ pub fn regular_with_jitter(
     let mut out = Vec::with_capacity(n);
     let mut prev = i64::MIN;
     for i in 0..n as i64 {
-        let jitter = if jitter_ms > 0 { rng.gen_range(-jitter_ms..=jitter_ms) } else { 0 };
+        let jitter = if jitter_ms > 0 {
+            rng.gen_range(-jitter_ms..=jitter_ms)
+        } else {
+            0
+        };
         let t = (start + i * delta_ms + jitter).max(prev + 1);
         out.push(t);
         prev = t;
@@ -103,7 +107,12 @@ fn sample_run(mean: usize, rng: &mut StdRng) -> usize {
 #[cfg(test)]
 mod tests {
     // Tests assert by panicking; the workspace deny-set targets library code.
-    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
 
     use super::*;
     use rand::SeedableRng;
@@ -145,7 +154,10 @@ mod tests {
         let ts = skewed(0, 1_000, 10_000, 100, 600_000, 7_200_000, &mut rng);
         assert!(strictly_increasing(&ts));
         let idles = ts.windows(2).filter(|w| w[1] - w[0] >= 600_000).count();
-        assert!((80..=120).contains(&idles), "one idle per burst, got {idles}");
+        assert!(
+            (80..=120).contains(&idles),
+            "one idle per burst, got {idles}"
+        );
     }
 
     #[test]

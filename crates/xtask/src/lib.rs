@@ -132,6 +132,10 @@ const L2_FILES: &[&str] = &[
     "crates/tskv/src/scheduler.rs",
     "crates/tskv/src/snapshot.rs",
     "crates/tskv/src/cache.rs",
+    // Compaction execution is the unlocked phase of the engine's
+    // capture/merge/install sequence; a guard reaching its I/O means
+    // the phase discipline regressed.
+    "crates/tskv/src/compaction/execute.rs",
     "crates/m4/src/lsm/cache.rs",
     "crates/m4/src/pool.rs",
     "crates/tsnet/src/server.rs",
@@ -155,6 +159,9 @@ const L3_FILES: &[&str] = &[
     "crates/tskv/src/chunk.rs",
     "crates/tskv/src/snapshot.rs",
     "crates/tskv/src/wal.rs",
+    "crates/tskv/src/compaction/plan.rs",
+    "crates/tskv/src/compaction/execute.rs",
+    "crates/tskv/src/compaction/policy.rs",
     "crates/tsnet/src/wire.rs",
 ];
 
@@ -469,6 +476,14 @@ mod tests {
         assert!(r.l1 && r.l2 && !r.l3 && !r.l5);
         let r = rules_for("crates/tskv/src/stats.rs");
         assert!(r.l1 && r.l6 && !r.l5);
+        let r = rules_for("crates/tskv/src/compaction/plan.rs");
+        assert!(r.l1 && !r.l1_indexing && !r.l2 && r.l3 && !r.l4);
+        let r = rules_for("crates/tskv/src/compaction/execute.rs");
+        assert!(r.l1 && !r.l1_indexing && r.l2 && r.l3 && !r.l4);
+        let r = rules_for("crates/tskv/src/compaction/policy.rs");
+        assert!(r.l1 && !r.l1_indexing && !r.l2 && r.l3 && !r.l4);
+        let r = rules_for("crates/tskv/src/compaction/mod.rs");
+        assert!(r.l1 && !r.l2 && !r.l3);
         let r = rules_for("crates/tsnet/src/stats.rs");
         assert!(r.l1 && r.l6);
         let r = rules_for("crates/workload/src/lib.rs");

@@ -55,6 +55,15 @@ pub const IO_DECODE_CALLEES: &[&str] = &[
     "read_exact_at",
     "run_indexed",
     "compact",
+    // Page-aware compaction: policy selection is pure metadata and may
+    // run under the shard lock, but the merge/copy execution below is
+    // file I/O and must stay in the unlocked phase.
+    "compact_policy",
+    "merge_to_file",
+    "read_page_window_raw",
+    "read_pages_overlapping",
+    "write_chunk_raw",
+    "read_pooled_at",
 ];
 
 /// Callee names through which `does_io` does *not* propagate to the

@@ -100,6 +100,21 @@ fn l2_fixture_flags_scheduler_guard_across_compact() {
 }
 
 #[test]
+fn l2_fixture_flags_compaction_capture_guard_across_merge() {
+    let v = lint_fixture("l2_compaction_capture_phase.rs", Rule::L2);
+    assert!(
+        v.iter()
+            .any(|v| v.message.contains("merge_to_file") && v.message.contains("guard")),
+        "{v:?}"
+    );
+    assert!(
+        v.iter()
+            .any(|v| v.message.contains("read_page_window_raw") && v.message.contains("guard")),
+        "{v:?}"
+    );
+}
+
+#[test]
 fn l2_fixture_flags_conn_pool_guard_across_spawn_io() {
     let v = lint_fixture("l2_conn_pool_guard.rs", Rule::L2);
     assert!(
@@ -275,6 +290,7 @@ fn cli_exits_nonzero_on_each_fixture() {
         "l2_guard_across_io.rs",
         "l2_guard_across_cache.rs",
         "l2_scheduler_lock_phase.rs",
+        "l2_compaction_capture_phase.rs",
         "l2_conn_pool_guard.rs",
         "l2_bufpool_guard.rs",
         "l3_infallible_decode.rs",

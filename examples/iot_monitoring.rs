@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // overlapping chunks exactly as in the paper's §4.3 storage states.
     let t0 = 1_690_000_000_000i64;
     let month_ms = 30i64 * 24 * 3600 * 1000;
-    let sensors = ["fleet.truck01.engine_temp", "fleet.truck02.engine_temp", "fleet.truck03.rpm"];
+    let sensors = [
+        "fleet.truck01.engine_temp",
+        "fleet.truck02.engine_temp",
+        "fleet.truck03.rpm",
+    ];
     for (si, sensor) in sensors.iter().enumerate() {
         let n = month_ms / 1_000;
         let mut batches: Vec<Vec<Point>> = Vec::new();
@@ -66,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("1 month", t0, t0 + month_ms),
         ("1 week", t0 + 7 * 86_400_000, t0 + 14 * 86_400_000),
         ("1 day", t0 + 9 * 86_400_000, t0 + 10 * 86_400_000),
-        ("1 hour", t0 + 9 * 86_400_000, t0 + 9 * 86_400_000 + 3_600_000),
+        (
+            "1 hour",
+            t0 + 9 * 86_400_000,
+            t0 + 9 * 86_400_000 + 3_600_000,
+        ),
     ];
     println!(
         "{:<28} {:<8} {:>10} {:>10} {:>12} {:>12}",
@@ -89,7 +97,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let udf_ms = t.elapsed().as_secs_f64() * 1e3;
             let udf_io = snap.io().snapshot() - before;
 
-            assert!(lsm.equivalent(&udf), "operators disagree on {sensor} at {label}");
+            assert!(
+                lsm.equivalent(&udf),
+                "operators disagree on {sensor} at {label}"
+            );
             println!(
                 "{:<28} {:<8} {:>10.2} {:>10.2} {:>12} {:>12}",
                 sensor, label, lsm_ms, udf_ms, lsm_io.chunks_loaded, udf_io.chunks_loaded

@@ -74,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The incrementally maintained chart must equal a from-scratch
     // baseline execution over everything ingested.
     let reference = M4Udf::new().execute(&snap, live.query())?;
-    assert!(live.current().equivalent(&reference), "streamed chart deviates");
+    assert!(
+        live.current().equivalent(&reference),
+        "streamed chart deviates"
+    );
     println!(
         "streamed {n} points (2% late); {} spans repaired across refresh ticks",
         repairs

@@ -46,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = M4Lsm::new().execute(&snap, &query)?;
     let io = snap.io().snapshot() - before;
 
-    println!("M4-LSM: {} of {} spans non-empty", result.non_empty(), result.width());
+    println!(
+        "M4-LSM: {} of {} spans non-empty",
+        result.non_empty(),
+        result.width()
+    );
     println!(
         "        loaded {} of {} chunks, decoded {} of {} points",
         io.chunks_loaded,

@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Demo data: 100 seconds at 1 ms cadence with a sag in the middle.
     for i in 0..100_000i64 {
-        let v = if (40_000..45_000).contains(&i) { -50.0 } else { (i % 1000) as f64 / 10.0 };
+        let v = if (40_000..45_000).contains(&i) {
+            -50.0
+        } else {
+            (i % 1000) as f64 / 10.0
+        };
         kv.insert("demo.signal", Point::new(i, v))?;
     }
     kv.flush_all()?;
@@ -44,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Cross-check against the baseline operator.
     let udf = execute(&kv, &stmt, &params, ExecOperator::Udf)?;
     assert_eq!(table.rows.len(), udf.rows.len());
-    println!("cross-checked against M4-UDF: {} rows agree", udf.rows.len());
+    println!(
+        "cross-checked against M4-UDF: {} rows agree",
+        udf.rows.len()
+    );
 
     std::fs::remove_dir_all(&dir).ok();
     Ok(())

@@ -19,19 +19,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A KOB-like chunk: 9 s cadence interrupted by transmission gaps
     // (the paper's Example 3.8 shape).
-    let ts = timestamps::regular_with_gaps(1_639_966_606_000, 9_000, 100_000, 5_000, 3_855_000, &mut rng);
+    let ts = timestamps::regular_with_gaps(
+        1_639_966_606_000,
+        9_000,
+        100_000,
+        5_000,
+        3_855_000,
+        &mut rng,
+    );
 
     let t = Instant::now();
     let idx = StepIndex::learn(&ts).ok_or("step model fits on monotone timestamps")?;
     println!("learned in {:?}:", t.elapsed());
     println!("  slope K        = 1/{} (median Δt ms)", idx.median_delta());
-    println!("  segments       = {} (tilt/level alternating)", idx.segment_count());
+    println!(
+        "  segments       = {} (tilt/level alternating)",
+        idx.segment_count()
+    );
     println!("  verified ε     = {} positions", idx.epsilon());
     let splits = idx.split_timestamps();
-    println!("  split timestamps 𝕊 = {:?} …", &splits[..splits.len().min(6)]);
+    println!(
+        "  split timestamps 𝕊 = {:?} …",
+        &splits[..splits.len().min(6)]
+    );
 
     // Proposition 3.7: f(first) = 1, f(last) = n.
-    println!("  f(first) = {}, f(last) = {}", idx.predict(ts[0]), idx.predict(*ts.last().ok_or("empty timestamp column")?));
+    println!(
+        "  f(first) = {}, f(last) = {}",
+        idx.predict(ts[0]),
+        idx.predict(*ts.last().ok_or("empty timestamp column")?)
+    );
 
     // Probe workload: half hits, half misses around real timestamps.
     let probes: Vec<i64> = (0..200_000)
@@ -48,8 +65,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Correctness: both engines agree on every probe and operation.
     for &t in probes.iter().take(10_000) {
         assert_eq!(idx.exists_at(&ts, t), binary_search_ops::exists_at(&ts, t));
-        assert_eq!(idx.first_after(&ts, t), binary_search_ops::first_after(&ts, t));
-        assert_eq!(idx.last_before(&ts, t), binary_search_ops::last_before(&ts, t));
+        assert_eq!(
+            idx.first_after(&ts, t),
+            binary_search_ops::first_after(&ts, t)
+        );
+        assert_eq!(
+            idx.last_before(&ts, t),
+            binary_search_ops::last_before(&ts, t)
+        );
     }
     println!("\ncorrectness: 10k probes × 3 ops agree with binary search");
 
@@ -66,7 +89,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             el.as_nanos() as f64 / probes.len() as f64
         );
     };
-    println!("\nexists_at over {} probes on a {}-point chunk:", probes.len(), ts.len());
+    println!(
+        "\nexists_at over {} probes on a {}-point chunk:",
+        probes.len(),
+        ts.len()
+    );
     run("step-regression index", &|t| idx.exists_at(&ts, t));
     run("binary search", &|t| binary_search_ops::exists_at(&ts, t));
     Ok(())

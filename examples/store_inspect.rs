@@ -16,7 +16,11 @@ fn build_demo(dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
     use m4lsm::tsfile::types::Point;
     let kv = TsKv::open(
         dir,
-        EngineConfig { points_per_chunk: 100, memtable_threshold: 300, ..Default::default() },
+        EngineConfig {
+            points_per_chunk: 100,
+            memtable_threshold: 300,
+            ..Default::default()
+        },
     )?;
     for t in 0..900i64 {
         kv.insert("demo.a", Point::new(t * 1000, (t % 7) as f64))?;
@@ -50,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     series_dirs.sort();
 
     for sdir in series_dirs {
-        println!("\nseries {}", sdir.file_name().unwrap_or_default().to_string_lossy());
+        println!(
+            "\nseries {}",
+            sdir.file_name().unwrap_or_default().to_string_lossy()
+        );
         let mut files: Vec<_> = std::fs::read_dir(&sdir)?
             .filter_map(|e| e.ok())
             .map(|e| e.path())
@@ -60,7 +67,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for path in files {
             let reader = TsFileReader::open(&path)?;
             let size = std::fs::metadata(&path)?.len();
-            println!("  {} ({} bytes, {} chunks)", path.file_name().unwrap_or_default().to_string_lossy(), size, reader.chunk_metas().len());
+            println!(
+                "  {} ({} bytes, {} chunks)",
+                path.file_name().unwrap_or_default().to_string_lossy(),
+                size,
+                reader.chunk_metas().len()
+            );
             for meta in reader.chunk_metas() {
                 let s = &meta.stats;
                 print!(

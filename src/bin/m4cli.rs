@@ -90,10 +90,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             for name in kv.series_names() {
                 let snap = kv.snapshot(&name)?;
                 let chunks = snap.chunks();
-                let range = chunks
-                    .iter()
-                    .map(|c| c.time_range())
-                    .reduce(|a, b| tsfile::types::TimeRange::new(a.start.min(b.start), a.end.max(b.end)));
+                let range = chunks.iter().map(|c| c.time_range()).reduce(|a, b| {
+                    tsfile::types::TimeRange::new(a.start.min(b.start), a.end.max(b.end))
+                });
                 match range {
                     Some(r) => println!(
                         "{name}: {} chunks, {} raw points, t ∈ {r}, {} deletes pending",
@@ -164,7 +163,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             let map = PixelMap::new(&query, vmin, vmax, width, height);
             let canvas = render_m4(&result, &map)?;
             canvas.write_pbm(out)?;
-            println!("wrote {width}x{height} chart to {out} ({} set pixels)", canvas.set_pixels());
+            println!(
+                "wrote {width}x{height} chart to {out} ({} set pixels)",
+                canvas.set_pixels()
+            );
         }
         "compact" => {
             let series = args.get(2).ok_or_else(usage)?;

@@ -3,7 +3,12 @@
 
 // Integration tests assert by panicking; the workspace panic-freedom
 // deny-set (root Cargo.toml) is aimed at library code.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
 
 use std::process::Command;
 
@@ -43,7 +48,10 @@ fn cli_full_workflow() {
 
     let (ok, out) = m4cli(&["list", store]);
     assert!(ok, "{out}");
-    assert!(out.contains("lab.sensor") && out.contains("1000 raw points"), "{out}");
+    assert!(
+        out.contains("lab.sensor") && out.contains("1000 raw points"),
+        "{out}"
+    );
 
     let (ok, out) = m4cli(&[
         "query",
@@ -81,8 +89,16 @@ fn cli_full_workflow() {
     assert!(out.contains("10000"), "first point after delete: {out}");
 
     let pbm = dir.join("chart.pbm");
-    let (ok, out) =
-        m4cli(&["render", store, "lab.sensor", pbm.to_str().unwrap(), "--width", "64", "--height", "16"]);
+    let (ok, out) = m4cli(&[
+        "render",
+        store,
+        "lab.sensor",
+        pbm.to_str().unwrap(),
+        "--width",
+        "64",
+        "--height",
+        "16",
+    ]);
     assert!(ok, "{out}");
     let bytes = std::fs::read(&pbm).unwrap();
     assert!(bytes.starts_with(b"P4\n64 16\n"), "PBM header");
@@ -92,7 +108,11 @@ fn cli_full_workflow() {
     assert!(out.contains("900 points written"), "{out}");
 
     // Errors are reported cleanly, not panics.
-    let (ok, out) = m4cli(&["query", store, "SELECT Nope(T) FROM lab.sensor GROUPBY floor(1*(t-0)/(9-0))"]);
+    let (ok, out) = m4cli(&[
+        "query",
+        store,
+        "SELECT Nope(T) FROM lab.sensor GROUPBY floor(1*(t-0)/(9-0))",
+    ]);
     assert!(!ok);
     assert!(out.contains("error"), "{out}");
     let (ok, _) = m4cli(&["bogus-subcommand", store]);

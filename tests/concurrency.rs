@@ -4,7 +4,12 @@
 
 // Integration tests assert by panicking; the workspace panic-freedom
 // deny-set (root Cargo.toml) is aimed at library code.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
 
 use std::sync::Arc;
 
@@ -27,7 +32,11 @@ fn snapshot_isolation_under_writes() {
     let kv = Arc::new(
         TsKv::open(
             &dir,
-            EngineConfig { points_per_chunk: 100, memtable_threshold: 400, ..Default::default() },
+            EngineConfig {
+                points_per_chunk: 100,
+                memtable_threshold: 400,
+                ..Default::default()
+            },
         )
         .unwrap(),
     );
@@ -53,14 +62,20 @@ fn snapshot_isolation_under_writes() {
     // The old snapshot keeps answering identically throughout.
     for _ in 0..20 {
         let r = M4Lsm::new().execute(&snap, &q).unwrap();
-        assert!(r.equivalent(&baseline), "snapshot must be stable under concurrent writes");
+        assert!(
+            r.equivalent(&baseline),
+            "snapshot must be stable under concurrent writes"
+        );
     }
     writer.join().unwrap();
 
     // A fresh snapshot sees the new state.
     let snap2 = kv.snapshot("s").unwrap();
     let r2 = M4Udf::new().execute(&snap2, &q).unwrap();
-    assert!(!r2.equivalent(&baseline), "new snapshot must observe the writes");
+    assert!(
+        !r2.equivalent(&baseline),
+        "new snapshot must observe the writes"
+    );
     let l2 = M4Lsm::new().execute(&snap2, &q).unwrap();
     assert!(l2.equivalent(&r2));
     std::fs::remove_dir_all(&dir).ok();
@@ -73,11 +88,16 @@ fn parallel_queries_agree() {
     let dir = dir_for("parallel");
     let kv = TsKv::open(
         &dir,
-        EngineConfig { points_per_chunk: 50, memtable_threshold: 200, ..Default::default() },
+        EngineConfig {
+            points_per_chunk: 50,
+            memtable_threshold: 200,
+            ..Default::default()
+        },
     )
     .unwrap();
     for t in 0..5_000i64 {
-        kv.insert("s", Point::new(t * 3, ((t * 31) % 101) as f64)).unwrap();
+        kv.insert("s", Point::new(t * 3, ((t * 31) % 101) as f64))
+            .unwrap();
     }
     kv.flush_all().unwrap();
     kv.delete("s", 3_000, 4_500).unwrap();
@@ -86,8 +106,10 @@ fn parallel_queries_agree() {
     let queries: Vec<M4Query> = (1..=8)
         .map(|i| M4Query::new(0, 15_000, i * 7).unwrap())
         .collect();
-    let baselines: Vec<_> =
-        queries.iter().map(|q| M4Udf::new().execute(&snap, q).unwrap()).collect();
+    let baselines: Vec<_> = queries
+        .iter()
+        .map(|q| M4Udf::new().execute(&snap, q).unwrap())
+        .collect();
 
     let handles: Vec<_> = (0..8)
         .map(|i| {
@@ -123,7 +145,11 @@ fn concurrent_writers_distinct_series() {
     let kv = Arc::new(
         TsKv::open(
             &dir,
-            EngineConfig { points_per_chunk: 64, memtable_threshold: 256, ..Default::default() },
+            EngineConfig {
+                points_per_chunk: 64,
+                memtable_threshold: 256,
+                ..Default::default()
+            },
         )
         .unwrap(),
     );

@@ -5,7 +5,12 @@
 
 // Integration tests assert by panicking; the workspace panic-freedom
 // deny-set (root Cargo.toml) is aimed at library code.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
 
 use m4lsm::m4::{M4Lsm, M4Query, M4Udf};
 use m4lsm::tsfile::encoding::EncodingKind;
@@ -17,7 +22,8 @@ fn drive(kv: &TsKv) {
     // A representative history: in-order load, out-of-order overwrite,
     // deletes straddling chunk boundaries, trailing unflushed tail.
     for t in 0..5_000i64 {
-        kv.insert("s", Point::new(t * 7, ((t * 31) % 113) as f64 - 50.0)).unwrap();
+        kv.insert("s", Point::new(t * 7, ((t * 31) % 113) as f64 - 50.0))
+            .unwrap();
     }
     kv.flush_all().unwrap();
     let overwrite: Vec<Point> = (1_000..1_500).map(|t| Point::new(t * 7, 500.0)).collect();

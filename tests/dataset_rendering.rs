@@ -5,7 +5,12 @@
 
 // Integration tests assert by panicking; the workspace panic-freedom
 // deny-set (root Cargo.toml) is aimed at library code.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
 
 use m4lsm::m4::oracle::m4_scan;
 use m4lsm::m4::render::{render_m4, render_series, value_range, PixelMap};
@@ -29,7 +34,11 @@ fn all_datasets_render_distinctly() {
         // a solid block.
         let set = full.set_pixels();
         assert!(set > 120, "{}: only {set} pixels set", d.name());
-        assert!(set < 120 * 40 * 9 / 10, "{}: chart is a solid block", d.name());
+        assert!(
+            set < 120 * 40 * 9 / 10,
+            "{}: chart is a solid block",
+            d.name()
+        );
         canvases.push((d.name(), full));
     }
     // Pairwise distinct charts (different timestamp/value structures).

@@ -3,7 +3,12 @@
 
 // Integration tests assert by panicking; the workspace panic-freedom
 // deny-set (root Cargo.toml) is aimed at library code.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
 
 use m4lsm::m4::render::{render_m4, render_series, value_range, PixelMap};
 use m4lsm::m4::{M4Lsm, M4Query, M4Udf};
@@ -43,7 +48,11 @@ fn full_lifecycle_all_datasets() {
             // overlap = 1.0 deals every adjacent batch pair, so the
             // assertion is deterministic even for the small datasets.
             load_with_overlap(&kv, "s", &points, 1.0, &mut rng).unwrap();
-            assert!(overlap_fraction(&kv.snapshot("s").unwrap()) > 0.0, "{}", dataset.name());
+            assert!(
+                overlap_fraction(&kv.snapshot("s").unwrap()) > 0.0,
+                "{}",
+                dataset.name()
+            );
             let span = (t1 - t0) / 100;
             apply_random_deletes(&kv, "s", 8, span, t0, t1, &mut rng).unwrap();
 
@@ -58,7 +67,9 @@ fn full_lifecycle_all_datasets() {
             // Pixel-exact rendering at w = chart width.
             let q = M4Query::new(t0, t1, 200).unwrap();
             let lsm = M4Lsm::new().execute(&snap, &q).unwrap();
-            let merged = MergeReader::with_range(&snap, q.full_range()).collect_merged().unwrap();
+            let merged = MergeReader::with_range(&snap, q.full_range())
+                .collect_merged()
+                .unwrap();
             let (vmin, vmax) = value_range(&merged).unwrap();
             let map = PixelMap::new(&q, vmin, vmax, 200, 100);
             let full = render_series(&merged, &map).unwrap();
@@ -86,7 +97,10 @@ fn merge_free_saves_io() {
     let dir = dir_for("io");
     // Cold-read accounting: the cross-query LRU would let the UDF run
     // reuse chunks the LSM run already decoded, so turn it off here.
-    let config = EngineConfig { enable_read_cache: false, ..Default::default() };
+    let config = EngineConfig {
+        enable_read_cache: false,
+        ..Default::default()
+    };
     let kv = TsKv::open(&dir, config).unwrap();
     let points = Dataset::Mf03.generate(0.02); // 200k points → 200 chunks
     m4lsm::workload::load_sequential(&kv, "s", &points).unwrap();
@@ -119,7 +133,8 @@ fn merge_free_saves_io() {
 fn facade_surface() {
     let dir = dir_for("facade");
     let kv = m4lsm::tskv::TsKv::open(&dir, m4lsm::tskv::config::EngineConfig::default()).unwrap();
-    kv.insert("x", m4lsm::tsfile::types::Point::new(1, 2.0)).unwrap();
+    kv.insert("x", m4lsm::tsfile::types::Point::new(1, 2.0))
+        .unwrap();
     kv.flush_all().unwrap();
     let snap = kv.snapshot("x").unwrap();
     let q = m4lsm::m4::M4Query::new(0, 10, 2).unwrap();

@@ -6,7 +6,12 @@
 
 // Integration tests assert by panicking; the workspace panic-freedom
 // deny-set (root Cargo.toml) is aimed at library code.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
 
 use m4lsm::m4::{M4Lsm, M4Query, M4Udf};
 use m4lsm::tsfile::types::Point;
@@ -46,8 +51,12 @@ fn figure5_merge_function() {
     // D²: delete covering P_C = (50, 1.0).
     kv.delete("s", 45, 55).unwrap();
     // C³: 4 points at t = 25..55 stepping 10; (30, 3.0) overwrites P_A=(30, 1.0).
-    let c3 =
-        vec![Point::new(25, 3.0), Point::new(30, 3.0), Point::new(44, 3.0), Point::new(58, 3.0)];
+    let c3 = vec![
+        Point::new(25, 3.0),
+        Point::new(30, 3.0),
+        Point::new(44, 3.0),
+        Point::new(58, 3.0),
+    ];
     kv.insert_batch("s", &c3).unwrap();
     kv.flush("s").unwrap();
 
@@ -158,8 +167,15 @@ fn figure7b_tp_overwrite_probe() {
     kv.insert_batch("s", &c3).unwrap();
     kv.flush("s").unwrap();
     // C⁴/C⁵ overwrite t = 205 with a low value (later versions).
-    kv.insert_batch("s", &[Point::new(203, 0.5), Point::new(205, 0.5), Point::new(207, 0.5)])
-        .unwrap();
+    kv.insert_batch(
+        "s",
+        &[
+            Point::new(203, 0.5),
+            Point::new(205, 0.5),
+            Point::new(207, 0.5),
+        ],
+    )
+    .unwrap();
     kv.flush("s").unwrap();
 
     let snap = kv.snapshot("s").unwrap();
@@ -196,7 +212,10 @@ fn example38_step_regression() {
     // The level segment begins where the first tilt reaches position
     // 242 — at the last pre-gap point (the paper's t₂ lands later only
     // because its real data is jittered).
-    assert!(splits[1] >= ts[241] && splits[1] <= resume, "level must start inside the gap");
+    assert!(
+        splits[1] >= ts[241] && splits[1] <= resume,
+        "level must start inside the gap"
+    );
 }
 
 /// The paper's headline query semantics: SQL-appendix grouping (A.1).

@@ -11,7 +11,12 @@
 
 // Integration tests assert by panicking; the workspace panic-freedom
 // deny-set (root Cargo.toml) is aimed at library code.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing
+)]
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -63,7 +68,8 @@ fn parallel_queries_race_live_writer() {
                 }
                 // Overwrite a stretch of old data to create overlap.
                 for t in (round * 50)..(round * 50 + 40) {
-                    kv.insert("s", Point::new(t * 10, 500.0 + round as f64)).unwrap();
+                    kv.insert("s", Point::new(t * 10, 500.0 + round as f64))
+                        .unwrap();
                 }
                 kv.flush_all().unwrap();
                 kv.delete("s", round * 300, round * 300 + 150).unwrap();
@@ -113,12 +119,18 @@ fn parallel_queries_race_live_writer() {
     for q in queriers {
         q.join().unwrap();
     }
-    assert!(queries_run.load(Ordering::Relaxed) >= 12, "stress test must actually run queries");
+    assert!(
+        queries_run.load(Ordering::Relaxed) >= 12,
+        "stress test must actually run queries"
+    );
 
     // The cache stayed within capacity and only references live files.
     let cache = kv.cache().expect("cache enabled").clone();
     assert!(cache.bytes() <= cache.capacity_bytes());
     let io = kv.io().snapshot();
-    assert!(io.cache_hits > 0, "stress run should have produced cache hits");
+    assert!(
+        io.cache_hits > 0,
+        "stress run should have produced cache hits"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

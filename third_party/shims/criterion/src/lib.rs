@@ -29,7 +29,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { default_sample_size: 30 }
+        Criterion {
+            default_sample_size: 30,
+        }
     }
 }
 
@@ -51,7 +53,9 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 }
 
@@ -99,25 +103,37 @@ impl BenchmarkGroup<'_> {
             .unwrap_or(self._criterion.default_sample_size)
             .max(1);
         // Warm-up pass, untimed.
-        let mut bencher = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
         f(&mut bencher);
 
         let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
         for _ in 0..samples {
-            let mut bencher = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+                iterations: 0,
+            };
             f(&mut bencher);
             if bencher.iterations > 0 {
                 per_iter.push(bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64);
             }
         }
         per_iter.sort_by(f64::total_cmp);
-        let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or(f64::NAN);
+        let median = per_iter
+            .get(per_iter.len() / 2)
+            .copied()
+            .unwrap_or(f64::NAN);
         let rate = match self.throughput {
             Some(Throughput::Elements(n)) if median > 0.0 => {
                 format!("  ({:.3} Melem/s)", n as f64 / median * 1e3 / 1e6)
             }
             Some(Throughput::Bytes(n)) if median > 0.0 => {
-                format!("  ({:.3} MiB/s)", n as f64 / median * 1e9 / (1024.0 * 1024.0))
+                format!(
+                    "  ({:.3} MiB/s)",
+                    n as f64 / median * 1e9 / (1024.0 * 1024.0)
+                )
             }
             _ => String::new(),
         };

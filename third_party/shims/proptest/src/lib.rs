@@ -164,7 +164,10 @@ pub struct Union<T> {
 impl<T> Union<T> {
     pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
         assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
-        assert!(options.iter().any(|(w, _)| *w > 0), "prop_oneof! needs a nonzero weight");
+        assert!(
+            options.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! needs a nonzero weight"
+        );
         Union { options }
     }
 }
@@ -323,7 +326,10 @@ pub mod prop {
         }
 
         pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-            VecStrategy { element, size: size.into() }
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
         }
 
         impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -385,20 +391,29 @@ impl SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.end > r.start, "empty size range {r:?}");
-        SizeRange { min: r.start, max_inclusive: r.end - 1 }
+        SizeRange {
+            min: r.start,
+            max_inclusive: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
         assert!(r.end() >= r.start(), "empty size range {r:?}");
-        SizeRange { min: *r.start(), max_inclusive: *r.end() }
+        SizeRange {
+            min: *r.start(),
+            max_inclusive: *r.end(),
+        }
     }
 }
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        SizeRange { min: n, max_inclusive: n }
+        SizeRange {
+            min: n,
+            max_inclusive: n,
+        }
     }
 }
 
@@ -412,14 +427,24 @@ pub struct TestRunner {
 }
 
 impl TestRunner {
-    pub fn new(config: ProptestConfig, full_name: &str, manifest_dir: &str, source_file: &str) -> Self {
+    pub fn new(
+        config: ProptestConfig,
+        full_name: &str,
+        manifest_dir: &str,
+        source_file: &str,
+    ) -> Self {
         let stem = std::path::Path::new(source_file)
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| "unknown".to_string());
-        let regression_path =
-            PathBuf::from(manifest_dir).join("proptest-regressions").join(format!("{stem}.txt"));
-        TestRunner { config, full_name: full_name.to_string(), regression_path }
+        let regression_path = PathBuf::from(manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{stem}.txt"));
+        TestRunner {
+            config,
+            full_name: full_name.to_string(),
+            regression_path,
+        }
     }
 
     fn base_seed(&self) -> u64 {
@@ -447,7 +472,9 @@ impl TestRunner {
             if parts.next() != Some("xs") {
                 continue;
             }
-            let (Some(hex), Some(name)) = (parts.next(), parts.next()) else { continue };
+            let (Some(hex), Some(name)) = (parts.next(), parts.next()) else {
+                continue;
+            };
             if name != self.full_name {
                 continue;
             }

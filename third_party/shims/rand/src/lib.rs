@@ -62,7 +62,9 @@ impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
         T::sample_inclusive(rng, low, high)
     }
     fn is_empty_range(&self) -> bool {
-        self.start().partial_cmp(self.end()).is_none_or(|o| o == core::cmp::Ordering::Greater)
+        self.start()
+            .partial_cmp(self.end())
+            .is_none_or(|o| o == core::cmp::Ordering::Greater)
     }
 }
 
@@ -119,7 +121,10 @@ pub trait Rng: RngCore {
         Self: Sized,
     {
         assert!(denominator > 0, "gen_ratio with zero denominator");
-        assert!(numerator <= denominator, "gen_ratio needs numerator <= denominator");
+        assert!(
+            numerator <= denominator,
+            "gen_ratio needs numerator <= denominator"
+        );
         u32::sample_half_open(self, 0, denominator) < numerator
     }
 
@@ -208,7 +213,9 @@ pub mod rngs {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 z ^ (z >> 31)
             };
-            StdRng { s: [next(), next(), next(), next()] }
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
         }
     }
 

@@ -137,6 +137,9 @@ mod tests {
         assert_eq!(true.to_value(), Value::Bool(true));
         assert_eq!("x".to_value(), Value::Str("x".into()));
         assert_eq!(None::<u8>.to_value(), Value::Null);
-        assert_eq!(vec![1u8, 2].to_value(), Value::Array(vec![Value::UInt(1), Value::UInt(2)]));
+        assert_eq!(
+            vec![1u8, 2].to_value(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
     }
 }

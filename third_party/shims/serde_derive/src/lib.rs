@@ -10,7 +10,9 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match expand(input) {
         Ok(ts) => ts,
-        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap_or_default(),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .unwrap_or_default(),
     }
 }
 
@@ -42,8 +44,8 @@ fn expand(input: TokenStream) -> Result<TokenStream, String> {
     }
 
     let name = name.ok_or_else(|| "serde shim: expected a struct".to_string())?;
-    let fields =
-        fields.ok_or_else(|| "serde shim: expected named fields (no tuple/unit structs)".to_string())?;
+    let fields = fields
+        .ok_or_else(|| "serde shim: expected named fields (no tuple/unit structs)".to_string())?;
 
     let mut pushes = String::new();
     for f in &fields {
@@ -60,7 +62,8 @@ fn expand(input: TokenStream) -> Result<TokenStream, String> {
              }}\n\
          }}\n"
     );
-    out.parse().map_err(|e| format!("serde shim: generated code failed to parse: {e:?}"))
+    out.parse()
+        .map_err(|e| format!("serde shim: generated code failed to parse: {e:?}"))
 }
 
 /// Extract field names from the brace-group token stream of a struct.

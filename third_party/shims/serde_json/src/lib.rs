@@ -148,9 +148,15 @@ mod tests {
     fn compact_and_pretty() {
         let v = Value::Object(vec![
             ("a".to_string(), Value::Int(1)),
-            ("b".to_string(), Value::Array(vec![Value::Float(0.5), Value::Str("x\"y".into())])),
+            (
+                "b".to_string(),
+                Value::Array(vec![Value::Float(0.5), Value::Str("x\"y".into())]),
+            ),
         ]);
-        assert_eq!(to_string(&v).map_err(|e| e.to_string()), Ok("{\"a\":1,\"b\":[0.5,\"x\\\"y\"]}".to_string()));
+        assert_eq!(
+            to_string(&v).map_err(|e| e.to_string()),
+            Ok("{\"a\":1,\"b\":[0.5,\"x\\\"y\"]}".to_string())
+        );
         let pretty = to_string_pretty(&v).map_err(|e| e.to_string());
         assert_eq!(
             pretty,
@@ -166,7 +172,13 @@ mod tests {
 
     #[test]
     fn empty_containers() {
-        assert_eq!(to_string(&Value::Array(vec![])).map_err(|_| ()), Ok("[]".to_string()));
-        assert_eq!(to_string(&Value::Object(vec![])).map_err(|_| ()), Ok("{}".to_string()));
+        assert_eq!(
+            to_string(&Value::Array(vec![])).map_err(|_| ()),
+            Ok("[]".to_string())
+        );
+        assert_eq!(
+            to_string(&Value::Object(vec![])).map_err(|_| ()),
+            Ok("{}".to_string())
+        );
     }
 }

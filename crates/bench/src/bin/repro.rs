@@ -8,7 +8,7 @@
 //!
 //! Experiments: table2, fig8, fig10, fig11, fig12, fig13, fig14,
 //! pixels, ablation, compaction, parallel, pages, ingest, serve,
-//! decode, all.
+//! subscribe, decode, all.
 //!
 //! `--out` writes `{"meta": {...}, "rows": [...]}` — the meta header
 //! records the run's scale/repeats and the baseline write-path knobs
@@ -33,6 +33,7 @@ use bench::experiments::decode::{self, DecodeReport, DecodeRow, PoolSummary};
 use bench::experiments::ingest::{self, IngestReport, IngestRow};
 use bench::experiments::pages::{self, PagesReport, PagesRow};
 use bench::experiments::serve::{self, ServeReport, ServeRow};
+use bench::experiments::subscribe::{self, SubscribeReport, SubscribeRow};
 use bench::experiments::{
     ablation, fig10, fig11, fig12, fig13, fig14, fig8, parallel, pixels, table2,
 };
@@ -84,7 +85,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--exp table2|fig8|fig10|fig11|fig12|fig13|fig14|pixels|ablation|compaction|parallel|pages|ingest|serve|decode|all] \
+                    "usage: repro [--exp table2|fig8|fig10|fig11|fig12|fig13|fig14|pixels|ablation|compaction|parallel|pages|ingest|serve|subscribe|decode|all] \
                      [--scale F] [--repeats N] [--out FILE.json] [--dataset NAME]..."
                 );
                 std::process::exit(0);
@@ -176,6 +177,13 @@ fn main() {
         serve::print(&serve_rows);
         serve::summarize(&serve_rows);
     }
+    let mut subscribe_rows: Vec<SubscribeRow> = Vec::new();
+    if all || args.exp == "subscribe" {
+        println!("\n== subscribe ==");
+        subscribe_rows = subscribe::run(&h);
+        subscribe::print(&subscribe_rows);
+        subscribe::summarize(&subscribe_rows);
+    }
     let mut decode_out: Option<(Vec<DecodeRow>, PoolSummary)> = None;
     if all || args.exp == "decode" {
         println!("\n== decode ==");
@@ -223,6 +231,15 @@ fn main() {
                 serde_json::to_string_pretty(&report).expect("serialize serve report"),
                 report.rows.len(),
             )
+        } else if args.exp == "subscribe" {
+            let report = SubscribeReport {
+                meta,
+                rows: subscribe_rows,
+            };
+            (
+                serde_json::to_string_pretty(&report).expect("serialize subscribe report"),
+                report.rows.len(),
+            )
         } else if args.exp == "decode" {
             let (rows, pool) = decode_out.take().expect("decode experiment ran");
             let report = DecodeReport { meta, rows, pool };
@@ -244,6 +261,11 @@ fn main() {
             }
             if !serve_rows.is_empty() {
                 println!("\nnote: serve rows are only serialized by `--exp serve --out ...`");
+            }
+            if !subscribe_rows.is_empty() {
+                println!(
+                    "\nnote: subscribe rows are only serialized by `--exp subscribe --out ...`"
+                );
             }
             if decode_out.is_some() {
                 println!("\nnote: decode rows are only serialized by `--exp decode --out ...`");

@@ -16,4 +16,5 @@ pub mod pages;
 pub mod parallel;
 pub mod pixels;
 pub mod serve;
+pub mod subscribe;
 pub mod table2;

@@ -27,7 +27,7 @@ use m4::{M4Lsm, M4Query, M4Udf};
 use tsfile::types::Point;
 use tskv::config::EngineConfig;
 use tskv::{TsKv, WriteBatch};
-use tsnet::wire::encode_response;
+use tsnet::wire::{encode_response, ResponseEnvelope};
 use tsnet::{
     ClientConfig, Operator, Request, Response, ServerConfig, ServerStatsSnapshot, TsNetClient,
     TsNetServer,
@@ -388,9 +388,14 @@ fn oracle_replay(kv: &TsKv, name: &str, stream: &[Point], script: &[Step]) -> Ve
     out
 }
 
-/// Canonical comparison unit: the encoded `M4` response frame.
+/// Canonical comparison unit: the encoded `M4` response frame, with a
+/// pinned request id so bytes compare on content alone.
 fn m4_bytes(spans: Vec<Option<m4::SpanRepr>>) -> Vec<u8> {
-    encode_response(&Response::M4 { spans }).expect("encode m4 response")
+    encode_response(&ResponseEnvelope {
+        request_id: 0,
+        body: Response::M4 { spans },
+    })
+    .expect("encode m4 response")
 }
 
 /// Fetch the server counters over the wire (fresh connection, so the

@@ -119,6 +119,54 @@ impl StreamingM4 {
     pub fn is_exact(&self) -> bool {
         !self.dirty.iter().any(|&d| d)
     }
+
+    /// Largest timestamp observed so far (in- or out-of-window).
+    pub fn watermark(&self) -> Option<i64> {
+        self.watermark
+    }
+
+    /// Advance the watermark without ingesting a point. Used after a
+    /// [`Self::repair`] from an authoritative store snapshot: points the
+    /// snapshot already covered must not be treated as fresh in-order
+    /// input when their (older) notifications are replayed later.
+    pub fn observe_watermark(&mut self, t: i64) {
+        if self.watermark.is_none_or(|w| t > w) {
+            self.watermark = Some(t);
+        }
+    }
+
+    /// Mark every span overlapping `[start, end]` (inclusive, in
+    /// timestamp space) dirty. This is the reaction to a range delete:
+    /// affected spans can shrink in ways incremental maintenance
+    /// cannot express, so they must be repaired from storage.
+    pub fn invalidate_range(&mut self, start: i64, end: i64) {
+        if start > end {
+            return;
+        }
+        let (t_qs, t_qe) = (self.query.t_qs, self.query.t_qe);
+        if end < t_qs || start >= t_qe {
+            return;
+        }
+        let lo = self.query.span_of(start.max(t_qs)).unwrap_or(0);
+        let hi = self
+            .query
+            .span_of(end.min(t_qe - 1))
+            .unwrap_or(self.query.w.saturating_sub(1));
+        for i in lo..=hi.min(self.query.w.saturating_sub(1)) {
+            if let Some(d) = self.dirty.get_mut(i) {
+                *d = true;
+            }
+        }
+    }
+
+    /// Mark every span dirty: the maintained state can no longer be
+    /// trusted at all (e.g. the feeding notification channel reported
+    /// lost events) and must be rebuilt from an authoritative snapshot.
+    pub fn invalidate_all(&mut self) {
+        for d in &mut self.dirty {
+            *d = true;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +258,59 @@ mod tests {
         // Watermark still advanced: a later in-window point is in-order.
         s.ingest(Point::new(500, 3.0));
         assert_eq!(s.dirty_spans(), vec![1]); // 500 < watermark 2000 → dirty
+    }
+
+    #[test]
+    fn invalidate_range_marks_overlapping_spans() {
+        let query = q(4); // spans of 250 each over [0, 1000)
+        let mut s = StreamingM4::new(query);
+        s.ingest(Point::new(100, 1.0));
+        s.ingest(Point::new(600, 2.0));
+        assert!(s.is_exact());
+        // A delete over [200, 300] touches spans 0 and 1.
+        s.invalidate_range(200, 300);
+        assert_eq!(s.dirty_spans(), vec![0, 1]);
+        // Ranges fully outside the window are no-ops.
+        let mut t = StreamingM4::new(query);
+        t.invalidate_range(-50, -1);
+        t.invalidate_range(1_000, 2_000);
+        t.invalidate_range(10, 5); // inverted
+        assert!(t.is_exact());
+        // A range straddling the window edges clamps to valid spans.
+        t.invalidate_range(-100, 10_000);
+        assert_eq!(t.dirty_spans(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn invalidate_all_then_repair_rebuilds() {
+        let query = q(2);
+        let mut s = StreamingM4::new(query);
+        s.ingest(Point::new(10, 1.0));
+        s.invalidate_all();
+        assert_eq!(s.dirty_spans(), vec![0, 1]);
+        let all = vec![Point::new(10, 1.0)];
+        let expected = m4_scan(&all, &query);
+        s.repair(0, expected.spans[0]);
+        s.repair(1, expected.spans[1]);
+        assert!(s.is_exact());
+        assert!(s.current().equivalent(&expected));
+    }
+
+    #[test]
+    fn observe_watermark_guards_replayed_input() {
+        let query = q(2);
+        let mut s = StreamingM4::new(query);
+        assert_eq!(s.watermark(), None);
+        // A repair covered data up to t=700; record that.
+        s.observe_watermark(700);
+        assert_eq!(s.watermark(), Some(700));
+        // Replayed notification for an already-covered point must not
+        // take the in-order fast path (it would corrupt LP).
+        s.ingest(Point::new(600, 1.0));
+        assert_eq!(s.dirty_spans(), vec![1]);
+        // Observing an older timestamp never regresses the watermark.
+        s.observe_watermark(10);
+        assert_eq!(s.watermark(), Some(700));
     }
 
     #[test]

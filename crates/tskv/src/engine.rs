@@ -57,6 +57,7 @@ use crate::compaction::policy::{CompactionPolicy, FileView};
 use crate::compaction::{execute, CompactionReport};
 use crate::config::{EngineConfig, FsyncPolicy};
 use crate::memtable::MemTable;
+use crate::notify::{ChangeEvent, ChangeRx, ChangeSink};
 use crate::scheduler::CompactionScheduler;
 use crate::snapshot::SeriesSnapshot;
 use crate::stats::IoStats;
@@ -171,6 +172,12 @@ pub(crate) struct EngineInner {
     /// Merge-candidate selector, built from
     /// [`EngineConfig::compaction_policy`] at open.
     policy: Box<dyn CompactionPolicy>,
+    /// Change-notification fan-out (see [`crate::notify`]). Publishes
+    /// happen after the owning shard lock is released, so a slow
+    /// listener can never extend lock hold times; cross-thread event
+    /// order is therefore best-effort, and consumers reconcile via
+    /// their dirty-span repair path.
+    changes: ChangeSink,
 }
 
 /// How a compaction run's input files are chosen.
@@ -421,6 +428,7 @@ impl EngineInner {
             io,
             cache,
             policy,
+            changes: ChangeSink::default(),
         })
     }
 
@@ -519,6 +527,12 @@ impl EngineInner {
             self.commit_wal(store)?;
             store.memtable.len() >= self.config.memtable_threshold && store.flushing.is_none()
         };
+        if self.changes.active() {
+            self.changes.publish(&ChangeEvent::Write {
+                series: Arc::from(name),
+                points: Arc::new(points.to_vec()),
+            });
+        }
         if need_flush {
             self.flush_series(name, false)?;
         }
@@ -548,6 +562,8 @@ impl EngineInner {
         }
         let mut total = 0usize;
         let mut need_flush: Vec<String> = Vec::new();
+        let notify = self.changes.active();
+        let mut events: Vec<ChangeEvent> = Vec::new();
         for (idx, group) in by_shard.iter().enumerate() {
             if group.is_empty() {
                 continue;
@@ -563,6 +579,12 @@ impl EngineInner {
                 self.apply_inserts(store, points)?;
                 self.commit_wal(store)?;
                 total += points.len();
+                if notify {
+                    events.push(ChangeEvent::Write {
+                        series: Arc::from(*name),
+                        points: Arc::new(points.to_vec()),
+                    });
+                }
                 if store.memtable.len() >= self.config.memtable_threshold
                     && store.flushing.is_none()
                 {
@@ -570,8 +592,11 @@ impl EngineInner {
                 }
             }
         }
-        // Phase 3 (unlocked): flush the memtables that crossed the
-        // threshold.
+        // Phase 3 (unlocked): notify listeners, then flush the
+        // memtables that crossed the threshold.
+        for event in &events {
+            self.changes.publish(event);
+        }
         for name in need_flush {
             self.flush_series(&name, false)?;
         }
@@ -657,7 +682,13 @@ impl EngineInner {
                     if sealed.is_err() {
                         std::fs::remove_file(&path).ok();
                     }
-                    return self.install_flush(name, &points, sealed);
+                    let out = self.install_flush(name, &points, sealed);
+                    if out.is_ok() && self.changes.active() {
+                        self.changes.publish(&ChangeEvent::Flush {
+                            series: Arc::from(name),
+                        });
+                    }
+                    return out;
                 }
             }
         }
@@ -741,34 +772,44 @@ impl EngineInner {
         if start > end {
             return Err(TsKvError::InvalidDeleteRange { start, end });
         }
-        let mut map = self.shard(name).series.write();
-        let store = map
-            .get_mut(name)
-            .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
-        let version = self.alloc.next();
-        let range = TimeRange::new(start, end);
-        // Tombstones are rare and dangerous to lose: commit (and, unless
-        // the policy is Never, fsync) the delete record immediately.
-        let sync_deletes = !matches!(self.config.fsync_policy, FsyncPolicy::Never);
-        if let Some(wal) = &mut store.wal {
-            wal.append_delete(version, range)?;
-        }
-        self.commit_wal_with(store, sync_deletes)?;
-        store.memtable.delete_range(range);
-        let entry = ModEntry::new(version, start, end);
-        if store.flushing.is_some() {
-            // The in-flight file is not in `files` yet; park the entry
-            // so install_flush can attach it.
-            store.pending_mods.push(entry);
-        }
-        for res in &mut store.files {
-            let overlaps = res
-                .time_range()
-                .map(|r| r.overlaps(&range))
-                .unwrap_or(false);
-            if overlaps {
-                res.mods.append(entry)?;
+        {
+            let mut map = self.shard(name).series.write();
+            let store = map
+                .get_mut(name)
+                .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+            let version = self.alloc.next();
+            let range = TimeRange::new(start, end);
+            // Tombstones are rare and dangerous to lose: commit (and,
+            // unless the policy is Never, fsync) the delete record
+            // immediately.
+            let sync_deletes = !matches!(self.config.fsync_policy, FsyncPolicy::Never);
+            if let Some(wal) = &mut store.wal {
+                wal.append_delete(version, range)?;
             }
+            self.commit_wal_with(store, sync_deletes)?;
+            store.memtable.delete_range(range);
+            let entry = ModEntry::new(version, start, end);
+            if store.flushing.is_some() {
+                // The in-flight file is not in `files` yet; park the
+                // entry so install_flush can attach it.
+                store.pending_mods.push(entry);
+            }
+            for res in &mut store.files {
+                let overlaps = res
+                    .time_range()
+                    .map(|r| r.overlaps(&range))
+                    .unwrap_or(false);
+                if overlaps {
+                    res.mods.append(entry)?;
+                }
+            }
+        }
+        if self.changes.active() {
+            self.changes.publish(&ChangeEvent::Delete {
+                series: Arc::from(name),
+                start,
+                end,
+            });
         }
         Ok(())
     }
@@ -1235,6 +1276,17 @@ impl TsKv {
         self.inner.compact_policy(name)
     }
 
+    /// Subscribe to change notifications: every write, delete, and
+    /// flush publishes a [`ChangeEvent`] to each listener over a
+    /// bounded queue of `depth` events. Publishing never blocks the
+    /// write path — when a listener's queue is full the event is
+    /// dropped and the listener's *missed* flag raised, telling it to
+    /// resynchronize from a fresh [`TsKv::snapshot`]. See
+    /// [`crate::notify`].
+    pub fn subscribe_changes(&self, depth: usize) -> ChangeRx {
+        self.inner.changes.register(depth)
+    }
+
     /// Engine-wide I/O counters (shared by all snapshots).
     pub fn io(&self) -> &Arc<IoStats> {
         self.inner.io()
@@ -1264,6 +1316,10 @@ impl TsKv {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert by panicking; the workspace deny-set targets
+    // library code.
+    #![allow(clippy::panic)]
+
     use super::*;
     use crate::readers::MergeReader;
 
@@ -1281,6 +1337,55 @@ mod tests {
             },
         )?;
         Ok((dir, kv))
+    }
+
+    #[test]
+    fn change_notifications_cover_write_delete_flush() -> TestResult {
+        let (dir, kv) = fresh("notify")?;
+        let rx = kv.subscribe_changes(64);
+        kv.insert_batch("s", &[Point::new(1, 1.0), Point::new(2, 2.0)])?;
+        kv.delete("s", 1, 1)?;
+        kv.flush("s")?;
+        let mut batch = WriteBatch::new();
+        batch.insert("s", Point::new(3, 3.0));
+        batch.insert("t", Point::new(4, 4.0));
+        kv.write_batch(&batch)?;
+        match rx.try_recv() {
+            Some(ChangeEvent::Write { series, points }) => {
+                assert_eq!(&*series, "s");
+                assert_eq!(points.len(), 2);
+            }
+            other => panic!("expected write event, got {other:?}"),
+        }
+        match rx.try_recv() {
+            Some(ChangeEvent::Delete { series, start, end }) => {
+                assert_eq!(&*series, "s");
+                assert_eq!((start, end), (1, 1));
+            }
+            other => panic!("expected delete event, got {other:?}"),
+        }
+        match rx.try_recv() {
+            Some(ChangeEvent::Flush { series }) => assert_eq!(&*series, "s"),
+            other => panic!("expected flush event, got {other:?}"),
+        }
+        let mut batch_series: Vec<String> = Vec::new();
+        while let Some(e) = rx.try_recv() {
+            match e {
+                ChangeEvent::Write { series, points } => {
+                    assert_eq!(points.len(), 1);
+                    batch_series.push(series.to_string());
+                }
+                other => panic!("expected write events, got {other:?}"),
+            }
+        }
+        batch_series.sort();
+        assert_eq!(batch_series, vec!["s".to_string(), "t".to_string()]);
+        assert!(!rx.missed());
+        // Dropping the receiver detaches it; later writes are no-ops.
+        drop(rx);
+        kv.insert("s", Point::new(9, 9.0))?;
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]

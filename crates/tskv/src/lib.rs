@@ -70,12 +70,14 @@ pub mod delete;
 pub mod engine;
 pub mod error;
 pub mod memtable;
+pub mod notify;
 pub mod readers;
 pub mod scheduler;
 pub mod snapshot;
 pub mod stats;
 pub mod version;
 pub mod wal;
+pub mod wire;
 
 pub use batch::WriteBatch;
 pub use cache::{CacheKey, DecodedChunkCache};
@@ -84,6 +86,7 @@ pub use compaction::{CompactionPolicy, CompactionPolicyKind, CompactionReport, F
 pub use config::FsyncPolicy;
 pub use engine::TsKv;
 pub use error::TsKvError;
+pub use notify::{ChangeEvent, ChangeObserver, ChangeRx};
 pub use snapshot::SeriesSnapshot;
 pub use stats::IoStats;
 

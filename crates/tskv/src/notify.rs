@@ -1,0 +1,345 @@
+//! Engine change notifications: a bounded, lossy-but-honest channel
+//! telling downstream consumers (the tsnet subscription registry) that
+//! a series' logical contents changed.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **The write path never blocks on a consumer.** Publishing uses
+//!    `try_send` on a bounded queue; a full queue drops the event and
+//!    raises the listener's *missed* flag instead of stalling ingest.
+//! 2. **Loss is observable, never silent.** A consumer that sees the
+//!    missed flag knows its incremental state may have gaps and must
+//!    resynchronize from an authoritative [`crate::TsKv::snapshot`].
+//! 3. **Events carry enough to maintain state incrementally.** Write
+//!    events include the written points (shared via `Arc`, one clone
+//!    per listener is a pointer bump); delete events carry the range.
+//!
+//! Flush and compaction do **not** change a series' logical contents
+//! (they move points between the memtable and sealed files), so only
+//! an informational [`ChangeEvent::Flush`] is published for them —
+//! consumers tracking logical state may ignore it.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use tsfile::types::Point;
+
+/// One logical mutation of a series, as observed by the write path.
+#[derive(Debug, Clone)]
+pub enum ChangeEvent {
+    /// Points were inserted (any time order; duplicates overwrite).
+    /// The slice is exactly what the producing call wrote, in call
+    /// order — replaying these in event order against a state that was
+    /// authoritative beforehand reproduces the engine's contents.
+    Write {
+        /// Series name.
+        series: Arc<str>,
+        /// The written points, shared across listeners.
+        points: Arc<Vec<Point>>,
+    },
+    /// A range tombstone `[start, end]` (inclusive) was recorded.
+    Delete {
+        /// Series name.
+        series: Arc<str>,
+        /// First deleted timestamp (inclusive).
+        start: i64,
+        /// Last deleted timestamp (inclusive).
+        end: i64,
+    },
+    /// A memtable flush sealed a file. Informational: logical series
+    /// contents are unchanged.
+    Flush {
+        /// Series name.
+        series: Arc<str>,
+    },
+}
+
+impl ChangeEvent {
+    /// The series this event concerns.
+    pub fn series(&self) -> &str {
+        match self {
+            ChangeEvent::Write { series, .. }
+            | ChangeEvent::Delete { series, .. }
+            | ChangeEvent::Flush { series } => series,
+        }
+    }
+}
+
+/// One registered listener: its bounded queue plus the shared
+/// bookkeeping the receiving half observes.
+struct Listener {
+    tx: SyncSender<ChangeEvent>,
+    sent: Arc<AtomicU64>,
+    missed: Arc<AtomicBool>,
+}
+
+/// The engine-held publishing side. Cheap when nobody listens: one
+/// relaxed atomic load per mutation.
+#[derive(Default)]
+pub(crate) struct ChangeSink {
+    listeners: Mutex<Vec<Listener>>,
+    has_listeners: AtomicBool,
+}
+
+impl std::fmt::Debug for ChangeSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChangeSink")
+            .field("has_listeners", &self.has_listeners.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ChangeSink {
+    /// Whether any listener is registered (fast path for the write
+    /// path: skip event construction entirely when nobody cares).
+    pub(crate) fn active(&self) -> bool {
+        self.has_listeners.load(Ordering::Acquire)
+    }
+
+    /// Register a new listener with a queue of `depth` events.
+    pub(crate) fn register(&self, depth: usize) -> ChangeRx {
+        let (tx, rx) = std::sync::mpsc::sync_channel(depth.max(1));
+        let sent = Arc::new(AtomicU64::new(0));
+        let missed = Arc::new(AtomicBool::new(false));
+        let mut listeners = self.listeners.lock();
+        listeners.push(Listener {
+            tx,
+            sent: Arc::clone(&sent),
+            missed: Arc::clone(&missed),
+        });
+        self.has_listeners.store(true, Ordering::Release);
+        ChangeRx { rx, sent, missed }
+    }
+
+    /// Deliver `event` to every live listener without blocking. A full
+    /// queue raises that listener's missed flag; a disconnected
+    /// receiver is dropped from the list.
+    pub(crate) fn publish(&self, event: &ChangeEvent) {
+        if !self.active() {
+            return;
+        }
+        let mut listeners = self.listeners.lock();
+        listeners.retain(|l| {
+            // Count before sending so a racing quiesce poll never sees
+            // a delivered-but-uncounted event; undo on failure (the
+            // transient overcount only makes such a poll conservative).
+            l.sent.fetch_add(1, Ordering::Release);
+            match l.tx.try_send(event.clone()) {
+                Ok(()) => true,
+                Err(TrySendError::Full(_)) => {
+                    l.sent.fetch_sub(1, Ordering::Release);
+                    l.missed.store(true, Ordering::Release);
+                    true
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    l.sent.fetch_sub(1, Ordering::Release);
+                    false
+                }
+            }
+        });
+        if listeners.is_empty() {
+            self.has_listeners.store(false, Ordering::Release);
+        }
+    }
+}
+
+/// The consuming half of one change subscription (see
+/// [`crate::TsKv::subscribe_changes`]).
+pub struct ChangeRx {
+    rx: Receiver<ChangeEvent>,
+    sent: Arc<AtomicU64>,
+    missed: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for ChangeRx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChangeRx")
+            .field("sent", &self.sent())
+            .field("missed", &self.missed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Error: the publishing engine was dropped; no further events will
+/// ever arrive on this channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelClosed;
+
+impl std::fmt::Display for ChannelClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("change channel closed (engine dropped)")
+    }
+}
+
+impl std::error::Error for ChannelClosed {}
+
+/// A cheap, clonable view of one change subscription's progress
+/// counters — for quiesce-style observers that need to compare "events
+/// published" against "events processed" while another thread owns the
+/// receiving half.
+#[derive(Debug, Clone)]
+pub struct ChangeObserver {
+    sent: Arc<AtomicU64>,
+    missed: Arc<AtomicBool>,
+}
+
+impl ChangeObserver {
+    /// Events successfully enqueued so far (see [`ChangeRx::sent`]).
+    pub fn sent(&self) -> u64 {
+        self.sent.load(Ordering::Acquire)
+    }
+
+    /// Peek the missed flag without clearing it.
+    pub fn missed(&self) -> bool {
+        self.missed.load(Ordering::Acquire)
+    }
+}
+
+impl ChangeRx {
+    /// A shared handle onto this channel's progress counters, usable
+    /// from threads that do not own the receiver.
+    pub fn observer(&self) -> ChangeObserver {
+        ChangeObserver {
+            sent: Arc::clone(&self.sent),
+            missed: Arc::clone(&self.missed),
+        }
+    }
+
+    /// Receive the next event, waiting up to `timeout`. `Ok(None)`
+    /// means the timeout elapsed; `Err` means the engine was dropped.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<ChangeEvent>, ChannelClosed> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(e) => Ok(Some(e)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(ChannelClosed),
+        }
+    }
+
+    /// Receive without waiting.
+    pub fn try_recv(&self) -> Option<ChangeEvent> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Events successfully enqueued so far (delivered plus still
+    /// queued; missed events are not counted). A consumer that has
+    /// processed this many events — with writers quiescent — has seen
+    /// everything.
+    pub fn sent(&self) -> u64 {
+        self.sent.load(Ordering::Acquire)
+    }
+
+    /// Read and clear the missed flag. `true` means at least one event
+    /// was dropped because the queue was full: incremental state built
+    /// from this channel may have gaps and must be resynchronized.
+    pub fn take_missed(&self) -> bool {
+        self.missed.swap(false, Ordering::AcqRel)
+    }
+
+    /// Peek the missed flag without clearing it.
+    pub fn missed(&self) -> bool {
+        self.missed.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests assert by panicking; the workspace deny-set targets
+    // library code.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+
+    fn write_event(series: &str, pts: &[(i64, f64)]) -> ChangeEvent {
+        ChangeEvent::Write {
+            series: Arc::from(series),
+            points: Arc::new(pts.iter().map(|&(t, v)| Point::new(t, v)).collect()),
+        }
+    }
+
+    #[test]
+    fn publish_without_listeners_is_a_noop() {
+        let sink = ChangeSink::default();
+        assert!(!sink.active());
+        sink.publish(&write_event("s", &[(1, 1.0)]));
+    }
+
+    #[test]
+    fn events_flow_in_order_and_count() {
+        let sink = ChangeSink::default();
+        let rx = sink.register(8);
+        assert!(sink.active());
+        sink.publish(&write_event("s", &[(1, 1.0)]));
+        sink.publish(&ChangeEvent::Delete {
+            series: Arc::from("s"),
+            start: 0,
+            end: 10,
+        });
+        sink.publish(&ChangeEvent::Flush {
+            series: Arc::from("s"),
+        });
+        assert_eq!(rx.sent(), 3);
+        assert!(matches!(rx.try_recv(), Some(ChangeEvent::Write { .. })));
+        match rx.try_recv() {
+            Some(ChangeEvent::Delete { start, end, .. }) => {
+                assert_eq!((start, end), (0, 10));
+            }
+            other => panic!("expected delete, got {other:?}"),
+        }
+        assert!(matches!(rx.try_recv(), Some(ChangeEvent::Flush { .. })));
+        assert!(rx.try_recv().is_none());
+        assert!(!rx.missed());
+    }
+
+    #[test]
+    fn overflow_sets_missed_and_never_blocks() {
+        let sink = ChangeSink::default();
+        let rx = sink.register(2);
+        for i in 0..5 {
+            sink.publish(&write_event("s", &[(i, 1.0)]));
+        }
+        // Two queued, three dropped; sent counts only deliveries.
+        assert_eq!(rx.sent(), 2);
+        assert!(rx.missed());
+        assert!(rx.take_missed());
+        assert!(!rx.missed());
+        assert!(rx.try_recv().is_some());
+        assert!(rx.try_recv().is_some());
+        assert!(rx.try_recv().is_none());
+    }
+
+    #[test]
+    fn dropped_listener_is_pruned() {
+        let sink = ChangeSink::default();
+        let rx = sink.register(2);
+        drop(rx);
+        sink.publish(&write_event("s", &[(1, 1.0)]));
+        assert!(!sink.active());
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_empty_from_dead() {
+        let sink = ChangeSink::default();
+        let rx = sink.register(2);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1))
+                .map(|e| e.is_some()),
+            Ok(false)
+        );
+        sink.publish(&write_event("s", &[(1, 1.0)]));
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(100)),
+            Ok(Some(ChangeEvent::Write { .. }))
+        ));
+        drop(sink);
+        assert!(rx.recv_timeout(Duration::from_millis(1)).is_err());
+    }
+
+    #[test]
+    fn event_series_accessor() {
+        assert_eq!(write_event("abc", &[]).series(), "abc");
+    }
+}

@@ -1,0 +1,116 @@
+//! Canonical wire layout of the engine's counter block.
+//!
+//! The Stats RPC serializes [`IoSnapshot`] as a flat block of
+//! little-endian `u64`s. Before this module, the field count and order
+//! lived in three places — the tsnet encoder, the tsnet decoder, and
+//! the property-test strategy — and every PR that added a counter had
+//! to touch all three by hand (and twice forgot one). Now the count
+//! ([`IO_BLOCK_U64S`]) and the order ([`encode_io_block`] /
+//! [`decode_io_block`]) are defined here, next to the struct itself,
+//! and everything else consumes them.
+//!
+//! Adding a counter is a three-line change: the field on
+//! [`crate::stats::IoStats`]/[`IoSnapshot`], one entry in
+//! [`encode_io_block`], one name in [`decode_io_block`] — the array
+//! types make the compiler reject a missed spot, and the roundtrip
+//! test below pins encode/decode agreement.
+
+use crate::stats::IoSnapshot;
+
+/// Number of `u64` values in the serialized [`IoSnapshot`] block.
+pub const IO_BLOCK_U64S: usize = 25;
+
+/// Flatten an [`IoSnapshot`] into its canonical wire order.
+pub fn encode_io_block(io: &IoSnapshot) -> [u64; IO_BLOCK_U64S] {
+    [
+        io.chunks_loaded,
+        io.bytes_read,
+        io.points_decoded,
+        io.timestamps_decoded,
+        io.mem_chunks_read,
+        io.cache_hits,
+        io.cache_misses,
+        io.cache_evictions,
+        io.cache_invalidations,
+        io.points_written,
+        io.wal_batches,
+        io.wal_bytes,
+        io.wal_syncs,
+        io.compactions_scheduled,
+        io.compactions_completed,
+        io.compactions_skipped,
+        io.compaction_bytes_read,
+        io.compaction_bytes_rewritten,
+        io.compaction_pages_copied,
+        io.compaction_pages_recoded,
+        io.pages_decoded,
+        io.pages_skipped,
+        io.pages_stat_answered,
+        io.pool_hits,
+        io.pool_misses,
+    ]
+}
+
+/// Rebuild an [`IoSnapshot`] from its canonical wire order.
+pub fn decode_io_block(block: &[u64; IO_BLOCK_U64S]) -> IoSnapshot {
+    let [chunks_loaded, bytes_read, points_decoded, timestamps_decoded, mem_chunks_read, cache_hits, cache_misses, cache_evictions, cache_invalidations, points_written, wal_batches, wal_bytes, wal_syncs, compactions_scheduled, compactions_completed, compactions_skipped, compaction_bytes_read, compaction_bytes_rewritten, compaction_pages_copied, compaction_pages_recoded, pages_decoded, pages_skipped, pages_stat_answered, pool_hits, pool_misses] =
+        *block;
+    IoSnapshot {
+        chunks_loaded,
+        bytes_read,
+        points_decoded,
+        timestamps_decoded,
+        mem_chunks_read,
+        pages_decoded,
+        pages_skipped,
+        pages_stat_answered,
+        cache_hits,
+        cache_misses,
+        cache_evictions,
+        cache_invalidations,
+        points_written,
+        wal_batches,
+        wal_bytes,
+        wal_syncs,
+        compactions_scheduled,
+        compactions_completed,
+        compactions_skipped,
+        compaction_bytes_read,
+        compaction_bytes_rewritten,
+        compaction_pages_copied,
+        compaction_pages_recoded,
+        pool_hits,
+        pool_misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests assert by panicking; the workspace deny-set targets
+    // library code.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+
+    #[test]
+    fn io_block_roundtrips_every_field() {
+        // Distinct values per slot: a swapped pair in either direction
+        // would fail the equality below.
+        let mut block = [0u64; IO_BLOCK_U64S];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = (i as u64 + 1) * 1_000_003;
+        }
+        let snap = decode_io_block(&block);
+        assert_eq!(encode_io_block(&snap), block);
+    }
+
+    #[test]
+    fn zero_block_is_default_snapshot() {
+        let snap = decode_io_block(&[0u64; IO_BLOCK_U64S]);
+        assert_eq!(snap, IoSnapshot::default());
+        assert_eq!(
+            encode_io_block(&IoSnapshot::default()),
+            [0u64; IO_BLOCK_U64S]
+        );
+    }
+}

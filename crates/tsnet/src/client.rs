@@ -1,12 +1,28 @@
 //! Blocking client for the tsnet protocol.
 //!
 //! One [`TsNetClient`] owns one TCP connection and issues one request
-//! at a time (the protocol is strictly request/response per
-//! connection; use one client per thread for concurrency). Connection
+//! at a time (use one client per thread for concurrency). Connection
 //! establishment retries with linear backoff; `Busy` responses surface
 //! as the retryable [`NetError::Busy`] so callers choose their own
 //! backpressure policy — or use [`TsNetClient::call_with_busy_retry`].
+//!
+//! ## Reading a connection that also carries pushes
+//!
+//! Once a subscription is active the server may interleave
+//! **unsolicited push frames** between responses. The read path demuxes
+//! on frame kind and request id: pushes read mid-call are buffered and
+//! later surfaced by [`TsNetClient::poll_push`]; response frames whose
+//! request id does not match the in-flight request (stale answers from
+//! an abandoned call) are discarded instead of being mistaken for the
+//! current call's response — the correlation id is what makes
+//! [`TsNetClient::call_with_busy_retry`] safe on a pushy connection.
+//!
+//! [`SubReplay`] folds a subscription's `SubAck` baseline plus its
+//! `SpanDelta` stream back into a dashboard state; at any server
+//! quiesce point that state is byte-identical to a fresh M4 recompute.
 
+use std::collections::VecDeque;
+use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::thread;
 use std::time::Duration;
@@ -15,9 +31,9 @@ use m4::SpanRepr;
 use tsfile::types::Point;
 use tskv::stats::IoSnapshot;
 
-use crate::error::NetError;
+use crate::error::{ErrorCode, NetError};
 use crate::stats::ServerStatsSnapshot;
-use crate::wire::{self, Frame, Operator, Request, RequestEnvelope, Response};
+use crate::wire::{self, Frame, Operator, Push, Request, RequestEnvelope, Response};
 use crate::Result;
 
 /// Tuning knobs for one client connection.
@@ -51,6 +67,19 @@ impl Default for ClientConfig {
 pub struct TsNetClient {
     stream: TcpStream,
     config: ClientConfig,
+    /// Correlation id for the next request envelope.
+    next_request_id: u64,
+    /// Push frames read while waiting for a response, in arrival
+    /// order; drained by [`TsNetClient::poll_push`].
+    buffered_pushes: VecDeque<Push>,
+}
+
+/// An acknowledged subscription: its server-assigned id and the
+/// baseline span state the delta stream applies on top of.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subscription {
+    pub sub_id: u64,
+    pub spans: Vec<Option<SpanRepr>>,
 }
 
 impl TsNetClient {
@@ -73,7 +102,12 @@ impl TsNetClient {
                         )))?;
                     }
                     stream.set_nodelay(true)?;
-                    return Ok(TsNetClient { stream, config });
+                    return Ok(TsNetClient {
+                        stream,
+                        config,
+                        next_request_id: 1,
+                        buffered_pushes: VecDeque::new(),
+                    });
                 }
                 Err(e) => last = Some(e),
             }
@@ -92,21 +126,80 @@ impl TsNetClient {
     /// Issue one request and decode its response frame. Error
     /// responses come back as `Err` ([`NetError::Busy`],
     /// [`NetError::Timeout`] or [`NetError::Remote`]).
+    ///
+    /// Push frames that arrive before the response are buffered for
+    /// [`TsNetClient::poll_push`]; response frames carrying a stale
+    /// request id (answers to an earlier, abandoned call) are
+    /// discarded.
     pub fn call(&mut self, body: Request) -> Result<Response> {
+        let request_id = self.next_request_id;
+        self.next_request_id = self.next_request_id.wrapping_add(1).max(1);
         let env = RequestEnvelope {
+            request_id,
             deadline_ms: self.config.deadline_ms,
             body,
         };
         let bytes = wire::encode_request(&env)?;
         wire::write_frame(&mut self.stream, &bytes)?;
-        let frame = wire::read_frame(&mut self.stream, self.config.max_payload_bytes)?;
-        match frame {
-            Frame::Response(Response::Error { code, detail }) => {
-                Err(NetError::from_remote(code, detail))
+        loop {
+            let frame = wire::read_frame(&mut self.stream, self.config.max_payload_bytes)?;
+            match frame {
+                Frame::Push(push) => {
+                    self.buffered_pushes.push_back(push);
+                }
+                Frame::Response(resp) if resp.request_id == request_id => {
+                    return match resp.body {
+                        Response::Error { code, detail } => {
+                            Err(NetError::from_remote(code, detail))
+                        }
+                        body => Ok(body),
+                    };
+                }
+                // A stale response (its call already returned with a
+                // read error or timeout): drop it and keep reading —
+                // this is what re-syncs the stream after a deadline.
+                Frame::Response(_) => {}
+                Frame::Request(_) => return Err(NetError::UnexpectedResponse("client")),
             }
-            Frame::Response(resp) => Ok(resp),
-            Frame::Request(_) => Err(NetError::UnexpectedResponse("client")),
         }
+    }
+
+    /// Surface the next server push, waiting up to `timeout` for one
+    /// to arrive. Returns `Ok(None)` when the wait elapses without a
+    /// push. Buffered pushes (read mid-call) are drained first.
+    pub fn poll_push(&mut self, timeout: Duration) -> Result<Option<Push>> {
+        if let Some(push) = self.buffered_pushes.pop_front() {
+            return Ok(Some(push));
+        }
+        // A zero timeout would mean "block forever" to the OS; clamp
+        // to the smallest finite wait instead.
+        self.stream
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        let outcome = loop {
+            match wire::read_frame(&mut self.stream, self.config.max_payload_bytes) {
+                Ok(Frame::Push(push)) => break Ok(Some(push)),
+                // Stale response from an abandoned call: discard.
+                Ok(Frame::Response(_)) => {}
+                Ok(Frame::Request(_)) => break Err(NetError::UnexpectedResponse("client")),
+                Err(NetError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    break Ok(None);
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        // Restore the configured response timeout for subsequent calls.
+        let configured = if self.config.read_timeout_ms > 0 {
+            Some(Duration::from_millis(self.config.read_timeout_ms))
+        } else {
+            None
+        };
+        self.stream.set_read_timeout(configured)?;
+        outcome
     }
 
     /// Like [`TsNetClient::call`], retrying `Busy` rejections with
@@ -209,5 +302,148 @@ impl TsNetClient {
             Response::Flushed { series_flushed } => Ok(series_flushed),
             _ => Err(NetError::UnexpectedResponse("flush-seal")),
         }
+    }
+
+    /// Register a live M4 subscription; returns the server-assigned id
+    /// and the baseline spans the delta stream applies on top of.
+    pub fn subscribe(
+        &mut self,
+        series: &str,
+        t_qs: i64,
+        t_qe: i64,
+        w: u32,
+    ) -> Result<Subscription> {
+        let req = Request::Subscribe {
+            series: series.to_string(),
+            t_qs,
+            t_qe,
+            w,
+        };
+        match self.call(req)? {
+            Response::SubAck { sub_id, spans } => Ok(Subscription { sub_id, spans }),
+            _ => Err(NetError::UnexpectedResponse("subscribe")),
+        }
+    }
+
+    /// Detach one subscription. Pushes for its id already in flight
+    /// may still be read afterwards; [`SubReplay`] ignores them once
+    /// dropped.
+    pub fn unsubscribe(&mut self, sub_id: u64) -> Result<()> {
+        match self.call(Request::Unsubscribe { sub_id })? {
+            Response::Unsubscribed => Ok(()),
+            _ => Err(NetError::UnexpectedResponse("unsubscribe")),
+        }
+    }
+}
+
+/// Client-side fold of one subscription's push stream back into a
+/// dashboard state.
+///
+/// Seeded with the `SubAck` baseline, then fed every push frame the
+/// connection yields (frames for other subscription ids are ignored).
+/// `SpanDelta` frames overwrite the named spans; a `resync` frame
+/// replaces the whole state. At any server quiesce point the folded
+/// state equals a fresh M4 recompute, byte for byte.
+#[derive(Debug, Clone)]
+pub struct SubReplay {
+    sub_id: u64,
+    spans: Vec<Option<SpanRepr>>,
+    next_seq: u64,
+    /// A `Lagged` frame arrived: deltas were dropped server-side and a
+    /// resync is (or was) in flight.
+    lagged: bool,
+    /// The sequence numbers skipped or repeated — the stream is not
+    /// trustworthy (this never happens over a healthy connection).
+    seq_gap: bool,
+    /// Terminal server-side failure for this subscription, if any.
+    error: Option<(ErrorCode, String)>,
+}
+
+impl SubReplay {
+    /// Start replaying on top of an acknowledged subscription.
+    pub fn new(sub: &Subscription) -> SubReplay {
+        SubReplay {
+            sub_id: sub.sub_id,
+            spans: sub.spans.clone(),
+            next_seq: 0,
+            lagged: false,
+            seq_gap: false,
+            error: None,
+        }
+    }
+
+    /// Fold one push frame in. Returns `true` when the frame addressed
+    /// this subscription (whether or not it changed anything).
+    pub fn apply(&mut self, push: &Push) -> bool {
+        match push {
+            Push::SpanDelta {
+                sub_id,
+                seq,
+                resync,
+                deltas,
+            } => {
+                if *sub_id != self.sub_id {
+                    return false;
+                }
+                if *seq != self.next_seq {
+                    self.seq_gap = true;
+                }
+                self.next_seq = seq.wrapping_add(1);
+                if *resync {
+                    // Full-state frame: everything not named is gone.
+                    self.spans.iter_mut().for_each(|s| *s = None);
+                    self.lagged = false;
+                }
+                for (idx, span) in deltas {
+                    if let Some(slot) = self.spans.get_mut(*idx as usize) {
+                        *slot = *span;
+                    }
+                }
+                true
+            }
+            Push::Lagged { sub_id } => {
+                if *sub_id != self.sub_id {
+                    return false;
+                }
+                self.lagged = true;
+                true
+            }
+            Push::SubError {
+                sub_id,
+                code,
+                detail,
+            } => {
+                if *sub_id != self.sub_id {
+                    return false;
+                }
+                self.error = Some((*code, detail.clone()));
+                true
+            }
+        }
+    }
+
+    /// The folded span state.
+    pub fn spans(&self) -> &[Option<SpanRepr>] {
+        &self.spans
+    }
+
+    /// Whether a lag was signalled and its resync has not landed yet.
+    pub fn is_lagged(&self) -> bool {
+        self.lagged
+    }
+
+    /// Whether the push stream skipped or repeated a sequence number.
+    pub fn has_seq_gap(&self) -> bool {
+        self.seq_gap
+    }
+
+    /// Terminal server-side failure, if one was pushed.
+    pub fn error(&self) -> Option<&(ErrorCode, String)> {
+        self.error.as_ref()
+    }
+
+    /// Push frames folded so far (the next expected sequence number).
+    pub fn frames_applied(&self) -> u64 {
+        self.next_seq
     }
 }

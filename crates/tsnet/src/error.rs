@@ -30,6 +30,10 @@ pub enum ErrorCode {
     Engine,
     /// The server is draining for shutdown and accepts no new work.
     ShuttingDown,
+    /// The referenced subscription id is not active on this connection
+    /// (already unsubscribed, never acknowledged, or another
+    /// connection's), or the server's subscription limit was reached.
+    Subscription,
 }
 
 impl ErrorCode {
@@ -42,6 +46,7 @@ impl ErrorCode {
             ErrorCode::InvalidRequest => 3,
             ErrorCode::Engine => 4,
             ErrorCode::ShuttingDown => 5,
+            ErrorCode::Subscription => 6,
         }
     }
 
@@ -54,6 +59,7 @@ impl ErrorCode {
             3 => Some(ErrorCode::InvalidRequest),
             4 => Some(ErrorCode::Engine),
             5 => Some(ErrorCode::ShuttingDown),
+            6 => Some(ErrorCode::Subscription),
             _ => None,
         }
     }
@@ -68,6 +74,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::InvalidRequest => "invalid request",
             ErrorCode::Engine => "engine error",
             ErrorCode::ShuttingDown => "shutting down",
+            ErrorCode::Subscription => "subscription error",
         };
         f.write_str(s)
     }
@@ -202,6 +209,7 @@ mod tests {
             ErrorCode::InvalidRequest,
             ErrorCode::Engine,
             ErrorCode::ShuttingDown,
+            ErrorCode::Subscription,
         ] {
             assert_eq!(ErrorCode::from_wire(code.to_wire()), Some(code));
         }

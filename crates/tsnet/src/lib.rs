@@ -17,11 +17,20 @@
 //!   gate with `Busy` backpressure, per-request deadlines, graceful
 //!   shutdown that drains in-flight requests.
 //! - [`client`] — a blocking client with connect/retry and typed
-//!   errors.
+//!   errors, a reader that demuxes server pushes from responses, and
+//!   a [`client::SubReplay`] helper that folds span deltas back into a
+//!   dashboard state.
+//! - [`sub`] — server-push M4 subscriptions: identical `(series,
+//!   range, w)` subscriptions share ONE incremental [`m4::stream::
+//!   StreamingM4`] computation; ingest advances it once and span
+//!   deltas fan out over bounded per-connection queues
+//!   (coalesce-then-drop with a `Lagged` + resync contract for slow
+//!   consumers).
 //!
 //! Supported RPCs: `Ping`, `WriteBatch`, `M4Query` (udf and lsm),
 //! `Delete`, `Stats` (engine [`tskv::stats::IoSnapshot`] + server
-//! [`ServerStatsSnapshot`]), `FlushSeal`.
+//! [`ServerStatsSnapshot`]), `FlushSeal`, `Subscribe`/`Unsubscribe`
+//! (server-initiated `SpanDelta`/`Lagged`/`SubError` push frames).
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -45,13 +54,15 @@ pub mod client;
 pub mod error;
 pub mod server;
 pub mod stats;
+pub mod sub;
 pub mod wire;
 
-pub use client::{ClientConfig, TsNetClient};
+pub use client::{ClientConfig, SubReplay, Subscription, TsNetClient};
 pub use error::{ErrorCode, NetError};
 pub use server::{ServerConfig, TsNetServer};
 pub use stats::{RequestKind, ServerStats, ServerStatsSnapshot};
-pub use wire::{Frame, Operator, Request, RequestEnvelope, Response};
+pub use sub::{SubRegistry, SubSettings};
+pub use wire::{Frame, Operator, Push, Request, RequestEnvelope, Response, ResponseEnvelope};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, NetError>;

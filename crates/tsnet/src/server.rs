@@ -9,6 +9,15 @@
 //! `peek`-with-timeout poll (so they notice shutdown without consuming
 //! frame bytes) and a full blocking frame read once bytes are present.
 //!
+//! Each connection also gets a **writer thread** owning the socket's
+//! write half exclusively: every outbound frame — worker responses and
+//! subscription pushes alike — goes through the connection's bounded
+//! [`sub::OutboundQueue`], so responses and pushes never interleave
+//! mid-frame and no thread ever writes a socket while holding a lock.
+//! One process-wide **dispatcher thread** (see [`sub::SubRegistry`])
+//! consumes engine change events, advances the shared per-dashboard
+//! streaming computations, and fans span deltas out to those queues.
+//!
 //! ## Admission control
 //!
 //! A single atomic in-flight gauge admits at most `max_in_flight`
@@ -28,14 +37,16 @@
 //!
 //! ## Lock discipline (xtask L2)
 //!
-//! The only lock is the worker-pool registry. Guards over it are
-//! acquired *after* thread spawn and scoped to a registry push or take
-//! — no file I/O, no flush/compact, no socket write happens while a
-//! guard is live.
+//! Locks here are the worker-pool registry and the per-connection
+//! outbound queues. Guards are scoped to registry pushes/takes and
+//! queue mutations — no file I/O, no flush/compact, no socket write
+//! happens while a guard is live. Socket writes belong exclusively to
+//! the writer threads, which take frames *out* of the queue under the
+//! lock and write them after releasing it.
 
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -45,7 +56,8 @@ use tskv::{TsKv, WriteBatch};
 
 use crate::error::{ErrorCode, NetError};
 use crate::stats::{RequestKind, ServerStats};
-use crate::wire::{self, Frame, Operator, Request, Response};
+use crate::sub::{self, OutboundQueue, SubRegistry, SubSettings};
+use crate::wire::{self, Frame, Operator, Request, RequestEnvelope, Response, ResponseEnvelope};
 use crate::Result;
 
 /// Tuning knobs for one server instance.
@@ -72,6 +84,16 @@ pub struct ServerConfig {
     /// Per-frame payload ceiling (bytes), at most
     /// [`wire::MAX_PAYLOAD_BYTES`].
     pub max_payload_bytes: u32,
+    /// Registry-wide cap on concurrently active subscriptions.
+    pub max_subscriptions: usize,
+    /// Per-connection pending span-entry budget; a subscriber whose
+    /// queue exceeds it is lagged into a full-state resync.
+    pub push_queue_spans: usize,
+    /// Depth of the engine change-notification channel feeding the
+    /// subscription dispatcher.
+    pub change_queue_depth: usize,
+    /// Subscription dispatcher poll interval (ms).
+    pub dispatch_interval_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +107,10 @@ impl Default for ServerConfig {
             poll_interval_ms: 20,
             max_ping_delay_ms: 10_000,
             max_payload_bytes: wire::MAX_PAYLOAD_BYTES,
+            max_subscriptions: 1024,
+            push_queue_spans: 4096,
+            change_queue_depth: 1024,
+            dispatch_interval_ms: 10,
         }
     }
 }
@@ -94,9 +120,11 @@ struct Shared {
     store: Arc<TsKv>,
     stats: Arc<ServerStats>,
     config: ServerConfig,
+    registry: Arc<SubRegistry>,
     shutting_down: AtomicBool,
     in_flight: AtomicUsize,
     active_conns: AtomicUsize,
+    next_conn_id: AtomicU64,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -113,13 +141,26 @@ impl TsNetServer {
     pub fn start(store: Arc<TsKv>, config: ServerConfig) -> Result<TsNetServer> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::default());
+        let registry = SubRegistry::start(
+            Arc::clone(&store),
+            Arc::clone(&stats),
+            SubSettings {
+                max_subscriptions: config.max_subscriptions,
+                push_queue_spans: config.push_queue_spans,
+                change_queue_depth: config.change_queue_depth,
+                dispatch_interval_ms: config.dispatch_interval_ms,
+            },
+        );
         let shared = Arc::new(Shared {
             store,
-            stats: Arc::new(ServerStats::default()),
+            stats,
             config,
+            registry,
             shutting_down: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
             active_conns: AtomicUsize::new(0),
+            next_conn_id: AtomicU64::new(1),
             workers: Mutex::new(Vec::new()),
         });
         let accept_shared = Arc::clone(&shared);
@@ -159,6 +200,20 @@ impl TsNetServer {
         self.shared.shutting_down.load(Ordering::Acquire)
     }
 
+    /// Live shared dashboard computations (distinct subscription keys).
+    pub fn active_dashboards(&self) -> usize {
+        self.shared.registry.active_dashboards()
+    }
+
+    /// Block until the subscription plane is settled: every published
+    /// change event processed, every dashboard span exact, every push
+    /// queue drained onto its socket. At that point each subscriber's
+    /// replayed state equals a fresh M4 recompute byte-for-byte.
+    /// Returns `false` on timeout.
+    pub fn quiesce_subscriptions(&self, timeout: Duration) -> bool {
+        self.shared.registry.quiesce(timeout)
+    }
+
     /// Graceful shutdown: stop accepting, drain in-flight requests,
     /// join every thread. Idempotent; blocks until the drain finishes.
     pub fn shutdown(&self) {
@@ -184,6 +239,9 @@ impl TsNetServer {
         for handle in workers {
             let _ = handle.join();
         }
+        // Workers are gone (each closed its queue, joined its writer
+        // and detached its subscriptions); stop the dispatcher last.
+        self.shared.registry.stop();
     }
 }
 
@@ -231,10 +289,15 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 let _ = stream.set_write_timeout(Some(Duration::from_millis(
                     reject_shared.config.frame_read_timeout_ms.max(1),
                 )));
-                let _ = respond(
+                // No worker (and thus no writer thread) ever exists for
+                // a rejected connection, so a direct write is safe.
+                let _ = respond_direct(
                     &reject_shared,
                     &mut stream,
-                    &error_response(ErrorCode::Busy, "connection limit reached"),
+                    &reply_envelope(
+                        0,
+                        error_response(ErrorCode::Busy, "connection limit reached"),
+                    ),
                 );
             });
         return;
@@ -265,34 +328,64 @@ fn worker_loop(shared: &Shared, mut stream: TcpStream) {
     if stream.set_read_timeout(Some(poll)).is_err() {
         return;
     }
+    // The worker keeps the read half; the writer thread owns a cloned
+    // write half, fed by the connection's outbound queue.
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::AcqRel);
+    let queue = Arc::new(OutboundQueue::new(shared.config.push_queue_spans));
+    let writer_queue = Arc::clone(&queue);
+    let writer_stats = Arc::clone(&shared.stats);
+    let writer = thread::Builder::new()
+        .name("tsnet-push".to_string())
+        .spawn(move || {
+            let mut half = write_half;
+            sub::writer_loop(&writer_queue, &mut half, &writer_stats);
+        });
+    let Ok(writer) = writer else {
+        return;
+    };
     let mut probe = [0u8; 1];
     loop {
+        if queue.is_dead() {
+            // The writer hit a socket error; the connection is gone.
+            break;
+        }
         match stream.peek(&mut probe) {
-            Ok(0) => return, // peer closed
+            Ok(0) => break, // peer closed
             Ok(_) => {
                 if shared.shutting_down.load(Ordering::Acquire) {
                     // A frame arrived after the drain began: answer it
                     // with a typed refusal and close. (In-flight work is
-                    // drained; *new* work is not accepted.)
-                    let _ = respond(
-                        shared,
-                        &mut stream,
-                        &error_response(ErrorCode::ShuttingDown, "server is draining"),
+                    // drained; *new* work is not accepted.) The queue
+                    // close below flushes the refusal before the writer
+                    // exits.
+                    enqueue_reply(
+                        &queue,
+                        0,
+                        error_response(ErrorCode::ShuttingDown, "server is draining"),
                     );
-                    return;
+                    break;
                 }
-                if !serve_one(shared, &mut stream, poll) {
-                    return;
+                if !serve_one(shared, &mut stream, &queue, conn_id, poll) {
+                    break;
                 }
             }
             Err(e) if polling_would_block(&e) => {
                 if shared.shutting_down.load(Ordering::Acquire) {
-                    return;
+                    break;
                 }
             }
-            Err(_) => return,
+            Err(_) => break,
         }
     }
+    // Teardown order matters: detach subscriptions first so the
+    // dispatcher stops feeding the queue, then close the queue (the
+    // writer drains the backlog and exits), then reap the writer.
+    shared.registry.drop_connection(conn_id);
+    queue.close();
+    let _ = writer.join();
 }
 
 fn polling_would_block(e: &io::Error) -> bool {
@@ -318,7 +411,18 @@ impl Read for CountingReader<'_> {
 
 /// Read, execute and answer one request. Returns `false` when the
 /// connection must close (framing lost or socket dead).
-fn serve_one(shared: &Shared, stream: &mut TcpStream, poll: Duration) -> bool {
+///
+/// Responses are enqueued onto the connection's outbound queue — the
+/// writer thread owns the socket's write half — so a response never
+/// interleaves with a push frame. Responses to frames whose envelope
+/// could not be decoded echo request id 0.
+fn serve_one(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    queue: &Arc<OutboundQueue>,
+    conn_id: u64,
+    poll: Duration,
+) -> bool {
     let frame_timeout = Duration::from_millis(shared.config.frame_read_timeout_ms.max(1));
     if stream.set_read_timeout(Some(frame_timeout)).is_err() {
         return false;
@@ -333,23 +437,23 @@ fn serve_one(shared: &Shared, stream: &mut TcpStream, poll: Duration) -> bool {
     shared.stats.add_bytes_in(bytes_in);
     let env = match frame {
         Ok(Frame::Request(env)) => env,
-        Ok(Frame::Response(_)) => {
-            // A peer that sends response frames is not a client;
-            // refuse and close.
-            let _ = respond(
-                shared,
-                stream,
-                &error_response(ErrorCode::InvalidRequest, "expected a request frame"),
+        Ok(Frame::Response(_) | Frame::Push(_)) => {
+            // A peer that sends response or push frames is not a
+            // client; refuse and close.
+            enqueue_reply(
+                queue,
+                0,
+                error_response(ErrorCode::InvalidRequest, "expected a request frame"),
             );
             return false;
         }
         Err(e) => {
             // Frame boundaries are unrecoverable after a decode error:
             // answer (best effort) and close.
-            let _ = respond(
-                shared,
-                stream,
-                &error_response(ErrorCode::InvalidRequest, &format!("bad frame: {e}")),
+            enqueue_reply(
+                queue,
+                0,
+                error_response(ErrorCode::InvalidRequest, &format!("bad frame: {e}")),
             );
             return false;
         }
@@ -358,43 +462,52 @@ fn serve_one(shared: &Shared, stream: &mut TcpStream, poll: Duration) -> bool {
     let admission_exempt = matches!(env.body, Request::Stats);
     if !admission_exempt && !try_admit(shared) {
         shared.stats.record_busy();
-        let sent = respond(
-            shared,
-            stream,
-            &error_response(ErrorCode::Busy, "max in-flight reached"),
+        let sent = enqueue_reply(
+            queue,
+            env.request_id,
+            error_response(ErrorCode::Busy, "max in-flight reached"),
         );
         let _ = stream.set_read_timeout(Some(poll));
-        return sent.is_ok();
+        return sent;
     }
 
-    let (kind, outcome) = execute(shared, &env.body);
+    let (kind, outcome) = execute(shared, &env, conn_id, queue);
     if !admission_exempt {
         release(shared);
     }
 
     let elapsed = started.elapsed();
-    let response = match outcome {
-        Ok(resp) => {
+    let reply = match outcome {
+        Outcome::AckQueued => {
+            // The SubAck was enqueued under the registry lock (ahead of
+            // any delta for the new id); only the bookkeeping is left.
+            shared.stats.record_request(kind, duration_us(elapsed));
+            None
+        }
+        Outcome::Reply(resp) => {
             if deadline_missed(elapsed, env.deadline_ms, shared.config.request_timeout_ms) {
                 shared.stats.record_timeout();
-                error_response(
+                Some(error_response(
                     ErrorCode::Timeout,
                     &format!("deadline of {} ms elapsed", env.deadline_ms),
-                )
+                ))
             } else {
                 shared.stats.record_request(kind, duration_us(elapsed));
-                resp
+                Some(resp)
             }
         }
-        Err((code, detail)) => {
+        Outcome::Fail(code, detail) => {
             shared.stats.record_error();
-            error_response(code, &detail)
+            Some(error_response(code, &detail))
         }
     };
 
-    let sent = respond(shared, stream, &response);
+    let sent = match reply {
+        Some(body) => enqueue_reply(queue, env.request_id, body),
+        None => true,
+    };
     let _ = stream.set_read_timeout(Some(poll));
-    sent.is_ok()
+    sent
 }
 
 /// Whether `elapsed` exceeds the effective deadline: the tighter of the
@@ -447,9 +560,26 @@ fn error_response(code: ErrorCode, detail: &str) -> Response {
     }
 }
 
-/// Encode and write one response frame, counting bytes out.
-fn respond(shared: &Shared, stream: &mut TcpStream, resp: &Response) -> Result<()> {
-    let bytes = wire::encode_response(resp)?;
+fn reply_envelope(request_id: u64, body: Response) -> ResponseEnvelope {
+    ResponseEnvelope { request_id, body }
+}
+
+/// Encode one response and hand it to the connection's writer thread.
+/// Returns `false` when the frame cannot be delivered (encode failure
+/// or the connection's write side is already closed/dead). Bytes-out
+/// accounting happens in the writer, at the socket.
+fn enqueue_reply(queue: &OutboundQueue, request_id: u64, body: Response) -> bool {
+    match wire::encode_response(&reply_envelope(request_id, body)) {
+        Ok(bytes) => queue.push_response(bytes),
+        Err(_) => false,
+    }
+}
+
+/// Encode and write one response frame directly, counting bytes out.
+/// Only for connections that never had a writer thread (the Busy
+/// reject path on the accept side).
+fn respond_direct(shared: &Shared, stream: &mut TcpStream, env: &ResponseEnvelope) -> Result<()> {
+    let bytes = wire::encode_response(env)?;
     wire::write_frame(stream, &bytes)?;
     shared.stats.add_bytes_out(bytes.len() as u64);
     Ok(())
@@ -481,16 +611,44 @@ fn map_m4_error(e: &m4::M4Error) -> (ErrorCode, String) {
 
 type Execution = std::result::Result<Response, (ErrorCode, String)>;
 
-fn execute(shared: &Shared, body: &Request) -> (RequestKind, Execution) {
-    match body {
+/// What a request execution produced.
+enum Outcome {
+    /// A response body to envelope and enqueue.
+    Reply(Response),
+    /// The response (a `SubAck`) was already enqueued by the
+    /// subscription registry, atomically ahead of any push for the new
+    /// subscription id.
+    AckQueued,
+    /// A typed failure to report as an error response.
+    Fail(ErrorCode, String),
+}
+
+impl From<Execution> for Outcome {
+    fn from(e: Execution) -> Outcome {
+        match e {
+            Ok(resp) => Outcome::Reply(resp),
+            Err((code, detail)) => Outcome::Fail(code, detail),
+        }
+    }
+}
+
+fn execute(
+    shared: &Shared,
+    env: &RequestEnvelope,
+    conn_id: u64,
+    queue: &Arc<OutboundQueue>,
+) -> (RequestKind, Outcome) {
+    match &env.body {
         Request::Ping { delay_ms } => {
             let delay = (*delay_ms).min(shared.config.max_ping_delay_ms);
             if delay > 0 {
                 thread::sleep(Duration::from_millis(u64::from(delay)));
             }
-            (RequestKind::Ping, Ok(Response::Pong))
+            (RequestKind::Ping, Outcome::Reply(Response::Pong))
         }
-        Request::WriteBatch { entries } => (RequestKind::Write, execute_write(shared, entries)),
+        Request::WriteBatch { entries } => {
+            (RequestKind::Write, execute_write(shared, entries).into())
+        }
         Request::M4Query {
             series,
             op,
@@ -499,12 +657,15 @@ fn execute(shared: &Shared, body: &Request) -> (RequestKind, Execution) {
             w,
         } => (
             RequestKind::Query,
-            execute_query(shared, series, *op, *t_qs, *t_qe, *w),
+            execute_query(shared, series, *op, *t_qs, *t_qe, *w).into(),
         ),
         Request::Delete { series, start, end } => {
             let outcome = match shared.store.delete(series, *start, *end) {
-                Ok(()) => Ok(Response::Deleted),
-                Err(e) => Err(map_tskv_error(&e)),
+                Ok(()) => Outcome::Reply(Response::Deleted),
+                Err(e) => {
+                    let (code, detail) = map_tskv_error(&e);
+                    Outcome::Fail(code, detail)
+                }
             };
             (RequestKind::Delete, outcome)
         }
@@ -514,14 +675,44 @@ fn execute(shared: &Shared, body: &Request) -> (RequestKind, Execution) {
             let server = shared.stats.snapshot(in_flight);
             (
                 RequestKind::Stats,
-                Ok(Response::Stats {
+                Outcome::Reply(Response::Stats {
                     io: Box::new(io_snap),
                     server: Box::new(server),
                 }),
             )
         }
-        Request::FlushSeal { series, compact } => {
-            (RequestKind::Flush, execute_flush(shared, series, *compact))
+        Request::FlushSeal { series, compact } => (
+            RequestKind::Flush,
+            execute_flush(shared, series, *compact).into(),
+        ),
+        Request::Subscribe {
+            series,
+            t_qs,
+            t_qe,
+            w,
+        } => {
+            let outcome = match shared.registry.subscribe(
+                conn_id,
+                queue,
+                env.request_id,
+                sub::SubSpec {
+                    series,
+                    t_qs: *t_qs,
+                    t_qe: *t_qe,
+                    w: *w,
+                },
+            ) {
+                Ok(_sub_id) => Outcome::AckQueued,
+                Err((code, detail)) => Outcome::Fail(code, detail),
+            };
+            (RequestKind::Query, outcome)
+        }
+        Request::Unsubscribe { sub_id } => {
+            let outcome = match shared.registry.unsubscribe(conn_id, *sub_id) {
+                Ok(()) => Outcome::Reply(Response::Unsubscribed),
+                Err((code, detail)) => Outcome::Fail(code, detail),
+            };
+            (RequestKind::Query, outcome)
         }
     }
 }

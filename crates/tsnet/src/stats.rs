@@ -54,6 +54,13 @@ impl RequestKind {
 
 const KINDS: usize = 6;
 
+/// Number of fixed (non-histogram) `u64` fields the Stats RPC
+/// serializes from [`ServerStatsSnapshot`], in declaration order. The
+/// wire encoder, decoder, and the property-test strategy all consume
+/// this constant — bumping it together with the struct is the whole
+/// protocol change.
+pub const SERVER_FIXED_U64S: usize = 19;
+
 /// Shared atomic counters for one server's lifetime.
 #[derive(Debug)]
 pub struct ServerStats {
@@ -65,6 +72,11 @@ pub struct ServerStats {
     bytes_out: AtomicU64,
     connections_accepted: AtomicU64,
     connections_rejected: AtomicU64,
+    subs_active: AtomicU64,
+    subs_deduped: AtomicU64,
+    deltas_pushed: AtomicU64,
+    deltas_coalesced: AtomicU64,
+    resyncs: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
 }
 
@@ -79,6 +91,11 @@ impl Default for ServerStats {
             bytes_out: AtomicU64::new(0),
             connections_accepted: AtomicU64::new(0),
             connections_rejected: AtomicU64::new(0),
+            subs_active: AtomicU64::new(0),
+            subs_deduped: AtomicU64::new(0),
+            deltas_pushed: AtomicU64::new(0),
+            deltas_coalesced: AtomicU64::new(0),
+            resyncs: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -130,6 +147,39 @@ impl ServerStats {
         self.connections_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one subscription attached (the `subs_active` gauge).
+    pub fn record_sub_attached(&self) {
+        self.subs_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one subscription detached (unsubscribe or disconnect).
+    pub fn record_sub_detached(&self) {
+        self.subs_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Count one subscription that attached to an *existing* shared
+    /// dashboard computation instead of creating its own.
+    pub fn record_sub_deduped(&self) {
+        self.subs_deduped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one span-delta push frame written to a subscriber.
+    pub fn record_delta_pushed(&self) {
+        self.deltas_pushed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one span update merged into an already-pending delta for
+    /// the same span (slow-consumer coalescing).
+    pub fn record_delta_coalesced(&self) {
+        self.deltas_coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one slow-consumer resync: pending deltas were dropped, a
+    /// `Lagged` frame was queued, and the next push carries full state.
+    pub fn record_resync(&self) {
+        self.resyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Plain-value snapshot. `in_flight` is the current admission
     /// gauge, owned by the server rather than the counter block.
     pub fn snapshot(&self, in_flight: u64) -> ServerStatsSnapshot {
@@ -148,6 +198,11 @@ impl ServerStats {
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
             connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
             in_flight,
+            subs_active: self.subs_active.load(Ordering::Relaxed),
+            subs_deduped: self.subs_deduped.load(Ordering::Relaxed),
+            deltas_pushed: self.deltas_pushed.load(Ordering::Relaxed),
+            deltas_coalesced: self.deltas_coalesced.load(Ordering::Relaxed),
+            resyncs: self.resyncs.load(Ordering::Relaxed),
             latency_counts: self
                 .latency
                 .iter()
@@ -189,6 +244,19 @@ pub struct ServerStatsSnapshot {
     pub connections_rejected: u64,
     /// Admitted requests executing right now.
     pub in_flight: u64,
+    /// Subscriptions currently attached (gauge).
+    pub subs_active: u64,
+    /// Subscriptions that joined an existing shared dashboard
+    /// computation: with N subscribers over K distinct dashboards this
+    /// reads `N − K`.
+    pub subs_deduped: u64,
+    /// Span-delta push frames written to subscriber sockets.
+    pub deltas_pushed: u64,
+    /// Span updates merged into an already-pending delta (coalesced
+    /// instead of queued separately).
+    pub deltas_coalesced: u64,
+    /// Slow-consumer resyncs (`Lagged` + full-state push).
+    pub resyncs: u64,
     /// Latency histogram counts ([`LATENCY_BUCKETS`] entries; bucket
     /// `i` covers latencies up to [`bucket_upper_bound_us`]`(i)`).
     pub latency_counts: Vec<u64>,
@@ -313,6 +381,26 @@ mod tests {
         assert_eq!(snap.connections_accepted, 1);
         assert_eq!(snap.connections_rejected, 1);
         assert_eq!(snap.in_flight, 3);
+    }
+
+    #[test]
+    fn subscription_counters_accumulate() {
+        let s = ServerStats::default();
+        s.record_sub_attached();
+        s.record_sub_attached();
+        s.record_sub_attached();
+        s.record_sub_detached();
+        s.record_sub_deduped();
+        s.record_delta_pushed();
+        s.record_delta_pushed();
+        s.record_delta_coalesced();
+        s.record_resync();
+        let snap = s.snapshot(0);
+        assert_eq!(snap.subs_active, 2);
+        assert_eq!(snap.subs_deduped, 1);
+        assert_eq!(snap.deltas_pushed, 2);
+        assert_eq!(snap.deltas_coalesced, 1);
+        assert_eq!(snap.resyncs, 1);
     }
 
     #[test]

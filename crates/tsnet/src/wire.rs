@@ -4,8 +4,8 @@
 //!
 //! ```text
 //! magic    4 bytes  b"TSN1"
-//! version  1 byte   protocol version (currently 1)
-//! kind     1 byte   0 = request, 1 = response
+//! version  1 byte   protocol version
+//! kind     1 byte   0 = request, 1 = response, 2 = server push
 //! len      4 bytes  payload length, little-endian u32
 //! payload  len bytes
 //! crc      4 bytes  CRC32 (IEEE) of the payload, little-endian
@@ -13,9 +13,15 @@
 //!
 //! Payloads are flat little-endian structs: `u8` tags for enums,
 //! fixed-width integers, `f64` as raw bits (NaN patterns survive the
-//! wire), strings as a `u16` length prefix + UTF-8 bytes. A request
-//! payload starts with a `deadline_ms: u32` envelope field (0 = no
-//! deadline) followed by the request tag.
+//! wire), strings as a `u16` length prefix + UTF-8 bytes.
+//!
+//! Since v4 the protocol is no longer strict request/reply: a request
+//! payload starts with a `request_id: u64` (chosen by the client,
+//! echoed verbatim in the response) followed by `deadline_ms: u32`,
+//! and a response payload starts with the echoed `request_id`. The
+//! id lets a client demultiplex responses from **push frames** (kind
+//! 2) — server-initiated [`Push`] payloads that may arrive between a
+//! request and its response on a subscribed connection.
 //!
 //! This module interprets **untrusted network bytes** and therefore
 //! follows the same discipline as the tsfile byte parsers (xtask L1/L3):
@@ -29,9 +35,10 @@ use m4::SpanRepr;
 use tsfile::checksum::crc32;
 use tsfile::types::Point;
 use tskv::stats::IoSnapshot;
+use tskv::wire::{decode_io_block, encode_io_block, IO_BLOCK_U64S};
 
 use crate::error::{ErrorCode, NetError};
-use crate::stats::{ServerStatsSnapshot, LATENCY_BUCKETS};
+use crate::stats::{ServerStatsSnapshot, LATENCY_BUCKETS, SERVER_FIXED_U64S};
 use crate::Result;
 
 /// Frame magic: the first four bytes of every frame.
@@ -39,9 +46,12 @@ pub const MAGIC: [u8; 4] = *b"TSN1";
 /// Protocol version this build speaks. v2 appended the buffer-pool
 /// hit/miss counters to the Stats io block (PR 7); v3 inserted the
 /// four compaction write-amplification counters (bytes read/rewritten,
-/// pages copied/recoded). Mismatched peers are rejected rather than
-/// silently mis-framed.
-pub const VERSION: u8 = 3;
+/// pages copied/recoded); v4 broke strict request/reply — request and
+/// response payloads now carry a `request_id`, frame kind 2 carries
+/// server-initiated [`Push`] payloads (subscriptions), and the Stats
+/// server block grew the five subscription counters. Mismatched peers
+/// are rejected rather than silently mis-framed.
+pub const VERSION: u8 = 4;
 /// Bytes before the payload (magic + version + kind + len).
 pub const HEADER_LEN: usize = 10;
 /// Bytes after the payload (payload CRC32).
@@ -93,11 +103,27 @@ pub enum Request {
         series: Option<String>,
         compact: bool,
     },
+    /// Register a live M4 subscription for `(series, [t_qs, t_qe), w)`.
+    /// Acknowledged by [`Response::SubAck`]; span deltas then arrive as
+    /// [`Push::SpanDelta`] frames until unsubscribed or disconnected.
+    Subscribe {
+        series: String,
+        t_qs: i64,
+        t_qe: i64,
+        w: u32,
+    },
+    /// Detach one subscription previously acknowledged on this
+    /// connection.
+    Unsubscribe { sub_id: u64 },
 }
 
 /// A request plus its envelope fields.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RequestEnvelope {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    /// Lets the client tell the response apart from push frames that
+    /// arrive in between.
+    pub request_id: u64,
     /// Milliseconds the client is willing to wait (0 = no deadline).
     /// The server answers `Timeout` when the response misses it; the
     /// work itself is not preempted.
@@ -136,17 +162,67 @@ pub enum Response {
         code: ErrorCode,
         detail: String,
     },
+    /// Subscription acknowledged: `sub_id` names it in every
+    /// subsequent push frame, `spans` is the baseline state the client
+    /// replays deltas onto (the shared dashboard's last-broadcast
+    /// representation at attach time).
+    SubAck {
+        sub_id: u64,
+        spans: Vec<Option<SpanRepr>>,
+    },
+    /// Unsubscribe acknowledged; no further pushes for that id will be
+    /// sent (frames already in flight may still arrive).
+    Unsubscribed,
+}
+
+/// A response plus its envelope fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseEnvelope {
+    /// The `request_id` of the request this answers, echoed verbatim.
+    pub request_id: u64,
+    pub body: Response,
+}
+
+/// One server-initiated push payload (frame kind 2). Pushes carry the
+/// subscription id they belong to and are never acknowledged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Push {
+    /// Span updates for one subscription. Each entry replaces the
+    /// subscriber's span `index` with the carried representation
+    /// (state-carrying, so coalescing by span index is lossless).
+    /// `seq` increments per frame per subscription; `resync` marks a
+    /// full-state frame after a [`Push::Lagged`] — the client must
+    /// reset all spans to `None` before applying it.
+    SpanDelta {
+        sub_id: u64,
+        seq: u64,
+        resync: bool,
+        deltas: Vec<(u32, Option<SpanRepr>)>,
+    },
+    /// The subscriber fell behind and pending deltas were dropped
+    /// (slow-consumer policy: coalesce, then drop). The next
+    /// `SpanDelta` for this id carries full state (`resync = true`).
+    Lagged { sub_id: u64 },
+    /// The subscription failed server-side (e.g. the series was
+    /// dropped) and is detached.
+    SubError {
+        sub_id: u64,
+        code: ErrorCode,
+        detail: String,
+    },
 }
 
 /// A decoded frame: what kind of payload it carried.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     Request(RequestEnvelope),
-    Response(Response),
+    Response(ResponseEnvelope),
+    Push(Push),
 }
 
 const KIND_REQUEST: u8 = 0;
 const KIND_RESPONSE: u8 = 1;
+const KIND_PUSH: u8 = 2;
 
 // ---------------------------------------------------------------------
 // Encoding
@@ -184,8 +260,38 @@ fn put_point(out: &mut Vec<u8>, p: Point) {
     put_u64(out, p.v.to_bits());
 }
 
+/// One `Option<SpanRepr>`: a presence flag, then the four points.
+fn put_opt_span(out: &mut Vec<u8>, span: &Option<SpanRepr>) {
+    match span {
+        Some(s) => {
+            out.push(1);
+            put_point(out, s.first);
+            put_point(out, s.last);
+            put_point(out, s.bottom);
+            put_point(out, s.top);
+        }
+        None => out.push(0),
+    }
+}
+
+/// A `u32` count followed by that many `Option<SpanRepr>`s — the span
+/// list shape shared by `M4` responses and `SubAck`.
+fn put_span_list(out: &mut Vec<u8>, spans: &[Option<SpanRepr>]) -> Result<()> {
+    let w = u32::try_from(spans.len()).map_err(|_| NetError::TooLarge {
+        context: "span count",
+        len: spans.len() as u64,
+        max: u64::from(u32::MAX),
+    })?;
+    put_u32(out, w);
+    for span in spans {
+        put_opt_span(out, span);
+    }
+    Ok(())
+}
+
 fn encode_request_payload(env: &RequestEnvelope) -> Result<Vec<u8>> {
     let mut out = Vec::new();
+    put_u64(&mut out, env.request_id);
     put_u32(&mut out, env.deadline_ms);
     match &env.body {
         Request::Ping { delay_ms } => {
@@ -255,13 +361,30 @@ fn encode_request_payload(env: &RequestEnvelope) -> Result<Vec<u8>> {
             }
             out.push(u8::from(*compact));
         }
+        Request::Subscribe {
+            series,
+            t_qs,
+            t_qe,
+            w,
+        } => {
+            out.push(6);
+            put_str(&mut out, series)?;
+            put_i64(&mut out, *t_qs);
+            put_i64(&mut out, *t_qe);
+            put_u32(&mut out, *w);
+        }
+        Request::Unsubscribe { sub_id } => {
+            out.push(7);
+            put_u64(&mut out, *sub_id);
+        }
     }
     Ok(out)
 }
 
-fn encode_response_payload(resp: &Response) -> Result<Vec<u8>> {
+fn encode_response_payload(env: &ResponseEnvelope) -> Result<Vec<u8>> {
     let mut out = Vec::new();
-    match resp {
+    put_u64(&mut out, env.request_id);
+    match &env.body {
         Response::Pong => out.push(0),
         Response::Written { points } => {
             out.push(1);
@@ -269,58 +392,18 @@ fn encode_response_payload(resp: &Response) -> Result<Vec<u8>> {
         }
         Response::M4 { spans } => {
             out.push(2);
-            let w = u32::try_from(spans.len()).map_err(|_| NetError::TooLarge {
-                context: "span count",
-                len: spans.len() as u64,
-                max: u64::from(u32::MAX),
-            })?;
-            put_u32(&mut out, w);
-            for span in spans {
-                match span {
-                    Some(s) => {
-                        out.push(1);
-                        put_point(&mut out, s.first);
-                        put_point(&mut out, s.last);
-                        put_point(&mut out, s.bottom);
-                        put_point(&mut out, s.top);
-                    }
-                    None => out.push(0),
-                }
-            }
+            put_span_list(&mut out, spans)?;
         }
         Response::Deleted => out.push(3),
         Response::Stats { io, server } => {
             out.push(4);
-            for v in [
-                io.chunks_loaded,
-                io.bytes_read,
-                io.points_decoded,
-                io.timestamps_decoded,
-                io.mem_chunks_read,
-                io.cache_hits,
-                io.cache_misses,
-                io.cache_evictions,
-                io.cache_invalidations,
-                io.points_written,
-                io.wal_batches,
-                io.wal_bytes,
-                io.wal_syncs,
-                io.compactions_scheduled,
-                io.compactions_completed,
-                io.compactions_skipped,
-                io.compaction_bytes_read,
-                io.compaction_bytes_rewritten,
-                io.compaction_pages_copied,
-                io.compaction_pages_recoded,
-                io.pages_decoded,
-                io.pages_skipped,
-                io.pages_stat_answered,
-                io.pool_hits,
-                io.pool_misses,
-            ] {
+            for v in encode_io_block(io) {
                 put_u64(&mut out, v);
             }
-            for v in [
+            // The array type pins the count to the shared constant: a
+            // new snapshot field that is not added here fails to
+            // compile instead of silently truncating the block.
+            let fixed: [u64; SERVER_FIXED_U64S] = [
                 server.requests_ping,
                 server.requests_write,
                 server.requests_query,
@@ -335,7 +418,13 @@ fn encode_response_payload(resp: &Response) -> Result<Vec<u8>> {
                 server.connections_accepted,
                 server.connections_rejected,
                 server.in_flight,
-            ] {
+                server.subs_active,
+                server.subs_deduped,
+                server.deltas_pushed,
+                server.deltas_coalesced,
+                server.resyncs,
+            ];
+            for v in fixed {
                 put_u64(&mut out, v);
             }
             let n = u32::try_from(server.latency_counts.len()).map_err(|_| NetError::TooLarge {
@@ -354,6 +443,54 @@ fn encode_response_payload(resp: &Response) -> Result<Vec<u8>> {
         }
         Response::Error { code, detail } => {
             out.push(6);
+            out.push(code.to_wire());
+            put_str(&mut out, detail)?;
+        }
+        Response::SubAck { sub_id, spans } => {
+            out.push(7);
+            put_u64(&mut out, *sub_id);
+            put_span_list(&mut out, spans)?;
+        }
+        Response::Unsubscribed => out.push(8),
+    }
+    Ok(out)
+}
+
+fn encode_push_payload(push: &Push) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    match push {
+        Push::SpanDelta {
+            sub_id,
+            seq,
+            resync,
+            deltas,
+        } => {
+            out.push(0);
+            put_u64(&mut out, *sub_id);
+            put_u64(&mut out, *seq);
+            out.push(u8::from(*resync));
+            let n = u32::try_from(deltas.len()).map_err(|_| NetError::TooLarge {
+                context: "delta count",
+                len: deltas.len() as u64,
+                max: u64::from(u32::MAX),
+            })?;
+            put_u32(&mut out, n);
+            for (index, span) in deltas {
+                put_u32(&mut out, *index);
+                put_opt_span(&mut out, span);
+            }
+        }
+        Push::Lagged { sub_id } => {
+            out.push(1);
+            put_u64(&mut out, *sub_id);
+        }
+        Push::SubError {
+            sub_id,
+            code,
+            detail,
+        } => {
+            out.push(2);
+            put_u64(&mut out, *sub_id);
             out.push(code.to_wire());
             put_str(&mut out, detail)?;
         }
@@ -390,9 +527,14 @@ pub fn encode_request(env: &RequestEnvelope) -> Result<Vec<u8>> {
     frame_bytes(KIND_REQUEST, encode_request_payload(env)?)
 }
 
-/// Encode a response into one complete frame.
-pub fn encode_response(resp: &Response) -> Result<Vec<u8>> {
-    frame_bytes(KIND_RESPONSE, encode_response_payload(resp)?)
+/// Encode a response envelope into one complete frame.
+pub fn encode_response(env: &ResponseEnvelope) -> Result<Vec<u8>> {
+    frame_bytes(KIND_RESPONSE, encode_response_payload(env)?)
+}
+
+/// Encode a push payload into one complete frame.
+pub fn encode_push(push: &Push) -> Result<Vec<u8>> {
+    frame_bytes(KIND_PUSH, encode_push_payload(push)?)
 }
 
 // ---------------------------------------------------------------------
@@ -478,6 +620,40 @@ impl<'a> Cursor<'a> {
         Ok(Point::new(t, v))
     }
 
+    /// One `Option<SpanRepr>`: presence flag, then the four points.
+    fn opt_span(&mut self) -> Result<Option<SpanRepr>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => {
+                let first = self.point()?;
+                let last = self.point()?;
+                let bottom = self.point()?;
+                let top = self.point()?;
+                Ok(Some(SpanRepr {
+                    first,
+                    last,
+                    bottom,
+                    top,
+                }))
+            }
+            other => Err(NetError::UnknownTag {
+                context: "span flag",
+                tag: other,
+            }),
+        }
+    }
+
+    /// The span list shape shared by `M4` responses and `SubAck`.
+    fn span_list(&mut self) -> Result<Vec<Option<SpanRepr>>> {
+        let w = self.u32()?;
+        self.check_claim("span count", u64::from(w), 1)?;
+        let mut spans = Vec::with_capacity(w as usize);
+        for _ in 0..w {
+            spans.push(self.opt_span()?);
+        }
+        Ok(spans)
+    }
+
     /// Guard a claimed element count against the bytes actually
     /// present, so corrupted counts cannot drive huge allocations.
     fn check_claim(&self, context: &'static str, n: u64, min_elem_bytes: u64) -> Result<()> {
@@ -497,6 +673,7 @@ impl<'a> Cursor<'a> {
 /// Decode a request payload (the bytes between header and CRC).
 pub fn decode_request_payload(payload: &[u8]) -> Result<RequestEnvelope> {
     let mut c = Cursor::new(payload);
+    let request_id = c.u64()?;
     let deadline_ms = c.u32()?;
     let tag = c.u8()?;
     let body = match tag {
@@ -578,6 +755,19 @@ pub fn decode_request_payload(payload: &[u8]) -> Result<RequestEnvelope> {
             };
             Request::FlushSeal { series, compact }
         }
+        6 => {
+            let series = c.str16()?;
+            let t_qs = c.i64()?;
+            let t_qe = c.i64()?;
+            let w = c.u32()?;
+            Request::Subscribe {
+                series,
+                t_qs,
+                t_qe,
+                w,
+            }
+        }
+        7 => Request::Unsubscribe { sub_id: c.u64()? },
         other => {
             return Err(NetError::UnknownTag {
                 context: "request",
@@ -592,37 +782,19 @@ pub fn decode_request_payload(payload: &[u8]) -> Result<RequestEnvelope> {
             max: 0,
         });
     }
-    Ok(RequestEnvelope { deadline_ms, body })
+    Ok(RequestEnvelope {
+        request_id,
+        deadline_ms,
+        body,
+    })
 }
 
 fn decode_io_snapshot(c: &mut Cursor<'_>) -> Result<IoSnapshot> {
-    Ok(IoSnapshot {
-        chunks_loaded: c.u64()?,
-        bytes_read: c.u64()?,
-        points_decoded: c.u64()?,
-        timestamps_decoded: c.u64()?,
-        mem_chunks_read: c.u64()?,
-        cache_hits: c.u64()?,
-        cache_misses: c.u64()?,
-        cache_evictions: c.u64()?,
-        cache_invalidations: c.u64()?,
-        points_written: c.u64()?,
-        wal_batches: c.u64()?,
-        wal_bytes: c.u64()?,
-        wal_syncs: c.u64()?,
-        compactions_scheduled: c.u64()?,
-        compactions_completed: c.u64()?,
-        compactions_skipped: c.u64()?,
-        compaction_bytes_read: c.u64()?,
-        compaction_bytes_rewritten: c.u64()?,
-        compaction_pages_copied: c.u64()?,
-        compaction_pages_recoded: c.u64()?,
-        pages_decoded: c.u64()?,
-        pages_skipped: c.u64()?,
-        pages_stat_answered: c.u64()?,
-        pool_hits: c.u64()?,
-        pool_misses: c.u64()?,
-    })
+    let mut block = [0u64; IO_BLOCK_U64S];
+    for v in block.iter_mut() {
+        *v = c.u64()?;
+    }
+    Ok(decode_io_block(&block))
 }
 
 fn decode_server_snapshot(c: &mut Cursor<'_>) -> Result<ServerStatsSnapshot> {
@@ -641,6 +813,11 @@ fn decode_server_snapshot(c: &mut Cursor<'_>) -> Result<ServerStatsSnapshot> {
         connections_accepted: c.u64()?,
         connections_rejected: c.u64()?,
         in_flight: c.u64()?,
+        subs_active: c.u64()?,
+        subs_deduped: c.u64()?,
+        deltas_pushed: c.u64()?,
+        deltas_coalesced: c.u64()?,
+        resyncs: c.u64()?,
         latency_counts: Vec::new(),
     };
     let n = c.u32()?;
@@ -661,41 +838,16 @@ fn decode_server_snapshot(c: &mut Cursor<'_>) -> Result<ServerStatsSnapshot> {
 }
 
 /// Decode a response payload (the bytes between header and CRC).
-pub fn decode_response_payload(payload: &[u8]) -> Result<Response> {
+pub fn decode_response_payload(payload: &[u8]) -> Result<ResponseEnvelope> {
     let mut c = Cursor::new(payload);
+    let request_id = c.u64()?;
     let tag = c.u8()?;
-    let resp = match tag {
+    let body = match tag {
         0 => Response::Pong,
         1 => Response::Written { points: c.u64()? },
-        2 => {
-            let w = c.u32()?;
-            c.check_claim("span count", u64::from(w), 1)?;
-            let mut spans = Vec::with_capacity(w as usize);
-            for _ in 0..w {
-                match c.u8()? {
-                    0 => spans.push(None),
-                    1 => {
-                        let first = c.point()?;
-                        let last = c.point()?;
-                        let bottom = c.point()?;
-                        let top = c.point()?;
-                        spans.push(Some(SpanRepr {
-                            first,
-                            last,
-                            bottom,
-                            top,
-                        }));
-                    }
-                    other => {
-                        return Err(NetError::UnknownTag {
-                            context: "span flag",
-                            tag: other,
-                        })
-                    }
-                }
-            }
-            Response::M4 { spans }
-        }
+        2 => Response::M4 {
+            spans: c.span_list()?,
+        },
         3 => Response::Deleted,
         4 => {
             let io = Box::new(decode_io_snapshot(&mut c)?);
@@ -714,6 +866,12 @@ pub fn decode_response_payload(payload: &[u8]) -> Result<Response> {
             let detail = c.str16()?;
             Response::Error { code, detail }
         }
+        7 => {
+            let sub_id = c.u64()?;
+            let spans = c.span_list()?;
+            Response::SubAck { sub_id, spans }
+        }
+        8 => Response::Unsubscribed,
         other => {
             return Err(NetError::UnknownTag {
                 context: "response",
@@ -728,7 +886,73 @@ pub fn decode_response_payload(payload: &[u8]) -> Result<Response> {
             max: 0,
         });
     }
-    Ok(resp)
+    Ok(ResponseEnvelope { request_id, body })
+}
+
+/// Decode a push payload (the bytes between header and CRC).
+pub fn decode_push_payload(payload: &[u8]) -> Result<Push> {
+    let mut c = Cursor::new(payload);
+    let tag = c.u8()?;
+    let push = match tag {
+        0 => {
+            let sub_id = c.u64()?;
+            let seq = c.u64()?;
+            let resync = match c.u8()? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(NetError::UnknownTag {
+                        context: "resync flag",
+                        tag: other,
+                    })
+                }
+            };
+            let n = c.u32()?;
+            // Each delta costs at least a span index + presence flag.
+            c.check_claim("delta count", u64::from(n), 5)?;
+            let mut deltas = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let index = c.u32()?;
+                let span = c.opt_span()?;
+                deltas.push((index, span));
+            }
+            Push::SpanDelta {
+                sub_id,
+                seq,
+                resync,
+                deltas,
+            }
+        }
+        1 => Push::Lagged { sub_id: c.u64()? },
+        2 => {
+            let sub_id = c.u64()?;
+            let code_tag = c.u8()?;
+            let code = ErrorCode::from_wire(code_tag).ok_or(NetError::UnknownTag {
+                context: "error code",
+                tag: code_tag,
+            })?;
+            let detail = c.str16()?;
+            Push::SubError {
+                sub_id,
+                code,
+                detail,
+            }
+        }
+        other => {
+            return Err(NetError::UnknownTag {
+                context: "push",
+                tag: other,
+            })
+        }
+    };
+    if c.remaining() != 0 {
+        return Err(NetError::TooLarge {
+            context: "push payload trailing bytes",
+            len: c.remaining() as u64,
+            max: 0,
+        });
+    }
+    Ok(push)
 }
 
 /// Parse and validate a frame header. Returns `(kind, payload_len)`.
@@ -747,7 +971,7 @@ fn decode_header(header: &[u8], max_payload_bytes: u32) -> Result<(u8, usize)> {
         return Err(NetError::UnsupportedVersion(version));
     }
     let kind = c.u8()?;
-    if kind != KIND_REQUEST && kind != KIND_RESPONSE {
+    if kind != KIND_REQUEST && kind != KIND_RESPONSE && kind != KIND_PUSH {
         return Err(NetError::UnknownTag {
             context: "frame kind",
             tag: kind,
@@ -768,6 +992,7 @@ fn decode_header(header: &[u8], max_payload_bytes: u32) -> Result<(u8, usize)> {
 fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame> {
     match kind {
         KIND_REQUEST => Ok(Frame::Request(decode_request_payload(payload)?)),
+        KIND_PUSH => Ok(Frame::Push(decode_push_payload(payload)?)),
         _ => Ok(Frame::Response(decode_response_payload(payload)?)),
     }
 }
@@ -832,6 +1057,7 @@ mod tests {
 
     fn roundtrip_request(body: Request) {
         let env = RequestEnvelope {
+            request_id: 77,
             deadline_ms: 250,
             body,
         };
@@ -841,11 +1067,31 @@ mod tests {
         assert_eq!(frame, Frame::Request(env));
     }
 
-    fn roundtrip_response(resp: Response) {
-        let bytes = encode_response(&resp).unwrap();
+    fn roundtrip_response(body: Response) {
+        let env = ResponseEnvelope {
+            request_id: 99,
+            body,
+        };
+        let bytes = encode_response(&env).unwrap();
         let (frame, used) = decode_frame(&bytes).unwrap();
         assert_eq!(used, bytes.len());
-        assert_eq!(frame, Frame::Response(resp));
+        assert_eq!(frame, Frame::Response(env));
+    }
+
+    fn roundtrip_push(push: Push) {
+        let bytes = encode_push(&push).unwrap();
+        let (frame, used) = decode_frame(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(frame, Frame::Push(push));
+    }
+
+    fn span(seed: i64) -> SpanRepr {
+        SpanRepr {
+            first: Point::new(seed, seed as f64 + 0.5),
+            last: Point::new(seed + 9, -2.5),
+            bottom: Point::new(seed + 4, -7.0),
+            top: Point::new(seed + 3, 8.0),
+        }
     }
 
     #[test]
@@ -878,6 +1124,13 @@ mod tests {
             series: None,
             compact: false,
         });
+        roundtrip_request(Request::Subscribe {
+            series: "dash.speed".into(),
+            t_qs: 0,
+            t_qe: 1_000_000,
+            w: 480,
+        });
+        roundtrip_request(Request::Unsubscribe { sub_id: u64::MAX });
     }
 
     #[test]
@@ -885,15 +1138,7 @@ mod tests {
         roundtrip_response(Response::Pong);
         roundtrip_response(Response::Written { points: u64::MAX });
         roundtrip_response(Response::M4 {
-            spans: vec![
-                None,
-                Some(SpanRepr {
-                    first: Point::new(1, 1.5),
-                    last: Point::new(9, -2.5),
-                    bottom: Point::new(4, -7.0),
-                    top: Point::new(3, 8.0),
-                }),
-            ],
+            spans: vec![None, Some(span(1))],
         });
         roundtrip_response(Response::Deleted);
         roundtrip_response(Response::Stats {
@@ -907,6 +1152,11 @@ mod tests {
             }),
             server: Box::new(ServerStatsSnapshot {
                 requests_query: 7,
+                subs_active: 3,
+                subs_deduped: 2,
+                deltas_pushed: 40,
+                deltas_coalesced: 4,
+                resyncs: 1,
                 latency_counts: vec![0; LATENCY_BUCKETS],
                 ..Default::default()
             }),
@@ -916,12 +1166,64 @@ mod tests {
             code: ErrorCode::SeriesNotFound,
             detail: "series \"x\"".into(),
         });
+        roundtrip_response(Response::SubAck {
+            sub_id: 12,
+            spans: vec![Some(span(5)), None, None],
+        });
+        roundtrip_response(Response::Unsubscribed);
+    }
+
+    #[test]
+    fn push_variants_roundtrip() {
+        roundtrip_push(Push::SpanDelta {
+            sub_id: 3,
+            seq: 0,
+            resync: false,
+            deltas: vec![(0, Some(span(10))), (7, None)],
+        });
+        roundtrip_push(Push::SpanDelta {
+            sub_id: u64::MAX,
+            seq: u64::MAX,
+            resync: true,
+            deltas: vec![],
+        });
+        roundtrip_push(Push::Lagged { sub_id: 3 });
+        roundtrip_push(Push::SubError {
+            sub_id: 9,
+            code: ErrorCode::Subscription,
+            detail: "series dropped".into(),
+        });
+    }
+
+    #[test]
+    fn request_ids_echo_through_both_envelopes() {
+        let req = RequestEnvelope {
+            request_id: 0xDEAD_BEEF_0BAD_CAFE,
+            deadline_ms: 0,
+            body: Request::Stats,
+        };
+        let bytes = encode_request(&req).unwrap();
+        let (Frame::Request(decoded), _) = decode_frame(&bytes).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(decoded.request_id, req.request_id);
+
+        let resp = ResponseEnvelope {
+            request_id: req.request_id,
+            body: Response::Pong,
+        };
+        let bytes = encode_response(&resp).unwrap();
+        let (Frame::Response(decoded), _) = decode_frame(&bytes).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(decoded.request_id, req.request_id);
     }
 
     #[test]
     fn nan_value_bits_survive_the_wire() {
         let weird = f64::from_bits(0x7FF8_0000_0000_1234);
         let env = RequestEnvelope {
+            request_id: 1,
             deadline_ms: 0,
             body: Request::WriteBatch {
                 entries: vec![("s".into(), vec![Point::new(0, weird)])],
@@ -941,6 +1243,7 @@ mod tests {
     #[test]
     fn bad_magic_version_kind_are_typed() {
         let good = encode_request(&RequestEnvelope {
+            request_id: 0,
             deadline_ms: 0,
             body: Request::Stats,
         })
@@ -957,6 +1260,15 @@ mod tests {
             Err(NetError::UnsupportedVersion(99))
         ));
 
+        // v3 (the previous protocol) is rejected too: the envelope
+        // layout changed incompatibly.
+        let mut bad = good.clone();
+        bad[4] = 3;
+        assert!(matches!(
+            decode_frame(&bad),
+            Err(NetError::UnsupportedVersion(3))
+        ));
+
         let mut bad = good.clone();
         bad[5] = 7;
         assert!(matches!(
@@ -971,6 +1283,7 @@ mod tests {
     #[test]
     fn corrupted_payload_fails_checksum() {
         let good = encode_request(&RequestEnvelope {
+            request_id: 0,
             deadline_ms: 9,
             body: Request::Ping { delay_ms: 1 },
         })
@@ -985,10 +1298,25 @@ mod tests {
 
     #[test]
     fn every_truncation_is_a_typed_error() {
-        let good = encode_response(&Response::Written { points: 5 }).unwrap();
+        let good = encode_response(&ResponseEnvelope {
+            request_id: 5,
+            body: Response::Written { points: 5 },
+        })
+        .unwrap();
         for k in 0..good.len() {
             let r = decode_frame(&good[..k]);
             assert!(r.is_err(), "prefix of {k} bytes must not decode");
+        }
+        let good = encode_push(&Push::SpanDelta {
+            sub_id: 1,
+            seq: 2,
+            resync: false,
+            deltas: vec![(3, Some(span(0)))],
+        })
+        .unwrap();
+        for k in 0..good.len() {
+            let r = decode_frame(&good[..k]);
+            assert!(r.is_err(), "push prefix of {k} bytes must not decode");
         }
     }
 
@@ -996,6 +1324,7 @@ mod tests {
     fn oversized_claimed_counts_are_rejected() {
         // A write-batch frame claiming u32::MAX points but holding none.
         let mut payload = Vec::new();
+        put_u64(&mut payload, 0); // request id
         put_u32(&mut payload, 0); // deadline
         payload.push(1); // WriteBatch
         put_u32(&mut payload, 1); // one series
@@ -1006,11 +1335,25 @@ mod tests {
             decode_frame(&frame),
             Err(NetError::TooLarge { .. })
         ));
+
+        // A push frame claiming u32::MAX span deltas but holding none.
+        let mut payload = Vec::new();
+        payload.push(0); // SpanDelta
+        put_u64(&mut payload, 1); // sub id
+        put_u64(&mut payload, 0); // seq
+        payload.push(0); // resync
+        put_u32(&mut payload, u32::MAX); // absurd delta count
+        let frame = frame_bytes(KIND_PUSH, payload).unwrap();
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(NetError::TooLarge { .. })
+        ));
     }
 
     #[test]
     fn stream_read_write_roundtrip() {
         let env = RequestEnvelope {
+            request_id: 42,
             deadline_ms: 1,
             body: Request::Delete {
                 series: "s".into(),
@@ -1023,5 +1366,12 @@ mod tests {
         write_frame(&mut buf, &bytes).unwrap();
         let frame = read_frame(&mut buf.as_slice(), MAX_PAYLOAD_BYTES).unwrap();
         assert_eq!(frame, Frame::Request(env));
+
+        let push = Push::Lagged { sub_id: 8 };
+        let bytes = encode_push(&push).unwrap();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &bytes).unwrap();
+        let frame = read_frame(&mut buf.as_slice(), MAX_PAYLOAD_BYTES).unwrap();
+        assert_eq!(frame, Frame::Push(push));
     }
 }

@@ -2,14 +2,18 @@
 //!
 //! The protocol's contract has two halves:
 //!
-//! 1. **Round-trip fidelity** — any encodable request/response decodes
-//!    back to a frame that re-encodes to the *same bytes* (byte
-//!    equality sidesteps `NaN != NaN`: value bit patterns must survive
-//!    the wire exactly).
+//! 1. **Round-trip fidelity** — any encodable request/response/push
+//!    decodes back to a frame that re-encodes to the *same bytes*
+//!    (byte equality sidesteps `NaN != NaN`: value bit patterns must
+//!    survive the wire exactly).
 //! 2. **Hostile-input totality** — truncations, bit flips and random
 //!    garbage must decode to typed [`tsnet::NetError`]s, never panic,
 //!    and anything that *does* decode must be self-consistent
 //!    (re-encoding reproduces the consumed bytes).
+//!
+//! All three frame kinds of protocol v4 are covered, including the
+//! server-initiated push frames ([`Push::SpanDelta`], [`Push::Lagged`],
+//! [`Push::SubError`]) and the subscription request/response pairs.
 
 // Tests assert by panicking; the workspace deny-set targets library
 // code.
@@ -23,10 +27,11 @@
 use proptest::prelude::*;
 use tsfile::types::Point;
 use tskv::stats::IoSnapshot;
-use tsnet::stats::{ServerStatsSnapshot, LATENCY_BUCKETS};
+use tskv::wire::IO_BLOCK_U64S;
+use tsnet::stats::{ServerStatsSnapshot, LATENCY_BUCKETS, SERVER_FIXED_U64S};
 use tsnet::wire::{
-    decode_frame, encode_request, encode_response, Frame, Operator, Request, RequestEnvelope,
-    Response,
+    decode_frame, encode_push, encode_request, encode_response, Frame, Operator, Push, Request,
+    RequestEnvelope, Response, ResponseEnvelope,
 };
 use tsnet::ErrorCode;
 
@@ -38,6 +43,10 @@ fn name_strategy() -> impl Strategy<Value = String> {
 /// Points with *any* value bit pattern — NaN and infinities included.
 fn point_strategy() -> impl Strategy<Value = Point> {
     (any::<i64>(), any::<u64>()).prop_map(|(t, bits)| Point::new(t, f64::from_bits(bits)))
+}
+
+fn error_code_strategy() -> impl Strategy<Value = ErrorCode> {
+    (0u8..=6).prop_map(|tag| ErrorCode::from_wire(tag).unwrap())
 }
 
 fn request_strategy() -> impl Strategy<Value = Request> {
@@ -71,12 +80,26 @@ fn request_strategy() -> impl Strategy<Value = Request> {
                 compact,
             }
         }),
+        (name_strategy(), any::<i64>(), any::<i64>(), any::<u32>()).prop_map(
+            |(series, t_qs, t_qe, w)| Request::Subscribe {
+                series,
+                t_qs,
+                t_qe,
+                w,
+            }
+        ),
+        any::<u64>().prop_map(|sub_id| Request::Unsubscribe { sub_id }),
     ]
 }
 
 fn envelope_strategy() -> impl Strategy<Value = RequestEnvelope> {
-    (any::<u32>(), request_strategy())
-        .prop_map(|(deadline_ms, body)| RequestEnvelope { deadline_ms, body })
+    (any::<u64>(), any::<u32>(), request_strategy()).prop_map(|(request_id, deadline_ms, body)| {
+        RequestEnvelope {
+            request_id,
+            deadline_ms,
+            body,
+        }
+    })
 }
 
 fn span_strategy() -> impl Strategy<Value = Option<m4::SpanRepr>> {
@@ -98,7 +121,7 @@ fn span_strategy() -> impl Strategy<Value = Option<m4::SpanRepr>> {
 }
 
 fn io_snapshot_strategy() -> impl Strategy<Value = IoSnapshot> {
-    prop::collection::vec(any::<u64>(), 25usize).prop_map(|v| IoSnapshot {
+    prop::collection::vec(any::<u64>(), IO_BLOCK_U64S).prop_map(|v| IoSnapshot {
         chunks_loaded: v[0],
         bytes_read: v[1],
         points_decoded: v[2],
@@ -129,7 +152,7 @@ fn io_snapshot_strategy() -> impl Strategy<Value = IoSnapshot> {
 
 fn server_snapshot_strategy() -> impl Strategy<Value = ServerStatsSnapshot> {
     (
-        prop::collection::vec(any::<u64>(), 14usize),
+        prop::collection::vec(any::<u64>(), SERVER_FIXED_U64S),
         prop::collection::vec(any::<u64>(), 0..=LATENCY_BUCKETS),
     )
         .prop_map(|(v, latency_counts)| ServerStatsSnapshot {
@@ -147,6 +170,11 @@ fn server_snapshot_strategy() -> impl Strategy<Value = ServerStatsSnapshot> {
             connections_accepted: v[11],
             connections_rejected: v[12],
             in_flight: v[13],
+            subs_active: v[14],
+            subs_deduped: v[15],
+            deltas_pushed: v[16],
+            deltas_coalesced: v[17],
+            resyncs: v[18],
             latency_counts,
         })
 }
@@ -164,10 +192,42 @@ fn response_strategy() -> impl Strategy<Value = Response> {
             }
         }),
         any::<u32>().prop_map(|series_flushed| Response::Flushed { series_flushed }),
-        (0u8..=5, name_strategy()).prop_map(|(tag, detail)| Response::Error {
-            code: ErrorCode::from_wire(tag).unwrap(),
-            detail,
-        }),
+        (error_code_strategy(), name_strategy())
+            .prop_map(|(code, detail)| Response::Error { code, detail }),
+        (any::<u64>(), prop::collection::vec(span_strategy(), 0..=24))
+            .prop_map(|(sub_id, spans)| Response::SubAck { sub_id, spans }),
+        Just(Response::Unsubscribed),
+    ]
+}
+
+fn response_envelope_strategy() -> impl Strategy<Value = ResponseEnvelope> {
+    (any::<u64>(), response_strategy())
+        .prop_map(|(request_id, body)| ResponseEnvelope { request_id, body })
+}
+
+fn push_strategy() -> impl Strategy<Value = Push> {
+    let delta = (any::<u32>(), span_strategy());
+    prop_oneof![
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<bool>(),
+            prop::collection::vec(delta, 0..=16)
+        )
+            .prop_map(|(sub_id, seq, resync, deltas)| Push::SpanDelta {
+                sub_id,
+                seq,
+                resync,
+                deltas,
+            }),
+        any::<u64>().prop_map(|sub_id| Push::Lagged { sub_id }),
+        (any::<u64>(), error_code_strategy(), name_strategy()).prop_map(
+            |(sub_id, code, detail)| Push::SubError {
+                sub_id,
+                code,
+                detail,
+            }
+        ),
     ]
 }
 
@@ -175,7 +235,8 @@ fn response_strategy() -> impl Strategy<Value = Response> {
 fn reencode(frame: &Frame) -> Vec<u8> {
     match frame {
         Frame::Request(env) => encode_request(env).unwrap(),
-        Frame::Response(resp) => encode_response(resp).unwrap(),
+        Frame::Response(env) => encode_response(env).unwrap(),
+        Frame::Push(push) => encode_push(push).unwrap(),
     }
 }
 
@@ -192,11 +253,20 @@ proptest! {
     }
 
     #[test]
-    fn response_encode_decode_reencode_is_identity(resp in response_strategy()) {
-        let bytes = encode_response(&resp).unwrap();
+    fn response_encode_decode_reencode_is_identity(env in response_envelope_strategy()) {
+        let bytes = encode_response(&env).unwrap();
         let (frame, used) = decode_frame(&bytes).unwrap();
         prop_assert_eq!(used, bytes.len());
         prop_assert!(matches!(frame, Frame::Response(_)));
+        prop_assert_eq!(reencode(&frame), bytes);
+    }
+
+    #[test]
+    fn push_encode_decode_reencode_is_identity(push in push_strategy()) {
+        let bytes = encode_push(&push).unwrap();
+        let (frame, used) = decode_frame(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert!(matches!(frame, Frame::Push(_)));
         prop_assert_eq!(reencode(&frame), bytes);
     }
 
@@ -207,6 +277,16 @@ proptest! {
     ) {
         let bytes = encode_request(&env).unwrap();
         let k = cut.index(bytes.len()); // strictly less than the full frame
+        prop_assert!(decode_frame(&bytes[..k]).is_err());
+    }
+
+    #[test]
+    fn every_strict_push_prefix_is_a_typed_error(
+        push in push_strategy(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let bytes = encode_push(&push).unwrap();
+        let k = cut.index(bytes.len());
         prop_assert!(decode_frame(&bytes[..k]).is_err());
     }
 
@@ -233,12 +313,47 @@ proptest! {
     }
 
     #[test]
-    fn payload_corruption_is_always_caught_by_the_checksum(
-        resp in response_strategy(),
+    fn single_bit_push_corruption_never_panics_and_stays_framed(
+        push in push_strategy(),
         pos in any::<prop::sample::Index>(),
         bit in 0u8..8,
     ) {
-        let mut bytes = encode_response(&resp).unwrap();
+        let mut bytes = encode_push(&push).unwrap();
+        let k = pos.index(bytes.len());
+        bytes[k] ^= 1u8 << bit;
+        match decode_frame(&bytes) {
+            Err(_) => {}
+            Ok((frame, used)) => {
+                prop_assert_eq!(reencode(&frame), bytes[..used].to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn payload_corruption_is_always_caught_by_the_checksum(
+        env in response_envelope_strategy(),
+        pos in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode_response(&env).unwrap();
+        let payload_len = bytes.len() - tsnet::wire::HEADER_LEN - tsnet::wire::TRAILER_LEN;
+        prop_assume!(payload_len > 0);
+        let k = tsnet::wire::HEADER_LEN + pos.index(payload_len);
+        bytes[k] ^= 1u8 << bit;
+        let caught = matches!(
+            decode_frame(&bytes),
+            Err(tsnet::NetError::ChecksumMismatch { .. })
+        );
+        prop_assert!(caught, "payload flip must fail the checksum");
+    }
+
+    #[test]
+    fn push_payload_corruption_is_always_caught_by_the_checksum(
+        push in push_strategy(),
+        pos in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode_push(&push).unwrap();
         let payload_len = bytes.len() - tsnet::wire::HEADER_LEN - tsnet::wire::TRAILER_LEN;
         prop_assume!(payload_len > 0);
         let k = tsnet::wire::HEADER_LEN + pos.index(payload_len);

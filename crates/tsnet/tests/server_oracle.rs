@@ -29,7 +29,7 @@ use std::time::{Duration, Instant};
 use tsfile::types::Point;
 use tskv::config::EngineConfig;
 use tskv::TsKv;
-use tsnet::wire::{encode_response, Operator, Response};
+use tsnet::wire::{encode_response, Operator, Response, ResponseEnvelope};
 use tsnet::{ClientConfig, NetError, ServerConfig, TsNetClient, TsNetServer};
 
 fn scratch(tag: &str) -> PathBuf {
@@ -65,7 +65,13 @@ fn client(server: &TsNetServer) -> TsNetClient {
 
 /// Canonical byte form of an M4 outcome, the unit of oracle comparison.
 fn m4_bytes(spans: Vec<Option<m4::SpanRepr>>) -> Vec<u8> {
-    encode_response(&Response::M4 { spans }).unwrap()
+    // Pinned request id so oracle and server bytes compare on content
+    // alone, independent of each client's id sequence.
+    encode_response(&ResponseEnvelope {
+        request_id: 0,
+        body: Response::M4 { spans },
+    })
+    .unwrap()
 }
 
 /// Run one M4 query in-process, as the oracle sees it.

@@ -177,8 +177,9 @@ const L4_FILES: &[&str] = &[
     "crates/tsfile/src/encoding/reference.rs",
 ];
 
-/// Files containing the accept/dispatch path under the L5 blocking ban.
-const L5_FILES: &[&str] = &["crates/tsnet/src/server.rs"];
+/// Files containing the accept/dispatch path — and the subscription
+/// broadcast path — under the L5 blocking ban.
+const L5_FILES: &[&str] = &["crates/tsnet/src/server.rs", "crates/tsnet/src/sub.rs"];
 
 /// Files carrying the counter structs / wire surface that anchor the
 /// L6 discipline check (the check itself reads the whole workspace).

@@ -1,11 +1,17 @@
 //! L5 — blocking-call ban on the network accept/dispatch path.
 //!
 //! The designated functions (`tsnet::server`'s `accept_loop` and
-//! `handle_connection`, plus anything named like them in fixtures)
-//! form the single-threaded admission path: a blocking syscall there
-//! stalls *every* connection, which is exactly the tail-latency
-//! collapse mode the reactor roadmap item exists to prevent. Banned,
-//! transitively through call summaries: file I/O, socket frame I/O
+//! `handle_connection`, `tsnet::sub`'s `broadcast_delta` and
+//! `enqueue_push`, plus anything named like them in fixtures) form
+//! two single-threaded hot paths. The admission path: a blocking
+//! syscall there stalls *every* connection — exactly the tail-latency
+//! collapse mode the reactor roadmap item exists to prevent. The
+//! subscription broadcast path: it runs on the dispatcher thread under
+//! the registry lock, so a blocking call there lets ONE slow consumer
+//! stall delta delivery to every dashboard (the design routes socket
+//! writes through per-connection writer threads precisely so the
+//! dispatcher never touches a socket). Banned, transitively through
+//! call summaries: file I/O, socket frame I/O
 //! (`write_frame`/`read_frame`/`write_all`/`read_exact`), and
 //! unbounded waits (`join`/`recv`/`wait`). Allowed: `accept` itself,
 //! bounded sleeps, lock acquisition, atomics, and handing work to
@@ -16,8 +22,14 @@ use crate::ast::{Block, Expr, FileAst, Stmt};
 use crate::callgraph::is_spawn_call;
 use crate::summaries::{Summaries, ACQUIRE_METHODS};
 
-/// Accept/dispatch-path functions under the ban.
-pub const DESIGNATED_FNS: &[&str] = &["accept_loop", "handle_connection"];
+/// Accept/dispatch-path and push/broadcast-path functions under the
+/// ban.
+pub const DESIGNATED_FNS: &[&str] = &[
+    "accept_loop",
+    "handle_connection",
+    "broadcast_delta",
+    "enqueue_push",
+];
 
 /// Names never treated as blocking on this path: the accept call
 /// itself, bounded waits, lock/atomic operations, thread handoff.
@@ -234,5 +246,18 @@ mod tests {
     fn unbounded_join_fires_bounded_wait_passes() {
         assert_eq!(run("fn accept_loop(&self) { h.join(); }").len(), 1);
         assert!(run("fn accept_loop(&self) { rx.recv_timeout(d); }").is_empty());
+    }
+
+    #[test]
+    fn broadcast_path_is_designated() {
+        // The dispatcher must never write a socket frame itself —
+        // that's the per-connection writer thread's job.
+        assert_eq!(
+            run("fn broadcast_delta(&self) { wire::write_frame(s, b); }").len(),
+            1
+        );
+        assert_eq!(run("fn enqueue_push(&self) { h.join(); }").len(), 1);
+        // Queue hand-off primitives stay allowed.
+        assert!(run("fn enqueue_push(&self) { q.notify_one(); }").is_empty());
     }
 }

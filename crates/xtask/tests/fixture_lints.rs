@@ -249,6 +249,40 @@ fn l5_fixture_flags_blocking_call_on_accept_path() {
 }
 
 #[test]
+fn l5_fixture_flags_blocking_call_on_push_path() {
+    let v = lint_fixture("l5_blocking_push.rs", Rule::L5);
+    assert!(
+        v.iter()
+            .any(|v| v.message.contains("write_frame") && v.message.contains("enqueue_push")),
+        "direct blocking write in enqueue_push must be flagged: {v:?}"
+    );
+    assert!(
+        v.iter().any(|v| v.message.contains("broadcast_delta")),
+        "transitive blocking through enqueue_push must reach broadcast_delta: {v:?}"
+    );
+}
+
+#[test]
+fn l6_fixture_flags_subscription_counter_drift() {
+    let v = lint_fixture("l6_sub_counter_drift.rs", Rule::L6);
+    assert!(
+        v.iter()
+            .any(|v| v.message.contains("deltas_coalesced") && v.message.contains("incremented")),
+        "dead coalesce counter must be flagged: {v:?}"
+    );
+    assert!(
+        v.iter()
+            .any(|v| v.message.contains("resyncs") && v.message.contains("encode")),
+        "unencoded resync counter must be flagged: {v:?}"
+    );
+    assert_eq!(
+        v.len(),
+        2,
+        "the three disciplined subscription counters must not be flagged: {v:?}"
+    );
+}
+
+#[test]
 fn l6_fixture_flags_dead_and_unencoded_counters() {
     let v = lint_fixture("l6_counter_drift.rs", Rule::L6);
     assert!(
@@ -300,7 +334,9 @@ fn cli_exits_nonzero_on_each_fixture() {
         "l1_alias_call.rs",
         "l3_type_alias.rs",
         "l5_blocking_accept.rs",
+        "l5_blocking_push.rs",
         "l6_counter_drift.rs",
+        "l6_sub_counter_drift.rs",
     ] {
         let status = Command::new(env!("CARGO_BIN_EXE_xtask"))
             .arg("lint")

@@ -1,0 +1,23 @@
+//! L5 fixture: blocking socket I/O on the subscription push/broadcast
+//! path. `broadcast_delta` runs on the dispatcher thread under the
+//! registry lock; the real code hands encoded deltas to per-connection
+//! writer threads through a bounded queue precisely so the dispatcher
+//! never touches a socket. Here `enqueue_push` writes the frame
+//! synchronously instead — one slow consumer that never drains its
+//! socket stalls delta delivery to every dashboard. Both the direct
+//! frame write and the transitive `broadcast_delta → enqueue_push`
+//! edge must be flagged (the blocking fact propagates through the
+//! call-graph summary).
+
+fn broadcast_delta(shared: &Shared) {
+    for conn in shared.conns() {
+        enqueue_push(shared, conn);
+    }
+}
+
+/// VIOLATION: the push frame is written on the dispatcher thread
+/// instead of being queued for the connection's writer thread.
+fn enqueue_push(shared: &Shared, conn: &Conn) {
+    let frame = shared.delta_frame(conn);
+    wire::write_frame(&mut conn.stream(), &frame);
+}

@@ -1,0 +1,54 @@
+//! L6 fixture: the five subscription counters, two of them broken.
+//!
+//! - `deltas_coalesced` is declared but never incremented — the
+//!   coalescing path exists but forgot its accounting, so the counter
+//!   reads 0 forever and hides exactly the slow-consumer pressure it
+//!   was added to expose.
+//! - `resyncs` is incremented on a live path but missing from the
+//!   `encode*` wire surface — it moves locally and is invisible to
+//!   the Stats RPC, so remote dashboards cannot see resync storms.
+//! - `subs_active`, `subs_deduped` and `deltas_pushed` are
+//!   disciplined end-to-end (incremented in `pub` recorders, encoded,
+//!   decoded) and must NOT be flagged.
+
+pub struct SubStats {
+    subs_active: AtomicU64,
+    subs_deduped: AtomicU64,
+    deltas_pushed: AtomicU64,
+    deltas_coalesced: AtomicU64,
+    resyncs: AtomicU64,
+}
+
+impl SubStats {
+    pub fn record_sub_attached(&self) {
+        self.subs_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_sub_deduped(&self) {
+        self.subs_deduped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_delta_pushed(&self) {
+        self.deltas_pushed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_resync(&self) {
+        self.resyncs.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn encode_sub_stats(out: &mut Vec<u8>, s: &SubSnapshot) {
+    put_u64(out, s.subs_active);
+    put_u64(out, s.subs_deduped);
+    put_u64(out, s.deltas_pushed);
+    put_u64(out, s.deltas_coalesced);
+}
+
+fn decode_sub_stats(c: &mut Cursor) -> SubSnapshot {
+    SubSnapshot {
+        subs_active: c.u64(),
+        subs_deduped: c.u64(),
+        deltas_pushed: c.u64(),
+        deltas_coalesced: c.u64(),
+    }
+}

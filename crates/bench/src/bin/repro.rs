@@ -8,7 +8,7 @@
 //!
 //! Experiments: table2, fig8, fig10, fig11, fig12, fig13, fig14,
 //! pixels, ablation, compaction, parallel, pages, ingest, serve,
-//! subscribe, decode, all.
+//! subscribe, decode, cardinality, all.
 //!
 //! `--out` writes `{"meta": {...}, "rows": [...]}` — the meta header
 //! records the run's scale/repeats and the baseline write-path knobs
@@ -28,6 +28,7 @@
 
 use std::io::Write;
 
+use bench::experiments::cardinality::{self, CardinalityReport, CardinalityRow, RegistrationRow};
 use bench::experiments::compaction::{self, CompactionReport, CompactionRow};
 use bench::experiments::decode::{self, DecodeReport, DecodeRow, PoolSummary};
 use bench::experiments::ingest::{self, IngestReport, IngestRow};
@@ -85,7 +86,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--exp table2|fig8|fig10|fig11|fig12|fig13|fig14|pixels|ablation|compaction|parallel|pages|ingest|serve|subscribe|decode|all] \
+                    "usage: repro [--exp table2|fig8|fig10|fig11|fig12|fig13|fig14|pixels|ablation|compaction|parallel|pages|ingest|serve|subscribe|decode|cardinality|all] \
                      [--scale F] [--repeats N] [--out FILE.json] [--dataset NAME]..."
                 );
                 std::process::exit(0);
@@ -184,6 +185,14 @@ fn main() {
         subscribe::print(&subscribe_rows);
         subscribe::summarize(&subscribe_rows);
     }
+    let mut cardinality_out: Option<(RegistrationRow, Vec<CardinalityRow>)> = None;
+    if all || args.exp == "cardinality" {
+        println!("\n== cardinality ==");
+        let (registration, rows) = cardinality::run(&h);
+        cardinality::print(&registration, &rows);
+        cardinality::summarize(&registration, &rows);
+        cardinality_out = Some((registration, rows));
+    }
     let mut decode_out: Option<(Vec<DecodeRow>, PoolSummary)> = None;
     if all || args.exp == "decode" {
         println!("\n== decode ==");
@@ -240,6 +249,18 @@ fn main() {
                 serde_json::to_string_pretty(&report).expect("serialize subscribe report"),
                 report.rows.len(),
             )
+        } else if args.exp == "cardinality" {
+            let (registration, card_rows) = cardinality_out.take().expect("cardinality ran");
+            let report = CardinalityReport {
+                meta,
+                registration,
+                rows: card_rows,
+                hot_path_string_free: cardinality::hot_path_string_free(),
+            };
+            (
+                serde_json::to_string_pretty(&report).expect("serialize cardinality report"),
+                report.rows.len(),
+            )
         } else if args.exp == "decode" {
             let (rows, pool) = decode_out.take().expect("decode experiment ran");
             let report = DecodeReport { meta, rows, pool };
@@ -269,6 +290,11 @@ fn main() {
             }
             if decode_out.is_some() {
                 println!("\nnote: decode rows are only serialized by `--exp decode --out ...`");
+            }
+            if cardinality_out.is_some() {
+                println!(
+                    "\nnote: cardinality rows are only serialized by `--exp cardinality --out ...`"
+                );
             }
             let report = BenchReport { meta, rows };
             (

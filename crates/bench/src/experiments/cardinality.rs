@@ -1,0 +1,535 @@
+//! High-cardinality engine evaluation: the series-count × skew ×
+//! out-of-order grid, plus the registration/cold-open cell.
+//!
+//! Not a paper artifact — this measures the high-cardinality substrate
+//! layered on the reproduction: the interned series catalog, the
+//! hash-sharded storage layout, and the id-keyed hot paths. Two
+//! claims are under test:
+//!
+//! 1. **Cold series are near-free.** Registering N series costs one
+//!    catalog-log append each and *no* per-series directories or
+//!    files; a store with 10⁶ registered series and a handful of hot
+//!    ones must cold-open in bounded time touching only the fixed
+//!    shard directories ([`run_registration`]).
+//! 2. **The id-keyed ingest/query paths stay correct under skew and
+//!    disorder.** Each grid cell races writers over a Zipf-skewed,
+//!    partially out-of-order batch plan, then probes hot, median and
+//!    tail series with M4 queries against a fresh single-series
+//!    oracle store fed the same batches (`oracle_match`).
+//!
+//! The companion [`hot_path_string_free`] check pins the perf claim
+//! the substrate exists for at the source level: the steady-state
+//! scheduler/notify/WAL/cache paths contain no `String` at all, and
+//! dashboards key on `SeriesId`.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use serde::Serialize;
+
+use m4::{M4Lsm, M4Query, M4Udf};
+use tskv::config::EngineConfig;
+use tskv::{SeriesId, TsKv};
+use workload::multiseries::{series_name, MultiSeriesSpec};
+
+use crate::harness::{BenchMeta, Harness};
+
+/// Registered-series counts to sweep in the ingest grid.
+pub const SERIES_GRID: [usize; 2] = [256, 4_096];
+/// Zipf skew exponents: uniform and hot-spotted.
+pub const SKEW_GRID: [f64; 2] = [0.0, 1.2];
+/// Out-of-order batch fractions.
+pub const OOO_GRID: [f64; 2] = [0.0, 0.4];
+/// Points per generated batch.
+pub const BATCH_POINTS: usize = 32;
+/// Racing writer threads per cell.
+pub const WRITERS: usize = 2;
+/// Pixel width of the probe queries.
+pub const W: usize = 128;
+
+/// One ingest grid cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct CardinalityRow {
+    pub series_count: usize,
+    pub zipf_s: f64,
+    pub ooo_frac: f64,
+    pub batches: usize,
+    pub points_written: u64,
+    /// Distinct series the plan actually wrote to.
+    pub series_written: usize,
+    pub ingest_elapsed_ms: f64,
+    pub points_per_sec: f64,
+    /// Every probe (hot, median, tail rank) matched its fresh-store
+    /// oracle, for both operators.
+    pub oracle_match: bool,
+    /// Catalog resolve counters over the whole cell (registration
+    /// misses + boundary-resolve hits; the id-keyed ingest itself
+    /// never touches the catalog).
+    pub catalog_hits: u64,
+    pub catalog_misses: u64,
+    /// Lazily instantiated in-memory stores == series actually written.
+    pub stores_instantiated: u64,
+    /// Filesystem entries (dirs + files) under the store root after
+    /// ingest — cold series must not appear here.
+    pub fs_entries: u64,
+    /// Wall-clock to reopen the store from disk.
+    pub cold_open_ms: f64,
+    /// Stores instantiated during that reopen (series with data only).
+    pub reopen_stores: u64,
+    /// Mean catalog lookup latency (µs) over 10k name resolutions.
+    pub lookup_us: f64,
+}
+
+/// The registration/cold-open cell: many registered series, few hot.
+#[derive(Debug, Clone, Serialize)]
+pub struct RegistrationRow {
+    pub registered: usize,
+    /// Series that received any data.
+    pub hot: usize,
+    pub register_ms: f64,
+    /// Bytes of the persisted name↔id map.
+    pub catalog_log_bytes: u64,
+    /// Full dense-id flush sweep over every registered series.
+    pub flush_all_ms: f64,
+    /// Filesystem entries under the root: bounded by the shard count
+    /// plus the hot series' files, never by `registered`.
+    pub fs_entries: u64,
+    pub cold_open_ms: f64,
+    pub reopen_stores: u64,
+    pub lookup_us: f64,
+}
+
+/// The document `repro --exp cardinality --out` writes.
+#[derive(Debug, Serialize)]
+pub struct CardinalityReport {
+    pub meta: BenchMeta,
+    pub registration: RegistrationRow,
+    pub rows: Vec<CardinalityRow>,
+    /// Source-level pin: steady-state paths are String-free.
+    pub hot_path_string_free: bool,
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        enable_read_cache: false,
+        read_threads: 1,
+        ..Default::default()
+    }
+}
+
+/// Count directories + files under `root`, recursively.
+fn fs_entries(root: &Path) -> u64 {
+    let mut count = 0u64;
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(rd) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in rd.flatten() {
+            count += 1;
+            if entry.file_type().map(|t| t.is_dir()).unwrap_or(false) {
+                stack.push(entry.path());
+            }
+        }
+    }
+    count
+}
+
+/// Mean latency (µs) of resolving `samples` series names round-robin.
+fn time_lookups(kv: &TsKv, registered: usize, samples: usize) -> f64 {
+    let names: Vec<String> = (0..64.min(registered)).map(series_name).collect();
+    let start = Instant::now();
+    let mut found = 0usize;
+    for i in 0..samples {
+        if kv.series_id(&names[i % names.len()]).is_some() {
+            found += 1;
+        }
+    }
+    assert_eq!(found, samples, "registered names must resolve");
+    start.elapsed().as_secs_f64() * 1e6 / samples as f64
+}
+
+pub fn run(h: &Harness) -> (RegistrationRow, Vec<CardinalityRow>) {
+    // Batches per cell scale with the harness scale, floored so even
+    // tiny CI runs exercise racing ingest across many series.
+    let batches = ((6_000.0 * (h.scale / 0.02)).round() as usize).clamp(200, 6_000);
+    let mut rows = Vec::new();
+    for &series_count in &SERIES_GRID {
+        for &zipf_s in &SKEW_GRID {
+            for &ooo_frac in &OOO_GRID {
+                rows.push(run_cell(h, series_count, zipf_s, ooo_frac, batches));
+            }
+        }
+    }
+    // The headline cardinality cell: at full scale this registers 10⁶
+    // series; scaled-down runs keep at least 10⁵ so the cold-series
+    // claim is still measured at depth.
+    let registered = ((1_000_000.0 * h.scale) as usize).max(100_000);
+    let registration = run_registration(h, registered, 64);
+    (registration, rows)
+}
+
+pub fn run_cell(
+    h: &Harness,
+    series_count: usize,
+    zipf_s: f64,
+    ooo_frac: f64,
+    batches: usize,
+) -> CardinalityRow {
+    let dir = h
+        .root
+        .join(format!("card-n{series_count}-z{zipf_s}-o{ooo_frac}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create cardinality dir");
+    let spec = MultiSeriesSpec {
+        series_count,
+        zipf_s,
+        batch_points: BATCH_POINTS,
+        out_of_order_frac: ooo_frac,
+        seed: 0xCA2D ^ series_count as u64,
+    };
+    let plan = spec.plan(batches);
+
+    let kv = TsKv::open(&dir, engine_config()).expect("open cardinality store");
+    let ids: Vec<SeriesId> = (0..series_count)
+        .map(|i| kv.create_series(&series_name(i)).expect("register"))
+        .collect();
+
+    // Race the writers over the shared plan. Batches of one series are
+    // time-disjoint, so the store's logical contents are independent
+    // of which writer lands which batch first.
+    let cursor = AtomicUsize::new(0);
+    let written = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..WRITERS {
+            handles.push(scope.spawn(|| {
+                let mut my_points = 0u64;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some((s, pts)) = plan.get(i) else {
+                        break;
+                    };
+                    kv.insert_batch_by_id(ids[*s], pts).expect("ingest batch");
+                    my_points += pts.len() as u64;
+                }
+                my_points
+            }));
+        }
+        for handle in handles {
+            written.fetch_add(handle.join().expect("writer thread"), Ordering::Relaxed);
+        }
+    });
+    let ingest_elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Probe hot, median and tail popularity ranks against fresh-store
+    // oracles fed exactly the same batches in plan order.
+    let probes = [0, series_count / 2, series_count - 1];
+    let mut oracle_match = true;
+    for (pi, &rank) in probes.iter().enumerate() {
+        let mine: Vec<&Vec<tsfile::Point>> = plan
+            .iter()
+            .filter(|(s, _)| *s == rank)
+            .map(|(_, pts)| pts)
+            .collect();
+        let odir = dir.join(format!("oracle-{pi}"));
+        let okv = TsKv::open(&odir, engine_config()).expect("open oracle store");
+        okv.create_series("probe").expect("register oracle series");
+        for pts in &mine {
+            okv.insert_batch("probe", pts).expect("oracle ingest");
+        }
+        okv.flush("probe").expect("oracle flush");
+        let (t_min, t_max) = mine
+            .iter()
+            .flat_map(|pts| pts.iter())
+            .fold((i64::MAX, i64::MIN), |(lo, hi), p| {
+                (lo.min(p.t), hi.max(p.t))
+            });
+        let query = if mine.is_empty() {
+            M4Query::new(0, 1_000, W).expect("valid query")
+        } else {
+            M4Query::new(t_min, t_max + 1, W).expect("valid query")
+        };
+        let snap = kv.snapshot_by_id(ids[rank]).expect("probe snapshot");
+        let osnap = okv.snapshot("probe").expect("oracle snapshot");
+        let oracle = M4Udf::new().execute(&osnap, &query).expect("oracle query");
+        let lsm = M4Lsm::new().execute(&snap, &query).expect("probe query");
+        let udf = M4Udf::new().execute(&snap, &query).expect("probe query");
+        oracle_match &= lsm.equivalent(&oracle) && udf.equivalent(&oracle);
+        drop(okv);
+        std::fs::remove_dir_all(&odir).ok();
+    }
+
+    let lookup_us = time_lookups(&kv, series_count, 10_000);
+    let io = kv.io().snapshot();
+    let series_written = {
+        let mut seen = vec![false; series_count];
+        for (s, _) in &plan {
+            seen[*s] = true;
+        }
+        seen.iter().filter(|b| **b).count()
+    };
+    let entries = fs_entries(&dir);
+
+    drop(kv);
+    let reopen_start = Instant::now();
+    let kv = TsKv::open(&dir, engine_config()).expect("reopen cardinality store");
+    let cold_open_ms = reopen_start.elapsed().as_secs_f64() * 1e3;
+    let reopen_stores = kv.io().snapshot().stores_instantiated;
+    drop(kv);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let points_written = written.load(Ordering::Relaxed);
+    CardinalityRow {
+        series_count,
+        zipf_s,
+        ooo_frac,
+        batches,
+        points_written,
+        series_written,
+        ingest_elapsed_ms,
+        points_per_sec: if ingest_elapsed_ms > 0.0 {
+            points_written as f64 / (ingest_elapsed_ms / 1e3)
+        } else {
+            f64::INFINITY
+        },
+        oracle_match,
+        catalog_hits: io.catalog_hits,
+        catalog_misses: io.catalog_misses,
+        stores_instantiated: io.stores_instantiated,
+        fs_entries: entries,
+        cold_open_ms,
+        reopen_stores,
+        lookup_us,
+    }
+}
+
+/// The registration cell: `registered` series interned up front, data
+/// written into only the first `hot` of them, then a full dense-id
+/// flush sweep, a cold open, and lookup timing.
+pub fn run_registration(h: &Harness, registered: usize, hot: usize) -> RegistrationRow {
+    let dir = h.root.join(format!("card-reg-{registered}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create registration dir");
+    let kv = TsKv::open(&dir, engine_config()).expect("open registration store");
+
+    let start = Instant::now();
+    let mut ids = Vec::with_capacity(registered);
+    for i in 0..registered {
+        ids.push(kv.create_series(&series_name(i)).expect("register"));
+    }
+    let register_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(kv.series_count(), registered);
+
+    let hot = hot.min(registered);
+    for (i, id) in ids.iter().take(hot).enumerate() {
+        let pts: Vec<tsfile::Point> = (0..64i64)
+            .map(|k| tsfile::Point::new(k * 1_000, (i as i64 + k) as f64))
+            .collect();
+        kv.insert_batch_by_id(*id, &pts).expect("hot ingest");
+    }
+
+    // The all-series flush sweeps every dense id; cold ids must cost a
+    // map lookup each, nothing more.
+    let start = Instant::now();
+    kv.flush_all().expect("flush sweep");
+    let flush_all_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let catalog_log_bytes = std::fs::metadata(dir.join("catalog.log"))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    let entries = fs_entries(&dir);
+    let lookup_us = time_lookups(&kv, registered, 10_000);
+
+    drop(kv);
+    let reopen_start = Instant::now();
+    let kv = TsKv::open(&dir, engine_config()).expect("cold open");
+    let cold_open_ms = reopen_start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(kv.series_count(), registered, "catalog must recover");
+    let reopen_stores = kv.io().snapshot().stores_instantiated;
+    drop(kv);
+    std::fs::remove_dir_all(&dir).ok();
+
+    RegistrationRow {
+        registered,
+        hot,
+        register_ms,
+        catalog_log_bytes,
+        flush_all_ms,
+        fs_entries: entries,
+        cold_open_ms,
+        reopen_stores,
+        lookup_us,
+    }
+}
+
+/// Grep-level pin of the zero-String steady-state claim: the
+/// scheduler loop, change notifications, shared WAL and decoded-chunk
+/// cache contain no `String` at all, dashboards key on `SeriesId`,
+/// and compaction candidates travel as dense ids. Returns the first
+/// violation, or `None` when the claim holds.
+pub fn hot_path_string_violation() -> Option<String> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let read = |rel: &str| {
+        std::fs::read_to_string(root.join(rel))
+            .unwrap_or_else(|e| panic!("read {rel} for hot-path check: {e}"))
+    };
+    for rel in [
+        "../tskv/src/notify.rs",
+        "../tskv/src/shard_wal.rs",
+        "../tskv/src/cache.rs",
+    ] {
+        if read(rel).contains("String") {
+            return Some(format!("{rel} mentions String"));
+        }
+    }
+    let scheduler = read("../tskv/src/scheduler.rs");
+    let run_loop = scheduler
+        .split_once("fn run_loop")
+        .map(|(_, body)| body)
+        .unwrap_or("");
+    for needle in ["String", "to_string", "format!"] {
+        if run_loop.contains(needle) {
+            return Some(format!("scheduler run_loop mentions {needle}"));
+        }
+    }
+    if !read("../tskv/src/engine.rs").contains("fn compaction_candidates(&self) -> Vec<SeriesId>") {
+        return Some("compaction candidates are not Vec<SeriesId>".to_string());
+    }
+    let sub = read("../tsnet/src/sub.rs");
+    let dash = sub
+        .split_once("struct DashKey")
+        .and_then(|(_, rest)| rest.split_once('}'))
+        .map(|(body, _)| body)
+        .unwrap_or("");
+    if !dash.contains("series: SeriesId") {
+        return Some("DashKey is not keyed by SeriesId".to_string());
+    }
+    None
+}
+
+/// `true` when the steady-state paths are String-free (see
+/// [`hot_path_string_violation`]).
+pub fn hot_path_string_free() -> bool {
+    match hot_path_string_violation() {
+        None => true,
+        Some(v) => {
+            println!("-- cardinality: hot-path String check FAILED: {v}");
+            false
+        }
+    }
+}
+
+/// Pretty-print the grid and the registration cell.
+pub fn print(registration: &RegistrationRow, rows: &[CardinalityRow]) {
+    println!(
+        "{:<7} {:>5} {:>5} {:>9} {:>8} {:>11} {:>7} {:>8} {:>8} {:>9} {:>9} {:>8}",
+        "series",
+        "zipf",
+        "ooo",
+        "points",
+        "written",
+        "pts/sec",
+        "oracle",
+        "stores",
+        "fs",
+        "open_ms",
+        "lookup_us",
+        "misses"
+    );
+    for r in rows {
+        println!(
+            "{:<7} {:>5} {:>5} {:>9} {:>8} {:>11.0} {:>7} {:>8} {:>8} {:>9.1} {:>9.2} {:>8}",
+            r.series_count,
+            r.zipf_s,
+            r.ooo_frac,
+            r.points_written,
+            r.series_written,
+            r.points_per_sec,
+            r.oracle_match,
+            r.stores_instantiated,
+            r.fs_entries,
+            r.cold_open_ms,
+            r.lookup_us,
+            r.catalog_misses
+        );
+    }
+    let reg = registration;
+    println!(
+        "-- registration: {} series in {:.0} ms ({:.1} µs each), catalog {} KiB, \
+         {} fs entries, flush-all sweep {:.0} ms, cold open {:.0} ms ({} stores), \
+         lookup {:.2} µs",
+        reg.registered,
+        reg.register_ms,
+        reg.register_ms * 1e3 / reg.registered.max(1) as f64,
+        reg.catalog_log_bytes / 1024,
+        reg.fs_entries,
+        reg.flush_all_ms,
+        reg.cold_open_ms,
+        reg.reopen_stores,
+        reg.lookup_us
+    );
+}
+
+/// Headline claims.
+pub fn summarize(registration: &RegistrationRow, rows: &[CardinalityRow]) {
+    let all_match = rows.iter().all(|r| r.oracle_match);
+    println!(
+        "-- cardinality: oracle_match at every cell: {all_match} ({} cells)",
+        rows.len()
+    );
+    let fs_per_kseries =
+        registration.fs_entries as f64 * 1_000.0 / registration.registered.max(1) as f64;
+    println!(
+        "-- cardinality: {:.2} fs entries per 1k registered series ({} total for {} series)",
+        fs_per_kseries, registration.fs_entries, registration.registered
+    );
+    println!(
+        "-- cardinality: hot-path String-free: {}",
+        hot_path_string_free()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cell_matches_oracle_and_stays_lazy() {
+        let h = Harness::new(0.002, 1);
+        let r = run_cell(&h, 64, 1.2, 0.3, 150);
+        h.cleanup();
+        assert!(r.oracle_match, "{r:?}");
+        assert!(r.points_written > 0);
+        assert_eq!(r.stores_instantiated, r.series_written as u64, "{r:?}");
+        // Only shard dirs + hot series' files — far fewer entries than
+        // a dir-per-series layout would create.
+        assert!(
+            r.fs_entries < 64 + 2 * r.series_written as u64 + 32,
+            "{r:?}"
+        );
+        assert!(r.catalog_misses >= 64, "registration misses: {r:?}");
+        assert!(r.catalog_hits >= 10_000, "lookup probes: {r:?}");
+    }
+
+    #[test]
+    fn registration_cell_keeps_cold_series_free() {
+        let h = Harness::new(0.002, 1);
+        let r = run_registration(&h, 5_000, 16);
+        h.cleanup();
+        assert_eq!(r.registered, 5_000);
+        assert_eq!(r.hot, 16);
+        // Sub-linear on-disk presence: fs entries bounded by shards +
+        // hot files, nowhere near one per registered series.
+        assert!(r.fs_entries < 200, "{r:?}");
+        assert_eq!(r.reopen_stores, 16, "only hot series recover stores");
+        assert!(r.catalog_log_bytes > 0);
+    }
+
+    #[test]
+    fn hot_paths_are_string_free() {
+        assert_eq!(hot_path_string_violation(), None);
+    }
+}

@@ -3,6 +3,7 @@
 //! printing entry point (descriptive artifacts like Table 2 / Figure 8).
 
 pub mod ablation;
+pub mod cardinality;
 pub mod compaction;
 pub mod decode;
 pub mod fig10;

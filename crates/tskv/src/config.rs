@@ -129,6 +129,20 @@ pub struct EngineConfig {
     /// re-encode path for every page (the benchmark's full-rewrite
     /// baseline).
     pub compaction_clean_page_copy: bool,
+    /// Number of hash-sharded storage directories (`shard-NNN/`) the
+    /// store's data files and shared WALs are spread across. Fixed at
+    /// store creation: the first open writes it to the `SHARDS` meta
+    /// file and later opens use the pinned value regardless of this
+    /// knob. Must be in `1..=1024`.
+    pub storage_shards: usize,
+    /// Maximum number of series the catalog will intern. Registration
+    /// past this fails with `CatalogFull`. Must be in `1..=2^32`
+    /// (series ids are dense `u32`s).
+    pub catalog_max_series: u64,
+    /// Size at which a shared WAL segment file is sealed and a fresh
+    /// one opened (reclamation works at segment granularity). Must be
+    /// in `1..=1 GiB`.
+    pub wal_segment_bytes: u64,
 }
 
 impl Default for EngineConfig {
@@ -152,6 +166,9 @@ impl Default for EngineConfig {
             compaction_interval_ms: 20,
             compaction_policy: CompactionPolicyKind::Full,
             compaction_clean_page_copy: true,
+            storage_shards: 16,
+            catalog_max_series: 1 << 24,
+            wal_segment_bytes: 8 * 1024 * 1024,
         }
     }
 }
@@ -171,6 +188,15 @@ pub const MAX_WAL_BATCH_BYTES: usize = 1 << 30;
 /// Upper bound on [`EngineConfig::compaction_interval_ms`] (1 minute —
 /// a slower scheduler is indistinguishable from a disabled one).
 pub const MAX_COMPACTION_INTERVAL_MS: u64 = 60_000;
+
+/// Upper bound on [`EngineConfig::storage_shards`].
+pub const MAX_STORAGE_SHARDS: usize = 1024;
+
+/// Upper bound on [`EngineConfig::catalog_max_series`] (ids are `u32`).
+pub const MAX_CATALOG_SERIES: u64 = 1 << 32;
+
+/// Upper bound on [`EngineConfig::wal_segment_bytes`] (1 GiB).
+pub const MAX_WAL_SEGMENT_BYTES: u64 = 1 << 30;
 
 impl EngineConfig {
     /// Validate and clamp nonsensical settings (zero sizes become 1).
@@ -271,6 +297,48 @@ impl EngineConfig {
                 reason: "exceeds the 60 s ceiling",
             });
         }
+        if self.storage_shards == 0 {
+            return Err(crate::TsKvError::InvalidConfig {
+                field: "storage_shards",
+                value: 0,
+                reason: "must be at least 1",
+            });
+        }
+        if self.storage_shards > MAX_STORAGE_SHARDS {
+            return Err(crate::TsKvError::InvalidConfig {
+                field: "storage_shards",
+                value: self.storage_shards as u64,
+                reason: "exceeds the 1024-shard ceiling",
+            });
+        }
+        if self.catalog_max_series == 0 {
+            return Err(crate::TsKvError::InvalidConfig {
+                field: "catalog_max_series",
+                value: 0,
+                reason: "must be at least 1",
+            });
+        }
+        if self.catalog_max_series > MAX_CATALOG_SERIES {
+            return Err(crate::TsKvError::InvalidConfig {
+                field: "catalog_max_series",
+                value: self.catalog_max_series,
+                reason: "series ids are u32: at most 2^32 series",
+            });
+        }
+        if self.wal_segment_bytes == 0 {
+            return Err(crate::TsKvError::InvalidConfig {
+                field: "wal_segment_bytes",
+                value: 0,
+                reason: "must be nonzero",
+            });
+        }
+        if self.wal_segment_bytes > MAX_WAL_SEGMENT_BYTES {
+            return Err(crate::TsKvError::InvalidConfig {
+                field: "wal_segment_bytes",
+                value: self.wal_segment_bytes,
+                reason: "exceeds the 1 GiB ceiling",
+            });
+        }
         Ok(())
     }
 }
@@ -336,6 +404,61 @@ mod tests {
         assert_eq!(FsyncPolicy::OnFlush.as_str(), "on_flush");
         assert_eq!(FsyncPolicy::Never.as_str(), "never");
         assert_eq!(FsyncPolicy::default(), FsyncPolicy::OnFlush);
+    }
+
+    #[test]
+    fn validate_rejects_bad_cardinality_knobs() {
+        use crate::TsKvError;
+        let cases: [(EngineConfig, &str); 6] = [
+            (
+                EngineConfig {
+                    storage_shards: 0,
+                    ..Default::default()
+                },
+                "storage_shards",
+            ),
+            (
+                EngineConfig {
+                    storage_shards: MAX_STORAGE_SHARDS + 1,
+                    ..Default::default()
+                },
+                "storage_shards",
+            ),
+            (
+                EngineConfig {
+                    catalog_max_series: 0,
+                    ..Default::default()
+                },
+                "catalog_max_series",
+            ),
+            (
+                EngineConfig {
+                    catalog_max_series: MAX_CATALOG_SERIES + 1,
+                    ..Default::default()
+                },
+                "catalog_max_series",
+            ),
+            (
+                EngineConfig {
+                    wal_segment_bytes: 0,
+                    ..Default::default()
+                },
+                "wal_segment_bytes",
+            ),
+            (
+                EngineConfig {
+                    wal_segment_bytes: MAX_WAL_SEGMENT_BYTES + 1,
+                    ..Default::default()
+                },
+                "wal_segment_bytes",
+            ),
+        ];
+        for (config, want_field) in cases {
+            match config.validate() {
+                Err(TsKvError::InvalidConfig { field, .. }) => assert_eq!(field, want_field),
+                other => panic!("expected InvalidConfig for {want_field}, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -1,22 +1,46 @@
 //! The storage engine: series management, write path, flush, delete,
 //! snapshot, and recovery from disk.
 //!
+//! ## Identity and layout
+//!
+//! Every series is interned once into a dense [`SeriesId`] by the
+//! persistent [`SeriesCatalog`] at the store root; all internal state
+//! — stripe maps, flush bookkeeping, compaction candidate lists,
+//! change events — is keyed on that id, so the steady-state ingest and
+//! query paths never hash or clone a series *name*. Names survive only
+//! at the [`TsKv`] facade, where each request resolves its name to an
+//! id exactly once.
+//!
+//! On disk the store is hash-sharded, not one-directory-per-series:
+//! `storage_shards` fixed directories `shard-0000`, `shard-0001`, …
+//! (the count is pinned by the `SHARDS` meta file at first open, so a
+//! later config change cannot orphan data). A series' sealed files
+//! live in shard `id % storage_shards` as `s<id>-<fileno>.tsfile`
+//! (plus `.mods`), and each shard has one shared, per-record-tagged
+//! [`ShardWal`] instead of a per-series log. A registered-but-cold
+//! series therefore costs two map entries and zero files or
+//! directories — a million registered series open in catalog-replay
+//! time, and in-memory [`SeriesStore`] state is instantiated lazily on
+//! first touch. Stores laid out the old way (one directory per series)
+//! are migrated in place on open.
+//!
 //! ## Lock discipline
 //!
-//! Series state is partitioned into `write_shards` lock-striped shards
-//! keyed by series-name hash; each shard's map sits behind its own
-//! `RwLock`, so writers to series in different shards never contend.
-//! The xtask L2 lint bans holding any of those locks across file I/O
-//! or chunk decode, so every heavy operation is split into short
-//! locked phases around an unlocked I/O phase:
+//! In-memory series state is partitioned into `write_shards`
+//! lock-striped stripes keyed by `id % write_shards`; each stripe's map
+//! sits behind its own `RwLock`, so writers to series in different
+//! stripes never contend. The xtask L2 lint bans holding any of those
+//! locks across file I/O or chunk decode, so every heavy operation is
+//! split into short locked phases around an unlocked I/O phase:
 //!
-//! * **Flush** — phase A (locked): rotate the WAL, drain the memtable,
-//!   reserve chunk versions, and park the drained points in
-//!   [`SeriesStore::flushing`] so concurrent snapshots still see them.
-//!   Phase B (unlocked): encode and seal the TsFile. Phase C (locked):
-//!   install the file, attach deletes that arrived mid-flush, discard
-//!   the WAL's sealed segment — or, on failure, return the points to
-//!   the memtable (anything newer that landed meanwhile wins).
+//! * **Flush** — phase A (locked): mark the drain point in the shard
+//!   WAL, drain the memtable, reserve chunk versions, and park the
+//!   drained points in [`SeriesStore::flushing`] so concurrent
+//!   snapshots still see them. Phase B (unlocked): encode and seal the
+//!   TsFile. Phase C (locked): install the file, attach deletes that
+//!   arrived mid-flush, mark the series' WAL records covered — or, on
+//!   failure, return the points to the memtable (anything newer that
+//!   landed meanwhile wins).
 //! * **Compaction** — same shape; the input run (chosen under the
 //!   lock, by the configured [`crate::compaction::policy`] for
 //!   scheduler-driven runs) is captured as metadata, merged and
@@ -26,12 +50,14 @@
 //!   deletes issued during the merge have versions above the capture
 //!   ceiling and their mods entries are carried onto the new file at
 //!   install time.
-//! * WAL appends, the group-commit drain, and the O(1) segment
-//!   rotation stay under the shard lock on purpose: serializing
-//!   durability appends against the buffered state they describe is
-//!   what the lock is *for* (see DESIGN.md).
+//! * Shard-WAL appends and the group-commit drain stay under the
+//!   stripe lock on purpose: serializing durability appends against
+//!   the buffered state they describe is what the lock is *for* (see
+//!   DESIGN.md). The WAL's own short mutex nests strictly inside the
+//!   stripe lock and stripe locks are never nested with each other, so
+//!   the order is acyclic.
 //! * **Background compaction** — when `compaction_auto` is on, a
-//!   scheduler thread ([`crate::scheduler`]) scans the shards with
+//!   scheduler thread ([`crate::scheduler`]) scans the stripes with
 //!   short read guards for series whose sealed-file count crossed
 //!   `compaction_threshold`, then runs the same phased [`compact`]
 //!   entirely off-lock.
@@ -39,7 +65,6 @@
 //! [`compact`]: TsKv::compact
 
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -51,19 +76,26 @@ use tsfile::{ModEntry, ModsFile, TsFileReader, TsFileWriter};
 
 use crate::batch::WriteBatch;
 use crate::cache::DecodedChunkCache;
+use crate::catalog::{SeriesCatalog, SeriesId};
 use crate::chunk::ChunkHandle;
 use crate::compaction::plan::{self, ChunkView, PageView};
 use crate::compaction::policy::{CompactionPolicy, FileView};
 use crate::compaction::{execute, CompactionReport};
-use crate::config::{EngineConfig, FsyncPolicy};
+use crate::config::{EngineConfig, FsyncPolicy, MAX_STORAGE_SHARDS};
 use crate::memtable::MemTable;
 use crate::notify::{ChangeEvent, ChangeRx, ChangeSink};
 use crate::scheduler::CompactionScheduler;
+use crate::shard_wal::ShardWal;
 use crate::snapshot::SeriesSnapshot;
 use crate::stats::IoStats;
 use crate::version::VersionAllocator;
 use crate::wal::{Wal, WalRecord};
 use crate::{Result, TsKvError};
+
+/// Meta file at the store root pinning the storage-shard count. Its
+/// presence also marks a store as using the sharded layout (absence
+/// plus series directories means a legacy store awaiting migration).
+const SHARDS_META: &str = "SHARDS";
 
 /// One sealed TsFile plus its delete log.
 #[derive(Debug)]
@@ -92,12 +124,13 @@ struct FlushInFlight {
     last_version: Version,
 }
 
-/// Per-series state: the memtable, its WAL, and the sealed files.
+/// Per-series in-memory state: the memtable and the sealed-file list.
+/// Directories and WAL handles live at the storage-shard level, so a
+/// cold series is exactly this struct's `Default`-sized footprint —
+/// and it is not even allocated until the series is first touched.
 #[derive(Debug)]
 struct SeriesStore {
-    dir: PathBuf,
     memtable: MemTable,
-    wal: Option<Wal>,
     files: Vec<TsFileResource>,
     next_file_id: u64,
     /// Set while a flush's unlocked sealing phase runs.
@@ -110,21 +143,13 @@ struct SeriesStore {
 }
 
 impl SeriesStore {
-    fn wal_path(dir: &Path) -> PathBuf {
-        dir.join("series.wal")
+    fn new() -> Self {
+        Self::assemble(MemTable::new(), Vec::new(), 0)
     }
 
-    fn assemble(
-        dir: PathBuf,
-        memtable: MemTable,
-        wal: Option<Wal>,
-        files: Vec<TsFileResource>,
-        next_file_id: u64,
-    ) -> Self {
+    fn assemble(memtable: MemTable, files: Vec<TsFileResource>, next_file_id: u64) -> Self {
         SeriesStore {
-            dir,
             memtable,
-            wal,
             files,
             next_file_id,
             flushing: None,
@@ -149,12 +174,22 @@ enum FlushPrep {
     },
 }
 
-/// One lock stripe of the series map. Writers to series in different
-/// shards never contend; the stripe count is
-/// [`EngineConfig::write_shards`].
+/// One lock stripe of the series map, keyed on `id % write_shards`.
+/// Writers to series in different stripes never contend.
 #[derive(Debug)]
 struct Shard {
-    series: RwLock<HashMap<String, SeriesStore>>,
+    series: RwLock<HashMap<SeriesId, SeriesStore>>,
+}
+
+/// One on-disk storage shard: a directory holding the sealed files of
+/// every series with `id % storage_shards == index`, plus their shared
+/// write-ahead log. `wal` is `None` when the WAL is disabled by
+/// config (the log is still *replayed* at open for parity with stores
+/// written while it was enabled).
+#[derive(Debug)]
+struct StorageShard {
+    dir: PathBuf,
+    wal: Option<ShardWal>,
 }
 
 /// Shared engine state. [`TsKv`] and the background compaction
@@ -165,7 +200,10 @@ pub(crate) struct EngineInner {
     dir: PathBuf,
     config: EngineConfig,
     alloc: VersionAllocator,
+    /// Persistent name↔id interning table (see [`crate::catalog`]).
+    catalog: SeriesCatalog,
     shards: Vec<Shard>,
+    storage: Vec<StorageShard>,
     io: Arc<IoStats>,
     /// Cross-query decoded-chunk LRU; `None` when disabled by config.
     cache: Option<Arc<DecodedChunkCache>>,
@@ -173,7 +211,7 @@ pub(crate) struct EngineInner {
     /// [`EngineConfig::compaction_policy`] at open.
     policy: Box<dyn CompactionPolicy>,
     /// Change-notification fan-out (see [`crate::notify`]). Publishes
-    /// happen after the owning shard lock is released, so a slow
+    /// happen after the owning stripe lock is released, so a slow
     /// listener can never extend lock hold times; cross-thread event
     /// order is therefore best-effort, and consumers reconcile via
     /// their dirty-span repair path.
@@ -192,7 +230,7 @@ enum CompactMode {
 /// The LSM time series store.
 ///
 /// See the crate docs for the data model. All methods are `&self`;
-/// internal state is lock-striped behind per-shard
+/// internal state is lock-striped behind per-stripe
 /// [`parking_lot::RwLock`]s.
 #[derive(Debug)]
 pub struct TsKv {
@@ -215,36 +253,178 @@ fn validate_series_name(name: &str) -> Result<()> {
     }
 }
 
-/// Recover one series directory: sealed TsFiles, their delete logs,
-/// and the unflushed memtable contents replayed from the series' WAL
-/// (sealed segment first, so an interrupted flush loses nothing).
-/// Runs with no engine lock held — recovery parallelizes these calls
-/// across series.
-fn recover_series_dir(
-    sdir: &Path,
-    config: &EngineConfig,
-    alloc: &VersionAllocator,
-) -> Result<SeriesStore> {
-    let mut paths: Vec<(u64, PathBuf)> = Vec::new();
-    for f in std::fs::read_dir(sdir)? {
-        let f = f?;
-        let path = f.path();
-        if path.extension().and_then(|e| e.to_str()) != Some("tsfile") {
+/// Directory name of storage shard `i`. Four digits cover
+/// [`MAX_STORAGE_SHARDS`] and keep lexicographic order equal to
+/// numeric order.
+fn storage_dir_name(i: usize) -> String {
+    format!("shard-{i:04}")
+}
+
+/// Whether `name` is a storage-shard directory name (reserved; never a
+/// legacy series directory).
+fn is_storage_dir_name(name: &str) -> bool {
+    name.strip_prefix("shard-")
+        .is_some_and(|d| d.len() == 4 && d.chars().all(|c| c.is_ascii_digit()))
+}
+
+/// Parse a sharded-layout data-file stem `s<id>-<fileno>` back into
+/// its series id and file number.
+fn parse_data_stem(stem: &str) -> Option<(SeriesId, u64)> {
+    let rest = stem.strip_prefix('s')?;
+    let (id, fileno) = rest.split_once('-')?;
+    Some((SeriesId(id.parse().ok()?), fileno.parse().ok()?))
+}
+
+/// Write (and sync) the `SHARDS` meta file pinning the shard count.
+fn write_shards_meta(dir: &Path, n: usize) -> Result<()> {
+    use std::io::Write as _;
+    let mut f = std::fs::File::create(dir.join(SHARDS_META))?;
+    f.write_all(format!("{n}\n").as_bytes())?;
+    f.sync_data()?;
+    Ok(())
+}
+
+/// The storage-shard count this store was created with. The first open
+/// pins the configured value into the `SHARDS` meta file; every later
+/// open uses the pinned value (the configured one only seeds new
+/// stores — data placement must never move under a config edit).
+fn pinned_storage_shards(dir: &Path, configured: usize) -> Result<usize> {
+    match std::fs::read_to_string(dir.join(SHARDS_META)) {
+        Ok(s) => {
+            let n: usize = s.trim().parse().map_err(|_| {
+                TsKvError::Corrupt(format!("SHARDS meta: unparseable shard count {s:?}"))
+            })?;
+            if n == 0 || n > MAX_STORAGE_SHARDS {
+                return Err(TsKvError::Corrupt(format!(
+                    "SHARDS meta: shard count {n} out of range (1..={MAX_STORAGE_SHARDS})"
+                )));
+            }
+            Ok(n)
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            write_shards_meta(dir, configured)?;
+            Ok(configured)
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Series directories of a *legacy* (pre-sharded, one-directory-per-
+/// series) store: empty unless the `SHARDS` meta file is absent.
+/// Storage-shard directory names are reserved and skipped, so a crash
+/// mid-migration (shard dirs created, `SHARDS` not yet written) never
+/// re-interprets them as series on the retry.
+fn legacy_series_dirs(dir: &Path) -> Result<Vec<(String, PathBuf)>> {
+    if dir.join(SHARDS_META).exists() {
+        return Ok(Vec::new());
+    }
+    let mut dirs: Vec<(String, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
             continue;
         }
-        let id: u64 = path
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0);
-        paths.push((id, path));
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if is_storage_dir_name(&name) || validate_series_name(&name).is_err() {
+            continue; // reserved or foreign directory; ignore
+        }
+        dirs.push((name, entry.path()));
     }
-    paths.sort_by_key(|(id, _)| *id);
-    let next_file_id = paths.last().map(|(id, _)| id + 1).unwrap_or(0);
-    // File ids are only creation order. A policy compaction installs
-    // its output (highest id) in the *middle* of the version-ordered
-    // file list, so after a restart id order and version order can
-    // disagree; the version sort below restores the engine invariant.
+    dirs.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(dirs)
+}
+
+/// One-time in-place migration of a legacy one-directory-per-series
+/// store into the sharded layout: intern every name (sorted, so ids
+/// are deterministic), move each sealed file to its shard directory
+/// under the `s<id>-` prefix, transcribe each series' surviving WAL
+/// state into the shard's tagged log, and delete the series directory.
+/// The `SHARDS` meta file is written **last** — its presence marks the
+/// migration complete, so a crash partway is retried on the next open
+/// (interning is idempotent, finished renames are skipped because the
+/// source directory scan no longer finds them, and re-transcribed WAL
+/// records only produce duplicate points, which the latest-wins merge
+/// discards).
+fn migrate_legacy_layout(
+    dir: &Path,
+    series_dirs: &[(String, PathBuf)],
+    config: &EngineConfig,
+    io: &Arc<IoStats>,
+) -> Result<()> {
+    let n = config.storage_shards;
+    let catalog = SeriesCatalog::open(dir, config.catalog_max_series, Arc::clone(io))?;
+    let mut wals: Vec<ShardWal> = Vec::with_capacity(n);
+    for i in 0..n {
+        let sdir = dir.join(storage_dir_name(i));
+        std::fs::create_dir_all(&sdir)?;
+        let (wal, _) = ShardWal::open(&sdir, 0, config.wal_segment_bytes)?;
+        wals.push(wal);
+    }
+    for (name, sdir) in series_dirs {
+        let id = catalog.intern(name)?;
+        let target = dir.join(storage_dir_name(id.index() % n));
+        for entry in std::fs::read_dir(sdir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let ext = path.extension().and_then(|e| e.to_str());
+            // Quarantined `*.corrupt` files move along for forensics.
+            if !matches!(ext, Some("tsfile") | Some("mods") | Some("corrupt")) {
+                continue;
+            }
+            let Some(fname) = path.file_name().and_then(|f| f.to_str()) else {
+                continue;
+            };
+            std::fs::rename(&path, target.join(format!("s{}-{fname}", id.0)))?;
+        }
+        // Transcribe the surviving (unflushed) WAL state, tagged with
+        // the interned id. `Wal::replay` already folds the sealed
+        // segment first and skips covered records.
+        let records = Wal::replay(sdir.join("series.wal"))?;
+        if let Some(wal) = wals.get(id.index() % n) {
+            for record in &records {
+                match record {
+                    WalRecord::Insert(points) => wal.append_inserts(id, points)?,
+                    WalRecord::Delete { version, range } => {
+                        wal.append_delete(id, *version, *range)?;
+                    }
+                }
+            }
+            if !records.is_empty() {
+                wal.commit(false)?;
+            }
+        }
+        std::fs::remove_dir_all(sdir)?;
+    }
+    for wal in &wals {
+        wal.sync()?;
+    }
+    catalog.sync_if_dirty()?;
+    // Last: marks the migration complete.
+    write_shards_meta(dir, n)
+}
+
+/// Recovery input for one series: its sealed data files (sorted by
+/// file number) and the WAL records a restart must re-apply.
+type RecoveryWork = (SeriesId, Vec<(u64, PathBuf)>, Vec<WalRecord>);
+
+/// Scanned-but-unmerged recovery state per series: data files paired
+/// with replayed WAL records.
+type RecoveryParts = (Vec<(u64, PathBuf)>, Vec<WalRecord>);
+
+/// Recover one series from its scanned data files plus replayed WAL
+/// records. Runs with no engine lock held — recovery parallelizes
+/// these calls across series.
+fn recover_series(
+    paths: &[(u64, PathBuf)],
+    records: &[WalRecord],
+    alloc: &VersionAllocator,
+) -> Result<SeriesStore> {
+    let next_file_id = paths.last().map(|(no, _)| no + 1).unwrap_or(0);
+    // File numbers are only creation order. A policy compaction
+    // installs its output (highest number) in the *middle* of the
+    // version-ordered file list, so after a restart number order and
+    // version order can disagree; the version sort below restores the
+    // engine invariant.
     let newest = paths.len().saturating_sub(1);
     let mut files: Vec<TsFileResource> = Vec::new();
     for (i, (_, path)) in paths.iter().enumerate() {
@@ -267,8 +447,8 @@ fn recover_series_dir(
         }
         files.push(TsFileResource { reader, mods });
     }
-    // Version order, not id order (see above). The sort is stable, so
-    // degenerate chunkless files keep their id order at the end.
+    // Version order, not number order (see above). The sort is stable,
+    // so degenerate chunkless files keep their number order at the end.
     files.sort_by_key(|res| {
         res.reader
             .chunk_metas()
@@ -277,29 +457,25 @@ fn recover_series_dir(
             .min()
             .unwrap_or(u64::MAX)
     });
-    // Replay the WAL (if any) into a fresh memtable, restoring
+    // Replay the WAL records into a fresh memtable, restoring
     // unflushed state in operation order. Versioned deletes are
-    // re-attached to any overlapping sealed file whose mods log
-    // missed them (crash between the WAL and mods appends).
+    // re-attached to any overlapping sealed file whose mods log missed
+    // them (crash between the WAL and mods appends).
     let mut memtable = MemTable::new();
-    let wal_path = SeriesStore::wal_path(sdir);
-    for record in Wal::replay(&wal_path)? {
+    for record in records {
         match record {
             WalRecord::Insert(points) => {
                 for p in points {
-                    memtable.insert(p);
+                    memtable.insert(*p);
                 }
             }
             WalRecord::Delete { version, range } => {
-                memtable.delete_range(range);
-                alloc.observe(version);
-                let entry = ModEntry::new(version, range.start, range.end);
+                memtable.delete_range(*range);
+                alloc.observe(*version);
+                let entry = ModEntry::new(*version, range.start, range.end);
                 for res in &mut files {
-                    let overlaps = res
-                        .time_range()
-                        .map(|r| r.overlaps(&range))
-                        .unwrap_or(false);
-                    let known = res.mods.entries().iter().any(|m| m.version == version);
+                    let overlaps = res.time_range().map(|r| r.overlaps(range)).unwrap_or(false);
+                    let known = res.mods.entries().iter().any(|m| m.version == *version);
                     if overlaps && !known {
                         res.mods.append(entry)?;
                     }
@@ -307,71 +483,56 @@ fn recover_series_dir(
             }
         }
     }
-    let wal = if config.enable_wal {
-        Some(Wal::open_grouped(&wal_path, config.wal_batch_bytes)?)
-    } else {
-        None
-    };
-    Ok(SeriesStore::assemble(
-        sdir.to_path_buf(),
-        memtable,
-        wal,
-        files,
-        next_file_id,
-    ))
+    Ok(SeriesStore::assemble(memtable, files, next_file_id))
 }
 
-/// Recover every series directory, fanning the per-series work across
-/// up to `write_shards` scoped threads (same claim-by-atomic-cursor
-/// shape as `m4::pool`). Results come back in `dirs` order; the first
-/// error (in that order) wins, matching sequential recovery.
+/// Recover every series with on-disk or WAL state, fanning the
+/// per-series work across up to `workers` scoped threads (same
+/// claim-by-atomic-cursor shape as `m4::pool`). Results come back in
+/// `work` order; the first error (in that order) wins, matching
+/// sequential recovery.
 fn recover_all(
-    dirs: &[(String, PathBuf)],
-    config: &EngineConfig,
+    work: &[RecoveryWork],
+    workers: usize,
     alloc: &VersionAllocator,
-) -> Result<Vec<(String, SeriesStore)>> {
-    let workers = config.write_shards.min(dirs.len());
+) -> Result<Vec<(SeriesId, SeriesStore)>> {
+    let workers = workers.min(work.len());
     if workers <= 1 {
-        let mut out = Vec::with_capacity(dirs.len());
-        for (name, sdir) in dirs {
-            out.push((name.clone(), recover_series_dir(sdir, config, alloc)?));
+        let mut out = Vec::with_capacity(work.len());
+        for (id, paths, records) in work {
+            out.push((*id, recover_series(paths, records, alloc)?));
         }
         return Ok(out);
     }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<SeriesStore>>>> =
-        dirs.iter().map(|_| Mutex::new(None)).collect();
+        work.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some((_, sdir)) = dirs.get(i) else { break };
-                let res = recover_series_dir(sdir, config, alloc);
+                let Some((_, paths, records)) = work.get(i) else {
+                    break;
+                };
+                let res = recover_series(paths, records, alloc);
                 if let Some(slot) = slots.get(i) {
                     *slot.lock() = Some(res);
                 }
             });
         }
     });
-    let mut out = Vec::with_capacity(dirs.len());
-    for ((name, sdir), slot) in dirs.iter().zip(slots) {
+    let mut out = Vec::with_capacity(work.len());
+    for ((id, paths, records), slot) in work.iter().zip(slots) {
         match slot.into_inner() {
-            Some(Ok(store)) => out.push((name.clone(), store)),
+            Some(Ok(store)) => out.push((*id, store)),
             Some(Err(e)) => return Err(e),
             // A worker can only leave a slot empty by panicking, which
             // the workspace forbids; recover the series inline rather
             // than guessing.
-            None => out.push((name.clone(), recover_series_dir(sdir, config, alloc)?)),
+            None => out.push((*id, recover_series(paths, records, alloc)?)),
         }
     }
     Ok(out)
-}
-
-/// Stripe index for `name` among `n` shards.
-fn shard_of(name: &str, n: usize) -> usize {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    name.hash(&mut h);
-    (h.finish() as usize) % n.max(1)
 }
 
 impl EngineInner {
@@ -381,36 +542,97 @@ impl EngineInner {
         std::fs::create_dir_all(&dir)?;
         let config = config.normalized();
         config.validate()?;
+        let io = Arc::new(IoStats::default());
+
+        // Legacy layout? Migrate in place before anything else looks
+        // at the directory tree.
+        let legacy = legacy_series_dirs(&dir)?;
+        if !legacy.is_empty() {
+            migrate_legacy_layout(&dir, &legacy, &config, &io)?;
+        }
+        let n_storage = pinned_storage_shards(&dir, config.storage_shards)?;
+        let catalog = SeriesCatalog::open(&dir, config.catalog_max_series, Arc::clone(&io))?;
         let alloc = VersionAllocator::default();
 
-        let mut dirs: Vec<(String, PathBuf)> = Vec::new();
-        for entry in std::fs::read_dir(&dir)? {
-            let entry = entry?;
-            if !entry.file_type()?.is_dir() {
-                continue;
+        // Scan each storage shard: collect data files per series and
+        // replay the shard's WAL. Cold series (registered, no data, no
+        // WAL records) never appear here and cost nothing.
+        let mut storage: Vec<StorageShard> = Vec::with_capacity(n_storage);
+        let mut files_by_id: HashMap<SeriesId, Vec<(u64, PathBuf)>> = HashMap::new();
+        let mut replayed: HashMap<SeriesId, Vec<WalRecord>> = HashMap::new();
+        for i in 0..n_storage {
+            let sdir = dir.join(storage_dir_name(i));
+            std::fs::create_dir_all(&sdir)?;
+            for entry in std::fs::read_dir(&sdir)? {
+                let entry = entry?;
+                let path = entry.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("tsfile") {
+                    continue;
+                }
+                let parsed = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .and_then(parse_data_stem);
+                let Some((id, fileno)) = parsed else {
+                    continue; // foreign file; ignore
+                };
+                files_by_id.entry(id).or_default().push((fileno, path));
             }
-            let name = entry.file_name().to_string_lossy().into_owned();
-            if validate_series_name(&name).is_err() {
-                continue; // foreign directory; ignore
+            let (wal, records) =
+                ShardWal::open(&sdir, config.wal_batch_bytes, config.wal_segment_bytes)?;
+            for (id, recs) in records {
+                replayed.entry(id).or_default().extend(recs);
             }
-            dirs.push((name, entry.path()));
+            storage.push(StorageShard {
+                dir: sdir,
+                // Replay always happens (data written while the WAL
+                // was enabled must recover); the live handle is kept
+                // only when the WAL is on.
+                wal: config.enable_wal.then_some(wal),
+            });
         }
-        dirs.sort_by(|a, b| a.0.cmp(&b.0));
-        let recovered = recover_all(&dirs, &config, &alloc)?;
+
+        // Every id tagged on disk must be registered: an unknown id
+        // means the catalog log was lost or truncated past data that
+        // references it — refuse to guess which series owns what.
+        let registered = catalog.len();
+        for id in files_by_id.keys().chain(replayed.keys()) {
+            if id.index() >= registered {
+                return Err(TsKvError::Corrupt(format!(
+                    "data tagged with unregistered series id {id} (catalog has {registered})"
+                )));
+            }
+        }
+
+        let mut merged: HashMap<SeriesId, RecoveryParts> = HashMap::new();
+        for (id, files) in files_by_id {
+            merged.entry(id).or_default().0 = files;
+        }
+        for (id, recs) in replayed {
+            merged.entry(id).or_default().1 = recs;
+        }
+        let mut work: Vec<RecoveryWork> = merged
+            .into_iter()
+            .map(|(id, (mut files, recs))| {
+                files.sort_by_key(|(no, _)| *no);
+                (id, files, recs)
+            })
+            .collect();
+        work.sort_by_key(|(id, ..)| *id);
+        let recovered = recover_all(&work, config.write_shards, &alloc)?;
 
         let shards: Vec<Shard> = (0..config.write_shards)
             .map(|_| Shard {
                 series: RwLock::new(HashMap::new()),
             })
             .collect();
-        for (name, store) in recovered {
-            let idx = shard_of(&name, shards.len());
-            if let Some(shard) = shards.get(idx) {
-                shard.series.write().insert(name, store);
+        for (id, store) in recovered {
+            io.record_store_instantiated();
+            if let Some(shard) = shards.get(id.index() % shards.len()) {
+                shard.series.write().insert(id, store);
             }
         }
 
-        let io = Arc::new(IoStats::default());
         let cache = if config.enable_read_cache {
             Some(Arc::new(DecodedChunkCache::new(
                 config.cache_capacity_bytes,
@@ -424,7 +646,9 @@ impl EngineInner {
             dir,
             config,
             alloc,
+            catalog,
             shards,
+            storage,
             io,
             cache,
             policy,
@@ -432,56 +656,81 @@ impl EngineInner {
         })
     }
 
-    /// The shard owning `name`. `write_shards >= 1` is validated at
-    /// open and `shard_of` is modulo the stripe count, so the index is
+    /// The lock stripe owning `id`. `write_shards >= 1` is validated
+    /// at open and the index is modulo the stripe count, so it is
     /// always in bounds.
-    fn shard(&self, name: &str) -> &Shard {
-        &self.shards[shard_of(name, self.shards.len())]
+    fn stripe(&self, id: SeriesId) -> &Shard {
+        &self.shards[id.index() % self.shards.len()]
     }
 
-    /// Names of all known series (sorted).
-    fn series_names(&self) -> Vec<String> {
-        let mut names = Vec::new();
-        for shard in &self.shards {
-            names.extend(shard.series.read().keys().cloned());
-        }
-        names.sort();
-        names
+    /// The storage shard owning `id`'s files and WAL records.
+    fn storage(&self, id: SeriesId) -> &StorageShard {
+        &self.storage[id.index() % self.storage.len()]
     }
 
-    /// Create an empty series (inserting auto-creates too).
-    fn create_series(&self, name: &str) -> Result<()> {
-        validate_series_name(name)?;
-        let exists = self.shard(name).series.read().contains_key(name);
-        if exists {
-            return Ok(());
-        }
-        // Prepare the directory and WAL handle before taking the write
-        // lock, so no file I/O happens under it. A racing creator may
-        // install first; `or_insert_with` then keeps theirs and this
-        // call's handles are simply dropped.
-        let sdir = self.dir.join(name);
-        std::fs::create_dir_all(&sdir)?;
-        let wal = if self.config.enable_wal {
-            Some(Wal::open_grouped(
-                SeriesStore::wal_path(&sdir),
-                self.config.wal_batch_bytes,
-            )?)
+    /// Path of data file `fileno` of series `id`.
+    fn data_file_path(&self, id: SeriesId, fileno: u64) -> PathBuf {
+        self.storage(id)
+            .dir
+            .join(format!("s{}-{fileno:08}.tsfile", id.0))
+    }
+
+    /// Error if `id` was never registered. Ids are dense, so the check
+    /// is one bound comparison — no map probe.
+    fn known(&self, id: SeriesId) -> Result<()> {
+        if id.index() < self.catalog.len() {
+            Ok(())
         } else {
-            None
-        };
-        let mut map = self.shard(name).series.write();
-        map.entry(name.to_string())
-            .or_insert_with(|| SeriesStore::assemble(sdir, MemTable::new(), wal, Vec::new(), 0));
-        Ok(())
+            Err(TsKvError::SeriesNotFound(id.to_string()))
+        }
     }
 
-    /// Append `points` to the store's WAL buffer and memtable. Runs
-    /// under the owning shard's write lock; pure in-memory work plus
-    /// buffered WAL frames (drained by [`EngineInner::commit_wal`]).
-    fn apply_inserts(&self, store: &mut SeriesStore, points: &[Point]) -> Result<()> {
-        if let Some(wal) = &mut store.wal {
-            wal.append_inserts(points)?;
+    /// A `SeriesNotFound` for `id`, named when the catalog knows it.
+    fn not_found(&self, id: SeriesId) -> TsKvError {
+        let label = self
+            .catalog
+            .name_of(id)
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| id.to_string());
+        TsKvError::SeriesNotFound(label)
+    }
+
+    /// Resolve a name to its interned id (boundary use only: one hash
+    /// per external request, never per internal operation).
+    fn resolve(&self, name: &str) -> Result<SeriesId> {
+        self.catalog
+            .resolve(name)
+            .ok_or_else(|| TsKvError::SeriesNotFound(name.to_string()))
+    }
+
+    /// Register `name` (idempotent), returning its id. No directories
+    /// or files are created beyond the catalog-log append — a
+    /// registered-but-unwritten series costs nothing on disk.
+    fn create_series(&self, name: &str) -> Result<SeriesId> {
+        validate_series_name(name)?;
+        self.catalog.intern(name)
+    }
+
+    /// The series' in-memory store, instantiated lazily on first
+    /// touch. Requires the stripe's write guard (passed as `map`).
+    fn store_entry<'a>(
+        &self,
+        map: &'a mut HashMap<SeriesId, SeriesStore>,
+        id: SeriesId,
+    ) -> &'a mut SeriesStore {
+        map.entry(id).or_insert_with(|| {
+            self.io.record_store_instantiated();
+            SeriesStore::new()
+        })
+    }
+
+    /// Append `points` to the shard WAL (tagged with `id`) and the
+    /// memtable. Runs under the owning stripe's write lock; pure
+    /// in-memory work plus buffered WAL frames (drained by
+    /// [`EngineInner::commit_wal`]).
+    fn apply_inserts(&self, id: SeriesId, store: &mut SeriesStore, points: &[Point]) -> Result<()> {
+        if let Some(wal) = &self.storage(id).wal {
+            wal.append_inserts(id, points)?;
         }
         for p in points {
             store.memtable.insert(*p);
@@ -490,12 +739,12 @@ impl EngineInner {
         Ok(())
     }
 
-    /// Drain the store's WAL group-commit buffer in one syscall,
+    /// Drain the shard WAL's group-commit buffer in one syscall,
     /// fsyncing when `sync` (or always under [`FsyncPolicy::Always`]).
-    /// Called before the shard lock is released, so every acknowledged
-    /// write is in the OS first.
-    fn commit_wal_with(&self, store: &mut SeriesStore, sync: bool) -> Result<()> {
-        if let Some(wal) = &mut store.wal {
+    /// Called before the stripe lock is released, so every
+    /// acknowledged write is in the OS first.
+    fn commit_wal_with(&self, id: SeriesId, sync: bool) -> Result<()> {
+        if let Some(wal) = &self.storage(id).wal {
             let sync = sync || matches!(self.config.fsync_policy, FsyncPolicy::Always);
             let bytes = wal.commit(sync)?;
             if bytes > 0 {
@@ -508,63 +757,66 @@ impl EngineInner {
         Ok(())
     }
 
-    fn commit_wal(&self, store: &mut SeriesStore) -> Result<()> {
-        self.commit_wal_with(store, false)
+    fn commit_wal(&self, id: SeriesId) -> Result<()> {
+        self.commit_wal_with(id, false)
     }
 
     /// Insert a batch of points (any time order; duplicates overwrite).
-    fn insert_batch(&self, name: &str, points: &[Point]) -> Result<()> {
+    fn insert_batch(&self, id: SeriesId, points: &[Point]) -> Result<()> {
         if points.is_empty() {
             return Ok(());
         }
-        self.create_series(name)?;
+        self.known(id)?;
         let need_flush = {
-            let mut map = self.shard(name).series.write();
-            let store = map
-                .get_mut(name)
-                .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
-            self.apply_inserts(store, points)?;
-            self.commit_wal(store)?;
-            store.memtable.len() >= self.config.memtable_threshold && store.flushing.is_none()
+            let mut map = self.stripe(id).series.write();
+            let store = self.store_entry(&mut map, id);
+            self.apply_inserts(id, store, points)?;
+            let threshold =
+                store.memtable.len() >= self.config.memtable_threshold && store.flushing.is_none();
+            self.commit_wal(id)?;
+            threshold
         };
         if self.changes.active() {
             self.changes.publish(&ChangeEvent::Write {
-                series: Arc::from(name),
+                series: id,
                 points: Arc::new(points.to_vec()),
             });
         }
         if need_flush {
-            self.flush_series(name, false)?;
+            self.flush_series(id, false)?;
         }
         Ok(())
     }
 
-    /// Apply a multi-series [`WriteBatch`]: series grouped by shard so
-    /// each stripe's write lock is taken once, WAL frames group-commit
-    /// per series (one syscall each, fsync per [`FsyncPolicy`]), and
-    /// memtables that crossed the flush threshold flush after every
-    /// lock is released. Returns the number of points written.
+    /// Apply a multi-series [`WriteBatch`]: names resolved once up
+    /// front, series grouped by stripe so each stripe's write lock is
+    /// taken once, WAL frames group-commit per series (one syscall
+    /// each, fsync per [`FsyncPolicy`]), and memtables that crossed
+    /// the flush threshold flush after every lock is released.
+    /// Returns the number of points written.
     fn write_batch(&self, batch: &WriteBatch) -> Result<usize> {
         if batch.is_empty() {
             return Ok(0);
         }
-        // Phase 1 (unlocked I/O): ensure every series exists.
-        for (name, _) in batch.entries() {
-            self.create_series(name)?;
-        }
-        // Phase 2: group by shard; one lock acquisition per stripe.
-        let mut by_shard: Vec<Vec<(&str, &[Point])>> =
-            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        // Phase 1 (boundary): resolve every name to an id, registering
+        // new ones. The only name hashing in the whole operation.
+        let mut resolved: Vec<(SeriesId, &[Point])> = Vec::with_capacity(batch.series_count());
         for (name, points) in batch.entries() {
-            if let Some(group) = by_shard.get_mut(shard_of(name, self.shards.len())) {
-                group.push((name, points));
+            resolved.push((self.create_series(name)?, points));
+        }
+        // Phase 2: group by stripe; one lock acquisition per stripe.
+        let mut by_stripe: Vec<Vec<(SeriesId, &[Point])>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (id, points) in resolved {
+            if let Some(group) = by_stripe.get_mut(id.index() % self.shards.len()) {
+                group.push((id, points));
             }
         }
         let mut total = 0usize;
-        let mut need_flush: Vec<String> = Vec::new();
+        let mut need_flush: Vec<SeriesId> = Vec::new();
         let notify = self.changes.active();
         let mut events: Vec<ChangeEvent> = Vec::new();
-        for (idx, group) in by_shard.iter().enumerate() {
+        for (idx, group) in by_stripe.iter().enumerate() {
             if group.is_empty() {
                 continue;
             }
@@ -572,23 +824,21 @@ impl EngineInner {
                 continue;
             };
             let mut map = shard.series.write();
-            for (name, points) in group {
-                let store = map
-                    .get_mut(*name)
-                    .ok_or_else(|| TsKvError::SeriesNotFound((*name).into()))?;
-                self.apply_inserts(store, points)?;
-                self.commit_wal(store)?;
+            for (id, points) in group {
+                let store = self.store_entry(&mut map, *id);
+                self.apply_inserts(*id, store, points)?;
+                let threshold = store.memtable.len() >= self.config.memtable_threshold
+                    && store.flushing.is_none();
+                self.commit_wal(*id)?;
                 total += points.len();
                 if notify {
                     events.push(ChangeEvent::Write {
-                        series: Arc::from(*name),
+                        series: *id,
                         points: Arc::new(points.to_vec()),
                     });
                 }
-                if store.memtable.len() >= self.config.memtable_threshold
-                    && store.flushing.is_none()
-                {
-                    need_flush.push((*name).to_string());
+                if threshold {
+                    need_flush.push(*id);
                 }
             }
         }
@@ -597,16 +847,20 @@ impl EngineInner {
         for event in &events {
             self.changes.publish(event);
         }
-        for name in need_flush {
-            self.flush_series(&name, false)?;
+        for id in need_flush {
+            self.flush_series(id, false)?;
         }
         Ok(total)
     }
 
-    /// Flush every series.
+    /// Flush every registered series. Ids are dense, so this is a
+    /// plain counted sweep — no name materialization; cold series
+    /// return immediately from [`flush_series`]'s missing-store path.
+    ///
+    /// [`flush_series`]: EngineInner::flush_series
     fn flush_all(&self) -> Result<()> {
-        for name in self.series_names() {
-            self.flush_series(&name, true)?;
+        for i in 0..self.catalog.len() {
+            self.flush_series(SeriesId(i as u32), true)?;
         }
         Ok(())
     }
@@ -616,31 +870,34 @@ impl EngineInner {
     /// and then flush whatever is buffered; the auto-flush on the
     /// insert path just returns (the running flush is making room, and
     /// the next insert re-checks the threshold).
-    fn flush_series(&self, name: &str, wait: bool) -> Result<()> {
+    fn flush_series(&self, id: SeriesId, wait: bool) -> Result<()> {
+        self.known(id)?;
         loop {
-            // Phase A (locked): claim the in-flight slot, rotate the
-            // WAL, drain the memtable, reserve chunk versions.
+            // Phase A (locked): claim the in-flight slot, mark the WAL
+            // drain point, drain the memtable, reserve chunk versions.
             let prep = {
-                let mut map = self.shard(name).series.write();
-                let store = map
-                    .get_mut(name)
-                    .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+                let mut map = self.stripe(id).series.write();
+                let Some(store) = map.get_mut(&id) else {
+                    // Registered but never touched: nothing to flush,
+                    // and no reason to instantiate it.
+                    return Ok(());
+                };
                 if store.flushing.is_some() {
                     FlushPrep::Busy
                 } else if store.memtable.is_empty() {
                     FlushPrep::Done
                 } else {
-                    if let Some(wal) = &mut store.wal {
+                    if let Some(wal) = &self.storage(id).wal {
                         // Under FsyncPolicy::{Always, OnFlush} the WAL
-                        // is made durable before its segment rotates
-                        // out (the sealed TsFile supersedes it soon
-                        // after; until then the segment is the only
-                        // copy).
+                        // is made durable before its records are
+                        // declared covered (the sealed TsFile
+                        // supersedes them soon after; until then the
+                        // log is the only copy).
                         if !matches!(self.config.fsync_policy, FsyncPolicy::Never) {
                             wal.sync()?;
                             self.io.record_wal_sync();
                         }
-                        wal.rotate_for_flush()?;
+                        wal.begin_flush(id)?;
                     }
                     let points = Arc::new(store.memtable.drain_sorted());
                     // Reserving every chunk version while still locked
@@ -652,7 +909,7 @@ impl EngineInner {
                         .last()
                         .copied()
                         .unwrap_or_else(|| self.alloc.current());
-                    let path = store.dir.join(format!("{:08}.tsfile", store.next_file_id));
+                    let path = self.data_file_path(id, store.next_file_id);
                     store.next_file_id += 1;
                     store.flushing = Some(FlushInFlight {
                         points: Arc::clone(&points),
@@ -678,15 +935,20 @@ impl EngineInner {
                     path,
                 } => {
                     // Phase B (unlocked): the heavy encode + write.
-                    let sealed = Self::seal_points(&self.config, &path, &points, &versions);
+                    // The sealed file is tagged with this id — make
+                    // the catalog record binding it durable first, so
+                    // a power loss never leaves a data file whose id
+                    // the catalog forgot.
+                    let sealed = self
+                        .catalog
+                        .sync_if_dirty()
+                        .and_then(|()| Self::seal_points(&self.config, &path, &points, &versions));
                     if sealed.is_err() {
                         std::fs::remove_file(&path).ok();
                     }
-                    let out = self.install_flush(name, &points, sealed);
+                    let out = self.install_flush(id, &points, sealed);
                     if out.is_ok() && self.changes.active() {
-                        self.changes.publish(&ChangeEvent::Flush {
-                            series: Arc::from(name),
-                        });
+                        self.changes.publish(&ChangeEvent::Flush { series: id });
                     }
                     return out;
                 }
@@ -694,18 +956,17 @@ impl EngineInner {
         }
     }
 
-    /// Flush phase C (locked): install the sealed file — or, on a
-    /// sealing failure, put the points back.
+    /// Flush phase C (locked): install the sealed file and mark the
+    /// series' WAL records covered — or, on a sealing failure, put the
+    /// points back.
     fn install_flush(
         &self,
-        name: &str,
+        id: SeriesId,
         points: &[Point],
         sealed: Result<TsFileResource>,
     ) -> Result<()> {
-        let mut map = self.shard(name).series.write();
-        let store = map
-            .get_mut(name)
-            .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+        let mut map = self.stripe(id).series.write();
+        let store = map.get_mut(&id).ok_or_else(|| self.not_found(id))?;
         store.flushing = None;
         let pending = std::mem::take(&mut store.pending_mods);
         match sealed {
@@ -722,17 +983,20 @@ impl EngineInner {
                     }
                 }
                 store.files.push(res);
-                if let Some(wal) = &mut store.wal {
-                    wal.discard_sealed()?;
+                if let Some(wal) = &self.storage(id).wal {
+                    wal.end_flush(id)?;
                 }
                 Ok(())
             }
             Err(e) => {
+                if let Some(wal) = &self.storage(id).wal {
+                    wal.abort_flush(id);
+                }
                 // The points stay buffered (and, with WAL on, remain
-                // covered by the sealed segment, which the next
-                // rotation folds forward). Writes and deletes that
-                // landed mid-flush are newer and must win — hence the
-                // absent-only reinsert and the tombstone filter.
+                // covered by the log, whose begin marker was never
+                // matched). Writes and deletes that landed mid-flush
+                // are newer and must win — hence the absent-only
+                // reinsert and the tombstone filter.
                 for p in points {
                     if !pending.iter().any(|m| m.covers(p.t)) {
                         store.memtable.insert_if_absent(*p);
@@ -765,28 +1029,29 @@ impl EngineInner {
         Ok(TsFileResource { reader, mods })
     }
 
-    /// Delete all points of `name` in `[start, end]` (inclusive), as an
+    /// Delete all points of `id` in `[start, end]` (inclusive), as an
     /// append-only versioned tombstone. Memtable points are removed
     /// eagerly; sealed chunks are filtered at read time.
-    fn delete(&self, name: &str, start: Timestamp, end: Timestamp) -> Result<()> {
+    fn delete(&self, id: SeriesId, start: Timestamp, end: Timestamp) -> Result<()> {
         if start > end {
             return Err(TsKvError::InvalidDeleteRange { start, end });
         }
+        self.known(id)?;
         {
-            let mut map = self.shard(name).series.write();
-            let store = map
-                .get_mut(name)
-                .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+            let mut map = self.stripe(id).series.write();
+            // A tombstone on a cold series still instantiates it: the
+            // delete must be durable and visible to later writes.
+            let store = self.store_entry(&mut map, id);
             let version = self.alloc.next();
             let range = TimeRange::new(start, end);
             // Tombstones are rare and dangerous to lose: commit (and,
             // unless the policy is Never, fsync) the delete record
             // immediately.
             let sync_deletes = !matches!(self.config.fsync_policy, FsyncPolicy::Never);
-            if let Some(wal) = &mut store.wal {
-                wal.append_delete(version, range)?;
+            if let Some(wal) = &self.storage(id).wal {
+                wal.append_delete(id, version, range)?;
             }
-            self.commit_wal_with(store, sync_deletes)?;
+            self.commit_wal_with(id, sync_deletes)?;
             store.memtable.delete_range(range);
             let entry = ModEntry::new(version, start, end);
             if store.flushing.is_some() {
@@ -806,7 +1071,7 @@ impl EngineInner {
         }
         if self.changes.active() {
             self.changes.publish(&ChangeEvent::Delete {
-                series: Arc::from(name),
+                series: id,
                 start,
                 end,
             });
@@ -817,12 +1082,21 @@ impl EngineInner {
     /// Capture a point-in-time read view of one series: all sealed
     /// chunks, any in-flight flush image, the memtable image (as a
     /// high-version in-memory chunk), and all deletes, each sorted by
-    /// version.
-    fn snapshot(&self, name: &str) -> Result<SeriesSnapshot> {
-        let map = self.shard(name).series.read();
-        let store = map
-            .get(name)
-            .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+    /// version. A registered-but-cold series yields an empty snapshot
+    /// without instantiating anything.
+    fn snapshot(&self, id: SeriesId) -> Result<SeriesSnapshot> {
+        self.known(id)?;
+        let map = self.stripe(id).series.read();
+        let Some(store) = map.get(&id) else {
+            return Ok(SeriesSnapshot::new(
+                Vec::new(),
+                Vec::new(),
+                Vec::new(),
+                Arc::clone(&self.io),
+                self.cache.clone(),
+                self.config.read_threads,
+            ));
+        };
 
         let mut files = Vec::with_capacity(store.files.len());
         let mut chunks = Vec::new();
@@ -880,30 +1154,32 @@ impl EngineInner {
     /// their mods logs. The memtable and WAL are untouched. Returns an
     /// empty report if a compaction is already running for the series.
     /// See [`crate::compaction`].
-    pub(crate) fn compact(&self, name: &str) -> Result<CompactionReport> {
-        self.compact_run(name, CompactMode::Full)
+    pub(crate) fn compact(&self, id: SeriesId) -> Result<CompactionReport> {
+        self.compact_run(id, CompactMode::Full)
     }
 
     /// Compact whatever contiguous run of sealed files the configured
     /// policy selects (possibly nothing). Used by the background
     /// scheduler and [`TsKv::compact_policy`].
-    pub(crate) fn compact_policy(&self, name: &str) -> Result<CompactionReport> {
-        self.compact_run(name, CompactMode::Policy)
+    pub(crate) fn compact_policy(&self, id: SeriesId) -> Result<CompactionReport> {
+        self.compact_run(id, CompactMode::Policy)
     }
 
     /// The phased compaction state machine shared by the full and
     /// policy-driven entry points.
-    fn compact_run(&self, name: &str, mode: CompactMode) -> Result<CompactionReport> {
+    fn compact_run(&self, id: SeriesId, mode: CompactMode) -> Result<CompactionReport> {
+        self.known(id)?;
         // Phase A (locked): choose the input run and capture its
         // metadata (chunk metas, mods entries, and Arc'd readers only —
         // no chunk bodies). Selecting under the same guard that sets
         // `compacting` closes the select/capture race; policies are
         // pure metadata math, so no I/O happens here.
         let (files, chunks, deletes, run, out_version, capture_ceiling, path) = {
-            let mut map = self.shard(name).series.write();
-            let store = map
-                .get_mut(name)
-                .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+            let mut map = self.stripe(id).series.write();
+            let Some(store) = map.get_mut(&id) else {
+                // Cold series: nothing sealed, nothing to merge.
+                return Ok(CompactionReport::empty());
+            };
             // An in-flight flush holds versions for points not yet
             // visible in `files`; merging around it risks ordering
             // confusion for no gain. Back off and let the scheduler
@@ -964,7 +1240,7 @@ impl EngineInner {
             // delete that postdates the last flush — the ceiling is the
             // only version that cleanly splits "seen" from "missed".)
             let capture_ceiling = self.alloc.current();
-            let path = store.dir.join(format!("{:08}.tsfile", store.next_file_id));
+            let path = self.data_file_path(id, store.next_file_id);
             store.next_file_id += 1;
             (
                 files,
@@ -1035,10 +1311,8 @@ impl EngineInner {
         // the run's indices are still valid and the in-place splice
         // keeps the file list version-ordered.
         let (doomed, outcome) = {
-            let mut map = self.shard(name).series.write();
-            let store = map
-                .get_mut(name)
-                .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+            let mut map = self.stripe(id).series.write();
+            let store = map.get_mut(&id).ok_or_else(|| self.not_found(id))?;
             store.compacting = false;
             let (outcome, sealed) = outcome?;
             // Deletes issued during the merge postdate the capture
@@ -1120,39 +1394,40 @@ impl EngineInner {
 
     /// Total points currently buffered in memory and not yet durable in
     /// a sealed file (the memtable plus any in-flight flush image).
-    fn unflushed_points(&self, name: &str) -> Result<usize> {
-        let map = self.shard(name).series.read();
-        let store = map
-            .get(name)
-            .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
+    fn unflushed_points(&self, id: SeriesId) -> Result<usize> {
+        self.known(id)?;
+        let map = self.stripe(id).series.read();
+        let Some(store) = map.get(&id) else {
+            return Ok(0);
+        };
         let in_flight = store.flushing.as_ref().map(|f| f.points.len()).unwrap_or(0);
         Ok(store.memtable.len() + in_flight)
     }
 
-    /// Number of sealed TsFiles currently backing `name`.
-    fn sealed_file_count(&self, name: &str) -> Result<usize> {
-        let map = self.shard(name).series.read();
-        let store = map
-            .get(name)
-            .ok_or_else(|| TsKvError::SeriesNotFound(name.into()))?;
-        Ok(store.files.len())
+    /// Number of sealed TsFiles currently backing `id`.
+    fn sealed_file_count(&self, id: SeriesId) -> Result<usize> {
+        self.known(id)?;
+        let map = self.stripe(id).series.read();
+        Ok(map.get(&id).map(|s| s.files.len()).unwrap_or(0))
     }
 
     /// Series whose sealed-file count reached `compaction_threshold`
-    /// and that no compaction currently owns. Takes each shard's read
+    /// and that no compaction currently owns. Takes each stripe's read
     /// guard only for the map walk — never across I/O — so the
-    /// background scheduler can poll this cheaply.
-    pub(crate) fn compaction_candidates(&self) -> Vec<String> {
+    /// background scheduler can poll this cheaply. Returns ids: a
+    /// sweep over a million series allocates one `Vec<u32>`-sized
+    /// list, never a name.
+    pub(crate) fn compaction_candidates(&self) -> Vec<SeriesId> {
         let mut out = Vec::new();
         for shard in &self.shards {
             let map = shard.series.read();
-            for (name, store) in map.iter() {
+            for (id, store) in map.iter() {
                 if store.files.len() >= self.config.compaction_threshold && !store.compacting {
-                    out.push(name.clone());
+                    out.push(*id);
                 }
             }
         }
-        out.sort();
+        out.sort_unstable();
         out
     }
 
@@ -1163,19 +1438,26 @@ impl EngineInner {
 }
 
 impl TsKv {
-    /// Open (or create) a store rooted at `dir`, recovering any series
-    /// directories found there: sealed TsFiles, their delete logs, and
-    /// — when WAL is enabled — the unflushed memtable contents replayed
-    /// from each series' write-ahead log (sealed segment first, so an
-    /// interrupted flush loses nothing). Recovery fans out across up to
-    /// `write_shards` threads, one series at a time per thread.
+    /// Open (or create) a store rooted at `dir`, recovering whatever
+    /// is found there: the series catalog is replayed first (interned
+    /// names get the same dense ids back), then each storage shard's
+    /// data files and shared WAL are scanned, and only series with
+    /// actual state get an in-memory store — a million registered but
+    /// cold series recover in catalog-replay time and occupy no file
+    /// handles. Recovery fans out across up to `write_shards` threads,
+    /// one series at a time per thread.
+    ///
+    /// A store laid out the legacy way (one directory per series) is
+    /// migrated in place on first open: names interned in sorted
+    /// order, sealed files moved into hash-assigned shard directories,
+    /// per-series WALs transcribed into the shards' tagged logs.
     ///
     /// A crash mid-flush or mid-compaction can leave one torn TsFile,
-    /// always at the highest file id; it is quarantined (renamed to
-    /// `*.corrupt`) rather than failing recovery, since its points are
-    /// still covered by the WAL's sealed segment (flush) or by the
+    /// always at a series' highest file number; it is quarantined
+    /// (renamed to `*.corrupt`) rather than failing recovery, since
+    /// its points are still covered by the shard WAL (flush) or by the
     /// older generation (compaction). An unreadable file at any other
-    /// id is genuine corruption and surfaces as an error.
+    /// number is genuine corruption and surfaces as an error.
     ///
     /// When `compaction_auto` is set, a background scheduler thread
     /// starts here and stops (joined) when the store drops.
@@ -1199,39 +1481,82 @@ impl TsKv {
         &self.inner.dir
     }
 
-    /// Names of all known series (sorted).
+    /// Names of all registered series (sorted).
     pub fn series_names(&self) -> Vec<String> {
-        self.inner.series_names()
+        let mut names: Vec<String> = self
+            .inner
+            .catalog
+            .names_snapshot()
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
+        names.sort();
+        names
     }
 
-    /// Create an empty series (inserting auto-creates too).
-    pub fn create_series(&self, name: &str) -> Result<()> {
+    /// The interned id of `name`, if registered. One striped hash
+    /// probe — resolve once, then drive every per-series call through
+    /// the `*_by_id` variants.
+    pub fn series_id(&self, name: &str) -> Option<SeriesId> {
+        self.inner.catalog.resolve(name)
+    }
+
+    /// The name interned as `id`, if registered. Cheap (`Arc` clone).
+    pub fn series_name(&self, id: SeriesId) -> Option<Arc<str>> {
+        self.inner.catalog.name_of(id)
+    }
+
+    /// Number of registered series (ids are dense: `0..count`).
+    pub fn series_count(&self) -> usize {
+        self.inner.catalog.len()
+    }
+
+    /// Register a series (idempotent), returning its interned id.
+    /// Costs one catalog-log append the first time and nothing on
+    /// disk afterwards — no directories or files until data arrives.
+    pub fn create_series(&self, name: &str) -> Result<SeriesId> {
         self.inner.create_series(name)
     }
 
     /// Insert one point; may trigger an automatic flush when the
     /// memtable reaches the configured threshold.
     pub fn insert(&self, name: &str, p: Point) -> Result<()> {
-        self.inner.insert_batch(name, std::slice::from_ref(&p))
+        let id = self.inner.create_series(name)?;
+        self.inner.insert_batch(id, std::slice::from_ref(&p))
     }
 
     /// Insert a batch of points into one series (any time order;
-    /// duplicates overwrite).
+    /// duplicates overwrite). Registers the series if needed.
     pub fn insert_batch(&self, name: &str, points: &[Point]) -> Result<()> {
-        self.inner.insert_batch(name, points)
+        let id = self.inner.create_series(name)?;
+        self.inner.insert_batch(id, points)
     }
 
-    /// Apply a multi-series [`WriteBatch`]: one shard-lock acquisition
-    /// per stripe touched, one WAL group-commit syscall per series,
-    /// fsync per the configured [`FsyncPolicy`]. Returns the number of
-    /// points written.
+    /// [`insert_batch`](TsKv::insert_batch) keyed by an interned id
+    /// (from [`series_id`](TsKv::series_id) or
+    /// [`create_series`](TsKv::create_series)): zero name hashing on
+    /// the hot path.
+    pub fn insert_batch_by_id(&self, id: SeriesId, points: &[Point]) -> Result<()> {
+        self.inner.insert_batch(id, points)
+    }
+
+    /// Apply a multi-series [`WriteBatch`]: one stripe-lock
+    /// acquisition per stripe touched, one WAL group-commit syscall
+    /// per series, fsync per the configured [`FsyncPolicy`]. Returns
+    /// the number of points written.
     pub fn write_batch(&self, batch: &WriteBatch) -> Result<usize> {
         self.inner.write_batch(batch)
     }
 
     /// Flush one series' memtable to a new sealed TsFile.
     pub fn flush(&self, name: &str) -> Result<()> {
-        self.inner.flush_series(name, true)
+        let id = self.inner.resolve(name)?;
+        self.inner.flush_series(id, true)
+    }
+
+    /// [`flush`](TsKv::flush) keyed by an interned id.
+    pub fn flush_by_id(&self, id: SeriesId) -> Result<()> {
+        self.inner.flush_series(id, true)
     }
 
     /// Flush every series.
@@ -1243,13 +1568,25 @@ impl TsKv {
     /// append-only versioned tombstone. Memtable points are removed
     /// eagerly; sealed chunks are filtered at read time.
     pub fn delete(&self, name: &str, start: Timestamp, end: Timestamp) -> Result<()> {
-        self.inner.delete(name, start, end)
+        let id = self.inner.resolve(name)?;
+        self.inner.delete(id, start, end)
+    }
+
+    /// [`delete`](TsKv::delete) keyed by an interned id.
+    pub fn delete_by_id(&self, id: SeriesId, start: Timestamp, end: Timestamp) -> Result<()> {
+        self.inner.delete(id, start, end)
     }
 
     /// Capture a point-in-time read view of one series. See
     /// [`SeriesSnapshot`].
     pub fn snapshot(&self, name: &str) -> Result<SeriesSnapshot> {
-        self.inner.snapshot(name)
+        let id = self.inner.resolve(name)?;
+        self.inner.snapshot(id)
+    }
+
+    /// [`snapshot`](TsKv::snapshot) keyed by an interned id.
+    pub fn snapshot_by_id(&self, id: SeriesId) -> Result<SeriesSnapshot> {
+        self.inner.snapshot(id)
     }
 
     /// Fully compact one series: merge every sealed file (applying
@@ -1260,7 +1597,13 @@ impl TsKv {
     /// compaction is already running for the series.
     /// See [`crate::compaction`].
     pub fn compact(&self, name: &str) -> Result<CompactionReport> {
-        self.inner.compact(name)
+        let id = self.inner.resolve(name)?;
+        self.inner.compact(id)
+    }
+
+    /// [`compact`](TsKv::compact) keyed by an interned id.
+    pub fn compact_by_id(&self, id: SeriesId) -> Result<CompactionReport> {
+        self.inner.compact(id)
     }
 
     /// Compact one series according to the configured
@@ -1273,16 +1616,17 @@ impl TsKv {
     /// [`CompactionPolicy`]: crate::compaction::policy::CompactionPolicy
     /// [`compact`]: TsKv::compact
     pub fn compact_policy(&self, name: &str) -> Result<CompactionReport> {
-        self.inner.compact_policy(name)
+        let id = self.inner.resolve(name)?;
+        self.inner.compact_policy(id)
     }
 
     /// Subscribe to change notifications: every write, delete, and
-    /// flush publishes a [`ChangeEvent`] to each listener over a
-    /// bounded queue of `depth` events. Publishing never blocks the
-    /// write path — when a listener's queue is full the event is
-    /// dropped and the listener's *missed* flag raised, telling it to
-    /// resynchronize from a fresh [`TsKv::snapshot`]. See
-    /// [`crate::notify`].
+    /// flush publishes a [`ChangeEvent`] (keyed by [`SeriesId`]) to
+    /// each listener over a bounded queue of `depth` events.
+    /// Publishing never blocks the write path — when a listener's
+    /// queue is full the event is dropped and the listener's *missed*
+    /// flag raised, telling it to resynchronize from a fresh
+    /// [`TsKv::snapshot`]. See [`crate::notify`].
     pub fn subscribe_changes(&self, depth: usize) -> ChangeRx {
         self.inner.changes.register(depth)
     }
@@ -1300,12 +1644,14 @@ impl TsKv {
     /// Total points currently buffered in memory and not yet durable in
     /// a sealed file (the memtable plus any in-flight flush image).
     pub fn unflushed_points(&self, name: &str) -> Result<usize> {
-        self.inner.unflushed_points(name)
+        let id = self.inner.resolve(name)?;
+        self.inner.unflushed_points(id)
     }
 
     /// Number of sealed TsFiles currently backing `name`.
     pub fn sealed_file_count(&self, name: &str) -> Result<usize> {
-        self.inner.sealed_file_count(name)
+        let id = self.inner.resolve(name)?;
+        self.inner.sealed_file_count(id)
     }
 
     /// Whether the background compaction scheduler is running.
@@ -1350,22 +1696,23 @@ mod tests {
         batch.insert("s", Point::new(3, 3.0));
         batch.insert("t", Point::new(4, 4.0));
         kv.write_batch(&batch)?;
+        let sid = kv.series_id("s").ok_or("s not registered")?;
         match rx.try_recv() {
             Some(ChangeEvent::Write { series, points }) => {
-                assert_eq!(&*series, "s");
+                assert_eq!(series, sid);
                 assert_eq!(points.len(), 2);
             }
             other => panic!("expected write event, got {other:?}"),
         }
         match rx.try_recv() {
             Some(ChangeEvent::Delete { series, start, end }) => {
-                assert_eq!(&*series, "s");
+                assert_eq!(series, sid);
                 assert_eq!((start, end), (1, 1));
             }
             other => panic!("expected delete event, got {other:?}"),
         }
         match rx.try_recv() {
-            Some(ChangeEvent::Flush { series }) => assert_eq!(&*series, "s"),
+            Some(ChangeEvent::Flush { series }) => assert_eq!(series, sid),
             other => panic!("expected flush event, got {other:?}"),
         }
         let mut batch_series: Vec<String> = Vec::new();
@@ -1373,7 +1720,7 @@ mod tests {
             match e {
                 ChangeEvent::Write { series, points } => {
                     assert_eq!(points.len(), 1);
-                    batch_series.push(series.to_string());
+                    batch_series.push(kv.series_name(series).ok_or("unknown id")?.to_string());
                 }
                 other => panic!("expected write events, got {other:?}"),
             }
@@ -1450,12 +1797,92 @@ mod tests {
     }
 
     #[test]
+    fn unregistered_id_errors() -> TestResult {
+        let (dir, kv) = fresh("badid")?;
+        kv.create_series("s")?;
+        let bogus = SeriesId(99);
+        assert!(matches!(
+            kv.snapshot_by_id(bogus),
+            Err(TsKvError::SeriesNotFound(_))
+        ));
+        assert!(matches!(
+            kv.delete_by_id(bogus, 0, 1),
+            Err(TsKvError::SeriesNotFound(_))
+        ));
+        assert!(matches!(
+            kv.flush_by_id(bogus),
+            Err(TsKvError::SeriesNotFound(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
     fn invalid_series_name_rejected() -> TestResult {
         let (dir, kv) = fresh("badname")?;
         assert!(kv.create_series("../evil").is_err());
         assert!(kv.create_series("").is_err());
         assert!(kv.create_series("a/b").is_err());
         assert!(kv.create_series("room1.sensor_2-x").is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn cold_series_cost_no_stores_or_files() -> TestResult {
+        let dir = std::env::temp_dir().join(format!("tskv-cold-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = EngineConfig::default();
+        {
+            let kv = TsKv::open(&dir, config.clone())?;
+            for i in 0..1000 {
+                kv.create_series(&format!("cold-{i:04}"))?;
+            }
+            assert_eq!(kv.series_count(), 1000);
+            // Registration touches only the catalog: no in-memory
+            // stores, no directories beyond the fixed shard set.
+            assert_eq!(kv.io().snapshot().stores_instantiated, 0);
+            let snap = kv.snapshot("cold-0042")?;
+            assert_eq!(snap.raw_point_count(), 0);
+            kv.flush_all()?;
+            assert_eq!(kv.io().snapshot().stores_instantiated, 0);
+        }
+        let mut dirs = 0usize;
+        for entry in std::fs::read_dir(&dir)? {
+            if entry?.file_type()?.is_dir() {
+                dirs += 1;
+            }
+        }
+        assert_eq!(dirs, config.storage_shards, "only shard dirs on disk");
+        // Reopen: all names come back from the catalog alone, still
+        // without instantiating anything.
+        let kv = TsKv::open(&dir, config)?;
+        assert_eq!(kv.series_count(), 1000);
+        assert_eq!(kv.io().snapshot().stores_instantiated, 0);
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn ids_stable_across_reopen() -> TestResult {
+        let dir = std::env::temp_dir().join(format!("tskv-ids-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = EngineConfig::default();
+        let (a, b) = {
+            let kv = TsKv::open(&dir, config.clone())?;
+            let a = kv.create_series("a")?;
+            let b = kv.create_series("b")?;
+            assert_ne!(a, b);
+            assert_eq!(kv.create_series("a")?, a, "intern is idempotent");
+            kv.insert_batch_by_id(b, &[Point::new(1, 1.0)])?;
+            (a, b)
+        };
+        let kv = TsKv::open(&dir, config)?;
+        assert_eq!(kv.series_id("a"), Some(a));
+        assert_eq!(kv.series_id("b"), Some(b));
+        assert_eq!(kv.series_name(b).as_deref(), Some("b"));
+        let merged = MergeReader::new(&kv.snapshot_by_id(b)?).collect_merged()?;
+        assert_eq!(merged, vec![Point::new(1, 1.0)]);
         std::fs::remove_dir_all(&dir).ok();
         Ok(())
     }
@@ -1615,17 +2042,34 @@ mod tests {
     }
 
     #[test]
-    fn flush_discards_sealed_wal_segment() -> TestResult {
+    fn flush_resets_shard_wal() -> TestResult {
         let (dir, kv) = fresh("wal-clean")?;
         for t in 0..10i64 {
             kv.insert("s", Point::new(t, 1.0))?;
         }
         kv.flush_all()?;
-        // A completed flush leaves neither a sealed segment nor live
-        // records in the active one.
-        let wal_path = dir.join("s").join("series.wal");
-        assert!(!Wal::sealed_path(&wal_path).exists());
-        assert!(Wal::replay(&wal_path)?.is_empty());
+        // Every record in s's shard WAL is now covered by the sealed
+        // file: the log must collapse to a single empty active segment.
+        let sid = kv.series_id("s").ok_or("s not registered")?;
+        let sdir = dir.join(storage_dir_name(sid.index() % kv.config().storage_shards));
+        let mut wal_files: Vec<PathBuf> = Vec::new();
+        for f in std::fs::read_dir(&sdir)? {
+            let p = f?.path();
+            let is_wal = p
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-"));
+            if is_wal {
+                wal_files.push(p);
+            }
+        }
+        assert_eq!(wal_files.len(), 1, "sealed segments must be reclaimed");
+        let len = wal_files
+            .first()
+            .map(std::fs::metadata)
+            .transpose()?
+            .map(|m| m.len());
+        assert_eq!(len, Some(0), "active segment must be truncated empty");
         std::fs::remove_dir_all(&dir).ok();
         Ok(())
     }
@@ -1647,11 +2091,17 @@ mod tests {
             kv.delete("s", 10, 20)?;
         }
         // Simulate a crash between the WAL append and the mods append:
-        // drop the mods file; the delete now lives only in the WAL.
-        for f in std::fs::read_dir(dir.join("s"))? {
-            let p = f?.path();
-            if p.extension().and_then(|e| e.to_str()) == Some("mods") {
-                std::fs::remove_file(&p)?;
+        // drop every mods file; the delete now lives only in the WAL.
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            for f in std::fs::read_dir(entry.path())? {
+                let p = f?.path();
+                if p.extension().and_then(|e| e.to_str()) == Some("mods") {
+                    std::fs::remove_file(&p)?;
+                }
             }
         }
         let kv = TsKv::open(&dir, config)?;
@@ -1681,17 +2131,19 @@ mod tests {
             kv.insert_batch("s", &batch)?;
             kv.flush_all()?;
         }
+        // "s" is the first series interned → id 0 → storage shard 0.
+        let sdir = dir.join(storage_dir_name(0));
         // Tear the newest file (as a crash mid-flush would).
-        let torn = dir.join("s").join("00000001.tsfile");
+        let torn = sdir.join("s0-00000001.tsfile");
         std::fs::write(&torn, b"TSF1 torn mid-write")?;
         let kv = TsKv::open(&dir, config)?;
         let snap = kv.snapshot("s")?;
         assert_eq!(snap.raw_point_count(), 100, "older generation must survive");
-        assert!(dir.join("s").join("00000001.tsfile.corrupt").exists());
-        // The quarantined id is not reused.
+        assert!(sdir.join("s0-00000001.tsfile.corrupt").exists());
+        // The quarantined file number is not reused.
         kv.insert("s", Point::new(500, 1.0))?;
         kv.flush_all()?;
-        assert!(dir.join("s").join("00000002.tsfile").exists());
+        assert!(sdir.join("s0-00000002.tsfile").exists());
         std::fs::remove_dir_all(&dir).ok();
         Ok(())
     }
@@ -1708,6 +2160,8 @@ mod tests {
             let kv = TsKv::open(&dir, config.clone())?;
             kv.insert("s", Point::new(1, 1.0))?;
         }
+        // The catalog still remembers the name; only the buffered
+        // points are gone.
         let kv = TsKv::open(&dir, config)?;
         assert_eq!(kv.unflushed_points("s")?, 0);
         std::fs::remove_dir_all(&dir).ok();
@@ -1884,9 +2338,19 @@ mod tests {
             }
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
-        let io = kv.io().snapshot();
-        assert!(io.compactions_scheduled > 0);
-        assert!(io.compactions_completed > 0);
+        // The file-count poll can observe the spliced list before the
+        // scheduler thread returns from compact_policy and bumps its
+        // counters — wait for those too.
+        loop {
+            let io = kv.io().snapshot();
+            if io.compactions_scheduled > 0 && io.compactions_completed > 0 {
+                break;
+            }
+            if std::time::Instant::now() > deadline {
+                return Err(format!("compaction counters stuck at {io:?}").into());
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
         // Nothing lost or duplicated by background merging.
         let merged = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
         assert_eq!(merged.len(), 8 * 40);
@@ -1945,6 +2409,7 @@ mod tests {
             &dir,
             EngineConfig {
                 write_shards: 1,
+                storage_shards: 1,
                 ..Default::default()
             },
         )?;
@@ -1954,6 +2419,99 @@ mod tests {
         }
         assert_eq!(kv.write_batch(&batch)?, 4);
         assert_eq!(kv.series_names().len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn shard_count_is_pinned_at_creation() -> TestResult {
+        let dir = std::env::temp_dir().join(format!("tskv-pinned-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let kv = TsKv::open(
+                &dir,
+                EngineConfig {
+                    storage_shards: 4,
+                    ..Default::default()
+                },
+            )?;
+            kv.insert("s", Point::new(1, 1.0))?;
+            kv.flush_all()?;
+        }
+        // Reopening with a different configured count must keep the
+        // pinned layout (otherwise existing data would be orphaned).
+        let kv = TsKv::open(
+            &dir,
+            EngineConfig {
+                storage_shards: 32,
+                ..Default::default()
+            },
+        )?;
+        let merged = MergeReader::new(&kv.snapshot("s")?).collect_merged()?;
+        assert_eq!(merged, vec![Point::new(1, 1.0)]);
+        let mut dirs = 0usize;
+        for entry in std::fs::read_dir(&dir)? {
+            if entry?.file_type()?.is_dir() {
+                dirs += 1;
+            }
+        }
+        assert_eq!(dirs, 4, "pinned shard count must win over config");
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn legacy_layout_migrates_on_open() -> TestResult {
+        let dir = std::env::temp_dir().join(format!("tskv-legacymig-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = EngineConfig {
+            points_per_chunk: 50,
+            memtable_threshold: 1_000,
+            ..Default::default()
+        };
+        // Seed a legacy one-directory-per-series store by hand: sealed
+        // file + mods for "temp", WAL-only state for "hum".
+        std::fs::create_dir_all(&dir)?;
+        {
+            let sdir = dir.join("temp");
+            std::fs::create_dir_all(&sdir)?;
+            let pts: Vec<Point> = (0..100).map(|t| Point::new(t, 1.0)).collect();
+            let versions = [Version(1), Version(2)];
+            let mut res =
+                EngineInner::seal_points(&config, &sdir.join("00000000.tsfile"), &pts, &versions)?;
+            res.mods.append(ModEntry::new(Version(3), 10, 20))?;
+            let mut wal = Wal::open_grouped(sdir.join("series.wal"), 0)?;
+            wal.append_inserts(&[Point::new(200, 2.0)])?;
+            wal.commit(false)?;
+            wal.sync()?;
+        }
+        {
+            let sdir = dir.join("hum");
+            std::fs::create_dir_all(&sdir)?;
+            let mut wal = Wal::open_grouped(sdir.join("series.wal"), 0)?;
+            wal.append_inserts(&[Point::new(5, 5.0), Point::new(6, 6.0)])?;
+            wal.commit(false)?;
+            wal.sync()?;
+        }
+        let kv = TsKv::open(&dir, config.clone())?;
+        assert_eq!(
+            kv.series_names(),
+            vec!["hum".to_string(), "temp".to_string()]
+        );
+        assert!(!dir.join("temp").exists(), "legacy dir must be consumed");
+        assert!(!dir.join("hum").exists());
+        assert!(dir.join(SHARDS_META).exists());
+        let temp = MergeReader::new(&kv.snapshot("temp")?).collect_merged()?;
+        // 100 sealed − 11 deleted + 1 from the WAL.
+        assert_eq!(temp.len(), 100 - 11 + 1);
+        assert!(temp.iter().all(|p| !(10..=20).contains(&p.t)));
+        let hum = MergeReader::new(&kv.snapshot("hum")?).collect_merged()?;
+        assert_eq!(hum, vec![Point::new(5, 5.0), Point::new(6, 6.0)]);
+        drop(kv);
+        // Migration is one-time: a plain reopen sees the same data.
+        let kv = TsKv::open(&dir, config)?;
+        let temp = MergeReader::new(&kv.snapshot("temp")?).collect_merged()?;
+        assert_eq!(temp.len(), 90);
         std::fs::remove_dir_all(&dir).ok();
         Ok(())
     }

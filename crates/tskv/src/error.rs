@@ -27,6 +27,14 @@ pub enum TsKvError {
         /// Why the value is unusable.
         reason: &'static str,
     },
+    /// The series catalog reached its configured capacity.
+    CatalogFull {
+        /// The configured `catalog_max_series` ceiling.
+        limit: u64,
+    },
+    /// On-disk state is internally inconsistent (e.g. a data file tagged
+    /// with a series id the catalog never allocated).
+    Corrupt(String),
 }
 
 impl fmt::Display for TsKvError {
@@ -48,6 +56,10 @@ impl fmt::Display for TsKvError {
             } => {
                 write!(f, "invalid config: {field} = {value}: {reason}")
             }
+            TsKvError::CatalogFull { limit } => {
+                write!(f, "series catalog full: {limit} series registered")
+            }
+            TsKvError::Corrupt(reason) => write!(f, "corrupt store: {reason}"),
         }
     }
 }

@@ -63,6 +63,7 @@
 
 pub mod batch;
 pub mod cache;
+pub mod catalog;
 pub mod chunk;
 pub mod compaction;
 pub mod config;
@@ -73,6 +74,7 @@ pub mod memtable;
 pub mod notify;
 pub mod readers;
 pub mod scheduler;
+pub(crate) mod shard_wal;
 pub mod snapshot;
 pub mod stats;
 pub mod version;
@@ -81,6 +83,7 @@ pub mod wire;
 
 pub use batch::WriteBatch;
 pub use cache::{CacheKey, DecodedChunkCache};
+pub use catalog::SeriesId;
 pub use chunk::ChunkHandle;
 pub use compaction::{CompactionPolicy, CompactionPolicyKind, CompactionReport, FileView};
 pub use config::FsyncPolicy;

@@ -28,7 +28,14 @@ use parking_lot::Mutex;
 
 use tsfile::types::Point;
 
+use crate::catalog::SeriesId;
+
 /// One logical mutation of a series, as observed by the write path.
+///
+/// Events carry the interned [`SeriesId`], not the name: publishing is
+/// on the hot write path and must not clone a string per listener.
+/// Consumers that need the name resolve it once via
+/// [`crate::TsKv::series_name`].
 #[derive(Debug, Clone)]
 pub enum ChangeEvent {
     /// Points were inserted (any time order; duplicates overwrite).
@@ -36,15 +43,15 @@ pub enum ChangeEvent {
     /// order — replaying these in event order against a state that was
     /// authoritative beforehand reproduces the engine's contents.
     Write {
-        /// Series name.
-        series: Arc<str>,
+        /// Interned series id.
+        series: SeriesId,
         /// The written points, shared across listeners.
         points: Arc<Vec<Point>>,
     },
     /// A range tombstone `[start, end]` (inclusive) was recorded.
     Delete {
-        /// Series name.
-        series: Arc<str>,
+        /// Interned series id.
+        series: SeriesId,
         /// First deleted timestamp (inclusive).
         start: i64,
         /// Last deleted timestamp (inclusive).
@@ -53,18 +60,18 @@ pub enum ChangeEvent {
     /// A memtable flush sealed a file. Informational: logical series
     /// contents are unchanged.
     Flush {
-        /// Series name.
-        series: Arc<str>,
+        /// Interned series id.
+        series: SeriesId,
     },
 }
 
 impl ChangeEvent {
     /// The series this event concerns.
-    pub fn series(&self) -> &str {
+    pub fn series(&self) -> SeriesId {
         match self {
             ChangeEvent::Write { series, .. }
             | ChangeEvent::Delete { series, .. }
-            | ChangeEvent::Flush { series } => series,
+            | ChangeEvent::Flush { series } => *series,
         }
     }
 }
@@ -253,9 +260,11 @@ mod tests {
 
     use super::*;
 
-    fn write_event(series: &str, pts: &[(i64, f64)]) -> ChangeEvent {
+    const S: SeriesId = SeriesId(3);
+
+    fn write_event(series: SeriesId, pts: &[(i64, f64)]) -> ChangeEvent {
         ChangeEvent::Write {
-            series: Arc::from(series),
+            series,
             points: Arc::new(pts.iter().map(|&(t, v)| Point::new(t, v)).collect()),
         }
     }
@@ -264,7 +273,7 @@ mod tests {
     fn publish_without_listeners_is_a_noop() {
         let sink = ChangeSink::default();
         assert!(!sink.active());
-        sink.publish(&write_event("s", &[(1, 1.0)]));
+        sink.publish(&write_event(S, &[(1, 1.0)]));
     }
 
     #[test]
@@ -272,15 +281,13 @@ mod tests {
         let sink = ChangeSink::default();
         let rx = sink.register(8);
         assert!(sink.active());
-        sink.publish(&write_event("s", &[(1, 1.0)]));
+        sink.publish(&write_event(S, &[(1, 1.0)]));
         sink.publish(&ChangeEvent::Delete {
-            series: Arc::from("s"),
+            series: S,
             start: 0,
             end: 10,
         });
-        sink.publish(&ChangeEvent::Flush {
-            series: Arc::from("s"),
-        });
+        sink.publish(&ChangeEvent::Flush { series: S });
         assert_eq!(rx.sent(), 3);
         assert!(matches!(rx.try_recv(), Some(ChangeEvent::Write { .. })));
         match rx.try_recv() {
@@ -299,7 +306,7 @@ mod tests {
         let sink = ChangeSink::default();
         let rx = sink.register(2);
         for i in 0..5 {
-            sink.publish(&write_event("s", &[(i, 1.0)]));
+            sink.publish(&write_event(S, &[(i, 1.0)]));
         }
         // Two queued, three dropped; sent counts only deliveries.
         assert_eq!(rx.sent(), 2);
@@ -316,7 +323,7 @@ mod tests {
         let sink = ChangeSink::default();
         let rx = sink.register(2);
         drop(rx);
-        sink.publish(&write_event("s", &[(1, 1.0)]));
+        sink.publish(&write_event(S, &[(1, 1.0)]));
         assert!(!sink.active());
     }
 
@@ -329,7 +336,7 @@ mod tests {
                 .map(|e| e.is_some()),
             Ok(false)
         );
-        sink.publish(&write_event("s", &[(1, 1.0)]));
+        sink.publish(&write_event(S, &[(1, 1.0)]));
         assert!(matches!(
             rx.recv_timeout(Duration::from_millis(100)),
             Ok(Some(ChangeEvent::Write { .. }))
@@ -340,6 +347,6 @@ mod tests {
 
     #[test]
     fn event_series_accessor() {
-        assert_eq!(write_event("abc", &[]).series(), "abc");
+        assert_eq!(write_event(SeriesId(42), &[]).series(), SeriesId(42));
     }
 }

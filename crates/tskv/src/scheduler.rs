@@ -82,15 +82,17 @@ fn run_loop(inner: &EngineInner, stop: &AtomicBool) {
     let interval = Duration::from_millis(inner.compaction_interval_ms());
     while !stop.load(Ordering::Relaxed) {
         // Phase 1: candidates are collected under short per-shard read
-        // guards inside the engine; no guard survives the call.
+        // guards inside the engine; no guard survives the call. The
+        // list is interned ids — a sweep over a million series never
+        // clones a name.
         let candidates = inner.compaction_candidates();
         // Phase 2: compact off-lock, one series at a time.
-        for name in candidates {
+        for id in candidates {
             if stop.load(Ordering::Relaxed) {
                 return;
             }
             inner.io().record_compaction_scheduled();
-            match inner.compact_policy(&name) {
+            match inner.compact_policy(id) {
                 Ok(report) if report.files_removed > 0 => {
                     inner.io().record_compaction_completed();
                 }

@@ -1,0 +1,737 @@
+//! Shared, series-tagged write-ahead log for one storage shard.
+//!
+//! The legacy layout gave every series its own `series.wal`, so a
+//! million registered series meant a million open files and a million
+//! directory entries before a single point arrived. The sharded layout
+//! amortizes instead: each of the fixed `storage_shards` directories
+//! holds **one** log shared by every series hashed into it, and each
+//! record carries the [`SeriesId`] it belongs to. A cold series costs
+//! zero WAL state; a hot shard batches frames from many series into the
+//! same group-committed appends.
+//!
+//! ## Record framing
+//!
+//! `u8 kind | body | u32 crc` (CRC over kind + body), little-endian:
+//!
+//! * kind 0 — insert run: `u32 id`, `varint n`, `n × (varint_i t, f64 v)`.
+//! * kind 1 — delete: `u32 id`, `varint κ`, `varint_i t_ds`, `varint_i t_de`.
+//! * kind 2 — flush-begin: `u32 id`. Marks the drain point of a flush:
+//!   every record of this series before the marker covers points now
+//!   leaving the memtable.
+//! * kind 3 — flush-end: `u32 id`. The flush's TsFile is durable; on
+//!   replay, this series' records before the matching begin marker are
+//!   skipped (their points live in the sealed file).
+//!
+//! The markers replace the legacy `rotate_for_flush`/`discard_sealed`
+//! file dance: rotation is a logical position in a shared log, not a
+//! file rename. Losing an *end* marker (crash between install and
+//! sync) merely replays points that also exist in the sealed file —
+//! the merge path dedups same-timestamp points, so reads stay correct,
+//! exactly the legacy contract.
+//!
+//! ## Segments and space reclamation
+//!
+//! The log is a sequence of `wal-NNNNNNNN.log` segment files; the
+//! highest-numbered one is active and appends roll to a fresh segment
+//! once it crosses `segment_bytes`. Reclamation is prefix-only: a
+//! sealed segment is deleted once every series' uncovered records (the
+//! ones a replay would still need) start at or after its end. When
+//! *no* series has uncovered records, the whole log resets: sealed
+//! segments are deleted and the active one is truncated. An append
+//! between the check and the truncate is impossible — every append
+//! updates `last_append` under the same mutex, making that series
+//! uncovered and vetoing the reset.
+//!
+//! ## Group commit
+//!
+//! Mirrors [`crate::wal::Wal`]: frames buffer in memory up to
+//! `batch_bytes`, drain in one `write_all` on [`ShardWal::commit`]
+//! (which the engine calls per series touched, before acknowledging),
+//! and fsync per the engine's policy. Offsets are *logical* — they
+//! count buffered bytes — so coverage arithmetic never depends on what
+//! has physically reached the file yet.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use tsfile::checksum::crc32;
+use tsfile::types::{Point, TimeRange, Timestamp, Version};
+use tsfile::varint;
+
+use crate::catalog::SeriesId;
+use crate::wal::WalRecord;
+use crate::Result;
+
+/// One sealed (no longer written) segment file.
+#[derive(Debug)]
+struct Segment {
+    /// Logical offset just past the segment's last byte.
+    end: u64,
+    path: PathBuf,
+}
+
+#[derive(Debug)]
+struct WalState {
+    file: File,
+    active_path: PathBuf,
+    /// Logical offset of the active segment's first byte.
+    seg_base: u64,
+    /// Logical end of the log: every byte appended so far, buffered or
+    /// written.
+    pos: u64,
+    /// Framed records not yet written to the OS.
+    buf: Vec<u8>,
+    written_since_commit: u64,
+    sealed: Vec<Segment>,
+    next_seg_id: u64,
+    /// Per-series logical offset just past its last insert/delete
+    /// record. Pruned once everything is covered by durable files.
+    last_append: HashMap<SeriesId, u64>,
+    /// Per-series logical offset of the first record a replay would
+    /// still need. Pruned with `last_append`; its minimum is the
+    /// reclamation horizon.
+    first_uncovered: HashMap<SeriesId, u64>,
+    /// In-flight flushes: series → offset of its begin marker.
+    pending_begin: HashMap<SeriesId, u64>,
+}
+
+/// The shared log of one storage shard.
+#[derive(Debug)]
+pub(crate) struct ShardWal {
+    batch_bytes: usize,
+    segment_bytes: u64,
+    state: Mutex<WalState>,
+}
+
+fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("wal-{id:08}.log"))
+}
+
+fn parse_segment_id(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+/// A record replayed from a shard log, tagged with its series.
+#[derive(Debug, Clone, PartialEq)]
+enum TaggedRecord {
+    Op(SeriesId, WalRecord),
+    FlushBegin(SeriesId),
+    FlushEnd(SeriesId),
+}
+
+/// Decode one framed record at `start`; `None` on torn/corrupt data.
+fn decode_record(buf: &[u8], start: usize) -> Option<(TaggedRecord, usize)> {
+    let mut pos = start;
+    let kind = *buf.get(pos)?;
+    pos += 1;
+    let id_bytes = buf.get(pos..pos.checked_add(4)?)?;
+    let id = SeriesId(u32::from_le_bytes(id_bytes.try_into().ok()?));
+    pos += 4;
+    let record = match kind {
+        0 => {
+            let n = varint::read_u64(buf, &mut pos).ok()? as usize;
+            // A record cannot hold more points than bytes remaining.
+            if n > buf.len().saturating_sub(pos) {
+                return None;
+            }
+            let mut points = Vec::with_capacity(n);
+            for _ in 0..n {
+                let t: Timestamp = varint::read_i64(buf, &mut pos).ok()?;
+                let v_bytes = buf.get(pos..pos.checked_add(8)?)?;
+                pos += 8;
+                points.push(Point::new(t, f64::from_le_bytes(v_bytes.try_into().ok()?)));
+            }
+            TaggedRecord::Op(id, WalRecord::Insert(points))
+        }
+        1 => {
+            let version = Version(varint::read_u64(buf, &mut pos).ok()?);
+            let s = varint::read_i64(buf, &mut pos).ok()?;
+            let e = varint::read_i64(buf, &mut pos).ok()?;
+            TaggedRecord::Op(
+                id,
+                WalRecord::Delete {
+                    version,
+                    range: TimeRange::new(s, e),
+                },
+            )
+        }
+        2 => TaggedRecord::FlushBegin(id),
+        3 => TaggedRecord::FlushEnd(id),
+        _ => return None,
+    };
+    let crc_bytes = buf.get(pos..pos.checked_add(4)?)?;
+    let expected = u32::from_le_bytes(crc_bytes.try_into().ok()?);
+    if crc32(buf.get(start..pos)?) != expected {
+        return None;
+    }
+    Some((record, pos + 4))
+}
+
+/// Per-series surviving state after a replay scan.
+#[derive(Debug, Default)]
+struct ReplayState {
+    /// `(logical offset, record)` in append order.
+    ops: Vec<(u64, WalRecord)>,
+    /// Offset of the begin marker of an in-flight (unmatched) flush.
+    open_begin: Option<u64>,
+    /// Offset of the begin marker of the last *matched* begin/end pair:
+    /// ops before it are covered by a durable file.
+    covered_below: u64,
+    last_append: u64,
+}
+
+impl ShardWal {
+    /// Open the shard log in `dir`, replaying existing segments.
+    /// Returns the live log plus, per series, the operations a restart
+    /// must re-apply (covered prefixes already skipped).
+    pub fn open(
+        dir: &Path,
+        batch_bytes: usize,
+        segment_bytes: u64,
+    ) -> Result<(ShardWal, HashMap<SeriesId, Vec<WalRecord>>)> {
+        let mut seg_ids: Vec<u64> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if let Some(id) = entry.file_name().to_str().and_then(parse_segment_id) {
+                seg_ids.push(id);
+            }
+        }
+        seg_ids.sort_unstable();
+
+        let mut sealed: Vec<Segment> = Vec::new();
+        let mut replay: HashMap<SeriesId, ReplayState> = HashMap::new();
+        let mut offset = 0u64;
+        for &seg_id in &seg_ids {
+            let path = segment_path(dir, seg_id);
+            let mut buf = Vec::new();
+            File::open(&path)?.read_to_end(&mut buf)?;
+            let mut pos = 0usize;
+            // Stop at the first torn/corrupt record of a segment (a
+            // crash only ever tears the tail of the last one) but keep
+            // scanning later segments: under latest-wins, dropping an
+            // older record while keeping newer ones is safe.
+            while pos < buf.len() {
+                let Some((record, next)) = decode_record(&buf, pos) else {
+                    break;
+                };
+                let at = offset + pos as u64;
+                match record {
+                    TaggedRecord::Op(id, op) => {
+                        let st = replay.entry(id).or_default();
+                        st.ops.push((at, op));
+                        st.last_append = offset + next as u64;
+                    }
+                    TaggedRecord::FlushBegin(id) => {
+                        replay.entry(id).or_default().open_begin = Some(at);
+                    }
+                    TaggedRecord::FlushEnd(id) => {
+                        let st = replay.entry(id).or_default();
+                        if let Some(begin) = st.open_begin.take() {
+                            st.covered_below = st.covered_below.max(begin);
+                        }
+                    }
+                }
+                pos = next;
+            }
+            let end = offset + buf.len() as u64;
+            sealed.push(Segment { end, path });
+            offset = end;
+        }
+
+        // A fresh segment becomes active; everything pre-existing stays
+        // sealed (a possibly-torn tail is never appended to).
+        let next_seg_id = seg_ids.last().map_or(0, |last| last + 1);
+        let active_path = segment_path(dir, next_seg_id);
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&active_path)?;
+
+        let mut last_append = HashMap::new();
+        let mut first_uncovered = HashMap::new();
+        let mut out: HashMap<SeriesId, Vec<WalRecord>> = HashMap::new();
+        for (id, st) in replay {
+            let surviving: Vec<(u64, WalRecord)> = st
+                .ops
+                .into_iter()
+                .filter(|&(at, _)| at >= st.covered_below)
+                .collect();
+            if let Some(&(first_at, _)) = surviving.first() {
+                first_uncovered.insert(id, first_at);
+                last_append.insert(id, st.last_append);
+                out.insert(id, surviving.into_iter().map(|(_, op)| op).collect());
+            }
+        }
+
+        let wal = ShardWal {
+            batch_bytes,
+            segment_bytes,
+            state: Mutex::new(WalState {
+                file,
+                active_path,
+                seg_base: offset,
+                pos: offset,
+                buf: Vec::new(),
+                written_since_commit: 0,
+                sealed,
+                next_seg_id: next_seg_id + 1,
+                last_append,
+                first_uncovered,
+                pending_begin: HashMap::new(),
+            }),
+        };
+        // Nothing uncovered (clean shutdown after full flush): reclaim
+        // the dead segments eagerly rather than on the next flush.
+        wal.state.lock().maybe_reclaim()?;
+        Ok((wal, out))
+    }
+
+    /// Append one insert run for `id`.
+    pub fn append_inserts(&self, id: SeriesId, points: &[Point]) -> Result<()> {
+        if points.is_empty() {
+            return Ok(());
+        }
+        let mut body = Vec::with_capacity(15 + points.len() * 12);
+        body.push(0u8);
+        body.extend_from_slice(&id.0.to_le_bytes());
+        varint::write_u64(&mut body, points.len() as u64);
+        for p in points {
+            varint::write_i64(&mut body, p.t);
+            body.extend_from_slice(&p.v.to_le_bytes());
+        }
+        self.append_op(id, body)
+    }
+
+    /// Append one delete for `id` with its global version `κ`.
+    pub fn append_delete(&self, id: SeriesId, version: Version, range: TimeRange) -> Result<()> {
+        let mut body = Vec::with_capacity(36);
+        body.push(1u8);
+        body.extend_from_slice(&id.0.to_le_bytes());
+        varint::write_u64(&mut body, version.0);
+        varint::write_i64(&mut body, range.start);
+        varint::write_i64(&mut body, range.end);
+        self.append_op(id, body)
+    }
+
+    fn append_op(&self, id: SeriesId, body: Vec<u8>) -> Result<()> {
+        let mut state = self.state.lock();
+        let at = state.pos;
+        state.append_framed(body, self.batch_bytes)?;
+        let pos = state.pos;
+        state.last_append.insert(id, pos);
+        state.first_uncovered.entry(id).or_insert(at);
+        Ok(())
+    }
+
+    /// End a group commit: drain buffered frames, optionally fsync, and
+    /// return the bytes written through since the previous commit.
+    pub fn commit(&self, sync: bool) -> Result<u64> {
+        let mut state = self.state.lock();
+        state.flush_buf()?;
+        let bytes = state.written_since_commit;
+        state.written_since_commit = 0;
+        if sync && bytes > 0 {
+            state.file.sync_data()?;
+        }
+        state.maybe_roll(self.segment_bytes)?;
+        Ok(bytes)
+    }
+
+    /// Force written records to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        let mut state = self.state.lock();
+        state.flush_buf()?;
+        state.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Mark the drain point of a flush of `id`: records before this
+    /// offset cover the points leaving the memtable. Must run under the
+    /// same lock that serializes this series' appends.
+    pub fn begin_flush(&self, id: SeriesId) -> Result<()> {
+        let mut state = self.state.lock();
+        let at = state.pos;
+        state.append_marker(2, id, self.batch_bytes)?;
+        state.pending_begin.insert(id, at);
+        Ok(())
+    }
+
+    /// The flush's TsFile is durable: everything of `id` before its
+    /// begin marker is covered. Reclaims dead log space when possible.
+    pub fn end_flush(&self, id: SeriesId) -> Result<()> {
+        let mut state = self.state.lock();
+        state.append_marker(3, id, self.batch_bytes)?;
+        state.flush_buf()?;
+        if let Some(begin) = state.pending_begin.remove(&id) {
+            if state.last_append.get(&id).is_some_and(|&last| last > begin) {
+                // Records landed after the drain point (writes racing
+                // the flush): the series stays uncovered from there.
+                let entry = state.first_uncovered.entry(id).or_insert(begin);
+                *entry = (*entry).max(begin);
+            } else {
+                state.last_append.remove(&id);
+                state.first_uncovered.remove(&id);
+            }
+        }
+        state.maybe_reclaim()?;
+        state.maybe_roll(self.segment_bytes)?;
+        Ok(())
+    }
+
+    /// The flush failed or was abandoned; its begin marker stays in the
+    /// log as a dead (never matched) marker.
+    pub fn abort_flush(&self, id: SeriesId) {
+        self.state.lock().pending_begin.remove(&id);
+    }
+
+    /// Segment files currently on disk (tests / inspection).
+    #[cfg(test)]
+    fn segment_count(&self) -> usize {
+        let state = self.state.lock();
+        state.sealed.len() + 1
+    }
+}
+
+impl WalState {
+    fn append_framed(&mut self, body: Vec<u8>, batch_bytes: usize) -> Result<()> {
+        let crc = crc32(&body);
+        self.buf.extend_from_slice(&body);
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+        self.pos += body.len() as u64 + 4;
+        if self.buf.len() >= batch_bytes {
+            self.flush_buf()?;
+        }
+        Ok(())
+    }
+
+    fn append_marker(&mut self, kind: u8, id: SeriesId, batch_bytes: usize) -> Result<()> {
+        let mut body = Vec::with_capacity(9);
+        body.push(kind);
+        body.extend_from_slice(&id.0.to_le_bytes());
+        self.append_framed(body, batch_bytes)
+    }
+
+    fn flush_buf(&mut self) -> Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.file.write_all(&self.buf)?;
+        self.written_since_commit += self.buf.len() as u64;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Roll to a fresh segment once the active one crosses the size
+    /// threshold. Only rolls when the buffer is drained (callers run it
+    /// after `flush_buf`).
+    fn maybe_roll(&mut self, segment_bytes: u64) -> Result<()> {
+        if !self.buf.is_empty() || self.pos - self.seg_base < segment_bytes {
+            return Ok(());
+        }
+        let dir = self
+            .active_path
+            .parent()
+            .map(Path::to_path_buf)
+            .unwrap_or_default();
+        let new_path = segment_path(&dir, self.next_seg_id);
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&new_path)?;
+        self.sealed.push(Segment {
+            end: self.pos,
+            path: std::mem::replace(&mut self.active_path, new_path),
+        });
+        self.file = file;
+        self.seg_base = self.pos;
+        self.next_seg_id += 1;
+        Ok(())
+    }
+
+    /// Drop log space no replay could need: sealed segments wholly
+    /// below every series' uncovered records, or — when nothing at all
+    /// is uncovered — the entire log.
+    fn maybe_reclaim(&mut self) -> Result<()> {
+        if self.first_uncovered.is_empty() && self.pending_begin.is_empty() {
+            // Nothing uncovered anywhere: full reset. Buffered frames
+            // can only belong to uncovered appends, so the buffer is
+            // provably empty here.
+            for seg in self.sealed.drain(..) {
+                remove_if_present(&seg.path)?;
+            }
+            // Recreate rather than truncate-in-place: O_APPEND offsets
+            // reset with the new handle on every platform.
+            let file = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&self.active_path)?;
+            file.sync_data()?;
+            self.file = OpenOptions::new().append(true).open(&self.active_path)?;
+            self.seg_base = self.pos;
+            self.last_append.clear();
+            return Ok(());
+        }
+        let mut min_keep = self
+            .first_uncovered
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(u64::MAX);
+        // An in-flight flush still needs everything from its begin
+        // marker (the flush may fail and fall back to the log).
+        for &begin in self.pending_begin.values() {
+            min_keep = min_keep.min(begin);
+        }
+        while let Some(seg) = self.sealed.first() {
+            if seg.end <= min_keep {
+                remove_if_present(&seg.path)?;
+                self.sealed.remove(0);
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn remove_if_present(path: &Path) -> Result<()> {
+    match std::fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests assert by panicking; the workspace deny-set targets
+    // library code.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tskv-shardwal-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn pts(raw: &[(i64, f64)]) -> Vec<Point> {
+        raw.iter().map(|&(t, v)| Point::new(t, v)).collect()
+    }
+
+    fn open(dir: &Path) -> (ShardWal, HashMap<SeriesId, Vec<WalRecord>>) {
+        ShardWal::open(dir, 0, 1 << 20).unwrap()
+    }
+
+    const A: SeriesId = SeriesId(0);
+    const B: SeriesId = SeriesId(7);
+
+    #[test]
+    fn interleaved_appends_replay_per_series() {
+        let dir = tmp("interleave");
+        {
+            let (w, replay) = open(&dir);
+            assert!(replay.is_empty());
+            w.append_inserts(A, &pts(&[(1, 1.0)])).unwrap();
+            w.append_inserts(B, &pts(&[(10, -1.0)])).unwrap();
+            w.append_delete(A, Version(5), TimeRange::new(0, 2))
+                .unwrap();
+            w.append_inserts(A, &pts(&[(2, 2.0)])).unwrap();
+            w.commit(false).unwrap();
+        }
+        let (_w, replay) = open(&dir);
+        assert_eq!(
+            replay.get(&A).unwrap(),
+            &vec![
+                WalRecord::Insert(pts(&[(1, 1.0)])),
+                WalRecord::Delete {
+                    version: Version(5),
+                    range: TimeRange::new(0, 2)
+                },
+                WalRecord::Insert(pts(&[(2, 2.0)])),
+            ]
+        );
+        assert_eq!(
+            replay.get(&B).unwrap(),
+            &vec![WalRecord::Insert(pts(&[(10, -1.0)]))]
+        );
+    }
+
+    #[test]
+    fn matched_flush_markers_skip_covered_prefix() {
+        let dir = tmp("covered");
+        {
+            let (w, _) = open(&dir);
+            w.append_inserts(A, &pts(&[(1, 1.0)])).unwrap();
+            w.commit(false).unwrap();
+            w.begin_flush(A).unwrap();
+            // Writes racing the flush land after the marker and survive.
+            w.append_inserts(A, &pts(&[(2, 2.0)])).unwrap();
+            w.commit(false).unwrap();
+            w.end_flush(A).unwrap();
+        }
+        let (_w, replay) = open(&dir);
+        assert_eq!(
+            replay.get(&A).unwrap(),
+            &vec![WalRecord::Insert(pts(&[(2, 2.0)]))]
+        );
+    }
+
+    #[test]
+    fn unmatched_begin_replays_everything() {
+        let dir = tmp("crashmid");
+        {
+            let (w, _) = open(&dir);
+            w.append_inserts(A, &pts(&[(1, 1.0)])).unwrap();
+            w.begin_flush(A).unwrap();
+            w.commit(false).unwrap();
+            // No end marker: crash mid-flush.
+        }
+        let (_w, replay) = open(&dir);
+        assert_eq!(
+            replay.get(&A).unwrap(),
+            &vec![WalRecord::Insert(pts(&[(1, 1.0)]))]
+        );
+    }
+
+    #[test]
+    fn full_flush_resets_log() {
+        let dir = tmp("reset");
+        let (w, _) = open(&dir);
+        w.append_inserts(A, &pts(&[(1, 1.0)])).unwrap();
+        w.append_inserts(B, &pts(&[(2, 2.0)])).unwrap();
+        w.commit(false).unwrap();
+        for id in [A, B] {
+            w.begin_flush(id).unwrap();
+            w.end_flush(id).unwrap();
+        }
+        // Everything covered: the log reset to one empty active segment.
+        assert_eq!(w.segment_count(), 1);
+        let files: Vec<u64> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.metadata().unwrap().len())
+            .collect();
+        assert_eq!(files, vec![0]);
+        drop(w);
+        let (_w, replay) = open(&dir);
+        assert!(replay.is_empty());
+    }
+
+    #[test]
+    fn covered_prefix_segments_are_reclaimed_past_uncovered_series() {
+        let dir = tmp("prefix");
+        // Tiny segments force rolls: A fills the early segments, B's
+        // lone record lands in a late one.
+        let (w, _) = ShardWal::open(&dir, 0, 64).unwrap();
+        for i in 0..20i64 {
+            w.append_inserts(A, &pts(&[(i, i as f64)])).unwrap();
+            w.commit(false).unwrap();
+        }
+        w.append_inserts(B, &pts(&[(1, 1.0)])).unwrap();
+        w.commit(false).unwrap();
+        let before = w.segment_count();
+        assert!(before > 2, "rolling produced only {before} segments");
+        // Flushing A covers the early segments; B (uncovered, late)
+        // does not pin them.
+        w.begin_flush(A).unwrap();
+        w.end_flush(A).unwrap();
+        let after = w.segment_count();
+        assert!(after < before, "prefix not reclaimed: {before} -> {after}");
+        // B's record must still replay after the reclaim.
+        drop(w);
+        let (w, replay) = open(&dir);
+        assert_eq!(
+            replay.get(&B).unwrap(),
+            &vec![WalRecord::Insert(pts(&[(1, 1.0)]))]
+        );
+        // Flushing B too clears the log entirely.
+        w.begin_flush(B).unwrap();
+        w.end_flush(B).unwrap();
+        assert_eq!(w.segment_count(), 1);
+    }
+
+    #[test]
+    fn torn_tail_drops_only_final_record() {
+        let dir = tmp("torn");
+        {
+            let (w, _) = open(&dir);
+            w.append_inserts(A, &pts(&[(1, 1.0)])).unwrap();
+            w.append_inserts(A, &pts(&[(2, 2.0), (3, 3.0)])).unwrap();
+            w.commit(false).unwrap();
+        }
+        // Tear the active segment's tail (segment 0: the only one with
+        // data).
+        let path = segment_path(&dir, 0);
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, data.get(..data.len() - 5).unwrap()).unwrap();
+        let (_w, replay) = open(&dir);
+        assert_eq!(
+            replay.get(&A).unwrap(),
+            &vec![WalRecord::Insert(pts(&[(1, 1.0)]))]
+        );
+    }
+
+    #[test]
+    fn grouped_mode_buffers_until_commit() {
+        let dir = tmp("grouped");
+        let (w, _) = ShardWal::open(&dir, 1 << 20, 1 << 20).unwrap();
+        w.append_inserts(A, &pts(&[(1, 1.0), (2, 2.0)])).unwrap();
+        // Nothing on disk yet (active segment is segment 0, empty).
+        assert_eq!(std::fs::metadata(segment_path(&dir, 0)).unwrap().len(), 0);
+        let bytes = w.commit(false).unwrap();
+        assert!(bytes > 0);
+        assert_eq!(
+            std::fs::metadata(segment_path(&dir, 0)).unwrap().len(),
+            bytes
+        );
+        // A second commit with nothing new reports an empty batch.
+        assert_eq!(w.commit(true).unwrap(), 0);
+    }
+
+    #[test]
+    fn abort_flush_keeps_records_replayable() {
+        let dir = tmp("abort");
+        {
+            let (w, _) = open(&dir);
+            w.append_inserts(A, &pts(&[(1, 1.0)])).unwrap();
+            w.begin_flush(A).unwrap();
+            w.abort_flush(A);
+            w.commit(false).unwrap();
+        }
+        let (_w, replay) = open(&dir);
+        assert_eq!(
+            replay.get(&A).unwrap(),
+            &vec![WalRecord::Insert(pts(&[(1, 1.0)]))]
+        );
+    }
+
+    #[test]
+    fn reopen_continues_segment_numbering() {
+        let dir = tmp("numbering");
+        {
+            let (w, _) = open(&dir);
+            w.append_inserts(A, &pts(&[(1, 1.0)])).unwrap();
+            w.commit(false).unwrap();
+        }
+        {
+            let (w, _) = open(&dir);
+            w.append_inserts(A, &pts(&[(2, 2.0)])).unwrap();
+            w.commit(false).unwrap();
+            // Old segment 0 sealed, new active segment 1.
+            assert_eq!(w.segment_count(), 2);
+        }
+        let (_w, replay) = open(&dir);
+        assert_eq!(replay.get(&A).unwrap().len(), 2);
+    }
+}

@@ -37,6 +37,9 @@ pub struct IoStats {
     compaction_bytes_rewritten: AtomicU64,
     compaction_pages_copied: AtomicU64,
     compaction_pages_recoded: AtomicU64,
+    catalog_hits: AtomicU64,
+    catalog_misses: AtomicU64,
+    stores_instantiated: AtomicU64,
 }
 
 /// Plain-value snapshot of [`IoStats`], subtractable for deltas.
@@ -108,6 +111,17 @@ pub struct IoSnapshot {
     /// Pooled read-buffer takes that had to allocate (process-wide,
     /// see `pool_hits`).
     pub pool_misses: u64,
+    /// Series-catalog lookups that found an existing id (one striped
+    /// read-lock probe, no allocation).
+    pub catalog_hits: u64,
+    /// Series-catalog lookups for a name with no interned id (first
+    /// touch of a series, or a probe for an unknown name).
+    pub catalog_misses: u64,
+    /// Lazy `SeriesStore` instantiations: registered series that were
+    /// first *touched* (written, deleted, or recovered with data).
+    /// `registered − instantiated` series cost no memtable, no file
+    /// handle, and no directory entry.
+    pub stores_instantiated: u64,
 }
 
 impl IoStats {
@@ -207,6 +221,18 @@ impl IoStats {
             .fetch_add(pages_recoded, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_catalog_hit(&self) {
+        self.catalog_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_catalog_miss(&self) {
+        self.catalog_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_store_instantiated(&self) {
+        self.stores_instantiated.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Capture current counter values. The buffer-pool counters come
     /// from the process-wide pool in `tsfile::bufpool` rather than
     /// per-engine atomics, so every snapshot carries them without the
@@ -239,6 +265,9 @@ impl IoStats {
             compaction_pages_recoded: self.compaction_pages_recoded.load(Ordering::Relaxed),
             pool_hits,
             pool_misses,
+            catalog_hits: self.catalog_hits.load(Ordering::Relaxed),
+            catalog_misses: self.catalog_misses.load(Ordering::Relaxed),
+            stores_instantiated: self.stores_instantiated.load(Ordering::Relaxed),
         }
     }
 }
@@ -273,6 +302,9 @@ impl std::ops::Sub for IoSnapshot {
             compaction_pages_recoded: self.compaction_pages_recoded - rhs.compaction_pages_recoded,
             pool_hits: self.pool_hits - rhs.pool_hits,
             pool_misses: self.pool_misses - rhs.pool_misses,
+            catalog_hits: self.catalog_hits - rhs.catalog_hits,
+            catalog_misses: self.catalog_misses - rhs.catalog_misses,
+            stores_instantiated: self.stores_instantiated - rhs.stores_instantiated,
         }
     }
 }
@@ -326,6 +358,19 @@ mod tests {
         assert_eq!(snap.compaction_bytes_rewritten, 200);
         assert_eq!(snap.compaction_pages_copied, 9);
         assert_eq!(snap.compaction_pages_recoded, 3);
+    }
+
+    #[test]
+    fn catalog_counters_accumulate() {
+        let s = IoStats::default();
+        s.record_catalog_hit();
+        s.record_catalog_hit();
+        s.record_catalog_miss();
+        s.record_store_instantiated();
+        let snap = s.snapshot();
+        assert_eq!(snap.catalog_hits, 2);
+        assert_eq!(snap.catalog_misses, 1);
+        assert_eq!(snap.stores_instantiated, 1);
     }
 
     #[test]

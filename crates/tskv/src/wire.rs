@@ -18,7 +18,7 @@
 use crate::stats::IoSnapshot;
 
 /// Number of `u64` values in the serialized [`IoSnapshot`] block.
-pub const IO_BLOCK_U64S: usize = 25;
+pub const IO_BLOCK_U64S: usize = 28;
 
 /// Flatten an [`IoSnapshot`] into its canonical wire order.
 pub fn encode_io_block(io: &IoSnapshot) -> [u64; IO_BLOCK_U64S] {
@@ -48,12 +48,15 @@ pub fn encode_io_block(io: &IoSnapshot) -> [u64; IO_BLOCK_U64S] {
         io.pages_stat_answered,
         io.pool_hits,
         io.pool_misses,
+        io.catalog_hits,
+        io.catalog_misses,
+        io.stores_instantiated,
     ]
 }
 
 /// Rebuild an [`IoSnapshot`] from its canonical wire order.
 pub fn decode_io_block(block: &[u64; IO_BLOCK_U64S]) -> IoSnapshot {
-    let [chunks_loaded, bytes_read, points_decoded, timestamps_decoded, mem_chunks_read, cache_hits, cache_misses, cache_evictions, cache_invalidations, points_written, wal_batches, wal_bytes, wal_syncs, compactions_scheduled, compactions_completed, compactions_skipped, compaction_bytes_read, compaction_bytes_rewritten, compaction_pages_copied, compaction_pages_recoded, pages_decoded, pages_skipped, pages_stat_answered, pool_hits, pool_misses] =
+    let [chunks_loaded, bytes_read, points_decoded, timestamps_decoded, mem_chunks_read, cache_hits, cache_misses, cache_evictions, cache_invalidations, points_written, wal_batches, wal_bytes, wal_syncs, compactions_scheduled, compactions_completed, compactions_skipped, compaction_bytes_read, compaction_bytes_rewritten, compaction_pages_copied, compaction_pages_recoded, pages_decoded, pages_skipped, pages_stat_answered, pool_hits, pool_misses, catalog_hits, catalog_misses, stores_instantiated] =
         *block;
     IoSnapshot {
         chunks_loaded,
@@ -81,6 +84,9 @@ pub fn decode_io_block(block: &[u64; IO_BLOCK_U64S]) -> IoSnapshot {
         compaction_pages_recoded,
         pool_hits,
         pool_misses,
+        catalog_hits,
+        catalog_misses,
+        stores_instantiated,
     }
 }
 

@@ -36,7 +36,9 @@ fn fixture_points() -> Vec<Point> {
 }
 
 /// Lay out a store directory whose series `s` starts from the v1
-/// fixture as its only sealed file.
+/// fixture as its only sealed file. This deliberately uses the legacy
+/// one-directory-per-series layout, so opening it exercises the
+/// sharded-layout migration on top of the format upgrade.
 fn seed_v1_store(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("tskv-upgrade-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -45,12 +47,21 @@ fn seed_v1_store(tag: &str) -> PathBuf {
     dir
 }
 
+/// Every sealed data file across all storage shard directories.
 fn sealed_paths(dir: &std::path::Path) -> Vec<PathBuf> {
-    let mut out: Vec<PathBuf> = std::fs::read_dir(dir.join("s"))
-        .unwrap()
-        .map(|f| f.unwrap().path())
-        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("tsfile"))
-        .collect();
+    let mut out: Vec<PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let shard = entry.unwrap().path();
+        if !shard.is_dir() {
+            continue;
+        }
+        for f in std::fs::read_dir(&shard).unwrap() {
+            let p = f.unwrap().path();
+            if p.extension().and_then(|e| e.to_str()) == Some("tsfile") {
+                out.push(p);
+            }
+        }
+    }
     out.sort();
     out
 }

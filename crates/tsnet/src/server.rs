@@ -592,7 +592,10 @@ fn map_tskv_error(e: &tskv::TsKvError) -> (ErrorCode, String) {
         TsKvError::InvalidDeleteRange { .. }
         | TsKvError::InvalidSeriesName(_)
         | TsKvError::InvalidConfig { .. } => ErrorCode::InvalidRequest,
-        TsKvError::TsFile(_) | TsKvError::Io(_) => ErrorCode::Engine,
+        TsKvError::CatalogFull { .. }
+        | TsKvError::Corrupt(_)
+        | TsKvError::TsFile(_)
+        | TsKvError::Io(_) => ErrorCode::Engine,
     };
     (code, e.to_string())
 }
@@ -754,18 +757,33 @@ fn execute_query(
 }
 
 fn execute_flush(shared: &Shared, series: &Option<String>, compact: bool) -> Execution {
-    let names: Vec<String> = match series {
-        Some(name) => vec![name.clone()],
-        None => shared.store.series_names(),
+    // Resolve once at the boundary, then sweep dense ids: the
+    // all-series case never materializes a name list (with a
+    // high-cardinality catalog that would be millions of Strings for a
+    // sweep that touches only the handful of instantiated stores).
+    let ids: Vec<tskv::SeriesId> = match series {
+        Some(name) => vec![shared
+            .store
+            .series_id(name)
+            .ok_or_else(|| map_tskv_error(&tskv::TsKvError::SeriesNotFound(name.clone())))?],
+        None => (0..shared.store.series_count())
+            .map(|i| tskv::SeriesId(i as u32))
+            .collect(),
     };
-    for name in &names {
-        shared.store.flush(name).map_err(|e| map_tskv_error(&e))?;
+    for &id in &ids {
+        shared
+            .store
+            .flush_by_id(id)
+            .map_err(|e| map_tskv_error(&e))?;
         if compact {
-            shared.store.compact(name).map_err(|e| map_tskv_error(&e))?;
+            shared
+                .store
+                .compact_by_id(id)
+                .map_err(|e| map_tskv_error(&e))?;
         }
     }
     Ok(Response::Flushed {
-        series_flushed: names.len() as u32,
+        series_flushed: ids.len() as u32,
     })
 }
 

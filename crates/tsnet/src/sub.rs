@@ -65,7 +65,7 @@ use std::time::{Duration, Instant};
 use m4::stream::StreamingM4;
 use m4::{M4Query, SpanRepr};
 use parking_lot::Mutex;
-use tskv::{ChangeEvent, ChangeObserver, ChangeRx, TsKv};
+use tskv::{ChangeEvent, ChangeObserver, ChangeRx, SeriesId, TsKv};
 
 use crate::error::ErrorCode;
 use crate::stats::ServerStats;
@@ -100,10 +100,13 @@ pub struct SubSpec<'a> {
     pub w: u32,
 }
 
-/// Identity of one shared dashboard computation.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// Identity of one shared dashboard computation. The series is the
+/// interned [`SeriesId`], resolved once at subscribe time: everything
+/// past the wire boundary — event matching, repair snapshots, dashboard
+/// dedup — runs on dense ids, never on name strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct DashKey {
-    series: String,
+    series: SeriesId,
     t_qs: i64,
     t_qe: i64,
     w: usize,
@@ -333,6 +336,16 @@ pub struct SubRegistry {
     settings: SubSettings,
     inner: Mutex<Inner>,
     shutting_down: AtomicBool,
+    /// Idle latch for the dispatcher: with zero dashboards it parks
+    /// here instead of polling the change channel every
+    /// `dispatch_interval_ms`. `subscribe` and `stop` set the flag
+    /// under the mutex and notify, so a park can never miss a wake.
+    /// std primitives, not the parking_lot shim — it has no condvar.
+    wake: StdMutex<bool>,
+    wake_cv: Condvar,
+    /// Dispatcher iterations that actually polled/stepped — stays flat
+    /// while the registry is idle (the busy-wake regression signal).
+    dispatch_wakeups: AtomicU64,
     /// Change events the dispatcher has fully applied.
     processed: AtomicU64,
     /// Shared view of the change channel's published-event counter and
@@ -356,6 +369,9 @@ impl SubRegistry {
             settings,
             inner: Mutex::new(Inner::default()),
             shutting_down: AtomicBool::new(false),
+            wake: StdMutex::new(false),
+            wake_cv: Condvar::new(),
+            dispatch_wakeups: AtomicU64::new(0),
             processed: AtomicU64::new(0),
             progress,
             dispatcher: Mutex::new(None),
@@ -375,6 +391,8 @@ impl SubRegistry {
     /// queues themselves are closed by their owning workers.
     pub fn stop(&self) {
         self.shutting_down.store(true, Ordering::Release);
+        // A dispatcher parked on the idle latch must see the shutdown.
+        self.wake_dispatcher();
         let handle = {
             let mut slot = self.dispatcher.lock();
             slot.take()
@@ -398,6 +416,13 @@ impl SubRegistry {
         self.inner.lock().subs.len()
     }
 
+    /// Dispatcher iterations that polled the change channel. A registry
+    /// with no dashboards parks instead of polling, so this stays flat
+    /// while idle.
+    pub fn dispatch_wakeups(&self) -> u64 {
+        self.dispatch_wakeups.load(Ordering::Acquire)
+    }
+
     /// Register a subscription for `conn_id` and queue its `SubAck`.
     ///
     /// The ack is enqueued under the registry lock, *before* any delta
@@ -418,14 +443,14 @@ impl SubRegistry {
         } = spec;
         let query = M4Query::new(t_qs, t_qe, w as usize)
             .map_err(|e| (ErrorCode::InvalidRequest, e.to_string()))?;
-        // The series must exist up front; later engine failures surface
-        // as SubError pushes.
-        self.store.snapshot(series).map_err(|e| {
-            let code = match e {
-                tskv::TsKvError::SeriesNotFound(_) => ErrorCode::SeriesNotFound,
-                _ => ErrorCode::Engine,
-            };
-            (code, e.to_string())
+        // Resolve the name to its interned id exactly once, here at the
+        // wire boundary; the series must exist up front, and later
+        // engine failures surface as SubError pushes.
+        let sid = self.store.series_id(series).ok_or_else(|| {
+            (
+                ErrorCode::SeriesNotFound,
+                format!("series {series:?} not found"),
+            )
         })?;
         let mut inner = self.inner.lock();
         if inner.subs.len() >= self.settings.max_subscriptions.max(1) {
@@ -438,7 +463,7 @@ impl SubRegistry {
             ));
         }
         let key = DashKey {
-            series: series.to_string(),
+            series: sid,
             t_qs,
             t_qe,
             w: w as usize,
@@ -461,7 +486,7 @@ impl SubRegistry {
                 stream.invalidate_all();
                 let last = vec![None; w as usize];
                 inner.dashboards.insert(
-                    key.clone(),
+                    key,
                     Dashboard {
                         stream,
                         last: last.clone(),
@@ -487,7 +512,20 @@ impl SubRegistry {
             .map_err(|e| (ErrorCode::Engine, format!("encode SubAck: {e}")))?;
         queue.push_response(frame);
         self.stats.record_sub_attached();
+        drop(inner);
+        // Outside the registry lock (the parked dispatcher re-checks
+        // dashboard counts, which takes it): hand the dispatcher its
+        // wake-up so the initial fill starts promptly.
+        self.wake_dispatcher();
         Ok(sub_id)
+    }
+
+    /// Wake a dispatcher parked on the idle latch. Sets the flag under
+    /// the latch mutex so the park predicate can never miss it.
+    fn wake_dispatcher(&self) {
+        let mut wake = self.wake.lock().unwrap_or_else(PoisonError::into_inner);
+        *wake = true;
+        self.wake_cv.notify_all();
     }
 
     /// Detach one subscription owned by `conn_id`.
@@ -588,7 +626,7 @@ impl SubRegistry {
                 .dashboards
                 .iter()
                 .filter(|(_, d)| !d.stream.is_exact())
-                .map(|(k, d)| (k.clone(), *d.stream.query()))
+                .map(|(k, d)| (*k, *d.stream.query()))
                 .collect()
         };
         // Nothing to repair AND nothing ingested: no state can have
@@ -604,7 +642,7 @@ impl SubRegistry {
         for (key, query) in repairs {
             let result = self
                 .store
-                .snapshot(&key.series)
+                .snapshot_by_id(key.series)
                 .map_err(|e| e.to_string())
                 .and_then(|snap| {
                     m4::M4Lsm::new()
@@ -772,10 +810,15 @@ impl SubRegistry {
             // flight" (a transient overcount is merely conservative).
             let caught_up = self.progress.sent() == self.processed.load(Ordering::Acquire)
                 && !self.progress.missed();
-            let settled = caught_up && {
+            let settled = {
                 let inner = self.inner.lock();
-                inner.dashboards.values().all(|d| d.stream.is_exact())
-                    && inner.conns.values().all(|q| q.idle_for_quiesce())
+                // With zero dashboards the dispatcher is parked and
+                // events stay queued on purpose — there is no
+                // subscriber state to settle, so only the outbound
+                // queues matter.
+                inner.conns.values().all(|q| q.idle_for_quiesce())
+                    && (inner.dashboards.is_empty()
+                        || (caught_up && inner.dashboards.values().all(|d| d.stream.is_exact())))
             };
             if settled {
                 stable += 1;
@@ -795,9 +838,32 @@ impl SubRegistry {
 
 /// Dispatcher thread body: batch change events, advance the shared
 /// dashboards, track the caught-up flag quiesce relies on.
+///
+/// With zero dashboards there is nothing any event could update, so
+/// the thread parks on the registry's idle latch instead of waking
+/// every `dispatch_interval_ms` — an idle server burns no dispatcher
+/// CPU no matter how small the interval. Events published while parked
+/// stay queued; if the bounded channel overflows meanwhile, the missed
+/// flag invalidates every dashboard on resume, which is a no-op for
+/// the freshly created (all-dirty) dashboards that triggered the wake.
 fn dispatch_loop(reg: &Arc<SubRegistry>, rx: &ChangeRx) {
     let poll = Duration::from_millis(reg.settings.dispatch_interval_ms.max(1));
     while !reg.shutting_down.load(Ordering::Acquire) {
+        if reg.active_dashboards() == 0 {
+            let mut wake = reg.wake.lock().unwrap_or_else(PoisonError::into_inner);
+            while !*wake && !reg.shutting_down.load(Ordering::Acquire) {
+                // The timeout is only a safety net; real wakes come
+                // from the subscribe/stop notifies.
+                wake = reg
+                    .wake_cv
+                    .wait_timeout(wake, Duration::from_secs(1))
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+            *wake = false;
+            continue;
+        }
+        reg.dispatch_wakeups.fetch_add(1, Ordering::AcqRel);
         let mut events = Vec::new();
         match rx.recv_timeout(poll) {
             Ok(Some(ev)) => events.push(ev),
@@ -1007,6 +1073,74 @@ mod tests {
             .subscribe(1, &queue, 0, spec("s", 0, 100, 4))
             .unwrap_err();
         assert_eq!(e.0, ErrorCode::Subscription);
+        reg.stop();
+    }
+
+    #[test]
+    fn idle_dispatcher_parks_until_first_subscription() {
+        let stats = Arc::new(ServerStats::default());
+        let store = open_store("idlepark");
+        store.insert_batch("s", &[Point::new(10, 1.0)]).unwrap();
+        let reg = SubRegistry::start(
+            Arc::clone(&store),
+            stats,
+            SubSettings {
+                max_subscriptions: 16,
+                push_queue_spans: 1024,
+                change_queue_depth: 4,
+                dispatch_interval_ms: 1,
+            },
+        );
+        // No dashboards: at a 1ms poll interval an unparked dispatcher
+        // would rack up ~hundreds of wakeups here. Parked, it takes
+        // none (the latch's safety-net timeout is a full second).
+        thread::sleep(Duration::from_millis(250));
+        assert_eq!(reg.dispatch_wakeups(), 0, "dispatcher busy-woke while idle");
+        // Ingest while parked must not wake it either — even past the
+        // tiny channel depth (overflow just sets the missed flag).
+        for t in 0..16 {
+            store.insert_batch("s", &[Point::new(20 + t, 2.0)]).unwrap();
+        }
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(reg.dispatch_wakeups(), 0, "ingest woke an idle dispatcher");
+        // A quiesce with no subscribers settles immediately.
+        assert!(reg.quiesce(Duration::from_secs(1)), "idle quiesce");
+        // The first subscription wakes it and the dashboard fills to
+        // the authoritative answer despite the overflowed channel.
+        let queue = Arc::new(OutboundQueue::new(1024));
+        let stop = Arc::new(AtomicBool::new(false));
+        let drain_queue = Arc::clone(&queue);
+        let drain_stop = Arc::clone(&stop);
+        let drainer = thread::spawn(move || {
+            while !drain_stop.load(Ordering::Acquire) {
+                {
+                    let mut q = drain_queue.lock_state();
+                    q.responses.clear();
+                    q.urgent.clear();
+                    q.pending.clear();
+                }
+                thread::sleep(Duration::from_millis(1));
+            }
+        });
+        reg.subscribe(1, &queue, 0, spec("s", 0, 100, 4)).unwrap();
+        assert!(reg.quiesce(Duration::from_secs(5)), "fill after wake");
+        assert!(reg.dispatch_wakeups() > 0, "subscription failed to wake");
+        {
+            let inner = reg.inner.lock();
+            let d = inner.dashboards.values().next().unwrap();
+            assert!(d.stream.is_exact());
+            let expected = m4::M4Lsm::new()
+                .execute(
+                    &store.snapshot("s").unwrap(),
+                    &M4Query::new(0, 100, 4).unwrap(),
+                )
+                .unwrap();
+            for (i, (got, want)) in d.last.iter().zip(expected.spans.iter()).enumerate() {
+                assert!(same_span(got, want), "span {i} diverged");
+            }
+        }
+        stop.store(true, Ordering::Release);
+        drainer.join().unwrap();
         reg.stop();
     }
 

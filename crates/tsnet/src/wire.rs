@@ -49,9 +49,11 @@ pub const MAGIC: [u8; 4] = *b"TSN1";
 /// pages copied/recoded); v4 broke strict request/reply — request and
 /// response payloads now carry a `request_id`, frame kind 2 carries
 /// server-initiated [`Push`] payloads (subscriptions), and the Stats
-/// server block grew the five subscription counters. Mismatched peers
-/// are rejected rather than silently mis-framed.
-pub const VERSION: u8 = 4;
+/// server block grew the five subscription counters; v5 appended the
+/// high-cardinality catalog counters (catalog hit/miss, lazy store
+/// instantiations) to the Stats io block. Mismatched peers are
+/// rejected rather than silently mis-framed.
+pub const VERSION: u8 = 5;
 /// Bytes before the payload (magic + version + kind + len).
 pub const HEADER_LEN: usize = 10;
 /// Bytes after the payload (payload CRC32).

@@ -147,6 +147,9 @@ fn io_snapshot_strategy() -> impl Strategy<Value = IoSnapshot> {
         pages_stat_answered: v[22],
         pool_hits: v[23],
         pool_misses: v[24],
+        catalog_hits: v[25],
+        catalog_misses: v[26],
+        stores_instantiated: v[27],
     })
 }
 

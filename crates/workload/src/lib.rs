@@ -15,15 +15,24 @@
 //! RNG and a random-walk signal. See DESIGN.md §1 for the substitution
 //! argument.
 //!
+//! Beyond the paper's four single-series datasets, [`multiseries`]
+//! adds SciTS-style high-cardinality generators (Zipf-skewed series
+//! popularity, batch size, out-of-order arrival fraction) for the
+//! cardinality experiments.
+//!
 //! All generation is deterministic given the seed, so benchmark runs
 //! are reproducible.
 
 #![forbid(unsafe_code)]
 
 pub mod datasets;
+pub mod multiseries;
 pub mod scenario;
 pub mod signal;
 pub mod timestamps;
 
 pub use datasets::{Dataset, DatasetSpec};
-pub use scenario::{apply_random_deletes, load_sequential, load_with_overlap, overlap_fraction};
+pub use multiseries::{MultiSeriesGen, MultiSeriesSpec, Zipf};
+pub use scenario::{
+    apply_random_deletes, load_out_of_order, load_sequential, load_with_overlap, overlap_fraction,
+};

@@ -1,0 +1,288 @@
+//! High-cardinality multi-series ingest generator (SciTS-style): many
+//! registered series, Zipf-skewed write popularity, fixed-size batches,
+//! and a controllable out-of-order arrival fraction.
+//!
+//! Benchmarks like SciTS (Shafiei et al.) stress exactly the axes a
+//! per-series LSM engine is sensitive to at high cardinality: how many
+//! series exist, how unevenly writes concentrate on them, and how often
+//! a batch arrives with timestamps behind data already written. This
+//! module generates such workloads deterministically:
+//!
+//! * **Popularity** — batch `k` targets the series drawn from a
+//!   [`Zipf`] distribution over popularity ranks; `s = 0` is uniform,
+//!   `s ≈ 1.2` concentrates most writes on a few hot series while the
+//!   long tail stays cold (registered, rarely written).
+//! * **Out-of-order arrival** — with probability `out_of_order_frac` a
+//!   series' next two time-adjacent batches swap arrival order: the
+//!   later range is emitted first and the earlier range arrives after
+//!   it (the multi-series generalization of
+//!   [`crate::scenario::load_out_of_order`]).
+//! * **Determinism** — timestamps within one series are disjoint across
+//!   batches, and values come from the pure function [`value_at`], so a
+//!   verifier can replay any subset of the plan into a fresh store and
+//!   compare query results bit-for-bit without keeping the data around.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tsfile::types::Point;
+
+/// Timestamp spacing of generated points (one per second).
+pub const DELTA_MS: i64 = 1_000;
+
+/// Sentinel for "no pending out-of-order hole" (timestamps generated
+/// here are always non-negative).
+const HOLE_NONE: i64 = i64::MIN;
+
+/// Zipf distribution over `n` popularity ranks with exponent `s`:
+/// rank `r` (0-based) has weight `1 / (r + 1)^s`. Sampling is a binary
+/// search over the precomputed CDF — O(log n) per draw, no rejection.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler for `n ≥ 1` ranks (a requested `n` of zero is
+    /// treated as one). `s = 0` degenerates to uniform.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        let n = n.max(1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 1..=n {
+            acc += (r as f64).powf(-s);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Never true: the constructor pins `n ≥ 1`.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw one rank in `0..len()`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.r#gen();
+        self.cdf
+            .partition_point(|&c| c < u)
+            .min(self.cdf.len().saturating_sub(1))
+    }
+}
+
+/// Canonical name of series rank `i` in a cardinality workload.
+pub fn series_name(i: usize) -> String {
+    format!("card.{i:07}")
+}
+
+/// Deterministic value of series `i` at time `t`: pure in its inputs,
+/// so a verifier can recompute any point without storing the workload.
+pub fn value_at(i: usize, t: i64) -> f64 {
+    let mix = (i as i64)
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(t / DELTA_MS);
+    (mix.rem_euclid(2_000) - 1_000) as f64 * 0.25
+}
+
+/// Parameters of one multi-series ingest workload.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiSeriesSpec {
+    /// Registered series (popularity ranks 0..series_count).
+    pub series_count: usize,
+    /// Zipf exponent of write popularity (0 = uniform).
+    pub zipf_s: f64,
+    /// Points per generated batch.
+    pub batch_points: usize,
+    /// Probability that a series' next two batches swap arrival order.
+    pub out_of_order_frac: f64,
+    /// RNG seed; equal specs generate equal plans.
+    pub seed: u64,
+}
+
+impl MultiSeriesSpec {
+    /// Start the deterministic batch stream for this spec.
+    pub fn generator(&self) -> MultiSeriesGen {
+        MultiSeriesGen {
+            spec: *self,
+            zipf: Zipf::new(self.series_count, self.zipf_s),
+            rng: StdRng::seed_from_u64(self.seed ^ 0xCA7D_1A11),
+            heads: vec![0; self.series_count.max(1)],
+            holes: vec![HOLE_NONE; self.series_count.max(1)],
+        }
+    }
+
+    /// Generate the full plan for `batches` batches up front.
+    pub fn plan(&self, batches: usize) -> Vec<(usize, Vec<Point>)> {
+        let mut g = self.generator();
+        (0..batches).map(|_| g.next_batch()).collect()
+    }
+}
+
+/// Streaming batch generator. Per series it keeps a monotone time head
+/// plus at most one pending "hole": an out-of-order draw emits the
+/// range *ahead* of the head and parks the skipped range, which the
+/// series' next batch then fills — arriving with earlier timestamps
+/// than data already emitted. Timestamps never repeat within a series,
+/// so the logical store contents are independent of the order in which
+/// racing writers apply the plan.
+#[derive(Debug)]
+pub struct MultiSeriesGen {
+    spec: MultiSeriesSpec,
+    zipf: Zipf,
+    rng: StdRng,
+    heads: Vec<i64>,
+    holes: Vec<i64>,
+}
+
+impl MultiSeriesGen {
+    /// Produce the next batch: the targeted series rank and its points
+    /// (time-sorted within the batch).
+    pub fn next_batch(&mut self) -> (usize, Vec<Point>) {
+        let s = self.zipf.sample(&mut self.rng);
+        let b = self.spec.batch_points.max(1) as i64;
+        let span = b * DELTA_MS;
+        let ooo = self.spec.out_of_order_frac.clamp(0.0, 1.0);
+        let start = match self.holes.get(s).copied() {
+            Some(h) if h != HOLE_NONE => {
+                // Fill the parked earlier range: this batch arrives
+                // out of order relative to the series' emitted data.
+                self.holes[s] = HOLE_NONE;
+                h
+            }
+            _ if self.rng.gen_bool(ooo) => {
+                let h = self.heads[s];
+                self.holes[s] = h;
+                self.heads[s] = h + 2 * span;
+                h + span
+            }
+            _ => {
+                let h = self.heads[s];
+                self.heads[s] = h + span;
+                h
+            }
+        };
+        let points = (0..b)
+            .map(|k| {
+                let t = start + k * DELTA_MS;
+                Point::new(t, value_at(s, t))
+            })
+            .collect();
+        (s, points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests assert by panicking; the workspace deny-set targets library code.
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
+
+    use super::*;
+    use std::collections::HashMap;
+
+    fn spec(series: usize, s: f64, ooo: f64) -> MultiSeriesSpec {
+        MultiSeriesSpec {
+            series_count: series,
+            zipf_s: s,
+            batch_points: 16,
+            out_of_order_frac: ooo,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let z = Zipf::new(100, 1.2);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50]);
+        // Rank 0 of a 1.2-skewed Zipf over 100 ranks carries >15% of
+        // the mass; uniform would give 1%.
+        assert!(counts[0] > 3_000, "rank 0 drew only {}", counts[0]);
+    }
+
+    #[test]
+    fn zipf_zero_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let z = Zipf::new(10, 0.0);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (r, c) in counts.iter().enumerate() {
+            assert!((4_000..6_000).contains(c), "rank {r}: {c}");
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let a = spec(50, 1.0, 0.3).plan(200);
+        let b = spec(50, 1.0, 0.3).plan(200);
+        assert_eq!(a.len(), 200);
+        for ((sa, pa), (sb, pb)) in a.iter().zip(b.iter()) {
+            assert_eq!(sa, sb);
+            assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn in_order_spec_is_monotone_per_series() {
+        let plan = spec(8, 0.8, 0.0).plan(400);
+        let mut last: HashMap<usize, i64> = HashMap::new();
+        for (s, pts) in &plan {
+            let first = pts.first().unwrap().t;
+            if let Some(prev) = last.get(s) {
+                assert!(first > *prev, "series {s} went backwards");
+            }
+            last.insert(*s, pts.last().unwrap().t);
+        }
+    }
+
+    #[test]
+    fn out_of_order_spec_swaps_and_stays_disjoint() {
+        let plan = spec(4, 0.5, 1.0).plan(300);
+        let mut seen: HashMap<usize, Vec<i64>> = HashMap::new();
+        let mut swaps = 0usize;
+        for (s, pts) in &plan {
+            assert!(pts.windows(2).all(|w| w[0].t < w[1].t));
+            let ts = seen.entry(*s).or_default();
+            if ts.last().is_some_and(|&prev| pts[0].t < prev) {
+                swaps += 1;
+            }
+            ts.extend(pts.iter().map(|p| p.t));
+        }
+        assert!(swaps > 10, "expected many out-of-order arrivals: {swaps}");
+        // Timestamps never repeat within a series, whatever the order.
+        for (s, mut ts) in seen {
+            let n = ts.len();
+            ts.sort_unstable();
+            ts.dedup();
+            assert_eq!(ts.len(), n, "series {s} repeated a timestamp");
+        }
+    }
+
+    #[test]
+    fn values_are_pure_in_series_and_time() {
+        for (s, pts) in spec(6, 1.0, 0.5).plan(50) {
+            for p in pts {
+                assert_eq!(p.v, value_at(s, p.t));
+            }
+        }
+        assert_ne!(value_at(1, 5_000), value_at(2, 5_000));
+    }
+}

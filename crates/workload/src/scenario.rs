@@ -69,6 +69,47 @@ pub fn load_with_overlap(
     Ok(())
 }
 
+/// Load a sorted series with roughly `frac` (0.0–1.0) of flush-sized
+/// batch pairs arriving in swapped order: the later time range is
+/// written and sealed first, then the earlier range lands behind it.
+///
+/// This is the out-of-order-heavy ingest scenario of the
+/// high-cardinality experiments (the `out_of_order_frac` axis;
+/// [`crate::multiseries`] generalizes the same adjacent-swap model to
+/// many series). Unlike [`load_with_overlap`] the swapped files stay
+/// time-disjoint — the structural signature is sealed-file *version*
+/// order inverting against time order, which is what recovery,
+/// compaction ordering and M4 chunk selection must absorb.
+pub fn load_out_of_order(
+    kv: &TsKv,
+    series: &str,
+    points: &[Point],
+    frac: f64,
+    rng: &mut StdRng,
+) -> tskv::Result<()> {
+    let batch = kv.config().memtable_threshold;
+    let frac = frac.clamp(0.0, 1.0);
+    let mut i = 0usize;
+    while i < points.len() {
+        let pair_end = (i + 2 * batch).min(points.len());
+        let have_pair = pair_end - i > batch;
+        if have_pair && rng.gen_bool(frac) {
+            let mid = i + batch;
+            kv.insert_batch(series, &points[mid..pair_end])?;
+            kv.flush(series)?;
+            kv.insert_batch(series, &points[i..mid])?;
+            kv.flush(series)?;
+            i = pair_end;
+        } else {
+            let end = (i + batch).min(points.len());
+            kv.insert_batch(series, &points[i..end])?;
+            kv.flush(series)?;
+            i = end;
+        }
+    }
+    Ok(())
+}
+
 /// Fraction of chunks in a snapshot whose time interval overlaps at
 /// least one other chunk's interval (the paper's x-axis in Figure 12).
 pub fn overlap_fraction(snapshot: &SeriesSnapshot) -> f64 {
@@ -207,6 +248,51 @@ mod tests {
         for (s, e) in ranges {
             assert!(s >= 0 && e <= 200_500 && e - s == 500);
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn out_of_order_load_preserves_data_and_inverts_seal_order() {
+        let (dir, kv) = open("ooo");
+        let pts = series(2_000);
+        let mut rng = StdRng::seed_from_u64(5);
+        load_out_of_order(&kv, "s", &pts, 1.0, &mut rng).unwrap();
+        let snap = kv.snapshot("s").unwrap();
+        // Swapped pairs stay time-disjoint...
+        assert_eq!(overlap_fraction(&snap), 0.0);
+        // ...but sealing order inverts against time order: some chunk
+        // with a higher version starts earlier than its predecessor.
+        let mut chunks: Vec<_> = snap
+            .chunks()
+            .iter()
+            .map(|c| (c.version, c.time_range().start))
+            .collect();
+        chunks.sort_unstable_by_key(|(v, _)| *v);
+        assert!(
+            chunks.windows(2).any(|w| w[1].1 < w[0].1),
+            "expected version order to invert against time order: {chunks:?}"
+        );
+        let merged = tskv::readers::MergeReader::new(&snap)
+            .collect_merged()
+            .unwrap();
+        assert_eq!(merged, pts);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn out_of_order_zero_is_sequential() {
+        let (dir, kv) = open("ooo0");
+        let pts = series(1_000);
+        let mut rng = StdRng::seed_from_u64(6);
+        load_out_of_order(&kv, "s", &pts, 0.0, &mut rng).unwrap();
+        let snap = kv.snapshot("s").unwrap();
+        let mut chunks: Vec<_> = snap
+            .chunks()
+            .iter()
+            .map(|c| (c.version, c.time_range().start))
+            .collect();
+        chunks.sort_unstable_by_key(|(v, _)| *v);
+        assert!(chunks.windows(2).all(|w| w[1].1 > w[0].1));
         std::fs::remove_dir_all(&dir).ok();
     }
 

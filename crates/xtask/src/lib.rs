@@ -123,6 +123,10 @@ const UNTRUSTED_INPUT_FILES: &[&str] = &[
     // production kernels do.
     "crates/tsfile/src/encoding/reference.rs",
     "crates/tskv/src/wal.rs",
+    // The catalog log and shared shard WAL are replayed from raw disk
+    // bytes on every open, including torn tails after a crash.
+    "crates/tskv/src/catalog.rs",
+    "crates/tskv/src/shard_wal.rs",
     "crates/tsnet/src/wire.rs",
 ];
 
@@ -459,6 +463,10 @@ mod tests {
         assert!(r.l1 && !r.l1_indexing && r.l2 && !r.l3 && !r.l4);
         let r = rules_for("crates/tskv/src/scheduler.rs");
         assert!(r.l1 && !r.l1_indexing && r.l2 && !r.l3 && !r.l4);
+        let r = rules_for("crates/tskv/src/catalog.rs");
+        assert!(r.l1 && r.l1_indexing && !r.l2 && !r.l4);
+        let r = rules_for("crates/tskv/src/shard_wal.rs");
+        assert!(r.l1 && r.l1_indexing && !r.l2 && !r.l4);
         let r = rules_for("crates/m4/src/lsm/cache.rs");
         assert!(r.l1 && r.l2);
         let r = rules_for("crates/tskv/src/cache.rs");

@@ -1,24 +1,35 @@
 //! Store inspector: a debugging tool that dumps the physical layout of
-//! a tskv store — files, chunks, versions, statistics, step-index
-//! models and pending deletes — using only the public tsfile API.
+//! a tskv store — catalog, storage shards, files, chunks, versions,
+//! statistics, step-index models and pending deletes — using only the
+//! public tsfile API plus read-only parsing of the store's own files.
 //!
 //! ```text
 //! cargo run --release --example store_inspect [store_dir]
 //! ```
 //!
 //! Without an argument it builds a small demo store first.
+//!
+//! Layout walked (see tskv's engine docs): the root holds `SHARDS`
+//! (pinned storage shard count), `catalog.log` (interned id ↔ name
+//! map) and `shard-NNNN/` directories; each shard holds data files
+//! named `s<id>-<fileno>.tsfile` (+ `.mods`) for every series hashed
+//! into it, plus shared WAL segments `wal-NNNNNNNN.log`.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
 use m4lsm::tsfile::{ModsFile, TsFileReader};
 use m4lsm::tskv::config::EngineConfig;
 use m4lsm::tskv::TsKv;
 
-fn build_demo(dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
+fn build_demo(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
     use m4lsm::tsfile::types::Point;
     let kv = TsKv::open(
         dir,
         EngineConfig {
             points_per_chunk: 100,
             memtable_threshold: 300,
+            storage_shards: 4,
             ..Default::default()
         },
     )?;
@@ -29,14 +40,96 @@ fn build_demo(dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
     for t in 200..400i64 {
         kv.insert("demo.a", Point::new(t * 1000, 99.0))?;
     }
+    // A second series, so the shard routing shows.
+    for t in 0..400i64 {
+        kv.insert("demo.b", Point::new(t * 500, (t % 3) as f64))?;
+    }
+    // A registered-but-cold series: costs a catalog entry and nothing
+    // else — no directory, no files.
+    kv.create_series("demo.cold")?;
     kv.flush_all()?;
     kv.delete("demo.a", 500_000, 600_000)?;
     Ok(())
 }
 
+/// Read the interned id → name map out of `catalog.log`. Read-only and
+/// forgiving: a short or torn tail simply ends the scan, exactly like
+/// the engine's own recovery (checksums are the engine's business; an
+/// inspector just wants the names).
+fn read_catalog(dir: &Path) -> BTreeMap<u32, String> {
+    let mut out = BTreeMap::new();
+    let Ok(bytes) = std::fs::read(dir.join("catalog.log")) else {
+        return out;
+    };
+    let mut at = 0usize;
+    while bytes.len() >= at + 6 {
+        let id = u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
+        let len = u16::from_le_bytes([bytes[at + 4], bytes[at + 5]]) as usize;
+        let end = at + 6 + len + 4; // name + crc32
+        let Some(name) = bytes.get(at + 6..at + 6 + len) else {
+            break;
+        };
+        if bytes.len() < end {
+            break;
+        }
+        out.insert(id, String::from_utf8_lossy(name).into_owned());
+        at = end;
+    }
+    out
+}
+
+/// Parse a data file stem `s<id>-<fileno>` into its series id.
+fn data_file_series(path: &Path) -> Option<u32> {
+    let stem = path.file_stem()?.to_str()?;
+    let (id, _fileno) = stem.strip_prefix('s')?.split_once('-')?;
+    id.parse().ok()
+}
+
+fn dump_file(path: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    let reader = TsFileReader::open(path)?;
+    let size = std::fs::metadata(path)?.len();
+    println!(
+        "    {} ({} bytes, {} chunks)",
+        path.file_name().unwrap_or_default().to_string_lossy(),
+        size,
+        reader.chunk_metas().len()
+    );
+    for meta in reader.chunk_metas() {
+        let s = &meta.stats;
+        print!(
+            "      chunk {} @{:>8}+{:<6} n={:<5} t=[{} … {}] v=[{} … {}]",
+            meta.version,
+            meta.offset,
+            meta.byte_len,
+            s.count,
+            s.first.t,
+            s.last.t,
+            s.bottom.v,
+            s.top.v
+        );
+        match &meta.index {
+            Some(idx) => println!(
+                "  step-index: Δt={} segs={} ε={}",
+                idx.median_delta(),
+                idx.segment_count(),
+                idx.epsilon()
+            ),
+            None => println!("  step-index: none"),
+        }
+    }
+    let mods_path = path.with_extension("mods");
+    if mods_path.exists() {
+        let mods = ModsFile::open(&mods_path)?;
+        for e in mods.entries() {
+            println!("      delete {} range {}", e.version, e.range);
+        }
+    }
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (dir, is_demo) = match std::env::args().nth(1) {
-        Some(d) => (std::path::PathBuf::from(d), false),
+        Some(d) => (PathBuf::from(d), false),
         None => {
             let d = std::env::temp_dir().join(format!("m4lsm-inspect-{}", std::process::id()));
             std::fs::remove_dir_all(&d).ok();
@@ -46,67 +139,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("store: {}", dir.display());
-    let mut series_dirs: Vec<_> = std::fs::read_dir(&dir)?
+    if let Ok(shards) = std::fs::read_to_string(dir.join("SHARDS")) {
+        println!("storage shards: {}", shards.trim());
+    }
+    let catalog = read_catalog(&dir);
+    println!("catalog: {} series", catalog.len());
+    for (id, name) in &catalog {
+        println!("  s{id} = {name:?}");
+    }
+
+    let mut shard_dirs: Vec<_> = std::fs::read_dir(&dir)?
         .filter_map(|e| e.ok())
         .filter(|e| e.file_type().map(|t| t.is_dir()).unwrap_or(false))
         .map(|e| e.path())
         .collect();
-    series_dirs.sort();
+    shard_dirs.sort();
 
-    for sdir in series_dirs {
+    for sdir in shard_dirs {
         println!(
-            "\nseries {}",
+            "\n{}",
             sdir.file_name().unwrap_or_default().to_string_lossy()
         );
-        let mut files: Vec<_> = std::fs::read_dir(&sdir)?
+        let mut entries: Vec<_> = std::fs::read_dir(&sdir)?
             .filter_map(|e| e.ok())
             .map(|e| e.path())
-            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("tsfile"))
             .collect();
-        files.sort();
-        for path in files {
-            let reader = TsFileReader::open(&path)?;
-            let size = std::fs::metadata(&path)?.len();
-            println!(
-                "  {} ({} bytes, {} chunks)",
-                path.file_name().unwrap_or_default().to_string_lossy(),
-                size,
-                reader.chunk_metas().len()
-            );
-            for meta in reader.chunk_metas() {
-                let s = &meta.stats;
-                print!(
-                    "    chunk {} @{:>8}+{:<6} n={:<5} t=[{} … {}] v=[{} … {}]",
-                    meta.version,
-                    meta.offset,
-                    meta.byte_len,
-                    s.count,
-                    s.first.t,
-                    s.last.t,
-                    s.bottom.v,
-                    s.top.v
-                );
-                match &meta.index {
-                    Some(idx) => println!(
-                        "  step-index: Δt={} segs={} ε={}",
-                        idx.median_delta(),
-                        idx.segment_count(),
-                        idx.epsilon()
-                    ),
-                    None => println!("  step-index: none"),
-                }
-            }
-            let mods_path = path.with_extension("mods");
-            if mods_path.exists() {
-                let mods = ModsFile::open(&mods_path)?;
-                for e in mods.entries() {
-                    println!("    delete {} range {}", e.version, e.range);
+        entries.sort();
+        // Data files, grouped per series so the dump reads store-shaped.
+        let mut by_series: BTreeMap<u32, Vec<&PathBuf>> = BTreeMap::new();
+        for p in &entries {
+            if p.extension().and_then(|e| e.to_str()) == Some("tsfile") {
+                if let Some(id) = data_file_series(p) {
+                    by_series.entry(id).or_default().push(p);
                 }
             }
         }
-        let wal = sdir.join("series.wal");
-        if wal.exists() {
-            println!("  series.wal ({} bytes)", std::fs::metadata(&wal)?.len());
+        for (id, files) in by_series {
+            let name = catalog
+                .get(&id)
+                .map(|n| format!(" ({n:?})"))
+                .unwrap_or_default();
+            println!("  series s{id}{name}");
+            for path in files {
+                dump_file(path)?;
+            }
+        }
+        // Shared WAL segments.
+        for p in &entries {
+            let fname = p.file_name().unwrap_or_default().to_string_lossy();
+            if fname.starts_with("wal-") && fname.ends_with(".log") {
+                println!("  {fname} ({} bytes)", std::fs::metadata(p)?.len());
+            }
         }
     }
 

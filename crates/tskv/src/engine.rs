@@ -336,15 +336,18 @@ fn legacy_series_dirs(dir: &Path) -> Result<Vec<(String, PathBuf)>> {
 
 /// One-time in-place migration of a legacy one-directory-per-series
 /// store into the sharded layout: intern every name (sorted, so ids
-/// are deterministic), move each sealed file to its shard directory
-/// under the `s<id>-` prefix, transcribe each series' surviving WAL
-/// state into the shard's tagged log, and delete the series directory.
-/// The `SHARDS` meta file is written **last** — its presence marks the
-/// migration complete, so a crash partway is retried on the next open
-/// (interning is idempotent, finished renames are skipped because the
-/// source directory scan no longer finds them, and re-transcribed WAL
-/// records only produce duplicate points, which the latest-wins merge
-/// discards).
+/// are deterministic) and fsync the catalog, then move each sealed
+/// file to its shard directory under the `s<id>-` prefix, transcribe
+/// each series' surviving WAL state into the shard's tagged log, and
+/// delete the series directory. The catalog sync happens **before**
+/// the first rename so a power loss can never persist id-tagged files
+/// whose bindings the catalog forgot; the `SHARDS` meta file is
+/// written **last** — its presence marks the migration complete, so a
+/// crash partway is retried on the next open (interning is idempotent
+/// and re-derives the same ids from the durable log, finished renames
+/// are skipped because the source directory scan no longer finds them,
+/// and re-transcribed WAL records only produce duplicate points, which
+/// the latest-wins merge discards).
 fn migrate_legacy_layout(
     dir: &Path,
     series_dirs: &[(String, PathBuf)],
@@ -353,6 +356,18 @@ fn migrate_legacy_layout(
 ) -> Result<()> {
     let n = config.storage_shards;
     let catalog = SeriesCatalog::open(dir, config.catalog_max_series, Arc::clone(io))?;
+    // Intern every name and make the catalog durable *before* the
+    // first rename. Renamed `s<id>-*` files are only meaningful
+    // through the catalog's id binding; if a power loss dropped the
+    // un-fsynced log tail after some renames, the retried migration
+    // would re-intern only the surviving legacy dirs, hand the vacated
+    // low ids to different names, and silently rebind the already-moved
+    // files to the wrong series.
+    let mut ids: Vec<SeriesId> = Vec::with_capacity(series_dirs.len());
+    for (name, _) in series_dirs {
+        ids.push(catalog.intern(name)?);
+    }
+    catalog.sync_if_dirty()?;
     let mut wals: Vec<ShardWal> = Vec::with_capacity(n);
     for i in 0..n {
         let sdir = dir.join(storage_dir_name(i));
@@ -360,8 +375,8 @@ fn migrate_legacy_layout(
         let (wal, _) = ShardWal::open(&sdir, 0, config.wal_segment_bytes)?;
         wals.push(wal);
     }
-    for (name, sdir) in series_dirs {
-        let id = catalog.intern(name)?;
+    for ((name, sdir), &id) in series_dirs.iter().zip(&ids) {
+        debug_assert_eq!(catalog.resolve(name), Some(id));
         let target = dir.join(storage_dir_name(id.index() % n));
         for entry in std::fs::read_dir(sdir)? {
             let entry = entry?;
@@ -746,6 +761,14 @@ impl EngineInner {
     fn commit_wal_with(&self, id: SeriesId, sync: bool) -> Result<()> {
         if let Some(wal) = &self.storage(id).wal {
             let sync = sync || matches!(self.config.fsync_policy, FsyncPolicy::Always);
+            if sync {
+                // WAL records are id-tagged; the catalog record binding
+                // the id must reach disk before (or with) any durable
+                // record that uses it, or a power loss could leave a
+                // replayable record whose id the catalog forgot — open
+                // then refuses the store outright.
+                self.catalog.sync_if_dirty()?;
+            }
             let bytes = wal.commit(sync)?;
             if bytes > 0 {
                 self.io.record_wal_batch(bytes);
@@ -894,6 +917,10 @@ impl EngineInner {
                         // supersedes them soon after; until then the
                         // log is the only copy).
                         if !matches!(self.config.fsync_policy, FsyncPolicy::Never) {
+                            // Catalog first: the log's id-tagged records
+                            // must never outlive the binding of their id
+                            // (see commit_wal_with).
+                            self.catalog.sync_if_dirty()?;
                             wal.sync()?;
                             self.io.record_wal_sync();
                         }

@@ -86,6 +86,12 @@ struct WalState {
     /// Framed records not yet written to the OS.
     buf: Vec<u8>,
     written_since_commit: u64,
+    /// Bytes written to the active file since its last fsync. Distinct
+    /// from `written_since_commit`: the log is shared across lock
+    /// stripes, so a `commit(false)` from one stripe can drain frames
+    /// another stripe is about to `commit(true)` — the sync decision
+    /// must see every unsynced byte, not just this commit's.
+    unsynced_bytes: u64,
     sealed: Vec<Segment>,
     next_seg_id: u64,
     /// Per-series logical offset just past its last insert/delete
@@ -280,6 +286,7 @@ impl ShardWal {
                 pos: offset,
                 buf: Vec::new(),
                 written_since_commit: 0,
+                unsynced_bytes: 0,
                 sealed,
                 next_seg_id: next_seg_id + 1,
                 last_append,
@@ -337,8 +344,9 @@ impl ShardWal {
         state.flush_buf()?;
         let bytes = state.written_since_commit;
         state.written_since_commit = 0;
-        if sync && bytes > 0 {
+        if sync && state.unsynced_bytes > 0 {
             state.file.sync_data()?;
+            state.unsynced_bytes = 0;
         }
         state.maybe_roll(self.segment_bytes)?;
         Ok(bytes)
@@ -349,6 +357,7 @@ impl ShardWal {
         let mut state = self.state.lock();
         state.flush_buf()?;
         state.file.sync_data()?;
+        state.unsynced_bytes = 0;
         Ok(())
     }
 
@@ -397,6 +406,12 @@ impl ShardWal {
         let state = self.state.lock();
         state.sealed.len() + 1
     }
+
+    /// Bytes written but not yet fsynced (tests / inspection).
+    #[cfg(test)]
+    fn unsynced_bytes(&self) -> u64 {
+        self.state.lock().unsynced_bytes
+    }
 }
 
 impl WalState {
@@ -424,6 +439,7 @@ impl WalState {
         }
         self.file.write_all(&self.buf)?;
         self.written_since_commit += self.buf.len() as u64;
+        self.unsynced_bytes += self.buf.len() as u64;
         self.buf.clear();
         Ok(())
     }
@@ -434,6 +450,12 @@ impl WalState {
     fn maybe_roll(&mut self, segment_bytes: u64) -> Result<()> {
         if !self.buf.is_empty() || self.pos - self.seg_base < segment_bytes {
             return Ok(());
+        }
+        // Once sealed, this file's handle goes away — a later sync
+        // through the new active handle cannot cover its bytes.
+        if self.unsynced_bytes > 0 {
+            self.file.sync_data()?;
+            self.unsynced_bytes = 0;
         }
         let dir = self
             .active_path
@@ -477,6 +499,8 @@ impl WalState {
             self.file = OpenOptions::new().append(true).open(&self.active_path)?;
             self.seg_base = self.pos;
             self.last_append.clear();
+            // The truncate discarded whatever was written-but-unsynced.
+            self.unsynced_bytes = 0;
             return Ok(());
         }
         let mut min_keep = self
@@ -697,6 +721,26 @@ mod tests {
         );
         // A second commit with nothing new reports an empty batch.
         assert_eq!(w.commit(true).unwrap(), 0);
+    }
+
+    #[test]
+    fn sync_commit_covers_bytes_drained_by_earlier_commit() {
+        let dir = tmp("synccarry");
+        let (w, _) = open(&dir);
+        // A's frames are drained (written, unsynced) by a commit(false)
+        // from another stripe sharing this shard log.
+        w.append_inserts(A, &pts(&[(1, 1.0)])).unwrap();
+        assert!(w.commit(false).unwrap() > 0);
+        assert!(w.unsynced_bytes() > 0);
+        // B's commit(true) writes nothing new itself, but must still
+        // fsync the bytes the earlier commit left unsynced.
+        assert_eq!(w.commit(true).unwrap(), 0);
+        assert_eq!(w.unsynced_bytes(), 0);
+        // An explicit sync also clears the counter.
+        w.append_inserts(B, &pts(&[(2, 2.0)])).unwrap();
+        w.commit(false).unwrap();
+        w.sync().unwrap();
+        assert_eq!(w.unsynced_bytes(), 0);
     }
 
     #[test]

@@ -73,8 +73,18 @@ pub const IO_DECODE_CALLEES: &[&str] = &[
 /// callee list. `append_inserts`/`append_delete` are the typed WAL
 /// entry points the write/delete paths call under the series shard
 /// write lock — the same sanction, made explicit now that transitive
-/// propagation would otherwise surface them.
-pub const SANCTIONED_L2_CALLEES: &[&str] = &["append", "commit", "append_inserts", "append_delete"];
+/// propagation would otherwise surface them. `sync_if_dirty` is the
+/// catalog fsync that must complete *before* any id-tagged WAL record
+/// is fsynced under the same guard (a durable record whose id binding
+/// was lost makes the store unopenable), so it belongs to the same
+/// critical section.
+pub const SANCTIONED_L2_CALLEES: &[&str] = &[
+    "append",
+    "commit",
+    "append_inserts",
+    "append_delete",
+    "sync_if_dirty",
+];
 
 /// Blocking shapes beyond file I/O: socket frame I/O and unbounded
 /// waits. Bounded waits (`sleep`, `recv_timeout`, `wait_timeout`) are
